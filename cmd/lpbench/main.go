@@ -1,0 +1,98 @@
+// Command lpbench regenerates the evaluation tables and figures of the
+// reconstructed experiment suite (DESIGN.md §6, EXPERIMENTS.md).
+//
+// Usage:
+//
+//	lpbench -exp all                 # run the full suite (minutes)
+//	lpbench -exp e2,e5 -quick        # selected experiments, small scale
+//	lpbench -exp all -csv out/       # also write one CSV per experiment
+//
+// Each experiment prints an aligned ASCII table; -csv additionally writes
+// machine-readable series for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"linkpred/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lpbench", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiments to run: all, or comma-separated ids (e1..e18)")
+		quick  = fs.Bool("quick", false, "small-scale run (seconds instead of minutes)")
+		seed   = fs.Uint64("seed", 42, "experiment seed (EXPERIMENTS.md uses 42)")
+		csvDir = fs.String("csv", "", "directory to write per-experiment CSV files (optional)")
+		list   = fs.Bool("list", false, "list available experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Fprintf(stdout, "%-4s %-6s %s\n", e.ID, e.Kind, e.Title)
+		}
+		return nil
+	}
+
+	var selected []bench.Experiment
+	if *exp == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := bench.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("create csv dir: %w", err)
+		}
+	}
+
+	cfg := bench.RunConfig{Quick: *quick, Seed: *seed}
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := table.WriteASCII(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, e.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("create %s: %w", path, err)
+			}
+			if err := table.WriteCSV(f); err != nil {
+				f.Close()
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("close %s: %w", path, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1 ", "e10", "e18"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "e1", "-quick", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E1: dataset statistics") {
+		t.Errorf("output missing table title:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "[e1 completed in") {
+		t.Error("output missing completion line")
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "e1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "dataset,") {
+		t.Errorf("csv header wrong: %q", string(csv[:40]))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+		t.Error("bad flag should error")
+	}
+}

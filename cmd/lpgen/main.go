@@ -1,0 +1,125 @@
+// Command lpgen generates synthetic graph streams and writes them to a
+// file in the text ("u v t" per line) or binary format understood by
+// lpstream and the examples.
+//
+// Usage:
+//
+//	lpgen -model ba -n 10000 -mper 4 -seed 42 -out stream.txt
+//	lpgen -model er -n 5000 -m 100000 -out stream.bin -format binary
+//	lpgen -dataset coauthor -scale medium -out dblp-like.txt
+//
+// Either -model (with its parameters) or -dataset (a named stand-in from
+// the experiment suite) selects the stream.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"linkpred/internal/gen"
+	"linkpred/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lpgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lpgen", flag.ContinueOnError)
+	var (
+		model     = fs.String("model", "", "generator model: er | ba | ws | config | fire | rmat | citation (directed)")
+		dataset   = fs.String("dataset", "", "named stand-in stream: coauthor | flickr | livejournal | youtube")
+		scale     = fs.String("scale", "medium", "dataset scale: small | medium | large")
+		n         = fs.Int("n", 10000, "number of vertices")
+		m         = fs.Int("m", 100000, "number of edges (er, config)")
+		mPer      = fs.Int("mper", 4, "edges per new vertex (ba)")
+		k         = fs.Int("k", 6, "ring degree (ws)")
+		beta      = fs.Float64("beta", 0.1, "rewiring probability (ws)")
+		gamma     = fs.Float64("gamma", 2.5, "power-law exponent (config)")
+		p         = fs.Float64("p", 0.3, "burn probability (fire)")
+		refs      = fs.Int("refs", 10, "references per paper (citation)")
+		scaleBits = fs.Int("rmat-scale", 16, "log2 of the vertex count (rmat)")
+		recency   = fs.Float64("recency", 0.3, "recent-literature citation probability (citation)")
+		seed      = fs.Uint64("seed", 42, "generator seed")
+		out       = fs.String("out", "", "output file (required)")
+		format    = fs.String("format", "text", "output format: text | binary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	src, err := makeSource(*model, *dataset, *scale, *n, *m, *mPer, *k, *refs, *scaleBits, *beta, *gamma, *p, *recency, *seed)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("create output: %w", err)
+	}
+	defer f.Close()
+
+	var written int
+	switch *format {
+	case "text":
+		written, err = stream.WriteText(f, src)
+	case "binary":
+		written, err = stream.WriteBinary(f, src)
+	default:
+		return fmt.Errorf("unknown format %q (want text or binary)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close output: %w", err)
+	}
+	fmt.Fprintf(stdout, "wrote %d edges to %s (%s)\n", written, *out, *format)
+	return nil
+}
+
+func makeSource(model, dataset, scale string, n, m, mPer, k, refs, scaleBits int, beta, gamma, p, recency float64, seed uint64) (stream.Source, error) {
+	switch {
+	case model != "" && dataset != "":
+		return nil, fmt.Errorf("give either -model or -dataset, not both")
+	case dataset != "":
+		var s gen.Scale
+		switch scale {
+		case "small":
+			s = gen.ScaleSmall
+		case "medium":
+			s = gen.ScaleMedium
+		case "large":
+			s = gen.ScaleLarge
+		default:
+			return nil, fmt.Errorf("unknown scale %q", scale)
+		}
+		return gen.Open(gen.Dataset(dataset), s, seed)
+	case model == "er":
+		return gen.ErdosRenyi(n, m, seed)
+	case model == "ba":
+		return gen.BarabasiAlbert(n, mPer, seed)
+	case model == "ws":
+		return gen.WattsStrogatz(n, k, beta, seed)
+	case model == "config":
+		return gen.ConfigModel(n, m, gamma, seed)
+	case model == "fire":
+		return gen.ForestFire(n, p, seed)
+	case model == "citation":
+		return gen.Citation(n, refs, recency, seed)
+	case model == "rmat":
+		return gen.RMAT(scaleBits, m, 0.57, 0.19, 0.19, 0.05, seed)
+	case model == "":
+		return nil, fmt.Errorf("one of -model or -dataset is required")
+	default:
+		return nil, fmt.Errorf("unknown model %q (want er, ba, ws, config, fire, rmat, citation)", model)
+	}
+}

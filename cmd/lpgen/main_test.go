@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"linkpred/internal/stream"
+)
+
+func TestMakeSourceModels(t *testing.T) {
+	cases := []struct {
+		name  string
+		model string
+	}{
+		{"er", "er"}, {"ba", "ba"}, {"ws", "ws"},
+		{"config", "config"}, {"fire", "fire"},
+		{"citation", "citation"}, {"rmat", "rmat"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src, err := makeSource(c.model, "", "medium", 100, 500, 3, 4, 5, 10, 0.1, 2.5, 0.3, 0.3, 1)
+			if err != nil {
+				t.Fatalf("makeSource(%s): %v", c.model, err)
+			}
+			es, err := stream.Collect(stream.Limit(src, 50))
+			if err != nil || len(es) == 0 {
+				t.Fatalf("collect: %d edges, %v", len(es), err)
+			}
+		})
+	}
+}
+
+func TestMakeSourceDatasets(t *testing.T) {
+	for _, scale := range []string{"small"} {
+		src, err := makeSource("", "coauthor", scale, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7)
+		if err != nil {
+			t.Fatalf("dataset at scale %s: %v", scale, err)
+		}
+		if _, err := src.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMakeSourceErrors(t *testing.T) {
+	cases := []struct {
+		model, dataset, scale string
+		wantSubstr            string
+	}{
+		{"", "", "medium", "required"},
+		{"er", "coauthor", "medium", "not both"},
+		{"zebra", "", "medium", "unknown model"},
+		{"", "zebra", "medium", "unknown dataset"},
+		{"", "coauthor", "zebra", "unknown scale"},
+	}
+	for _, c := range cases {
+		_, err := makeSource(c.model, c.dataset, c.scale, 100, 500, 3, 4, 5, 10, 0.1, 2.5, 0.3, 0.3, 1)
+		if err == nil || !strings.Contains(err.Error(), c.wantSubstr) {
+			t.Errorf("makeSource(%q, %q, %q) err = %v, want containing %q",
+				c.model, c.dataset, c.scale, err, c.wantSubstr)
+		}
+	}
+}
+
+func TestRunWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{"text", "binary"} {
+		path := dir + "/out." + format
+		var out strings.Builder
+		err := run([]string{"-model", "er", "-n", "50", "-m", "200",
+			"-out", path, "-format", format}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !strings.Contains(out.String(), "wrote 200 edges") {
+			t.Errorf("%s output: %q", format, out.String())
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var src stream.Source
+		if format == "binary" {
+			src = stream.NewBinaryReader(f)
+		} else {
+			src = stream.NewTextReader(f)
+		}
+		es, err := stream.Collect(src)
+		f.Close()
+		if err != nil || len(es) != 200 {
+			t.Fatalf("%s round trip: %d edges, %v", format, len(es), err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "er"}, &out); err == nil {
+		t.Error("missing -out should error")
+	}
+	if err := run([]string{"-model", "er", "-out", t.TempDir() + "/x", "-format", "zebra"}, &out); err == nil {
+		t.Error("unknown format should error")
+	}
+	if err := run([]string{"-out", "/nonexistent-dir-xyz/f", "-model", "er"}, &out); err == nil {
+		t.Error("unwritable path should error")
+	}
+}

@@ -1,0 +1,86 @@
+// Command lpserver runs the streaming link predictor as an HTTP service.
+//
+// Usage:
+//
+//	lpserver -addr :8080 -k 128 -shards 8
+//	lpserver -addr :8080 -warm stream.txt     # pre-ingest a stream file
+//
+// Endpoints (see internal/server):
+//
+//	POST /ingest   edge lines "u v [t]"
+//	GET  /pair?u=&v=
+//	GET  /score?u=&v=&measure=
+//	GET  /topk?u=&candidates=…&measure=&k=
+//	GET  /stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	linkpred "linkpred"
+	"linkpred/internal/server"
+	"linkpred/internal/stream"
+)
+
+func main() {
+	handler, addr, err := build(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("lpserver listening on %s\n", addr)
+	if err := http.ListenAndServe(addr, handler); err != nil {
+		fmt.Fprintln(os.Stderr, "lpserver:", err)
+		os.Exit(1)
+	}
+}
+
+// build parses the flags, constructs (and optionally warms) the
+// predictor, and returns the HTTP handler plus the listen address —
+// everything main needs short of binding the socket, so tests can drive
+// the whole setup through httptest.
+func build(args []string, stdout io.Writer) (http.Handler, string, error) {
+	fs := flag.NewFlagSet("lpserver", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		k        = fs.Int("k", 128, "sketch registers per vertex")
+		seed     = fs.Uint64("seed", 42, "hash seed")
+		shards   = fs.Int("shards", 8, "lock shards for concurrent ingest")
+		distinct = fs.Bool("distinct-degrees", true, "KMV distinct-degree estimation (robust to duplicate edges)")
+		warm     = fs.String("warm", "", "optional stream file to ingest before serving")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+
+	pred, err := linkpred.NewConcurrent(linkpred.Config{
+		K: *k, Seed: *seed, DistinctDegrees: *distinct,
+	}, *shards)
+	if err != nil {
+		return nil, "", err
+	}
+
+	if *warm != "" {
+		f, err := os.Open(*warm)
+		if err != nil {
+			return nil, "", fmt.Errorf("open warm stream: %w", err)
+		}
+		n := 0
+		err = stream.ForEach(stream.NewTextReader(f), func(e stream.Edge) error {
+			pred.ObserveEdge(linkpred.Edge{U: e.U, V: e.V, T: e.T})
+			n++
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			return nil, "", fmt.Errorf("warm ingest: %w", err)
+		}
+		fmt.Fprintf(stdout, "warmed with %d edges (%d vertices)\n", n, pred.NumVertices())
+	}
+	fmt.Fprintf(stdout, "serving sketch k=%d over %d shards\n", *k, *shards)
+	return server.New(pred), *addr, nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestBuildAndServe(t *testing.T) {
+	warm := t.TempDir() + "/warm.txt"
+	if err := os.WriteFile(warm, []byte("1 2\n2 3\n1 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	handler, addr, err := build([]string{"-addr", ":0", "-k", "32", "-warm", warm}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ":0" {
+		t.Errorf("addr = %q", addr)
+	}
+	if !strings.Contains(out.String(), "warmed with 3 edges") {
+		t.Errorf("warm summary missing: %q", out.String())
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"edges":3`) {
+		t.Errorf("stats = %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	var out strings.Builder
+	if _, _, err := build([]string{"-k", "0"}, &out); err == nil {
+		t.Error("bad K should error")
+	}
+	if _, _, err := build([]string{"-warm", "/no/such/file"}, &out); err == nil {
+		t.Error("missing warm file should error")
+	}
+	if _, _, err := build([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag should error")
+	}
+	warm := t.TempDir() + "/bad.txt"
+	if err := os.WriteFile(warm, []byte("not an edge\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := build([]string{"-warm", warm}, &out); err == nil {
+		t.Error("malformed warm stream should error")
+	}
+}

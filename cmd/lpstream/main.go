@@ -1,0 +1,229 @@
+// Command lpstream runs the sketch-based streaming link predictor over an
+// edge-stream file and answers link-prediction queries.
+//
+// Usage:
+//
+//	lpstream -in stream.txt -k 128 -pairs "3:17,42:99"
+//	lpstream -in stream.bin -binary -k 256 -top 42 -topk 10
+//	cat queries.txt | lpstream -in stream.txt          # "u v" per line
+//
+// After ingesting the stream it prints a summary, then the estimated
+// Jaccard / common-neighbor / Adamic–Adar values for each query pair
+// given via -pairs, the top-k candidates for the -top vertex (candidates
+// are the vertices seen in the stream), and finally any "u v" query pairs
+// read from stdin if it is not a terminal.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	linkpred "linkpred"
+	"linkpred/internal/monitor"
+	"linkpred/internal/stream"
+)
+
+func main() {
+	// Stdin queries only when something is piped in.
+	var queries io.Reader
+	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice == 0 {
+		queries = os.Stdin
+	}
+	if err := run(os.Args[1:], os.Stdout, queries); err != nil {
+		fmt.Fprintln(os.Stderr, "lpstream:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given flags, output writer, and
+// optional "u v"-per-line query reader (nil = no piped queries).
+func run(args []string, stdout io.Writer, queries io.Reader) error {
+	fs := flag.NewFlagSet("lpstream", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "", "input stream file (required)")
+		binary   = fs.Bool("binary", false, "input is in the binary format")
+		k        = fs.Int("k", 128, "sketch registers per vertex")
+		seed     = fs.Uint64("seed", 42, "hash seed")
+		distinct = fs.Bool("distinct-degrees", false, "use KMV distinct-degree estimation (for streams with duplicate edges)")
+		pairs    = fs.String("pairs", "", "comma-separated query pairs, e.g. \"3:17,42:99\"")
+		top      = fs.Uint64("top", 0, "vertex to rank candidates for (0 = off)")
+		topk     = fs.Int("topk", 10, "number of candidates to report for -top")
+		measure  = fs.String("measure", "adamic-adar", "ranking measure: jaccard | common-neighbors | adamic-adar")
+		directed = fs.Bool("directed", false, "treat edges as directed arcs (u -> v); queries score candidate arcs")
+		profile  = fs.Bool("profile", false, "also print a constant-space stream profile (distinct edges, duplicate rate, heavy hitters)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	cfg := linkpred.Config{K: *k, Seed: *seed, DistinctDegrees: *distinct}
+	var p *linkpred.Predictor
+	var dp *linkpred.Directed
+	var err error
+	if *directed {
+		dp, err = linkpred.NewDirected(cfg)
+	} else {
+		p, err = linkpred.New(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	var mon *monitor.StreamMonitor
+	if *profile {
+		if mon, err = monitor.New(monitor.Config{Seed: *seed}); err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return fmt.Errorf("open stream: %w", err)
+	}
+	defer f.Close()
+	var src stream.Source
+	if *binary {
+		src = stream.NewBinaryReader(f)
+	} else {
+		src = stream.NewTextReader(f)
+	}
+
+	// Track the vertex universe for -top candidate generation.
+	var vertices []uint64
+	seen := make(map[uint64]struct{})
+	note := func(u uint64) {
+		if _, ok := seen[u]; !ok {
+			seen[u] = struct{}{}
+			vertices = append(vertices, u)
+		}
+	}
+	edges := 0
+	err = stream.ForEach(src, func(e stream.Edge) error {
+		if dp != nil {
+			dp.Observe(e.U, e.V)
+		} else {
+			p.Observe(e.U, e.V)
+		}
+		if mon != nil {
+			mon.ProcessEdge(e)
+		}
+		note(e.U)
+		note(e.V)
+		edges++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if dp != nil {
+		fmt.Fprintf(stdout, "ingested %d arcs, %d vertices; sketch memory %.1f MiB (k=%d, directed)\n",
+			edges, dp.NumVertices(), float64(dp.MemoryBytes())/(1<<20), *k)
+	} else {
+		fmt.Fprintf(stdout, "ingested %d edges, %d vertices; sketch memory %.1f MiB (k=%d)\n",
+			edges, p.NumVertices(), float64(p.MemoryBytes())/(1<<20), *k)
+	}
+	if mon != nil {
+		r := mon.Report(5)
+		fmt.Fprintf(stdout, "stream profile: %s (profile memory %.2f MiB)\n", r, float64(mon.MemoryBytes())/(1<<20))
+		for i, h := range r.TopVertices {
+			fmt.Fprintf(stdout, "  top vertex %d: id %d, ~%d arrivals (±%d)\n", i+1, h.Key, h.Count, h.Err)
+		}
+	}
+
+	for _, spec := range splitNonEmpty(*pairs, ",") {
+		uv := strings.SplitN(spec, ":", 2)
+		if len(uv) != 2 {
+			return fmt.Errorf("bad pair %q (want u:v)", spec)
+		}
+		u, err1 := strconv.ParseUint(strings.TrimSpace(uv[0]), 10, 64)
+		v, err2 := strconv.ParseUint(strings.TrimSpace(uv[1]), 10, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad pair %q: %v %v", spec, err1, err2)
+		}
+		if dp != nil {
+			printArc(stdout, dp, u, v)
+		} else {
+			printPair(stdout, p, u, v)
+		}
+	}
+
+	if *top != 0 && dp != nil {
+		return fmt.Errorf("-top ranking is not supported in -directed mode (use -pairs to score candidate arcs)")
+	}
+	if *top != 0 {
+		m, err := parseMeasure(*measure)
+		if err != nil {
+			return err
+		}
+		cands, err := p.TopK(m, *top, vertices, *topk)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "top %d candidates for vertex %d by %s:\n", len(cands), *top, m)
+		for i, c := range cands {
+			fmt.Fprintf(stdout, "  %2d. vertex %-12d score %.4f\n", i+1, c.V, c.Score)
+		}
+	}
+
+	// Piped queries, one "u v" pair per line.
+	if queries != nil {
+		sc := bufio.NewScanner(queries)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) != 2 {
+				continue
+			}
+			u, err1 := strconv.ParseUint(fields[0], 10, 64)
+			v, err2 := strconv.ParseUint(fields[1], 10, 64)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			if dp != nil {
+				printArc(stdout, dp, u, v)
+			} else {
+				printPair(stdout, p, u, v)
+			}
+		}
+		if err := sc.Err(); err != nil && err != io.EOF {
+			return fmt.Errorf("read queries: %w", err)
+		}
+	}
+	return nil
+}
+
+func printArc(w io.Writer, d *linkpred.Directed, u, v uint64) {
+	fmt.Fprintf(w, "(%d -> %d): jaccard=%.4f common-neighbors=%.2f adamic-adar=%.3f\n",
+		u, v, d.Jaccard(u, v), d.CommonNeighbors(u, v), d.AdamicAdar(u, v))
+}
+
+func printPair(w io.Writer, p *linkpred.Predictor, u, v uint64) {
+	fmt.Fprintf(w, "(%d, %d): jaccard=%.4f common-neighbors=%.2f adamic-adar=%.3f\n",
+		u, v, p.Jaccard(u, v), p.CommonNeighbors(u, v), p.AdamicAdar(u, v))
+}
+
+func parseMeasure(s string) (linkpred.Measure, error) {
+	switch s {
+	case "jaccard":
+		return linkpred.Jaccard, nil
+	case "common-neighbors":
+		return linkpred.CommonNeighbors, nil
+	case "adamic-adar":
+		return linkpred.AdamicAdar, nil
+	default:
+		return 0, fmt.Errorf("unknown measure %q", s)
+	}
+}
+
+func splitNonEmpty(s, sep string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, sep)
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	linkpred "linkpred"
+)
+
+func TestParseMeasure(t *testing.T) {
+	cases := map[string]linkpred.Measure{
+		"jaccard":          linkpred.Jaccard,
+		"common-neighbors": linkpred.CommonNeighbors,
+		"adamic-adar":      linkpred.AdamicAdar,
+	}
+	for name, want := range cases {
+		got, err := parseMeasure(name)
+		if err != nil || got != want {
+			t.Errorf("parseMeasure(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseMeasure("zebra"); err == nil {
+		t.Error("unknown measure should error")
+	}
+}
+
+func TestSplitNonEmpty(t *testing.T) {
+	if got := splitNonEmpty("", ","); got != nil {
+		t.Errorf("empty split = %v, want nil", got)
+	}
+	got := splitNonEmpty("a,b,c", ",")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("split = %v", got)
+	}
+	if got := splitNonEmpty("solo", ","); len(got) != 1 || got[0] != "solo" {
+		t.Errorf("single-element split = %v", got)
+	}
+}
+
+func writeFixtureStream(t *testing.T) string {
+	t.Helper()
+	path := t.TempDir() + "/stream.txt"
+	var b strings.Builder
+	// Vertices 1 and 2 share neighbors {10..19}.
+	for w := 10; w < 20; w++ {
+		fmt.Fprintf(&b, "1 %d\n2 %d\n", w, w)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path := writeFixtureStream(t)
+	var out bytes.Buffer
+	err := run([]string{"-in", path, "-k", "64", "-pairs", "1:2", "-top", "1", "-topk", "3"}, &out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "ingested 20 edges, 12 vertices") {
+		t.Errorf("missing summary:\n%s", s)
+	}
+	if !strings.Contains(s, "(1, 2): jaccard=1.0000") {
+		t.Errorf("missing pair estimate:\n%s", s)
+	}
+	if !strings.Contains(s, "top 3 candidates for vertex 1") {
+		t.Errorf("missing top-k:\n%s", s)
+	}
+}
+
+func TestRunDirectedAndProfile(t *testing.T) {
+	path := writeFixtureStream(t)
+	var out bytes.Buffer
+	err := run([]string{"-in", path, "-directed", "-profile", "-pairs", "1:10,10:1"}, &out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "directed") || !strings.Contains(s, "stream profile:") {
+		t.Errorf("missing directed/profile output:\n%s", s)
+	}
+	if !strings.Contains(s, "(1 -> 10):") || !strings.Contains(s, "(10 -> 1):") {
+		t.Errorf("missing arc estimates:\n%s", s)
+	}
+}
+
+func TestRunPipedQueries(t *testing.T) {
+	path := writeFixtureStream(t)
+	var out bytes.Buffer
+	queries := strings.NewReader("1 2\nnot a pair\n1 10\n")
+	if err := run([]string{"-in", path}, &out, queries); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "jaccard="); got != 2 {
+		t.Errorf("piped queries produced %d estimates, want 2:\n%s", got, out.String())
+	}
+}
+
+func TestRunErrorCases(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out, nil); err == nil {
+		t.Error("missing -in should error")
+	}
+	if err := run([]string{"-in", "/no/such/file"}, &out, nil); err == nil {
+		t.Error("unreadable file should error")
+	}
+	path := writeFixtureStream(t)
+	if err := run([]string{"-in", path, "-pairs", "nonsense"}, &out, nil); err == nil {
+		t.Error("bad pair spec should error")
+	}
+	if err := run([]string{"-in", path, "-directed", "-top", "1"}, &out, nil); err == nil {
+		t.Error("-top with -directed should error")
+	}
+	if err := run([]string{"-in", path, "-top", "1", "-measure", "zebra"}, &out, nil); err == nil {
+		t.Error("bad measure should error")
+	}
+}

@@ -1,0 +1,122 @@
+package linkpred
+
+import (
+	"fmt"
+	"io"
+
+	"linkpred/internal/core"
+	"linkpred/internal/hashing"
+	"linkpred/internal/stream"
+)
+
+// Concurrent is a thread-safe streaming link predictor for parallel
+// ingest: vertices are partitioned across shards, each guarded by its
+// own lock, so multiple goroutines can Observe edges while others query.
+// Estimates are identical to a single-threaded Predictor fed the same
+// multiset of edges (MinHash updates commute), modulo the documented
+// degree-read timing of the weighted estimators under concurrent writes.
+//
+// Config.EnableBiased is not supported in concurrent mode.
+type Concurrent struct {
+	store *core.Sharded
+	cfg   Config
+}
+
+// NewConcurrent returns an empty Concurrent predictor with the given
+// number of shards (a few times the expected writer parallelism is a
+// good choice). It returns an error if cfg.K < 1, shards < 1, or
+// cfg.EnableBiased is set.
+func NewConcurrent(cfg Config, shards int) (*Concurrent, error) {
+	kind := hashing.KindMixed
+	if cfg.TabulationHashing {
+		kind = hashing.KindTabulation
+	}
+	degrees := core.DegreeArrivals
+	if cfg.DistinctDegrees {
+		degrees = core.DegreeDistinctKMV
+	}
+	store, err := core.NewSharded(core.Config{
+		K:            cfg.K,
+		Seed:         cfg.Seed,
+		Hash:         kind,
+		Degrees:      degrees,
+		EnableBiased: cfg.EnableBiased,
+	}, shards)
+	if err != nil {
+		return nil, fmt.Errorf("linkpred: %w", err)
+	}
+	return &Concurrent{store: store, cfg: cfg}, nil
+}
+
+// Config returns the configuration the predictor was built with.
+func (c *Concurrent) Config() Config { return c.cfg }
+
+// NumShards returns the shard count.
+func (c *Concurrent) NumShards() int { return c.store.NumShards() }
+
+// Observe folds the undirected edge {u, v} into the sketches. Safe for
+// concurrent use.
+func (c *Concurrent) Observe(u, v uint64) {
+	c.store.ProcessEdge(stream.Edge{U: u, V: v})
+}
+
+// ObserveEdge folds a timestamped edge into the sketches. Safe for
+// concurrent use.
+func (c *Concurrent) ObserveEdge(e Edge) {
+	c.store.ProcessEdge(stream.Edge{U: e.U, V: e.V, T: e.T})
+}
+
+// Jaccard returns the estimated Jaccard coefficient of (u, v).
+func (c *Concurrent) Jaccard(u, v uint64) float64 { return c.store.EstimateJaccard(u, v) }
+
+// CommonNeighbors returns the estimated number of common neighbors.
+func (c *Concurrent) CommonNeighbors(u, v uint64) float64 {
+	return c.store.EstimateCommonNeighbors(u, v)
+}
+
+// AdamicAdar returns the estimated Adamic–Adar index.
+func (c *Concurrent) AdamicAdar(u, v uint64) float64 { return c.store.EstimateAdamicAdar(u, v) }
+
+// ResourceAllocation returns the estimated resource-allocation index.
+func (c *Concurrent) ResourceAllocation(u, v uint64) float64 {
+	return c.store.EstimateResourceAllocation(u, v)
+}
+
+// Degree returns the degree estimate for u.
+func (c *Concurrent) Degree(u uint64) float64 { return c.store.Degree(u) }
+
+// Seen reports whether u has appeared in the stream.
+func (c *Concurrent) Seen(u uint64) bool { return c.store.Knows(u) }
+
+// NumVertices returns the number of distinct vertices observed.
+func (c *Concurrent) NumVertices() int { return c.store.NumVertices() }
+
+// NumEdges returns the number of (non-self-loop) edges observed.
+func (c *Concurrent) NumEdges() int64 { return c.store.NumEdges() }
+
+// MemoryBytes returns the predictor's payload memory.
+func (c *Concurrent) MemoryBytes() int { return c.store.MemoryBytes() }
+
+// Save writes the predictor's complete state to w. It takes a consistent
+// snapshot: concurrent writers block for the duration.
+func (c *Concurrent) Save(w io.Writer) error {
+	if err := c.store.Save(w); err != nil {
+		return fmt.Errorf("linkpred: %w", err)
+	}
+	return nil
+}
+
+// LoadConcurrent restores a predictor saved with (*Concurrent).Save.
+func LoadConcurrent(r io.Reader) (*Concurrent, error) {
+	store, err := core.LoadSharded(r)
+	if err != nil {
+		return nil, fmt.Errorf("linkpred: %w", err)
+	}
+	cc := store.Config()
+	return &Concurrent{store: store, cfg: Config{
+		K:                 cc.K,
+		Seed:              cc.Seed,
+		TabulationHashing: cc.Hash == hashing.KindTabulation,
+		DistinctDegrees:   cc.Degrees == core.DegreeDistinctKMV,
+	}}, nil
+}

@@ -1,0 +1,114 @@
+package linkpred_test
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	linkpred "linkpred"
+	"linkpred/internal/rng"
+)
+
+func TestConcurrentValidation(t *testing.T) {
+	if _, err := linkpred.NewConcurrent(linkpred.Config{K: 8}, 0); err == nil {
+		t.Error("shards=0 should error")
+	}
+	if _, err := linkpred.NewConcurrent(linkpred.Config{K: 8, EnableBiased: true}, 4); err == nil {
+		t.Error("EnableBiased should be rejected")
+	}
+	c, err := linkpred.NewConcurrent(linkpred.Config{K: 16, Seed: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumShards() != 4 || c.Config().K != 16 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestConcurrentMatchesSequentialPredictor(t *testing.T) {
+	cfg := linkpred.Config{K: 64, Seed: 21}
+	p, _ := linkpred.New(cfg)
+	c, err := linkpred.NewConcurrent(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.NewXoshiro256(23)
+	for i := 0; i < 5000; i++ {
+		u, v := x.Uint64()%300, x.Uint64()%300
+		p.Observe(u, v)
+		c.Observe(u, v)
+	}
+	for i := 0; i < 300; i++ {
+		u, v := x.Uint64()%300, x.Uint64()%300
+		if p.Jaccard(u, v) != c.Jaccard(u, v) {
+			t.Fatalf("Jaccard diverges at (%d,%d)", u, v)
+		}
+		if p.CommonNeighbors(u, v) != c.CommonNeighbors(u, v) {
+			t.Fatalf("CN diverges at (%d,%d)", u, v)
+		}
+		if math.Abs(p.AdamicAdar(u, v)-c.AdamicAdar(u, v)) > 1e-12 {
+			t.Fatalf("AA diverges at (%d,%d)", u, v)
+		}
+		if p.Degree(u) != c.Degree(u) {
+			t.Fatalf("Degree diverges at %d", u)
+		}
+	}
+	if p.NumVertices() != c.NumVertices() || p.NumEdges() != c.NumEdges() {
+		t.Error("counts diverge")
+	}
+}
+
+func TestConcurrentParallelObserve(t *testing.T) {
+	c, err := linkpred.NewConcurrent(linkpred.Config{K: 32, Seed: 29}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			x := rng.NewXoshiro256(seed)
+			for i := 0; i < 2000; i++ {
+				c.Observe(x.Uint64()%500, x.Uint64()%500)
+			}
+		}(uint64(w) + 31)
+	}
+	wg.Wait()
+	// Self-loops occur with probability 1/500 per draw; just bound counts.
+	if c.NumEdges() < 15000 || c.NumEdges() > 16000 {
+		t.Errorf("NumEdges = %d, want ~16000 minus self-loops", c.NumEdges())
+	}
+}
+
+func TestConcurrentSaveLoad(t *testing.T) {
+	c, err := linkpred.NewConcurrent(linkpred.Config{K: 32, Seed: 5, DistinctDegrees: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.NewXoshiro256(6)
+	for i := 0; i < 3000; i++ {
+		c.Observe(x.Uint64()%200, x.Uint64()%200)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := linkpred.LoadConcurrent(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Config() != c.Config() {
+		t.Errorf("config round trip: %+v != %+v", loaded.Config(), c.Config())
+	}
+	for i := 0; i < 200; i++ {
+		u, v := x.Uint64()%200, x.Uint64()%200
+		if c.Jaccard(u, v) != loaded.Jaccard(u, v) || c.AdamicAdar(u, v) != loaded.AdamicAdar(u, v) {
+			t.Fatalf("loaded concurrent predictor diverges at (%d,%d)", u, v)
+		}
+	}
+	if _, err := linkpred.LoadConcurrent(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("loading junk should error")
+	}
+}

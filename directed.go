@@ -1,0 +1,96 @@
+package linkpred
+
+import (
+	"fmt"
+
+	"linkpred/internal/core"
+	"linkpred/internal/hashing"
+	"linkpred/internal/stream"
+)
+
+// Directed is a streaming link predictor for directed graph streams
+// (follows, citations, payments). Each vertex carries separate sketches
+// of its out- and in-neighborhoods; queries score a candidate *arc*
+// u → v against the directed common neighborhood
+// {w : u → w → v} = N_out(u) ∩ N_in(v), so — unlike the undirected
+// Predictor — every estimate is asymmetric: Jaccard(u, v) scores u → v.
+//
+// Space is O(2K) words per vertex and time O(K) per arc and per query.
+// Config.EnableBiased is not supported. Not safe for concurrent use.
+type Directed struct {
+	store *core.DirectedStore
+	cfg   Config
+}
+
+// NewDirected returns an empty directed predictor. It returns an error
+// if cfg.K < 1 or cfg.EnableBiased is set.
+func NewDirected(cfg Config) (*Directed, error) {
+	kind := hashing.KindMixed
+	if cfg.TabulationHashing {
+		kind = hashing.KindTabulation
+	}
+	degrees := core.DegreeArrivals
+	if cfg.DistinctDegrees {
+		degrees = core.DegreeDistinctKMV
+	}
+	store, err := core.NewDirectedStore(core.Config{
+		K:            cfg.K,
+		Seed:         cfg.Seed,
+		Hash:         kind,
+		Degrees:      degrees,
+		EnableBiased: cfg.EnableBiased,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("linkpred: %w", err)
+	}
+	return &Directed{store: store, cfg: cfg}, nil
+}
+
+// Config returns the configuration the predictor was built with.
+func (d *Directed) Config() Config { return d.cfg }
+
+// Observe folds the arc u → v into the sketches. Self-loops are
+// ignored.
+func (d *Directed) Observe(u, v uint64) {
+	d.store.ProcessArc(stream.Edge{U: u, V: v})
+}
+
+// ObserveEdge folds a timestamped arc Edge.U → Edge.V.
+func (d *Directed) ObserveEdge(e Edge) {
+	d.store.ProcessArc(stream.Edge{U: e.U, V: e.V, T: e.T})
+}
+
+// Jaccard returns the estimated directed Jaccard coefficient of the
+// candidate arc u → v: |N_out(u) ∩ N_in(v)| / |N_out(u) ∪ N_in(v)|.
+func (d *Directed) Jaccard(u, v uint64) float64 { return d.store.EstimateJaccard(u, v) }
+
+// CommonNeighbors returns the estimated number of directed two-path
+// midpoints |{w : u → w → v}|.
+func (d *Directed) CommonNeighbors(u, v uint64) float64 {
+	return d.store.EstimateCommonNeighbors(u, v)
+}
+
+// AdamicAdar returns the estimated directed Adamic–Adar index of the
+// arc u → v, weighting midpoints by total (in+out) degree.
+func (d *Directed) AdamicAdar(u, v uint64) float64 { return d.store.EstimateAdamicAdar(u, v) }
+
+// OutDegree returns the out-degree estimate of u.
+func (d *Directed) OutDegree(u uint64) float64 { return d.store.OutDegree(u) }
+
+// InDegree returns the in-degree estimate of u.
+func (d *Directed) InDegree(u uint64) float64 { return d.store.InDegree(u) }
+
+// Seen reports whether u has appeared in the stream (either arc
+// endpoint).
+func (d *Directed) Seen(u uint64) bool { return d.store.Knows(u) }
+
+// NumVertices returns the number of distinct vertices observed.
+func (d *Directed) NumVertices() int { return d.store.NumVertices() }
+
+// NumArcs returns the number of (non-self-loop) arcs observed, counting
+// duplicates.
+func (d *Directed) NumArcs() int64 { return d.store.NumArcs() }
+
+// MemoryBytes returns the predictor's payload memory (two sketches per
+// vertex).
+func (d *Directed) MemoryBytes() int { return d.store.MemoryBytes() }

@@ -1,0 +1,101 @@
+package linkpred_test
+
+import (
+	"math"
+	"testing"
+
+	linkpred "linkpred"
+)
+
+func TestDirectedFacade(t *testing.T) {
+	if _, err := linkpred.NewDirected(linkpred.Config{K: 0}); err == nil {
+		t.Error("K=0 should error")
+	}
+	if _, err := linkpred.NewDirected(linkpred.Config{K: 8, EnableBiased: true}); err == nil {
+		t.Error("EnableBiased should be rejected")
+	}
+	d, err := linkpred.NewDirected(linkpred.Config{K: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config().K != 128 {
+		t.Error("config not retained")
+	}
+	// Funnel: 1 → {10..29} → 2.
+	for w := uint64(10); w < 30; w++ {
+		d.Observe(1, w)
+		d.Observe(w, 2)
+	}
+	if j := d.Jaccard(1, 2); j != 1 {
+		t.Errorf("J(1→2) = %v, want 1", j)
+	}
+	if j := d.Jaccard(2, 1); j != 0 {
+		t.Errorf("J(2→1) = %v, want 0 (asymmetry)", j)
+	}
+	if cn := d.CommonNeighbors(1, 2); math.Abs(cn-20) > 2 {
+		t.Errorf("CN(1→2) = %v, want ≈20", cn)
+	}
+	if aa := d.AdamicAdar(1, 2); aa <= 0 {
+		t.Errorf("AA(1→2) = %v, want > 0", aa)
+	}
+	if d.OutDegree(1) != 20 || d.InDegree(1) != 0 {
+		t.Errorf("degrees of 1 = %v/%v, want 20/0", d.OutDegree(1), d.InDegree(1))
+	}
+	if d.NumArcs() != 40 || d.NumVertices() != 22 {
+		t.Errorf("counts = %d arcs, %d vertices", d.NumArcs(), d.NumVertices())
+	}
+	if !d.Seen(10) || d.Seen(99) {
+		t.Error("Seen misreports")
+	}
+	if d.MemoryBytes() <= 0 {
+		t.Error("memory accounting broken")
+	}
+	// ObserveEdge path.
+	d.ObserveEdge(linkpred.Edge{U: 50, V: 51, T: 7})
+	if !d.Seen(50) {
+		t.Error("ObserveEdge did not ingest")
+	}
+}
+
+func TestConcurrentDirectedFacade(t *testing.T) {
+	if _, err := linkpred.NewConcurrentDirected(linkpred.Config{K: 8}, 0); err == nil {
+		t.Error("shards=0 should error")
+	}
+	if _, err := linkpred.NewConcurrentDirected(linkpred.Config{K: 8, EnableBiased: true}, 2); err == nil {
+		t.Error("EnableBiased should be rejected")
+	}
+	c, err := linkpred.NewConcurrentDirected(linkpred.Config{K: 128, Seed: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumShards() != 4 || c.Config().K != 128 {
+		t.Error("accessors wrong")
+	}
+	// Funnel: 1 → {10..29} → 2, matching the single-threaded Directed.
+	d, _ := linkpred.NewDirected(linkpred.Config{K: 128, Seed: 1})
+	for w := uint64(10); w < 30; w++ {
+		c.Observe(1, w)
+		c.Observe(w, 2)
+		d.Observe(1, w)
+		d.Observe(w, 2)
+	}
+	if c.Jaccard(1, 2) != d.Jaccard(1, 2) {
+		t.Error("concurrent directed diverges from directed")
+	}
+	if c.CommonNeighbors(1, 2) != d.CommonNeighbors(1, 2) {
+		t.Error("CN diverges")
+	}
+	if math.Abs(c.AdamicAdar(1, 2)-d.AdamicAdar(1, 2)) > 1e-12 {
+		t.Error("AA diverges")
+	}
+	if c.OutDegree(1) != 20 || c.InDegree(2) != 20 {
+		t.Error("degrees wrong")
+	}
+	if c.NumArcs() != 40 || c.NumVertices() != 22 || !c.Seen(10) || c.MemoryBytes() <= 0 {
+		t.Error("accounting wrong")
+	}
+	c.ObserveEdge(linkpred.Edge{U: 50, V: 51, T: 1})
+	if !c.Seen(50) {
+		t.Error("ObserveEdge did not ingest")
+	}
+}

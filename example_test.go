@@ -1,0 +1,159 @@
+package linkpred_test
+
+import (
+	"bytes"
+	"fmt"
+
+	linkpred "linkpred"
+)
+
+// The examples below are compiled and executed by `go test`; their
+// Output comments are verified, so the documented behaviour cannot
+// drift from the real behaviour.
+
+func Example() {
+	p, err := linkpred.New(linkpred.Config{K: 128, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	// Vertices 1 and 2 share the neighborhood {100..119}.
+	for w := uint64(100); w < 120; w++ {
+		p.Observe(1, w)
+		p.Observe(2, w)
+	}
+	fmt.Printf("jaccard: %.2f\n", p.Jaccard(1, 2))
+	fmt.Printf("common neighbors: ~%.0f\n", p.CommonNeighbors(1, 2))
+	// Output:
+	// jaccard: 1.00
+	// common neighbors: ~20
+}
+
+func ExampleSketchSizeFor() {
+	// How many registers for |Ĵ − J| ≤ 0.1 with 95% confidence?
+	fmt.Println(linkpred.SketchSizeFor(0.1, 0.05))
+	// Output:
+	// 185
+}
+
+func ExamplePredictor_TopK() {
+	p, err := linkpred.New(linkpred.Config{K: 256, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	// Vertex 1 shares 10 neighbors with vertex 2, and 3 with vertex 3.
+	for w := uint64(100); w < 110; w++ {
+		p.Observe(1, w)
+		p.Observe(2, w)
+	}
+	for w := uint64(100); w < 103; w++ {
+		p.Observe(3, w)
+	}
+	top, err := p.TopK(linkpred.CommonNeighbors, 1, []uint64{2, 3}, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range top {
+		fmt.Printf("vertex %d\n", c.V)
+	}
+	// Output:
+	// vertex 2
+	// vertex 3
+}
+
+func ExamplePredictor_Save() {
+	p, err := linkpred.New(linkpred.Config{K: 64, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	p.Observe(1, 2)
+	p.Observe(2, 3)
+
+	var checkpoint bytes.Buffer
+	if err := p.Save(&checkpoint); err != nil {
+		panic(err)
+	}
+	restored, err := linkpred.Load(&checkpoint)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(restored.NumEdges(), restored.Seen(2))
+	// Output:
+	// 2 true
+}
+
+func ExampleNewWindowed() {
+	// A predictor that only remembers the last 100 time units.
+	w, err := linkpred.NewWindowed(linkpred.Config{K: 64, Seed: 5}, 100, 4)
+	if err != nil {
+		panic(err)
+	}
+	for n := uint64(100); n < 120; n++ {
+		w.ObserveEdge(linkpred.Edge{U: 1, V: n, T: 0})
+		w.ObserveEdge(linkpred.Edge{U: 2, V: n, T: 0})
+	}
+	fmt.Printf("now: %.1f\n", w.Jaccard(1, 2))
+	// Let the window pass.
+	for ts := int64(10); ts <= 300; ts += 10 {
+		w.ObserveEdge(linkpred.Edge{U: 1000 + uint64(ts), V: 2000, T: ts})
+	}
+	fmt.Printf("after window: %.1f\n", w.Jaccard(1, 2))
+	// Output:
+	// now: 1.0
+	// after window: 0.0
+}
+
+func ExampleNewDirected() {
+	d, err := linkpred.NewDirected(linkpred.Config{K: 128, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	// Directed two-paths: 1 follows {10..19}, each of whom follows 2.
+	for w := uint64(10); w < 20; w++ {
+		d.Observe(1, w)
+		d.Observe(w, 2)
+	}
+	fmt.Printf("score(1 -> 2): %.2f\n", d.Jaccard(1, 2))
+	fmt.Printf("score(2 -> 1): %.2f\n", d.Jaccard(2, 1))
+	// Output:
+	// score(1 -> 2): 1.00
+	// score(2 -> 1): 0.00
+}
+
+func ExampleNewRecommender() {
+	r, err := linkpred.NewRecommender(linkpred.RecommenderConfig{
+		Predictor: linkpred.Config{K: 128, Seed: 5},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// 1 and 2 repeatedly co-occur around shared hubs: the tracker
+	// discovers the candidate, the sketch scores it.
+	for round := 0; round < 3; round++ {
+		for h := uint64(10); h < 15; h++ {
+			r.Observe(1, h)
+			r.Observe(2, h)
+		}
+	}
+	recs, err := r.Recommend(linkpred.CommonNeighbors, 1, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("suggested partner for 1:", recs[0].V)
+	// Output:
+	// suggested partner for 1: 2
+}
+
+func ExampleConfig_trackTriangles() {
+	p, err := linkpred.New(linkpred.Config{K: 512, Seed: 3, TrackTriangles: true})
+	if err != nil {
+		panic(err)
+	}
+	// A triangle and a pendant edge.
+	p.Observe(1, 2)
+	p.Observe(2, 3)
+	p.Observe(1, 3)
+	p.Observe(3, 4)
+	fmt.Printf("triangles: %.0f\n", p.Triangles())
+	// Output:
+	// triangles: 1
+}

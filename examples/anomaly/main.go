@@ -1,0 +1,101 @@
+// Anomaly: streaming anomalous-edge detection — flag arriving edges whose
+// endpoints have suspiciously little neighborhood overlap.
+//
+// In fraud and intrusion settings, an edge between two vertices that
+// share no neighborhood context ("out of the blue" links) is a classic
+// anomaly signal. A snapshot approach cannot keep up with the stream;
+// the sketch predictor scores every arriving edge in O(k) *before*
+// folding it in. This example injects random cross-community edges into
+// a community-structured stream and measures how well the
+// at-arrival Jaccard estimate separates injected edges from organic
+// ones.
+//
+// Run with: go run ./examples/anomaly
+package main
+
+import (
+	"fmt"
+	"log"
+
+	linkpred "linkpred"
+	"linkpred/internal/eval"
+	"linkpred/internal/gen"
+	"linkpred/internal/rng"
+	"linkpred/internal/stream"
+)
+
+func main() {
+	// Organic stream: strongly-clustered co-authorship traffic.
+	src, err := gen.Coauthor(5_000, 30_000, 25, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	organic, err := stream.Collect(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Inject 1% random edges (uniform endpoint pairs — no community or
+	// neighborhood structure) at random stream positions after a warmup.
+	x := rng.NewXoshiro256(13)
+	warmup := len(organic) / 4
+	type event struct {
+		e        stream.Edge
+		injected bool
+	}
+	events := make([]event, 0, len(organic)+len(organic)/100)
+	for i, e := range organic {
+		events = append(events, event{e: e})
+		if i > warmup && x.Float64() < 0.01 {
+			u := x.Uint64() % 5000
+			v := x.Uint64() % 5000
+			if u != v {
+				events = append(events, event{e: stream.Edge{U: u, V: v}, injected: true})
+			}
+		}
+	}
+
+	p, err := linkpred.New(linkpred.Config{K: 128, Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Score each post-warmup edge at arrival (before ingesting it), then
+	// ingest. Anomaly score = −Jaccard: low overlap ⇒ more anomalous.
+	var scores []float64
+	var labels []bool
+	flagged, injectedSeen := 0, 0
+	const threshold = 0.005 // alert when estimated Jaccard falls below this
+	var alertsOnInjected, alerts int
+	for i, ev := range events {
+		if i > warmup && p.Seen(ev.e.U) && p.Seen(ev.e.V) && !ev.e.IsSelfLoop() {
+			j := p.Jaccard(ev.e.U, ev.e.V)
+			scores = append(scores, -j)
+			labels = append(labels, ev.injected)
+			if ev.injected {
+				injectedSeen++
+			}
+			if j < threshold {
+				alerts++
+				if ev.injected {
+					alertsOnInjected++
+				}
+				flagged++
+			}
+		}
+		p.Observe(ev.e.U, ev.e.V)
+	}
+
+	auc, err := eval.AUC(scores, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("processed %d events (%d injected anomalies scored)\n", len(events), injectedSeen)
+	fmt.Printf("at-arrival anomaly AUC (score = -estimated Jaccard): %.4f\n", auc)
+	fmt.Printf("threshold alerts: %d raised, %d on injected edges (%.0f%% precision, %.0f%% recall)\n",
+		alerts, alertsOnInjected,
+		100*float64(alertsOnInjected)/float64(max(alerts, 1)),
+		100*float64(alertsOnInjected)/float64(max(injectedSeen, 1)))
+	fmt.Println("\nexpected shape: AUC well above 0.5 — organic edges in a clustered stream")
+	fmt.Println("arrive with neighborhood overlap; injected uniform edges do not.")
+}

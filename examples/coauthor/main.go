@@ -1,0 +1,71 @@
+// Coauthor: temporal collaboration prediction on a DBLP-like stream —
+// predict *future* co-authorships from the past, comparing the sketch
+// against the exact system and the reservoir-sampling baseline.
+//
+// This is the paper's end-to-end task run as an application: train on
+// the first 80% of a co-authorship stream, then ask each system to
+// separate the collaborations that really form in the final 20% from
+// random author pairs that never collaborate. Reported per system: AUC,
+// R-precision, and memory.
+//
+// Run with: go run ./examples/coauthor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linkpred/internal/baseline"
+	"linkpred/internal/core"
+	"linkpred/internal/eval"
+	"linkpred/internal/gen"
+	"linkpred/internal/stream"
+)
+
+func main() {
+	// A community-structured co-authorship stream: 10k authors, ~40k
+	// papers, 50 research communities.
+	src, err := gen.Coauthor(10_000, 40_000, 50, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	edges, err := stream.Collect(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task, err := eval.NewTemporalTask(edges, 0.8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("co-authorship stream: %d edges; training on %d, predicting %d future collaborations\n\n",
+		len(edges), len(task.Train), task.Positives())
+
+	type system struct {
+		name string
+		sys  baseline.System
+	}
+	sketch, err := core.NewSketchStore(core.Config{K: 128, Seed: 3, Degrees: core.DegreeDistinctKMV})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reservoir, err := baseline.NewReservoir(len(task.Train)/10, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	systems := []system{
+		{"exact (full graph)", baseline.NewExact()},
+		{"sketch (k=128)", sketch},
+		{"reservoir (10% edges)", reservoir},
+	}
+
+	fmt.Printf("%-22s %8s %14s %12s\n", "system", "AUC", "precision@N", "memory MiB")
+	for _, s := range systems {
+		res, err := eval.RunTemporal(task, s.sys, eval.ScoreAdamicAdar)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %8.4f %14.4f %12.2f\n",
+			s.name, res.AUC, res.PrecisionAtN, float64(res.MemoryBytes)/(1<<20))
+	}
+	fmt.Println("\nscoring measure: Adamic-Adar. Expected shape: sketch tracks exact; reservoir trails.")
+}

@@ -1,0 +1,69 @@
+// Quickstart: the smallest end-to-end use of the linkpred public API.
+//
+// It streams a synthetic social network through a Predictor and asks the
+// three link-prediction questions about a vertex pair — without ever
+// materialising the graph.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	linkpred "linkpred"
+	"linkpred/internal/gen"
+	"linkpred/internal/stream"
+)
+
+func main() {
+	// Size the sketch from an accuracy target instead of guessing:
+	// |estimated − true Jaccard| ≤ 0.08 with probability 95%.
+	k := linkpred.SketchSizeFor(0.08, 0.05)
+	fmt.Printf("sketch size for (eps=0.08, delta=0.05): k = %d registers/vertex\n\n", k)
+
+	p, err := linkpred.New(linkpred.Config{K: k, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Any edge source works; here, a preferential-attachment stream of
+	// 50k vertices. In production this loop is your event feed.
+	src, err := gen.BarabasiAlbert(50_000, 4, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := stream.ForEach(src, func(e stream.Edge) error {
+		p.Observe(e.U, e.V)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ingested %d edges over %d vertices\n", p.NumEdges(), p.NumVertices())
+	fmt.Printf("sketch memory: %.1f MiB (%.0f bytes/vertex, constant in stream length)\n\n",
+		float64(p.MemoryBytes())/(1<<20),
+		float64(p.MemoryBytes())/float64(p.NumVertices()))
+
+	// Query any pair, any time — O(k) per query.
+	u, v := uint64(10), uint64(25)
+	fmt.Printf("pair (%d, %d):\n", u, v)
+	fmt.Printf("  estimated Jaccard coefficient: %.4f\n", p.Jaccard(u, v))
+	fmt.Printf("  estimated common neighbors:    %.2f\n", p.CommonNeighbors(u, v))
+	fmt.Printf("  estimated Adamic-Adar index:   %.3f\n", p.AdamicAdar(u, v))
+
+	// Rank candidate partners for a vertex. Candidate generation is the
+	// application's choice; here, the first 1000 vertices.
+	candidates := make([]uint64, 1000)
+	for i := range candidates {
+		candidates[i] = uint64(i)
+	}
+	top, err := p.TopK(linkpred.AdamicAdar, u, candidates, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop-5 predicted links for vertex %d (Adamic-Adar):\n", u)
+	for i, c := range top {
+		fmt.Printf("  %d. vertex %-6d score %.3f\n", i+1, c.V, c.Score)
+	}
+}

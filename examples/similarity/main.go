@@ -1,0 +1,117 @@
+// Similarity: whole-graph neighborhood search with the LSH index,
+// applied to duplicate-author (alias) detection.
+//
+// Pairwise estimators answer "how similar are u and v?"; the banding
+// index answers "who is similar to u?" across all n vertices in
+// O(bands) bucket lookups. The classic use is entity resolution: the
+// same person publishing under two ids collaborates with the same
+// people, so the two ids have near-identical neighborhoods. This
+// example streams a co-authorship network with 25 planted aliases
+// (each alias receives ~70% of its twin's collaborations plus noise),
+// then finds them by neighborhood similarity alone.
+//
+// Run with: go run ./examples/similarity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	linkpred "linkpred"
+	"linkpred/internal/exact"
+	"linkpred/internal/gen"
+	"linkpred/internal/graph"
+	"linkpred/internal/rng"
+	"linkpred/internal/stream"
+)
+
+func main() {
+	p, err := linkpred.New(linkpred.Config{K: 256, Seed: 77})
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := gen.Coauthor(8_000, 35_000, 40, 404)
+	if err != nil {
+		log.Fatal(err)
+	}
+	edges, err := stream.Collect(stream.Dedup(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Plant 25 aliases: id+aliasOffset republishes ~70% of its twin's
+	// collaborations.
+	const nAliases = 25
+	const aliasOffset = 1_000_000
+	x := rng.NewXoshiro256(9)
+	aliasOf := make(map[uint64]uint64, nAliases)
+	degree := map[uint64]int{}
+	for _, e := range edges {
+		degree[e.U]++
+		degree[e.V]++
+	}
+	for len(aliasOf) < nAliases {
+		u := uint64(x.Intn(8000))
+		if degree[u] >= 15 {
+			aliasOf[u] = u + aliasOffset
+		}
+	}
+	var withAliases []stream.Edge
+	withAliases = append(withAliases, edges...)
+	for _, e := range edges {
+		if a, ok := aliasOf[e.U]; ok && x.Float64() < 0.7 {
+			withAliases = append(withAliases, stream.Edge{U: a, V: e.V})
+		}
+		if a, ok := aliasOf[e.V]; ok && x.Float64() < 0.7 {
+			withAliases = append(withAliases, stream.Edge{U: e.U, V: a})
+		}
+	}
+	g := graph.New() // exact graph for grading only
+	for _, e := range withAliases {
+		p.Observe(e.U, e.V)
+		g.AddEdge(e.U, e.V)
+	}
+
+	// 32 bands × 4 rows: S-curve threshold (1/32)^(1/4) ≈ 0.42.
+	idx, err := p.BuildSimilarityIndex(32, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d authors: %.1f MiB of sketches + %.1f MiB of LSH buckets\n\n",
+		p.NumVertices(), float64(p.MemoryBytes())/(1<<20), float64(idx.MemoryBytes())/(1<<20))
+
+	// Search each aliased author: does its twin surface as the top hit?
+	foundTop, foundAny := 0, 0
+	var totalCands int
+	var shown bool
+	for u, alias := range aliasOf {
+		sims := idx.Similar(u, 0.2, 5)
+		totalCands += len(idx.Candidates(u))
+		for rank, sv := range sims {
+			if sv.V == alias {
+				foundAny++
+				if rank == 0 {
+					foundTop++
+				}
+				if !shown {
+					shown = true
+					fmt.Printf("example: author %d (degree %d) — top profile matches:\n", u, g.Degree(u))
+					for i, s2 := range sims {
+						marker := " "
+						if s2.V == alias {
+							marker = "← planted alias"
+						}
+						fmt.Printf("  %d. author %-8d estimated J %.3f (exact %.3f) %s\n",
+							i+1, s2.V, s2.Jaccard, exact.Jaccard(g, u, s2.V), marker)
+					}
+					fmt.Println()
+				}
+				break
+			}
+		}
+	}
+	fmt.Printf("alias detection over %d planted duplicates:\n", nAliases)
+	fmt.Printf("  twin surfaced in top-5: %d/%d; ranked first: %d/%d\n",
+		foundAny, nAliases, foundTop, nAliases)
+	fmt.Printf("  mean candidates examined per query: %.1f (full scan would be %d)\n",
+		float64(totalCands)/float64(nAliases), g.NumVertices()-1)
+}

@@ -1,0 +1,3 @@
+module linkpred
+
+go 1.22

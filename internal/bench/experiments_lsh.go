@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"linkpred/internal/core"
+	"linkpred/internal/exact"
+	"linkpred/internal/gen"
+	"linkpred/internal/rng"
+)
+
+func init() {
+	register(Experiment{ID: "e19", Title: "E19: LSH similarity search recall and efficiency", Kind: "figure", Run: runE19})
+}
+
+// runE19 evaluates the LSH banding index: for several (bands, rows)
+// settings, the recall of truly similar pairs (exact Jaccard >= 0.4
+// among two-hop pairs of the coauthor stream) and the efficiency
+// (mean candidate-set size examined per query, vs the n−1 a full scan
+// would score).
+func runE19(cfg RunConfig) (*Table, error) {
+	k := 256
+	if cfg.Quick {
+		k = 128
+	}
+	edges, err := loadDataset(gen.DatasetCoauthor, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := buildExact(edges)
+	s, err := core.NewSketchStore(core.Config{K: k, Seed: cfg.Seed + 81})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		s.ProcessEdge(e)
+	}
+	// Ground truth: sample query vertices with at least one two-hop
+	// partner of exact J >= 0.4.
+	const minJ = 0.4
+	x := rng.NewXoshiro256(cfg.Seed + 82)
+	vs := g.VertexSlice()
+	type truth struct {
+		u        uint64
+		partners map[uint64]bool
+	}
+	var truths []truth
+	nQueries := 100
+	if cfg.Quick {
+		nQueries = 30
+	}
+	guard := 0
+	for len(truths) < nQueries && guard < 200*nQueries {
+		guard++
+		u := vs[x.Intn(len(vs))]
+		partners := make(map[uint64]bool)
+		for _, w := range g.TwoHopNeighbors(u) {
+			if exact.Jaccard(g, u, w) >= minJ {
+				partners[w] = true
+			}
+		}
+		// Direct neighbors can also be highly similar.
+		g.Neighbors(u, func(w uint64) bool {
+			if exact.Jaccard(g, u, w) >= minJ {
+				partners[w] = true
+			}
+			return true
+		})
+		if len(partners) == 0 {
+			continue
+		}
+		truths = append(truths, truth{u: u, partners: partners})
+	}
+	if len(truths) == 0 {
+		return nil, fmt.Errorf("bench: e19 found no vertices with J>=%.1f partners", minJ)
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("E19: LSH similarity search (coauthor stream, k=%d, target J>=%.1f)", k, minJ),
+		Columns: []string{"bands", "rows", "s_curve_threshold", "recall", "mean_candidates", "index_MiB"},
+		Notes: []string{
+			fmt.Sprintf("%d query vertices with at least one exact-J>=%.1f partner; full scan would score %d candidates each", len(truths), minJ, g.NumVertices()-1),
+			"expected shape: recall rises as the S-curve threshold (1/b)^(1/r) drops below the target J; candidate set grows accordingly but stays far below a full scan",
+		},
+	}
+	type setting struct{ bands, rows int }
+	settings := []setting{{8, 8}, {16, 4}, {32, 4}, {64, 2}}
+	if cfg.Quick {
+		settings = []setting{{16, 4}, {32, 4}}
+	}
+	for _, st := range settings {
+		if st.bands*st.rows > k {
+			continue
+		}
+		idx, err := s.BuildLSHIndex(st.bands, st.rows)
+		if err != nil {
+			return nil, err
+		}
+		var found, total, candSum int
+		for _, tr := range truths {
+			cands := idx.Candidates(tr.u)
+			candSum += len(cands)
+			inCands := make(map[uint64]bool, len(cands))
+			for _, c := range cands {
+				inCands[c] = true
+			}
+			for w := range tr.partners {
+				total++
+				if inCands[w] {
+					found++
+				}
+			}
+		}
+		threshold := sCurveThreshold(st.bands, st.rows)
+		t.AddRow(st.bands, st.rows, threshold,
+			float64(found)/float64(total),
+			float64(candSum)/float64(len(truths)),
+			float64(idx.MemoryBytes())/(1<<20))
+	}
+	return t, nil
+}
+
+// sCurveThreshold returns (1/b)^(1/r), the similarity at which the
+// banding collision probability crosses ~1/2.
+func sCurveThreshold(b, r int) float64 {
+	return math.Pow(1/float64(b), 1/float64(r))
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+
+	linkpred "linkpred"
+	"linkpred/internal/exact"
+	"linkpred/internal/gen"
+	"linkpred/internal/rng"
+)
+
+func init() {
+	register(Experiment{ID: "e15", Title: "E15: streaming recommender quality vs candidate pool size", Kind: "figure", Run: runE15})
+}
+
+// runE15 evaluates the fully streaming recommendation pipeline
+// (candidate tracker + sketch ranking, zero graph access): for a sweep
+// of per-vertex pool sizes, the recall of the exact top-5 partners
+// inside the pool and the captured-quality ratio of the final top-5
+// recommendations (their exact CN mass over the optimum's). The exact
+// graph is used only for grading.
+func runE15(cfg RunConfig) (*Table, error) {
+	edges, err := loadDataset(gen.DatasetCoauthor, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := buildExact(edges)
+	k := 256
+	queries := 60
+	if cfg.Quick {
+		k = 128
+		queries = 20
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("E15: streaming recommender (tracker + sketch k=%d, coauthor stream)", k),
+		Columns: []string{"pool_size", "top5_recall_in_pool", "captured_quality", "tracker_B_per_vertex"},
+		Notes: []string{
+			"recall: fraction of the exact top-5 CN partners present in the streamed pool",
+			"captured_quality: exact CN mass of the 5 streamed recommendations / optimal top-5 mass",
+			"expected shape: both rise with pool size and saturate; memory linear in pool size",
+		},
+	}
+	poolSizes := []int{16, 32, 64, 128}
+	if cfg.Quick {
+		poolSizes = []int{16, 64}
+	}
+	for _, pool := range poolSizes {
+		r, err := linkpred.NewRecommender(linkpred.RecommenderConfig{
+			Predictor: linkpred.Config{K: k, Seed: cfg.Seed + 31, DistinctDegrees: true},
+			PoolSize:  pool,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range edges {
+			r.Observe(e.U, e.V)
+		}
+		x := rng.NewXoshiro256(cfg.Seed + 32)
+		vs := g.VertexSlice()
+		var recallSum, qualitySum float64
+		graded := 0
+		guard := 0
+		for graded < queries && guard < 100*queries {
+			guard++
+			u := vs[x.Intn(len(vs))]
+			if len(g.TwoHopNeighbors(u)) < 15 {
+				continue
+			}
+			exactTop := exact.TopK(g, exact.MeasureCommonNeighbors, u, 5)
+			if len(exactTop) < 5 || exactTop[0].Score == 0 {
+				continue
+			}
+			poolSet := make(map[uint64]bool)
+			for _, c := range r.Candidates(u) {
+				poolSet[c] = true
+			}
+			inPool := 0
+			var optimum float64
+			for _, s := range exactTop {
+				optimum += s.Score
+				if poolSet[s.V] {
+					inPool++
+				}
+			}
+			// Serving-time filter: a deployed recommender drops partners
+			// the user is already linked to (the application owns its own
+			// adjacency; only the *predictor* is constant-space). Ask for
+			// extra recommendations, keep the first 5 non-neighbors.
+			recs, err := r.Recommend(linkpred.CommonNeighbors, u, 15)
+			if err != nil {
+				return nil, err
+			}
+			var captured float64
+			kept := 0
+			for _, rec := range recs {
+				if g.HasEdge(u, rec.V) {
+					continue
+				}
+				captured += exact.CommonNeighbors(g, u, rec.V)
+				if kept++; kept == 5 {
+					break
+				}
+			}
+			recallSum += float64(inPool) / 5
+			qualitySum += captured / optimum
+			graded++
+		}
+		if graded == 0 {
+			return nil, fmt.Errorf("bench: e15 found no gradable query vertices")
+		}
+		// Tracker-only bytes: recommender memory minus predictor memory.
+		trackerBytes := r.MemoryBytes() - r.Predictor().MemoryBytes()
+		perVertex := float64(trackerBytes) / float64(r.Predictor().NumVertices())
+		t.AddRow(pool, recallSum/float64(graded), qualitySum/float64(graded), perVertex)
+	}
+	return t, nil
+}

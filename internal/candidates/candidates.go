@@ -1,0 +1,180 @@
+// Package candidates provides bounded-memory streaming candidate
+// generation for link prediction.
+//
+// The sketches answer "how similar are u and v?" in O(K), but a
+// recommender also needs to know *which* v to ask about — classically
+// the two-hop neighborhood of u, which a constant-space streaming system
+// cannot enumerate (it has no adjacency lists). This package closes that
+// gap with constant state per vertex:
+//
+//   - each vertex keeps a small ring of its most recent neighbors;
+//   - when edge (u, v) arrives, v's recent neighbors are, by
+//     construction, endpoints of fresh two-hop paths u–v–w, so each w is
+//     counted into u's candidate pool (and symmetrically);
+//   - the pool is a Metwally space-saving summary: it tracks the
+//     approximately most frequent two-hop partners in O(poolSize) space,
+//     which is exactly the candidate set neighborhood measures rank
+//     highly (more shared neighbors ⇒ more u–·–w paths ⇒ more hits).
+//
+// Tracker state per vertex is O(recentSize + poolSize) regardless of
+// degree or stream length, matching the sketches' space model.
+package candidates
+
+import (
+	"fmt"
+	"sort"
+
+	"linkpred/internal/stream"
+)
+
+// Tracker maintains per-vertex candidate pools over a graph stream.
+// It is not safe for concurrent use.
+type Tracker struct {
+	recentSize int
+	poolSize   int
+	vertices   map[uint64]*vertexCand
+}
+
+type vertexCand struct {
+	recent []uint64 // ring buffer of most recent neighbors
+	pos    int      // next write position in recent
+	filled bool
+	pool   []poolEntry // space-saving summary, unordered
+}
+
+type poolEntry struct {
+	id   uint64
+	hits int64
+}
+
+// New returns a Tracker keeping the recentSize most recent neighbors and
+// a poolSize-entry candidate summary per vertex. It returns an error if
+// either is < 1.
+func New(recentSize, poolSize int) (*Tracker, error) {
+	if recentSize < 1 {
+		return nil, fmt.Errorf("candidates: recentSize must be >= 1, got %d", recentSize)
+	}
+	if poolSize < 1 {
+		return nil, fmt.Errorf("candidates: poolSize must be >= 1, got %d", poolSize)
+	}
+	return &Tracker{
+		recentSize: recentSize,
+		poolSize:   poolSize,
+		vertices:   make(map[uint64]*vertexCand),
+	}, nil
+}
+
+// ProcessEdge folds one stream edge into the tracker: each endpoint's
+// recent neighbors become counted candidates of the other endpoint.
+// Self-loops are ignored. Cost: O(recentSize + poolSize) per edge.
+func (t *Tracker) ProcessEdge(e stream.Edge) {
+	if e.IsSelfLoop() {
+		return
+	}
+	u := t.state(e.U)
+	v := t.state(e.V)
+	// Two-hop paths ending at the *other* endpoint's recent neighbors.
+	t.countAll(u, v, e.U)
+	t.countAll(v, u, e.V)
+	// Record the new adjacency afterwards, so an edge does not make a
+	// vertex its own candidate via itself.
+	u.remember(e.V, t.recentSize)
+	v.remember(e.U, t.recentSize)
+}
+
+// countAll counts every recent neighbor w of `via` as a candidate of
+// `self` (vertex id selfID), skipping self-candidature.
+func (t *Tracker) countAll(self, via *vertexCand, selfID uint64) {
+	n := len(via.recent)
+	for i := 0; i < n; i++ {
+		w := via.recent[i]
+		if w == selfID {
+			continue
+		}
+		self.count(w, t.poolSize)
+	}
+}
+
+func (t *Tracker) state(u uint64) *vertexCand {
+	st := t.vertices[u]
+	if st == nil {
+		st = &vertexCand{}
+		t.vertices[u] = st
+	}
+	return st
+}
+
+// remember appends w to the recent-neighbor ring.
+func (vc *vertexCand) remember(w uint64, size int) {
+	if len(vc.recent) < size {
+		vc.recent = append(vc.recent, w)
+		return
+	}
+	vc.recent[vc.pos] = w
+	vc.pos = (vc.pos + 1) % size
+	vc.filled = true
+}
+
+// count records one hit for candidate w using the space-saving rule:
+// increment if present; insert if room; otherwise overwrite the
+// minimum-hit entry with hits = min + 1.
+func (vc *vertexCand) count(w uint64, poolSize int) {
+	minIdx := -1
+	var minHits int64 = 1<<63 - 1
+	for i := range vc.pool {
+		e := &vc.pool[i]
+		if e.id == w {
+			e.hits++
+			return
+		}
+		if e.hits < minHits {
+			minHits = e.hits
+			minIdx = i
+		}
+	}
+	if len(vc.pool) < poolSize {
+		vc.pool = append(vc.pool, poolEntry{id: w, hits: 1})
+		return
+	}
+	vc.pool[minIdx] = poolEntry{id: w, hits: minHits + 1}
+}
+
+// Candidates returns u's current candidate vertices ordered by
+// descending hit count (ties toward smaller id, so output is
+// deterministic). The slice is freshly allocated.
+func (t *Tracker) Candidates(u uint64) []uint64 {
+	st := t.vertices[u]
+	if st == nil {
+		return nil
+	}
+	entries := append([]poolEntry(nil), st.pool...)
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].hits != entries[j].hits {
+			return entries[i].hits > entries[j].hits
+		}
+		return entries[i].id < entries[j].id
+	})
+	out := make([]uint64, len(entries))
+	for i, e := range entries {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Knows reports whether u has appeared in the stream.
+func (t *Tracker) Knows(u uint64) bool { return t.vertices[u] != nil }
+
+// NumVertices returns the number of tracked vertices.
+func (t *Tracker) NumVertices() int { return len(t.vertices) }
+
+// MemoryBytes returns the tracker's payload memory: per vertex, the
+// recent ring (8 bytes/slot) and the pool (16 bytes/entry) at their
+// current sizes, plus the usual rough map overhead.
+func (t *Tracker) MemoryBytes() int {
+	const vertexOverhead = 48
+	total := 0
+	for _, st := range t.vertices {
+		total += vertexOverhead + 8*cap(st.recent) + 16*cap(st.pool)
+	}
+	return total
+}

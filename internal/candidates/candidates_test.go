@@ -1,0 +1,204 @@
+package candidates
+
+import (
+	"testing"
+
+	"linkpred/internal/gen"
+	"linkpred/internal/graph"
+	"linkpred/internal/rng"
+	"linkpred/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 8); err == nil {
+		t.Error("recentSize=0 should error")
+	}
+	if _, err := New(8, 0); err == nil {
+		t.Error("poolSize=0 should error")
+	}
+	if _, err := New(4, 16); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoHopDiscovery(t *testing.T) {
+	tr, _ := New(8, 16)
+	// Path: 1-2 then 3-2. When (3,2) arrives, 2's recent = {1}, so 1
+	// becomes a candidate of 3 (and 3 of nobody yet via 1's side).
+	tr.ProcessEdge(stream.Edge{U: 1, V: 2})
+	tr.ProcessEdge(stream.Edge{U: 3, V: 2})
+	got := tr.Candidates(3)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Candidates(3) = %v, want [1]", got)
+	}
+	// Direction symmetric: when (3,2) arrived, 3 had no recent
+	// neighbors, so 1 gained nothing... but 2's perspective: 2 counts
+	// recent of 3 = empty. Candidates(1) gains 3 only after another
+	// edge through 2.
+	tr.ProcessEdge(stream.Edge{U: 1, V: 2})
+	got = tr.Candidates(1)
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("Candidates(1) = %v, want [3]", got)
+	}
+}
+
+func TestNoSelfCandidates(t *testing.T) {
+	tr, _ := New(8, 16)
+	tr.ProcessEdge(stream.Edge{U: 1, V: 2})
+	tr.ProcessEdge(stream.Edge{U: 1, V: 2}) // duplicate: 2's recent has 1
+	for _, c := range tr.Candidates(1) {
+		if c == 1 {
+			t.Fatal("vertex became its own candidate")
+		}
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	tr, _ := New(4, 8)
+	tr.ProcessEdge(stream.Edge{U: 5, V: 5})
+	if tr.Knows(5) || tr.NumVertices() != 0 {
+		t.Error("self-loop should be ignored")
+	}
+}
+
+func TestHitCountOrdering(t *testing.T) {
+	tr, _ := New(8, 16)
+	// Build a hub at 2 with spokes; vertex 1 connects to 2 repeatedly so
+	// spokes seen more often rank higher.
+	tr.ProcessEdge(stream.Edge{U: 10, V: 2})
+	tr.ProcessEdge(stream.Edge{U: 1, V: 2}) // 1 sees {10}
+	tr.ProcessEdge(stream.Edge{U: 11, V: 2})
+	tr.ProcessEdge(stream.Edge{U: 1, V: 2}) // 1 sees {10, 11}
+	tr.ProcessEdge(stream.Edge{U: 1, V: 2}) // 1 sees {10, 11} again
+	got := tr.Candidates(1)
+	if len(got) < 2 || got[0] != 10 {
+		t.Errorf("Candidates(1) = %v, want 10 first (3 hits) then 11 (2)", got)
+	}
+}
+
+func TestPoolBounded(t *testing.T) {
+	const pool = 8
+	tr, _ := New(16, pool)
+	// Vertex 1 repeatedly touches a hub with hundreds of distinct spokes.
+	for i := uint64(0); i < 300; i++ {
+		tr.ProcessEdge(stream.Edge{U: 100 + i, V: 2})
+		tr.ProcessEdge(stream.Edge{U: 1, V: 2})
+	}
+	got := tr.Candidates(1)
+	if len(got) > pool {
+		t.Errorf("pool grew to %d, cap %d", len(got), pool)
+	}
+}
+
+func TestUnknownVertex(t *testing.T) {
+	tr, _ := New(4, 8)
+	if tr.Candidates(42) != nil {
+		t.Error("unknown vertex should have nil candidates")
+	}
+	if tr.Knows(42) {
+		t.Error("unknown vertex reported known")
+	}
+}
+
+func TestMemoryBoundedPerVertex(t *testing.T) {
+	tr, _ := New(8, 32)
+	x := rng.NewXoshiro256(1)
+	// Many edges over a fixed vertex set: memory must stop growing once
+	// every vertex's ring and pool are at capacity.
+	for i := 0; i < 5000; i++ {
+		tr.ProcessEdge(stream.Edge{U: x.Uint64() % 100, V: x.Uint64() % 100})
+	}
+	m1 := tr.MemoryBytes()
+	for i := 0; i < 5000; i++ {
+		tr.ProcessEdge(stream.Edge{U: x.Uint64() % 100, V: x.Uint64() % 100})
+	}
+	if m2 := tr.MemoryBytes(); m2 > m1 {
+		t.Errorf("memory grew %d → %d despite fixed vertex set at capacity", m1, m2)
+	}
+}
+
+// TestRecallOfExactTwoHopTop measures the property the tracker exists
+// for: its pool should contain most of the exact top two-hop partners
+// (by common-neighbor count) of active vertices.
+func TestRecallOfExactTwoHopTop(t *testing.T) {
+	src, err := gen.Coauthor(800, 5000, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := stream.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := New(8, 64)
+	g := graph.New()
+	for _, e := range edges {
+		tr.ProcessEdge(e)
+		g.AddEdge(e.U, e.V)
+	}
+	x := rng.NewXoshiro256(7)
+	vs := g.VertexSlice()
+	var recallSum float64
+	samples := 0
+	for samples < 50 {
+		u := vs[x.Intn(len(vs))]
+		hops := g.TwoHopNeighbors(u)
+		if len(hops) < 10 {
+			continue
+		}
+		// Exact top-5 two-hop partners by CN.
+		type sc struct {
+			v  uint64
+			cn int
+		}
+		best := make([]sc, 0, len(hops))
+		for _, w := range hops {
+			best = append(best, sc{w, g.CommonNeighbors(u, w)})
+		}
+		for i := 0; i < len(best); i++ {
+			for j := i + 1; j < len(best); j++ {
+				if best[j].cn > best[i].cn {
+					best[i], best[j] = best[j], best[i]
+				}
+			}
+		}
+		top := best[:5]
+		pool := make(map[uint64]bool)
+		for _, c := range tr.Candidates(u) {
+			pool[c] = true
+		}
+		hits := 0
+		for _, b := range top {
+			if pool[b.v] {
+				hits++
+			}
+		}
+		recallSum += float64(hits) / float64(len(top))
+		samples++
+	}
+	if recall := recallSum / float64(samples); recall < 0.5 {
+		t.Errorf("tracker recall of exact top-5 two-hop partners = %.2f, want >= 0.5", recall)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	mk := func() *Tracker {
+		tr, _ := New(4, 16)
+		x := rng.NewXoshiro256(3)
+		for i := 0; i < 2000; i++ {
+			tr.ProcessEdge(stream.Edge{U: x.Uint64() % 50, V: x.Uint64() % 50})
+		}
+		return tr
+	}
+	a, b := mk(), mk()
+	for u := uint64(0); u < 50; u++ {
+		ca, cb := a.Candidates(u), b.Candidates(u)
+		if len(ca) != len(cb) {
+			t.Fatalf("vertex %d: candidate counts differ", u)
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("vertex %d: candidates differ at %d", u, i)
+			}
+		}
+	}
+}

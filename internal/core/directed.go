@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"linkpred/internal/hashing"
+	"linkpred/internal/stream"
+)
+
+// DirectedStore is the directed-stream variant of the sketch store:
+// each vertex keeps *two* MinHash sketches — one of its out-neighborhood
+// N_out(u) and one of its in-neighborhood N_in(u) — plus the two degree
+// counters. An arc u → v updates u's out-sketch with v and v's in-sketch
+// with u: still O(K) per arc and O(K) words per vertex (2× the
+// undirected store).
+//
+// Queries score a candidate arc u → v against the directed common
+// neighborhood {w : u → w → v} = N_out(u) ∩ N_in(v): register matches
+// between u's out-sketch and v's in-sketch estimate the Jaccard of those
+// two sets (the MinHash argument is direction-agnostic — both sketches
+// hash neighbor *identities* with the same family), and the
+// common-neighbor and Adamic–Adar estimators follow exactly as in the
+// undirected case with d(u) ↦ d_out(u), d(v) ↦ d_in(v), and midpoint
+// weight 1/ln(total degree).
+type DirectedStore struct {
+	cfg      Config
+	family   *hashing.Family
+	vertices map[uint64]*dirVertexState
+	arcs     int64
+	hashBuf  []uint64
+}
+
+type dirVertexState struct {
+	out, in       *minHashSketch
+	outArr, inArr int64
+}
+
+// NewDirectedStore returns an empty directed store. It returns an error
+// if cfg.K < 1 or cfg.EnableBiased is set (the biased sketches are an
+// undirected-mode ablation).
+func NewDirectedStore(cfg Config) (*DirectedStore, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("core: Config.K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.EnableBiased {
+		return nil, fmt.Errorf("core: directed mode does not support the vertex-biased sketches")
+	}
+	if cfg.TrackTriangles {
+		return nil, fmt.Errorf("core: directed mode does not support triangle tracking (directed triangle census needs three orientation classes; out of scope)")
+	}
+	return &DirectedStore{
+		cfg:      cfg,
+		family:   hashing.NewFamily(cfg.Hash, cfg.K, cfg.Seed),
+		vertices: make(map[uint64]*dirVertexState),
+		hashBuf:  make([]uint64, 0, cfg.K),
+	}, nil
+}
+
+// Config returns the store's configuration.
+func (s *DirectedStore) Config() Config { return s.cfg }
+
+// ProcessArc folds the directed arc u → v into the sketches. Self-loops
+// are ignored.
+func (s *DirectedStore) ProcessArc(e stream.Edge) {
+	if e.IsSelfLoop() {
+		return
+	}
+	su := s.state(e.U)
+	sv := s.state(e.V)
+	s.hashBuf = s.family.HashAll(e.V, s.hashBuf)
+	su.out.update(e.V, s.hashBuf)
+	s.hashBuf = s.family.HashAll(e.U, s.hashBuf)
+	sv.in.update(e.U, s.hashBuf)
+	su.outArr++
+	sv.inArr++
+	s.arcs++
+}
+
+// Process consumes an entire stream of arcs.
+func (s *DirectedStore) Process(src stream.Source) (int64, error) {
+	var n int64
+	err := stream.ForEach(src, func(e stream.Edge) error {
+		s.ProcessArc(e)
+		n++
+		return nil
+	})
+	return n, err
+}
+
+func (s *DirectedStore) state(u uint64) *dirVertexState {
+	st := s.vertices[u]
+	if st == nil {
+		st = &dirVertexState{
+			out: newMinHashSketch(s.cfg.K),
+			in:  newMinHashSketch(s.cfg.K),
+		}
+		s.vertices[u] = st
+	}
+	return st
+}
+
+// Knows reports whether u has appeared in the stream (either endpoint).
+func (s *DirectedStore) Knows(u uint64) bool { return s.vertices[u] != nil }
+
+// NumVertices returns the number of vertices seen.
+func (s *DirectedStore) NumVertices() int { return len(s.vertices) }
+
+// NumArcs returns the number of (non-self-loop) arcs processed, counting
+// duplicates.
+func (s *DirectedStore) NumArcs() int64 { return s.arcs }
+
+// OutDegree returns the out-degree estimate of u under the configured
+// DegreeMode.
+func (s *DirectedStore) OutDegree(u uint64) float64 {
+	st := s.vertices[u]
+	if st == nil {
+		return 0
+	}
+	return s.sideDegree(st.out, st.outArr)
+}
+
+// InDegree returns the in-degree estimate of u.
+func (s *DirectedStore) InDegree(u uint64) float64 {
+	st := s.vertices[u]
+	if st == nil {
+		return 0
+	}
+	return s.sideDegree(st.in, st.inArr)
+}
+
+func (s *DirectedStore) sideDegree(sk *minHashSketch, arrivals int64) float64 {
+	if arrivals == 0 {
+		return 0
+	}
+	if s.cfg.Degrees == DegreeArrivals {
+		return float64(arrivals)
+	}
+	return kmvDistinct(sk, arrivals)
+}
+
+// EstimateJaccard returns the MinHash estimate of
+// |N_out(u) ∩ N_in(v)| / |N_out(u) ∪ N_in(v)| for the candidate arc
+// u → v. Note the asymmetry: EstimateJaccard(u, v) scores u → v, not
+// v → u.
+func (s *DirectedStore) EstimateJaccard(u, v uint64) float64 {
+	su, sv := s.vertices[u], s.vertices[v]
+	if su == nil || sv == nil {
+		return 0
+	}
+	return float64(su.out.matches(sv.in)) / float64(s.cfg.K)
+}
+
+// EstimateCommonNeighbors returns the estimated number of directed
+// two-path midpoints |{w : u → w → v}|.
+func (s *DirectedStore) EstimateCommonNeighbors(u, v uint64) float64 {
+	su, sv := s.vertices[u], s.vertices[v]
+	if su == nil || sv == nil {
+		return 0
+	}
+	j := float64(su.out.matches(sv.in)) / float64(s.cfg.K)
+	return j / (1 + j) * (s.sideDegree(su.out, su.outArr) + s.sideDegree(sv.in, sv.inArr))
+}
+
+// EstimateAdamicAdar returns the estimated directed Adamic–Adar index
+// Σ_{w ∈ N_out(u) ∩ N_in(v)} 1/ln d(w), weighting midpoints by their
+// estimated total (in+out) degree.
+func (s *DirectedStore) EstimateAdamicAdar(u, v uint64) float64 {
+	su, sv := s.vertices[u], s.vertices[v]
+	if su == nil || sv == nil {
+		return 0
+	}
+	var matched int
+	var weightSum float64
+	for i, val := range su.out.vals {
+		if val == emptyRegister || val != sv.in.vals[i] {
+			continue
+		}
+		matched++
+		w := su.out.ids[i]
+		d := math.Max(s.OutDegree(w)+s.InDegree(w), 2)
+		weightSum += 1 / math.Log(d)
+	}
+	if matched == 0 {
+		return 0
+	}
+	j := float64(matched) / float64(s.cfg.K)
+	cn := j / (1 + j) * (s.sideDegree(su.out, su.outArr) + s.sideDegree(sv.in, sv.inArr))
+	return cn * weightSum / float64(matched)
+}
+
+// MemoryBytes returns the payload memory: two sketches and two counters
+// per vertex, plus the usual rough map overhead.
+func (s *DirectedStore) MemoryBytes() int {
+	const vertexOverhead = 56 // map entry + pointers + two counters
+	total := 0
+	for _, st := range s.vertices {
+		total += vertexOverhead + st.out.memoryBytes() + st.in.memoryBytes()
+	}
+	return total
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadSketchStore feeds arbitrary bytes to the persistence loader:
+// it must never panic, and any input it accepts must save back to an
+// equivalent store.
+func FuzzLoadSketchStore(f *testing.F) {
+	// Seed corpus: a real saved store, plus truncations and corruptions.
+	s, err := NewSketchStore(Config{K: 4, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range randomEdges(10, 40, 1) {
+		s.ProcessEdge(e)
+	}
+	var valid bytes.Buffer
+	if err := s.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:10])
+	corrupt := append([]byte(nil), valid.Bytes()...)
+	corrupt[8] ^= 0xff
+	f.Add(corrupt)
+	f.Add([]byte("LPSK"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		loaded, err := LoadSketchStore(bytes.NewReader(input))
+		if err != nil {
+			return // rejected: fine
+		}
+		// Accepted input: the store must be usable and must re-save to
+		// something loadable that answers identically.
+		var out bytes.Buffer
+		if err := loaded.Save(&out); err != nil {
+			t.Fatalf("re-save of accepted store failed: %v", err)
+		}
+		again, err := LoadSketchStore(&out)
+		if err != nil {
+			t.Fatalf("re-load of re-saved store failed: %v", err)
+		}
+		if again.NumVertices() != loaded.NumVertices() || again.NumEdges() != loaded.NumEdges() {
+			t.Fatal("save/load not idempotent on accepted input")
+		}
+		// Queries must not panic or produce invalid values.
+		for u := uint64(0); u < 5; u++ {
+			for v := uint64(0); v < 5; v++ {
+				j := loaded.EstimateJaccard(u, v)
+				if j < 0 || j > 1 {
+					t.Fatalf("loaded store yields invalid Jaccard %v", j)
+				}
+			}
+		}
+	})
+}

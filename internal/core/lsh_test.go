@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"linkpred/internal/rng"
+	"linkpred/internal/stream"
+)
+
+// plantSimilar builds a store where vertex pairs (1000+2i, 1000+2i+1)
+// share a controlled fraction of their neighborhoods, on top of random
+// background traffic.
+func plantSimilar(t *testing.T, k int, pairs int, shared, private int, seed uint64) *SketchStore {
+	t.Helper()
+	s, err := NewSketchStore(Config{K: k, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.NewXoshiro256(seed + 1)
+	nextNbr := uint64(1 << 20)
+	for i := 0; i < pairs; i++ {
+		a := uint64(1000 + 2*i)
+		b := a + 1
+		for j := 0; j < shared; j++ {
+			s.ProcessEdge(stream.Edge{U: a, V: nextNbr})
+			s.ProcessEdge(stream.Edge{U: b, V: nextNbr})
+			nextNbr++
+		}
+		for j := 0; j < private; j++ {
+			s.ProcessEdge(stream.Edge{U: a, V: nextNbr})
+			nextNbr++
+			s.ProcessEdge(stream.Edge{U: b, V: nextNbr})
+			nextNbr++
+		}
+	}
+	// Background: random sparse vertices with disjoint neighborhoods.
+	for i := 0; i < 500; i++ {
+		u := uint64(100_000) + x.Uint64()%10_000
+		s.ProcessEdge(stream.Edge{U: u, V: nextNbr})
+		nextNbr++
+	}
+	return s
+}
+
+func TestBuildLSHIndexValidation(t *testing.T) {
+	s, _ := NewSketchStore(Config{K: 16, Seed: 1})
+	if _, err := s.BuildLSHIndex(0, 4); err == nil {
+		t.Error("bands=0 should error")
+	}
+	if _, err := s.BuildLSHIndex(4, 0); err == nil {
+		t.Error("rows=0 should error")
+	}
+	if _, err := s.BuildLSHIndex(5, 4); err == nil {
+		t.Error("bands*rows > K should error")
+	}
+	idx, err := s.BuildLSHIndex(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Bands() != 4 || idx.Rows() != 4 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestLSHFindsPlantedPairs(t *testing.T) {
+	// Pairs share 30 of 40 neighbors: J = 30/50 = 0.6. With 20 bands of
+	// 3 rows the collision probability is 1−(1−0.6³)^20 ≈ 0.99, so
+	// nearly every planted pair must surface.
+	s := plantSimilar(t, 64, 40, 30, 10, 5)
+	idx, err := s.BuildLSHIndex(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for i := 0; i < 40; i++ {
+		a := uint64(1000 + 2*i)
+		sims := idx.Similar(a, 0.4, 0)
+		for _, sv := range sims {
+			if sv.V == a+1 {
+				found++
+				break
+			}
+		}
+	}
+	if found < 36 {
+		t.Errorf("LSH found %d/40 planted J=0.6 pairs, want >= 36", found)
+	}
+}
+
+func TestLSHRejectsDissimilar(t *testing.T) {
+	// Background vertices share nothing: candidate sets should be small
+	// and Similar at a high threshold near-empty for random vertices.
+	s := plantSimilar(t, 64, 10, 30, 10, 7)
+	idx, err := s.BuildLSHIndex(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 1000's only genuinely similar partner is 1001.
+	sims := idx.Similar(1000, 0.4, 0)
+	for _, sv := range sims {
+		if sv.V != 1001 {
+			t.Errorf("unexpected similar vertex %d (J=%.3f)", sv.V, sv.Jaccard)
+		}
+	}
+}
+
+func TestLSHCandidatesAndUnknown(t *testing.T) {
+	s := plantSimilar(t, 32, 5, 20, 0, 9) // identical neighborhoods: J = 1
+	idx, err := s.BuildLSHIndex(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := idx.Candidates(1000)
+	foundPartner := false
+	for _, c := range cands {
+		if c == 1001 {
+			foundPartner = true
+		}
+		if c == 1000 {
+			t.Error("vertex in its own candidate set")
+		}
+	}
+	if !foundPartner {
+		t.Error("J=1 partner missing from candidates")
+	}
+	if idx.Candidates(42_000_000) != nil {
+		t.Error("unknown vertex should have nil candidates")
+	}
+	if idx.Similar(42_000_000, 0.1, 0) != nil {
+		t.Error("unknown vertex should have no similars")
+	}
+}
+
+func TestLSHSimilarOrderingAndLimit(t *testing.T) {
+	s := plantSimilar(t, 128, 20, 25, 5, 11)
+	idx, err := s.BuildLSHIndex(32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims := idx.Similar(1000, 0.05, 0)
+	for i := 1; i < len(sims); i++ {
+		if sims[i].Jaccard > sims[i-1].Jaccard {
+			t.Fatal("Similar not sorted by descending Jaccard")
+		}
+	}
+	if len(sims) > 1 {
+		if got := idx.Similar(1000, 0.05, 1); len(got) != 1 || got[0] != sims[0] {
+			t.Error("limit truncation wrong")
+		}
+	}
+	if idx.MemoryBytes() <= 0 {
+		t.Error("memory accounting broken")
+	}
+}
+
+func TestLSHDeterministic(t *testing.T) {
+	mk := func() []SimilarVertex {
+		s := plantSimilar(t, 64, 10, 20, 10, 13)
+		idx, err := s.BuildLSHIndex(16, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx.Similar(1004, 0.1, 0)
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("not deterministic in size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}

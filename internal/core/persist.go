@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"linkpred/internal/hashing"
+)
+
+// Sketch persistence: a stream processor that maintains sketches for
+// days cannot afford to lose them on restart. Save writes the complete
+// store state — configuration, degree counters, registers, and biased
+// sketches — in a versioned binary format; LoadSketchStore restores a
+// store that answers every query identically to the saved one.
+//
+// Layout (all little-endian):
+//
+//	magic "LPSK" | version u32 | K u32 | seed u64 | hash u8 | degrees u8 |
+//	biased u8 | triangles-tracked u8 | edges i64 | triangles f64 |
+//	vertexCount i64 | vertex records…
+//
+// Each vertex record: id u64 | arrivals i64 | triangles f64 |
+// K register values u64 | K argmin ids u64 | (if biased) entry count
+// u32 + entries (id u64, rank f64).
+//
+// Vertices are written in ascending id order, so saving the same store
+// twice produces byte-identical output.
+
+const (
+	persistMagic   = "LPSK"
+	persistVersion = 1
+)
+
+// Save writes the store's complete state to w.
+func (s *SketchStore) Save(w io.Writer) error {
+	bw, buffered := w.(*bufio.Writer)
+	if !buffered {
+		bw = bufio.NewWriter(w)
+	}
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return fmt.Errorf("core: save magic: %w", err)
+	}
+	writeU32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	if err := writeU32(persistVersion); err != nil {
+		return fmt.Errorf("core: save version: %w", err)
+	}
+	if err := writeU32(uint32(s.cfg.K)); err != nil {
+		return fmt.Errorf("core: save K: %w", err)
+	}
+	if err := writeU64(s.cfg.Seed); err != nil {
+		return fmt.Errorf("core: save seed: %w", err)
+	}
+	flags := []byte{byte(s.cfg.Hash), byte(s.cfg.Degrees), 0, 0}
+	if s.cfg.EnableBiased {
+		flags[2] = 1
+	}
+	if s.cfg.TrackTriangles {
+		flags[3] = 1
+	}
+	if _, err := bw.Write(flags); err != nil {
+		return fmt.Errorf("core: save flags: %w", err)
+	}
+	if err := writeU64(uint64(s.edges)); err != nil {
+		return fmt.Errorf("core: save edge count: %w", err)
+	}
+	if err := writeU64(math.Float64bits(s.triangles)); err != nil {
+		return fmt.Errorf("core: save triangle accumulator: %w", err)
+	}
+	if err := writeU64(uint64(len(s.vertices))); err != nil {
+		return fmt.Errorf("core: save vertex count: %w", err)
+	}
+
+	ids := make([]uint64, 0, len(s.vertices))
+	for id := range s.vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := s.vertices[id]
+		if err := writeU64(id); err != nil {
+			return fmt.Errorf("core: save vertex %d: %w", id, err)
+		}
+		if err := writeU64(uint64(st.arrivals)); err != nil {
+			return fmt.Errorf("core: save vertex %d arrivals: %w", id, err)
+		}
+		if err := writeU64(math.Float64bits(st.triangles)); err != nil {
+			return fmt.Errorf("core: save vertex %d triangles: %w", id, err)
+		}
+		for _, v := range st.sketch.vals {
+			if err := writeU64(v); err != nil {
+				return fmt.Errorf("core: save vertex %d registers: %w", id, err)
+			}
+		}
+		for _, v := range st.sketch.ids {
+			if err := writeU64(v); err != nil {
+				return fmt.Errorf("core: save vertex %d argmins: %w", id, err)
+			}
+		}
+		if s.cfg.EnableBiased {
+			if err := writeU32(uint32(len(st.biased.entries))); err != nil {
+				return fmt.Errorf("core: save vertex %d biased count: %w", id, err)
+			}
+			for _, e := range st.biased.entries {
+				if err := writeU64(e.id); err != nil {
+					return fmt.Errorf("core: save vertex %d biased ids: %w", id, err)
+				}
+				if err := writeU64(math.Float64bits(e.rank)); err != nil {
+					return fmt.Errorf("core: save vertex %d biased ranks: %w", id, err)
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: save flush: %w", err)
+	}
+	return nil
+}
+
+// LoadSketchStore reads a store saved by Save. The restored store
+// answers every estimator query identically to the original and can
+// continue consuming the stream where the original left off.
+func LoadSketchStore(r io.Reader) (*SketchStore, error) {
+	// Reuse the caller's buffered reader if there is one: wrapping would
+	// read ahead past this store's bytes and corrupt any data that
+	// follows it in the same stream (the sharded format concatenates
+	// several store images).
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: load magic: %w", err)
+	}
+	if string(magic[:]) != persistMagic {
+		return nil, fmt.Errorf("core: bad sketch magic %q, want %q", magic, persistMagic)
+	}
+	readU32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	readU64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("core: load version: %w", err)
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported sketch version %d (supported: %d)", version, persistVersion)
+	}
+	k, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("core: load K: %w", err)
+	}
+	seed, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("core: load seed: %w", err)
+	}
+	var flags [4]byte
+	if _, err := io.ReadFull(br, flags[:]); err != nil {
+		return nil, fmt.Errorf("core: load flags: %w", err)
+	}
+	cfg := Config{
+		K:              int(k),
+		Seed:           seed,
+		Hash:           hashing.Kind(flags[0]),
+		Degrees:        DegreeMode(flags[1]),
+		EnableBiased:   flags[2] == 1,
+		TrackTriangles: flags[3] == 1,
+	}
+	s, err := NewSketchStore(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: load config: %w", err)
+	}
+	edges, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("core: load edge count: %w", err)
+	}
+	s.edges = int64(edges)
+	triBits, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("core: load triangle accumulator: %w", err)
+	}
+	s.triangles = math.Float64frombits(triBits)
+	vertexCount, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("core: load vertex count: %w", err)
+	}
+	for i := uint64(0); i < vertexCount; i++ {
+		id, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("core: load vertex %d id: %w", i, err)
+		}
+		arrivals, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("core: load vertex %d arrivals: %w", id, err)
+		}
+		st := s.state(id)
+		st.arrivals = int64(arrivals)
+		vertexTri, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("core: load vertex %d triangles: %w", id, err)
+		}
+		st.triangles = math.Float64frombits(vertexTri)
+		for j := range st.sketch.vals {
+			if st.sketch.vals[j], err = readU64(); err != nil {
+				return nil, fmt.Errorf("core: load vertex %d registers: %w", id, err)
+			}
+		}
+		for j := range st.sketch.ids {
+			if st.sketch.ids[j], err = readU64(); err != nil {
+				return nil, fmt.Errorf("core: load vertex %d argmins: %w", id, err)
+			}
+		}
+		if cfg.EnableBiased {
+			n, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("core: load vertex %d biased count: %w", id, err)
+			}
+			if int(n) > cfg.K {
+				return nil, fmt.Errorf("core: vertex %d biased sketch has %d entries, max %d", id, n, cfg.K)
+			}
+			st.biased.entries = st.biased.entries[:0]
+			for j := uint32(0); j < n; j++ {
+				eid, err := readU64()
+				if err != nil {
+					return nil, fmt.Errorf("core: load vertex %d biased ids: %w", id, err)
+				}
+				bits, err := readU64()
+				if err != nil {
+					return nil, fmt.Errorf("core: load vertex %d biased ranks: %w", id, err)
+				}
+				st.biased.entries = append(st.biased.entries, biasedEntry{id: eid, rank: math.Float64frombits(bits)})
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"linkpred/internal/rng"
+	"linkpred/internal/stream"
+)
+
+// Sharded is a thread-safe sketch store for concurrent ingest: vertices
+// are partitioned by hash across n shards, each an independent
+// SketchStore guarded by its own RWMutex. All shards share one hash
+// family (same Config.Seed), so registers from different shards remain
+// comparable and every estimator is well defined across shards.
+//
+// An edge updates exactly two vertex states, so ProcessEdge locks at
+// most two shards (in index order, which makes writer lock acquisition
+// deadlock-free). Queries take read locks; the weighted estimators
+// (Adamic–Adar, resource allocation) read the matched common neighbors
+// under the pair's locks, release them, and then look up each sampled
+// neighbor's degree one shard at a time — never holding more than the
+// ordered pair, so readers cannot deadlock with writers either. Under
+// concurrent ingest a weighted estimate may therefore mix register state
+// from one instant with degrees read a few microseconds later; the
+// estimators are continuous in the degrees, so the perturbation is
+// bounded by the ingest rate and irrelevant in practice.
+//
+// The vertex-biased sketches are not supported in sharded mode (their
+// insertion path reads the *other* endpoint's degree, which would
+// require cross-shard locking on the hot path); NewSharded rejects
+// Config.EnableBiased.
+type Sharded struct {
+	shards []*SketchStore
+	mus    []sync.RWMutex
+	edges  atomic.Int64
+}
+
+// NewSharded returns a Sharded store with the given number of shards.
+// It returns an error if nShards < 1, cfg is invalid, or cfg.EnableBiased
+// is set.
+func NewSharded(cfg Config, nShards int) (*Sharded, error) {
+	if nShards < 1 {
+		return nil, fmt.Errorf("core: NewSharded needs nShards >= 1, got %d", nShards)
+	}
+	if cfg.EnableBiased {
+		return nil, fmt.Errorf("core: sharded mode does not support the vertex-biased sketches")
+	}
+	if cfg.TrackTriangles {
+		return nil, fmt.Errorf("core: sharded mode does not support triangle tracking (the pre-insertion scan would need both shards' locks on every edge)")
+	}
+	s := &Sharded{
+		shards: make([]*SketchStore, nShards),
+		mus:    make([]sync.RWMutex, nShards),
+	}
+	for i := range s.shards {
+		store, err := NewSketchStore(cfg) // same seed ⇒ same hash family everywhere
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = store
+	}
+	return s, nil
+}
+
+// Config returns the per-shard configuration.
+func (s *Sharded) Config() Config { return s.shards[0].cfg }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+func (s *Sharded) shardOf(u uint64) int {
+	return int(rng.Mix64(u) % uint64(len(s.shards)))
+}
+
+// processHalfEdge folds neighbor nbr into owner's sketch on store st.
+// The caller must hold st's write lock.
+func (st *SketchStore) processHalfEdge(owner, nbr uint64) {
+	vs := st.state(owner)
+	st.hashBuf = st.family.HashAll(nbr, st.hashBuf)
+	vs.sketch.update(nbr, st.hashBuf)
+	vs.arrivals++
+}
+
+// ProcessEdge folds one edge into the sketches of both endpoints. Safe
+// for concurrent use.
+func (s *Sharded) ProcessEdge(e stream.Edge) {
+	if e.IsSelfLoop() {
+		return
+	}
+	a, b := s.shardOf(e.U), s.shardOf(e.V)
+	if a > b {
+		s.mus[b].Lock()
+		s.mus[a].Lock()
+	} else if a == b {
+		s.mus[a].Lock()
+	} else {
+		s.mus[a].Lock()
+		s.mus[b].Lock()
+	}
+	s.shards[a].processHalfEdge(e.U, e.V)
+	s.shards[b].processHalfEdge(e.V, e.U)
+	s.mus[a].Unlock()
+	if b != a {
+		s.mus[b].Unlock()
+	}
+	s.edges.Add(1)
+}
+
+// pairStates returns the vertex states and degrees of u and v, read
+// under the ordered pair of read locks. Either state may be nil.
+// matchedIDs receives the argmin ids of matching registers when collect
+// is true.
+func (s *Sharded) pairSnapshot(u, v uint64, collect bool) (matches int, du, dv float64, known bool, matchedIDs []uint64) {
+	a, b := s.shardOf(u), s.shardOf(v)
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	s.mus[lo].RLock()
+	if hi != lo {
+		s.mus[hi].RLock()
+	}
+	defer func() {
+		if hi != lo {
+			s.mus[hi].RUnlock()
+		}
+		s.mus[lo].RUnlock()
+	}()
+	su := s.shards[a].vertices[u]
+	sv := s.shards[b].vertices[v]
+	if su == nil || sv == nil {
+		return 0, 0, 0, false, nil
+	}
+	du = s.shards[a].degree(su)
+	dv = s.shards[b].degree(sv)
+	for i, val := range su.sketch.vals {
+		if val == emptyRegister || val != sv.sketch.vals[i] {
+			continue
+		}
+		matches++
+		if collect {
+			matchedIDs = append(matchedIDs, su.sketch.ids[i])
+		}
+	}
+	return matches, du, dv, true, matchedIDs
+}
+
+// EstimateJaccard estimates the Jaccard coefficient of (u, v). Safe for
+// concurrent use.
+func (s *Sharded) EstimateJaccard(u, v uint64) float64 {
+	matches, _, _, known, _ := s.pairSnapshot(u, v, false)
+	if !known {
+		return 0
+	}
+	return float64(matches) / float64(s.Config().K)
+}
+
+// EstimateCommonNeighbors estimates |N(u) ∩ N(v)|. Safe for concurrent
+// use.
+func (s *Sharded) EstimateCommonNeighbors(u, v uint64) float64 {
+	matches, du, dv, known, _ := s.pairSnapshot(u, v, false)
+	if !known {
+		return 0
+	}
+	j := float64(matches) / float64(s.Config().K)
+	return j / (1 + j) * (du + dv)
+}
+
+// EstimateAdamicAdar estimates the Adamic–Adar index with the
+// matched-register estimator. Safe for concurrent use.
+func (s *Sharded) EstimateAdamicAdar(u, v uint64) float64 {
+	return s.estimateWeighted(u, v, s.aaWeight)
+}
+
+// EstimateResourceAllocation estimates the resource-allocation index.
+// Safe for concurrent use.
+func (s *Sharded) EstimateResourceAllocation(u, v uint64) float64 {
+	return s.estimateWeighted(u, v, func(w uint64) float64 {
+		d := s.Degree(w)
+		if d < 2 {
+			d = 2
+		}
+		return 1 / d
+	})
+}
+
+func (s *Sharded) estimateWeighted(u, v uint64, weight func(uint64) float64) float64 {
+	matches, du, dv, known, ids := s.pairSnapshot(u, v, true)
+	if !known || matches == 0 {
+		return 0
+	}
+	// Degree lookups happen after the pair locks are released (one shard
+	// lock at a time inside Degree) — see the type comment for why.
+	weightSum := 0.0
+	for _, w := range ids {
+		weightSum += weight(w)
+	}
+	j := float64(matches) / float64(s.Config().K)
+	cn := j / (1 + j) * (du + dv)
+	return cn * weightSum / float64(matches)
+}
+
+// aaWeight mirrors SketchStore.aaWeight using sharded degree lookups.
+func (s *Sharded) aaWeight(w uint64) float64 {
+	d := s.Degree(w)
+	if d < 2 {
+		d = 2
+	}
+	return 1 / math.Log(d)
+}
+
+// Degree returns the degree estimate of u under the configured mode.
+// Safe for concurrent use.
+func (s *Sharded) Degree(u uint64) float64 {
+	i := s.shardOf(u)
+	s.mus[i].RLock()
+	defer s.mus[i].RUnlock()
+	return s.shards[i].Degree(u)
+}
+
+// Knows reports whether u has appeared in the stream. Safe for
+// concurrent use.
+func (s *Sharded) Knows(u uint64) bool {
+	i := s.shardOf(u)
+	s.mus[i].RLock()
+	defer s.mus[i].RUnlock()
+	return s.shards[i].Knows(u)
+}
+
+// NumVertices returns the number of distinct vertices seen. Safe for
+// concurrent use.
+func (s *Sharded) NumVertices() int {
+	total := 0
+	for i := range s.shards {
+		s.mus[i].RLock()
+		total += s.shards[i].NumVertices()
+		s.mus[i].RUnlock()
+	}
+	return total
+}
+
+// NumEdges returns the number of (non-self-loop) edges processed. Safe
+// for concurrent use.
+func (s *Sharded) NumEdges() int64 { return s.edges.Load() }
+
+// MemoryBytes returns the total payload memory across shards. Safe for
+// concurrent use.
+func (s *Sharded) MemoryBytes() int {
+	total := 0
+	for i := range s.shards {
+		s.mus[i].RLock()
+		total += s.shards[i].MemoryBytes()
+		s.mus[i].RUnlock()
+	}
+	return total
+}

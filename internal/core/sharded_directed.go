@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"linkpred/internal/rng"
+	"linkpred/internal/stream"
+)
+
+// ShardedDirected is the thread-safe directed store: the directed
+// analogue of Sharded, for parallel ingest of follow/citation streams.
+// Vertices are partitioned across shards of DirectedStore; an arc u → v
+// updates u's out-sketch and v's in-sketch, so ProcessArc locks at most
+// two shards in index order. Query locking follows the same discipline
+// as Sharded (ordered pair of read locks; weighted estimators read
+// midpoint degrees one shard at a time after releasing the pair).
+type ShardedDirected struct {
+	shards []*DirectedStore
+	mus    []sync.RWMutex
+	arcs   atomic.Int64
+}
+
+// NewShardedDirected returns a sharded directed store. It returns an
+// error under the same conditions as NewDirectedStore, or if nShards < 1.
+func NewShardedDirected(cfg Config, nShards int) (*ShardedDirected, error) {
+	if nShards < 1 {
+		return nil, fmt.Errorf("core: NewShardedDirected needs nShards >= 1, got %d", nShards)
+	}
+	s := &ShardedDirected{
+		shards: make([]*DirectedStore, nShards),
+		mus:    make([]sync.RWMutex, nShards),
+	}
+	for i := range s.shards {
+		store, err := NewDirectedStore(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = store
+	}
+	return s, nil
+}
+
+// Config returns the per-shard configuration.
+func (s *ShardedDirected) Config() Config { return s.shards[0].cfg }
+
+// NumShards returns the shard count.
+func (s *ShardedDirected) NumShards() int { return len(s.shards) }
+
+func (s *ShardedDirected) shardOf(u uint64) int {
+	return int(rng.Mix64(u) % uint64(len(s.shards)))
+}
+
+// processHalfArc folds one direction of an arc into the owner's state on
+// store st. The caller must hold st's write lock. out selects which side
+// (owner's out-sketch of nbr, or owner's in-sketch of nbr).
+func (st *DirectedStore) processHalfArc(owner, nbr uint64, out bool) {
+	vs := st.state(owner)
+	st.hashBuf = st.family.HashAll(nbr, st.hashBuf)
+	if out {
+		vs.out.update(nbr, st.hashBuf)
+		vs.outArr++
+	} else {
+		vs.in.update(nbr, st.hashBuf)
+		vs.inArr++
+	}
+}
+
+// ProcessArc folds the arc u → v into the sketches. Safe for concurrent
+// use.
+func (s *ShardedDirected) ProcessArc(e stream.Edge) {
+	if e.IsSelfLoop() {
+		return
+	}
+	a, b := s.shardOf(e.U), s.shardOf(e.V)
+	if a > b {
+		s.mus[b].Lock()
+		s.mus[a].Lock()
+	} else if a == b {
+		s.mus[a].Lock()
+	} else {
+		s.mus[a].Lock()
+		s.mus[b].Lock()
+	}
+	s.shards[a].processHalfArc(e.U, e.V, true)
+	s.shards[b].processHalfArc(e.V, e.U, false)
+	s.mus[a].Unlock()
+	if b != a {
+		s.mus[b].Unlock()
+	}
+	s.arcs.Add(1)
+}
+
+// pairSnapshot reads the arc-query state for u → v under the ordered
+// pair of read locks: register matches between u's out-sketch and v's
+// in-sketch, the two side degrees, and (if collect) the matched argmin
+// ids.
+func (s *ShardedDirected) pairSnapshot(u, v uint64, collect bool) (matches int, dOut, dIn float64, known bool, matchedIDs []uint64) {
+	a, b := s.shardOf(u), s.shardOf(v)
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	s.mus[lo].RLock()
+	if hi != lo {
+		s.mus[hi].RLock()
+	}
+	defer func() {
+		if hi != lo {
+			s.mus[hi].RUnlock()
+		}
+		s.mus[lo].RUnlock()
+	}()
+	su := s.shards[a].vertices[u]
+	sv := s.shards[b].vertices[v]
+	if su == nil || sv == nil {
+		return 0, 0, 0, false, nil
+	}
+	dOut = s.shards[a].sideDegree(su.out, su.outArr)
+	dIn = s.shards[b].sideDegree(sv.in, sv.inArr)
+	for i, val := range su.out.vals {
+		if val == emptyRegister || val != sv.in.vals[i] {
+			continue
+		}
+		matches++
+		if collect {
+			matchedIDs = append(matchedIDs, su.out.ids[i])
+		}
+	}
+	return matches, dOut, dIn, true, matchedIDs
+}
+
+// EstimateJaccard estimates the directed Jaccard of the candidate arc
+// u → v. Safe for concurrent use.
+func (s *ShardedDirected) EstimateJaccard(u, v uint64) float64 {
+	matches, _, _, known, _ := s.pairSnapshot(u, v, false)
+	if !known {
+		return 0
+	}
+	return float64(matches) / float64(s.Config().K)
+}
+
+// EstimateCommonNeighbors estimates |{w : u → w → v}|. Safe for
+// concurrent use.
+func (s *ShardedDirected) EstimateCommonNeighbors(u, v uint64) float64 {
+	matches, dOut, dIn, known, _ := s.pairSnapshot(u, v, false)
+	if !known {
+		return 0
+	}
+	j := float64(matches) / float64(s.Config().K)
+	return j / (1 + j) * (dOut + dIn)
+}
+
+// EstimateAdamicAdar estimates the directed Adamic–Adar index of u → v.
+// Safe for concurrent use; midpoint degrees are read one shard at a time
+// after the pair locks are released (see Sharded for the discipline).
+func (s *ShardedDirected) EstimateAdamicAdar(u, v uint64) float64 {
+	matches, dOut, dIn, known, ids := s.pairSnapshot(u, v, true)
+	if !known || matches == 0 {
+		return 0
+	}
+	weightSum := 0.0
+	for _, w := range ids {
+		d := s.OutDegree(w) + s.InDegree(w)
+		if d < 2 {
+			d = 2
+		}
+		weightSum += 1 / math.Log(d)
+	}
+	j := float64(matches) / float64(s.Config().K)
+	cn := j / (1 + j) * (dOut + dIn)
+	return cn * weightSum / float64(matches)
+}
+
+// OutDegree returns the out-degree estimate of u. Safe for concurrent
+// use.
+func (s *ShardedDirected) OutDegree(u uint64) float64 {
+	i := s.shardOf(u)
+	s.mus[i].RLock()
+	defer s.mus[i].RUnlock()
+	return s.shards[i].OutDegree(u)
+}
+
+// InDegree returns the in-degree estimate of u. Safe for concurrent use.
+func (s *ShardedDirected) InDegree(u uint64) float64 {
+	i := s.shardOf(u)
+	s.mus[i].RLock()
+	defer s.mus[i].RUnlock()
+	return s.shards[i].InDegree(u)
+}
+
+// Knows reports whether u has appeared in the stream. Safe for
+// concurrent use.
+func (s *ShardedDirected) Knows(u uint64) bool {
+	i := s.shardOf(u)
+	s.mus[i].RLock()
+	defer s.mus[i].RUnlock()
+	return s.shards[i].Knows(u)
+}
+
+// NumVertices returns the number of distinct vertices seen. Safe for
+// concurrent use.
+func (s *ShardedDirected) NumVertices() int {
+	total := 0
+	for i := range s.shards {
+		s.mus[i].RLock()
+		total += s.shards[i].NumVertices()
+		s.mus[i].RUnlock()
+	}
+	return total
+}
+
+// NumArcs returns the number of (non-self-loop) arcs processed. Safe for
+// concurrent use.
+func (s *ShardedDirected) NumArcs() int64 { return s.arcs.Load() }
+
+// MemoryBytes returns the total payload memory across shards. Safe for
+// concurrent use.
+func (s *ShardedDirected) MemoryBytes() int {
+	total := 0
+	for i := range s.shards {
+		s.mus[i].RLock()
+		total += s.shards[i].MemoryBytes()
+		s.mus[i].RUnlock()
+	}
+	return total
+}

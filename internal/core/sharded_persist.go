@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Sharded persistence: the sharded store serialises as a header plus the
+// per-shard SketchStore images (reusing the single-store format, §persist.go).
+// Save takes every shard's read lock in index order, so it produces a
+// consistent snapshot even while writers are queued (writers block for
+// the duration — checkpoint during a quiet period or accept the pause).
+
+const (
+	shardedMagic   = "LPSH"
+	shardedVersion = 1
+)
+
+// Save writes the sharded store's complete state to w.
+func (s *Sharded) Save(w io.Writer) error {
+	for i := range s.mus {
+		s.mus[i].RLock()
+		defer s.mus[i].RUnlock()
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(shardedMagic); err != nil {
+		return fmt.Errorf("core: save sharded magic: %w", err)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], shardedVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(s.shards)))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(s.edges.Load()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: save sharded header: %w", err)
+	}
+	for i, shard := range s.shards {
+		if err := shard.Save(bw); err != nil {
+			return fmt.Errorf("core: save shard %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: save sharded flush: %w", err)
+	}
+	return nil
+}
+
+// LoadSharded restores a store saved by (*Sharded).Save. The restored
+// store answers every query identically and accepts further ingest.
+func LoadSharded(r io.Reader) (*Sharded, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: load sharded magic: %v", err)
+	}
+	if string(magic[:]) != shardedMagic {
+		return nil, fmt.Errorf("core: bad sharded magic %q, want %q", magic, shardedMagic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: load sharded header: %v", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != shardedVersion {
+		return nil, fmt.Errorf("core: unsupported sharded version %d", v)
+	}
+	nShards := binary.LittleEndian.Uint32(hdr[4:8])
+	if nShards == 0 || nShards > 1<<16 {
+		return nil, fmt.Errorf("core: implausible shard count %d", nShards)
+	}
+	edges := binary.LittleEndian.Uint64(hdr[8:16])
+	shards := make([]*SketchStore, nShards)
+	for i := range shards {
+		store, err := LoadSketchStore(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: load shard %d: %w", i, err)
+		}
+		if i > 0 && store.cfg != shards[0].cfg {
+			return nil, fmt.Errorf("core: shard %d config %+v differs from shard 0", i, store.cfg)
+		}
+		shards[i] = store
+	}
+	s := &Sharded{shards: shards, mus: make([]sync.RWMutex, nShards)}
+	s.edges.Store(int64(edges))
+	return s, nil
+}

@@ -1,0 +1,75 @@
+// Package core implements the paper's contribution: constant-space
+// per-vertex graph sketches and constant-time-per-edge estimators for the
+// streaming link-prediction measures (Jaccard coefficient, common
+// neighbors, Adamic–Adar).
+//
+// The design follows DESIGN.md §2. Each vertex carries:
+//
+//   - a k-register MinHash sketch of its neighbor set, where register i
+//     stores both the minimum hash value under hash function h_i and the
+//     neighbor id that achieved it (the "argmin");
+//   - a degree counter (exact arrival count, or a KMV distinct-count
+//     estimate derived for free from the registers);
+//   - optionally, a vertex-biased bottom-k sketch used by the alternative
+//     Adamic–Adar estimator (see biased.go).
+//
+// Processing an edge touches O(k) state per endpoint — constant time per
+// edge for fixed k — and per-vertex state is O(k) words — constant space
+// per vertex. Estimator definitions and their guarantees live in
+// estimators.go and theory.go.
+package core
+
+import "math"
+
+// emptyRegister marks a register that has never been updated. A real hash
+// value can collide with it only with probability 2^-64 per evaluation;
+// the estimators additionally treat vertices with zero degree as unknown,
+// so the sentinel is never load-bearing for correctness.
+const emptyRegister = math.MaxUint64
+
+// minHashSketch is the k-register MinHash sketch of one vertex's neighbor
+// set. vals[i] is min_{w ∈ N(u)} h_i(w); ids[i] is the argmin neighbor.
+type minHashSketch struct {
+	vals []uint64
+	ids  []uint64
+}
+
+func newMinHashSketch(k int) *minHashSketch {
+	s := &minHashSketch{
+		vals: make([]uint64, k),
+		ids:  make([]uint64, k),
+	}
+	for i := range s.vals {
+		s.vals[i] = emptyRegister
+	}
+	return s
+}
+
+// update folds neighbor w, whose k hash values are hashes, into the
+// sketch. Min is idempotent, so duplicate edges are harmless.
+func (s *minHashSketch) update(w uint64, hashes []uint64) {
+	for i, h := range hashes {
+		if h < s.vals[i] {
+			s.vals[i] = h
+			s.ids[i] = w
+		}
+	}
+}
+
+// matches returns the number of registers on which the two sketches
+// agree, which estimates k·J for sketches of two neighbor sets.
+func (s *minHashSketch) matches(o *minHashSketch) int {
+	n := 0
+	for i, v := range s.vals {
+		if v != emptyRegister && v == o.vals[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// memoryBytes returns the exact payload size of the sketch (register
+// values and argmin ids), excluding Go slice headers.
+func (s *minHashSketch) memoryBytes() int {
+	return 16 * len(s.vals)
+}

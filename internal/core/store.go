@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"linkpred/internal/hashing"
+	"linkpred/internal/stream"
+)
+
+// DegreeMode selects how per-vertex degrees — needed by the
+// common-neighbor and Adamic–Adar estimators — are maintained.
+type DegreeMode int
+
+const (
+	// DegreeArrivals counts edge arrivals per vertex. It is exact when
+	// every distinct edge appears once in the stream (the model of the
+	// paper's analysis) and overcounts under duplicate arrivals.
+	DegreeArrivals DegreeMode = iota
+	// DegreeDistinctKMV estimates the number of *distinct* neighbors from
+	// the MinHash registers themselves (a k-minimum-values distinct
+	// counter, costing no extra space). It is robust to duplicate edges
+	// at the price of ~1/√k relative noise in the degree terms.
+	DegreeDistinctKMV
+)
+
+// String returns the mode's name.
+func (m DegreeMode) String() string {
+	switch m {
+	case DegreeArrivals:
+		return "arrivals"
+	case DegreeDistinctKMV:
+		return "kmv"
+	default:
+		return fmt.Sprintf("DegreeMode(%d)", int(m))
+	}
+}
+
+// Config parameterises a sketch store.
+type Config struct {
+	// K is the number of MinHash registers per vertex. Larger K means
+	// lower estimator variance (error ∝ 1/√K) and proportionally more
+	// space and per-edge time. See theory.SketchSizeFor to derive K from
+	// a target (ε, δ). Required: K >= 1.
+	K int
+	// Seed determines the hash family. Two stores with equal Seed, K and
+	// Hash build identical sketches for identical streams.
+	Seed uint64
+	// Hash selects the hash-family construction. The default, mixed
+	// hashing, is the fast path; tabulation trades speed for formal
+	// 3-independence.
+	Hash hashing.Kind
+	// Degrees selects degree maintenance; see DegreeMode.
+	Degrees DegreeMode
+	// EnableBiased additionally maintains the vertex-biased bottom-K
+	// sketches used by the alternative Adamic–Adar estimator
+	// (EstimateAdamicAdarBiased). It roughly doubles per-vertex space.
+	EnableBiased bool
+	// TrackTriangles accumulates a streaming estimate of the global
+	// triangle count (see triangles.go) at one extra O(K) register
+	// comparison per edge.
+	TrackTriangles bool
+}
+
+// vertexState is the constant-size per-vertex state.
+type vertexState struct {
+	sketch   *minHashSketch
+	arrivals int64
+	biased   *biasedSketch // nil unless Config.EnableBiased
+	// triangles accumulates this vertex's share of closed triangles when
+	// Config.TrackTriangles is set (see triangles.go).
+	triangles float64
+}
+
+// SketchStore holds the per-vertex sketches for a graph stream and
+// implements the paper's constant-time-per-edge maintenance.
+//
+// A SketchStore is not safe for concurrent mutation; wrap it or shard the
+// stream if concurrent ingest is needed (estimator methods are read-only
+// and may run concurrently with each other, but not with ProcessEdge).
+type SketchStore struct {
+	cfg      Config
+	family   *hashing.Family
+	biasHash hashing.Mixed // global rank hash for biased sketches
+	vertices map[uint64]*vertexState
+	edges    int64
+	// triangles accumulates the streaming triangle estimate when
+	// Config.TrackTriangles is set (see triangles.go).
+	triangles float64
+
+	// hashBuf is reused across ProcessEdge calls to keep the per-edge
+	// path allocation-free after vertex states exist.
+	hashBuf []uint64
+}
+
+// NewSketchStore returns an empty store with the given configuration.
+// It returns an error if cfg.K < 1.
+func NewSketchStore(cfg Config) (*SketchStore, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("core: Config.K must be >= 1, got %d", cfg.K)
+	}
+	return &SketchStore{
+		cfg:      cfg,
+		family:   hashing.NewFamily(cfg.Hash, cfg.K, cfg.Seed),
+		biasHash: hashing.NewMixed(cfg.Seed ^ 0xb1a5ed5eedf00d42),
+		vertices: make(map[uint64]*vertexState),
+		hashBuf:  make([]uint64, 0, cfg.K),
+	}, nil
+}
+
+// Config returns the store's configuration.
+func (s *SketchStore) Config() Config { return s.cfg }
+
+// ProcessEdge folds one stream edge into the sketches of both endpoints.
+// Self-loops are ignored. Cost: O(K) hash evaluations and register
+// updates per endpoint.
+func (s *SketchStore) ProcessEdge(e stream.Edge) {
+	if e.IsSelfLoop() {
+		return
+	}
+	su := s.state(e.U)
+	sv := s.state(e.V)
+
+	if s.cfg.TrackTriangles {
+		// Count triangles this edge closes, before its own insertion.
+		s.addTriangles(su, sv)
+	}
+
+	s.hashBuf = s.family.HashAll(e.V, s.hashBuf)
+	su.sketch.update(e.V, s.hashBuf)
+	s.hashBuf = s.family.HashAll(e.U, s.hashBuf)
+	sv.sketch.update(e.U, s.hashBuf)
+
+	su.arrivals++
+	sv.arrivals++
+	s.edges++
+
+	if s.cfg.EnableBiased {
+		// Insert each endpoint into the other's biased sketch using the
+		// degree known *after* this arrival (see biased.go for why).
+		su.biased.insert(e.V, s.rank(e.V))
+		sv.biased.insert(e.U, s.rank(e.U))
+	}
+}
+
+// Process consumes an entire stream, returning the number of edges
+// processed and the first source error, if any.
+func (s *SketchStore) Process(src stream.Source) (int64, error) {
+	var n int64
+	err := stream.ForEach(src, func(e stream.Edge) error {
+		s.ProcessEdge(e)
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// state returns (creating if needed) the per-vertex state of u.
+func (s *SketchStore) state(u uint64) *vertexState {
+	st := s.vertices[u]
+	if st == nil {
+		st = &vertexState{sketch: newMinHashSketch(s.cfg.K)}
+		if s.cfg.EnableBiased {
+			st.biased = newBiasedSketch(s.cfg.K)
+		}
+		s.vertices[u] = st
+	}
+	return st
+}
+
+// Knows reports whether u has appeared in the stream.
+func (s *SketchStore) Knows(u uint64) bool { return s.vertices[u] != nil }
+
+// NumVertices returns the number of vertices seen so far.
+func (s *SketchStore) NumVertices() int { return len(s.vertices) }
+
+// NumEdges returns the number of (non-self-loop) edges processed,
+// counting duplicates.
+func (s *SketchStore) NumEdges() int64 { return s.edges }
+
+// Degree returns the store's estimate of u's degree under the configured
+// DegreeMode, or 0 if u is unknown. Under DegreeArrivals it is the exact
+// arrival count; under DegreeDistinctKMV it is the KMV distinct-neighbor
+// estimate.
+func (s *SketchStore) Degree(u uint64) float64 {
+	st := s.vertices[u]
+	if st == nil {
+		return 0
+	}
+	return s.degree(st)
+}
+
+func (s *SketchStore) degree(st *vertexState) float64 {
+	if s.cfg.Degrees == DegreeArrivals {
+		return float64(st.arrivals)
+	}
+	return kmvDistinct(st.sketch, st.arrivals)
+}
+
+// kmvDistinct estimates the number of distinct items folded into the
+// sketch. Each register holds the minimum of n i.i.d. uniforms (one per
+// distinct neighbor, via hashing.Float01); −ln(1−min) is then Exp(n)
+// distributed, so the sum over k registers is Gamma(k, n) and
+// (k−1)/sum is the standard unbiased estimate of n. For k == 1 the MLE
+// 1/sum is used. The estimate is clamped to [1, arrivals]: a vertex in
+// the store has at least one neighbor, and cannot have more distinct
+// neighbors than arrivals.
+func kmvDistinct(sk *minHashSketch, arrivals int64) float64 {
+	k := len(sk.vals)
+	sum := 0.0
+	for _, v := range sk.vals {
+		if v == emptyRegister {
+			return 0
+		}
+		r := hashing.Float01(v)
+		if r >= 1 { // guard the top of the range so Log1p stays finite
+			r = 1 - 1.0/(1<<53)
+		}
+		sum += -math.Log1p(-r)
+	}
+	if sum <= 0 {
+		return float64(arrivals)
+	}
+	var est float64
+	if k == 1 {
+		est = 1 / sum
+	} else {
+		est = float64(k-1) / sum
+	}
+	return math.Max(1, math.Min(est, float64(arrivals)))
+}
+
+// MemoryBytes returns the payload memory of the store: register values,
+// argmin ids, degree counters and (if enabled) biased sketches, plus the
+// standard rough per-entry map overhead used throughout this repository
+// for footprint comparisons (see graph.MemoryBytes).
+func (s *SketchStore) MemoryBytes() int {
+	const vertexOverhead = 48 // map entry + pointers + counter
+	total := 0
+	for _, st := range s.vertices {
+		total += vertexOverhead + st.sketch.memoryBytes()
+		if st.biased != nil {
+			total += st.biased.memoryBytes()
+		}
+	}
+	return total
+}
+
+// rank returns the vertex-biased rank of w used by the biased sketches:
+// an Exp(weight(w)) variate derived deterministically from a global hash
+// of w, where weight(w) = 1/ln(max(d(w), 2)) is the Adamic–Adar weight
+// under the store's *current* degree estimate for w. Lower rank ⇒ more
+// likely sampled, so low-degree (high-weight) vertices are biased in.
+func (s *SketchStore) rank(w uint64) float64 {
+	u01 := hashing.Float01(s.biasHash.Hash(w))
+	return -math.Log(u01) / s.aaWeight(w)
+}
+
+// aaWeight returns the Adamic–Adar weight 1/ln d(w) under the store's
+// current degree estimate, clamping the degree at 2 so the weight is
+// always finite (a true common neighbor always has degree >= 2; the
+// clamp only engages for degree-1 vertices, which can never contribute
+// to a well-formed query).
+func (s *SketchStore) aaWeight(w uint64) float64 {
+	d := math.Max(s.Degree(w), 2)
+	return 1 / math.Log(d)
+}

@@ -1,0 +1,78 @@
+package core
+
+import "math"
+
+// Theoretical accuracy guarantees for the sketch estimators, in the form
+// the paper's abstract promises ("sketch based algorithms … with
+// theoretical accuracy guarantee"). The statements below are standard
+// MinHash concentration results; the E2 experiment verifies empirically
+// that the measured error tracks these bounds.
+
+// SketchSizeFor returns the smallest register count K such that the
+// Jaccard estimator is within ε of the truth with probability at least
+// 1−δ, for every query pair:
+//
+//	P(|Ĵ − J| ≥ ε) ≤ 2·exp(−2Kε²) ≤ δ   ⇐   K ≥ ln(2/δ) / (2ε²)
+//
+// (Hoeffding's inequality over the K independent register-match
+// indicators, each a Bernoulli(J) variable.)
+//
+// It panics if eps or delta are outside (0, 1) — programmer error, not
+// data error.
+func SketchSizeFor(eps, delta float64) int {
+	if !(eps > 0 && eps < 1) || !(delta > 0 && delta < 1) {
+		panic("core: SketchSizeFor requires eps, delta in (0, 1)")
+	}
+	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+}
+
+// JaccardErrorBound returns the ε for which a K-register sketch satisfies
+// P(|Ĵ − J| ≥ ε) ≤ δ — the inverse of SketchSizeFor:
+//
+//	ε = sqrt( ln(2/δ) / (2K) )
+//
+// It panics if k < 1 or delta is outside (0, 1).
+func JaccardErrorBound(k int, delta float64) float64 {
+	if k < 1 || !(delta > 0 && delta < 1) {
+		panic("core: JaccardErrorBound requires k >= 1 and delta in (0, 1)")
+	}
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(k)))
+}
+
+// CommonNeighborErrorBound returns the additive error guarantee for the
+// common-neighbor estimator that follows from the Jaccard bound. With
+// D = d(u) + d(v) (exact degrees) and f(x) = x/(1+x)·D,
+// |f'(x)| = D/(1+x)² ≤ D, so
+//
+//	|ĈN − CN| ≤ D · ε   whenever   |Ĵ − J| ≤ ε.
+//
+// The bound is the worst case over J; it is loose for large J (where
+// f' = D/(1+J)² is smaller) but tight near J = 0, which is the common
+// regime in sparse graphs.
+func CommonNeighborErrorBound(k int, delta float64, degreeSum float64) float64 {
+	return degreeSum * JaccardErrorBound(k, delta)
+}
+
+// AdamicAdarErrorBound returns the additive error guarantee for the
+// matched-register Adamic–Adar estimator under exact degrees. Writing
+// ÂA = ĈN · μ̂ where μ̂ is the sampled mean weight and every Adamic–Adar
+// weight lies in (0, 1/ln 2], the triangle inequality gives
+//
+//	|ÂA − AA| ≤ |ĈN − CN|·μmax + CN·|μ̂ − μ|
+//	          ≤ D·ε/ln 2 + CN·εμ,
+//
+// where εμ = sqrt(ln(2/δ)/(2·Kmatch)) is the Hoeffding bound on the mean
+// of the Kmatch sampled weights (weights are bounded in (0, 1/ln 2]).
+// The function evaluates the bound with Kmatch = K·J as the expected
+// number of matching registers; callers pass the known or estimated J
+// and CN for the query of interest.
+func AdamicAdarErrorBound(k int, delta float64, degreeSum, j, cn float64) float64 {
+	eps := JaccardErrorBound(k, delta)
+	term1 := degreeSum * eps / math.Ln2
+	kMatch := float64(k) * j
+	if kMatch < 1 {
+		kMatch = 1
+	}
+	epsMu := math.Sqrt(math.Log(2/delta)/(2*kMatch)) / math.Ln2
+	return term1 + cn*epsMu
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"linkpred/internal/gen"
+	"linkpred/internal/graph"
+	"linkpred/internal/stats"
+	"linkpred/internal/stream"
+)
+
+func TestTrianglesExactOnSmallFixture(t *testing.T) {
+	// A 4-clique has 4 triangles. With K large, estimates are near exact.
+	s, _ := NewSketchStore(Config{K: 512, Seed: 701, TrackTriangles: true})
+	vertices := []uint64{1, 2, 3, 4}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			s.ProcessEdge(stream.Edge{U: vertices[i], V: vertices[j]})
+		}
+	}
+	if got := s.EstimateTriangles(); math.Abs(got-4) > 0.5 {
+		t.Errorf("4-clique triangles = %v, want ≈4", got)
+	}
+}
+
+func TestTrianglesZeroOnForest(t *testing.T) {
+	// A star has no triangles; the estimate must be (nearly) zero — the
+	// CN estimate of an arriving spoke against the center is 0 matches.
+	s, _ := NewSketchStore(Config{K: 64, Seed: 703, TrackTriangles: true})
+	for w := uint64(1); w <= 50; w++ {
+		s.ProcessEdge(stream.Edge{U: 0, V: w})
+	}
+	if got := s.EstimateTriangles(); got != 0 {
+		t.Errorf("star triangles = %v, want 0", got)
+	}
+}
+
+func TestTrianglesOffByDefault(t *testing.T) {
+	s, _ := NewSketchStore(Config{K: 64, Seed: 707})
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			s.ProcessEdge(stream.Edge{U: uint64(i), V: uint64(j)})
+		}
+	}
+	if got := s.EstimateTriangles(); got != 0 {
+		t.Errorf("untracked triangles = %v, want 0", got)
+	}
+}
+
+func TestTrianglesAccuracyOnClusteredStream(t *testing.T) {
+	src, err := gen.Coauthor(1000, 5000, 10, 709)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := stream.Collect(stream.Dedup(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	s, _ := NewSketchStore(Config{K: 256, Seed: 719, TrackTriangles: true})
+	for _, e := range edges {
+		g.AddEdge(e.U, e.V)
+		s.ProcessEdge(e)
+	}
+	truth := float64(g.Triangles())
+	got := s.EstimateTriangles()
+	if truth < 100 {
+		t.Fatalf("fixture too sparse: only %v triangles", truth)
+	}
+	if math.Abs(got-truth)/truth > 0.15 {
+		t.Errorf("triangle estimate = %.0f, truth %.0f (>15%% off at k=256)", got, truth)
+	}
+}
+
+func TestTrianglesGrowWithK(t *testing.T) {
+	// Error should shrink with k on the same stream.
+	src, _ := gen.Coauthor(600, 3000, 6, 727)
+	edges, err := stream.Collect(stream.Dedup(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	for _, e := range edges {
+		g.AddEdge(e.U, e.V)
+	}
+	truth := float64(g.Triangles())
+	errAt := func(k int) float64 {
+		s, _ := NewSketchStore(Config{K: k, Seed: 733, TrackTriangles: true})
+		for _, e := range edges {
+			s.ProcessEdge(e)
+		}
+		return math.Abs(s.EstimateTriangles()-truth) / truth
+	}
+	e16, e256 := errAt(16), errAt(256)
+	if e256 > e16 && e256 > 0.10 {
+		t.Errorf("triangle error did not improve with k: k=16 %.3f, k=256 %.3f", e16, e256)
+	}
+}
+
+func TestGraphTrianglesExact(t *testing.T) {
+	g := graph.New()
+	// Two triangles sharing an edge: {1,2,3} and {1,2,4}.
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 4)
+	g.AddEdge(1, 4)
+	if got := g.Triangles(); got != 2 {
+		t.Errorf("Triangles = %d, want 2", got)
+	}
+	empty := graph.New()
+	if empty.Triangles() != 0 {
+		t.Error("empty graph should have 0 triangles")
+	}
+}
+
+func TestVertexTrianglesOnClique(t *testing.T) {
+	// In a 4-clique, every vertex is in exactly 3 triangles and every
+	// local clustering coefficient is 1.
+	s, _ := NewSketchStore(Config{K: 512, Seed: 739, TrackTriangles: true})
+	for i := uint64(1); i <= 4; i++ {
+		for j := i + 1; j <= 4; j++ {
+			s.ProcessEdge(stream.Edge{U: i, V: j})
+		}
+	}
+	for u := uint64(1); u <= 4; u++ {
+		if got := s.EstimateVertexTriangles(u); math.Abs(got-3) > 0.6 {
+			t.Errorf("vertex %d triangles = %v, want ≈3", u, got)
+		}
+		if got := s.EstimateLocalClustering(u); math.Abs(got-1) > 0.2 {
+			t.Errorf("vertex %d clustering = %v, want ≈1", u, got)
+		}
+	}
+	// Sum of per-vertex triangle counts ≈ 3 × global count.
+	var sum float64
+	for u := uint64(1); u <= 4; u++ {
+		sum += s.EstimateVertexTriangles(u)
+	}
+	if global := s.EstimateTriangles(); math.Abs(sum-3*global) > 0.5 {
+		t.Errorf("per-vertex sum %v vs 3×global %v", sum, 3*global)
+	}
+}
+
+func TestLocalClusteringDegenerate(t *testing.T) {
+	s, _ := NewSketchStore(Config{K: 64, Seed: 743, TrackTriangles: true})
+	s.ProcessEdge(stream.Edge{U: 1, V: 2})
+	if s.EstimateLocalClustering(1) != 0 {
+		t.Error("degree-1 clustering should be 0")
+	}
+	if s.EstimateLocalClustering(99) != 0 {
+		t.Error("unknown vertex clustering should be 0")
+	}
+	if s.EstimateVertexTriangles(99) != 0 {
+		t.Error("unknown vertex triangles should be 0")
+	}
+}
+
+func TestLocalClusteringCorrelatesWithExact(t *testing.T) {
+	src, _ := gen.Coauthor(800, 4000, 8, 751)
+	edges, err := stream.Collect(stream.Dedup(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	s, _ := NewSketchStore(Config{K: 256, Seed: 757, TrackTriangles: true})
+	for _, e := range edges {
+		g.AddEdge(e.U, e.V)
+		s.ProcessEdge(e)
+	}
+	var est, truth []float64
+	g.Vertices(func(u uint64) bool {
+		if g.Degree(u) >= 5 {
+			est = append(est, s.EstimateLocalClustering(u))
+			truth = append(truth, g.Clustering(u))
+		}
+		return true
+	})
+	if len(est) < 50 {
+		t.Fatalf("only %d vertices with degree >= 5", len(est))
+	}
+	if r := stats.Pearson(est, truth); r < 0.6 {
+		t.Errorf("local clustering correlation with exact = %.3f, want >= 0.6", r)
+	}
+}
+
+func TestTrackTrianglesRejectedInOtherModes(t *testing.T) {
+	cfg := Config{K: 8, Seed: 1, TrackTriangles: true}
+	if _, err := NewSharded(cfg, 2); err == nil {
+		t.Error("sharded mode should reject TrackTriangles")
+	}
+	if _, err := NewDirectedStore(cfg); err == nil {
+		t.Error("directed mode should reject TrackTriangles")
+	}
+	if _, err := NewWindowed(cfg, 100, 4); err == nil {
+		t.Error("windowed mode should reject TrackTriangles")
+	}
+}

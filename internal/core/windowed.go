@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"linkpred/internal/stream"
+)
+
+// Windowed is the sliding-window extension of the sketch store: queries
+// reflect only the most recent window of the stream, so predictions
+// track the *current* graph rather than its entire history. This is the
+// natural "temporal decay" extension of the paper's scheme (streams
+// evolve; year-old edges should not dominate today's recommendations).
+//
+// Construction: the window of span W is divided into G generations, each
+// an independent SketchStore over the same hash family. Edges land in
+// the generation covering their timestamp; when time advances past the
+// youngest generation's end, the oldest generation is dropped and a
+// fresh one started — a tumbling rotation. A query merges the live
+// generations' registers per vertex: the per-register minimum across
+// generations is exactly the MinHash sketch of the union of the
+// generations' neighbor sets, so every estimator carries over unchanged.
+// Queries therefore cover between W·(G−1)/G and W of recent stream time
+// (the granularity error shrinks as G grows), and cost O(G·K).
+//
+// Degrees are always estimated with the KMV distinct counter over the
+// merged registers — a neighbor seen in several generations must count
+// once — so Config.Degrees is ignored.
+//
+// Timestamps must be non-decreasing (the stream model of DESIGN.md §1).
+// An edge older than the current window is folded into the oldest live
+// generation rather than dropped: slightly stale is better than silently
+// missing.
+type Windowed struct {
+	cfg  Config
+	span int64 // per-generation span = window / gens
+	gens []*SketchStore
+
+	cur      int   // index of the youngest generation
+	curEnd   int64 // exclusive end timestamp of the youngest generation
+	started  bool
+	rotation int64 // count of rotations, for introspection/tests
+}
+
+// NewWindowed returns a windowed store covering the last `window` units
+// of stream time with `gens` generations. It returns an error if the
+// config is invalid, window < 1, gens < 2, or gens does not divide the
+// window usefully (window/gens must be >= 1).
+func NewWindowed(cfg Config, window int64, gens int) (*Windowed, error) {
+	if cfg.EnableBiased {
+		return nil, fmt.Errorf("core: windowed mode does not support the vertex-biased sketches")
+	}
+	if cfg.TrackTriangles {
+		return nil, fmt.Errorf("core: windowed mode does not support triangle tracking (a triangle's accumulated count cannot expire with its edges)")
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("core: NewWindowed needs window >= 1, got %d", window)
+	}
+	if gens < 2 {
+		return nil, fmt.Errorf("core: NewWindowed needs gens >= 2, got %d", gens)
+	}
+	span := window / int64(gens)
+	if span < 1 {
+		return nil, fmt.Errorf("core: window %d too small for %d generations", window, gens)
+	}
+	w := &Windowed{cfg: cfg, span: span, gens: make([]*SketchStore, gens)}
+	for i := range w.gens {
+		store, err := NewSketchStore(cfg)
+		if err != nil {
+			return nil, err
+		}
+		w.gens[i] = store
+	}
+	return w, nil
+}
+
+// Config returns the per-generation configuration.
+func (w *Windowed) Config() Config { return w.cfg }
+
+// Window returns the total window span covered (span × generations).
+func (w *Windowed) Window() int64 { return w.span * int64(len(w.gens)) }
+
+// Rotations returns how many generation rotations have occurred.
+func (w *Windowed) Rotations() int64 { return w.rotation }
+
+// ProcessEdge folds one edge into the generation covering its timestamp,
+// rotating generations forward as stream time advances.
+func (w *Windowed) ProcessEdge(e stream.Edge) {
+	if e.IsSelfLoop() {
+		return
+	}
+	if !w.started {
+		w.started = true
+		w.curEnd = e.T + w.span
+	}
+	for e.T >= w.curEnd {
+		w.cur = (w.cur + 1) % len(w.gens)
+		// The slot we rotate into held the oldest generation; reset it.
+		fresh, err := NewSketchStore(w.cfg)
+		if err != nil {
+			// Config was validated at construction; this cannot happen.
+			panic("core: windowed rotation: " + err.Error())
+		}
+		w.gens[w.cur] = fresh
+		w.curEnd += w.span
+		w.rotation++
+	}
+	w.gens[w.cur].ProcessEdge(e)
+}
+
+// Process consumes an entire stream.
+func (w *Windowed) Process(src stream.Source) (int64, error) {
+	var n int64
+	err := stream.ForEach(src, func(e stream.Edge) error {
+		w.ProcessEdge(e)
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// merged returns the union sketch of u across live generations: the
+// per-register minimum (with its argmin id), plus the summed arrival
+// count. ok is false if u appears in no generation.
+func (w *Windowed) merged(u uint64) (vals, ids []uint64, arrivals int64, ok bool) {
+	vals = make([]uint64, w.cfg.K)
+	ids = make([]uint64, w.cfg.K)
+	for i := range vals {
+		vals[i] = emptyRegister
+	}
+	for _, g := range w.gens {
+		st := g.vertices[u]
+		if st == nil {
+			continue
+		}
+		ok = true
+		arrivals += st.arrivals
+		for i, v := range st.sketch.vals {
+			if v < vals[i] {
+				vals[i] = v
+				ids[i] = st.sketch.ids[i]
+			}
+		}
+	}
+	return vals, ids, arrivals, ok
+}
+
+// Degree returns the KMV distinct-degree estimate of u over the window.
+func (w *Windowed) Degree(u uint64) float64 {
+	vals, _, arrivals, ok := w.merged(u)
+	if !ok {
+		return 0
+	}
+	return kmvDistinct(&minHashSketch{vals: vals}, arrivals)
+}
+
+// Knows reports whether u appears anywhere in the window.
+func (w *Windowed) Knows(u uint64) bool {
+	for _, g := range w.gens {
+		if g.Knows(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// EstimateJaccard estimates the Jaccard coefficient of (u, v) over the
+// window.
+func (w *Windowed) EstimateJaccard(u, v uint64) float64 {
+	uv, _, _, okU := w.merged(u)
+	vv, _, _, okV := w.merged(v)
+	if !okU || !okV {
+		return 0
+	}
+	matches := 0
+	for i := range uv {
+		if uv[i] != emptyRegister && uv[i] == vv[i] {
+			matches++
+		}
+	}
+	return float64(matches) / float64(w.cfg.K)
+}
+
+// EstimateCommonNeighbors estimates |N(u) ∩ N(v)| over the window.
+func (w *Windowed) EstimateCommonNeighbors(u, v uint64) float64 {
+	j, du, dv, ok := w.pairStats(u, v, nil)
+	if !ok {
+		return 0
+	}
+	return j / (1 + j) * (du + dv)
+}
+
+// EstimateAdamicAdar estimates the Adamic–Adar index over the window
+// with the matched-register estimator, weighting by windowed degrees.
+func (w *Windowed) EstimateAdamicAdar(u, v uint64) float64 {
+	var matchedIDs []uint64
+	j, du, dv, ok := w.pairStats(u, v, &matchedIDs)
+	if !ok || len(matchedIDs) == 0 {
+		return 0
+	}
+	weightSum := 0.0
+	for _, id := range matchedIDs {
+		d := math.Max(w.Degree(id), 2)
+		weightSum += 1 / math.Log(d)
+	}
+	cn := j / (1 + j) * (du + dv)
+	return cn * weightSum / float64(len(matchedIDs))
+}
+
+// pairStats merges both endpoints, returning the Jaccard estimate and
+// windowed degrees; matchedIDs (if non-nil) receives the argmin ids of
+// matching registers.
+func (w *Windowed) pairStats(u, v uint64, matchedIDs *[]uint64) (j, du, dv float64, ok bool) {
+	uv, uids, uarr, okU := w.merged(u)
+	vv, _, varr, okV := w.merged(v)
+	if !okU || !okV {
+		return 0, 0, 0, false
+	}
+	matches := 0
+	for i := range uv {
+		if uv[i] == emptyRegister || uv[i] != vv[i] {
+			continue
+		}
+		matches++
+		if matchedIDs != nil {
+			*matchedIDs = append(*matchedIDs, uids[i])
+		}
+	}
+	du = kmvDistinct(&minHashSketch{vals: uv}, uarr)
+	dv = kmvDistinct(&minHashSketch{vals: vv}, varr)
+	return float64(matches) / float64(w.cfg.K), du, dv, true
+}
+
+// MemoryBytes returns the total payload memory across live generations.
+func (w *Windowed) MemoryBytes() int {
+	total := 0
+	for _, g := range w.gens {
+		total += g.MemoryBytes()
+	}
+	return total
+}
+
+// NumEdges returns the number of edges currently held across live
+// generations (edges rotated out are gone, which is the point).
+func (w *Windowed) NumEdges() int64 {
+	var total int64
+	for _, g := range w.gens {
+		total += g.NumEdges()
+	}
+	return total
+}

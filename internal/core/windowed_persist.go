@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Windowed persistence: header (window geometry and rotation cursor)
+// followed by the per-generation SketchStore images. Restoring resumes
+// the window exactly — including which generation is youngest and when
+// it expires — so a restarted processor neither re-ages nor re-extends
+// the window.
+
+const (
+	windowedMagic   = "LPSW"
+	windowedVersion = 1
+)
+
+// Save writes the windowed store's complete state to w.
+func (s *Windowed) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(windowedMagic); err != nil {
+		return fmt.Errorf("core: save windowed magic: %w", err)
+	}
+	var hdr [44]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], windowedVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(s.span))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(s.gens)))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(s.cur))
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(s.curEnd))
+	binary.LittleEndian.PutUint64(hdr[28:36], uint64(s.rotation))
+	if s.started {
+		hdr[36] = 1
+	}
+	// hdr[37:44] reserved.
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: save windowed header: %w", err)
+	}
+	for i, g := range s.gens {
+		if err := g.Save(bw); err != nil {
+			return fmt.Errorf("core: save generation %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: save windowed flush: %w", err)
+	}
+	return nil
+}
+
+// LoadWindowed restores a store saved by (*Windowed).Save.
+func LoadWindowed(r io.Reader) (*Windowed, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: load windowed magic: %v", err)
+	}
+	if string(magic[:]) != windowedMagic {
+		return nil, fmt.Errorf("core: bad windowed magic %q, want %q", magic, windowedMagic)
+	}
+	var hdr [44]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: load windowed header: %v", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != windowedVersion {
+		return nil, fmt.Errorf("core: unsupported windowed version %d", v)
+	}
+	span := int64(binary.LittleEndian.Uint64(hdr[4:12]))
+	nGens := binary.LittleEndian.Uint32(hdr[12:16])
+	if span < 1 || nGens < 2 || nGens > 1<<16 {
+		return nil, fmt.Errorf("core: implausible windowed geometry: span %d, %d generations", span, nGens)
+	}
+	cur := binary.LittleEndian.Uint32(hdr[16:20])
+	if cur >= nGens {
+		return nil, fmt.Errorf("core: generation cursor %d out of range [0, %d)", cur, nGens)
+	}
+	gens := make([]*SketchStore, nGens)
+	for i := range gens {
+		store, err := LoadSketchStore(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: load generation %d: %w", i, err)
+		}
+		if i > 0 && store.cfg != gens[0].cfg {
+			return nil, fmt.Errorf("core: generation %d config differs from generation 0", i)
+		}
+		gens[i] = store
+	}
+	return &Windowed{
+		cfg:      gens[0].cfg,
+		span:     span,
+		gens:     gens,
+		cur:      int(cur),
+		curEnd:   int64(binary.LittleEndian.Uint64(hdr[20:28])),
+		rotation: int64(binary.LittleEndian.Uint64(hdr[28:36])),
+		started:  hdr[36] == 1,
+	}, nil
+}

@@ -1,0 +1,207 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"linkpred/internal/rng"
+)
+
+func TestPrecisionRecallCurvePerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	curve, err := PrecisionRecallCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 4 {
+		t.Fatalf("curve has %d points, want 4", len(curve))
+	}
+	// First two points: precision 1, recall 0.5 then 1.
+	if curve[0].Precision != 1 || curve[0].Recall != 0.5 {
+		t.Errorf("point 0 = %+v", curve[0])
+	}
+	if curve[1].Precision != 1 || curve[1].Recall != 1 {
+		t.Errorf("point 1 = %+v", curve[1])
+	}
+	// Recall is non-decreasing along the curve.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Recall < curve[i-1].Recall {
+			t.Fatal("recall decreased along the curve")
+		}
+	}
+	// Final recall is 1.
+	if curve[len(curve)-1].Recall != 1 {
+		t.Error("final recall != 1")
+	}
+}
+
+func TestPrecisionRecallCurveTies(t *testing.T) {
+	// All scores tied: a single point at the base rate.
+	curve, err := PrecisionRecallCurve([]float64{1, 1, 1, 1}, []bool{true, false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 1 {
+		t.Fatalf("tied scores gave %d points, want 1", len(curve))
+	}
+	if curve[0].Precision != 0.5 || curve[0].Recall != 1 {
+		t.Errorf("tied point = %+v, want precision 0.5 recall 1", curve[0])
+	}
+}
+
+func TestPrecisionRecallCurveErrors(t *testing.T) {
+	if _, err := PrecisionRecallCurve([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := PrecisionRecallCurve([]float64{1, 2}, []bool{false, false}); err == nil {
+		t.Error("no positives should error")
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// Perfect separation → AP = 1.
+	ap, err := AveragePrecision([]float64{0.9, 0.8, 0.2, 0.1}, []bool{true, true, false, false})
+	if err != nil || math.Abs(ap-1) > 1e-12 {
+		t.Errorf("perfect AP = %v, %v", ap, err)
+	}
+	// Worst ranking: positives last. AP = Σ p·Δr = (1/3)(0.5) + (2/4)(0.5) = 0.4167.
+	ap, _ = AveragePrecision([]float64{0.9, 0.8, 0.2, 0.1}, []bool{false, false, true, true})
+	want := (1.0/3)*0.5 + 0.5*0.5
+	if math.Abs(ap-want) > 1e-12 {
+		t.Errorf("worst AP = %v, want %v", ap, want)
+	}
+	// Random scores: AP ≈ base rate.
+	x := rng.NewXoshiro256(1)
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = x.Float64()
+		labels[i] = x.Float64() < 0.3
+	}
+	ap, err = AveragePrecision(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ap-0.3) > 0.05 {
+		t.Errorf("random AP = %v, want ≈0.3", ap)
+	}
+}
+
+func TestBootstrapAUC(t *testing.T) {
+	x := rng.NewXoshiro256(2)
+	n := 600
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		labels[i] = i%2 == 0
+		if labels[i] {
+			scores[i] = x.NormFloat64() + 1 // positives shifted up
+		} else {
+			scores[i] = x.NormFloat64()
+		}
+	}
+	auc, lo, hi, err := BootstrapAUC(scores, labels, 200, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > auc || auc > hi {
+		t.Errorf("point estimate %v outside CI [%v, %v]", auc, lo, hi)
+	}
+	// Theoretical AUC for N(1,1) vs N(0,1) is Φ(1/√2) ≈ 0.76.
+	if auc < 0.70 || auc > 0.82 {
+		t.Errorf("AUC = %v, want ≈0.76", auc)
+	}
+	if hi-lo > 0.15 || hi-lo <= 0 {
+		t.Errorf("CI width %v implausible for n=%d", hi-lo, n)
+	}
+}
+
+func TestBootstrapAUCDeterministic(t *testing.T) {
+	scores := []float64{0.9, 0.7, 0.4, 0.2, 0.6, 0.1}
+	labels := []bool{true, true, false, false, true, false}
+	_, lo1, hi1, err := BootstrapAUC(scores, labels, 100, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lo2, hi2, _ := BootstrapAUC(scores, labels, 100, 0.9, 3)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("bootstrap not deterministic under fixed seed")
+	}
+}
+
+func TestBootstrapAUCErrors(t *testing.T) {
+	good := []float64{1, 0}
+	labels := []bool{true, false}
+	if _, _, _, err := BootstrapAUC(good, labels, 5, 0.95, 1); err == nil {
+		t.Error("too few trials should error")
+	}
+	if _, _, _, err := BootstrapAUC(good, labels, 100, 1.5, 1); err == nil {
+		t.Error("bad level should error")
+	}
+	if _, _, _, err := BootstrapAUC([]float64{1, 2}, []bool{true, true}, 100, 0.9, 1); err == nil {
+		t.Error("single-class input should error")
+	}
+}
+
+func TestROCCurve(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	curve, err := ROCCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := curve[len(curve)-1]
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("curve must end at (1,1): %+v", last)
+	}
+	// Monotone non-decreasing in both rates.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].TPR < curve[i-1].TPR || curve[i].FPR < curve[i-1].FPR {
+			t.Fatal("ROC rates decreased along the curve")
+		}
+	}
+	// Trapezoidal area equals AUC.
+	area, prevFPR, prevTPR := 0.0, 0.0, 0.0
+	for _, p := range curve {
+		area += (p.FPR - prevFPR) * (p.TPR + prevTPR) / 2
+		prevFPR, prevTPR = p.FPR, p.TPR
+	}
+	auc, _ := AUC(scores, labels)
+	if math.Abs(area-auc) > 1e-12 {
+		t.Errorf("trapezoidal ROC area %v != AUC %v", area, auc)
+	}
+}
+
+func TestROCCurveTrapezoidMatchesAUCRandom(t *testing.T) {
+	x := rng.NewXoshiro256(9)
+	scores := make([]float64, 500)
+	labels := make([]bool, 500)
+	for i := range scores {
+		scores[i] = float64(x.Intn(20)) // heavy ties on purpose
+		labels[i] = x.Float64() < 0.4
+	}
+	curve, err := ROCCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area, prevFPR, prevTPR := 0.0, 0.0, 0.0
+	for _, p := range curve {
+		area += (p.FPR - prevFPR) * (p.TPR + prevTPR) / 2
+		prevFPR, prevTPR = p.FPR, p.TPR
+	}
+	auc, _ := AUC(scores, labels)
+	if math.Abs(area-auc) > 1e-9 {
+		t.Errorf("trapezoidal area %v != AUC %v under ties", area, auc)
+	}
+}
+
+func TestROCCurveErrors(t *testing.T) {
+	if _, err := ROCCurve([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ROCCurve([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("single class should error")
+	}
+}

@@ -1,0 +1,208 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"linkpred/internal/rng"
+)
+
+func TestMAE(t *testing.T) {
+	if got := MAE([]float64{1, 2, 3}, []float64{1, 4, 1}); got != (0+2+2)/3.0 {
+		t.Errorf("MAE = %v, want 4/3", got)
+	}
+	if !math.IsNaN(MAE(nil, nil)) {
+		t.Error("MAE of empty should be NaN")
+	}
+	if !math.IsNaN(MAE([]float64{1}, []float64{1, 2})) {
+		t.Error("MAE length mismatch should be NaN")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got := RMSE([]float64{0, 0}, []float64{3, 4})
+	if math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %v, want sqrt(12.5)", got)
+	}
+	if !math.IsNaN(RMSE(nil, nil)) {
+		t.Error("RMSE of empty should be NaN")
+	}
+	// RMSE >= MAE always (Jensen).
+	x := rng.NewXoshiro256(1)
+	for trial := 0; trial < 50; trial++ {
+		est := make([]float64, 20)
+		truth := make([]float64, 20)
+		for i := range est {
+			est[i] = x.Float64() * 10
+			truth[i] = x.Float64() * 10
+		}
+		if RMSE(est, truth) < MAE(est, truth)-1e-12 {
+			t.Fatal("RMSE < MAE violates Jensen's inequality")
+		}
+	}
+}
+
+func TestMeanRelativeError(t *testing.T) {
+	est := []float64{11, 0, 5}
+	truth := []float64{10, 0, 0.1}
+	// Floor 1 keeps only the first pair: |11-10|/10 = 0.1.
+	if got := MeanRelativeError(est, truth, 1); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MRE = %v, want 0.1", got)
+	}
+	if !math.IsNaN(MeanRelativeError(est, truth, 100)) {
+		t.Error("MRE with no qualifying pairs should be NaN")
+	}
+	if !math.IsNaN(MeanRelativeError(est, truth[:2], 0)) {
+		t.Error("MRE length mismatch should be NaN")
+	}
+}
+
+func TestPrecisionRecallAtK(t *testing.T) {
+	predicted := []uint64{1, 2, 3, 4, 5}
+	relevant := map[uint64]bool{2: true, 4: true, 9: true}
+	if got := PrecisionAtK(predicted, relevant, 2); got != 0.5 {
+		t.Errorf("P@2 = %v, want 0.5", got) // {1,2} ∩ rel = {2}
+	}
+	if got := PrecisionAtK(predicted, relevant, 5); got != 0.4 {
+		t.Errorf("P@5 = %v, want 0.4", got)
+	}
+	if got := RecallAtK(predicted, relevant, 5); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("R@5 = %v, want 2/3", got)
+	}
+	// k beyond list length truncates.
+	if got := PrecisionAtK(predicted, relevant, 100); got != 0.4 {
+		t.Errorf("P@100 = %v, want 0.4", got)
+	}
+	if !math.IsNaN(PrecisionAtK(predicted, relevant, 0)) {
+		t.Error("P@0 should be NaN")
+	}
+	if !math.IsNaN(RecallAtK(predicted, map[uint64]bool{}, 3)) {
+		t.Error("recall with empty relevant set should be NaN")
+	}
+	if got := PrecisionAtK(nil, relevant, 3); got != 0 {
+		t.Errorf("P@k of empty prediction = %v, want 0", got)
+	}
+}
+
+func TestNDCGAtK(t *testing.T) {
+	relevant := map[uint64]bool{1: true, 2: true}
+	// Perfect ranking: both relevant items first.
+	if got := NDCGAtK([]uint64{1, 2, 3}, relevant, 3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect NDCG = %v, want 1", got)
+	}
+	// Worst placement within k.
+	worst := NDCGAtK([]uint64{3, 4, 1}, relevant, 3)
+	if worst >= 1 || worst <= 0 {
+		t.Errorf("degraded NDCG = %v, want in (0,1)", worst)
+	}
+	if !math.IsNaN(NDCGAtK([]uint64{1}, map[uint64]bool{}, 1)) {
+		t.Error("NDCG with empty relevant should be NaN")
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfect separation.
+	auc, err := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []bool{true, true, false, false})
+	if err != nil || auc != 1 {
+		t.Errorf("perfect AUC = %v, %v", auc, err)
+	}
+	// Perfect inversion.
+	auc, _ = AUC([]float64{0.1, 0.9}, []bool{true, false})
+	if auc != 0 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+	// All tied: 0.5.
+	auc, _ = AUC([]float64{1, 1, 1, 1}, []bool{true, false, true, false})
+	if auc != 0.5 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+	if _, err := AUC([]float64{1}, []bool{true}); err == nil {
+		t.Error("single-class AUC should error")
+	}
+	if _, err := AUC([]float64{1, 2}, []bool{true}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	x := rng.NewXoshiro256(2)
+	n := 2000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = x.Float64()
+		labels[i] = x.Float64() < 0.5
+	}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.05 {
+		t.Errorf("random AUC = %v, want ≈0.5", auc)
+	}
+}
+
+func TestAUCInvariantToMonotoneTransform(t *testing.T) {
+	x := rng.NewXoshiro256(3)
+	if err := quick.Check(func(seed uint64) bool {
+		n := 50
+		scores := make([]float64, n)
+		scaled := make([]float64, n)
+		labels := make([]bool, n)
+		hasPos, hasNeg := false, false
+		for i := range scores {
+			scores[i] = x.Float64() * 10
+			scaled[i] = scores[i]*3 + 7 // strictly monotone transform
+			labels[i] = x.Float64() < 0.4
+			if labels[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		a, err1 := AUC(scores, labels)
+		b, err2 := AUC(scaled, labels)
+		return err1 == nil && err2 == nil && math.Abs(a-b) < 1e-12
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareRankings(t *testing.T) {
+	candidates := []uint64{10, 20, 30, 40}
+	exactScores := []float64{4, 3, 2, 1}
+	// Estimates preserve the order → perfect agreement.
+	agree, err := CompareRankings(candidates, []float64{40, 30, 20, 10}, exactScores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree.PrecisionAtK != 1 || agree.KendallTau != 1 || agree.Spearman != 1 {
+		t.Errorf("perfect agreement = %+v", agree)
+	}
+	// Reversed estimates → full disagreement.
+	agree, _ = CompareRankings(candidates, []float64{1, 2, 3, 4}, exactScores, 2)
+	if agree.PrecisionAtK != 0 || agree.KendallTau != -1 {
+		t.Errorf("reversed agreement = %+v", agree)
+	}
+	if _, err := CompareRankings(candidates, exactScores[:2], exactScores, 2); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := CompareRankings(nil, nil, nil, 2); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestCompareRankingsKLargerThanCandidates(t *testing.T) {
+	candidates := []uint64{1, 2}
+	agree, err := CompareRankings(candidates, []float64{5, 1}, []float64{9, 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree.PrecisionAtK != 1 {
+		t.Errorf("P@k with k > n = %v, want 1 (both sets are everything)", agree.PrecisionAtK)
+	}
+}

@@ -1,0 +1,77 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/rng"
+)
+
+// diFixture: two-paths 1→10→2 and 1→11→2; degrees d(10)=d(11)=2.
+func diFixture() *graph.DiGraph {
+	g := graph.NewDi()
+	g.AddArc(1, 10)
+	g.AddArc(10, 2)
+	g.AddArc(1, 11)
+	g.AddArc(11, 2)
+	g.AddArc(1, 12) // distractor out-neighbor
+	g.AddArc(13, 2) // distractor in-neighbor
+	return g
+}
+
+func TestDirectedCommonNeighbors(t *testing.T) {
+	g := diFixture()
+	if got := DirectedCommonNeighbors(g, 1, 2); got != 2 {
+		t.Errorf("DCN(1→2) = %v, want 2", got)
+	}
+	if got := DirectedCommonNeighbors(g, 2, 1); got != 0 {
+		t.Errorf("DCN(2→1) = %v, want 0", got)
+	}
+}
+
+func TestDirectedJaccard(t *testing.T) {
+	g := diFixture()
+	// |∩| = 2, |N_out(1) ∪ N_in(2)| = 3 + 3 − 2 = 4.
+	if got := DirectedJaccard(g, 1, 2); got != 0.5 {
+		t.Errorf("DJ(1→2) = %v, want 0.5", got)
+	}
+	if got := DirectedJaccard(g, 50, 60); got != 0 {
+		t.Errorf("DJ of unknown vertices = %v, want 0", got)
+	}
+}
+
+func TestDirectedAdamicAdar(t *testing.T) {
+	g := diFixture()
+	want := 2 / math.Log(2) // midpoints 10, 11, total degree 2 each
+	if got := DirectedAdamicAdar(g, 1, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("DAA(1→2) = %v, want %v", got, want)
+	}
+	if got := DirectedAdamicAdar(g, 2, 1); got != 0 {
+		t.Errorf("DAA(2→1) = %v, want 0", got)
+	}
+}
+
+func TestDirectedMeasuresFiniteAndNonNegative(t *testing.T) {
+	x := rng.NewXoshiro256(5)
+	g := graph.NewDi()
+	for i := 0; i < 4000; i++ {
+		g.AddArc(uint64(x.Intn(150)), uint64(x.Intn(150)))
+	}
+	for i := 0; i < 500; i++ {
+		u, v := uint64(x.Intn(150)), uint64(x.Intn(150))
+		j := DirectedJaccard(g, u, v)
+		cn := DirectedCommonNeighbors(g, u, v)
+		aa := DirectedAdamicAdar(g, u, v)
+		if j < 0 || j > 1 || math.IsNaN(j) {
+			t.Fatalf("DJ(%d→%d) = %v invalid", u, v, j)
+		}
+		if cn < 0 || aa < 0 || math.IsNaN(aa) || math.IsInf(aa, 0) {
+			t.Fatalf("(%d→%d): cn=%v aa=%v invalid", u, v, cn, aa)
+		}
+		// AA <= CN / ln 2 (midpoint degree >= 2).
+		if aa > cn/math.Ln2+1e-9 {
+			t.Fatalf("DAA(%d→%d)=%v exceeds CN/ln2=%v", u, v, aa, cn/math.Ln2)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/rng"
+)
+
+// fixture builds the small worked example used across the tests:
+//
+//	N(1) = {2, 3, 4}
+//	N(5) = {3, 4, 6}
+//	common neighbors of (1,5): {3, 4} with d(3) = d(4) = 2
+func fixture() *graph.Graph {
+	g := graph.New()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(1, 4)
+	g.AddEdge(5, 3)
+	g.AddEdge(5, 4)
+	g.AddEdge(5, 6)
+	return g
+}
+
+func TestJaccard(t *testing.T) {
+	g := fixture()
+	// CN = 2, union = 3 + 3 - 2 = 4.
+	if got, want := Jaccard(g, 1, 5), 0.5; got != want {
+		t.Errorf("Jaccard = %v, want %v", got, want)
+	}
+	if got := Jaccard(g, 1, 1); got != 1 {
+		t.Errorf("Jaccard(u,u) = %v, want 1", got)
+	}
+	if got := Jaccard(g, 100, 200); got != 0 {
+		t.Errorf("Jaccard of unknown vertices = %v, want 0", got)
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := fixture()
+	if got := CommonNeighbors(g, 1, 5); got != 2 {
+		t.Errorf("CN = %v, want 2", got)
+	}
+	if got := CommonNeighbors(g, 2, 6); got != 0 {
+		t.Errorf("CN of distant pair = %v, want 0", got)
+	}
+}
+
+func TestAdamicAdar(t *testing.T) {
+	g := fixture()
+	want := 2 / math.Log(2) // two common neighbors, each of degree 2
+	if got := AdamicAdar(g, 1, 5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AA = %v, want %v", got, want)
+	}
+	if got := AdamicAdar(g, 2, 6); got != 0 {
+		t.Errorf("AA of pair with no common neighbors = %v, want 0", got)
+	}
+}
+
+func TestAdamicAdarFinite(t *testing.T) {
+	// Common neighbors always have degree >= 2, so AA is always finite.
+	g := fixture()
+	g.Vertices(func(u uint64) bool {
+		g.Vertices(func(v uint64) bool {
+			if aa := AdamicAdar(g, u, v); math.IsInf(aa, 0) || math.IsNaN(aa) {
+				t.Fatalf("AA(%d,%d) = %v not finite", u, v, aa)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+func TestResourceAllocation(t *testing.T) {
+	g := fixture()
+	if got, want := ResourceAllocation(g, 1, 5), 1.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("RA = %v, want %v", got, want) // 1/2 + 1/2
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g := fixture()
+	if got := PreferentialAttachment(g, 1, 5); got != 9 {
+		t.Errorf("PA = %v, want 9", got)
+	}
+	if got := PreferentialAttachment(g, 1, 999); got != 0 {
+		t.Errorf("PA with unknown vertex = %v, want 0", got)
+	}
+}
+
+func TestScoreDispatch(t *testing.T) {
+	g := fixture()
+	cases := []struct {
+		m    Measure
+		want float64
+	}{
+		{MeasureJaccard, 0.5},
+		{MeasureCommonNeighbors, 2},
+		{MeasureAdamicAdar, 2 / math.Log(2)},
+		{MeasureResourceAllocation, 1},
+		{MeasurePreferentialAttachment, 9},
+	}
+	for _, c := range cases {
+		if got := Score(g, c.m, 1, 5); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Score(%v) = %v, want %v", c.m, got, c.want)
+		}
+	}
+	if !math.IsNaN(Score(g, Measure(99), 1, 5)) {
+		t.Error("unknown measure should score NaN")
+	}
+}
+
+func TestMeasureString(t *testing.T) {
+	names := map[Measure]string{
+		MeasureJaccard:                "jaccard",
+		MeasureCommonNeighbors:        "common-neighbors",
+		MeasureAdamicAdar:             "adamic-adar",
+		MeasureResourceAllocation:     "resource-allocation",
+		MeasurePreferentialAttachment: "preferential-attachment",
+		Measure(42):                   "unknown",
+	}
+	for m, want := range names {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	x := rng.NewXoshiro256(3)
+	g := graph.New()
+	for i := 0; i < 2000; i++ {
+		g.AddEdge(uint64(x.Intn(300)), uint64(x.Intn(300)))
+	}
+	for _, m := range []Measure{MeasureJaccard, MeasureCommonNeighbors, MeasureAdamicAdar, MeasureResourceAllocation, MeasurePreferentialAttachment} {
+		for i := 0; i < 100; i++ {
+			u, v := uint64(x.Intn(300)), uint64(x.Intn(300))
+			a, b := Score(g, m, u, v), Score(g, m, v, u)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("%v not symmetric at (%d,%d): %v vs %v", m, u, v, a, b)
+			}
+		}
+	}
+}
+
+func TestMeasureOrderInvariants(t *testing.T) {
+	// On any graph: J ∈ [0,1]; AA <= CN/ln 2; RA <= CN/2 (common neighbor
+	// degree >= 2); CN <= min degree.
+	x := rng.NewXoshiro256(5)
+	g := graph.New()
+	for i := 0; i < 3000; i++ {
+		g.AddEdge(uint64(x.Intn(200)), uint64(x.Intn(200)))
+	}
+	for i := 0; i < 500; i++ {
+		u, v := uint64(x.Intn(200)), uint64(x.Intn(200))
+		if u == v {
+			continue
+		}
+		j := Jaccard(g, u, v)
+		cn := CommonNeighbors(g, u, v)
+		aa := AdamicAdar(g, u, v)
+		ra := ResourceAllocation(g, u, v)
+		if j < 0 || j > 1 {
+			t.Fatalf("J(%d,%d) = %v outside [0,1]", u, v, j)
+		}
+		if aa > cn/math.Log(2)+1e-9 {
+			t.Fatalf("AA(%d,%d) = %v exceeds CN/ln2 = %v", u, v, aa, cn/math.Log(2))
+		}
+		if ra > cn/2+1e-9 {
+			t.Fatalf("RA(%d,%d) = %v exceeds CN/2 = %v", u, v, ra, cn/2)
+		}
+		minDeg := float64(g.Degree(u))
+		if d := float64(g.Degree(v)); d < minDeg {
+			minDeg = d
+		}
+		if cn > minDeg {
+			t.Fatalf("CN(%d,%d) = %v exceeds min degree %v", u, v, cn, minDeg)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	g := graph.New()
+	// Star around 0 plus a triangle so vertex 0 has two-hop candidates.
+	// 0-1, 0-2, 1-3, 2-3, 1-4: candidates of 0 are {3 (via 1,2), 4 (via 1)}.
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 4)
+	top := TopK(g, MeasureCommonNeighbors, 0, 10)
+	if len(top) != 2 {
+		t.Fatalf("TopK returned %d candidates, want 2: %v", len(top), top)
+	}
+	if top[0].V != 3 || top[0].Score != 2 {
+		t.Errorf("best candidate = %+v, want {3 2}", top[0])
+	}
+	if top[1].V != 4 || top[1].Score != 1 {
+		t.Errorf("second candidate = %+v, want {4 1}", top[1])
+	}
+	// k truncates.
+	if got := TopK(g, MeasureCommonNeighbors, 0, 1); len(got) != 1 || got[0].V != 3 {
+		t.Errorf("TopK(k=1) = %v", got)
+	}
+	if got := TopK(g, MeasureCommonNeighbors, 0, 0); got != nil {
+		t.Errorf("TopK(k=0) = %v, want nil", got)
+	}
+}
+
+func TestTopKDeterministicTieBreak(t *testing.T) {
+	g := graph.New()
+	// Vertex 0 with two candidates of identical score.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 10)
+	g.AddEdge(1, 20)
+	for i := 0; i < 10; i++ {
+		top := TopK(g, MeasureCommonNeighbors, 0, 2)
+		if len(top) != 2 || top[0].V != 10 || top[1].V != 20 {
+			t.Fatalf("tie break not deterministic: %v", top)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"fmt"
+
+	"linkpred/internal/rng"
+	"linkpred/internal/stream"
+)
+
+// Citation returns a directed citation stream: papers 0, 1, 2, … arrive
+// in order and each cites refs earlier papers, chosen by a mixture of
+// preferential attachment on citation count (well-cited papers attract
+// more citations) and recency (papers cite the recent literature).
+// Edges are arcs new-paper → cited-paper in arrival order — the natural
+// directed graph stream for the Directed predictor.
+//
+// recency in [0, 1] is the probability a reference is drawn uniformly
+// from the last `window` papers instead of preferentially from all
+// history. n is the number of papers; the stream has ≈ (n − refs) · refs
+// arcs.
+func Citation(n, refs int, recency float64, seed uint64) (stream.Source, error) {
+	if refs < 1 {
+		return nil, fmt.Errorf("gen: Citation needs refs >= 1, got %d", refs)
+	}
+	if n < refs+1 {
+		return nil, fmt.Errorf("gen: Citation needs n > refs (n=%d, refs=%d)", n, refs)
+	}
+	if recency < 0 || recency > 1 {
+		return nil, fmt.Errorf("gen: Citation recency %v outside [0, 1]", recency)
+	}
+	x := rng.NewXoshiro256(seed)
+	const window = 200
+	// citedSlots holds one entry per received citation plus one base
+	// entry per paper, so uniform sampling is preferential with +1
+	// smoothing (every paper remains citable).
+	citedSlots := make([]uint64, 0, 4*n)
+	for p := 0; p < refs; p++ {
+		citedSlots = append(citedSlots, uint64(p))
+	}
+	nextPaper := refs
+	var pending []uint64 // cited targets for the current paper
+	t := int64(0)
+	return stream.Func(func() (stream.Edge, error) {
+		for len(pending) == 0 {
+			if nextPaper >= n {
+				return stream.Edge{}, errEOF
+			}
+			p := nextPaper
+			chosen := make([]uint64, 0, refs)
+			seen := make(map[uint64]struct{}, refs)
+			guard := 0
+			for len(chosen) < refs && guard < 100*refs {
+				guard++
+				var c uint64
+				if x.Float64() < recency {
+					lo := p - window
+					if lo < 0 {
+						lo = 0
+					}
+					c = uint64(lo + x.Intn(p-lo))
+				} else {
+					c = citedSlots[x.Intn(len(citedSlots))]
+				}
+				if _, dup := seen[c]; dup {
+					continue
+				}
+				seen[c] = struct{}{}
+				chosen = append(chosen, c)
+			}
+			for _, c := range chosen {
+				pending = append(pending, c)
+				citedSlots = append(citedSlots, c)
+			}
+			citedSlots = append(citedSlots, uint64(p)) // +1 smoothing
+			nextPaper++
+		}
+		p := uint64(nextPaper - 1)
+		c := pending[0]
+		pending = pending[1:]
+		e := stream.Edge{U: p, V: c, T: t}
+		t++
+		return e, nil
+	}), nil
+}

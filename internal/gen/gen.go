@@ -1,0 +1,290 @@
+// Package gen provides seeded synthetic graph-stream generators.
+//
+// The paper evaluates on real-world graph streams (DBLP-, Flickr-,
+// LiveJournal-, YouTube-like networks). Those traces are not available
+// offline, so this package supplies deterministic synthetic stand-ins
+// whose structural statistics (degree distribution tail, clustering,
+// density) match the roles those datasets play in the evaluation — see
+// DESIGN.md §5 for the substitution table. Every generator is a pure
+// function of its parameters and a 64-bit seed, so every experiment in
+// EXPERIMENTS.md is exactly reproducible.
+//
+// Generators produce edges in *arrival order* with T = 0, 1, 2, …, i.e.
+// they are streams, not static graphs: the preferential-attachment and
+// forest-fire models grow the graph edge by edge the way a real temporal
+// network does, which is what makes them meaningful substrates for
+// streaming link prediction.
+package gen
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"linkpred/internal/rng"
+	"linkpred/internal/stream"
+)
+
+// ErdosRenyi returns a stream of m edges drawn uniformly at random over n
+// vertices (the G(n, m) stream model, with replacement: the stream may
+// contain duplicate edges, as real streams do). It returns an error if
+// n < 2 or m < 0.
+func ErdosRenyi(n, m int, seed uint64) (stream.Source, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: ErdosRenyi needs n >= 2, got %d", n)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("gen: ErdosRenyi needs m >= 0, got %d", m)
+	}
+	x := rng.NewXoshiro256(seed)
+	emitted := 0
+	return stream.Func(func() (stream.Edge, error) {
+		if emitted >= m {
+			return stream.Edge{}, errEOF
+		}
+		u := uint64(x.Intn(n))
+		v := uint64(x.Intn(n - 1))
+		if v >= u {
+			v++ // uniform over the n-1 vertices ≠ u: no self-loops
+		}
+		e := stream.Edge{U: u, V: v, T: int64(emitted)}
+		emitted++
+		return e, nil
+	}), nil
+}
+
+// BarabasiAlbert returns a preferential-attachment stream: vertices
+// arrive one at a time and each attaches to mPer existing vertices chosen
+// with probability proportional to current degree. The resulting degree
+// distribution is a power law with exponent ≈ 3, and the stream order is
+// the natural temporal order of network growth. n is the total number of
+// vertices; the stream has ≈ (n − mPer) · mPer edges.
+func BarabasiAlbert(n, mPer int, seed uint64) (stream.Source, error) {
+	if mPer < 1 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs mPer >= 1, got %d", mPer)
+	}
+	if n < mPer+1 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs n > mPer (n=%d, mPer=%d)", n, mPer)
+	}
+	x := rng.NewXoshiro256(seed)
+	// targets holds one entry per edge endpoint, so sampling a uniform
+	// element is sampling proportional to degree (the standard trick).
+	targets := make([]uint64, 0, 2*(n-mPer)*mPer)
+	// Seed clique over the first mPer+1 vertices.
+	var seedEdges []stream.Edge
+	for i := 0; i <= mPer; i++ {
+		for j := i + 1; j <= mPer; j++ {
+			seedEdges = append(seedEdges, stream.Edge{U: uint64(i), V: uint64(j)})
+			targets = append(targets, uint64(i), uint64(j))
+		}
+	}
+	nextVertex := mPer + 1
+	pos := 0
+	pending := make([]uint64, 0, mPer)
+	t := int64(0)
+	return stream.Func(func() (stream.Edge, error) {
+		if pos < len(seedEdges) {
+			e := seedEdges[pos]
+			e.T = t
+			pos++
+			t++
+			return e, nil
+		}
+		for len(pending) == 0 {
+			if nextVertex >= n {
+				return stream.Edge{}, errEOF
+			}
+			// Choose mPer distinct targets by degree-proportional sampling.
+			// Order matters for determinism, so track insertion order in a
+			// slice rather than ranging over a map.
+			chosen := make([]uint64, 0, mPer)
+			seen := make(map[uint64]struct{}, mPer)
+			for len(chosen) < mPer {
+				w := targets[x.Intn(len(targets))]
+				if _, dup := seen[w]; dup {
+					continue
+				}
+				seen[w] = struct{}{}
+				chosen = append(chosen, w)
+			}
+			u := uint64(nextVertex)
+			for _, w := range chosen {
+				pending = append(pending, w)
+				targets = append(targets, u, w)
+			}
+			nextVertex++
+		}
+		u := uint64(nextVertex - 1)
+		w := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		e := stream.Edge{U: u, V: w, T: t}
+		t++
+		return e, nil
+	}), nil
+}
+
+// WattsStrogatz returns a small-world stream over n vertices: each vertex
+// is linked to its k/2 nearest ring neighbors on each side, and each such
+// edge is rewired to a uniform random endpoint with probability beta.
+// k must be even, 0 < k < n, and beta in [0, 1]. Edges are emitted in
+// ring order (a crawl-like arrival order).
+func WattsStrogatz(n, k int, beta float64, seed uint64) (stream.Source, error) {
+	if k <= 0 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs even 0 < k < n (n=%d, k=%d)", n, k)
+	}
+	if beta < 0 || beta > 1 || math.IsNaN(beta) {
+		return nil, fmt.Errorf("gen: WattsStrogatz beta %v outside [0, 1]", beta)
+	}
+	x := rng.NewXoshiro256(seed)
+	i, j := 0, 1
+	t := int64(0)
+	return stream.Func(func() (stream.Edge, error) {
+		for {
+			if i >= n {
+				return stream.Edge{}, errEOF
+			}
+			if j > k/2 {
+				i++
+				j = 1
+				continue
+			}
+			u := uint64(i)
+			v := uint64((i + j) % n)
+			j++
+			if x.Float64() < beta {
+				// Rewire the far endpoint to a uniform non-u vertex.
+				w := uint64(x.Intn(n - 1))
+				if w >= u {
+					w++
+				}
+				v = w
+			}
+			e := stream.Edge{U: u, V: v, T: t}
+			t++
+			return e, nil
+		}
+	}), nil
+}
+
+// ConfigModel returns a stream drawn from a power-law configuration
+// model: each vertex i in [0, n) receives an expected weight
+// w_i ∝ (i+1)^(−1/(gamma−1)) (a Zipf-like ranking), and each of the m
+// stream edges joins two endpoints sampled independently with probability
+// proportional to weight. The resulting degree distribution has a
+// power-law tail with exponent ≈ gamma. gamma must exceed 2 so the
+// weights have finite mean. Self-loop draws are rejected.
+func ConfigModel(n, m int, gamma float64, seed uint64) (stream.Source, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: ConfigModel needs n >= 2, got %d", n)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("gen: ConfigModel needs m >= 0, got %d", m)
+	}
+	if !(gamma > 2) {
+		return nil, fmt.Errorf("gen: ConfigModel needs gamma > 2, got %v", gamma)
+	}
+	x := rng.NewXoshiro256(seed)
+	alpha := 1 / (gamma - 1)
+	// Cumulative weight table for O(log n) inverse-CDF sampling.
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -alpha)
+		cum[i] = total
+	}
+	sample := func() uint64 {
+		target := x.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return uint64(lo)
+	}
+	emitted := 0
+	return stream.Func(func() (stream.Edge, error) {
+		if emitted >= m {
+			return stream.Edge{}, errEOF
+		}
+		u := sample()
+		v := sample()
+		for v == u {
+			v = sample()
+		}
+		e := stream.Edge{U: u, V: v, T: int64(emitted)}
+		emitted++
+		return e, nil
+	}), nil
+}
+
+// ForestFire returns a forest-fire stream (Leskovec et al.): each new
+// vertex picks a uniform ambassador, links to it, and then "burns"
+// through the ambassador's neighborhood — linking to each burned vertex —
+// with geometric fan-out controlled by p in [0, 1). Forest fire yields
+// heavy-tailed degrees, high clustering, and densification, all in a
+// natural temporal arrival order. n is the number of vertices.
+func ForestFire(n int, p float64, seed uint64) (stream.Source, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: ForestFire needs n >= 2, got %d", n)
+	}
+	if p < 0 || p >= 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("gen: ForestFire p %v outside [0, 1)", p)
+	}
+	x := rng.NewXoshiro256(seed)
+	// adjacency kept internally to drive the burn; the generator itself
+	// is not constant-space (generators run offline to *produce* streams).
+	adj := make([][]uint64, 1, n)
+	nextVertex := 1
+	var pending []stream.Edge
+	t := int64(0)
+	return stream.Func(func() (stream.Edge, error) {
+		for len(pending) == 0 {
+			if nextVertex >= n {
+				return stream.Edge{}, errEOF
+			}
+			u := uint64(nextVertex)
+			adj = append(adj, nil)
+			ambassador := uint64(x.Intn(nextVertex))
+			burned := map[uint64]struct{}{u: {}}
+			frontier := []uint64{ambassador}
+			links := []uint64{ambassador}
+			burned[ambassador] = struct{}{}
+			// Burn outward: from each frontier vertex, burn a geometric
+			// number of unburned neighbors.
+			for len(frontier) > 0 {
+				w := frontier[0]
+				frontier = frontier[1:]
+				// Geometric(p) fan-out: keep burning while coin < p.
+				for _, nb := range adj[w] {
+					if _, ok := burned[nb]; ok {
+						continue
+					}
+					if x.Float64() >= p {
+						continue
+					}
+					burned[nb] = struct{}{}
+					frontier = append(frontier, nb)
+					links = append(links, nb)
+				}
+			}
+			for _, w := range links {
+				pending = append(pending, stream.Edge{U: u, V: w})
+				adj[u] = append(adj[u], w)
+				adj[w] = append(adj[w], u)
+			}
+			nextVertex++
+		}
+		e := pending[0]
+		pending = pending[1:]
+		e.T = t
+		t++
+		return e, nil
+	}), nil
+}
+
+// errEOF is the end-of-stream sentinel shared by all generator closures.
+var errEOF = io.EOF

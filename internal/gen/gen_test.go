@@ -1,0 +1,548 @@
+package gen
+
+import (
+	"testing"
+
+	"linkpred/internal/graph"
+	"linkpred/internal/stream"
+)
+
+// build materialises a stream into a deduplicated exact graph.
+func build(t *testing.T, src stream.Source) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	if err := stream.ForEach(src, func(e stream.Edge) error {
+		g.AddEdge(e.U, e.V)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func collect(t *testing.T, src stream.Source, err error) []stream.Edge {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := stream.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return es
+}
+
+func assertDeterministic(t *testing.T, mk func() (stream.Source, error)) {
+	t.Helper()
+	srcA, errA := mk()
+	a := collect(t, srcA, errA)
+	srcB, errB := mk()
+	b := collect(t, srcB, errB)
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func assertStreamInvariants(t *testing.T, es []stream.Edge, n int) {
+	t.Helper()
+	for i, e := range es {
+		if e.IsSelfLoop() {
+			t.Fatalf("edge %d is a self-loop: %+v", i, e)
+		}
+		if e.U >= uint64(n) || e.V >= uint64(n) {
+			t.Fatalf("edge %d out of vertex range [0,%d): %+v", i, n, e)
+		}
+		if e.T != int64(i) {
+			t.Fatalf("edge %d has T=%d, want arrival order %d", i, e.T, i)
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	const n, m = 100, 5000
+	src, err := ErdosRenyi(n, m, 1)
+	es := collect(t, src, err)
+	if len(es) != m {
+		t.Fatalf("got %d edges, want %d", len(es), m)
+	}
+	assertStreamInvariants(t, es, n)
+	assertDeterministic(t, func() (stream.Source, error) { return ErdosRenyi(n, m, 1) })
+	// Different seeds differ.
+	src2, _ := ErdosRenyi(n, m, 2)
+	es2, _ := stream.Collect(src2)
+	same := 0
+	for i := range es {
+		if es[i].U == es2[i].U && es[i].V == es2[i].V {
+			same++
+		}
+	}
+	if same > m/10 {
+		t.Errorf("seeds 1 and 2 produced %d/%d identical edges", same, m)
+	}
+}
+
+func TestErdosRenyiDegreesRoughlyUniform(t *testing.T) {
+	src, err := ErdosRenyi(50, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := build(t, src)
+	// Expected distinct-degree is near 49 (dense); every vertex should
+	// be well connected and no vertex should dominate.
+	g.Vertices(func(u uint64) bool {
+		if g.Degree(u) < 20 {
+			t.Errorf("vertex %d degree %d suspiciously low for dense ER", u, g.Degree(u))
+		}
+		return true
+	})
+}
+
+func TestErdosRenyiErrors(t *testing.T) {
+	if _, err := ErdosRenyi(1, 10, 0); err == nil {
+		t.Error("n=1 should error")
+	}
+	if _, err := ErdosRenyi(10, -1, 0); err == nil {
+		t.Error("m=-1 should error")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	const n, mPer = 500, 3
+	src, err := BarabasiAlbert(n, mPer, 7)
+	es := collect(t, src, err)
+	assertStreamInvariants(t, es, n)
+	wantEdges := mPer*(mPer+1)/2 + (n-mPer-1)*mPer
+	if len(es) != wantEdges {
+		t.Fatalf("got %d edges, want %d", len(es), wantEdges)
+	}
+	assertDeterministic(t, func() (stream.Source, error) { return BarabasiAlbert(n, mPer, 7) })
+}
+
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	src, err := BarabasiAlbert(3000, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := build(t, src)
+	// Preferential attachment: the max degree should far exceed the mean.
+	maxDeg, sum := 0, 0
+	g.Vertices(func(u uint64) bool {
+		d := g.Degree(u)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+		return true
+	})
+	mean := float64(sum) / float64(g.NumVertices())
+	if float64(maxDeg) < 8*mean {
+		t.Errorf("max degree %d vs mean %.1f: tail not heavy enough for BA", maxDeg, mean)
+	}
+	// Early vertices should be richer than late ones on average (rich get
+	// richer).
+	early, late := 0, 0
+	for v := uint64(0); v < 100; v++ {
+		early += g.Degree(v)
+	}
+	for v := uint64(2900); v < 3000; v++ {
+		late += g.Degree(v)
+	}
+	if early <= late {
+		t.Errorf("early vertices total degree %d <= late %d; attachment not preferential", early, late)
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	if _, err := BarabasiAlbert(3, 3, 0); err == nil {
+		t.Error("n <= mPer should error")
+	}
+	if _, err := BarabasiAlbert(10, 0, 0); err == nil {
+		t.Error("mPer=0 should error")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	const n, k = 200, 4
+	src, err := WattsStrogatz(n, k, 0.1, 13)
+	es := collect(t, src, err)
+	assertStreamInvariants(t, es, n)
+	if len(es) != n*k/2 {
+		t.Fatalf("got %d edges, want %d", len(es), n*k/2)
+	}
+	assertDeterministic(t, func() (stream.Source, error) { return WattsStrogatz(n, k, 0.1, 13) })
+}
+
+func TestWattsStrogatzBetaZeroIsRing(t *testing.T) {
+	src, err := WattsStrogatz(20, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := build(t, src)
+	// Pure ring lattice: every vertex has degree exactly k.
+	g.Vertices(func(u uint64) bool {
+		if g.Degree(u) != 4 {
+			t.Errorf("vertex %d degree %d, want 4 in unrewired lattice", u, g.Degree(u))
+		}
+		return true
+	})
+	// Ring clustering for k=4 is 0.5.
+	if c := g.Clustering(0); c != 0.5 {
+		t.Errorf("ring clustering = %v, want 0.5", c)
+	}
+}
+
+func TestWattsStrogatzRewiringLowersClustering(t *testing.T) {
+	lowSrc, _ := WattsStrogatz(500, 6, 0, 1)
+	highSrc, _ := WattsStrogatz(500, 6, 0.9, 1)
+	low := build(t, lowSrc)
+	high := build(t, highSrc)
+	meanC := func(g *graph.Graph) float64 {
+		sum, n := 0.0, 0
+		g.Vertices(func(u uint64) bool {
+			sum += g.Clustering(u)
+			n++
+			return true
+		})
+		return sum / float64(n)
+	}
+	if meanC(high) >= meanC(low)/2 {
+		t.Errorf("rewiring did not lower clustering: beta=0 %.3f, beta=0.9 %.3f",
+			meanC(low), meanC(high))
+	}
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	for _, c := range []struct {
+		n, k int
+		beta float64
+	}{{10, 3, 0.1}, {10, 0, 0.1}, {4, 4, 0.1}, {10, 4, -0.1}, {10, 4, 1.1}} {
+		if _, err := WattsStrogatz(c.n, c.k, c.beta, 0); err == nil {
+			t.Errorf("WattsStrogatz(%d, %d, %v) should error", c.n, c.k, c.beta)
+		}
+	}
+}
+
+func TestConfigModel(t *testing.T) {
+	const n, m = 1000, 20000
+	src, err := ConfigModel(n, m, 2.2, 17)
+	es := collect(t, src, err)
+	if len(es) != m {
+		t.Fatalf("got %d edges, want %d", len(es), m)
+	}
+	assertStreamInvariants(t, es, n)
+	assertDeterministic(t, func() (stream.Source, error) { return ConfigModel(n, m, 2.2, 17) })
+}
+
+func TestConfigModelPowerLawShape(t *testing.T) {
+	src, err := ConfigModel(2000, 50000, 2.2, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := build(t, src)
+	// Vertex 0 has the largest weight; low-index vertices should have much
+	// higher degree than high-index ones.
+	lowSum, highSum := 0, 0
+	for v := uint64(0); v < 20; v++ {
+		lowSum += g.Degree(v)
+	}
+	for v := uint64(1980); v < 2000; v++ {
+		highSum += g.Degree(v)
+	}
+	if lowSum < 10*highSum {
+		t.Errorf("head degree sum %d vs tail %d: not heavy-tailed", lowSum, highSum)
+	}
+}
+
+func TestConfigModelErrors(t *testing.T) {
+	if _, err := ConfigModel(1, 10, 2.5, 0); err == nil {
+		t.Error("n=1 should error")
+	}
+	if _, err := ConfigModel(10, -1, 2.5, 0); err == nil {
+		t.Error("m=-1 should error")
+	}
+	if _, err := ConfigModel(10, 10, 2.0, 0); err == nil {
+		t.Error("gamma=2 should error")
+	}
+}
+
+func TestForestFire(t *testing.T) {
+	const n = 500
+	src, err := ForestFire(n, 0.3, 23)
+	es := collect(t, src, err)
+	assertStreamInvariants(t, es, n)
+	if len(es) < n-1 {
+		t.Fatalf("forest fire emitted %d edges, want >= %d (connectivity)", len(es), n-1)
+	}
+	assertDeterministic(t, func() (stream.Source, error) { return ForestFire(n, 0.3, 23) })
+}
+
+func TestForestFireDensification(t *testing.T) {
+	// Higher burn probability → more edges per vertex.
+	sparseSrc, _ := ForestFire(800, 0.1, 29)
+	denseSrc, _ := ForestFire(800, 0.5, 29)
+	sparse, _ := stream.Collect(sparseSrc)
+	dense, _ := stream.Collect(denseSrc)
+	if len(dense) <= len(sparse) {
+		t.Errorf("p=0.5 produced %d edges <= p=0.1's %d", len(dense), len(sparse))
+	}
+}
+
+func TestForestFireErrors(t *testing.T) {
+	if _, err := ForestFire(1, 0.3, 0); err == nil {
+		t.Error("n=1 should error")
+	}
+	if _, err := ForestFire(10, 1.0, 0); err == nil {
+		t.Error("p=1 should error")
+	}
+	if _, err := ForestFire(10, -0.1, 0); err == nil {
+		t.Error("p<0 should error")
+	}
+}
+
+func TestCoauthor(t *testing.T) {
+	const n, papers, comms = 1000, 3000, 10
+	src, err := Coauthor(n, papers, comms, 31)
+	es := collect(t, src, err)
+	assertStreamInvariants(t, es, n)
+	if len(es) < papers {
+		t.Fatalf("coauthor stream too short: %d edges for %d papers", len(es), papers)
+	}
+	assertDeterministic(t, func() (stream.Source, error) { return Coauthor(n, papers, comms, 31) })
+}
+
+func TestCoauthorHighClustering(t *testing.T) {
+	src, err := Coauthor(500, 2000, 5, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := build(t, src)
+	sum, cnt := 0.0, 0
+	g.Vertices(func(u uint64) bool {
+		if g.Degree(u) >= 2 {
+			sum += g.Clustering(u)
+			cnt++
+		}
+		return true
+	})
+	if mean := sum / float64(cnt); mean < 0.15 {
+		t.Errorf("coauthor mean clustering %.3f too low; papers should form cliques", mean)
+	}
+}
+
+func TestCoauthorCommunityStructure(t *testing.T) {
+	const comms = 10
+	src, err := Coauthor(1000, 5000, comms, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, inter := 0, 0
+	if err := stream.ForEach(src, func(e stream.Edge) error {
+		if e.U%comms == e.V%comms {
+			intra++
+		} else {
+			inter++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// With 10% crossover, intra-community edges should dominate strongly.
+	if intra < 3*inter {
+		t.Errorf("intra=%d inter=%d: community structure too weak", intra, inter)
+	}
+}
+
+func TestCoauthorErrors(t *testing.T) {
+	if _, err := Coauthor(5, 10, 1, 0); err == nil {
+		t.Error("tiny n should error")
+	}
+	if _, err := Coauthor(100, 0, 2, 0); err == nil {
+		t.Error("papers=0 should error")
+	}
+	if _, err := Coauthor(100, 10, 50, 0); err == nil {
+		t.Error("too many communities should error")
+	}
+}
+
+func TestOpenAllDatasets(t *testing.T) {
+	for _, d := range AllDatasets {
+		src, err := Open(d, ScaleSmall, 99)
+		if err != nil {
+			t.Fatalf("Open(%s): %v", d, err)
+		}
+		es, err := stream.Collect(src)
+		if err != nil {
+			t.Fatalf("Open(%s) collect: %v", d, err)
+		}
+		if len(es) < 5000 {
+			t.Errorf("Open(%s) small scale yielded only %d edges", d, len(es))
+		}
+	}
+}
+
+func TestOpenDatasetsIndependentUnderSameSeed(t *testing.T) {
+	a, _ := Open(DatasetFlickr, ScaleSmall, 5)
+	b, _ := Open(DatasetYouTube, ScaleSmall, 5)
+	ea, _ := stream.Collect(a)
+	eb, _ := stream.Collect(b)
+	same := 0
+	n := min(len(ea), len(eb))
+	for i := 0; i < n; i++ {
+		if ea[i].U == eb[i].U && ea[i].V == eb[i].V {
+			same++
+		}
+	}
+	if same > n/20 {
+		t.Errorf("datasets share %d/%d edges under same seed; want independence", same, n)
+	}
+}
+
+func TestOpenUnknown(t *testing.T) {
+	if _, err := Open(Dataset("nope"), ScaleSmall, 0); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	if _, err := Open(DatasetFlickr, Scale(42), 0); err == nil {
+		t.Error("unknown scale should error")
+	}
+}
+
+func TestCitation(t *testing.T) {
+	const n, refs = 1000, 5
+	src, err := Citation(n, refs, 0.3, 43)
+	es := collect(t, src, err)
+	assertStreamInvariants(t, es, n)
+	wantArcs := (n - refs) * refs
+	if len(es) != wantArcs {
+		t.Fatalf("got %d arcs, want %d", len(es), wantArcs)
+	}
+	assertDeterministic(t, func() (stream.Source, error) { return Citation(n, refs, 0.3, 43) })
+	// Citations point backwards in time: U (citing paper) > V (cited).
+	for i, e := range es {
+		if e.U <= e.V {
+			t.Fatalf("arc %d cites forward: %d → %d", i, e.U, e.V)
+		}
+	}
+}
+
+func TestCitationPreferentialInDegree(t *testing.T) {
+	src, err := Citation(3000, 5, 0.2, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.NewDi()
+	if err := stream.ForEach(src, func(e stream.Edge) error {
+		g.AddArc(e.U, e.V)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Rich-get-richer: max in-degree far above mean; early papers richer.
+	maxIn, sumIn := 0, 0
+	for p := uint64(0); p < 3000; p++ {
+		d := g.InDegree(p)
+		sumIn += d
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	mean := float64(sumIn) / 3000
+	if float64(maxIn) < 6*mean {
+		t.Errorf("max in-degree %d vs mean %.1f: citations not preferential", maxIn, mean)
+	}
+	// Out-degree is constant by construction.
+	if g.OutDegree(2999) != 5 {
+		t.Errorf("out-degree of a paper = %d, want 5", g.OutDegree(2999))
+	}
+}
+
+func TestCitationErrors(t *testing.T) {
+	if _, err := Citation(3, 5, 0.3, 0); err == nil {
+		t.Error("n <= refs should error")
+	}
+	if _, err := Citation(100, 0, 0.3, 0); err == nil {
+		t.Error("refs=0 should error")
+	}
+	if _, err := Citation(100, 5, 1.5, 0); err == nil {
+		t.Error("recency > 1 should error")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	const scale, m = 10, 20000
+	src, err := RMAT(scale, m, 0.57, 0.19, 0.19, 0.05, 53)
+	es := collect(t, src, err)
+	if len(es) != m {
+		t.Fatalf("got %d edges, want %d", len(es), m)
+	}
+	assertStreamInvariants(t, es, 1<<scale)
+	assertDeterministic(t, func() (stream.Source, error) {
+		return RMAT(scale, m, 0.57, 0.19, 0.19, 0.05, 53)
+	})
+}
+
+func TestRMATHeavyTail(t *testing.T) {
+	src, err := RMAT(12, 80000, 0.57, 0.19, 0.19, 0.05, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := build(t, src)
+	maxDeg, sum := 0, 0
+	g.Vertices(func(u uint64) bool {
+		d := g.Degree(u)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+		return true
+	})
+	mean := float64(sum) / float64(g.NumVertices())
+	if float64(maxDeg) < 10*mean {
+		t.Errorf("max degree %d vs mean %.1f: R-MAT tail not heavy", maxDeg, mean)
+	}
+}
+
+func TestRMATUniformQuadrantsIsER(t *testing.T) {
+	// With equal quadrant weights, endpoints are uniform: degrees
+	// should be tightly concentrated.
+	src, err := RMAT(8, 50000, 0.25, 0.25, 0.25, 0.25, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := build(t, src)
+	maxDeg, sum := 0, 0
+	g.Vertices(func(u uint64) bool {
+		d := g.Degree(u)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+		return true
+	})
+	mean := float64(sum) / float64(g.NumVertices())
+	if float64(maxDeg) > 3*mean {
+		t.Errorf("uniform R-MAT max degree %d vs mean %.1f: too skewed", maxDeg, mean)
+	}
+}
+
+func TestRMATErrors(t *testing.T) {
+	if _, err := RMAT(0, 10, 0.25, 0.25, 0.25, 0.25, 0); err == nil {
+		t.Error("scale=0 should error")
+	}
+	if _, err := RMAT(40, 10, 0.25, 0.25, 0.25, 0.25, 0); err == nil {
+		t.Error("scale too large should error")
+	}
+	if _, err := RMAT(8, -1, 0.25, 0.25, 0.25, 0.25, 0); err == nil {
+		t.Error("m<0 should error")
+	}
+	if _, err := RMAT(8, 10, 0.5, 0.25, 0.25, 0.25, 0); err == nil {
+		t.Error("probabilities not summing to 1 should error")
+	}
+	if _, err := RMAT(8, 10, 0, 0.5, 0.25, 0.25, 0); err == nil {
+		t.Error("zero probability should error")
+	}
+}

@@ -1,0 +1,245 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"linkpred/internal/rng"
+)
+
+func TestMixedDeterministic(t *testing.T) {
+	h := NewMixed(12345)
+	for i := uint64(0); i < 100; i++ {
+		if h.Hash(i) != h.Hash(i) {
+			t.Fatalf("Hash(%d) not deterministic", i)
+		}
+	}
+}
+
+func TestMixedSaltsDiffer(t *testing.T) {
+	a, b := NewMixed(1), NewMixed(2)
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if a.Hash(i) == b.Hash(i) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("salts 1 and 2 agree on %d of 1000 inputs", same)
+	}
+}
+
+func TestMixedNoCollisionsOnSequentialKeys(t *testing.T) {
+	h := NewMixed(77)
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		v := h.Hash(i)
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("collision: Hash(%d) == Hash(%d)", i, prev)
+		}
+		seen[v] = i
+	}
+}
+
+// TestMixedMinRankUniform is the property the MinHash sketches rely on:
+// over random salts, each element of a fixed set should be the argmin of
+// the hash with equal probability.
+func TestMixedMinRankUniform(t *testing.T) {
+	const setSize = 8
+	const trials = 40000
+	counts := make([]int, setSize)
+	sm := rng.NewSplitMix64(3)
+	elems := make([]uint64, setSize)
+	for i := range elems {
+		elems[i] = uint64(i) * 1000 // structured, adversarial-ish keys
+	}
+	for trial := 0; trial < trials; trial++ {
+		h := NewMixed(sm.Uint64())
+		best, bestVal := 0, h.Hash(elems[0])
+		for i := 1; i < setSize; i++ {
+			if v := h.Hash(elems[i]); v < bestVal {
+				best, bestVal = i, v
+			}
+		}
+		counts[best]++
+	}
+	want := float64(trials) / setSize
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("element %d was argmin %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestTabulationDeterministicAndSeedSensitive(t *testing.T) {
+	a := NewTabulation(9)
+	b := NewTabulation(9)
+	c := NewTabulation(10)
+	diff := 0
+	for i := uint64(0); i < 1000; i++ {
+		if a.Hash(i) != b.Hash(i) {
+			t.Fatalf("same seed disagrees at %d", i)
+		}
+		if a.Hash(i) != c.Hash(i) {
+			diff++
+		}
+	}
+	if diff < 990 {
+		t.Errorf("different seeds agree too often: only %d of 1000 differ", diff)
+	}
+}
+
+func TestTabulationXORStructure(t *testing.T) {
+	// For simple tabulation, flipping one input byte changes the output by
+	// exactly the XOR of two table entries — verify via the 3-way relation
+	// h(x) ^ h(x^d) is constant in the other bytes.
+	h := NewTabulation(21)
+	d := uint64(0xff) << 16
+	want := h.Hash(0) ^ h.Hash(d)
+	for i := uint64(1); i < 100; i++ {
+		x := i * 0x0101010101010101 // vary all bytes
+		x &^= uint64(0xff) << 16    // except the one we flip
+		if got := h.Hash(x) ^ h.Hash(x^d); got != want {
+			t.Fatalf("tabulation XOR structure violated at x=%#x", x)
+		}
+	}
+}
+
+func TestFamilyPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFamily(k=0) did not panic")
+		}
+	}()
+	NewFamily(KindMixed, 0, 1)
+}
+
+func TestFamilyIndependentFunctions(t *testing.T) {
+	f := NewFamily(KindMixed, 16, 42)
+	if f.Size() != 16 {
+		t.Fatalf("Size = %d, want 16", f.Size())
+	}
+	// Distinct functions must disagree on most inputs.
+	for i := 0; i < f.Size(); i++ {
+		for j := i + 1; j < f.Size(); j++ {
+			same := 0
+			for x := uint64(0); x < 200; x++ {
+				if f.Hash(i, x) == f.Hash(j, x) {
+					same++
+				}
+			}
+			if same > 2 {
+				t.Errorf("functions %d and %d agree on %d of 200 inputs", i, j, same)
+			}
+		}
+	}
+}
+
+func TestFamilyReproducibleAcrossInstances(t *testing.T) {
+	for _, kind := range []Kind{KindMixed, KindTabulation} {
+		a := NewFamily(kind, 8, 123)
+		b := NewFamily(kind, 8, 123)
+		for i := 0; i < 8; i++ {
+			for x := uint64(0); x < 50; x++ {
+				if a.Hash(i, x) != b.Hash(i, x) {
+					t.Fatalf("%v family not reproducible at (%d, %d)", kind, i, x)
+				}
+			}
+		}
+	}
+}
+
+func TestHashAllMatchesHash(t *testing.T) {
+	f := NewFamily(KindMixed, 12, 7)
+	buf := make([]uint64, 0, 12)
+	if err := quick.Check(func(x uint64) bool {
+		buf = f.HashAll(x, buf)
+		if len(buf) != 12 {
+			return false
+		}
+		for i, v := range buf {
+			if v != f.Hash(i, x) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashAllNoAlloc(t *testing.T) {
+	f := NewFamily(KindMixed, 64, 7)
+	buf := make([]uint64, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = f.HashAll(99, buf)
+	})
+	if allocs != 0 {
+		t.Errorf("HashAll with pre-sized buffer allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestFloat01Range(t *testing.T) {
+	if err := quick.Check(func(h uint64) bool {
+		f := Float01(h)
+		return f > 0 && f <= 1
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if Float01(0) <= 0 {
+		t.Error("Float01(0) must be > 0 so callers can take logs")
+	}
+	if Float01(math.MaxUint64) > 1 {
+		t.Error("Float01(MaxUint64) must be <= 1")
+	}
+}
+
+func TestFloat01Uniform(t *testing.T) {
+	h := NewMixed(5)
+	const n = 100000
+	sum := 0.0
+	for i := uint64(0); i < n; i++ {
+		sum += Float01(h.Hash(i))
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of Float01 over hashes = %v, want ~0.5", mean)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindMixed.String() != "mixed" || KindTabulation.String() != "tabulation" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind string = %q", Kind(99).String())
+	}
+}
+
+func TestFamilyAccessors(t *testing.T) {
+	f := NewFamily(KindTabulation, 4, 55)
+	if f.Kind() != KindTabulation {
+		t.Errorf("Kind() = %v", f.Kind())
+	}
+	if f.Seed() != 55 {
+		t.Errorf("Seed() = %d", f.Seed())
+	}
+}
+
+func BenchmarkMixedHash(b *testing.B) {
+	h := NewMixed(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= h.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkTabulationHash(b *testing.B) {
+	h := NewTabulation(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= h.Hash(uint64(i))
+	}
+	_ = sink
+}

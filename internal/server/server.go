@@ -1,0 +1,258 @@
+// Package server exposes a streaming link predictor over HTTP: edges go
+// in as text lines, estimates come out as JSON. It exists so the sketch
+// can sit behind an event pipeline (a webhook, a log shipper, a message
+// consumer) without the producer linking Go code.
+//
+// Endpoints:
+//
+//	POST /ingest          body: edge list, "u v [t]" per line → {"ingested": n}
+//	GET  /pair?u=&v=      all measure estimates for one pair
+//	GET  /score?u=&v=&measure=jaccard|common-neighbors|adamic-adar|resource-allocation
+//	GET  /topk?u=&candidates=1,2,3&measure=&k=   ranked candidates
+//	GET  /stats           vertex/edge counts and memory
+//	GET  /checkpoint      download the predictor state (binary)
+//	POST /restore         replace the predictor with an uploaded checkpoint
+//
+// The server wraps a linkpred.Concurrent predictor, so ingest and
+// queries may overlap freely. Restore swaps the predictor atomically;
+// in-flight requests finish against the old state.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	linkpred "linkpred"
+	"linkpred/internal/stream"
+)
+
+// Server is the HTTP facade over a concurrent predictor.
+type Server struct {
+	pred atomic.Pointer[linkpred.Concurrent]
+	mux  *http.ServeMux
+}
+
+// New returns a Server wrapping pred.
+func New(pred *linkpred.Concurrent) *Server {
+	s := &Server{mux: http.NewServeMux()}
+	s.pred.Store(pred)
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /pair", s.handlePair)
+	s.mux.HandleFunc("GET /score", s.handleScore)
+	s.mux.HandleFunc("GET /topk", s.handleTopK)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /restore", s.handleRestore)
+	return s
+}
+
+// predictor returns the current predictor (restore may swap it).
+func (s *Server) predictor() *linkpred.Concurrent { return s.pred.Load() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures after WriteHeader cannot be reported to the
+	// client; the error is intentionally dropped (the connection is
+	// already committed).
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	pred := s.predictor()
+	reader := stream.NewTextReader(r.Body)
+	n := 0
+	err := stream.ForEach(reader, func(e stream.Edge) error {
+		pred.ObserveEdge(linkpred.Edge{U: e.U, V: e.V, T: e.T})
+		n++
+		return nil
+	})
+	if err != nil {
+		// Report how much was ingested before the malformed line: the
+		// sketch has no rollback (and needs none — ingest is idempotent
+		// for registers and monotone for counters).
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":    err.Error(),
+			"ingested": n,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ingested": n})
+}
+
+// queryPair parses the u and v query parameters.
+func queryPair(r *http.Request) (u, v uint64, err error) {
+	u, err = strconv.ParseUint(r.URL.Query().Get("u"), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad or missing u: %w", err)
+	}
+	v, err = strconv.ParseUint(r.URL.Query().Get("v"), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad or missing v: %w", err)
+	}
+	return u, v, nil
+}
+
+// score dispatches a measure name to the concurrent predictor.
+func (s *Server) score(measure string, u, v uint64) (float64, error) {
+	pred := s.predictor()
+	switch measure {
+	case "jaccard":
+		return pred.Jaccard(u, v), nil
+	case "common-neighbors":
+		return pred.CommonNeighbors(u, v), nil
+	case "adamic-adar":
+		return pred.AdamicAdar(u, v), nil
+	case "resource-allocation":
+		return pred.ResourceAllocation(u, v), nil
+	default:
+		return 0, fmt.Errorf("unknown measure %q", measure)
+	}
+}
+
+func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	u, v, err := queryPair(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pred := s.predictor()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u":                   u,
+		"v":                   v,
+		"jaccard":             pred.Jaccard(u, v),
+		"common_neighbors":    pred.CommonNeighbors(u, v),
+		"adamic_adar":         pred.AdamicAdar(u, v),
+		"resource_allocation": pred.ResourceAllocation(u, v),
+	})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	u, v, err := queryPair(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	measure := r.URL.Query().Get("measure")
+	if measure == "" {
+		measure = "adamic-adar"
+	}
+	score, err := s.score(measure, u, v)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u": u, "v": v, "measure": measure, "score": score,
+	})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	u, err := strconv.ParseUint(q.Get("u"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad or missing u: %v", err)
+		return
+	}
+	measure := q.Get("measure")
+	if measure == "" {
+		measure = "adamic-adar"
+	}
+	k := 10
+	if ks := q.Get("k"); ks != "" {
+		if k, err = strconv.Atoi(ks); err != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, "bad k %q", ks)
+			return
+		}
+	}
+	candStr := q.Get("candidates")
+	if candStr == "" {
+		writeError(w, http.StatusBadRequest, "missing candidates")
+		return
+	}
+	type scored struct {
+		V     uint64  `json:"v"`
+		Score float64 `json:"score"`
+	}
+	var scoredCands []scored
+	for _, tok := range strings.Split(candStr, ",") {
+		c, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad candidate %q: %v", tok, err)
+			return
+		}
+		if c == u {
+			continue
+		}
+		sc, err := s.score(measure, u, c)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		scoredCands = append(scoredCands, scored{V: c, Score: sc})
+	}
+	// Sort best-first, ties toward smaller id for determinism.
+	for i := 1; i < len(scoredCands); i++ {
+		for j := i; j > 0; j-- {
+			a, b := scoredCands[j-1], scoredCands[j]
+			if b.Score > a.Score || (b.Score == a.Score && b.V < a.V) {
+				scoredCands[j-1], scoredCands[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	if len(scoredCands) > k {
+		scoredCands = scoredCands[:k]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u": u, "measure": measure, "candidates": scoredCands,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	pred := s.predictor()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertices":     pred.NumVertices(),
+		"edges":        pred.NumEdges(),
+		"memory_bytes": pred.MemoryBytes(),
+		"shards":       pred.NumShards(),
+		"k":            pred.Config().K,
+	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="linkpred.ckpt"`)
+	if err := s.predictor().Save(w); err != nil {
+		// Headers are already committed; the client sees a truncated
+		// body, which LoadConcurrent will reject on restore.
+		return
+	}
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	loaded, err := linkpred.LoadConcurrent(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "restore: %v", err)
+		return
+	}
+	s.pred.Store(loaded)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"restored_vertices": loaded.NumVertices(),
+		"restored_edges":    loaded.NumEdges(),
+	})
+}

@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzTextReader feeds arbitrary bytes to the text parser: it must never
+// panic, and whatever it accepts must survive a write/read round trip.
+func FuzzTextReader(f *testing.F) {
+	f.Add("1 2\n3 4 99\n")
+	f.Add("# comment\n\n%konect\n10 20\n")
+	f.Add("1 2 3 4\n")
+	f.Add("x y\n")
+	f.Add("18446744073709551615 0 -9223372036854775808\n")
+	f.Add(strings.Repeat("7 8\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		edges, err := Collect(NewTextReader(strings.NewReader(input)))
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		// Accepted input must round-trip exactly.
+		var buf bytes.Buffer
+		if _, err := WriteText(&buf, Slice(edges)); err != nil {
+			t.Fatalf("WriteText of accepted edges failed: %v", err)
+		}
+		back, err := Collect(NewTextReader(&buf))
+		if err != nil {
+			t.Fatalf("re-read of written edges failed: %v", err)
+		}
+		if len(back) != len(edges) {
+			t.Fatalf("round trip changed edge count: %d → %d", len(edges), len(back))
+		}
+		for i := range edges {
+			if back[i] != edges[i] {
+				t.Fatalf("round trip changed edge %d: %+v → %+v", i, edges[i], back[i])
+			}
+		}
+	})
+}
+
+// FuzzBinaryReader feeds arbitrary bytes to the binary parser: it must
+// never panic and must reject anything that is not a well-formed stream
+// without misreporting truncation as success.
+func FuzzBinaryReader(f *testing.F) {
+	var valid bytes.Buffer
+	_, _ = WriteBinary(&valid, Slice([]Edge{{U: 1, V: 2, T: 3}, {U: 4, V: 5, T: 6}}))
+	f.Add(valid.Bytes())
+	f.Add([]byte("LPS1"))
+	f.Add([]byte("NOPE"))
+	f.Add(valid.Bytes()[:len(valid.Bytes())-3])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		edges, err := Collect(NewBinaryReader(bytes.NewReader(input)))
+		if err != nil {
+			return
+		}
+		// Success implies the input was magic + whole 24-byte records.
+		if want := 4 + 24*len(edges); want != len(input) {
+			t.Fatalf("accepted %d bytes as %d edges (want length %d)", len(input), len(edges), want)
+		}
+	})
+}

@@ -1,0 +1,348 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"linkpred/internal/rng"
+)
+
+func edges(pairs ...uint64) []Edge {
+	if len(pairs)%2 != 0 {
+		panic("edges: odd argument count")
+	}
+	out := make([]Edge, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Edge{U: pairs[i], V: pairs[i+1], T: int64(i / 2)})
+	}
+	return out
+}
+
+func TestCanonical(t *testing.T) {
+	e := Edge{U: 5, V: 2, T: 9}
+	c := e.Canonical()
+	if c.U != 2 || c.V != 5 || c.T != 9 {
+		t.Errorf("Canonical = %+v", c)
+	}
+	// Already canonical stays put.
+	if got := c.Canonical(); got != c {
+		t.Errorf("double Canonical changed edge: %+v", got)
+	}
+}
+
+func TestCanonicalProperty(t *testing.T) {
+	if err := quick.Check(func(u, v uint64, ts int64) bool {
+		c := Edge{U: u, V: v, T: ts}.Canonical()
+		return c.U <= c.V && c.T == ts &&
+			((c.U == u && c.V == v) || (c.U == v && c.V == u))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	es := edges(1, 2, 3, 4, 5, 6)
+	src := Slice(es)
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("Collect = %v", got)
+	}
+	for i := range es {
+		if got[i] != es[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, got[i], es[i])
+		}
+	}
+	// Exhausted source keeps returning EOF.
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("post-EOF Next err = %v", err)
+	}
+}
+
+func TestForEachStopsOnError(t *testing.T) {
+	wantErr := errors.New("boom")
+	calls := 0
+	err := ForEach(Slice(edges(1, 2, 3, 4, 5, 6)), func(e Edge) error {
+		calls++
+		if calls == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Errorf("fn called %d times, want 2", calls)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	in := []Edge{
+		{U: 1, V: 2}, {U: 2, V: 1}, // duplicate reversed
+		{U: 1, V: 2}, // duplicate exact
+		{U: 3, V: 3}, // self-loop
+		{U: 2, V: 3},
+	}
+	got, err := Collect(Dedup(Slice(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Dedup yielded %d edges, want 2: %v", len(got), got)
+	}
+	if got[0].U != 1 || got[0].V != 2 || got[1].U != 2 || got[1].V != 3 {
+		t.Errorf("Dedup = %v", got)
+	}
+}
+
+func TestDedupPreservesFirstOrientation(t *testing.T) {
+	in := []Edge{{U: 9, V: 4}}
+	got, _ := Collect(Dedup(Slice(in)))
+	if got[0].U != 9 || got[0].V != 4 {
+		t.Errorf("Dedup reoriented edge: %+v", got[0])
+	}
+}
+
+func TestLimit(t *testing.T) {
+	got, err := Collect(Limit(Slice(edges(1, 2, 3, 4, 5, 6)), 2))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Limit = %v, err %v", got, err)
+	}
+	got, err = Collect(Limit(Slice(edges(1, 2)), 10))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Limit larger than stream = %v, err %v", got, err)
+	}
+	got, err = Collect(Limit(Slice(edges(1, 2)), 0))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Limit(0) = %v, err %v", got, err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter(Slice(edges(1, 2, 3, 4)))
+	if c.Count() != 0 {
+		t.Error("fresh counter should be 0")
+	}
+	if _, err := Collect(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 2 {
+		t.Errorf("Count = %d, want 2", c.Count())
+	}
+}
+
+func TestSplit(t *testing.T) {
+	es := edges(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	train, test, err := Split(es, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 4 || len(test) != 1 {
+		t.Errorf("split 0.8 of 5 = %d/%d, want 4/1", len(train), len(test))
+	}
+	if _, _, err := Split(es, 1.5); err == nil {
+		t.Error("Split(1.5) should error")
+	}
+	if _, _, err := Split(es, -0.1); err == nil {
+		t.Error("Split(-0.1) should error")
+	}
+	train, test, _ = Split(es, 0)
+	if len(train) != 0 || len(test) != 5 {
+		t.Errorf("split 0 = %d/%d", len(train), len(test))
+	}
+	train, test, _ = Split(es, 1)
+	if len(train) != 5 || len(test) != 0 {
+		t.Errorf("split 1 = %d/%d", len(train), len(test))
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Slice(edges(1, 2))
+	b := Slice(nil)
+	c := Slice(edges(3, 4, 5, 6))
+	got, err := Collect(Concat(a, b, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].U != 1 || got[1].U != 3 || got[2].U != 5 {
+		t.Errorf("Concat = %v", got)
+	}
+	if got, err := Collect(Concat()); err != nil || len(got) != 0 {
+		t.Errorf("empty Concat = %v, err %v", got, err)
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	n := 0
+	src := Func(func() (Edge, error) {
+		if n >= 3 {
+			return Edge{}, io.EOF
+		}
+		n++
+		return Edge{U: uint64(n), V: uint64(n + 1)}, nil
+	})
+	got, err := Collect(src)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("Func source = %v, err %v", got, err)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	es := edges(1, 2, 3, 4, 1000000, 7)
+	var buf bytes.Buffer
+	n, err := WriteText(&buf, Slice(es))
+	if err != nil || n != 3 {
+		t.Fatalf("WriteText n=%d err=%v", n, err)
+	}
+	got, err := Collect(NewTextReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(es) {
+		t.Fatalf("round trip %d edges, want %d", len(got), len(es))
+	}
+	for i := range es {
+		if got[i] != es[i] {
+			t.Errorf("edge %d = %+v, want %+v", i, got[i], es[i])
+		}
+	}
+}
+
+func TestTextReaderCommentsAndBlank(t *testing.T) {
+	in := "# comment\n% konect comment\n\n1 2\n  3 4 99  \n"
+	got, err := Collect(NewTextReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d edges: %v", len(got), got)
+	}
+	if got[0] != (Edge{U: 1, V: 2, T: 0}) {
+		t.Errorf("edge 0 = %+v", got[0])
+	}
+	if got[1] != (Edge{U: 3, V: 4, T: 99}) {
+		t.Errorf("edge 1 = %+v", got[1])
+	}
+}
+
+func TestTextReaderArrivalOrderTimestamps(t *testing.T) {
+	in := "5 6\n7 8\n9 10\n"
+	got, err := Collect(NewTextReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range got {
+		if e.T != int64(i) {
+			t.Errorf("edge %d has T=%d, want %d", i, e.T, i)
+		}
+	}
+}
+
+func TestTextReaderErrors(t *testing.T) {
+	cases := []string{
+		"1\n",                      // too few fields
+		"1 2 3 4\n",                // too many fields
+		"x 2\n",                    // bad u
+		"1 y\n",                    // bad v
+		"1 2 zebra\n",              // bad t
+		"1 -2\n",                   // negative vertex
+		"99999999999999999999 1\n", // overflow
+	}
+	for _, in := range cases {
+		_, err := Collect(NewTextReader(strings.NewReader(in)))
+		if err == nil {
+			t.Errorf("input %q: expected parse error", in)
+		}
+	}
+}
+
+func TestTextReaderErrorIdentifiesLine(t *testing.T) {
+	in := "1 2\n3 4\nbogus line here\n"
+	_, err := Collect(NewTextReader(strings.NewReader(in)))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want mention of line 3", err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	es := []Edge{{U: 1, V: 2, T: -5}, {U: 1<<63 + 7, V: 0, T: 1 << 40}}
+	var buf bytes.Buffer
+	n, err := WriteBinary(&buf, Slice(es))
+	if err != nil || n != 2 {
+		t.Fatalf("WriteBinary n=%d err=%v", n, err)
+	}
+	got, err := Collect(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != es[0] || got[1] != es[1] {
+		t.Errorf("round trip = %v, want %v", got, es)
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	_, err := NewBinaryReader(strings.NewReader("NOPE....")).Next()
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("err = %v, want bad-magic error", err)
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, Slice(edges(1, 2))); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	_, err := Collect(NewBinaryReader(bytes.NewReader(trunc)))
+	if err == nil {
+		t.Error("truncated stream should produce an error, not silent EOF")
+	}
+}
+
+func TestBinaryEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, Slice(nil)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewBinaryReader(&buf))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty binary stream = %v, err %v", got, err)
+	}
+}
+
+func TestRoundTripPropertyTextAndBinary(t *testing.T) {
+	x := rng.NewXoshiro256(8)
+	if err := quick.Check(func(n uint8) bool {
+		es := make([]Edge, int(n)%30)
+		for i := range es {
+			es[i] = Edge{U: x.Uint64() >> 1, V: x.Uint64() >> 1, T: int64(i)}
+		}
+		var tb, bb bytes.Buffer
+		if _, err := WriteText(&tb, Slice(es)); err != nil {
+			return false
+		}
+		if _, err := WriteBinary(&bb, Slice(es)); err != nil {
+			return false
+		}
+		gt, err1 := Collect(NewTextReader(&tb))
+		gb, err2 := Collect(NewBinaryReader(&bb))
+		if err1 != nil || err2 != nil || len(gt) != len(es) || len(gb) != len(es) {
+			return false
+		}
+		for i := range es {
+			if gt[i] != es[i] || gb[i] != es[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package stream
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+
+	"linkpred/internal/rng"
+)
+
+// Stream transforms: utilities for composing and reshaping edge streams.
+// Real deployments rarely consume one pristine feed; they merge shards,
+// downsample for canaries, and realign timestamps. These adapters keep
+// that plumbing out of application code, in the same pull-based style as
+// the adapters in stream.go.
+
+// MergeByTime merges several individually time-ordered sources into one
+// stream ordered by Edge.T (ties broken by source index, so the merge is
+// deterministic). It reads one edge ahead per source — O(#sources)
+// buffering.
+func MergeByTime(sources ...Source) Source {
+	m := &mergeSource{}
+	for i, src := range sources {
+		m.pending = append(m.pending, mergeHead{src: src, idx: i})
+	}
+	return m
+}
+
+type mergeHead struct {
+	src  Source
+	idx  int
+	head Edge
+}
+
+type mergeSource struct {
+	pending []mergeHead
+	heap    mergeHeap
+	primed  bool
+	failed  error
+}
+
+type mergeHeap []*mergeHead
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].head.T != h[j].head.T {
+		return h[i].head.T < h[j].head.T
+	}
+	return h[i].idx < h[j].idx
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*mergeHead)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (m *mergeSource) Next() (Edge, error) {
+	if m.failed != nil {
+		return Edge{}, m.failed
+	}
+	if !m.primed {
+		m.primed = true
+		for i := range m.pending {
+			h := &m.pending[i]
+			e, err := h.src.Next()
+			if errors.Is(err, io.EOF) {
+				continue
+			}
+			if err != nil {
+				m.failed = fmt.Errorf("stream: merge source %d: %w", h.idx, err)
+				return Edge{}, m.failed
+			}
+			h.head = e
+			heap.Push(&m.heap, h)
+		}
+	}
+	if m.heap.Len() == 0 {
+		return Edge{}, io.EOF
+	}
+	h := m.heap[0]
+	out := h.head
+	e, err := h.src.Next()
+	switch {
+	case errors.Is(err, io.EOF):
+		heap.Pop(&m.heap)
+	case err != nil:
+		m.failed = fmt.Errorf("stream: merge source %d: %w", h.idx, err)
+		return Edge{}, m.failed
+	default:
+		h.head = e
+		heap.Fix(&m.heap, 0)
+	}
+	return out, nil
+}
+
+// Sample keeps each edge independently with probability p (Bernoulli
+// sampling), deterministically under the seed. It returns an error for p
+// outside [0, 1].
+func Sample(src Source, p float64, seed uint64) (Source, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("stream: sample probability %v outside [0, 1]", p)
+	}
+	x := rng.NewXoshiro256(seed)
+	return Func(func() (Edge, error) {
+		for {
+			e, err := src.Next()
+			if err != nil {
+				return Edge{}, err
+			}
+			if x.Float64() < p {
+				return e, nil
+			}
+		}
+	}), nil
+}
+
+// TimeShift adds delta to every edge timestamp — the standard tool for
+// concatenating recorded streams end to end.
+func TimeShift(src Source, delta int64) Source {
+	return Func(func() (Edge, error) {
+		e, err := src.Next()
+		if err != nil {
+			return Edge{}, err
+		}
+		e.T += delta
+		return e, nil
+	})
+}
+
+// Retime replaces every timestamp with the arrival index 0, 1, 2, … —
+// useful after shuffles or merges that leave timestamps meaningless.
+func Retime(src Source) Source {
+	next := int64(0)
+	return Func(func() (Edge, error) {
+		e, err := src.Next()
+		if err != nil {
+			return Edge{}, err
+		}
+		e.T = next
+		next++
+		return e, nil
+	})
+}
+
+// ShuffleWindow emits edges in a locally shuffled order: it keeps a
+// buffer of `window` edges and releases a uniformly random one each
+// step. It models out-of-order arrival with bounded skew — edges move at
+// most ~window positions from their original slot — which is how real
+// feeds misbehave. window must be >= 1; 1 is the identity.
+func ShuffleWindow(src Source, window int, seed uint64) (Source, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("stream: shuffle window must be >= 1, got %d", window)
+	}
+	x := rng.NewXoshiro256(seed)
+	buf := make([]Edge, 0, window)
+	drained := false
+	return Func(func() (Edge, error) {
+		for !drained && len(buf) < window {
+			e, err := src.Next()
+			if errors.Is(err, io.EOF) {
+				drained = true
+				break
+			}
+			if err != nil {
+				return Edge{}, err
+			}
+			buf = append(buf, e)
+		}
+		if len(buf) == 0 {
+			return Edge{}, io.EOF
+		}
+		i := x.Intn(len(buf))
+		out := buf[i]
+		buf[i] = buf[len(buf)-1]
+		buf = buf[:len(buf)-1]
+		return out, nil
+	}), nil
+}

@@ -1,0 +1,227 @@
+package stream
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"linkpred/internal/rng"
+)
+
+func timed(ts ...int64) []Edge {
+	out := make([]Edge, len(ts))
+	for i, t := range ts {
+		out[i] = Edge{U: uint64(i), V: uint64(i) + 1000, T: t}
+	}
+	return out
+}
+
+func TestMergeByTimeOrders(t *testing.T) {
+	a := Slice(timed(1, 4, 9))
+	b := Slice(timed(2, 3, 10))
+	c := Slice(timed(0, 5))
+	got, err := Collect(MergeByTime(a, b, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("merged %d edges, want 8", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].T < got[i-1].T {
+			t.Fatalf("merge out of order at %d: %v after %v", i, got[i].T, got[i-1].T)
+		}
+	}
+}
+
+func TestMergeByTimeTieBreakBySourceIndex(t *testing.T) {
+	a := Slice([]Edge{{U: 100, V: 101, T: 5}})
+	b := Slice([]Edge{{U: 200, V: 201, T: 5}})
+	got, err := Collect(MergeByTime(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].U != 100 || got[1].U != 200 {
+		t.Errorf("tie break wrong: %v", got)
+	}
+}
+
+func TestMergeByTimeEmptyAndSingle(t *testing.T) {
+	if got, err := Collect(MergeByTime()); err != nil || len(got) != 0 {
+		t.Errorf("empty merge = %v, %v", got, err)
+	}
+	got, err := Collect(MergeByTime(Slice(timed(3, 7))))
+	if err != nil || len(got) != 2 {
+		t.Errorf("single-source merge = %v, %v", got, err)
+	}
+	got, err = Collect(MergeByTime(Slice(nil), Slice(timed(1))))
+	if err != nil || len(got) != 1 {
+		t.Errorf("merge with empty source = %v, %v", got, err)
+	}
+}
+
+func TestMergeByTimePropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	n := 0
+	bad := Func(func() (Edge, error) {
+		n++
+		if n > 2 {
+			return Edge{}, boom
+		}
+		return Edge{T: int64(n)}, nil
+	})
+	_, err := Collect(MergeByTime(bad, Slice(timed(5))))
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	es := make([]Edge, 10000)
+	for i := range es {
+		es[i] = Edge{U: uint64(i), V: uint64(i + 1)}
+	}
+	src, err := Sample(Slice(es), 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2700 || len(got) > 3300 {
+		t.Errorf("sampled %d of 10000 at p=0.3", len(got))
+	}
+	// Order preserved.
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].U < got[j].U }) {
+		t.Error("sampling reordered the stream")
+	}
+	// Edge cases.
+	src, _ = Sample(Slice(es), 0, 1)
+	if got, _ := Collect(src); len(got) != 0 {
+		t.Errorf("p=0 kept %d edges", len(got))
+	}
+	src, _ = Sample(Slice(es), 1, 1)
+	if got, _ := Collect(src); len(got) != len(es) {
+		t.Errorf("p=1 kept %d of %d edges", len(got), len(es))
+	}
+	if _, err := Sample(Slice(es), 1.5, 1); err == nil {
+		t.Error("p>1 should error")
+	}
+	if _, err := Sample(Slice(es), -0.1, 1); err == nil {
+		t.Error("p<0 should error")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	es := timed(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	s1, _ := Sample(Slice(es), 0.5, 7)
+	s2, _ := Sample(Slice(es), 0.5, 7)
+	a, _ := Collect(s1)
+	b, _ := Collect(s2)
+	if len(a) != len(b) {
+		t.Fatal("sample not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sample not deterministic")
+		}
+	}
+}
+
+func TestTimeShift(t *testing.T) {
+	got, err := Collect(TimeShift(Slice(timed(1, 2, 3)), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range got {
+		if e.T != int64(i)+101 {
+			t.Errorf("edge %d has T=%d, want %d", i, e.T, i+101)
+		}
+	}
+}
+
+func TestRetime(t *testing.T) {
+	got, err := Collect(Retime(Slice(timed(55, 3, 99))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range got {
+		if e.T != int64(i) {
+			t.Errorf("edge %d has T=%d, want %d", i, e.T, i)
+		}
+	}
+}
+
+func TestShuffleWindowPermutes(t *testing.T) {
+	es := timed(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	src, err := ShuffleWindow(Slice(es), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(es) {
+		t.Fatalf("shuffle changed length: %d", len(got))
+	}
+	// Same multiset.
+	seen := map[uint64]bool{}
+	for _, e := range got {
+		if seen[e.U] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e.U] = true
+	}
+	// Bounded displacement: edge originally at position p must appear
+	// no earlier than p-window+1... (it can only be delayed arbitrarily?
+	// No: with a window of w, an edge enters the buffer at original
+	// position p and the buffer holds at most w items, so it cannot be
+	// emitted before output step p-w+1.)
+	for outPos, e := range got {
+		origPos := int(e.U)
+		if outPos < origPos-3 {
+			t.Errorf("edge from position %d emitted too early at %d (window 4)", origPos, outPos)
+		}
+	}
+}
+
+func TestShuffleWindowIdentityAtOne(t *testing.T) {
+	es := timed(5, 6, 7)
+	src, err := ShuffleWindow(Slice(es), 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := Collect(src)
+	for i := range es {
+		if got[i] != es[i] {
+			t.Fatal("window=1 should be identity")
+		}
+	}
+}
+
+func TestShuffleWindowValidation(t *testing.T) {
+	if _, err := ShuffleWindow(Slice(nil), 0, 1); err == nil {
+		t.Error("window=0 should error")
+	}
+}
+
+func TestShuffleWindowActuallyShuffles(t *testing.T) {
+	// Over many seeds, outputs should not all equal the input order.
+	es := timed(0, 1, 2, 3, 4, 5, 6, 7)
+	sm := rng.NewSplitMix64(11)
+	changed := false
+	for trial := 0; trial < 10; trial++ {
+		src, _ := ShuffleWindow(Slice(es), 5, sm.Uint64())
+		got, _ := Collect(src)
+		for i := range es {
+			if got[i] != es[i] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("shuffle produced identity order on every seed")
+	}
+}

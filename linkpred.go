@@ -1,0 +1,378 @@
+// Package linkpred is a streaming link-prediction library: it maintains
+// constant-space per-vertex graph sketches over an edge stream and
+// answers link-prediction queries — Jaccard coefficient, common-neighbor
+// count, Adamic–Adar index — at any point, in constant time per edge and
+// per query.
+//
+// It is an independent implementation of the system described in
+// "Link prediction in graph streams" (Zhao, Aggarwal, He; ICDE 2016):
+// MinHash-based vertex sketches with degree counters, plus a
+// vertex-biased sampling variant for Adamic–Adar. See DESIGN.md for the
+// construction and EXPERIMENTS.md for the reproduced evaluation.
+//
+// # Quick start
+//
+//	p, err := linkpred.New(linkpred.Config{K: 128, Seed: 42})
+//	if err != nil { ... }
+//	for _, e := range edges {
+//		p.Observe(e.U, e.V)
+//	}
+//	j := p.Jaccard(u, v)          // estimated Jaccard coefficient
+//	cn := p.CommonNeighbors(u, v) // estimated |N(u) ∩ N(v)|
+//	aa := p.AdamicAdar(u, v)      // estimated Adamic–Adar index
+//
+// Accuracy scales as 1/√K: use SketchSizeFor to derive K from a target
+// (ε, δ) guarantee.
+package linkpred
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"linkpred/internal/core"
+	"linkpred/internal/hashing"
+	"linkpred/internal/stream"
+)
+
+// Edge is one element of a graph stream: an undirected edge {U, V}
+// observed at logical time T (T is informational; estimators do not use
+// it).
+type Edge struct {
+	U, V uint64
+	T    int64
+}
+
+// Config parameterises a Predictor.
+type Config struct {
+	// K is the number of sketch registers per vertex. Space per vertex
+	// and time per edge are O(K); estimation error shrinks as 1/√K.
+	// Required: K >= 1. See SketchSizeFor.
+	K int
+	// Seed determines the hash functions. Equal configurations over equal
+	// streams produce identical estimates.
+	Seed uint64
+	// TabulationHashing switches the hash family from the default salted
+	// splitmix64 mixing (fastest) to 3-independent simple tabulation.
+	TabulationHashing bool
+	// DistinctDegrees switches degree maintenance from exact arrival
+	// counting (correct when each distinct edge appears once in the
+	// stream) to a KMV distinct-count estimate that is robust to
+	// duplicate arrivals at the cost of ~1/√K degree noise.
+	DistinctDegrees bool
+	// EnableBiased additionally maintains vertex-biased bottom-K sketches
+	// so AdamicAdarBiased is available. Roughly doubles per-vertex space.
+	EnableBiased bool
+	// TrackTriangles accumulates a streaming estimate of the global
+	// triangle count (see Triangles) at one extra O(K) comparison per
+	// observed edge.
+	TrackTriangles bool
+}
+
+// Measure identifies a link-prediction target measure for ranking.
+type Measure int
+
+const (
+	// Jaccard ranks by the estimated Jaccard coefficient.
+	Jaccard Measure = iota
+	// CommonNeighbors ranks by the estimated common-neighbor count.
+	CommonNeighbors
+	// AdamicAdar ranks by the estimated Adamic–Adar index.
+	AdamicAdar
+	// ResourceAllocation ranks by the estimated resource-allocation
+	// index Σ 1/d(w).
+	ResourceAllocation
+	// PreferentialAttachment ranks by the degree product d(u)·d(v).
+	PreferentialAttachment
+	// Cosine ranks by the estimated cosine (Salton) similarity.
+	Cosine
+)
+
+// String returns the measure's conventional name.
+func (m Measure) String() string {
+	switch m {
+	case Jaccard:
+		return "jaccard"
+	case CommonNeighbors:
+		return "common-neighbors"
+	case AdamicAdar:
+		return "adamic-adar"
+	case ResourceAllocation:
+		return "resource-allocation"
+	case PreferentialAttachment:
+		return "preferential-attachment"
+	case Cosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// Predictor is a streaming link predictor. It is safe for concurrent
+// queries, but Observe/ObserveEdge must not run concurrently with
+// anything else.
+type Predictor struct {
+	store *core.SketchStore
+	cfg   Config
+}
+
+// New returns an empty Predictor. It returns an error if cfg.K < 1.
+func New(cfg Config) (*Predictor, error) {
+	kind := hashing.KindMixed
+	if cfg.TabulationHashing {
+		kind = hashing.KindTabulation
+	}
+	degrees := core.DegreeArrivals
+	if cfg.DistinctDegrees {
+		degrees = core.DegreeDistinctKMV
+	}
+	store, err := core.NewSketchStore(core.Config{
+		K:              cfg.K,
+		Seed:           cfg.Seed,
+		Hash:           kind,
+		Degrees:        degrees,
+		EnableBiased:   cfg.EnableBiased,
+		TrackTriangles: cfg.TrackTriangles,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("linkpred: %w", err)
+	}
+	return &Predictor{store: store, cfg: cfg}, nil
+}
+
+// Config returns the configuration the Predictor was built with.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// Observe folds the undirected edge {u, v} into the sketches.
+// Self-loops are ignored. Cost: O(K).
+func (p *Predictor) Observe(u, v uint64) {
+	p.store.ProcessEdge(stream.Edge{U: u, V: v})
+}
+
+// ObserveEdge folds a timestamped edge into the sketches.
+func (p *Predictor) ObserveEdge(e Edge) {
+	p.store.ProcessEdge(stream.Edge{U: e.U, V: e.V, T: e.T})
+}
+
+// Jaccard returns the estimated Jaccard coefficient of (u, v) in [0, 1].
+// Pairs involving never-observed vertices score 0.
+func (p *Predictor) Jaccard(u, v uint64) float64 { return p.store.EstimateJaccard(u, v) }
+
+// CommonNeighbors returns the estimated number of common neighbors of
+// (u, v).
+func (p *Predictor) CommonNeighbors(u, v uint64) float64 {
+	return p.store.EstimateCommonNeighbors(u, v)
+}
+
+// AdamicAdar returns the estimated Adamic–Adar index of (u, v) using the
+// default matched-register estimator.
+func (p *Predictor) AdamicAdar(u, v uint64) float64 { return p.store.EstimateAdamicAdar(u, v) }
+
+// ResourceAllocation returns the estimated resource-allocation index
+// RA(u, v) = Σ_{w ∈ N(u)∩N(v)} 1/d(w).
+func (p *Predictor) ResourceAllocation(u, v uint64) float64 {
+	return p.store.EstimateResourceAllocation(u, v)
+}
+
+// PreferentialAttachment returns the degree product d(u)·d(v) under the
+// Predictor's degree estimates.
+func (p *Predictor) PreferentialAttachment(u, v uint64) float64 {
+	return p.store.EstimatePreferentialAttachment(u, v)
+}
+
+// Cosine returns the estimated cosine (Salton) similarity
+// |N(u)∩N(v)| / sqrt(d(u)·d(v)).
+func (p *Predictor) Cosine(u, v uint64) float64 {
+	return p.store.EstimateCosine(u, v)
+}
+
+// AdamicAdarBiased returns the vertex-biased sampling estimate of the
+// Adamic–Adar index. It returns NaN unless the Predictor was built with
+// Config.EnableBiased.
+func (p *Predictor) AdamicAdarBiased(u, v uint64) float64 {
+	return p.store.EstimateAdamicAdarBiased(u, v)
+}
+
+// UnionSize returns the estimated number of distinct vertices in
+// N(u) ∪ N(v).
+func (p *Predictor) UnionSize(u, v uint64) float64 { return p.store.EstimateUnionSize(u, v) }
+
+// Triangles returns the streaming estimate of the global triangle count
+// accumulated so far. It returns 0 unless the Predictor was built with
+// Config.TrackTriangles. Every triangle is counted exactly once (at its
+// closing edge); duplicate edge arrivals re-count the triangles they
+// close, so feed deduplicated streams for calibrated counts.
+func (p *Predictor) Triangles() float64 { return p.store.EstimateTriangles() }
+
+// VertexTriangles returns the estimated number of triangles incident to
+// u. Requires Config.TrackTriangles.
+func (p *Predictor) VertexTriangles(u uint64) float64 {
+	return p.store.EstimateVertexTriangles(u)
+}
+
+// LocalClustering returns the estimated local clustering coefficient of
+// u in [0, 1]: incident triangles over d(u)·(d(u)−1)/2. Requires
+// Config.TrackTriangles; returns 0 for degree < 2.
+func (p *Predictor) LocalClustering(u uint64) float64 {
+	return p.store.EstimateLocalClustering(u)
+}
+
+// Score returns the estimate of the given measure for (u, v).
+func (p *Predictor) Score(m Measure, u, v uint64) (float64, error) {
+	switch m {
+	case Jaccard:
+		return p.store.EstimateJaccard(u, v), nil
+	case CommonNeighbors:
+		return p.store.EstimateCommonNeighbors(u, v), nil
+	case AdamicAdar:
+		return p.store.EstimateAdamicAdar(u, v), nil
+	case ResourceAllocation:
+		return p.store.EstimateResourceAllocation(u, v), nil
+	case PreferentialAttachment:
+		return p.store.EstimatePreferentialAttachment(u, v), nil
+	case Cosine:
+		return p.store.EstimateCosine(u, v), nil
+	default:
+		return 0, fmt.Errorf("linkpred: unknown measure %v", m)
+	}
+}
+
+// Degree returns the Predictor's degree estimate for u (exact arrival
+// count, or KMV distinct estimate under Config.DistinctDegrees).
+func (p *Predictor) Degree(u uint64) float64 { return p.store.Degree(u) }
+
+// Seen reports whether u has appeared in the stream.
+func (p *Predictor) Seen(u uint64) bool { return p.store.Knows(u) }
+
+// NumVertices returns the number of distinct vertices observed.
+func (p *Predictor) NumVertices() int { return p.store.NumVertices() }
+
+// NumEdges returns the number of (non-self-loop) edges observed,
+// counting duplicates.
+func (p *Predictor) NumEdges() int64 { return p.store.NumEdges() }
+
+// MemoryBytes returns the Predictor's payload memory: O(K) per observed
+// vertex, independent of the number of edges.
+func (p *Predictor) MemoryBytes() int { return p.store.MemoryBytes() }
+
+// Candidate pairs a vertex with its estimated score, as returned by TopK.
+type Candidate struct {
+	V     uint64
+	Score float64
+}
+
+// TopK scores every candidate vertex against u under the given measure
+// and returns the k best, ties broken toward smaller vertex ids for
+// determinism. Candidate generation is the caller's concern (a streaming
+// sketch cannot enumerate two-hop neighborhoods itself); typical callers
+// track recently active vertices or a per-community candidate pool.
+func (p *Predictor) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Candidate, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	out := make([]Candidate, 0, len(candidates))
+	for _, v := range candidates {
+		if v == u {
+			continue
+		}
+		s, err := p.Score(m, u, v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Candidate{V: v, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].V < out[j].V
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// Save writes the Predictor's complete state (configuration, degree
+// counters and sketches) to w in a versioned binary format, for
+// checkpointing long-running stream processors. Load restores it.
+func (p *Predictor) Save(w io.Writer) error {
+	if err := p.store.Save(w); err != nil {
+		return fmt.Errorf("linkpred: %w", err)
+	}
+	return nil
+}
+
+// Load restores a Predictor saved with Save. The restored Predictor
+// answers every query identically to the saved one and can continue
+// consuming the stream where it left off.
+func Load(r io.Reader) (*Predictor, error) {
+	store, err := core.LoadSketchStore(r)
+	if err != nil {
+		return nil, fmt.Errorf("linkpred: %w", err)
+	}
+	cc := store.Config()
+	return &Predictor{store: store, cfg: Config{
+		K:                 cc.K,
+		Seed:              cc.Seed,
+		TabulationHashing: cc.Hash == hashing.KindTabulation,
+		DistinctDegrees:   cc.Degrees == core.DegreeDistinctKMV,
+		EnableBiased:      cc.EnableBiased,
+		TrackTriangles:    cc.TrackTriangles,
+	}}, nil
+}
+
+// SketchSizeFor returns the smallest K for which the Jaccard estimator is
+// (ε, δ)-accurate: P(|Ĵ − J| ≥ ε) ≤ δ for every query pair. It panics if
+// eps or delta lie outside (0, 1).
+func SketchSizeFor(eps, delta float64) int { return core.SketchSizeFor(eps, delta) }
+
+// JaccardErrorBound returns the ε guaranteed by a K-register sketch at
+// confidence 1−δ. It panics if k < 1 or delta lies outside (0, 1).
+func JaccardErrorBound(k int, delta float64) float64 { return core.JaccardErrorBound(k, delta) }
+
+// SimilarityIndex is an LSH banding index over the Predictor's sketches
+// for whole-graph similarity search: "which vertices have neighborhoods
+// like u's?" in O(bands) bucket lookups instead of scoring every vertex.
+// Pairs with Jaccard J collide in some band with probability
+// 1 − (1 − J^rows)^bands; choose bands/rows so the S-curve threshold
+// (1/bands)^(1/rows) sits below the similarity you care about.
+//
+// The index is a snapshot of the sketches at build time; rebuild it
+// periodically as the stream evolves.
+type SimilarityIndex struct {
+	idx *core.LSHIndex
+}
+
+// Similar is one similarity-search result.
+type Similar struct {
+	V       uint64
+	Jaccard float64
+}
+
+// BuildSimilarityIndex builds an LSH index with the given banding over
+// the current sketches. Requires bands·rows ≤ Config.K.
+func (p *Predictor) BuildSimilarityIndex(bands, rows int) (*SimilarityIndex, error) {
+	idx, err := p.store.BuildLSHIndex(bands, rows)
+	if err != nil {
+		return nil, fmt.Errorf("linkpred: %w", err)
+	}
+	return &SimilarityIndex{idx: idx}, nil
+}
+
+// Similar returns vertices whose estimated Jaccard with u is at least
+// minJaccard, descending, at most limit (<= 0 for all).
+func (s *SimilarityIndex) Similar(u uint64, minJaccard float64, limit int) []Similar {
+	raw := s.idx.Similar(u, minJaccard, limit)
+	out := make([]Similar, len(raw))
+	for i, r := range raw {
+		out[i] = Similar{V: r.V, Jaccard: r.Jaccard}
+	}
+	return out
+}
+
+// Candidates returns the raw (unverified) LSH candidate set for u.
+func (s *SimilarityIndex) Candidates(u uint64) []uint64 { return s.idx.Candidates(u) }
+
+// MemoryBytes returns the index's payload memory.
+func (s *SimilarityIndex) MemoryBytes() int { return s.idx.MemoryBytes() }

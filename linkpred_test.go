@@ -1,0 +1,338 @@
+package linkpred_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	linkpred "linkpred"
+	"linkpred/internal/exact"
+	"linkpred/internal/gen"
+	"linkpred/internal/graph"
+	"linkpred/internal/rng"
+	"linkpred/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := linkpred.New(linkpred.Config{K: 0}); err == nil {
+		t.Error("K=0 should error")
+	}
+	p, err := linkpred.New(linkpred.Config{K: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config().K != 16 {
+		t.Error("Config not retained")
+	}
+}
+
+func TestObserveAndBasicQueries(t *testing.T) {
+	p, _ := linkpred.New(linkpred.Config{K: 64, Seed: 1})
+	// Shared neighborhood {10..19} for 1 and 2.
+	for w := uint64(10); w < 20; w++ {
+		p.Observe(1, w)
+		p.Observe(2, w)
+	}
+	if got := p.Jaccard(1, 2); got != 1 {
+		t.Errorf("Jaccard of identical neighborhoods = %v, want 1", got)
+	}
+	if got := p.CommonNeighbors(1, 2); math.Abs(got-10) > 1 {
+		t.Errorf("CN = %v, want ≈10", got)
+	}
+	if p.NumVertices() != 12 {
+		t.Errorf("NumVertices = %d, want 12", p.NumVertices())
+	}
+	if p.NumEdges() != 20 {
+		t.Errorf("NumEdges = %d, want 20", p.NumEdges())
+	}
+	if !p.Seen(1) || p.Seen(999) {
+		t.Error("Seen misreports")
+	}
+	if p.Degree(1) != 10 {
+		t.Errorf("Degree(1) = %v, want 10", p.Degree(1))
+	}
+	if p.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes not positive")
+	}
+}
+
+func TestObserveEdgeEquivalentToObserve(t *testing.T) {
+	a, _ := linkpred.New(linkpred.Config{K: 32, Seed: 9})
+	b, _ := linkpred.New(linkpred.Config{K: 32, Seed: 9})
+	x := rng.NewXoshiro256(1)
+	for i := 0; i < 500; i++ {
+		u, v := x.Uint64()%100, x.Uint64()%100
+		a.Observe(u, v)
+		b.ObserveEdge(linkpred.Edge{U: u, V: v, T: int64(i)})
+	}
+	for i := 0; i < 100; i++ {
+		u, v := x.Uint64()%100, x.Uint64()%100
+		if a.Jaccard(u, v) != b.Jaccard(u, v) {
+			t.Fatalf("Observe and ObserveEdge diverge at (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestScoreDispatchAndError(t *testing.T) {
+	p, _ := linkpred.New(linkpred.Config{K: 16, Seed: 2})
+	p.Observe(1, 2)
+	for _, m := range []linkpred.Measure{linkpred.Jaccard, linkpred.CommonNeighbors, linkpred.AdamicAdar} {
+		if _, err := p.Score(m, 1, 2); err != nil {
+			t.Errorf("Score(%v) errored: %v", m, err)
+		}
+	}
+	if _, err := p.Score(linkpred.Measure(99), 1, 2); err == nil {
+		t.Error("unknown measure should error")
+	}
+}
+
+func TestMeasureString(t *testing.T) {
+	if linkpred.Jaccard.String() != "jaccard" ||
+		linkpred.CommonNeighbors.String() != "common-neighbors" ||
+		linkpred.AdamicAdar.String() != "adamic-adar" {
+		t.Error("Measure.String mismatch")
+	}
+	if linkpred.Measure(9).String() != "Measure(9)" {
+		t.Error("unknown measure string")
+	}
+}
+
+func TestAdamicAdarBiasedGating(t *testing.T) {
+	plain, _ := linkpred.New(linkpred.Config{K: 16, Seed: 3})
+	plain.Observe(1, 2)
+	if !math.IsNaN(plain.AdamicAdarBiased(1, 2)) {
+		t.Error("biased AA without EnableBiased should be NaN")
+	}
+	biased, _ := linkpred.New(linkpred.Config{K: 16, Seed: 3, EnableBiased: true})
+	biased.Observe(1, 2)
+	if math.IsNaN(biased.AdamicAdarBiased(1, 2)) {
+		t.Error("biased AA with EnableBiased should be a number")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	p, _ := linkpred.New(linkpred.Config{K: 128, Seed: 4})
+	// Vertex 1 shares 5 neighbors with 100, 2 with 200, 0 with 300.
+	for w := uint64(10); w < 15; w++ {
+		p.Observe(1, w)
+		p.Observe(100, w)
+	}
+	p.Observe(1, 20)
+	p.Observe(1, 21)
+	p.Observe(200, 20)
+	p.Observe(200, 21)
+	p.Observe(300, 50)
+	top, err := p.TopK(linkpred.CommonNeighbors, 1, []uint64{100, 200, 300, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].V != 100 || top[1].V != 200 {
+		t.Errorf("TopK = %v, want [100 200]", top)
+	}
+	// Self excluded even if listed; k=0 → nil.
+	if got, _ := p.TopK(linkpred.Jaccard, 1, []uint64{1}, 5); len(got) != 0 {
+		t.Errorf("TopK with only self = %v", got)
+	}
+	if got, _ := p.TopK(linkpred.Jaccard, 1, []uint64{100}, 0); got != nil {
+		t.Errorf("TopK(k=0) = %v, want nil", got)
+	}
+	if _, err := p.TopK(linkpred.Measure(99), 1, []uint64{100}, 1); err == nil {
+		t.Error("TopK with unknown measure should error")
+	}
+}
+
+func TestSketchSizeForRoundTrip(t *testing.T) {
+	k := linkpred.SketchSizeFor(0.1, 0.05)
+	if k < 100 || k > 400 {
+		t.Errorf("SketchSizeFor(0.1, 0.05) = %d, out of plausible range", k)
+	}
+	if eps := linkpred.JaccardErrorBound(k, 0.05); eps > 0.1+1e-9 {
+		t.Errorf("bound %v exceeds requested 0.1", eps)
+	}
+}
+
+func TestEndToEndAccuracyOnGeneratedStream(t *testing.T) {
+	src, err := gen.Coauthor(500, 2500, 5, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := stream.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := linkpred.New(linkpred.Config{K: 256, Seed: 5, DistinctDegrees: true})
+	g := graph.New()
+	for _, e := range es {
+		p.Observe(e.U, e.V)
+		g.AddEdge(e.U, e.V)
+	}
+	x := rng.NewXoshiro256(6)
+	var jaccErr []float64
+	for i := 0; i < 500; i++ {
+		u, v := uint64(x.Intn(500)), uint64(x.Intn(500))
+		if u == v {
+			continue
+		}
+		jaccErr = append(jaccErr, math.Abs(p.Jaccard(u, v)-exact.Jaccard(g, u, v)))
+	}
+	sum := 0.0
+	for _, e := range jaccErr {
+		sum += e
+	}
+	if mae := sum / float64(len(jaccErr)); mae > 0.05 {
+		t.Errorf("end-to-end Jaccard MAE = %.4f, want < 0.05 at K=256", mae)
+	}
+}
+
+func TestPredictorPropertyRanges(t *testing.T) {
+	p, _ := linkpred.New(linkpred.Config{K: 32, Seed: 7, EnableBiased: true})
+	x := rng.NewXoshiro256(8)
+	for i := 0; i < 2000; i++ {
+		p.Observe(x.Uint64()%150, x.Uint64()%150)
+	}
+	if err := quick.Check(func(a, b uint16) bool {
+		u, v := uint64(a%150), uint64(b%150)
+		j := p.Jaccard(u, v)
+		cn := p.CommonNeighbors(u, v)
+		aa := p.AdamicAdar(u, v)
+		us := p.UnionSize(u, v)
+		return j >= 0 && j <= 1 && cn >= 0 && aa >= 0 && us >= 0 &&
+			!math.IsNaN(j) && !math.IsNaN(cn) && !math.IsNaN(aa) && !math.IsNaN(us)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaveLoadFacade(t *testing.T) {
+	p, _ := linkpred.New(linkpred.Config{K: 64, Seed: 9, DistinctDegrees: true, EnableBiased: true})
+	x := rng.NewXoshiro256(10)
+	for i := 0; i < 3000; i++ {
+		p.Observe(x.Uint64()%200, x.Uint64()%200)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := linkpred.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Config() != p.Config() {
+		t.Errorf("config round trip: %+v != %+v", q.Config(), p.Config())
+	}
+	for i := 0; i < 200; i++ {
+		u, v := x.Uint64()%200, x.Uint64()%200
+		if p.Jaccard(u, v) != q.Jaccard(u, v) || p.AdamicAdar(u, v) != q.AdamicAdar(u, v) {
+			t.Fatalf("loaded predictor diverges at (%d,%d)", u, v)
+		}
+	}
+	if _, err := linkpred.Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("loading garbage should error")
+	}
+}
+
+func TestExtraMeasuresOnFacade(t *testing.T) {
+	p, _ := linkpred.New(linkpred.Config{K: 128, Seed: 11})
+	for w := uint64(10); w < 30; w++ {
+		p.Observe(1, w)
+		p.Observe(2, w)
+	}
+	if ra := p.ResourceAllocation(1, 2); ra <= 0 {
+		t.Errorf("RA = %v, want > 0", ra)
+	}
+	if pa := p.PreferentialAttachment(1, 2); pa != 400 {
+		t.Errorf("PA = %v, want 400", pa)
+	}
+	if cos := p.Cosine(1, 2); math.Abs(cos-1) > 0.1 {
+		t.Errorf("cosine of identical neighborhoods = %v, want ~1", cos)
+	}
+	for _, m := range []linkpred.Measure{linkpred.ResourceAllocation, linkpred.PreferentialAttachment, linkpred.Cosine} {
+		if _, err := p.Score(m, 1, 2); err != nil {
+			t.Errorf("Score(%v) errored: %v", m, err)
+		}
+		if m.String() == "" || m.String()[0] == 'M' {
+			t.Errorf("Measure %d has no name", m)
+		}
+	}
+}
+
+func TestTrianglesOnFacade(t *testing.T) {
+	p, _ := linkpred.New(linkpred.Config{K: 256, Seed: 13, TrackTriangles: true})
+	// Two triangles sharing edge {1,2}.
+	for _, e := range [][2]uint64{{1, 2}, {2, 3}, {1, 3}, {2, 4}, {1, 4}} {
+		p.Observe(e[0], e[1])
+	}
+	if got := p.Triangles(); math.Abs(got-2) > 0.5 {
+		t.Errorf("Triangles = %v, want ≈2", got)
+	}
+	// Persisted through Save/Load.
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := linkpred.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Triangles() != p.Triangles() {
+		t.Errorf("triangle accumulator lost in round trip: %v vs %v", q.Triangles(), p.Triangles())
+	}
+	if !q.Config().TrackTriangles {
+		t.Error("TrackTriangles flag lost in round trip")
+	}
+	// Off by default.
+	plain, _ := linkpred.New(linkpred.Config{K: 16, Seed: 13})
+	plain.Observe(1, 2)
+	if plain.Triangles() != 0 {
+		t.Error("untracked Triangles should be 0")
+	}
+}
+
+func TestVertexTrianglesAndClusteringFacade(t *testing.T) {
+	p, _ := linkpred.New(linkpred.Config{K: 512, Seed: 15, TrackTriangles: true})
+	// Triangle {1,2,3} plus a pendant 3-4.
+	p.Observe(1, 2)
+	p.Observe(2, 3)
+	p.Observe(1, 3)
+	p.Observe(3, 4)
+	if got := p.VertexTriangles(1); math.Abs(got-1) > 0.3 {
+		t.Errorf("VertexTriangles(1) = %v, want ≈1", got)
+	}
+	if got := p.LocalClustering(1); math.Abs(got-1) > 0.3 {
+		t.Errorf("LocalClustering(1) = %v, want ≈1", got)
+	}
+	// Vertex 3 has degree 3, one triangle: clustering 1/3.
+	if got := p.LocalClustering(3); math.Abs(got-1.0/3) > 0.2 {
+		t.Errorf("LocalClustering(3) = %v, want ≈1/3", got)
+	}
+	if p.LocalClustering(4) != 0 {
+		t.Error("degree-1 clustering should be 0")
+	}
+}
+
+func TestSimilarityIndexFacade(t *testing.T) {
+	p, _ := linkpred.New(linkpred.Config{K: 64, Seed: 17})
+	// 1 and 2 share everything; 3 is unrelated.
+	for w := uint64(100); w < 140; w++ {
+		p.Observe(1, w)
+		p.Observe(2, w)
+	}
+	for w := uint64(500); w < 540; w++ {
+		p.Observe(3, w)
+	}
+	if _, err := p.BuildSimilarityIndex(100, 4); err == nil {
+		t.Error("bands*rows > K should error")
+	}
+	idx, err := p.BuildSimilarityIndex(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims := idx.Similar(1, 0.5, 10)
+	if len(sims) != 1 || sims[0].V != 2 || sims[0].Jaccard != 1 {
+		t.Errorf("Similar(1) = %v, want just {2, 1.0}", sims)
+	}
+	if len(idx.Candidates(1)) == 0 || idx.MemoryBytes() <= 0 {
+		t.Error("candidates/memory broken")
+	}
+}

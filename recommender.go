@@ -1,0 +1,89 @@
+package linkpred
+
+import (
+	"fmt"
+
+	"linkpred/internal/candidates"
+	"linkpred/internal/stream"
+)
+
+// Recommender is a fully streaming link recommender: it couples a
+// Predictor (scores any pair in O(K)) with a bounded-memory candidate
+// tracker (discovers *which* pairs are worth scoring from the stream
+// itself), so Recommend works end to end without any access to the
+// graph — the missing piece when the caller cannot enumerate two-hop
+// neighborhoods.
+//
+// State per vertex is O(K + recent + pool) — constant, like everything
+// else in this library. Not safe for concurrent use.
+type Recommender struct {
+	pred    *Predictor
+	tracker *candidates.Tracker
+}
+
+// RecommenderConfig parameterises a Recommender.
+type RecommenderConfig struct {
+	// Predictor is the sketch configuration (see Config).
+	Predictor Config
+	// RecentNeighbors is the per-vertex ring of most recent neighbors
+	// used to discover fresh two-hop paths. Default 8.
+	RecentNeighbors int
+	// PoolSize is the per-vertex candidate pool (a space-saving summary
+	// of the most frequent two-hop partners). Larger pools raise recall
+	// of the best candidates at linear space cost. Default 64.
+	PoolSize int
+}
+
+// NewRecommender returns an empty Recommender. Zero values for
+// RecentNeighbors and PoolSize select the defaults.
+func NewRecommender(cfg RecommenderConfig) (*Recommender, error) {
+	if cfg.RecentNeighbors == 0 {
+		cfg.RecentNeighbors = 8
+	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 64
+	}
+	pred, err := New(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := candidates.New(cfg.RecentNeighbors, cfg.PoolSize)
+	if err != nil {
+		return nil, fmt.Errorf("linkpred: %w", err)
+	}
+	return &Recommender{pred: pred, tracker: tracker}, nil
+}
+
+// Observe folds one edge into both the sketches and the candidate
+// tracker.
+func (r *Recommender) Observe(u, v uint64) {
+	r.pred.Observe(u, v)
+	r.tracker.ProcessEdge(stream.Edge{U: u, V: v})
+}
+
+// ObserveEdge folds a timestamped edge.
+func (r *Recommender) ObserveEdge(e Edge) { r.Observe(e.U, e.V) }
+
+// Recommend returns the k best predicted partners for u under the given
+// measure, drawn from u's streamed candidate pool. It returns nil for an
+// unknown or so-far-isolated vertex.
+func (r *Recommender) Recommend(m Measure, u uint64, k int) ([]Candidate, error) {
+	cands := r.tracker.Candidates(u)
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	return r.pred.TopK(m, u, cands, k)
+}
+
+// Candidates exposes u's raw candidate pool (ordered by two-hop
+// co-occurrence frequency) for callers that score with their own logic.
+func (r *Recommender) Candidates(u uint64) []uint64 { return r.tracker.Candidates(u) }
+
+// Predictor exposes the underlying predictor for direct pair queries.
+func (r *Recommender) Predictor() *Predictor { return r.pred }
+
+// MemoryBytes returns the combined payload memory of sketches and
+// candidate pools.
+func (r *Recommender) MemoryBytes() int {
+	return r.pred.MemoryBytes() + r.tracker.MemoryBytes()
+}

@@ -1,0 +1,111 @@
+package linkpred
+
+import (
+	"fmt"
+	"io"
+
+	"linkpred/internal/core"
+	"linkpred/internal/hashing"
+	"linkpred/internal/stream"
+)
+
+// Windowed is a sliding-window streaming link predictor: estimates
+// reflect only the most recent window of stream time, so predictions
+// track the current graph as it evolves (the temporal-decay extension of
+// the sketch scheme; see DESIGN.md §7-extension).
+//
+// The window of span `window` (in Edge.T units) is covered by `gens`
+// tumbling generations; old generations are dropped as time advances, so
+// effective coverage varies between window·(gens−1)/gens and window.
+// Queries cost O(gens·K). Degrees always use distinct counting (a
+// neighbor seen in several generations counts once), so
+// Config.DistinctDegrees is implied. Config.EnableBiased is not
+// supported.
+//
+// Edge timestamps must be non-decreasing.
+type Windowed struct {
+	store *core.Windowed
+	cfg   Config
+}
+
+// NewWindowed returns an empty windowed predictor. It returns an error
+// if cfg.K < 1, window < 1, gens < 2, window/gens < 1, or
+// cfg.EnableBiased is set.
+func NewWindowed(cfg Config, window int64, gens int) (*Windowed, error) {
+	kind := hashing.KindMixed
+	if cfg.TabulationHashing {
+		kind = hashing.KindTabulation
+	}
+	store, err := core.NewWindowed(core.Config{
+		K:            cfg.K,
+		Seed:         cfg.Seed,
+		Hash:         kind,
+		Degrees:      core.DegreeDistinctKMV,
+		EnableBiased: cfg.EnableBiased,
+	}, window, gens)
+	if err != nil {
+		return nil, fmt.Errorf("linkpred: %w", err)
+	}
+	return &Windowed{store: store, cfg: cfg}, nil
+}
+
+// Config returns the configuration the predictor was built with.
+func (w *Windowed) Config() Config { return w.cfg }
+
+// Window returns the total window span covered.
+func (w *Windowed) Window() int64 { return w.store.Window() }
+
+// ObserveEdge folds a timestamped edge into the window. Timestamps must
+// be non-decreasing.
+func (w *Windowed) ObserveEdge(e Edge) {
+	w.store.ProcessEdge(stream.Edge{U: e.U, V: e.V, T: e.T})
+}
+
+// Jaccard returns the estimated Jaccard coefficient over the window.
+func (w *Windowed) Jaccard(u, v uint64) float64 { return w.store.EstimateJaccard(u, v) }
+
+// CommonNeighbors returns the estimated common-neighbor count over the
+// window.
+func (w *Windowed) CommonNeighbors(u, v uint64) float64 {
+	return w.store.EstimateCommonNeighbors(u, v)
+}
+
+// AdamicAdar returns the estimated Adamic–Adar index over the window.
+func (w *Windowed) AdamicAdar(u, v uint64) float64 { return w.store.EstimateAdamicAdar(u, v) }
+
+// Degree returns the estimated distinct degree of u over the window.
+func (w *Windowed) Degree(u uint64) float64 { return w.store.Degree(u) }
+
+// Seen reports whether u appears anywhere in the current window.
+func (w *Windowed) Seen(u uint64) bool { return w.store.Knows(u) }
+
+// NumEdges returns the number of edges currently held in the window.
+func (w *Windowed) NumEdges() int64 { return w.store.NumEdges() }
+
+// MemoryBytes returns the predictor's payload memory.
+func (w *Windowed) MemoryBytes() int { return w.store.MemoryBytes() }
+
+// Save writes the windowed predictor's complete state — including the
+// window geometry and rotation cursor — to wr, so a restored predictor
+// resumes the window exactly where it left off.
+func (w *Windowed) Save(wr io.Writer) error {
+	if err := w.store.Save(wr); err != nil {
+		return fmt.Errorf("linkpred: %w", err)
+	}
+	return nil
+}
+
+// LoadWindowed restores a predictor saved with (*Windowed).Save.
+func LoadWindowed(r io.Reader) (*Windowed, error) {
+	store, err := core.LoadWindowed(r)
+	if err != nil {
+		return nil, fmt.Errorf("linkpred: %w", err)
+	}
+	cc := store.Config()
+	return &Windowed{store: store, cfg: Config{
+		K:                 cc.K,
+		Seed:              cc.Seed,
+		TabulationHashing: cc.Hash == hashing.KindTabulation,
+		DistinctDegrees:   true, // windowed mode always uses distinct degrees
+	}}, nil
+}

@@ -1,0 +1,82 @@
+package linkpred_test
+
+import (
+	"bytes"
+	"testing"
+
+	linkpred "linkpred"
+)
+
+func TestWindowedFacade(t *testing.T) {
+	if _, err := linkpred.NewWindowed(linkpred.Config{K: 8}, 0, 4); err == nil {
+		t.Error("window=0 should error")
+	}
+	if _, err := linkpred.NewWindowed(linkpred.Config{K: 8, EnableBiased: true}, 100, 4); err == nil {
+		t.Error("EnableBiased should be rejected")
+	}
+	w, err := linkpred.NewWindowed(linkpred.Config{K: 64, Seed: 1}, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Window() != 100 || w.Config().K != 64 {
+		t.Error("accessors wrong")
+	}
+	// Shared neighborhood now…
+	for i := uint64(10); i < 30; i++ {
+		w.ObserveEdge(linkpred.Edge{U: 1, V: i, T: 0})
+		w.ObserveEdge(linkpred.Edge{U: 2, V: i, T: 0})
+	}
+	if j := w.Jaccard(1, 2); j != 1 {
+		t.Errorf("fresh Jaccard = %v, want 1", j)
+	}
+	if cn := w.CommonNeighbors(1, 2); cn < 10 || cn > 30 {
+		t.Errorf("CN = %v, want ≈20", cn)
+	}
+	if aa := w.AdamicAdar(1, 2); aa <= 0 {
+		t.Errorf("AA = %v, want > 0", aa)
+	}
+	if !w.Seen(1) || w.Seen(999) {
+		t.Error("Seen misreports")
+	}
+	if d := w.Degree(1); d < 10 || d > 30 {
+		t.Errorf("Degree = %v, want ≈20", d)
+	}
+	if w.NumEdges() != 40 || w.MemoryBytes() <= 0 {
+		t.Error("accounting wrong")
+	}
+	// …forgotten after the window passes.
+	for ts := int64(10); ts <= 500; ts += 10 {
+		w.ObserveEdge(linkpred.Edge{U: 1000 + uint64(ts), V: 2000 + uint64(ts), T: ts})
+	}
+	if w.Seen(1) {
+		t.Error("expired vertex still visible")
+	}
+	if j := w.Jaccard(1, 2); j != 0 {
+		t.Errorf("expired Jaccard = %v, want 0", j)
+	}
+}
+
+func TestWindowedFacadeSaveLoad(t *testing.T) {
+	w, _ := linkpred.NewWindowed(linkpred.Config{K: 32, Seed: 3}, 100, 4)
+	for i := uint64(0); i < 50; i++ {
+		w.ObserveEdge(linkpred.Edge{U: 1, V: 100 + i, T: int64(i)})
+		w.ObserveEdge(linkpred.Edge{U: 2, V: 100 + i, T: int64(i)})
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := linkpred.LoadWindowed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Window() != w.Window() {
+		t.Error("window geometry lost")
+	}
+	if loaded.Jaccard(1, 2) != w.Jaccard(1, 2) {
+		t.Error("loaded windowed predictor diverges")
+	}
+	if _, err := linkpred.LoadWindowed(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("loading junk should error")
+	}
+}
