@@ -57,6 +57,7 @@ func BenchmarkE7AAAblation(b *testing.B)       { runExperiment(b, "e7") }
 func BenchmarkE8Memory(b *testing.B)           { runExperiment(b, "e8") }
 func BenchmarkE9Progression(b *testing.B)      { runExperiment(b, "e9") }
 func BenchmarkE10QueryLatency(b *testing.B)    { runExperiment(b, "e10") }
+func BenchmarkE20IngestScaling(b *testing.B)   { runExperiment(b, "e20") }
 
 // loadEdges materialises a small BA stream once per benchmark process.
 func loadEdges(b *testing.B) []stream.Edge {

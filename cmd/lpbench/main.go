@@ -33,11 +33,14 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lpbench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiments to run: all, or comma-separated ids (e1..e18)")
-		quick  = fs.Bool("quick", false, "small-scale run (seconds instead of minutes)")
-		seed   = fs.Uint64("seed", 42, "experiment seed (EXPERIMENTS.md uses 42)")
-		csvDir = fs.String("csv", "", "directory to write per-experiment CSV files (optional)")
-		list   = fs.Bool("list", false, "list available experiments and exit")
+		exp      = fs.String("exp", "all", "experiments to run: all, or comma-separated ids (e1..e20)")
+		quick    = fs.Bool("quick", false, "small-scale run (seconds instead of minutes)")
+		seed     = fs.Uint64("seed", 42, "experiment seed (EXPERIMENTS.md uses 42)")
+		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files (optional)")
+		jsonDir  = fs.String("json", "", "directory to write per-experiment JSON files (optional)")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		parallel = fs.Int("parallel", 0, "max writer goroutines swept by the ingest scaling experiment (0 = default 8)")
+		batch    = fs.Int("batch", 0, "edges per batch for batched-ingest measurements (0 = default 256)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,13 +65,31 @@ func run(args []string, stdout io.Writer) error {
 			selected = append(selected, e)
 		}
 	}
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			return fmt.Errorf("create csv dir: %w", err)
+	for _, dir := range []string{*csvDir, *jsonDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fmt.Errorf("create output dir: %w", err)
+			}
 		}
 	}
+	// writeTable renders one experiment's table into dir via render.
+	writeTable := func(dir, id, ext string, render func(io.Writer) error) error {
+		path := filepath.Join(dir, id+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", path, err)
+		}
+		return nil
+	}
 
-	cfg := bench.RunConfig{Quick: *quick, Seed: *seed}
+	cfg := bench.RunConfig{Quick: *quick, Seed: *seed, Parallel: *parallel, Batch: *batch}
 	for _, e := range selected {
 		start := time.Now()
 		table, err := e.Run(cfg)
@@ -80,17 +101,13 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
-			path := filepath.Join(*csvDir, e.ID+".csv")
-			f, err := os.Create(path)
-			if err != nil {
-				return fmt.Errorf("create %s: %w", path, err)
+			if err := writeTable(*csvDir, e.ID, ".csv", table.WriteCSV); err != nil {
+				return err
 			}
-			if err := table.WriteCSV(f); err != nil {
-				f.Close()
-				return fmt.Errorf("write %s: %w", path, err)
-			}
-			if err := f.Close(); err != nil {
-				return fmt.Errorf("close %s: %w", path, err)
+		}
+		if *jsonDir != "" {
+			if err := writeTable(*jsonDir, e.ID, ".json", table.WriteJSON); err != nil {
+				return err
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -48,5 +49,35 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogus-flag"}, &out); err == nil {
 		t.Error("bad flag should error")
+	}
+}
+
+func TestRunIngestScalingWithJSON(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "e20", "-quick", "-parallel", "2", "-batch", "64", "-json", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E20: batched parallel ingest") {
+		t.Errorf("output missing e20 title:\n%s", out.String())
+	}
+	js, err := os.ReadFile(filepath.Join(dir, "e20.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(js, &doc); err != nil {
+		t.Fatalf("e20.json invalid: %v", err)
+	}
+	// -parallel 2 sweeps goroutines 1 and 2 with two modes each.
+	if len(doc.Rows) != 4 {
+		t.Errorf("e20.json has %d rows, want 4:\n%s", len(doc.Rows), js)
+	}
+	if len(doc.Columns) == 0 || doc.Columns[0] != "mode" {
+		t.Errorf("unexpected columns: %v", doc.Columns)
 	}
 }

@@ -5,28 +5,57 @@
 //
 //	lpstream -in stream.txt -k 128 -pairs "3:17,42:99"
 //	lpstream -in stream.bin -binary -k 256 -top 42 -topk 10
+//	lpstream -in stream.txt -parallel 4                # sharded parallel ingest
 //	cat queries.txt | lpstream -in stream.txt          # "u v" per line
 //
-// After ingesting the stream it prints a summary, then the estimated
-// Jaccard / common-neighbor / Adamic–Adar values for each query pair
-// given via -pairs, the top-k candidates for the -top vertex (candidates
-// are the vertices seen in the stream), and finally any "u v" query pairs
-// read from stdin if it is not a terminal.
+// Ingest reads the stream in batches (-batch edges at a time) and folds
+// each batch through the library's batched ingest path; with -parallel
+// N > 1 the batches are fanned out to N writer goroutines over a
+// sharded predictor. Estimates are identical in every mode. After
+// ingesting it prints a summary with the ingest rate, then the
+// estimated Jaccard / common-neighbor / Adamic–Adar values for each
+// query pair given via -pairs, the top-k candidates for the -top vertex
+// (candidates are the vertices seen in the stream), and finally any
+// "u v" query pairs read from stdin if it is not a terminal.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	linkpred "linkpred"
 	"linkpred/internal/monitor"
 	"linkpred/internal/stream"
 )
+
+// undirectedModel is the query surface shared by linkpred.Predictor and
+// linkpred.Concurrent, so the reporting code below is mode-agnostic.
+type undirectedModel interface {
+	Jaccard(u, v uint64) float64
+	CommonNeighbors(u, v uint64) float64
+	AdamicAdar(u, v uint64) float64
+	TopK(m linkpred.Measure, u uint64, candidates []uint64, k int) ([]linkpred.Candidate, error)
+	NumVertices() int
+	MemoryBytes() int
+}
+
+// directedModel is the query surface shared by linkpred.Directed and
+// linkpred.ConcurrentDirected.
+type directedModel interface {
+	Jaccard(u, v uint64) float64
+	CommonNeighbors(u, v uint64) float64
+	AdamicAdar(u, v uint64) float64
+	NumVertices() int
+	MemoryBytes() int
+}
 
 func main() {
 	// Stdin queries only when something is piped in.
@@ -56,6 +85,8 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		measure  = fs.String("measure", "adamic-adar", "ranking measure: jaccard | common-neighbors | adamic-adar")
 		directed = fs.Bool("directed", false, "treat edges as directed arcs (u -> v); queries score candidate arcs")
 		profile  = fs.Bool("profile", false, "also print a constant-space stream profile (distinct edges, duplicate rate, heavy hitters)")
+		parallel = fs.Int("parallel", 1, "ingest writer goroutines; >1 switches to the sharded concurrent predictor")
+		batch    = fs.Int("batch", 4096, "edges per ingest batch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,15 +94,43 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
+	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch must be >= 1, got %d", *batch)
+	}
 
+	// Pick the model: the single-writer predictors at -parallel 1, the
+	// sharded concurrent ones above that (shards = 4× the writer count so
+	// that per-batch shard groups spread across writers). Every estimate
+	// is identical across the four; only locking differs.
 	cfg := linkpred.Config{K: *k, Seed: *seed, DistinctDegrees: *distinct}
-	var p *linkpred.Predictor
-	var dp *linkpred.Directed
+	var p undirectedModel
+	var dp directedModel
+	var observe func([]linkpred.Edge)
 	var err error
-	if *directed {
-		dp, err = linkpred.NewDirected(cfg)
-	} else {
-		p, err = linkpred.New(cfg)
+	switch {
+	case *directed && *parallel > 1:
+		m, e := linkpred.NewConcurrentDirected(cfg, 4**parallel)
+		dp, observe, err = m, m.ObserveEdges, e
+	case *directed:
+		m, e := linkpred.NewDirected(cfg)
+		err = e
+		if e == nil {
+			dp = m
+			observe = func(batch []linkpred.Edge) {
+				for _, ed := range batch {
+					m.ObserveEdge(ed)
+				}
+			}
+		}
+	case *parallel > 1:
+		m, e := linkpred.NewConcurrent(cfg, 4**parallel)
+		p, observe, err = m, m.ObserveEdges, e
+	default:
+		m, e := linkpred.New(cfg)
+		p, observe, err = m, m.ObserveEdges, e
 	}
 	if err != nil {
 		return err
@@ -104,24 +163,73 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 			vertices = append(vertices, u)
 		}
 	}
+
+	// Batched ingest pipeline: the reader fills -batch-edge buffers and
+	// handles the single-threaded bookkeeping (vertex universe, stream
+	// profile); the sketch work runs through observe — inline at
+	// -parallel 1, fanned out to writer goroutines otherwise. Recycled
+	// buffers flow reader → workers → reader, so ingest allocates
+	// nothing per batch at steady state.
 	edges := 0
-	err = stream.ForEach(src, func(e stream.Edge) error {
-		if dp != nil {
-			dp.Observe(e.U, e.V)
-		} else {
-			p.Observe(e.U, e.V)
+	start := time.Now()
+	var (
+		work, free chan []linkpred.Edge
+		wg         sync.WaitGroup
+	)
+	if *parallel > 1 {
+		work = make(chan []linkpred.Edge, *parallel)
+		free = make(chan []linkpred.Edge, 2**parallel)
+		for i := 0; i < cap(free); i++ {
+			free <- make([]linkpred.Edge, 0, *batch)
 		}
-		if mon != nil {
-			mon.ProcessEdge(e)
+		for w := 0; w < *parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for b := range work {
+					observe(b)
+					free <- b[:0]
+				}
+			}()
 		}
-		note(e.U)
-		note(e.V)
-		edges++
-		return nil
-	})
-	if err != nil {
-		return err
 	}
+	rbuf := make([]stream.Edge, *batch)
+	inline := make([]linkpred.Edge, 0, *batch)
+	for {
+		n, rerr := stream.ReadBatch(src, rbuf)
+		if n > 0 {
+			b := inline[:0]
+			if *parallel > 1 {
+				b = <-free
+			}
+			for _, e := range rbuf[:n] {
+				if mon != nil {
+					mon.ProcessEdge(e)
+				}
+				note(e.U)
+				note(e.V)
+				b = append(b, linkpred.Edge{U: e.U, V: e.V, T: e.T})
+			}
+			edges += n
+			if *parallel > 1 {
+				work <- b
+			} else {
+				observe(b)
+			}
+		}
+		if rerr != nil || n < *batch {
+			if *parallel > 1 {
+				close(work)
+				wg.Wait()
+			}
+			if rerr != nil && !errors.Is(rerr, io.EOF) {
+				return rerr
+			}
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	rate := float64(edges) / elapsed.Seconds()
 	if dp != nil {
 		fmt.Fprintf(stdout, "ingested %d arcs, %d vertices; sketch memory %.1f MiB (k=%d, directed)\n",
 			edges, dp.NumVertices(), float64(dp.MemoryBytes())/(1<<20), *k)
@@ -129,6 +237,8 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		fmt.Fprintf(stdout, "ingested %d edges, %d vertices; sketch memory %.1f MiB (k=%d)\n",
 			edges, p.NumVertices(), float64(p.MemoryBytes())/(1<<20), *k)
 	}
+	fmt.Fprintf(stdout, "ingest: %.3fs, %.0f edges/sec (parallel=%d, batch=%d)\n",
+		elapsed.Seconds(), rate, *parallel, *batch)
 	if mon != nil {
 		r := mon.Report(5)
 		fmt.Fprintf(stdout, "stream profile: %s (profile memory %.2f MiB)\n", r, float64(mon.MemoryBytes())/(1<<20))
@@ -198,12 +308,12 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	return nil
 }
 
-func printArc(w io.Writer, d *linkpred.Directed, u, v uint64) {
+func printArc(w io.Writer, d directedModel, u, v uint64) {
 	fmt.Fprintf(w, "(%d -> %d): jaccard=%.4f common-neighbors=%.2f adamic-adar=%.3f\n",
 		u, v, d.Jaccard(u, v), d.CommonNeighbors(u, v), d.AdamicAdar(u, v))
 }
 
-func printPair(w io.Writer, p *linkpred.Predictor, u, v uint64) {
+func printPair(w io.Writer, p undirectedModel, u, v uint64) {
 	fmt.Fprintf(w, "(%d, %d): jaccard=%.4f common-neighbors=%.2f adamic-adar=%.3f\n",
 		u, v, p.Jaccard(u, v), p.CommonNeighbors(u, v), p.AdamicAdar(u, v))
 }

@@ -120,3 +120,74 @@ func TestRunErrorCases(t *testing.T) {
 		t.Error("bad measure should error")
 	}
 }
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	// A bigger fixture so parallel ingest crosses several batches.
+	path := t.TempDir() + "/big.txt"
+	var b strings.Builder
+	for i := 0; i < 3000; i++ {
+		fmt.Fprintf(&b, "%d %d\n", i%97, (i*7)%89)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var seq, par bytes.Buffer
+	if err := run([]string{"-in", path, "-k", "64", "-pairs", "3:17,5:40", "-top", "3", "-topk", "5"}, &seq, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-k", "64", "-parallel", "4", "-batch", "256",
+		"-pairs", "3:17,5:40", "-top", "3", "-topk", "5"}, &par, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Identical estimates in both modes; only the ingest line (timing)
+	// may differ.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "ingest:") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(seq.String()) != strip(par.String()) {
+		t.Errorf("parallel output diverges from sequential:\n--- sequential:\n%s--- parallel:\n%s", seq.String(), par.String())
+	}
+	if !strings.Contains(par.String(), "edges/sec (parallel=4, batch=256)") {
+		t.Errorf("missing ingest rate line:\n%s", par.String())
+	}
+}
+
+func TestRunParallelDirected(t *testing.T) {
+	path := writeFixtureStream(t)
+	var seq, par bytes.Buffer
+	if err := run([]string{"-in", path, "-directed", "-pairs", "1:10,10:1"}, &seq, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-directed", "-parallel", "2", "-batch", "8", "-pairs", "1:10,10:1"}, &par, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ingested 20 arcs, 12 vertices", "(1 -> 10):", "(10 -> 1):"} {
+		if !strings.Contains(par.String(), want) {
+			t.Errorf("parallel directed output missing %q:\n%s", want, par.String())
+		}
+	}
+	// Arc estimates must match the sequential run exactly.
+	for _, line := range strings.Split(seq.String(), "\n") {
+		if strings.HasPrefix(line, "(") && !strings.Contains(par.String(), line) {
+			t.Errorf("parallel directed missing estimate line %q", line)
+		}
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	path := writeFixtureStream(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-parallel", "0"}, &out, nil); err == nil {
+		t.Error("-parallel 0 should error")
+	}
+	if err := run([]string{"-in", path, "-batch", "0"}, &out, nil); err == nil {
+		t.Error("-batch 0 should error")
+	}
+}

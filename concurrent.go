@@ -66,6 +66,21 @@ func (c *Concurrent) ObserveEdge(e Edge) {
 	c.store.ProcessEdge(stream.Edge{U: e.U, V: e.V, T: e.T})
 }
 
+// ObserveEdges folds a batch of edges into the sketches. Safe for
+// concurrent use, and much faster than per-edge Observe calls: the
+// batch's endpoints are hashed once per distinct vertex outside any
+// lock, duplicate edges are folded into arrival multiplicities, and
+// each shard's lock is taken once per batch instead of once per edge.
+// The resulting sketches are register-identical to per-edge ingest of
+// the same edges (MinHash register updates are pointwise minima, which
+// commute and are idempotent). A few thousand edges per batch is a good
+// choice; see the "Parallel ingest" example in the README.
+func (c *Concurrent) ObserveEdges(edges []Edge) {
+	buf := toStreamEdges(edges)
+	c.store.ProcessEdges(*buf)
+	putStreamEdges(buf)
+}
+
 // Jaccard returns the estimated Jaccard coefficient of (u, v).
 func (c *Concurrent) Jaccard(u, v uint64) float64 { return c.store.EstimateJaccard(u, v) }
 
@@ -84,6 +99,35 @@ func (c *Concurrent) ResourceAllocation(u, v uint64) float64 {
 
 // Degree returns the degree estimate for u.
 func (c *Concurrent) Degree(u uint64) float64 { return c.store.Degree(u) }
+
+// Score returns the estimate of the given measure for (u, v). The
+// sharded store supports every measure except Cosine.
+func (c *Concurrent) Score(m Measure, u, v uint64) (float64, error) {
+	switch m {
+	case Jaccard:
+		return c.store.EstimateJaccard(u, v), nil
+	case CommonNeighbors:
+		return c.store.EstimateCommonNeighbors(u, v), nil
+	case AdamicAdar:
+		return c.store.EstimateAdamicAdar(u, v), nil
+	case ResourceAllocation:
+		return c.store.EstimateResourceAllocation(u, v), nil
+	case PreferentialAttachment:
+		return c.store.Degree(u) * c.store.Degree(v), nil
+	default:
+		return 0, fmt.Errorf("linkpred: measure %v not supported by Concurrent", m)
+	}
+}
+
+// TopK scores every candidate vertex against u under the given measure
+// and returns the k best, ties broken toward smaller vertex ids. It may
+// run concurrently with writers; each pair is scored against the
+// sketches as of its own read.
+func (c *Concurrent) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Candidate, error) {
+	return topKByScore(u, candidates, k, func(v uint64) (float64, error) {
+		return c.Score(m, u, v)
+	})
+}
 
 // Seen reports whether u has appeared in the stream.
 func (c *Concurrent) Seen(u uint64) bool { return c.store.Knows(u) }

@@ -62,6 +62,17 @@ func (c *ConcurrentDirected) ObserveEdge(e Edge) {
 	c.store.ProcessArc(stream.Edge{U: e.U, V: e.V, T: e.T})
 }
 
+// ObserveEdges folds a batch of arcs into the sketches. Safe for
+// concurrent use; like Concurrent.ObserveEdges it hashes each distinct
+// endpoint once outside any lock, folds duplicate arcs into arrival
+// multiplicities, and takes each shard lock once per batch. The result
+// is register-identical to per-arc ingest of the same arcs.
+func (c *ConcurrentDirected) ObserveEdges(edges []Edge) {
+	buf := toStreamEdges(edges)
+	c.store.ProcessArcs(*buf)
+	putStreamEdges(buf)
+}
+
 // Jaccard returns the estimated directed Jaccard of the candidate arc
 // u → v.
 func (c *ConcurrentDirected) Jaccard(u, v uint64) float64 {

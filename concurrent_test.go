@@ -112,3 +112,108 @@ func TestConcurrentSaveLoad(t *testing.T) {
 		t.Error("loading junk should error")
 	}
 }
+
+func TestObserveEdgesMatchesPerEdgeFacades(t *testing.T) {
+	cfg := linkpred.Config{K: 64, Seed: 77}
+	x := rng.NewXoshiro256(79)
+	es := make([]linkpred.Edge, 4000)
+	for i := range es {
+		// Small universe with repeats so batches contain duplicate
+		// edges and shared endpoints — the cases batch ingest folds.
+		es[i] = linkpred.Edge{U: x.Uint64() % 200, V: x.Uint64() % 200, T: int64(i)}
+	}
+
+	p, _ := linkpred.New(cfg)
+	pb, _ := linkpred.New(cfg)
+	c, err := linkpred.NewConcurrent(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := linkpred.NewDirected(cfg)
+	cd, err := linkpred.NewConcurrentDirected(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range es {
+		p.ObserveEdge(e)
+		d.ObserveEdge(e)
+	}
+	for lo := 0; lo < len(es); lo += 512 {
+		hi := lo + 512
+		if hi > len(es) {
+			hi = len(es)
+		}
+		pb.ObserveEdges(es[lo:hi])
+		c.ObserveEdges(es[lo:hi])
+		cd.ObserveEdges(es[lo:hi])
+	}
+
+	if p.NumEdges() != pb.NumEdges() || p.NumEdges() != c.NumEdges() {
+		t.Fatalf("edge counts diverge: %d %d %d", p.NumEdges(), pb.NumEdges(), c.NumEdges())
+	}
+	if p.NumVertices() != c.NumVertices() || d.NumVertices() != cd.NumVertices() {
+		t.Error("vertex counts diverge")
+	}
+	for i := 0; i < 300; i++ {
+		u, v := x.Uint64()%200, x.Uint64()%200
+		if p.Jaccard(u, v) != pb.Jaccard(u, v) || p.Jaccard(u, v) != c.Jaccard(u, v) {
+			t.Fatalf("undirected Jaccard diverges at (%d,%d)", u, v)
+		}
+		if p.CommonNeighbors(u, v) != c.CommonNeighbors(u, v) {
+			t.Fatalf("CN diverges at (%d,%d)", u, v)
+		}
+		if d.Jaccard(u, v) != cd.Jaccard(u, v) {
+			t.Fatalf("directed Jaccard diverges at (%d,%d)", u, v)
+		}
+		if d.AdamicAdar(u, v) != cd.AdamicAdar(u, v) {
+			t.Fatalf("directed AA diverges at (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestConcurrentTopKMatchesPredictor(t *testing.T) {
+	cfg := linkpred.Config{K: 64, Seed: 83}
+	p, _ := linkpred.New(cfg)
+	c, err := linkpred.NewConcurrent(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.NewXoshiro256(89)
+	var cands []uint64
+	seen := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		u, v := x.Uint64()%150, x.Uint64()%150
+		p.Observe(u, v)
+		c.Observe(u, v)
+		for _, w := range [2]uint64{u, v} {
+			if !seen[w] {
+				seen[w] = true
+				cands = append(cands, w)
+			}
+		}
+	}
+	for _, m := range []linkpred.Measure{linkpred.Jaccard, linkpred.CommonNeighbors, linkpred.AdamicAdar} {
+		want, err := p.TopK(m, 7, cands, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.TopK(m, 7, cands, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: len %d != %d", m, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: rank %d: got %v, want %v", m, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := c.Score(linkpred.Cosine, 1, 2); err == nil {
+		t.Error("Cosine should be unsupported on Concurrent")
+	}
+	if s, err := c.Score(linkpred.PreferentialAttachment, 1, 2); err != nil || s != p.Degree(1)*p.Degree(2) {
+		t.Errorf("PA score = %v, %v", s, err)
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"strconv"
 	"strings"
@@ -60,7 +61,7 @@ func TestFormatFloat(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19"}
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -228,5 +229,33 @@ func TestTableWriteErrors(t *testing.T) {
 	}
 	if err := tab.WriteCSV(&failWriter{left: 1}); err == nil {
 		t.Error("WriteCSV should propagate write errors")
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Title != "demo" || len(doc.Columns) != 2 || len(doc.Rows) != 1 || doc.Rows[0][1] != "2.5000" {
+		t.Errorf("round-trip mismatch: %+v", doc)
+	}
+	if len(doc.Notes) != 1 || doc.Notes[0] != "a note" {
+		t.Errorf("notes mismatch: %v", doc.Notes)
 	}
 }

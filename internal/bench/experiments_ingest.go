@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"linkpred/internal/core"
+	"linkpred/internal/gen"
+	"linkpred/internal/stream"
+)
+
+func init() {
+	register(Experiment{ID: "e20", Title: "E20: batched parallel ingest scaling", Kind: "figure", Run: runE20})
+}
+
+// runE20 measures the batched ingest pipeline against per-edge ingest on
+// the sharded store: edges/second at 1, 2, 4, … writer goroutines (up to
+// RunConfig.Parallel), per-edge vs batched (RunConfig.Batch edges per
+// ProcessEdges call). The workload is the raw duplicate-preserving
+// coauthor stream — papers emit author-pair cliques and prolific pairs
+// recur, which is exactly the locality the batch pipeline exploits
+// (one hash vector and one vertex-map lookup per distinct endpoint per
+// batch, duplicate edges folded into arrival multiplicities, one lock
+// acquisition per shard per batch).
+func runE20(cfg RunConfig) (*Table, error) {
+	src, err := gen.Open(gen.DatasetCoauthor, cfg.scale(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	edges, err := stream.Collect(src)
+	if err != nil {
+		return nil, err
+	}
+	const k = 64
+	const nShards = 32
+	batch := cfg.batch()
+	t := &Table{
+		Title:   fmt.Sprintf("E20: batched parallel ingest over %d raw coauthor edges (k=%d, %d shards, batch=%d)", len(edges), k, nShards, batch),
+		Columns: []string{"mode", "goroutines", "ns_per_edge", "edges_per_sec", "speedup_vs_per_edge"},
+		Notes: []string{
+			"speedup compares batched against this build's per-edge path at the same goroutine count; the per-edge path already hashes outside the lock",
+			"expected shape: batched well ahead at every goroutine count on duplicate-heavy streams; both modes flat in goroutines on a single-core host",
+		},
+	}
+	// Each configuration is measured on a fresh store; the faster of two
+	// passes is reported, which shakes out allocator warm-up and GC
+	// growth noise from the single-pass numbers.
+	measureOnce := func(mode string, g int) (float64, error) {
+		s, err := core.NewSharded(core.Config{K: k, Seed: cfg.Seed}, nShards)
+		if err != nil {
+			return 0, err
+		}
+		per := len(edges) / g
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < g; w++ {
+			lo, hi := w*per, (w+1)*per
+			if w == g-1 {
+				hi = len(edges)
+			}
+			wg.Add(1)
+			go func(chunk []stream.Edge) {
+				defer wg.Done()
+				if mode == "per-edge" {
+					for _, e := range chunk {
+						s.ProcessEdge(e)
+					}
+					return
+				}
+				for lo := 0; lo < len(chunk); lo += batch {
+					hi := lo + batch
+					if hi > len(chunk) {
+						hi = len(chunk)
+					}
+					s.ProcessEdges(chunk[lo:hi])
+				}
+			}(edges[lo:hi])
+		}
+		wg.Wait()
+		return float64(time.Since(start).Nanoseconds()) / float64(len(edges)), nil
+	}
+	measure := func(mode string, g int) (float64, error) {
+		best, err := measureOnce(mode, g)
+		if err != nil {
+			return 0, err
+		}
+		again, err := measureOnce(mode, g)
+		if err != nil {
+			return 0, err
+		}
+		if again < best {
+			best = again
+		}
+		return best, nil
+	}
+	for g := 1; g <= cfg.parallel(); g *= 2 {
+		base, err := measure("per-edge", g)
+		if err != nil {
+			return nil, err
+		}
+		bat, err := measure("batched", g)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("per-edge", g, base, 1e9/base, 1.0)
+		t.AddRow("batched", g, bat, 1e9/bat, base/bat)
+	}
+	return t, nil
+}

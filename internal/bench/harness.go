@@ -20,6 +20,30 @@ type RunConfig struct {
 	// Seed drives every stochastic choice in the experiment. The default
 	// (0) is a valid seed; EXPERIMENTS.md uses 42 throughout.
 	Seed uint64
+	// Parallel is the maximum writer-goroutine count swept by the ingest
+	// scaling experiment (e20): it measures 1, 2, 4, … up to Parallel.
+	// 0 means the default of 8.
+	Parallel int
+	// Batch is the edges-per-batch size used by batched-ingest
+	// measurements. 0 means the default of 256 (sized so concurrent
+	// per-batch scratch buffers stay L2-resident).
+	Batch int
+}
+
+// parallel returns the effective Parallel setting.
+func (c RunConfig) parallel() int {
+	if c.Parallel <= 0 {
+		return 8
+	}
+	return c.Parallel
+}
+
+// batch returns the effective Batch setting.
+func (c RunConfig) batch() int {
+	if c.Batch <= 0 {
+		return 256
+	}
+	return c.Batch
 }
 
 // scale returns the dataset scale for this config.

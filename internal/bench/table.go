@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -97,6 +98,22 @@ func (t *Table) WriteASCII(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// WriteJSON renders the table as indented JSON — one object with the
+// title, column names, rows (as arrays of formatted cells), and notes —
+// for results that are committed to the repository (e.g.
+// BENCH_ingest.json) and diffed across revisions.
+func (t *Table) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // WriteCSV renders the table as CSV (header row first). Cells containing

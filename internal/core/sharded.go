@@ -75,21 +75,36 @@ func (s *Sharded) shardOf(u uint64) int {
 	return int(rng.Mix64(u) % uint64(len(s.shards)))
 }
 
-// processHalfEdge folds neighbor nbr into owner's sketch on store st.
-// The caller must hold st's write lock.
-func (st *SketchStore) processHalfEdge(owner, nbr uint64) {
+// applyHalfEdge folds neighbor nbr, whose precomputed hash vector is
+// nbrHashes, into owner's sketch on store st. The caller must hold st's
+// write lock; hashing happens outside it.
+func (st *SketchStore) applyHalfEdge(owner, nbr uint64, nbrHashes []uint64) {
 	vs := st.state(owner)
-	st.hashBuf = st.family.HashAll(nbr, st.hashBuf)
-	vs.sketch.update(nbr, st.hashBuf)
+	vs.sketch.update(nbr, nbrHashes)
 	vs.arrivals++
 }
 
+// edgeHashPool recycles the 2K-word hash buffer of single-edge ingest so
+// the hot path stays allocation-free without serializing callers on a
+// per-store buffer (the old design hashed into SketchStore.hashBuf
+// *inside* the shard lock, making lock hold time O(K) hash evaluations).
+var edgeHashPool = sync.Pool{New: func() any { return new([]uint64) }}
+
 // ProcessEdge folds one edge into the sketches of both endpoints. Safe
-// for concurrent use.
+// for concurrent use. Both hash vectors are computed before any lock is
+// taken, so the locks cover only the O(K) register merges. For bulk
+// ingest prefer ProcessEdges, which additionally amortizes lock
+// acquisitions over whole batches.
 func (s *Sharded) ProcessEdge(e stream.Edge) {
 	if e.IsSelfLoop() {
 		return
 	}
+	st0 := s.shards[0]
+	k := st0.cfg.K
+	bufp := edgeHashPool.Get().(*[]uint64)
+	buf := grow(*bufp, 2*k)
+	st0.family.HashAllTo(e.V, buf[:k]) // folded into U's sketch
+	st0.family.HashAllTo(e.U, buf[k:]) // folded into V's sketch
 	a, b := s.shardOf(e.U), s.shardOf(e.V)
 	if a > b {
 		s.mus[b].Lock()
@@ -100,20 +115,23 @@ func (s *Sharded) ProcessEdge(e stream.Edge) {
 		s.mus[a].Lock()
 		s.mus[b].Lock()
 	}
-	s.shards[a].processHalfEdge(e.U, e.V)
-	s.shards[b].processHalfEdge(e.V, e.U)
+	s.shards[a].applyHalfEdge(e.U, e.V, buf[:k])
+	s.shards[b].applyHalfEdge(e.V, e.U, buf[k:])
 	s.mus[a].Unlock()
 	if b != a {
 		s.mus[b].Unlock()
 	}
 	s.edges.Add(1)
+	*bufp = buf
+	edgeHashPool.Put(bufp)
 }
 
-// pairStates returns the vertex states and degrees of u and v, read
-// under the ordered pair of read locks. Either state may be nil.
-// matchedIDs receives the argmin ids of matching registers when collect
-// is true.
-func (s *Sharded) pairSnapshot(u, v uint64, collect bool) (matches int, du, dv float64, known bool, matchedIDs []uint64) {
+// pairSnapshot reads the query state of (u, v) — register matches,
+// degrees, and (when collect is true) the argmin ids of matching
+// registers — under the ordered pair of read locks. matchedIDs is
+// appended to idBuf, so callers that pass a reused buffer keep the
+// weighted-query hot path allocation-free.
+func (s *Sharded) pairSnapshot(u, v uint64, collect bool, idBuf []uint64) (matches int, du, dv float64, known bool, matchedIDs []uint64) {
 	a, b := s.shardOf(u), s.shardOf(v)
 	lo, hi := a, b
 	if lo > hi {
@@ -132,10 +150,11 @@ func (s *Sharded) pairSnapshot(u, v uint64, collect bool) (matches int, du, dv f
 	su := s.shards[a].vertices[u]
 	sv := s.shards[b].vertices[v]
 	if su == nil || sv == nil {
-		return 0, 0, 0, false, nil
+		return 0, 0, 0, false, idBuf // hand idBuf back so callers keep its capacity
 	}
 	du = s.shards[a].degree(su)
 	dv = s.shards[b].degree(sv)
+	matchedIDs = idBuf
 	for i, val := range su.sketch.vals {
 		if val == emptyRegister || val != sv.sketch.vals[i] {
 			continue
@@ -151,7 +170,7 @@ func (s *Sharded) pairSnapshot(u, v uint64, collect bool) (matches int, du, dv f
 // EstimateJaccard estimates the Jaccard coefficient of (u, v). Safe for
 // concurrent use.
 func (s *Sharded) EstimateJaccard(u, v uint64) float64 {
-	matches, _, _, known, _ := s.pairSnapshot(u, v, false)
+	matches, _, _, known, _ := s.pairSnapshot(u, v, false, nil)
 	if !known {
 		return 0
 	}
@@ -161,7 +180,7 @@ func (s *Sharded) EstimateJaccard(u, v uint64) float64 {
 // EstimateCommonNeighbors estimates |N(u) ∩ N(v)|. Safe for concurrent
 // use.
 func (s *Sharded) EstimateCommonNeighbors(u, v uint64) float64 {
-	matches, du, dv, known, _ := s.pairSnapshot(u, v, false)
+	matches, du, dv, known, _ := s.pairSnapshot(u, v, false, nil)
 	if !known {
 		return 0
 	}
@@ -172,44 +191,57 @@ func (s *Sharded) EstimateCommonNeighbors(u, v uint64) float64 {
 // EstimateAdamicAdar estimates the Adamic–Adar index with the
 // matched-register estimator. Safe for concurrent use.
 func (s *Sharded) EstimateAdamicAdar(u, v uint64) float64 {
-	return s.estimateWeighted(u, v, s.aaWeight)
+	return s.estimateWeighted(u, v, weightAdamicAdar)
 }
 
 // EstimateResourceAllocation estimates the resource-allocation index.
 // Safe for concurrent use.
 func (s *Sharded) EstimateResourceAllocation(u, v uint64) float64 {
-	return s.estimateWeighted(u, v, func(w uint64) float64 {
+	return s.estimateWeighted(u, v, weightResourceAllocation)
+}
+
+// neighborWeight selects the per-common-neighbor weight used by
+// estimateWeighted. An enum instead of a func parameter keeps the query
+// hot path free of closure allocations (see TestEstimateWeightedNoAlloc).
+type neighborWeight int
+
+const (
+	weightAdamicAdar neighborWeight = iota
+	weightResourceAllocation
+)
+
+// matchedIDPool recycles the matched-argmin buffers of the weighted
+// estimators so the query hot path is allocation-free in steady state.
+var matchedIDPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+func (s *Sharded) estimateWeighted(u, v uint64, weight neighborWeight) float64 {
+	bufp := matchedIDPool.Get().(*[]uint64)
+	matches, du, dv, known, ids := s.pairSnapshot(u, v, true, (*bufp)[:0])
+	*bufp = ids[:0] // keep any growth for the next query
+	if !known || matches == 0 {
+		matchedIDPool.Put(bufp)
+		return 0
+	}
+	// Degree lookups happen after the pair locks are released (one shard
+	// lock at a time inside Degree) — see the type comment for why. The
+	// degree clamp at 2 keeps both weights finite (mirrors
+	// SketchStore.aaWeight).
+	weightSum := 0.0
+	for _, w := range ids {
 		d := s.Degree(w)
 		if d < 2 {
 			d = 2
 		}
-		return 1 / d
-	})
-}
-
-func (s *Sharded) estimateWeighted(u, v uint64, weight func(uint64) float64) float64 {
-	matches, du, dv, known, ids := s.pairSnapshot(u, v, true)
-	if !known || matches == 0 {
-		return 0
+		if weight == weightAdamicAdar {
+			weightSum += 1 / math.Log(d)
+		} else {
+			weightSum += 1 / d
+		}
 	}
-	// Degree lookups happen after the pair locks are released (one shard
-	// lock at a time inside Degree) — see the type comment for why.
-	weightSum := 0.0
-	for _, w := range ids {
-		weightSum += weight(w)
-	}
+	matchedIDPool.Put(bufp)
 	j := float64(matches) / float64(s.Config().K)
 	cn := j / (1 + j) * (du + dv)
 	return cn * weightSum / float64(matches)
-}
-
-// aaWeight mirrors SketchStore.aaWeight using sharded degree lookups.
-func (s *Sharded) aaWeight(w uint64) float64 {
-	d := s.Degree(w)
-	if d < 2 {
-		d = 2
-	}
-	return 1 / math.Log(d)
 }
 
 // Degree returns the degree estimate of u under the configured mode.

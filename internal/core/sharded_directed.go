@@ -53,27 +53,35 @@ func (s *ShardedDirected) shardOf(u uint64) int {
 	return int(rng.Mix64(u) % uint64(len(s.shards)))
 }
 
-// processHalfArc folds one direction of an arc into the owner's state on
-// store st. The caller must hold st's write lock. out selects which side
-// (owner's out-sketch of nbr, or owner's in-sketch of nbr).
-func (st *DirectedStore) processHalfArc(owner, nbr uint64, out bool) {
+// applyHalfArc folds one direction of an arc, whose precomputed hash
+// vector is nbrHashes, into the owner's state on store st. The caller
+// must hold st's write lock; hashing happens outside it. out selects
+// which side (owner's out-sketch of nbr, or owner's in-sketch of nbr).
+func (st *DirectedStore) applyHalfArc(owner, nbr uint64, out bool, nbrHashes []uint64) {
 	vs := st.state(owner)
-	st.hashBuf = st.family.HashAll(nbr, st.hashBuf)
 	if out {
-		vs.out.update(nbr, st.hashBuf)
+		vs.out.update(nbr, nbrHashes)
 		vs.outArr++
 	} else {
-		vs.in.update(nbr, st.hashBuf)
+		vs.in.update(nbr, nbrHashes)
 		vs.inArr++
 	}
 }
 
 // ProcessArc folds the arc u → v into the sketches. Safe for concurrent
-// use.
+// use. As in Sharded.ProcessEdge, both hash vectors are computed before
+// any lock is taken; ProcessArcs additionally amortizes lock
+// acquisitions over whole batches.
 func (s *ShardedDirected) ProcessArc(e stream.Edge) {
 	if e.IsSelfLoop() {
 		return
 	}
+	st0 := s.shards[0]
+	k := st0.cfg.K
+	bufp := edgeHashPool.Get().(*[]uint64)
+	buf := grow(*bufp, 2*k)
+	st0.family.HashAllTo(e.V, buf[:k]) // folded into U's out-sketch
+	st0.family.HashAllTo(e.U, buf[k:]) // folded into V's in-sketch
 	a, b := s.shardOf(e.U), s.shardOf(e.V)
 	if a > b {
 		s.mus[b].Lock()
@@ -84,20 +92,22 @@ func (s *ShardedDirected) ProcessArc(e stream.Edge) {
 		s.mus[a].Lock()
 		s.mus[b].Lock()
 	}
-	s.shards[a].processHalfArc(e.U, e.V, true)
-	s.shards[b].processHalfArc(e.V, e.U, false)
+	s.shards[a].applyHalfArc(e.U, e.V, true, buf[:k])
+	s.shards[b].applyHalfArc(e.V, e.U, false, buf[k:])
 	s.mus[a].Unlock()
 	if b != a {
 		s.mus[b].Unlock()
 	}
 	s.arcs.Add(1)
+	*bufp = buf
+	edgeHashPool.Put(bufp)
 }
 
 // pairSnapshot reads the arc-query state for u → v under the ordered
 // pair of read locks: register matches between u's out-sketch and v's
 // in-sketch, the two side degrees, and (if collect) the matched argmin
-// ids.
-func (s *ShardedDirected) pairSnapshot(u, v uint64, collect bool) (matches int, dOut, dIn float64, known bool, matchedIDs []uint64) {
+// ids, appended to idBuf so callers can reuse a buffer.
+func (s *ShardedDirected) pairSnapshot(u, v uint64, collect bool, idBuf []uint64) (matches int, dOut, dIn float64, known bool, matchedIDs []uint64) {
 	a, b := s.shardOf(u), s.shardOf(v)
 	lo, hi := a, b
 	if lo > hi {
@@ -116,10 +126,11 @@ func (s *ShardedDirected) pairSnapshot(u, v uint64, collect bool) (matches int, 
 	su := s.shards[a].vertices[u]
 	sv := s.shards[b].vertices[v]
 	if su == nil || sv == nil {
-		return 0, 0, 0, false, nil
+		return 0, 0, 0, false, idBuf
 	}
 	dOut = s.shards[a].sideDegree(su.out, su.outArr)
 	dIn = s.shards[b].sideDegree(sv.in, sv.inArr)
+	matchedIDs = idBuf
 	for i, val := range su.out.vals {
 		if val == emptyRegister || val != sv.in.vals[i] {
 			continue
@@ -135,7 +146,7 @@ func (s *ShardedDirected) pairSnapshot(u, v uint64, collect bool) (matches int, 
 // EstimateJaccard estimates the directed Jaccard of the candidate arc
 // u → v. Safe for concurrent use.
 func (s *ShardedDirected) EstimateJaccard(u, v uint64) float64 {
-	matches, _, _, known, _ := s.pairSnapshot(u, v, false)
+	matches, _, _, known, _ := s.pairSnapshot(u, v, false, nil)
 	if !known {
 		return 0
 	}
@@ -145,7 +156,7 @@ func (s *ShardedDirected) EstimateJaccard(u, v uint64) float64 {
 // EstimateCommonNeighbors estimates |{w : u → w → v}|. Safe for
 // concurrent use.
 func (s *ShardedDirected) EstimateCommonNeighbors(u, v uint64) float64 {
-	matches, dOut, dIn, known, _ := s.pairSnapshot(u, v, false)
+	matches, dOut, dIn, known, _ := s.pairSnapshot(u, v, false, nil)
 	if !known {
 		return 0
 	}
@@ -157,8 +168,11 @@ func (s *ShardedDirected) EstimateCommonNeighbors(u, v uint64) float64 {
 // Safe for concurrent use; midpoint degrees are read one shard at a time
 // after the pair locks are released (see Sharded for the discipline).
 func (s *ShardedDirected) EstimateAdamicAdar(u, v uint64) float64 {
-	matches, dOut, dIn, known, ids := s.pairSnapshot(u, v, true)
+	bufp := matchedIDPool.Get().(*[]uint64)
+	matches, dOut, dIn, known, ids := s.pairSnapshot(u, v, true, (*bufp)[:0])
+	*bufp = ids[:0] // keep any growth for the next query
 	if !known || matches == 0 {
+		matchedIDPool.Put(bufp)
 		return 0
 	}
 	weightSum := 0.0
@@ -169,6 +183,7 @@ func (s *ShardedDirected) EstimateAdamicAdar(u, v uint64) float64 {
 		}
 		weightSum += 1 / math.Log(d)
 	}
+	matchedIDPool.Put(bufp)
 	j := float64(matches) / float64(s.Config().K)
 	cn := j / (1 + j) * (dOut + dIn)
 	return cn * weightSum / float64(matches)

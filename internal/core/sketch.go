@@ -48,9 +48,12 @@ func newMinHashSketch(k int) *minHashSketch {
 // update folds neighbor w, whose k hash values are hashes, into the
 // sketch. Min is idempotent, so duplicate edges are harmless.
 func (s *minHashSketch) update(w uint64, hashes []uint64) {
+	// Reslicing vals to the iteration length lets the compiler drop the
+	// per-register bounds check in this innermost of all ingest loops.
+	vals := s.vals[:len(hashes)]
 	for i, h := range hashes {
-		if h < s.vals[i] {
-			s.vals[i] = h
+		if h < vals[i] {
+			vals[i] = h
 			s.ids[i] = w
 		}
 	}

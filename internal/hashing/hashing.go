@@ -112,8 +112,17 @@ func (k Kind) String() string {
 // deterministically from one seed.
 type Family struct {
 	funcs []Func
-	kind  Kind
-	seed  uint64
+	// salts caches the per-function salts when kind == KindMixed, enabling
+	// HashAllTo's dispatch-free fast path: evaluating k Mixed functions
+	// through the Func interface costs roughly 2× the raw arithmetic, and
+	// the sketches evaluate the whole family on every edge endpoint.
+	salts []uint64
+	// saltsOdd caches salts[i]·0x9e3779b97f4a7c15 (the constant Mixed.Hash
+	// injects between its two finalizer rounds) so the fast path's inner
+	// loop carries one fewer multiply per register.
+	saltsOdd []uint64
+	kind     Kind
+	seed     uint64
 }
 
 // NewFamily returns a family of k hash functions of the given kind,
@@ -125,6 +134,11 @@ func NewFamily(kind Kind, k int, seed uint64) *Family {
 	}
 	sm := rng.NewSplitMix64(seed)
 	funcs := make([]Func, k)
+	var salts, saltsOdd []uint64
+	if kind != KindTabulation {
+		salts = make([]uint64, k)
+		saltsOdd = make([]uint64, k)
+	}
 	for i := range funcs {
 		sub := sm.Uint64()
 		switch kind {
@@ -132,9 +146,11 @@ func NewFamily(kind Kind, k int, seed uint64) *Family {
 			funcs[i] = NewTabulation(sub)
 		default:
 			funcs[i] = NewMixed(sub)
+			salts[i] = sub
+			saltsOdd[i] = sub * 0x9e3779b97f4a7c15
 		}
 	}
-	return &Family{funcs: funcs, kind: kind, seed: seed}
+	return &Family{funcs: funcs, salts: salts, saltsOdd: saltsOdd, kind: kind, seed: seed}
 }
 
 // Size returns the number of functions in the family.
@@ -153,11 +169,35 @@ func (f *Family) Hash(i int, x uint64) uint64 { return f.funcs[i].Hash(x) }
 // (allocating if dst lacks capacity) and returning the slice. Passing a
 // reusable buffer keeps the per-edge sketch update allocation-free.
 func (f *Family) HashAll(x uint64, dst []uint64) []uint64 {
-	dst = dst[:0]
-	for _, fn := range f.funcs {
-		dst = append(dst, fn.Hash(x))
+	if cap(dst) < len(f.funcs) {
+		dst = make([]uint64, len(f.funcs))
 	}
+	dst = dst[:len(f.funcs)]
+	f.HashAllTo(x, dst)
 	return dst
+}
+
+// HashAllTo writes h_i(x) into dst[i] for every function of the family.
+// dst must have length at least Size(); HashAllTo never allocates, which
+// makes it the right primitive for batch ingest where callers hash into
+// slices of a preallocated arena. For the Mixed kind the evaluation runs
+// over the cached salts directly, skipping the per-register interface
+// dispatch of HashAll's general path.
+func (f *Family) HashAllTo(x uint64, dst []uint64) {
+	if f.salts != nil {
+		dst = dst[:len(f.salts)]
+		saltsOdd := f.saltsOdd[:len(f.salts)]
+		for i, s := range f.salts {
+			// Inlined Mixed.Hash: two finalizer rounds with the salt injected
+			// between them (see Mixed.Hash for why one round is not enough).
+			// saltsOdd caches s·odd so the loop carries one multiply less.
+			dst[i] = rng.Mix64(rng.Mix64(x^s) + saltsOdd[i])
+		}
+		return
+	}
+	for i, fn := range f.funcs {
+		dst[i] = fn.Hash(x)
+	}
 }
 
 // Float01 maps a hash value to a uniform float64 in (0, 1]. The mapping

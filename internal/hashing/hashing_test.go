@@ -169,6 +169,39 @@ func TestHashAllMatchesHash(t *testing.T) {
 	}
 }
 
+// TestHashAllToMatchesHash pins the fast path to the canonical per-index
+// definition for both family kinds: the salt-loop specialization of the
+// Mixed kind must be bit-identical to Mixed.Hash, or batched and
+// per-edge ingest would build different sketches.
+func TestHashAllToMatchesHash(t *testing.T) {
+	for _, kind := range []Kind{KindMixed, KindTabulation} {
+		f := NewFamily(kind, 12, 7)
+		buf := make([]uint64, 12)
+		if err := quick.Check(func(x uint64) bool {
+			f.HashAllTo(x, buf)
+			for i, v := range buf {
+				if v != f.Hash(i, x) {
+					return false
+				}
+			}
+			return true
+		}, nil); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestHashAllToNoAlloc(t *testing.T) {
+	f := NewFamily(KindMixed, 64, 7)
+	buf := make([]uint64, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		f.HashAllTo(99, buf)
+	})
+	if allocs != 0 {
+		t.Errorf("HashAllTo allocates %.1f per run, want 0", allocs)
+	}
+}
+
 func TestHashAllNoAlloc(t *testing.T) {
 	f := NewFamily(KindMixed, 64, 7)
 	buf := make([]uint64, 0, 64)

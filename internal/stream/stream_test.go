@@ -346,3 +346,84 @@ func TestRoundTripPropertyTextAndBinary(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestReadBatch(t *testing.T) {
+	es := edges(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	src := Slice(es)
+	buf := make([]Edge, 4)
+
+	n, err := ReadBatch(src, buf)
+	if err != nil || n != 4 {
+		t.Fatalf("first batch: n=%d err=%v, want 4 <nil>", n, err)
+	}
+	for i := 0; i < 4; i++ {
+		if buf[i] != es[i] {
+			t.Fatalf("buf[%d] = %v, want %v", i, buf[i], es[i])
+		}
+	}
+
+	// Final short batch arrives with err == nil; EOF only when empty.
+	n, err = ReadBatch(src, buf)
+	if err != nil || n != 1 || buf[0] != es[4] {
+		t.Fatalf("final batch: n=%d err=%v buf[0]=%v", n, err, buf[0])
+	}
+	n, err = ReadBatch(src, buf)
+	if n != 0 || !errors.Is(err, io.EOF) {
+		t.Fatalf("exhausted: n=%d err=%v, want 0 io.EOF", n, err)
+	}
+}
+
+func TestReadBatchPropagatesError(t *testing.T) {
+	fail := errors.New("boom")
+	i := 0
+	src := Func(func() (Edge, error) {
+		if i >= 2 {
+			return Edge{}, fail
+		}
+		i++
+		return Edge{U: uint64(i), V: uint64(i) + 1}, nil
+	})
+	buf := make([]Edge, 8)
+	n, err := ReadBatch(src, buf)
+	if n != 2 || !errors.Is(err, fail) {
+		t.Fatalf("n=%d err=%v, want 2 boom", n, err)
+	}
+}
+
+func TestForEachBatch(t *testing.T) {
+	es := edges(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	var got []Edge
+	var sizes []int
+	err := ForEachBatch(Slice(es), 3, func(batch []Edge) error {
+		got = append(got, batch...)
+		sizes = append(sizes, len(batch))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 2 || sizes[0] != 3 || sizes[1] != 2 {
+		t.Fatalf("batch sizes = %v, want [3 2]", sizes)
+	}
+	for i := range es {
+		if got[i] != es[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], es[i])
+		}
+	}
+
+	if err := ForEachBatch(Slice(es), 0, func([]Edge) error { return nil }); err == nil {
+		t.Error("size 0 should error")
+	}
+	if err := ForEachBatch(Slice(nil), 4, func([]Edge) error {
+		t.Error("fn called on empty stream")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fail := errors.New("stop")
+	err = ForEachBatch(Slice(es), 2, func(batch []Edge) error { return fail })
+	if !errors.Is(err, fail) {
+		t.Fatalf("fn error not propagated: %v", err)
+	}
+}

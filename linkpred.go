@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"linkpred/internal/core"
 	"linkpred/internal/hashing"
@@ -154,6 +155,39 @@ func (p *Predictor) ObserveEdge(e Edge) {
 	p.store.ProcessEdge(stream.Edge{U: e.U, V: e.V, T: e.T})
 }
 
+// ObserveEdges folds a batch of edges into the sketches, equivalent to
+// calling ObserveEdge on each in order. Batching exists for API symmetry
+// with Concurrent.ObserveEdges; the single-writer Predictor gains no
+// locking advantage from it.
+func (p *Predictor) ObserveEdges(edges []Edge) {
+	buf := toStreamEdges(edges)
+	p.store.ProcessEdges(*buf)
+	putStreamEdges(buf)
+}
+
+// streamEdgePool recycles the []stream.Edge conversion buffers behind
+// the batch Observe methods, so steady-state batched ingest through the
+// public facades allocates nothing per batch.
+var streamEdgePool = sync.Pool{New: func() any { return new([]stream.Edge) }}
+
+// toStreamEdges copies edges into a pooled []stream.Edge. Callers must
+// return the buffer with putStreamEdges once the store call returns.
+func toStreamEdges(edges []Edge) *[]stream.Edge {
+	bp := streamEdgePool.Get().(*[]stream.Edge)
+	buf := *bp
+	if cap(buf) < len(edges) {
+		buf = make([]stream.Edge, len(edges))
+	}
+	buf = buf[:len(edges)]
+	for i, e := range edges {
+		buf[i] = stream.Edge{U: e.U, V: e.V, T: e.T}
+	}
+	*bp = buf
+	return bp
+}
+
+func putStreamEdges(bp *[]stream.Edge) { streamEdgePool.Put(bp) }
+
 // Jaccard returns the estimated Jaccard coefficient of (u, v) in [0, 1].
 // Pairs involving never-observed vertices score 0.
 func (p *Predictor) Jaccard(u, v uint64) float64 { return p.store.EstimateJaccard(u, v) }
@@ -267,6 +301,14 @@ type Candidate struct {
 // sketch cannot enumerate two-hop neighborhoods itself); typical callers
 // track recently active vertices or a per-community candidate pool.
 func (p *Predictor) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Candidate, error) {
+	return topKByScore(u, candidates, k, func(v uint64) (float64, error) {
+		return p.Score(m, u, v)
+	})
+}
+
+// topKByScore ranks candidates against u under score, shared by the
+// TopK methods of Predictor and Concurrent.
+func topKByScore(u uint64, candidates []uint64, k int, score func(v uint64) (float64, error)) ([]Candidate, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -275,7 +317,7 @@ func (p *Predictor) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Can
 		if v == u {
 			continue
 		}
-		s, err := p.Score(m, u, v)
+		s, err := score(v)
 		if err != nil {
 			return nil, err
 		}
