@@ -3,71 +3,117 @@
 // Usage:
 //
 //	lpserver -addr :8080 -k 128 -shards 8
-//	lpserver -addr :8080 -warm stream.txt     # pre-ingest a stream file
+//	lpserver -addr :8080 -warm stream.txt        # pre-ingest a stream file
+//	lpserver -addr :8080 -checkpoint state.lp    # restore on start, save on exit
 //
 // Endpoints (see internal/server):
 //
-//	POST /ingest   edge lines "u v [t]"
+//	POST /ingest      edge lines "u v [t]"
 //	GET  /pair?u=&v=
 //	GET  /score?u=&v=&measure=
 //	GET  /topk?u=&candidates=…&measure=&k=
 //	GET  /stats
+//	GET  /metrics     request counters, latency histograms, predictor gauges
+//	GET  /healthz     liveness probe
+//	GET  /checkpoint  binary predictor image (download)
+//	POST /restore     binary predictor image (upload)
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window, and when -checkpoint is set the predictor is saved
+// to that path (atomically, via rename) before exit. On the next start
+// the same flag restores it, so a restart loses no accumulated state.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	linkpred "linkpred"
+	"linkpred/internal/monitor"
 	"linkpred/internal/server"
 	"linkpred/internal/stream"
 )
 
+// app bundles everything main needs to serve and shut down: the handler
+// (whose Predictor method yields the live predictor, which /restore may
+// have swapped), the listen address and timeouts, and the checkpoint
+// path ("" disables persistence).
+type app struct {
+	srv        *server.Server
+	addr       string
+	checkpoint string
+	readTO     time.Duration
+	writeTO    time.Duration
+}
+
 func main() {
-	handler, addr, err := build(os.Args[1:], os.Stdout)
+	a, err := build(os.Args[1:], os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lpserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("lpserver listening on %s\n", addr)
-	if err := http.ListenAndServe(addr, handler); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, a, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lpserver:", err)
 		os.Exit(1)
 	}
 }
 
-// build parses the flags, constructs (and optionally warms) the
-// predictor, and returns the HTTP handler plus the listen address —
-// everything main needs short of binding the socket, so tests can drive
-// the whole setup through httptest.
-func build(args []string, stdout io.Writer) (http.Handler, string, error) {
+// build parses the flags, constructs (and optionally restores or warms)
+// the predictor, and returns the configured app — everything main needs
+// short of binding the socket, so tests can drive the whole setup
+// through httptest.
+func build(args []string, stdout io.Writer) (*app, error) {
 	fs := flag.NewFlagSet("lpserver", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		k        = fs.Int("k", 128, "sketch registers per vertex")
-		seed     = fs.Uint64("seed", 42, "hash seed")
-		shards   = fs.Int("shards", 8, "lock shards for concurrent ingest")
-		distinct = fs.Bool("distinct-degrees", true, "KMV distinct-degree estimation (robust to duplicate edges)")
-		warm     = fs.String("warm", "", "optional stream file to ingest before serving")
+		addr       = fs.String("addr", ":8080", "listen address")
+		k          = fs.Int("k", 128, "sketch registers per vertex")
+		seed       = fs.Uint64("seed", 42, "hash seed")
+		shards     = fs.Int("shards", 8, "lock shards for concurrent ingest")
+		distinct   = fs.Bool("distinct-degrees", true, "KMV distinct-degree estimation (robust to duplicate edges)")
+		warm       = fs.String("warm", "", "optional stream file to ingest before serving")
+		checkpoint = fs.String("checkpoint", "", "restore predictor from this file on start (if present) and save to it on graceful exit")
+		maxBody    = fs.Int64("max-body-bytes", 64<<20, "request body cap for /ingest and /restore (0 = unlimited)")
+		readTO     = fs.Duration("read-timeout", time.Minute, "HTTP server read timeout")
+		writeTO    = fs.Duration("write-timeout", 5*time.Minute, "HTTP server write timeout")
+		mon        = fs.Bool("monitor", true, "profile the ingest stream (duplicate rate, distinct counts) in /metrics")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, err
 	}
 
 	pred, err := linkpred.NewConcurrent(linkpred.Config{
 		K: *k, Seed: *seed, DistinctDegrees: *distinct,
 	}, *shards)
 	if err != nil {
-		return nil, "", err
+		return nil, err
+	}
+
+	if *checkpoint != "" {
+		restored, err := loadCheckpoint(*checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		if restored != nil {
+			pred = restored
+			fmt.Fprintf(stdout, "restored checkpoint %s (%d vertices, %d edges)\n",
+				*checkpoint, pred.NumVertices(), pred.NumEdges())
+		}
 	}
 
 	if *warm != "" {
 		f, err := os.Open(*warm)
 		if err != nil {
-			return nil, "", fmt.Errorf("open warm stream: %w", err)
+			return nil, fmt.Errorf("open warm stream: %w", err)
 		}
 		n := 0
 		err = stream.ForEach(stream.NewTextReader(f), func(e stream.Edge) error {
@@ -77,10 +123,102 @@ func build(args []string, stdout io.Writer) (http.Handler, string, error) {
 		})
 		f.Close()
 		if err != nil {
-			return nil, "", fmt.Errorf("warm ingest: %w", err)
+			return nil, fmt.Errorf("warm ingest: %w", err)
 		}
 		fmt.Fprintf(stdout, "warmed with %d edges (%d vertices)\n", n, pred.NumVertices())
 	}
+
+	opts := server.Options{MaxBodyBytes: *maxBody}
+	if *mon {
+		opts.Monitor, err = monitor.New(monitor.Config{Seed: *seed})
+		if err != nil {
+			return nil, fmt.Errorf("stream monitor: %w", err)
+		}
+	}
 	fmt.Fprintf(stdout, "serving sketch k=%d over %d shards\n", *k, *shards)
-	return server.New(pred), *addr, nil
+	return &app{
+		srv:        server.NewWithOptions(pred, opts),
+		addr:       *addr,
+		checkpoint: *checkpoint,
+		readTO:     *readTO,
+		writeTO:    *writeTO,
+	}, nil
+}
+
+// run serves until the context is cancelled (signal) or the listener
+// fails, then drains in-flight requests and checkpoints the predictor.
+func run(ctx context.Context, a *app, stdout io.Writer) error {
+	httpSrv := &http.Server{
+		Addr:         a.addr,
+		Handler:      a.srv,
+		ReadTimeout:  a.readTO,
+		WriteTimeout: a.writeTO,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "lpserver listening on %s\n", a.addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		// Drain window expired; the checkpoint below still captures the
+		// predictor (ingest is monotone, a partial request loses only
+		// its own tail).
+		fmt.Fprintln(stdout, "shutdown:", err)
+	}
+	if a.checkpoint == "" {
+		return nil
+	}
+	if err := a.saveCheckpoint(); err != nil {
+		return fmt.Errorf("save checkpoint: %w", err)
+	}
+	fmt.Fprintf(stdout, "checkpoint saved to %s\n", a.checkpoint)
+	return nil
+}
+
+// loadCheckpoint reads a predictor image from path. A missing file is
+// not an error — it is the normal first boot — and yields (nil, nil).
+func loadCheckpoint(path string) (*linkpred.Concurrent, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("open checkpoint: %w", err)
+	}
+	defer f.Close()
+	pred, err := linkpred.LoadConcurrent(f)
+	if err != nil {
+		return nil, fmt.Errorf("load checkpoint %s: %w", path, err)
+	}
+	return pred, nil
+}
+
+// saveCheckpoint writes the live predictor (the one currently served,
+// which /restore may have swapped in) to the checkpoint path. The write
+// goes to a temp file in the same directory first and is renamed into
+// place, so a crash mid-write never corrupts the previous image.
+func (a *app) saveCheckpoint() error {
+	tmp := a.checkpoint + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := a.srv.Predictor().Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, a.checkpoint)
 }

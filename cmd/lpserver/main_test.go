@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestBuildAndServe(t *testing.T) {
@@ -15,17 +17,17 @@ func TestBuildAndServe(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	handler, addr, err := build([]string{"-addr", ":0", "-k", "32", "-warm", warm}, &out)
+	a, err := build([]string{"-addr", ":0", "-k", "32", "-warm", warm}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != ":0" {
-		t.Errorf("addr = %q", addr)
+	if a.addr != ":0" {
+		t.Errorf("addr = %q", a.addr)
 	}
 	if !strings.Contains(out.String(), "warmed with 3 edges") {
 		t.Errorf("warm summary missing: %q", out.String())
 	}
-	ts := httptest.NewServer(handler)
+	ts := httptest.NewServer(a.srv)
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/stats")
 	if err != nil {
@@ -40,20 +42,126 @@ func TestBuildAndServe(t *testing.T) {
 
 func TestBuildErrors(t *testing.T) {
 	var out strings.Builder
-	if _, _, err := build([]string{"-k", "0"}, &out); err == nil {
+	if _, err := build([]string{"-k", "0"}, &out); err == nil {
 		t.Error("bad K should error")
 	}
-	if _, _, err := build([]string{"-warm", "/no/such/file"}, &out); err == nil {
+	if _, err := build([]string{"-warm", "/no/such/file"}, &out); err == nil {
 		t.Error("missing warm file should error")
 	}
-	if _, _, err := build([]string{"-bogus"}, &out); err == nil {
+	if _, err := build([]string{"-bogus"}, &out); err == nil {
 		t.Error("bad flag should error")
 	}
 	warm := t.TempDir() + "/bad.txt"
 	if err := os.WriteFile(warm, []byte("not an edge\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := build([]string{"-warm", warm}, &out); err == nil {
+	if _, err := build([]string{"-warm", warm}, &out); err == nil {
 		t.Error("malformed warm stream should error")
 	}
+	junk := t.TempDir() + "/junk.lp"
+	if err := os.WriteFile(junk, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build([]string{"-checkpoint", junk}, &out); err == nil {
+		t.Error("corrupt checkpoint should error")
+	}
+}
+
+// getBody fetches a URL and returns the raw response bytes.
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ckpt := t.TempDir() + "/state.lp"
+	flags := []string{"-addr", ":0", "-k", "64", "-checkpoint", ckpt}
+
+	var out strings.Builder
+	a, err := build(flags, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A missing checkpoint is the normal first boot, not an error.
+	if strings.Contains(out.String(), "restored") {
+		t.Errorf("fresh boot should not restore: %q", out.String())
+	}
+
+	ts := httptest.NewServer(a.srv)
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain",
+		strings.NewReader("1 2\n2 3\n1 3\n3 4\n4 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := getBody(t, ts.URL+"/pair?u=1&v=3")
+	ts.Close()
+
+	if err := a.saveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file should be renamed away")
+	}
+
+	// Reboot with the same flags: state must come back byte-identical.
+	out.Reset()
+	a2, err := build(flags, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "restored checkpoint") {
+		t.Errorf("second boot should report restore: %q", out.String())
+	}
+	ts2 := httptest.NewServer(a2.srv)
+	defer ts2.Close()
+	got := getBody(t, ts2.URL+"/pair?u=1&v=3")
+	if string(got) != string(want) {
+		t.Errorf("/pair after restore = %s, want %s", got, want)
+	}
+}
+
+func TestRunShutdownSavesCheckpoint(t *testing.T) {
+	ckpt := t.TempDir() + "/state.lp"
+	var out strings.Builder
+	a, err := build([]string{"-addr", "127.0.0.1:0", "-k", "32", "-checkpoint", ckpt}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.srv.Predictor().Observe(1, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, a, &out) }()
+	time.Sleep(50 * time.Millisecond) // let the listener bind
+	cancel()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+	if !strings.Contains(out.String(), "checkpoint saved") {
+		t.Errorf("shutdown log missing checkpoint: %q", out.String())
+	}
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	f.Close()
 }

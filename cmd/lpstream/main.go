@@ -82,7 +82,7 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		pairs    = fs.String("pairs", "", "comma-separated query pairs, e.g. \"3:17,42:99\"")
 		top      = fs.Uint64("top", 0, "vertex to rank candidates for (0 = off)")
 		topk     = fs.Int("topk", 10, "number of candidates to report for -top")
-		measure  = fs.String("measure", "adamic-adar", "ranking measure: jaccard | common-neighbors | adamic-adar")
+		measure  = fs.String("measure", "adamic-adar", "ranking measure: jaccard | common-neighbors | adamic-adar | resource-allocation | preferential-attachment | cosine")
 		directed = fs.Bool("directed", false, "treat edges as directed arcs (u -> v); queries score candidate arcs")
 		profile  = fs.Bool("profile", false, "also print a constant-space stream profile (distinct edges, duplicate rate, heavy hitters)")
 		parallel = fs.Int("parallel", 1, "ingest writer goroutines; >1 switches to the sharded concurrent predictor")
@@ -318,17 +318,10 @@ func printPair(w io.Writer, p undirectedModel, u, v uint64) {
 		u, v, p.Jaccard(u, v), p.CommonNeighbors(u, v), p.AdamicAdar(u, v))
 }
 
+// parseMeasure delegates to the library's shared name→Measure table, so
+// the CLI accepts exactly the measures the predictors dispatch.
 func parseMeasure(s string) (linkpred.Measure, error) {
-	switch s {
-	case "jaccard":
-		return linkpred.Jaccard, nil
-	case "common-neighbors":
-		return linkpred.CommonNeighbors, nil
-	case "adamic-adar":
-		return linkpred.AdamicAdar, nil
-	default:
-		return 0, fmt.Errorf("unknown measure %q", s)
-	}
+	return linkpred.ParseMeasure(s)
 }
 
 func splitNonEmpty(s, sep string) []string {

@@ -12,9 +12,12 @@ import (
 
 func TestParseMeasure(t *testing.T) {
 	cases := map[string]linkpred.Measure{
-		"jaccard":          linkpred.Jaccard,
-		"common-neighbors": linkpred.CommonNeighbors,
-		"adamic-adar":      linkpred.AdamicAdar,
+		"jaccard":                 linkpred.Jaccard,
+		"common-neighbors":        linkpred.CommonNeighbors,
+		"adamic-adar":             linkpred.AdamicAdar,
+		"resource-allocation":     linkpred.ResourceAllocation,
+		"preferential-attachment": linkpred.PreferentialAttachment,
+		"cosine":                  linkpred.Cosine,
 	}
 	for name, want := range cases {
 		got, err := parseMeasure(name)

@@ -97,11 +97,20 @@ func (c *Concurrent) ResourceAllocation(u, v uint64) float64 {
 	return c.store.EstimateResourceAllocation(u, v)
 }
 
+// PreferentialAttachment returns the degree product d(u)·d(v).
+func (c *Concurrent) PreferentialAttachment(u, v uint64) float64 {
+	return c.store.EstimatePreferentialAttachment(u, v)
+}
+
+// Cosine returns the estimated cosine (Salton) similarity
+// |N(u)∩N(v)| / sqrt(d(u)·d(v)).
+func (c *Concurrent) Cosine(u, v uint64) float64 { return c.store.EstimateCosine(u, v) }
+
 // Degree returns the degree estimate for u.
 func (c *Concurrent) Degree(u uint64) float64 { return c.store.Degree(u) }
 
-// Score returns the estimate of the given measure for (u, v). The
-// sharded store supports every measure except Cosine.
+// Score returns the estimate of the given measure for (u, v). Every
+// library measure is supported.
 func (c *Concurrent) Score(m Measure, u, v uint64) (float64, error) {
 	switch m {
 	case Jaccard:
@@ -113,9 +122,11 @@ func (c *Concurrent) Score(m Measure, u, v uint64) (float64, error) {
 	case ResourceAllocation:
 		return c.store.EstimateResourceAllocation(u, v), nil
 	case PreferentialAttachment:
-		return c.store.Degree(u) * c.store.Degree(v), nil
+		return c.store.EstimatePreferentialAttachment(u, v), nil
+	case Cosine:
+		return c.store.EstimateCosine(u, v), nil
 	default:
-		return 0, fmt.Errorf("linkpred: measure %v not supported by Concurrent", m)
+		return 0, fmt.Errorf("linkpred: unknown measure %v", m)
 	}
 }
 

@@ -192,7 +192,7 @@ func TestConcurrentTopKMatchesPredictor(t *testing.T) {
 			}
 		}
 	}
-	for _, m := range []linkpred.Measure{linkpred.Jaccard, linkpred.CommonNeighbors, linkpred.AdamicAdar} {
+	for _, m := range linkpred.AllMeasures {
 		want, err := p.TopK(m, 7, cands, 10)
 		if err != nil {
 			t.Fatal(err)
@@ -210,10 +210,13 @@ func TestConcurrentTopKMatchesPredictor(t *testing.T) {
 			}
 		}
 	}
-	if _, err := c.Score(linkpred.Cosine, 1, 2); err == nil {
-		t.Error("Cosine should be unsupported on Concurrent")
+	if s, err := c.Score(linkpred.Cosine, 1, 2); err != nil || s != p.Cosine(1, 2) {
+		t.Errorf("Cosine score = %v, %v; want %v", s, err, p.Cosine(1, 2))
 	}
 	if s, err := c.Score(linkpred.PreferentialAttachment, 1, 2); err != nil || s != p.Degree(1)*p.Degree(2) {
 		t.Errorf("PA score = %v, %v", s, err)
+	}
+	if _, err := c.Score(linkpred.Measure(99), 1, 2); err == nil {
+		t.Error("unknown measure should error")
 	}
 }

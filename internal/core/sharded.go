@@ -244,6 +244,29 @@ func (s *Sharded) estimateWeighted(u, v uint64, weight neighborWeight) float64 {
 	return cn * weightSum / float64(matches)
 }
 
+// EstimatePreferentialAttachment returns d(u)·d(v) under the store's
+// degree estimates. Safe for concurrent use; the two degrees are read
+// one shard at a time (the same timing caveat as the weighted
+// estimators applies under concurrent writes).
+func (s *Sharded) EstimatePreferentialAttachment(u, v uint64) float64 {
+	return s.Degree(u) * s.Degree(v)
+}
+
+// EstimateCosine returns the estimated cosine (Salton) similarity
+// |N(u)∩N(v)| / sqrt(d(u)·d(v)). Safe for concurrent use: matches and
+// both degrees come from a single pairSnapshot, so the estimate is
+// internally consistent even under concurrent writes. Pairs involving
+// unknown or isolated vertices score 0.
+func (s *Sharded) EstimateCosine(u, v uint64) float64 {
+	matches, du, dv, known, _ := s.pairSnapshot(u, v, false, nil)
+	if !known || du == 0 || dv == 0 {
+		return 0
+	}
+	j := float64(matches) / float64(s.Config().K)
+	cn := j / (1 + j) * (du + dv)
+	return cn / math.Sqrt(du*dv)
+}
+
 // Degree returns the degree estimate of u under the configured mode.
 // Safe for concurrent use.
 func (s *Sharded) Degree(u uint64) float64 {

@@ -188,3 +188,41 @@ func TestShardedUnknownVertices(t *testing.T) {
 		t.Error("unknown vertices must score 0")
 	}
 }
+
+func TestShardedCosineAndPAMatchSingleStore(t *testing.T) {
+	// The sharded cosine and preferential-attachment estimators must
+	// agree with the single-threaded SketchStore fed the same stream
+	// (registers are identical; both derive from matches + degrees).
+	cfg := Config{K: 128, Seed: 41, Degrees: DegreeDistinctKMV}
+	single, err := NewSketchStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.NewXoshiro256(43)
+	for i := 0; i < 3000; i++ {
+		e := stream.Edge{U: x.Uint64() % 100, V: x.Uint64() % 100}
+		single.ProcessEdge(e)
+		sharded.ProcessEdge(e)
+	}
+	for i := 0; i < 200; i++ {
+		u, v := x.Uint64()%100, x.Uint64()%100
+		if got, want := sharded.EstimatePreferentialAttachment(u, v), single.EstimatePreferentialAttachment(u, v); got != want {
+			t.Fatalf("PA(%d,%d) = %v, single store = %v", u, v, got, want)
+		}
+		got, want := sharded.EstimateCosine(u, v), single.EstimateCosine(u, v)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("cosine(%d,%d) = %v, single store = %v", u, v, got, want)
+		}
+	}
+	// Unknown and isolated vertices score 0, not NaN.
+	if c := sharded.EstimateCosine(1, 999_999); c != 0 {
+		t.Errorf("cosine with unknown vertex = %v, want 0", c)
+	}
+	if pa := sharded.EstimatePreferentialAttachment(999_998, 999_999); pa != 0 {
+		t.Errorf("PA with unknown vertices = %v, want 0", pa)
+	}
+}

@@ -29,9 +29,18 @@ import (
 // once — so Config.Degrees is ignored.
 //
 // Timestamps must be non-decreasing (the stream model of DESIGN.md §1).
-// An edge older than the current window is folded into the oldest live
-// generation rather than dropped: slightly stale is better than silently
-// missing.
+// A late edge still inside the window lands in the generation covering
+// its timestamp, so it expires with its cohort; an edge older than the
+// whole window is folded into the oldest live generation rather than
+// dropped (slightly stale is better than silently missing).
+//
+// Rotation cost is O(gens) worst case per edge regardless of the time
+// gap: a gap of s generation spans crosses s boundaries, but only
+// min(s, gens) generations exist to reset, so the cursor and window end
+// advance arithmetically and at most gens stores are re-created. This
+// preserves the paper's constant-time-per-edge guarantee even when a
+// stream resumes after a long idle period (or jumps from T=0 to
+// epoch-seconds timestamps).
 type Windowed struct {
 	cfg  Config
 	span int64 // per-generation span = window / gens
@@ -85,7 +94,9 @@ func (w *Windowed) Window() int64 { return w.span * int64(len(w.gens)) }
 func (w *Windowed) Rotations() int64 { return w.rotation }
 
 // ProcessEdge folds one edge into the generation covering its timestamp,
-// rotating generations forward as stream time advances.
+// rotating generations forward as stream time advances. The rotation is
+// O(gens) worst case for any time gap (see the type comment), keeping
+// per-edge cost constant in the stream length and the gap size.
 func (w *Windowed) ProcessEdge(e stream.Edge) {
 	if e.IsSelfLoop() {
 		return
@@ -94,19 +105,52 @@ func (w *Windowed) ProcessEdge(e stream.Edge) {
 		w.started = true
 		w.curEnd = e.T + w.span
 	}
-	for e.T >= w.curEnd {
-		w.cur = (w.cur + 1) % len(w.gens)
-		// The slot we rotate into held the oldest generation; reset it.
+	if e.T >= w.curEnd {
+		w.advanceTo(e.T)
+	}
+	w.gens[w.genFor(e.T)].ProcessEdge(e)
+}
+
+// advanceTo rotates the window forward until t < curEnd. The number of
+// span boundaries crossed may be huge after an idle period, but only
+// min(crossed, gens) generations still exist to reset: the cursor and
+// window end advance arithmetically, and each live slot is re-created at
+// most once. Rotations() counts actual generation resets, so it grows by
+// at most len(gens) per edge.
+func (w *Windowed) advanceTo(t int64) {
+	g := int64(len(w.gens))
+	steps := (t-w.curEnd)/w.span + 1
+	resets := steps
+	if resets > g {
+		resets = g
+	}
+	w.cur = int(((int64(w.cur)+steps)%g + g) % g)
+	for i := int64(0); i < resets; i++ {
+		idx := ((int64(w.cur)-i)%g + g) % g
 		fresh, err := NewSketchStore(w.cfg)
 		if err != nil {
 			// Config was validated at construction; this cannot happen.
 			panic("core: windowed rotation: " + err.Error())
 		}
-		w.gens[w.cur] = fresh
-		w.curEnd += w.span
-		w.rotation++
+		w.gens[idx] = fresh
 	}
-	w.gens[w.cur].ProcessEdge(e)
+	w.curEnd += steps * w.span
+	w.rotation += resets
+}
+
+// genFor returns the index of the generation covering timestamp t. An
+// in-order edge (the common case) lands in the youngest generation; a
+// late edge still inside the window lands in the generation covering its
+// timestamp so it expires with its cohort; an edge older than the whole
+// window is folded into the oldest live generation rather than dropped.
+// Callers must have advanced the window so that t < curEnd.
+func (w *Windowed) genFor(t int64) int {
+	g := int64(len(w.gens))
+	back := (w.curEnd - 1 - t) / w.span
+	if back >= g {
+		back = g - 1 // pre-window → oldest live generation
+	}
+	return int(((int64(w.cur)-back)%g + g) % g)
 }
 
 // Process consumes an entire stream.

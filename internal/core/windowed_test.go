@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"linkpred/internal/exact"
 	"linkpred/internal/graph"
@@ -264,5 +265,106 @@ func TestLoadWindowedErrors(t *testing.T) {
 	bad[4] = 0x77 // version
 	if _, err := LoadWindowed(bytes.NewReader(bad)); err == nil {
 		t.Error("bad version should error")
+	}
+}
+
+func TestWindowedLargeGapConstantTime(t *testing.T) {
+	// The headline regression: a T=0 first edge followed by an
+	// epoch-seconds edge used to spin ~1.7e9/span rotation iterations
+	// (each allocating a fresh SketchStore), effectively hanging ingest.
+	// The arithmetic rotation must complete instantly and reset at most
+	// len(gens) generations.
+	w, err := NewWindowed(Config{K: 32, Seed: 23}, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ProcessEdge(stream.Edge{U: 1, V: 2, T: 0})
+	start := time.Now()
+	w.ProcessEdge(stream.Edge{U: 3, V: 4, T: 1_700_000_000})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("large-gap ProcessEdge took %v, want well under 1s", elapsed)
+	}
+	if w.Rotations() > int64(len(w.gens)) {
+		t.Errorf("Rotations = %d, want <= %d (resets clamped to live generations)",
+			w.Rotations(), len(w.gens))
+	}
+	if w.Knows(1) || w.Knows(2) {
+		t.Error("pre-gap vertices should have expired")
+	}
+	if !w.Knows(3) || !w.Knows(4) {
+		t.Error("post-gap edge lost")
+	}
+}
+
+func TestWindowedLargeGapStateMatchesFresh(t *testing.T) {
+	// After a gap larger than the whole window, the store must be
+	// register-identical to a fresh store fed only the in-window edges.
+	const gap = int64(1_700_000_000)
+	old, _ := NewWindowed(Config{K: 64, Seed: 29}, 100, 4)
+	for i := uint64(10); i < 30; i++ {
+		old.ProcessEdge(stream.Edge{U: 1, V: i, T: 0})
+		old.ProcessEdge(stream.Edge{U: 2, V: i, T: 0})
+	}
+	fresh, _ := NewWindowed(Config{K: 64, Seed: 29}, 100, 4)
+	for i := uint64(40); i < 60; i++ {
+		e1 := stream.Edge{U: 5, V: i, T: gap}
+		e2 := stream.Edge{U: 6, V: i, T: gap + 3}
+		old.ProcessEdge(e1)
+		fresh.ProcessEdge(e1)
+		old.ProcessEdge(e2)
+		fresh.ProcessEdge(e2)
+	}
+	if old.NumEdges() != fresh.NumEdges() {
+		t.Errorf("NumEdges = %d, fresh = %d", old.NumEdges(), fresh.NumEdges())
+	}
+	for u := uint64(0); u < 70; u++ {
+		if old.Knows(u) != fresh.Knows(u) {
+			t.Errorf("Knows(%d) = %v, fresh = %v", u, old.Knows(u), fresh.Knows(u))
+		}
+		if old.Degree(u) != fresh.Degree(u) {
+			t.Errorf("Degree(%d) = %v, fresh = %v", u, old.Degree(u), fresh.Degree(u))
+		}
+		for v := u + 1; v < 70; v++ {
+			if old.EstimateJaccard(u, v) != fresh.EstimateJaccard(u, v) {
+				t.Errorf("Jaccard(%d,%d) diverges from fresh store", u, v)
+			}
+		}
+	}
+}
+
+func TestWindowedLateEdgePlacement(t *testing.T) {
+	// An in-window late edge must land in the generation covering its
+	// timestamp (expiring with its cohort); a pre-window edge must land
+	// in the *oldest* live generation (first to expire) — not the
+	// youngest, where it would outlive the window by (G-1)/G·window.
+	w, _ := NewWindowed(Config{K: 32, Seed: 31}, 100, 4)
+	w.ProcessEdge(stream.Edge{U: 1, V: 2, T: 500}) // gen covering [500,525)
+	w.ProcessEdge(stream.Edge{U: 3, V: 4, T: 0})   // pre-window → oldest live gen
+	if !w.Knows(3) {
+		t.Fatal("pre-window edge must be counted, not dropped")
+	}
+	// The next rotation expires the oldest generation: the pre-window
+	// edge {3,4} goes first, while the in-order edge survives.
+	w.ProcessEdge(stream.Edge{U: 5, V: 6, T: 530}) // advances to [525,550)
+	if w.Knows(3) {
+		t.Error("pre-window edge should be the first to expire")
+	}
+	if !w.Knows(1) {
+		t.Error("in-window edge expired too early")
+	}
+	// A late but in-window edge joins the generation covering its
+	// timestamp — the [500,525) cohort — not the youngest.
+	w.ProcessEdge(stream.Edge{U: 7, V: 8, T: 510})
+	if !w.Knows(7) {
+		t.Fatal("late in-window edge must be counted")
+	}
+	// Rotations through T=620 expire the [500,525) cohort together
+	// (including the late edge) while the [525,550) generation survives.
+	w.ProcessEdge(stream.Edge{U: 9, V: 10, T: 620})
+	if w.Knows(1) || w.Knows(7) {
+		t.Error("the [500,525) cohort (including the late edge) should expire together")
+	}
+	if !w.Knows(5) {
+		t.Error("edge at T=530 should still be live at T=620 (window 100)")
 	}
 }

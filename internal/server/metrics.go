@@ -1,0 +1,146 @@
+package server
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Server-side observability: per-endpoint request counters and latency
+// histograms, plus ingest/checkpoint counters, surfaced by GET /metrics
+// (nested JSON, or a flat expvar-style map with ?format=expvar) and the
+// GET /healthz liveness probe. Everything here is lock-free atomics on
+// the request path, so instrumentation never serializes handlers.
+
+// latencyBuckets are the inclusive upper bounds of the request-latency
+// histogram, spanning in-memory queries (<1ms) through bulk ingest
+// (seconds). Requests slower than the last bound land in the implicit
+// overflow bucket.
+var latencyBuckets = []time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// bucketLabels renders the histogram keys once ("<=1ms", …, ">10s").
+var bucketLabels = func() []string {
+	labels := make([]string, len(latencyBuckets)+1)
+	for i, b := range latencyBuckets {
+		labels[i] = "<=" + b.String()
+	}
+	labels[len(latencyBuckets)] = ">" + latencyBuckets[len(latencyBuckets)-1].String()
+	return labels
+}()
+
+// endpointMetrics aggregates one endpoint's request statistics.
+type endpointMetrics struct {
+	count   atomic.Int64 // requests served
+	errors  atomic.Int64 // responses with status >= 400
+	totalNs atomic.Int64 // summed latency, for the mean
+	maxNs   atomic.Int64 // slowest request seen
+	buckets []atomic.Int64
+}
+
+// observe folds one finished request into the endpoint's statistics.
+func (em *endpointMetrics) observe(d time.Duration, status int) {
+	em.count.Add(1)
+	if status >= 400 {
+		em.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	em.totalNs.Add(ns)
+	for {
+		max := em.maxNs.Load()
+		if ns <= max || em.maxNs.CompareAndSwap(max, ns) {
+			break
+		}
+	}
+	i := sort.Search(len(latencyBuckets), func(i int) bool { return d <= latencyBuckets[i] })
+	em.buckets[i].Add(1)
+}
+
+// snapshot renders the endpoint's statistics as a JSON-ready map.
+func (em *endpointMetrics) snapshot() map[string]any {
+	n := em.count.Load()
+	buckets := make(map[string]any, len(bucketLabels))
+	for i, label := range bucketLabels {
+		buckets[label] = em.buckets[i].Load()
+	}
+	latency := map[string]any{
+		"max_ms":  float64(em.maxNs.Load()) / 1e6,
+		"buckets": buckets,
+	}
+	if n > 0 {
+		latency["avg_ms"] = float64(em.totalNs.Load()) / float64(n) / 1e6
+	}
+	return map[string]any{
+		"count":   n,
+		"errors":  em.errors.Load(),
+		"latency": latency,
+	}
+}
+
+// metrics is the server's counter registry. The endpoint map is built
+// once at construction and only read afterwards, so request-path access
+// needs no locking.
+type metrics struct {
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+
+	edgesIngested atomic.Int64 // edges accepted via POST /ingest
+	checkpoints   atomic.Int64 // completed GET /checkpoint downloads
+	restores      atomic.Int64 // successful POST /restore swaps
+}
+
+func newMetrics(endpoints []string) *metrics {
+	m := &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, name := range endpoints {
+		m.endpoints[name] = &endpointMetrics{buckets: make([]atomic.Int64, len(latencyBuckets)+1)}
+	}
+	return m
+}
+
+// endpoint returns the named endpoint's stats (created at registration;
+// nil is never returned for registered names).
+func (m *metrics) endpoint(name string) *endpointMetrics { return m.endpoints[name] }
+
+// snapshot renders every counter as a JSON-ready nested map. Predictor
+// gauges and the optional stream profile are the Server's to add — they
+// are gauges over live state, not accumulated counters.
+func (m *metrics) snapshot() map[string]any {
+	requests := make(map[string]any, len(m.endpoints))
+	for name, em := range m.endpoints {
+		requests[name] = em.snapshot()
+	}
+	return map[string]any{
+		"uptime_seconds": time.Since(m.start).Seconds(),
+		"requests":       requests,
+		"ingest": map[string]any{
+			"edges": m.edgesIngested.Load(),
+		},
+		"checkpoints": map[string]any{
+			"saved":    m.checkpoints.Load(),
+			"restored": m.restores.Load(),
+		},
+	}
+}
+
+// flatten converts a nested snapshot into a flat dotted-key map — the
+// shape of expvar's /debug/vars page — so fleet scrapers that expect
+// one-level key/value metrics can consume /metrics?format=expvar.
+func flatten(prefix string, v any, out map[string]any) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		out[prefix] = v
+		return
+	}
+	for k, child := range m {
+		key := k
+		if prefix != "" {
+			key = prefix + "." + k
+		}
+		flatten(key, child, out)
+	}
+}

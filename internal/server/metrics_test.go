@@ -1,0 +1,77 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEndpointMetricsObserve(t *testing.T) {
+	m := newMetrics([]string{"pair"})
+	em := m.endpoint("pair")
+	if em == nil {
+		t.Fatal("registered endpoint missing")
+	}
+	em.observe(500*time.Microsecond, 200)
+	em.observe(5*time.Millisecond, 200)
+	em.observe(2*time.Second, 400)
+	em.observe(time.Minute, 500)
+
+	snap := em.snapshot()
+	if snap["count"].(int64) != 4 {
+		t.Errorf("count = %v, want 4", snap["count"])
+	}
+	if snap["errors"].(int64) != 2 {
+		t.Errorf("errors = %v, want 2 (statuses 400 and 500)", snap["errors"])
+	}
+	latency := snap["latency"].(map[string]any)
+	buckets := latency["buckets"].(map[string]any)
+	if buckets["<=1ms"].(int64) != 1 || buckets["<=10ms"].(int64) != 1 ||
+		buckets["<=10s"].(int64) != 1 || buckets[">10s"].(int64) != 1 {
+		t.Errorf("bucket distribution wrong: %v", buckets)
+	}
+	if maxMS := latency["max_ms"].(float64); maxMS < 59_000 {
+		t.Errorf("max_ms = %v, want ~60000", maxMS)
+	}
+	if avgMS := latency["avg_ms"].(float64); avgMS <= 0 {
+		t.Errorf("avg_ms = %v, want > 0", avgMS)
+	}
+}
+
+func TestMetricsSnapshotShape(t *testing.T) {
+	m := newMetrics([]string{"a", "b"})
+	m.edgesIngested.Add(7)
+	m.checkpoints.Add(1)
+	m.restores.Add(2)
+	snap := m.snapshot()
+	if snap["ingest"].(map[string]any)["edges"].(int64) != 7 {
+		t.Errorf("ingest.edges wrong: %v", snap)
+	}
+	ck := snap["checkpoints"].(map[string]any)
+	if ck["saved"].(int64) != 1 || ck["restored"].(int64) != 2 {
+		t.Errorf("checkpoints wrong: %v", ck)
+	}
+	if len(snap["requests"].(map[string]any)) != 2 {
+		t.Errorf("requests should list both endpoints: %v", snap["requests"])
+	}
+	if snap["uptime_seconds"].(float64) < 0 {
+		t.Error("negative uptime")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	nested := map[string]any{
+		"a": map[string]any{
+			"b": map[string]any{"c": int64(1)},
+			"d": 2.5,
+		},
+		"e": "x",
+	}
+	flat := make(map[string]any)
+	flatten("", nested, flat)
+	if flat["a.b.c"].(int64) != 1 || flat["a.d"].(float64) != 2.5 || flat["e"].(string) != "x" {
+		t.Errorf("flatten = %v", flat)
+	}
+	if len(flat) != 3 {
+		t.Errorf("flatten produced %d keys, want 3: %v", len(flat), flat)
+	}
+}

@@ -7,54 +7,126 @@
 //
 //	POST /ingest          body: edge list, "u v [t]" per line → {"ingested": n}
 //	GET  /pair?u=&v=      all measure estimates for one pair
-//	GET  /score?u=&v=&measure=jaccard|common-neighbors|adamic-adar|resource-allocation
+//	GET  /score?u=&v=&measure=jaccard|common-neighbors|adamic-adar|resource-allocation|preferential-attachment|cosine
 //	GET  /topk?u=&candidates=1,2,3&measure=&k=   ranked candidates
 //	GET  /stats           vertex/edge counts and memory
+//	GET  /metrics         request counters, latency histograms, predictor gauges (?format=expvar for a flat map)
+//	GET  /healthz         liveness probe
 //	GET  /checkpoint      download the predictor state (binary)
 //	POST /restore         replace the predictor with an uploaded checkpoint
 //
 // The server wraps a linkpred.Concurrent predictor, so ingest and
 // queries may overlap freely. Restore swaps the predictor atomically;
-// in-flight requests finish against the old state.
+// in-flight requests finish against the old state. Request bodies on
+// /ingest and /restore are capped by Options.MaxBodyBytes (oversized
+// uploads get 413), and every endpoint is instrumented: counts, error
+// counts, and latency histograms are served back on /metrics.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	linkpred "linkpred"
+	"linkpred/internal/monitor"
 	"linkpred/internal/stream"
 )
 
-// Server is the HTTP facade over a concurrent predictor.
-type Server struct {
-	pred atomic.Pointer[linkpred.Concurrent]
-	mux  *http.ServeMux
+// Options configures the optional hardening knobs of a Server. The zero
+// value keeps the historical behavior: no body limit, no stream profile.
+type Options struct {
+	// MaxBodyBytes caps the request body accepted on POST /ingest and
+	// POST /restore; oversized uploads are rejected with 413. Zero means
+	// unlimited.
+	MaxBodyBytes int64
+	// Monitor, when non-nil, receives every ingested edge and its
+	// constant-space stream profile (distinct edges/vertices, duplicate
+	// rate, heavy hitters) is folded into GET /metrics under "stream".
+	Monitor *monitor.StreamMonitor
 }
 
-// New returns a Server wrapping pred.
-func New(pred *linkpred.Concurrent) *Server {
-	s := &Server{mux: http.NewServeMux()}
+// Server is the HTTP facade over a concurrent predictor.
+type Server struct {
+	pred    atomic.Pointer[linkpred.Concurrent]
+	mux     *http.ServeMux
+	opts    Options
+	metrics *metrics
+	monMu   sync.Mutex // guards opts.Monitor (StreamMonitor is not thread-safe)
+}
+
+// New returns a Server wrapping pred with default Options.
+func New(pred *linkpred.Concurrent) *Server { return NewWithOptions(pred, Options{}) }
+
+// NewWithOptions returns a Server wrapping pred with the given Options.
+func NewWithOptions(pred *linkpred.Concurrent, opts Options) *Server {
+	s := &Server{mux: http.NewServeMux(), opts: opts}
 	s.pred.Store(pred)
-	s.mux.HandleFunc("POST /ingest", s.handleIngest)
-	s.mux.HandleFunc("GET /pair", s.handlePair)
-	s.mux.HandleFunc("GET /score", s.handleScore)
-	s.mux.HandleFunc("GET /topk", s.handleTopK)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("POST /restore", s.handleRestore)
+	endpoints := []struct {
+		pattern, name string
+		h             http.HandlerFunc
+	}{
+		{"POST /ingest", "ingest", s.handleIngest},
+		{"GET /pair", "pair", s.handlePair},
+		{"GET /score", "score", s.handleScore},
+		{"GET /topk", "topk", s.handleTopK},
+		{"GET /stats", "stats", s.handleStats},
+		{"GET /metrics", "metrics", s.handleMetrics},
+		{"GET /healthz", "healthz", s.handleHealthz},
+		{"GET /checkpoint", "checkpoint", s.handleCheckpoint},
+		{"POST /restore", "restore", s.handleRestore},
+	}
+	names := make([]string, len(endpoints))
+	for i, e := range endpoints {
+		names[i] = e.name
+	}
+	s.metrics = newMetrics(names)
+	for _, e := range endpoints {
+		s.mux.HandleFunc(e.pattern, s.instrument(e.name, e.h))
+	}
 	return s
 }
 
 // predictor returns the current predictor (restore may swap it).
 func (s *Server) predictor() *linkpred.Concurrent { return s.pred.Load() }
 
+// Predictor returns the predictor currently serving queries. Callers
+// that checkpoint on shutdown must use this rather than the predictor
+// the Server was constructed with — POST /restore may have swapped it.
+func (s *Server) Predictor() *linkpred.Concurrent { return s.pred.Load() }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusRecorder captures the response status for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint request counting and
+// latency observation.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.metrics.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		em.observe(time.Since(start), rec.status)
+	}
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -69,21 +141,71 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// cappedBody wraps a capped request body and records whether the cap
+// was ever hit. Decoders downstream (bufio fills, binary readers) may
+// observe the *http.MaxBytesError and then fail on the truncated data
+// with an error of their own — bad magic, short read — that hides the
+// original type from errors.As. The flag survives that.
+type cappedBody struct {
+	io.ReadCloser
+	hit bool
+}
+
+func (cb *cappedBody) Read(p []byte) (int, error) {
+	n, err := cb.ReadCloser.Read(p)
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		cb.hit = true
+	}
+	return n, err
+}
+
+// limitBody applies the configured body cap to a request and returns
+// the wrapper the upload handlers consult to translate cap overruns
+// to 413.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) *cappedBody {
+	body := r.Body
+	if s.opts.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, body, s.opts.MaxBodyBytes)
+	}
+	cb := &cappedBody{ReadCloser: body}
+	r.Body = cb
+	return cb
+}
+
+// uploadStatus maps an upload error to its HTTP status: 413 when the
+// body cap was hit, 400 for anything else (malformed lines, bad
+// checkpoint images).
+func uploadStatus(err error, body *cappedBody) int {
+	var mbe *http.MaxBytesError
+	if body.hit || errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer r.Body.Close()
+	body := s.limitBody(w, r)
 	pred := s.predictor()
 	reader := stream.NewTextReader(r.Body)
 	n := 0
 	err := stream.ForEach(reader, func(e stream.Edge) error {
 		pred.ObserveEdge(linkpred.Edge{U: e.U, V: e.V, T: e.T})
+		if s.opts.Monitor != nil {
+			s.monMu.Lock()
+			s.opts.Monitor.ProcessEdge(e)
+			s.monMu.Unlock()
+		}
 		n++
 		return nil
 	})
+	s.metrics.edgesIngested.Add(int64(n))
 	if err != nil {
 		// Report how much was ingested before the malformed line: the
 		// sketch has no rollback (and needs none — ingest is idempotent
 		// for registers and monotone for counters).
-		writeJSON(w, http.StatusBadRequest, map[string]any{
+		writeJSON(w, uploadStatus(err, body), map[string]any{
 			"error":    err.Error(),
 			"ingested": n,
 		})
@@ -105,21 +227,15 @@ func queryPair(r *http.Request) (u, v uint64, err error) {
 	return u, v, nil
 }
 
-// score dispatches a measure name to the concurrent predictor.
+// score dispatches a measure name through the library's shared
+// name→Measure table, so the HTTP surface supports exactly the measures
+// the predictor does.
 func (s *Server) score(measure string, u, v uint64) (float64, error) {
-	pred := s.predictor()
-	switch measure {
-	case "jaccard":
-		return pred.Jaccard(u, v), nil
-	case "common-neighbors":
-		return pred.CommonNeighbors(u, v), nil
-	case "adamic-adar":
-		return pred.AdamicAdar(u, v), nil
-	case "resource-allocation":
-		return pred.ResourceAllocation(u, v), nil
-	default:
+	m, err := linkpred.ParseMeasure(measure)
+	if err != nil {
 		return 0, fmt.Errorf("unknown measure %q", measure)
 	}
+	return s.predictor().Score(m, u, v)
 }
 
 func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
@@ -130,12 +246,14 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	}
 	pred := s.predictor()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"u":                   u,
-		"v":                   v,
-		"jaccard":             pred.Jaccard(u, v),
-		"common_neighbors":    pred.CommonNeighbors(u, v),
-		"adamic_adar":         pred.AdamicAdar(u, v),
-		"resource_allocation": pred.ResourceAllocation(u, v),
+		"u":                       u,
+		"v":                       v,
+		"jaccard":                 pred.Jaccard(u, v),
+		"common_neighbors":        pred.CommonNeighbors(u, v),
+		"adamic_adar":             pred.AdamicAdar(u, v),
+		"resource_allocation":     pred.ResourceAllocation(u, v),
+		"preferential_attachment": pred.PreferentialAttachment(u, v),
+		"cosine":                  pred.Cosine(u, v),
 	})
 }
 
@@ -170,6 +288,11 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if measure == "" {
 		measure = "adamic-adar"
 	}
+	m, err := linkpred.ParseMeasure(measure)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "unknown measure %q", measure)
+		return
+	}
 	k := 10
 	if ks := q.Get("k"); ks != "" {
 		if k, err = strconv.Atoi(ks); err != nil || k < 1 {
@@ -182,43 +305,33 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing candidates")
 		return
 	}
-	type scored struct {
-		V     uint64  `json:"v"`
-		Score float64 `json:"score"`
-	}
-	var scoredCands []scored
-	for _, tok := range strings.Split(candStr, ",") {
+	toks := strings.Split(candStr, ",")
+	cands := make([]uint64, 0, len(toks))
+	for _, tok := range toks {
 		c, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad candidate %q: %v", tok, err)
 			return
 		}
-		if c == u {
-			continue
-		}
-		sc, err := s.score(measure, u, c)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		scoredCands = append(scoredCands, scored{V: c, Score: sc})
+		cands = append(cands, c)
 	}
-	// Sort best-first, ties toward smaller id for determinism.
-	for i := 1; i < len(scoredCands); i++ {
-		for j := i; j > 0; j-- {
-			a, b := scoredCands[j-1], scoredCands[j]
-			if b.Score > a.Score || (b.Score == a.Score && b.V < a.V) {
-				scoredCands[j-1], scoredCands[j] = b, a
-			} else {
-				break
-			}
-		}
+	// The library ranking path: self-candidates dropped, NaN-safe
+	// deterministic ordering, ties toward smaller ids.
+	ranked, err := s.predictor().TopK(m, u, cands, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	if len(scoredCands) > k {
-		scoredCands = scoredCands[:k]
+	type scored struct {
+		V     uint64  `json:"v"`
+		Score float64 `json:"score"`
+	}
+	out := make([]scored, len(ranked))
+	for i, c := range ranked {
+		out[i] = scored{V: c.V, Score: c.Score}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"u": u, "measure": measure, "candidates": scoredCands,
+		"u": u, "measure": measure, "candidates": out,
 	})
 }
 
@@ -233,6 +346,48 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.snapshot()
+	pred := s.predictor()
+	snap["predictor"] = map[string]any{
+		"vertices":     pred.NumVertices(),
+		"edges":        pred.NumEdges(),
+		"memory_bytes": pred.MemoryBytes(),
+		"shards":       pred.NumShards(),
+		"k":            pred.Config().K,
+	}
+	if s.opts.Monitor != nil {
+		s.monMu.Lock()
+		rep := s.opts.Monitor.Report(5)
+		s.monMu.Unlock()
+		snap["stream"] = map[string]any{
+			"edges":             rep.Edges,
+			"self_loops":        rep.SelfLoops,
+			"distinct_edges":    rep.DistinctEdges,
+			"distinct_vertices": rep.DistinctVertices,
+			"duplicate_rate":    rep.DuplicateRate,
+			"mean_degree":       rep.MeanDegree,
+		}
+	}
+	if r.URL.Query().Get("format") == "expvar" {
+		flat := make(map[string]any)
+		flatten("", snap, flat)
+		writeJSON(w, http.StatusOK, flat)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	pred := s.predictor()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+		"vertices":       pred.NumVertices(),
+		"edges":          pred.NumEdges(),
+	})
+}
+
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", `attachment; filename="linkpred.ckpt"`)
@@ -241,16 +396,19 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		// body, which LoadConcurrent will reject on restore.
 		return
 	}
+	s.metrics.checkpoints.Add(1)
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	defer r.Body.Close()
+	body := s.limitBody(w, r)
 	loaded, err := linkpred.LoadConcurrent(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "restore: %v", err)
+		writeError(w, uploadStatus(err, body), "restore: %v", err)
 		return
 	}
 	s.pred.Store(loaded)
+	s.metrics.restores.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"restored_vertices": loaded.NumVertices(),
 		"restored_edges":    loaded.NumEdges(),

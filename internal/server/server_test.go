@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	linkpred "linkpred"
+	"linkpred/internal/monitor"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *linkpred.Concurrent) {
@@ -288,5 +289,219 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("garbage restore status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPairIncludesAllMeasures(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingest(t, ts, sharedFixture(), http.StatusOK)
+	pair := getJSON(t, ts.URL+"/pair?u=1&v=2", http.StatusOK)
+	for _, key := range []string{
+		"jaccard", "common_neighbors", "adamic_adar",
+		"resource_allocation", "preferential_attachment", "cosine",
+	} {
+		v, ok := pair[key]
+		if !ok {
+			t.Errorf("/pair missing %q", key)
+			continue
+		}
+		if v.(float64) <= 0 {
+			t.Errorf("/pair %s = %v, want > 0", key, v)
+		}
+	}
+}
+
+func TestScoreAllSixMeasures(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingest(t, ts, sharedFixture(), http.StatusOK)
+	for _, m := range []string{
+		"jaccard", "common-neighbors", "adamic-adar",
+		"resource-allocation", "preferential-attachment", "cosine",
+	} {
+		out := getJSON(t, ts.URL+"/score?u=1&v=2&measure="+m, http.StatusOK)
+		if out["score"].(float64) <= 0 {
+			t.Errorf("%s score = %v, want > 0", m, out["score"])
+		}
+	}
+}
+
+func TestTopKMatchesLibraryRanking(t *testing.T) {
+	ts, pred := newTestServer(t)
+	var b strings.Builder
+	for i := 10; i < 30; i++ {
+		fmt.Fprintf(&b, "1 %d\n2 %d\n", i, i)
+	}
+	for i := 10; i < 15; i++ {
+		fmt.Fprintf(&b, "3 %d\n", i)
+	}
+	ingest(t, ts, b.String(), http.StatusOK)
+	want, err := pred.TopK(linkpred.CommonNeighbors, 1, []uint64{2, 3, 999}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := getJSON(t, ts.URL+"/topk?u=1&candidates=2,3,999&measure=common-neighbors&k=2", http.StatusOK)
+	cands := out["candidates"].([]any)
+	if len(cands) != len(want) {
+		t.Fatalf("HTTP ranking has %d entries, library %d", len(cands), len(want))
+	}
+	for i, c := range cands {
+		entry := c.(map[string]any)
+		if uint64(entry["v"].(float64)) != want[i].V || entry["score"].(float64) != want[i].Score {
+			t.Errorf("rank %d: HTTP %v, library %+v", i, entry, want[i])
+		}
+	}
+	// Cosine over HTTP must rank too (previously "unknown measure").
+	out = getJSON(t, ts.URL+"/topk?u=1&candidates=2,3&measure=cosine", http.StatusOK)
+	if len(out["candidates"].([]any)) != 2 {
+		t.Errorf("cosine topk = %v", out["candidates"])
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingest(t, ts, "1 2\n", http.StatusOK)
+	out := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if out["status"].(string) != "ok" {
+		t.Errorf("healthz status = %v", out["status"])
+	}
+	if out["uptime_seconds"].(float64) < 0 || out["edges"].(float64) != 1 {
+		t.Errorf("healthz = %v", out)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingest(t, ts, sharedFixture(), http.StatusOK)
+	getJSON(t, ts.URL+"/pair?u=1&v=2", http.StatusOK)
+	getJSON(t, ts.URL+"/pair?u=1&v=2", http.StatusOK)
+	getJSON(t, ts.URL+"/score?u=1&v=2&measure=zebra", http.StatusBadRequest)
+
+	out := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	requests := out["requests"].(map[string]any)
+	pair := requests["pair"].(map[string]any)
+	if pair["count"].(float64) != 2 {
+		t.Errorf("pair count = %v, want 2", pair["count"])
+	}
+	score := requests["score"].(map[string]any)
+	if score["errors"].(float64) != 1 {
+		t.Errorf("score errors = %v, want 1", score["errors"])
+	}
+	if latency := pair["latency"].(map[string]any); latency["buckets"] == nil {
+		t.Error("latency histogram missing")
+	}
+	if edges := out["ingest"].(map[string]any)["edges"].(float64); edges != 40 {
+		t.Errorf("ingest.edges = %v, want 40", edges)
+	}
+	predGauges := out["predictor"].(map[string]any)
+	if predGauges["vertices"].(float64) != 22 || predGauges["edges"].(float64) != 40 {
+		t.Errorf("predictor gauges = %v", predGauges)
+	}
+	if predGauges["memory_bytes"].(float64) <= 0 {
+		t.Error("memory gauge missing")
+	}
+
+	// expvar-compatible flat map.
+	flat := getJSON(t, ts.URL+"/metrics?format=expvar", http.StatusOK)
+	if flat["requests.pair.count"].(float64) != 3 { // +1 from the nested /metrics read? no — /metrics reads don't touch pair
+		t.Logf("flat keys: %v", flat)
+	}
+	if _, ok := flat["predictor.vertices"]; !ok {
+		t.Errorf("expvar format missing flattened keys: %v", flat)
+	}
+	if _, ok := flat["requests"]; ok {
+		t.Error("expvar format should not contain nested maps at top level")
+	}
+}
+
+func TestMetricsWithMonitor(t *testing.T) {
+	pred, err := linkpred.NewConcurrent(linkpred.Config{K: 64, Seed: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New(monitor.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithOptions(pred, Options{Monitor: mon}))
+	t.Cleanup(ts.Close)
+	ingest(t, ts, "1 2\n1 2\n3 4\n5 5\n", http.StatusOK) // one duplicate, one self-loop
+	out := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	strm, ok := out["stream"].(map[string]any)
+	if !ok {
+		t.Fatalf("stream profile missing from /metrics: %v", out)
+	}
+	if strm["edges"].(float64) != 3 || strm["self_loops"].(float64) != 1 {
+		t.Errorf("stream profile = %v", strm)
+	}
+	if strm["duplicate_rate"].(float64) <= 0 {
+		t.Errorf("duplicate_rate = %v, want > 0", strm["duplicate_rate"])
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	pred, err := linkpred.NewConcurrent(linkpred.Config{K: 64, Seed: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithOptions(pred, Options{MaxBodyBytes: 64}))
+	t.Cleanup(ts.Close)
+
+	// Under the cap: accepted.
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader("1 2\n3 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small ingest status = %d", resp.StatusCode)
+	}
+
+	// Over the cap: 413, with the partial-ingest count reported.
+	var big strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&big, "%d %d\n", i, i+1)
+	}
+	resp, err = http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(big.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized ingest status = %d, want 413 (%v)", resp.StatusCode, out)
+	}
+
+	// /restore over the cap: also 413.
+	resp, err = http.Post(ts.URL+"/restore", "application/octet-stream", strings.NewReader(strings.Repeat("x", 200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized restore status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestRestoreCountsInMetrics(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingest(t, ts, "1 2\n", http.StatusOK)
+	resp, err := http.Get(ts.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	resp, err = http.Post(ts.URL+"/restore", "application/octet-stream", bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	out := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	ck := out["checkpoints"].(map[string]any)
+	if ck["saved"].(float64) != 1 || ck["restored"].(float64) != 1 {
+		t.Errorf("checkpoint counters = %v", ck)
 	}
 }

@@ -28,6 +28,7 @@ package linkpred
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 
@@ -88,6 +89,35 @@ const (
 	// Cosine ranks by the estimated cosine (Salton) similarity.
 	Cosine
 )
+
+// AllMeasures lists every Measure in declaration order, for iterating
+// the measure space (HTTP handlers, CLIs, benchmarks).
+var AllMeasures = []Measure{
+	Jaccard, CommonNeighbors, AdamicAdar,
+	ResourceAllocation, PreferentialAttachment, Cosine,
+}
+
+// measureByName inverts Measure.String, backing ParseMeasure.
+var measureByName = func() map[string]Measure {
+	byName := make(map[string]Measure, len(AllMeasures))
+	for _, m := range AllMeasures {
+		byName[m.String()] = m
+	}
+	return byName
+}()
+
+// ParseMeasure returns the Measure with the given conventional name
+// (the output of Measure.String: "jaccard", "common-neighbors",
+// "adamic-adar", "resource-allocation", "preferential-attachment",
+// "cosine"). It is the single name→Measure table shared by the HTTP
+// server and the CLIs, so every surface dispatches the same measure set.
+func ParseMeasure(name string) (Measure, error) {
+	m, ok := measureByName[name]
+	if !ok {
+		return 0, fmt.Errorf("linkpred: unknown measure %q", name)
+	}
+	return m, nil
+}
 
 // String returns the measure's conventional name.
 func (m Measure) String() string {
@@ -307,7 +337,10 @@ func (p *Predictor) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Can
 }
 
 // topKByScore ranks candidates against u under score, shared by the
-// TopK methods of Predictor and Concurrent.
+// TopK methods of Predictor and Concurrent (and, through them, the HTTP
+// /topk endpoint). NaN scores sort after every real score — a NaN that
+// compared false against everything would otherwise make the ordering
+// non-transitive and the ranking nondeterministic.
 func topKByScore(u uint64, candidates []uint64, k int, score func(v uint64) (float64, error)) ([]Candidate, error) {
 	if k <= 0 {
 		return nil, nil
@@ -324,8 +357,13 @@ func topKByScore(u uint64, candidates []uint64, k int, score func(v uint64) (flo
 		out = append(out, Candidate{V: v, Score: s})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+		si, sj := out[i].Score, out[j].Score
+		if ni, nj := math.IsNaN(si), math.IsNaN(sj); ni || nj {
+			if ni != nj {
+				return nj // real scores rank above NaN
+			}
+		} else if si != sj {
+			return si > sj
 		}
 		return out[i].V < out[j].V
 	})

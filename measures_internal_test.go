@@ -1,0 +1,48 @@
+package linkpred
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseMeasureRoundTrip(t *testing.T) {
+	for _, m := range AllMeasures {
+		got, err := ParseMeasure(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMeasure(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := ParseMeasure("zebra"); err == nil {
+		t.Error("unknown measure should error")
+	}
+	if _, err := ParseMeasure(""); err == nil {
+		t.Error("empty measure should error")
+	}
+}
+
+func TestTopKByScoreNaN(t *testing.T) {
+	// NaN scores must rank after every real score, deterministically —
+	// not poison the sort's transitivity.
+	scores := map[uint64]float64{
+		1: math.NaN(),
+		2: 0.5,
+		3: math.NaN(),
+		4: 0.9,
+		5: 0,
+	}
+	out, err := topKByScore(100, []uint64{1, 2, 3, 4, 5}, 5, func(v uint64) (float64, error) {
+		return scores[v], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("got %d candidates, want 5", len(out))
+	}
+	wantOrder := []uint64{4, 2, 5, 1, 3} // real scores descending, then NaNs by id
+	for i, want := range wantOrder {
+		if out[i].V != want {
+			t.Fatalf("rank %d = vertex %d, want %d (full: %v)", i, out[i].V, want, out)
+		}
+	}
+}

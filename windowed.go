@@ -22,7 +22,13 @@ import (
 // Config.DistinctDegrees is implied. Config.EnableBiased is not
 // supported.
 //
-// Edge timestamps must be non-decreasing.
+// Edge timestamps must be non-decreasing. Rotation is O(gens) worst
+// case per edge for any time gap (an idle period, or a jump from T=0 to
+// epoch-seconds timestamps, rotates arithmetically instead of one span
+// at a time), so per-edge cost stays constant. A late edge still inside
+// the window lands in the generation covering its timestamp; an edge
+// older than the whole window is folded into the oldest live generation
+// rather than dropped.
 type Windowed struct {
 	store *core.Windowed
 	cfg   Config
@@ -54,6 +60,11 @@ func (w *Windowed) Config() Config { return w.cfg }
 
 // Window returns the total window span covered.
 func (w *Windowed) Window() int64 { return w.store.Window() }
+
+// Rotations returns how many generation resets have occurred, for
+// introspection and tests. It grows by at most `gens` per observed edge
+// regardless of the time gap between edges.
+func (w *Windowed) Rotations() int64 { return w.store.Rotations() }
 
 // ObserveEdge folds a timestamped edge into the window. Timestamps must
 // be non-decreasing.

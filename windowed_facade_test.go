@@ -3,6 +3,7 @@ package linkpred_test
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	linkpred "linkpred"
 )
@@ -78,5 +79,30 @@ func TestWindowedFacadeSaveLoad(t *testing.T) {
 	}
 	if _, err := linkpred.LoadWindowed(bytes.NewReader([]byte("junk"))); err == nil {
 		t.Error("loading junk should error")
+	}
+}
+
+func TestWindowedFacadeLargeGap(t *testing.T) {
+	// The facade must inherit the O(1)-per-edge rotation: a T=0 edge
+	// followed by an epoch-seconds edge completes instantly, and the
+	// rotation counter stays bounded by the generation count.
+	w, err := linkpred.NewWindowed(linkpred.Config{K: 32, Seed: 7}, 3600, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ObserveEdge(linkpred.Edge{U: 1, V: 2, T: 0})
+	start := time.Now()
+	w.ObserveEdge(linkpred.Edge{U: 3, V: 4, T: 1_700_000_000})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("large-gap ObserveEdge took %v", elapsed)
+	}
+	if w.Rotations() > 4 {
+		t.Errorf("Rotations = %d, want <= 4", w.Rotations())
+	}
+	if w.Seen(1) {
+		t.Error("pre-gap vertex should have expired")
+	}
+	if !w.Seen(3) {
+		t.Error("post-gap edge lost")
 	}
 }
