@@ -6,6 +6,7 @@
 //	lpbench -exp all                 # run the full suite (minutes)
 //	lpbench -exp e2,e5 -quick        # selected experiments, small scale
 //	lpbench -exp all -csv out/       # also write one CSV per experiment
+//	lpbench -queries                 # query-path experiment (e21) → BENCH_query.json
 //
 // Each experiment prints an aligned ASCII table; -csv additionally writes
 // machine-readable series for plotting.
@@ -33,7 +34,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lpbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments to run: all, or comma-separated ids (e1..e20)")
+		exp      = fs.String("exp", "all", "experiments to run: all, or comma-separated ids (e1..e21)")
 		quick    = fs.Bool("quick", false, "small-scale run (seconds instead of minutes)")
 		seed     = fs.Uint64("seed", 42, "experiment seed (EXPERIMENTS.md uses 42)")
 		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files (optional)")
@@ -41,6 +42,7 @@ func run(args []string, stdout io.Writer) error {
 		list     = fs.Bool("list", false, "list available experiments and exit")
 		parallel = fs.Int("parallel", 0, "max writer goroutines swept by the ingest scaling experiment (0 = default 8)")
 		batch    = fs.Int("batch", 0, "edges per batch for batched-ingest measurements (0 = default 256)")
+		queries  = fs.Bool("queries", false, "run the batched query experiment (e21) and write BENCH_query.json in the current directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,7 +56,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var selected []bench.Experiment
-	if *exp == "all" {
+	if *queries {
+		e, err := bench.Lookup("e21")
+		if err != nil {
+			return err
+		}
+		selected = []bench.Experiment{e}
+	} else if *exp == "all" {
 		selected = bench.All()
 	} else {
 		for _, id := range strings.Split(*exp, ",") {
@@ -109,6 +117,12 @@ func run(args []string, stdout io.Writer) error {
 			if err := writeTable(*jsonDir, e.ID, ".json", table.WriteJSON); err != nil {
 				return err
 			}
+		}
+		if *queries && e.ID == "e21" {
+			if err := writeTable(".", "BENCH_query", ".json", table.WriteJSON); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "wrote BENCH_query.json")
 		}
 	}
 	return nil

@@ -11,7 +11,8 @@
 //	POST /ingest      edge lines "u v [t]"
 //	GET  /pair?u=&v=
 //	GET  /score?u=&v=&measure=
-//	GET  /topk?u=&candidates=…&measure=&k=
+//	GET  /topk?u=&candidates=…&measure=&k=   (candidates optional with -candidates)
+//	POST /scorebatch  {"measure": m, "pairs": [{"u":…,"v":…},…]}
 //	GET  /stats
 //	GET  /metrics     request counters, latency histograms, predictor gauges
 //	GET  /healthz     liveness probe
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	linkpred "linkpred"
+	"linkpred/internal/candidates"
 	"linkpred/internal/monitor"
 	"linkpred/internal/server"
 	"linkpred/internal/stream"
@@ -86,6 +88,9 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		readTO     = fs.Duration("read-timeout", time.Minute, "HTTP server read timeout")
 		writeTO    = fs.Duration("write-timeout", 5*time.Minute, "HTTP server write timeout")
 		mon        = fs.Bool("monitor", true, "profile the ingest stream (duplicate rate, distinct counts) in /metrics")
+		cand       = fs.Bool("candidates", false, "track candidate vertices on ingest so /topk can omit the candidates parameter")
+		candRecent = fs.Int("candidates-recent", 8, "recent neighbors remembered per vertex by -candidates")
+		candPool   = fs.Int("candidates-pool", 64, "frequent-vertex pool size shared by -candidates")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -110,6 +115,14 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		}
 	}
 
+	var tracker *candidates.Tracker
+	if *cand {
+		tracker, err = candidates.New(*candRecent, *candPool)
+		if err != nil {
+			return nil, fmt.Errorf("candidate tracker: %w", err)
+		}
+	}
+
 	if *warm != "" {
 		f, err := os.Open(*warm)
 		if err != nil {
@@ -118,6 +131,9 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		n := 0
 		err = stream.ForEach(stream.NewTextReader(f), func(e stream.Edge) error {
 			pred.ObserveEdge(linkpred.Edge{U: e.U, V: e.V, T: e.T})
+			if tracker != nil {
+				tracker.ProcessEdge(e)
+			}
 			n++
 			return nil
 		})
@@ -128,7 +144,7 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		fmt.Fprintf(stdout, "warmed with %d edges (%d vertices)\n", n, pred.NumVertices())
 	}
 
-	opts := server.Options{MaxBodyBytes: *maxBody}
+	opts := server.Options{MaxBodyBytes: *maxBody, Candidates: tracker}
 	if *mon {
 		opts.Monitor, err = monitor.New(monitor.Config{Seed: *seed})
 		if err != nil {

@@ -130,13 +130,36 @@ func (c *Concurrent) Score(m Measure, u, v uint64) (float64, error) {
 	}
 }
 
+// ScoreBatch scores every candidate against u under the given measure in
+// one batched pass, returning scores aligned with candidates. Unlike
+// per-pair Score calls — which take two shard read locks per candidate —
+// the batch path pins the source's sketch under one read lock, copies
+// each shard's candidate register views under one read lock per shard
+// per batch, and scores on parallel workers, so per-query lock cost is
+// O(shards), not O(candidates). Safe for concurrent use with writers:
+// all candidates in a shard are scored against one coherent snapshot of
+// that shard. Duplicate candidate ids receive identical scores.
+func (c *Concurrent) ScoreBatch(m Measure, u uint64, candidates []uint64) ([]float64, error) {
+	qm, err := queryMeasure(m)
+	if err != nil {
+		return nil, err
+	}
+	return c.store.ScoreBatch(qm, u, candidates, nil)
+}
+
 // TopK scores every candidate vertex against u under the given measure
-// and returns the k best, ties broken toward smaller vertex ids. It may
-// run concurrently with writers; each pair is scored against the
-// sketches as of its own read.
+// and returns the k best, ties broken toward smaller vertex ids.
+// Candidates are deduplicated (repeated ids contribute one result entry)
+// and u itself is skipped. It may run concurrently with writers; scoring
+// goes through the batched path, so each shard's candidates are read as
+// one coherent snapshot and selection uses a size-k heap.
 func (c *Concurrent) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Candidate, error) {
-	return topKByScore(u, candidates, k, func(v uint64) (float64, error) {
-		return c.Score(m, u, v)
+	qm, err := queryMeasure(m)
+	if err != nil {
+		return nil, err
+	}
+	return topKBatch(u, candidates, k, func(dedup []uint64, scores []float64) ([]float64, error) {
+		return c.store.ScoreBatch(qm, u, dedup, scores)
 	})
 }
 

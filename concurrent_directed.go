@@ -90,6 +90,54 @@ func (c *ConcurrentDirected) AdamicAdar(u, v uint64) float64 {
 	return c.store.EstimateAdamicAdar(u, v)
 }
 
+// Score returns the estimate of the given measure for the candidate arc
+// u → v. Directed prediction supports Jaccard, CommonNeighbors, and
+// AdamicAdar; the degree-product and cosine measures are undefined on
+// the out/in split and return an error.
+func (c *ConcurrentDirected) Score(m Measure, u, v uint64) (float64, error) {
+	switch m {
+	case Jaccard:
+		return c.store.EstimateJaccard(u, v), nil
+	case CommonNeighbors:
+		return c.store.EstimateCommonNeighbors(u, v), nil
+	case AdamicAdar:
+		return c.store.EstimateAdamicAdar(u, v), nil
+	case ResourceAllocation, PreferentialAttachment, Cosine:
+		return 0, fmt.Errorf("linkpred: measure %v not supported for directed prediction", m)
+	default:
+		return 0, fmt.Errorf("linkpred: unknown measure %v", m)
+	}
+}
+
+// ScoreBatch scores every candidate arc u → candidate under the given
+// measure in one batched pass, returning scores aligned with candidates.
+// The source's out-sketch is pinned under one read lock and each shard's
+// candidate in-sketch views are copied under one read lock per shard per
+// batch, so per-query lock cost is O(shards), not O(candidates). Safe
+// for concurrent use with writers. Supports the same measures as Score.
+func (c *ConcurrentDirected) ScoreBatch(m Measure, u uint64, candidates []uint64) ([]float64, error) {
+	qm, err := queryMeasure(m)
+	if err != nil {
+		return nil, err
+	}
+	return c.store.ScoreBatch(qm, u, candidates, nil)
+}
+
+// TopK scores every candidate arc u → candidate and returns the k best,
+// ties broken toward smaller vertex ids. Candidates are deduplicated
+// (repeated ids contribute one result entry) and u itself is skipped;
+// scoring goes through the batched path and selection uses a size-k
+// heap. Supports the same measures as Score.
+func (c *ConcurrentDirected) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Candidate, error) {
+	qm, err := queryMeasure(m)
+	if err != nil {
+		return nil, err
+	}
+	return topKBatch(u, candidates, k, func(dedup []uint64, scores []float64) ([]float64, error) {
+		return c.store.ScoreBatch(qm, u, dedup, scores)
+	})
+}
+
 // OutDegree returns the out-degree estimate of u.
 func (c *ConcurrentDirected) OutDegree(u uint64) float64 { return c.store.OutDegree(u) }
 

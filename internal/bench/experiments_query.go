@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	linkpred "linkpred"
+	"linkpred/internal/gen"
+	"linkpred/internal/rng"
+	"linkpred/internal/stream"
+)
+
+func init() {
+	register(Experiment{ID: "e21", Title: "E21: batched query path: TopK over large candidate sets", Kind: "figure", Run: runE21})
+}
+
+// runE21 measures the batched query path against the sequential per-pair
+// baseline it replaced: TopK(u, candidates, 10) at growing candidate-set
+// sizes, for every measure. The sequential baseline scores each candidate
+// with an independent Score call (two shard read locks and, for the
+// weighted measures, per-matched-register degree lookups per candidate),
+// materialises every score, and sorts; the batched path pins the source
+// sketch once, snapshots each shard's candidate registers under one read
+// lock per shard, precomputes the per-register midpoint weights once per
+// batch, and heap-selects k. Candidates are drawn with replacement from
+// the observed vertex set, so the lists carry the duplicates real
+// candidate generators produce.
+func runE21(cfg RunConfig) (*Table, error) {
+	src, err := gen.Open(gen.DatasetCoauthor, cfg.scale(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	edges, err := stream.Collect(src)
+	if err != nil {
+		return nil, err
+	}
+	const k = 64
+	const nShards = 32
+	const topK = 10
+	pred, err := linkpred.NewConcurrent(linkpred.Config{K: k, Seed: cfg.Seed}, nShards)
+	if err != nil {
+		return nil, err
+	}
+	batch := cfg.batch()
+	buf := make([]linkpred.Edge, 0, batch)
+	flush := func() {
+		if len(buf) > 0 {
+			pred.ObserveEdges(buf)
+			buf = buf[:0]
+		}
+	}
+	deg := make(map[uint64]int)
+	for _, e := range edges {
+		buf = append(buf, linkpred.Edge{U: e.U, V: e.V, T: e.T})
+		if len(buf) == batch {
+			flush()
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	flush()
+
+	verts := make([]uint64, 0, len(deg))
+	var u uint64
+	for v, d := range deg {
+		verts = append(verts, v)
+		if d > deg[u] || (d == deg[u] && v < u) || len(verts) == 1 {
+			u = v
+		}
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+
+	sizes := []int{1_000, 10_000, 100_000}
+	if cfg.Quick {
+		sizes = []int{1_000, 5_000}
+	}
+	t := &Table{
+		Title: fmt.Sprintf("E21: sequential vs batched TopK(u, candidates, %d) on %d coauthor vertices (k=%d, %d shards, source degree %d)",
+			topK, len(verts), k, nShards, deg[u]),
+		Columns: []string{"measure", "candidates", "seq_ns_per_query", "batch_ns_per_query", "speedup",
+			"seq_allocs", "seq_bytes", "batch_allocs", "batch_bytes"},
+		Notes: []string{
+			"sequential = one Score call per candidate, materialise all scores, full sort (the pre-batch TopK); batched = the library TopK (pinned source, per-shard snapshots, heap select)",
+			"allocs/bytes are per query at steady state (scratch pools warmed, GC parked during the measurement); batch cost is O(shards+k), independent of the candidate count",
+		},
+	}
+
+	// The sequential baseline: the exact shape of the pre-batch TopK.
+	seqTopK := func(m linkpred.Measure, u uint64, cands []uint64, k int) []linkpred.Candidate {
+		scored := make([]linkpred.Candidate, 0, len(cands))
+		for _, v := range cands {
+			if v == u {
+				continue
+			}
+			s, err := pred.Score(m, u, v)
+			if err != nil {
+				return nil
+			}
+			scored = append(scored, linkpred.Candidate{V: v, Score: s})
+		}
+		sort.Slice(scored, func(i, j int) bool {
+			a, b := scored[i], scored[j]
+			na, nb := math.IsNaN(a.Score), math.IsNaN(b.Score)
+			if na != nb {
+				return nb
+			}
+			if !na && a.Score != b.Score {
+				return a.Score > b.Score
+			}
+			return a.V < b.V
+		})
+		if len(scored) > k {
+			scored = scored[:k]
+		}
+		return scored
+	}
+
+	// measure times one query shape (best of two passes, reps sized to the
+	// query cost) and then counts steady-state allocations with the GC
+	// parked so pooled scratch is not reclaimed mid-measurement.
+	measure := func(run func()) (ns, allocs, bytes float64) {
+		run() // warm scratch pools
+		start := time.Now()
+		run()
+		once := time.Since(start).Nanoseconds()
+		reps := int(50 * time.Millisecond / time.Duration(max(once, 1)))
+		reps = max(1, min(reps, 200))
+		pass := func() float64 {
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				run()
+			}
+			return float64(time.Since(start).Nanoseconds()) / float64(reps)
+		}
+		ns = pass()
+		if again := pass(); again < ns {
+			ns = again
+		}
+		prev := debug.SetGCPercent(-1)
+		aReps := min(reps, 20)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < aReps; i++ {
+			run()
+		}
+		runtime.ReadMemStats(&after)
+		debug.SetGCPercent(prev)
+		allocs = float64(after.Mallocs-before.Mallocs) / float64(aReps)
+		bytes = float64(after.TotalAlloc-before.TotalAlloc) / float64(aReps)
+		return ns, allocs, bytes
+	}
+
+	x := rng.NewXoshiro256(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	for _, n := range sizes {
+		cands := make([]uint64, n)
+		for i := range cands {
+			cands[i] = verts[x.Intn(len(verts))]
+		}
+		for _, m := range linkpred.AllMeasures {
+			seqNs, seqAllocs, seqBytes := measure(func() { seqTopK(m, u, cands, topK) })
+			batNs, batAllocs, batBytes := measure(func() {
+				if _, err := pred.TopK(m, u, cands, topK); err != nil {
+					panic(err) // unreachable: every library measure is supported
+				}
+			})
+			t.AddRow(m.String(), n, seqNs, batNs, seqNs/batNs, seqAllocs, seqBytes, batAllocs, batBytes)
+		}
+	}
+	return t, nil
+}

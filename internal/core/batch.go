@@ -3,7 +3,6 @@ package core
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"linkpred/internal/hashing"
 	"linkpred/internal/rng"
@@ -93,16 +92,14 @@ type batchScratch struct {
 	pairIdx   []int32
 	pairEpoch []uint32
 
-	// Stage-3 grouping buffers. vertOrder holds distinct-vertex indices
-	// grouped by shard (shard s owns vertOrder[vertStarts[s]:vertStarts[s+1]]);
-	// order holds half-edge indices grouped by owner (owner o's updates
-	// are order[ownerStarts[o]:ownerStarts[o+1]]).
-	vertShard   []int32
-	vertStarts  []int32
-	vertOrder   []int32
-	ownerStarts []int32
-	order       []int32
-	fill        []int32
+	// Stage-3 grouping workspaces (see group.go). vertGroup holds
+	// distinct-vertex indices grouped by destination shard; ownerGroup
+	// holds half-edge indices grouped by owner, so stage 4 can apply each
+	// owner's updates as one contiguous run. vertShard caches the shard
+	// assignment so the two counting-sort passes hash each vertex once.
+	vertShard  []int32
+	vertGroup  grouping
+	ownerGroup grouping
 
 	// prefetchSink receives the XOR of the apply loops' lookahead loads so
 	// the compiler cannot discard them (see the loops for why they exist).
@@ -272,88 +269,27 @@ func (sc *batchScratch) prepare(edges []stream.Edge, k, nShards int, family *has
 	}
 
 	// Stage 3a: counting-sort distinct vertices by destination shard.
+	// The shard assignment is precomputed so each vertex is hashed once
+	// across the two counting-sort passes.
 	sc.vertShard = grow(sc.vertShard, nd)
 	for i, v := range sc.distinct {
 		sc.vertShard[i] = int32(rng.Mix64(v) % uint64(nShards))
 	}
-	sc.vertStarts = grow(sc.vertStarts, nShards+1)
-	limit := nShards
-	if nd > limit {
-		limit = nd
-	}
-	sc.fill = grow(sc.fill, limit)
-	clear(sc.fill[:nShards])
-	for _, sh := range sc.vertShard[:nd] {
-		sc.fill[sh]++
-	}
-	sc.vertStarts[0] = 0
-	for s := 0; s < nShards; s++ {
-		sc.vertStarts[s+1] = sc.vertStarts[s] + sc.fill[s]
-		sc.fill[s] = sc.vertStarts[s]
-	}
-	sc.vertOrder = grow(sc.vertOrder, nd)
-	for i, sh := range sc.vertShard[:nd] {
-		sc.vertOrder[sc.fill[sh]] = int32(i)
-		sc.fill[sh]++
-	}
+	sc.vertGroup.group(nd, nShards, func(i int) int32 { return sc.vertShard[i] })
 
 	// Stage 3b: counting-sort half-edge indices by owner, so stage 4 can
 	// apply each owner's updates as one contiguous run.
-	sc.ownerStarts = grow(sc.ownerStarts, nd+1)
-	clear(sc.fill[:nd])
-	for i := range sc.halves {
-		sc.fill[sc.halves[i].ownerIdx]++
-	}
-	sc.ownerStarts[0] = 0
-	for o := 0; o < nd; o++ {
-		sc.ownerStarts[o+1] = sc.ownerStarts[o] + sc.fill[o]
-		sc.fill[o] = sc.ownerStarts[o]
-	}
-	sc.order = grow(sc.order, len(sc.halves))
-	for i := range sc.halves {
-		o := sc.halves[i].ownerIdx
-		sc.order[sc.fill[o]] = int32(i)
-		sc.fill[o]++
-	}
+	sc.ownerGroup.group(len(sc.halves), nd, func(i int) int32 { return sc.halves[i].ownerIdx })
 	return n
 }
 
 // applyShards runs stage 4: workers claim shard indices off an atomic
 // cursor and call apply(shard) for every shard that owns at least one
 // batch vertex; the callback takes the shard's write lock, walks the
-// shard's slice of vertOrder, and releases the lock. Worker count comes
-// from GOMAXPROCS, capped by the shard count.
+// shard's slice of vertGroup.order, and releases the lock. Worker count
+// comes from GOMAXPROCS, capped by the shard count (see forEachShard).
 func (sc *batchScratch) applyShards(nShards int, apply func(shard int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nShards {
-		workers = nShards
-	}
-	if workers <= 1 {
-		for s := 0; s < nShards; s++ {
-			if sc.vertStarts[s+1] > sc.vertStarts[s] {
-				apply(s)
-			}
-		}
-		return
-	}
-	var cursor atomic.Int32
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				s := int(cursor.Add(1)) - 1
-				if s >= nShards {
-					return
-				}
-				if sc.vertStarts[s+1] > sc.vertStarts[s] {
-					apply(s)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	forEachShard(nShards, sc.vertGroup.starts, apply)
 }
 
 // ProcessEdges folds a batch of edges into the sketches of all endpoints
@@ -378,7 +314,7 @@ func (s *Sharded) ProcessEdges(edges []stream.Edge) {
 		sc.applyShards(len(s.shards), func(shard int) {
 			st := s.shards[shard]
 			s.mus[shard].Lock()
-			lo, hi := sc.vertStarts[shard], sc.vertStarts[shard+1]
+			lo, hi := sc.vertGroup.starts[shard], sc.vertGroup.starts[shard+1]
 			// Software-pipelined vertex lookup: resolve vertex vi+1's state
 			// (map-bucket chain plus first touches of its register lines)
 			// while vi's register merges execute, overlapping the L3 latency
@@ -388,19 +324,19 @@ func (s *Sharded) ProcessEdges(edges []stream.Edge) {
 			var next *vertexState
 			var sink uint64
 			if hi > lo {
-				next = st.state(sc.distinct[sc.vertOrder[lo]])
+				next = st.state(sc.distinct[sc.vertGroup.order[lo]])
 			}
 			for vi := lo; vi < hi; vi++ {
-				o := sc.vertOrder[vi]
+				o := sc.vertGroup.order[vi]
 				vs := next
 				if vi+1 < hi {
-					next = st.state(sc.distinct[sc.vertOrder[vi+1]])
+					next = st.state(sc.distinct[sc.vertGroup.order[vi+1]])
 					nv := next.sketch.vals
 					for j := 0; j < len(nv); j += 8 { // one load per cache line
 						sink ^= nv[j]
 					}
 				}
-				group := sc.order[sc.ownerStarts[o]:sc.ownerStarts[o+1]]
+				group := sc.ownerGroup.order[sc.ownerGroup.starts[o]:sc.ownerGroup.starts[o+1]]
 				var arr int64
 				for _, hj := range group {
 					h := &sc.halves[hj]
@@ -410,6 +346,7 @@ func (s *Sharded) ProcessEdges(edges []stream.Edge) {
 				vs.arrivals += arr
 			}
 			sc.prefetchSink = sink // keep the lookahead loads observable
+			s.refreshGauges(shard)
 			s.mus[shard].Unlock()
 		})
 		s.edges.Add(int64(n))
@@ -433,25 +370,25 @@ func (s *ShardedDirected) ProcessArcs(arcs []stream.Edge) {
 		sc.applyShards(len(s.shards), func(shard int) {
 			st := s.shards[shard]
 			s.mus[shard].Lock()
-			lo, hi := sc.vertStarts[shard], sc.vertStarts[shard+1]
+			lo, hi := sc.vertGroup.starts[shard], sc.vertGroup.starts[shard+1]
 			// Same software-pipelined vertex lookahead as the undirected
 			// apply loop (see Sharded.ProcessEdges).
 			var next *dirVertexState
 			var sink uint64
 			if hi > lo {
-				next = st.state(sc.distinct[sc.vertOrder[lo]])
+				next = st.state(sc.distinct[sc.vertGroup.order[lo]])
 			}
 			for vi := lo; vi < hi; vi++ {
-				o := sc.vertOrder[vi]
+				o := sc.vertGroup.order[vi]
 				vs := next
 				if vi+1 < hi {
-					next = st.state(sc.distinct[sc.vertOrder[vi+1]])
+					next = st.state(sc.distinct[sc.vertGroup.order[vi+1]])
 					no, ni := next.out.vals, next.in.vals
 					for j := 0; j < len(no); j += 8 { // one load per cache line
 						sink ^= no[j] ^ ni[j]
 					}
 				}
-				group := sc.order[sc.ownerStarts[o]:sc.ownerStarts[o+1]]
+				group := sc.ownerGroup.order[sc.ownerGroup.starts[o]:sc.ownerGroup.starts[o+1]]
 				for _, hj := range group {
 					h := &sc.halves[hj]
 					nbrHashes := sc.hashes[int(h.hashIdx)*k : (int(h.hashIdx)+1)*k]
@@ -465,6 +402,7 @@ func (s *ShardedDirected) ProcessArcs(arcs []stream.Edge) {
 				}
 			}
 			sc.prefetchSink = sink // keep the lookahead loads observable
+			s.refreshGauges(shard)
 			s.mus[shard].Unlock()
 		})
 		s.arcs.Add(int64(n))

@@ -189,13 +189,17 @@ func (s *DirectedStore) EstimateAdamicAdar(u, v uint64) float64 {
 	return cn * weightSum / float64(matched)
 }
 
+// dirVertexOverhead is the rough per-vertex bookkeeping charge (map
+// entry + pointers + two counters) used by MemoryBytes; package-level
+// for the sharded directed store's memory gauges.
+const dirVertexOverhead = 56
+
 // MemoryBytes returns the payload memory: two sketches and two counters
 // per vertex, plus the usual rough map overhead.
 func (s *DirectedStore) MemoryBytes() int {
-	const vertexOverhead = 56 // map entry + pointers + two counters
 	total := 0
 	for _, st := range s.vertices {
-		total += vertexOverhead + st.out.memoryBytes() + st.in.memoryBytes()
+		total += dirVertexOverhead + st.out.memoryBytes() + st.in.memoryBytes()
 	}
 	return total
 }

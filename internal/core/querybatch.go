@@ -1,0 +1,501 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"linkpred/internal/rng"
+)
+
+// Batched query engine — the read-side counterpart of the batched ingest
+// pipeline (batch.go). The per-pair query path pays, for every candidate,
+// two shard RLock acquisitions, a map lookup for the *source* vertex it
+// already resolved for the previous candidate, and (for the weighted
+// measures) one degree lookup per matched register. ScoreBatch
+// restructures a one-source/many-candidate query so that each piece of
+// shared work happens once per batch:
+//
+//  1. Pin: the source vertex's registers, argmin ids and degree are
+//     copied under a single RLock into a pooled scratch. Every candidate
+//     scores against this one coherent snapshot instead of re-reading
+//     the source per pair.
+//  2. Weigh: for Adamic–Adar and resource allocation, the matched-
+//     register weights depend only on the *source's* argmin ids — at
+//     most K distinct vertices per batch — so the per-register weights
+//     are precomputed with ≤ K degree lookups. The sequential path
+//     re-resolves those same degrees for every candidate pair.
+//  3. Group: candidates are interned (duplicates collapse to one score)
+//     and counting-sorted by home shard, reusing the grouping machinery
+//     of the ingest pipeline (group.go).
+//  4. Snapshot: each shard's candidate register views and arrival
+//     counters are copied under ONE RLock per shard per batch — O(shards)
+//     lock acquisitions per query instead of O(candidates).
+//  5. Score: GOMAXPROCS-bounded workers score disjoint chunks of the
+//     distinct candidates against the pinned source; scores fan back out
+//     to the caller's candidate order.
+//
+// Equivalence: on a quiescent store every score is bit-identical to the
+// corresponding sequential estimator — the match loops, degree formulas,
+// and floating-point summation order (register order for the weighted
+// measures) replicate the sequential code paths exactly; tests assert
+// this per measure. Under concurrent writes the batch path is *more*
+// consistent than the sequential one: all candidates in a shard are read
+// atomically with respect to that shard's writers, and the source is one
+// fixed snapshot, whereas sequential TopK re-reads everything per pair.
+
+// QueryMeasure identifies a ranking measure for the batched query
+// engine. It mirrors the public linkpred.Measure set; the facades map
+// between the two.
+type QueryMeasure int
+
+const (
+	QueryJaccard QueryMeasure = iota
+	QueryCommonNeighbors
+	QueryAdamicAdar
+	QueryResourceAllocation
+	QueryPreferentialAttachment
+	QueryCosine
+)
+
+// String returns the measure's conventional name.
+func (m QueryMeasure) String() string {
+	switch m {
+	case QueryJaccard:
+		return "jaccard"
+	case QueryCommonNeighbors:
+		return "common-neighbors"
+	case QueryAdamicAdar:
+		return "adamic-adar"
+	case QueryResourceAllocation:
+		return "resource-allocation"
+	case QueryPreferentialAttachment:
+		return "preferential-attachment"
+	case QueryCosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("QueryMeasure(%d)", int(m))
+	}
+}
+
+func (m QueryMeasure) valid() bool {
+	return m >= QueryJaccard && m <= QueryCosine
+}
+
+// weighted reports whether the measure sums per-common-neighbor weights
+// (and therefore needs the source's argmin ids and stage 2).
+func (m QueryMeasure) weighted() bool {
+	return m == QueryAdamicAdar || m == QueryResourceAllocation
+}
+
+// minScoreChunk is the smallest distinct-candidate chunk worth handing
+// to a scoring worker; each candidate costs O(K), so below this the
+// goroutine hand-off dominates.
+const minScoreChunk = 256
+
+// queryScratch holds every reusable buffer of one in-flight batched
+// query. Store-agnostic, like batchScratch, so one pool serves the
+// sharded, directed, plain, and windowed stores.
+type queryScratch struct {
+	// Pinned source snapshot (stage 1) and per-register weights (stage 2).
+	srcVals   []uint64
+	srcIDs    []uint64
+	regWeight []float64
+
+	// Candidate interning (stage 3): distinct candidates in first-
+	// appearance order, candIdx maps caller positions to distinct
+	// indices, and the epoch memo makes per-batch invalidation O(1).
+	distinct  []uint64
+	candIdx   []int32
+	memoKeys  []uint64
+	memoIdx   []int32
+	memoEpoch []uint32
+	epoch     uint32
+
+	// Shard grouping (stage 3) and per-distinct snapshots (stage 4).
+	candShard []int32
+	group     grouping
+	regs      []uint64 // candidate register views: candidate i at [i*K, (i+1)*K)
+	arrs      []int64
+	known     []bool
+	scores    []float64
+}
+
+var queryPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+// internCandidates resets the memo for a new batch and interns every
+// candidate, filling sc.distinct and sc.candIdx. Returns the number of
+// distinct candidates.
+func (sc *queryScratch) internCandidates(candidates []uint64) int {
+	sc.distinct = sc.distinct[:0]
+	size := 1
+	for size < 2*len(candidates) { // ≤ 50% load
+		size <<= 1
+	}
+	if len(sc.memoKeys) < size {
+		sc.memoKeys = make([]uint64, size)
+		sc.memoIdx = make([]int32, size)
+		sc.memoEpoch = make([]uint32, size)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // uint32 wraparound: stale epochs could false-hit
+		clear(sc.memoEpoch)
+		sc.epoch = 1
+	}
+	sc.candIdx = grow(sc.candIdx, len(candidates))
+	for i, v := range candidates {
+		sc.candIdx[i] = sc.intern(v)
+	}
+	return len(sc.distinct)
+}
+
+func (sc *queryScratch) intern(v uint64) int32 {
+	mask := uint64(len(sc.memoKeys) - 1)
+	slot := rng.Mix64(v) & mask
+	for {
+		if sc.memoEpoch[slot] != sc.epoch {
+			sc.memoEpoch[slot] = sc.epoch
+			sc.memoKeys[slot] = v
+			idx := int32(len(sc.distinct))
+			sc.memoIdx[slot] = idx
+			sc.distinct = append(sc.distinct, v)
+			return idx
+		}
+		if sc.memoKeys[slot] == v {
+			return sc.memoIdx[slot]
+		}
+		slot = (slot + 1) & mask
+	}
+}
+
+// groupByShard counting-sorts the distinct candidates by home shard
+// (same hash as Sharded.shardOf / ShardedDirected.shardOf).
+func (sc *queryScratch) groupByShard(nShards int) {
+	nd := len(sc.distinct)
+	sc.candShard = grow(sc.candShard, nd)
+	for i, v := range sc.distinct {
+		sc.candShard[i] = int32(rng.Mix64(v) % uint64(nShards))
+	}
+	sc.group.group(nd, nShards, func(i int) int32 { return sc.candShard[i] })
+}
+
+// fanOut writes each caller position's score from its distinct
+// candidate's slot.
+func (sc *queryScratch) fanOut(out []float64) {
+	for i := range out {
+		out[i] = sc.scores[sc.candIdx[i]]
+	}
+}
+
+// ScoreBatch scores every candidate against u under measure m, writing
+// the scores into out (grown as needed) aligned with candidates, and
+// returns it. Duplicate candidate ids receive identical scores (each
+// distinct candidate is scored once); a candidate equal to u is scored
+// like any other pair — ranking layers are responsible for skipping the
+// source. Scores are bit-identical to calling the corresponding
+// sequential estimator per pair on a quiescent store.
+//
+// Safe for concurrent use, including concurrently with writers: the
+// source is read under one RLock, each shard's candidates are read under
+// one RLock per shard per batch, and scoring runs on GOMAXPROCS-bounded
+// workers against those snapshots. Per-query lock cost is O(shards + K),
+// not O(candidates).
+func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out []float64) ([]float64, error) {
+	if !m.valid() {
+		return nil, fmt.Errorf("core: unknown query measure %v", m)
+	}
+	out = grow(out, len(candidates))
+	if len(candidates) == 0 {
+		return out, nil
+	}
+	cfg := s.shards[0].cfg
+	k := cfg.K
+	sc := queryPool.Get().(*queryScratch)
+
+	// Stage 1: pin the source under a single RLock.
+	srcKnown := false
+	var srcDeg float64
+	sc.srcVals = grow(sc.srcVals, k)
+	sc.srcIDs = grow(sc.srcIDs, k)
+	a := s.shardOf(u)
+	s.mus[a].RLock()
+	if su := s.shards[a].vertices[u]; su != nil {
+		srcKnown = true
+		copy(sc.srcVals, su.sketch.vals)
+		copy(sc.srcIDs, su.sketch.ids)
+		srcDeg = s.shards[a].degree(su)
+	}
+	s.mus[a].RUnlock()
+	if !srcKnown {
+		// Every measure scores 0 against an unknown source (for
+		// preferential attachment, d(u) = 0 annihilates the product).
+		clear(out)
+		queryPool.Put(sc)
+		return out, nil
+	}
+
+	// Stage 2: precompute the per-register weights for the weighted
+	// measures. Matched argmin ids always come from the pinned source's
+	// ids array — ≤ K distinct vertices — so this replaces the
+	// sequential path's per-pair degree lookups with ≤ K per batch.
+	if m.weighted() {
+		sc.regWeight = grow(sc.regWeight, k)
+		for i := 0; i < k; i++ {
+			if sc.srcVals[i] == emptyRegister {
+				sc.regWeight[i] = 0
+				continue
+			}
+			d := s.Degree(sc.srcIDs[i])
+			if d < 2 {
+				d = 2
+			}
+			if m == QueryAdamicAdar {
+				sc.regWeight[i] = 1 / math.Log(d)
+			} else {
+				sc.regWeight[i] = 1 / d
+			}
+		}
+	}
+
+	// Stage 3: intern candidates and group them by home shard.
+	nd := sc.internCandidates(candidates)
+	nShards := len(s.shards)
+	sc.groupByShard(nShards)
+
+	// Stage 4: copy each shard's candidate register views and arrival
+	// counters under one RLock per shard. Slots are indexed by distinct
+	// candidate, and each candidate belongs to exactly one shard, so
+	// workers write disjoint memory. Preferential attachment under
+	// arrival-counted degrees needs no registers at all.
+	needRegs := !(m == QueryPreferentialAttachment && cfg.Degrees == DegreeArrivals)
+	if needRegs {
+		sc.regs = grow(sc.regs, nd*k)
+	}
+	sc.arrs = grow(sc.arrs, nd)
+	sc.known = grow(sc.known, nd)
+	forEachShard(nShards, sc.group.starts, func(shard int) {
+		st := s.shards[shard]
+		s.mus[shard].RLock()
+		lo, hi := sc.group.starts[shard], sc.group.starts[shard+1]
+		for gi := lo; gi < hi; gi++ {
+			c := sc.group.order[gi]
+			sv := st.vertices[sc.distinct[c]]
+			if sv == nil {
+				sc.known[c] = false
+				continue
+			}
+			sc.known[c] = true
+			sc.arrs[c] = sv.arrivals
+			if needRegs {
+				copy(sc.regs[int(c)*k:(int(c)+1)*k], sv.sketch.vals)
+			}
+		}
+		s.mus[shard].RUnlock()
+	})
+
+	// Stage 5: score distinct candidates on GOMAXPROCS-bounded workers
+	// against the pinned source. The match loop, degree formulas, and
+	// register-order weight summation replicate the sequential
+	// estimators exactly.
+	sc.scores = grow(sc.scores, nd)
+	kf := float64(k)
+	parallelRange(nd, minScoreChunk, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			if !sc.known[c] {
+				sc.scores[c] = 0
+				continue
+			}
+			var dv float64
+			if m != QueryJaccard {
+				if cfg.Degrees == DegreeArrivals {
+					dv = float64(sc.arrs[c])
+				} else {
+					dv = kmvDistinct(&minHashSketch{vals: sc.regs[c*k : (c+1)*k]}, sc.arrs[c])
+				}
+			}
+			if m == QueryPreferentialAttachment {
+				sc.scores[c] = srcDeg * dv
+				continue
+			}
+			regs := sc.regs[c*k : (c+1)*k]
+			matches := 0
+			var weightSum float64
+			for i, val := range sc.srcVals {
+				if val == emptyRegister || val != regs[i] {
+					continue
+				}
+				matches++
+				if m.weighted() {
+					weightSum += sc.regWeight[i]
+				}
+			}
+			switch m {
+			case QueryJaccard:
+				sc.scores[c] = float64(matches) / kf
+			case QueryCommonNeighbors:
+				j := float64(matches) / kf
+				sc.scores[c] = j / (1 + j) * (srcDeg + dv)
+			case QueryAdamicAdar, QueryResourceAllocation:
+				if matches == 0 {
+					sc.scores[c] = 0
+					continue
+				}
+				j := float64(matches) / kf
+				cn := j / (1 + j) * (srcDeg + dv)
+				sc.scores[c] = cn * weightSum / float64(matches)
+			case QueryCosine:
+				if srcDeg == 0 || dv == 0 {
+					sc.scores[c] = 0
+					continue
+				}
+				j := float64(matches) / kf
+				cn := j / (1 + j) * (srcDeg + dv)
+				sc.scores[c] = cn / math.Sqrt(srcDeg*dv)
+			}
+		}
+	})
+
+	sc.fanOut(out)
+	queryPool.Put(sc)
+	return out, nil
+}
+
+// ScoreBatch scores every candidate arc u → candidate under measure m,
+// writing scores into out aligned with candidates. Directed prediction
+// supports QueryJaccard, QueryCommonNeighbors, and QueryAdamicAdar; the
+// other measures return an error. Semantics otherwise mirror
+// Sharded.ScoreBatch: one RLock pins the source's out-sketch, one RLock
+// per shard per batch copies the candidates' in-sketch views, and
+// workers score chunks against the pinned snapshot.
+func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out []float64) ([]float64, error) {
+	switch m {
+	case QueryJaccard, QueryCommonNeighbors, QueryAdamicAdar:
+	default:
+		if !m.valid() {
+			return nil, fmt.Errorf("core: unknown query measure %v", m)
+		}
+		return nil, fmt.Errorf("core: measure %v not supported for directed prediction", m)
+	}
+	out = grow(out, len(candidates))
+	if len(candidates) == 0 {
+		return out, nil
+	}
+	cfg := s.shards[0].cfg
+	k := cfg.K
+	sc := queryPool.Get().(*queryScratch)
+
+	// Stage 1: pin u's out-side under a single RLock.
+	srcKnown := false
+	var srcDeg float64
+	sc.srcVals = grow(sc.srcVals, k)
+	sc.srcIDs = grow(sc.srcIDs, k)
+	a := s.shardOf(u)
+	s.mus[a].RLock()
+	if su := s.shards[a].vertices[u]; su != nil {
+		srcKnown = true
+		copy(sc.srcVals, su.out.vals)
+		copy(sc.srcIDs, su.out.ids)
+		srcDeg = s.shards[a].sideDegree(su.out, su.outArr)
+	}
+	s.mus[a].RUnlock()
+	if !srcKnown {
+		clear(out)
+		queryPool.Put(sc)
+		return out, nil
+	}
+
+	// Stage 2: Adamic–Adar midpoint weights from the pinned argmin ids,
+	// using total (out+in) degree exactly like the sequential estimator.
+	if m == QueryAdamicAdar {
+		sc.regWeight = grow(sc.regWeight, k)
+		for i := 0; i < k; i++ {
+			if sc.srcVals[i] == emptyRegister {
+				sc.regWeight[i] = 0
+				continue
+			}
+			d := s.OutDegree(sc.srcIDs[i]) + s.InDegree(sc.srcIDs[i])
+			if d < 2 {
+				d = 2
+			}
+			sc.regWeight[i] = 1 / math.Log(d)
+		}
+	}
+
+	// Stages 3–4: intern, group, snapshot candidates' in-sides.
+	nd := sc.internCandidates(candidates)
+	nShards := len(s.shards)
+	sc.groupByShard(nShards)
+	sc.regs = grow(sc.regs, nd*k)
+	sc.arrs = grow(sc.arrs, nd)
+	sc.known = grow(sc.known, nd)
+	forEachShard(nShards, sc.group.starts, func(shard int) {
+		st := s.shards[shard]
+		s.mus[shard].RLock()
+		lo, hi := sc.group.starts[shard], sc.group.starts[shard+1]
+		for gi := lo; gi < hi; gi++ {
+			c := sc.group.order[gi]
+			sv := st.vertices[sc.distinct[c]]
+			if sv == nil {
+				sc.known[c] = false
+				continue
+			}
+			sc.known[c] = true
+			sc.arrs[c] = sv.inArr
+			copy(sc.regs[int(c)*k:(int(c)+1)*k], sv.in.vals)
+		}
+		s.mus[shard].RUnlock()
+	})
+
+	// Stage 5: parallel scoring against the pinned out-snapshot.
+	sc.scores = grow(sc.scores, nd)
+	kf := float64(k)
+	parallelRange(nd, minScoreChunk, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			if !sc.known[c] {
+				sc.scores[c] = 0
+				continue
+			}
+			regs := sc.regs[c*k : (c+1)*k]
+			matches := 0
+			var weightSum float64
+			for i, val := range sc.srcVals {
+				if val == emptyRegister || val != regs[i] {
+					continue
+				}
+				matches++
+				if m == QueryAdamicAdar {
+					weightSum += sc.regWeight[i]
+				}
+			}
+			if m == QueryJaccard {
+				sc.scores[c] = float64(matches) / kf
+				continue
+			}
+			// Candidate in-degree, replicating sideDegree on the snapshot.
+			var dIn float64
+			if sc.arrs[c] != 0 {
+				if cfg.Degrees == DegreeArrivals {
+					dIn = float64(sc.arrs[c])
+				} else {
+					dIn = kmvDistinct(&minHashSketch{vals: regs}, sc.arrs[c])
+				}
+			}
+			j := float64(matches) / kf
+			cn := j / (1 + j) * (srcDeg + dIn)
+			if m == QueryCommonNeighbors {
+				sc.scores[c] = cn
+				continue
+			}
+			if matches == 0 {
+				sc.scores[c] = 0
+				continue
+			}
+			sc.scores[c] = cn * weightSum / float64(matches)
+		}
+	})
+
+	sc.fanOut(out)
+	queryPool.Put(sc)
+	return out, nil
+}

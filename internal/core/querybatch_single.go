@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Batched query paths for the single-writer stores (SketchStore,
+// Windowed). There are no locks to amortize here, but the other two
+// batch wins carry over: the weighted measures' per-register weights are
+// precomputed once per batch (≤ K degree lookups instead of one per
+// matched register per pair — for Windowed each such lookup is an
+// O(gens·K) re-merge, so this dominates), and scoring fans out across
+// GOMAXPROCS-bounded workers (queries are read-only and may run
+// concurrently; see the SketchStore type comment).
+
+// ScoreBatch scores every candidate against u under measure m, writing
+// scores into out (grown as needed) aligned with candidates. All six
+// measures are supported; scores are bit-identical to the corresponding
+// per-pair estimators. Like the estimator methods, it must not run
+// concurrently with ProcessEdge.
+func (s *SketchStore) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out []float64) ([]float64, error) {
+	if !m.valid() {
+		return nil, fmt.Errorf("core: unknown query measure %v", m)
+	}
+	out = grow(out, len(candidates))
+	if len(candidates) == 0 {
+		return out, nil
+	}
+	su := s.vertices[u]
+	if su == nil {
+		clear(out)
+		return out, nil
+	}
+	srcDeg := s.degree(su)
+	sc := queryPool.Get().(*queryScratch)
+	k := s.cfg.K
+
+	if m.weighted() {
+		sc.regWeight = grow(sc.regWeight, k)
+		for i, val := range su.sketch.vals {
+			if val == emptyRegister {
+				sc.regWeight[i] = 0
+				continue
+			}
+			if m == QueryAdamicAdar {
+				sc.regWeight[i] = s.aaWeight(su.sketch.ids[i])
+			} else {
+				sc.regWeight[i] = 1 / math.Max(s.Degree(su.sketch.ids[i]), 2)
+			}
+		}
+	}
+
+	kf := float64(k)
+	parallelRange(len(candidates), minScoreChunk, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			sv := s.vertices[candidates[ci]]
+			if sv == nil {
+				out[ci] = 0
+				continue
+			}
+			var dv float64
+			if m != QueryJaccard {
+				dv = s.degree(sv)
+			}
+			if m == QueryPreferentialAttachment {
+				out[ci] = srcDeg * dv
+				continue
+			}
+			matches := 0
+			var weightSum float64
+			for i, val := range su.sketch.vals {
+				if val == emptyRegister || val != sv.sketch.vals[i] {
+					continue
+				}
+				matches++
+				if m.weighted() {
+					weightSum += sc.regWeight[i]
+				}
+			}
+			switch m {
+			case QueryJaccard:
+				out[ci] = float64(matches) / kf
+			case QueryCommonNeighbors:
+				j := float64(matches) / kf
+				out[ci] = j / (1 + j) * (srcDeg + dv)
+			case QueryAdamicAdar, QueryResourceAllocation:
+				if matches == 0 {
+					out[ci] = 0
+					continue
+				}
+				j := float64(matches) / kf
+				cn := j / (1 + j) * (srcDeg + dv)
+				out[ci] = cn * weightSum / float64(matches)
+			case QueryCosine:
+				if srcDeg == 0 || dv == 0 {
+					out[ci] = 0
+					continue
+				}
+				j := float64(matches) / kf
+				cn := j / (1 + j) * (srcDeg + dv)
+				out[ci] = cn / math.Sqrt(srcDeg*dv)
+			}
+		}
+	})
+	queryPool.Put(sc)
+	return out, nil
+}
+
+// mergedInto is the allocation-free variant of merged for callers that
+// need only the union register values: vals (length K) receives the
+// per-register minimum across live generations. ok is false if u appears
+// in no generation.
+func (w *Windowed) mergedInto(u uint64, vals []uint64) (arrivals int64, ok bool) {
+	for i := range vals {
+		vals[i] = emptyRegister
+	}
+	for _, g := range w.gens {
+		st := g.vertices[u]
+		if st == nil {
+			continue
+		}
+		ok = true
+		arrivals += st.arrivals
+		for i, v := range st.sketch.vals {
+			if v < vals[i] {
+				vals[i] = v
+			}
+		}
+	}
+	return arrivals, ok
+}
+
+// ScoreBatch scores every candidate against u over the current window,
+// writing scores into out aligned with candidates. Windowed prediction
+// supports QueryJaccard, QueryCommonNeighbors, and QueryAdamicAdar.
+//
+// This is the windowed path's biggest query win: the sequential
+// estimators re-merge the SOURCE's generations for every candidate, and
+// windowed Adamic–Adar re-merges every matched midpoint per pair
+// (O(gens·K) each). The batch path merges the source once, precomputes
+// the ≤ K midpoint weights once, and merges each candidate exactly once,
+// on GOMAXPROCS-bounded workers. Must not run concurrently with
+// ProcessEdge.
+func (w *Windowed) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out []float64) ([]float64, error) {
+	switch m {
+	case QueryJaccard, QueryCommonNeighbors, QueryAdamicAdar:
+	default:
+		if !m.valid() {
+			return nil, fmt.Errorf("core: unknown query measure %v", m)
+		}
+		return nil, fmt.Errorf("core: measure %v not supported for windowed prediction", m)
+	}
+	out = grow(out, len(candidates))
+	if len(candidates) == 0 {
+		return out, nil
+	}
+	uv, uids, uarr, okU := w.merged(u)
+	if !okU {
+		clear(out)
+		return out, nil
+	}
+	sc := queryPool.Get().(*queryScratch)
+	k := w.cfg.K
+	var du float64
+	if m != QueryJaccard {
+		du = kmvDistinct(&minHashSketch{vals: uv}, uarr)
+	}
+	if m == QueryAdamicAdar {
+		sc.regWeight = grow(sc.regWeight, k)
+		for i, val := range uv {
+			if val == emptyRegister {
+				sc.regWeight[i] = 0
+				continue
+			}
+			d := math.Max(w.Degree(uids[i]), 2)
+			sc.regWeight[i] = 1 / math.Log(d)
+		}
+	}
+
+	kf := float64(k)
+	parallelRange(len(candidates), minScoreChunk, func(lo, hi int) {
+		vals := make([]uint64, k) // per-chunk merge buffer
+		for ci := lo; ci < hi; ci++ {
+			varr, okV := w.mergedInto(candidates[ci], vals)
+			if !okV {
+				out[ci] = 0
+				continue
+			}
+			matches := 0
+			var weightSum float64
+			for i, val := range uv {
+				if val == emptyRegister || val != vals[i] {
+					continue
+				}
+				matches++
+				if m == QueryAdamicAdar {
+					weightSum += sc.regWeight[i]
+				}
+			}
+			if m == QueryJaccard {
+				out[ci] = float64(matches) / kf
+				continue
+			}
+			dv := kmvDistinct(&minHashSketch{vals: vals}, varr)
+			j := float64(matches) / kf
+			cn := j / (1 + j) * (du + dv)
+			if m == QueryCommonNeighbors {
+				out[ci] = cn
+				continue
+			}
+			if matches == 0 {
+				out[ci] = 0
+				continue
+			}
+			out[ci] = cn * weightSum / float64(matches)
+		}
+	})
+	queryPool.Put(sc)
+	return out, nil
+}

@@ -36,6 +36,14 @@ type Sharded struct {
 	shards []*SketchStore
 	mus    []sync.RWMutex
 	edges  atomic.Int64
+
+	// Per-shard gauges refreshed at the tail of every write-locked apply
+	// (ProcessEdge, ProcessEdges, load), so aggregate scrapes
+	// (NumVertices, MemoryBytes — hit on every /metrics poll) are
+	// O(shards) lock-free reads instead of taking and releasing every
+	// shard lock serially per call.
+	vertGauge []atomic.Int64
+	memGauge  []atomic.Int64
 }
 
 // NewSharded returns a Sharded store with the given number of shards.
@@ -52,8 +60,10 @@ func NewSharded(cfg Config, nShards int) (*Sharded, error) {
 		return nil, fmt.Errorf("core: sharded mode does not support triangle tracking (the pre-insertion scan would need both shards' locks on every edge)")
 	}
 	s := &Sharded{
-		shards: make([]*SketchStore, nShards),
-		mus:    make([]sync.RWMutex, nShards),
+		shards:    make([]*SketchStore, nShards),
+		mus:       make([]sync.RWMutex, nShards),
+		vertGauge: make([]atomic.Int64, nShards),
+		memGauge:  make([]atomic.Int64, nShards),
 	}
 	for i := range s.shards {
 		store, err := NewSketchStore(cfg) // same seed ⇒ same hash family everywhere
@@ -117,6 +127,10 @@ func (s *Sharded) ProcessEdge(e stream.Edge) {
 	}
 	s.shards[a].applyHalfEdge(e.U, e.V, buf[:k])
 	s.shards[b].applyHalfEdge(e.V, e.U, buf[k:])
+	s.refreshGauges(a)
+	if b != a {
+		s.refreshGauges(b)
+	}
 	s.mus[a].Unlock()
 	if b != a {
 		s.mus[b].Unlock()
@@ -124,6 +138,19 @@ func (s *Sharded) ProcessEdge(e stream.Edge) {
 	s.edges.Add(1)
 	*bufp = buf
 	edgeHashPool.Put(bufp)
+}
+
+// refreshGauges re-derives shard's vertex-count and memory gauges from
+// the shard's live state. The caller must hold the shard's write lock,
+// which makes each Store a consistent snapshot of the shard at some
+// instant. The memory formula is exact for sharded stores: biased
+// sketches are rejected by NewSharded, so every vertex costs
+// vertexOverhead plus one fixed-size minhash sketch.
+func (s *Sharded) refreshGauges(shard int) {
+	st := s.shards[shard]
+	n := int64(len(st.vertices))
+	s.vertGauge[shard].Store(n)
+	s.memGauge[shard].Store(n * int64(vertexOverhead+16*st.cfg.K))
 }
 
 // pairSnapshot reads the query state of (u, v) — register matches,
@@ -286,15 +313,14 @@ func (s *Sharded) Knows(u uint64) bool {
 }
 
 // NumVertices returns the number of distinct vertices seen. Safe for
-// concurrent use.
+// concurrent use; reads the per-shard gauges maintained on apply, so a
+// call is O(shards) atomic loads and never contends with ingest.
 func (s *Sharded) NumVertices() int {
-	total := 0
-	for i := range s.shards {
-		s.mus[i].RLock()
-		total += s.shards[i].NumVertices()
-		s.mus[i].RUnlock()
+	total := int64(0)
+	for i := range s.vertGauge {
+		total += s.vertGauge[i].Load()
 	}
-	return total
+	return int(total)
 }
 
 // NumEdges returns the number of (non-self-loop) edges processed. Safe
@@ -302,13 +328,12 @@ func (s *Sharded) NumVertices() int {
 func (s *Sharded) NumEdges() int64 { return s.edges.Load() }
 
 // MemoryBytes returns the total payload memory across shards. Safe for
-// concurrent use.
+// concurrent use; like NumVertices it reads the apply-maintained
+// per-shard gauges, so metrics scrapes stay lock-free.
 func (s *Sharded) MemoryBytes() int {
-	total := 0
-	for i := range s.shards {
-		s.mus[i].RLock()
-		total += s.shards[i].MemoryBytes()
-		s.mus[i].RUnlock()
+	total := int64(0)
+	for i := range s.memGauge {
+		total += s.memGauge[i].Load()
 	}
-	return total
+	return int(total)
 }

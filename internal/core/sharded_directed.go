@@ -21,6 +21,12 @@ type ShardedDirected struct {
 	shards []*DirectedStore
 	mus    []sync.RWMutex
 	arcs   atomic.Int64
+
+	// Per-shard gauges mirrored from Sharded: refreshed at the tail of
+	// every write-locked apply so NumVertices/MemoryBytes scrapes are
+	// O(shards) lock-free reads.
+	vertGauge []atomic.Int64
+	memGauge  []atomic.Int64
 }
 
 // NewShardedDirected returns a sharded directed store. It returns an
@@ -30,8 +36,10 @@ func NewShardedDirected(cfg Config, nShards int) (*ShardedDirected, error) {
 		return nil, fmt.Errorf("core: NewShardedDirected needs nShards >= 1, got %d", nShards)
 	}
 	s := &ShardedDirected{
-		shards: make([]*DirectedStore, nShards),
-		mus:    make([]sync.RWMutex, nShards),
+		shards:    make([]*DirectedStore, nShards),
+		mus:       make([]sync.RWMutex, nShards),
+		vertGauge: make([]atomic.Int64, nShards),
+		memGauge:  make([]atomic.Int64, nShards),
 	}
 	for i := range s.shards {
 		store, err := NewDirectedStore(cfg)
@@ -94,6 +102,10 @@ func (s *ShardedDirected) ProcessArc(e stream.Edge) {
 	}
 	s.shards[a].applyHalfArc(e.U, e.V, true, buf[:k])
 	s.shards[b].applyHalfArc(e.V, e.U, false, buf[k:])
+	s.refreshGauges(a)
+	if b != a {
+		s.refreshGauges(b)
+	}
 	s.mus[a].Unlock()
 	if b != a {
 		s.mus[b].Unlock()
@@ -101,6 +113,16 @@ func (s *ShardedDirected) ProcessArc(e stream.Edge) {
 	s.arcs.Add(1)
 	*bufp = buf
 	edgeHashPool.Put(bufp)
+}
+
+// refreshGauges re-derives shard's vertex-count and memory gauges; the
+// caller must hold the shard's write lock. Each directed vertex carries
+// two fixed-size sketches, so the memory formula is exact.
+func (s *ShardedDirected) refreshGauges(shard int) {
+	st := s.shards[shard]
+	n := int64(len(st.vertices))
+	s.vertGauge[shard].Store(n)
+	s.memGauge[shard].Store(n * int64(dirVertexOverhead+2*16*st.cfg.K))
 }
 
 // pairSnapshot reads the arc-query state for u → v under the ordered
@@ -216,15 +238,14 @@ func (s *ShardedDirected) Knows(u uint64) bool {
 }
 
 // NumVertices returns the number of distinct vertices seen. Safe for
-// concurrent use.
+// concurrent use; reads the apply-maintained per-shard gauges, so a call
+// is O(shards) atomic loads and never contends with ingest.
 func (s *ShardedDirected) NumVertices() int {
-	total := 0
-	for i := range s.shards {
-		s.mus[i].RLock()
-		total += s.shards[i].NumVertices()
-		s.mus[i].RUnlock()
+	total := int64(0)
+	for i := range s.vertGauge {
+		total += s.vertGauge[i].Load()
 	}
-	return total
+	return int(total)
 }
 
 // NumArcs returns the number of (non-self-loop) arcs processed. Safe for
@@ -232,13 +253,11 @@ func (s *ShardedDirected) NumVertices() int {
 func (s *ShardedDirected) NumArcs() int64 { return s.arcs.Load() }
 
 // MemoryBytes returns the total payload memory across shards. Safe for
-// concurrent use.
+// concurrent use; lock-free gauge reads, as in NumVertices.
 func (s *ShardedDirected) MemoryBytes() int {
-	total := 0
-	for i := range s.shards {
-		s.mus[i].RLock()
-		total += s.shards[i].MemoryBytes()
-		s.mus[i].RUnlock()
+	total := int64(0)
+	for i := range s.memGauge {
+		total += s.memGauge[i].Load()
 	}
-	return total
+	return int(total)
 }

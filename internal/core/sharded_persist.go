@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Sharded persistence: the sharded store serialises as a header plus the
@@ -81,7 +82,15 @@ func LoadSharded(r io.Reader) (*Sharded, error) {
 		}
 		shards[i] = store
 	}
-	s := &Sharded{shards: shards, mus: make([]sync.RWMutex, nShards)}
+	s := &Sharded{
+		shards:    shards,
+		mus:       make([]sync.RWMutex, nShards),
+		vertGauge: make([]atomic.Int64, nShards),
+		memGauge:  make([]atomic.Int64, nShards),
+	}
 	s.edges.Store(int64(edges))
+	for i := range shards {
+		s.refreshGauges(i) // no concurrent access yet, so no lock needed
+	}
 	return s, nil
 }

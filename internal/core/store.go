@@ -241,12 +241,16 @@ func kmvDistinct(sk *minHashSketch, arrivals int64) float64 {
 	return math.Max(1, math.Min(est, float64(arrivals)))
 }
 
+// vertexOverhead is the rough per-vertex bookkeeping charge (map entry +
+// pointers + counter) used by MemoryBytes. Package-level so the sharded
+// store's per-shard memory gauges can reuse the same formula.
+const vertexOverhead = 48
+
 // MemoryBytes returns the payload memory of the store: register values,
 // argmin ids, degree counters and (if enabled) biased sketches, plus the
 // standard rough per-entry map overhead used throughout this repository
 // for footprint comparisons (see graph.MemoryBytes).
 func (s *SketchStore) MemoryBytes() int {
-	const vertexOverhead = 48 // map entry + pointers + counter
 	total := 0
 	for _, st := range s.vertices {
 		total += vertexOverhead + st.sketch.memoryBytes()

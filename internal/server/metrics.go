@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	linkpred "linkpred"
 )
 
 // Server-side observability: per-endpoint request counters and latency
@@ -88,6 +90,10 @@ func (em *endpointMetrics) snapshot() map[string]any {
 type metrics struct {
 	start     time.Time
 	endpoints map[string]*endpointMetrics
+	// scorebatch breaks POST /scorebatch latency down by measure (the
+	// endpoint entry in `endpoints` still carries the aggregate). Keyed
+	// by conventional measure name, built once at construction.
+	scorebatch map[string]*endpointMetrics
 
 	edgesIngested atomic.Int64 // edges accepted via POST /ingest
 	checkpoints   atomic.Int64 // completed GET /checkpoint downloads
@@ -95,9 +101,16 @@ type metrics struct {
 }
 
 func newMetrics(endpoints []string) *metrics {
-	m := &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	m := &metrics{
+		start:      time.Now(),
+		endpoints:  make(map[string]*endpointMetrics, len(endpoints)),
+		scorebatch: make(map[string]*endpointMetrics, len(linkpred.AllMeasures)),
+	}
 	for _, name := range endpoints {
 		m.endpoints[name] = &endpointMetrics{buckets: make([]atomic.Int64, len(latencyBuckets)+1)}
+	}
+	for _, meas := range linkpred.AllMeasures {
+		m.scorebatch[meas.String()] = &endpointMetrics{buckets: make([]atomic.Int64, len(latencyBuckets)+1)}
 	}
 	return m
 }
@@ -105,6 +118,11 @@ func newMetrics(endpoints []string) *metrics {
 // endpoint returns the named endpoint's stats (created at registration;
 // nil is never returned for registered names).
 func (m *metrics) endpoint(name string) *endpointMetrics { return m.endpoints[name] }
+
+// measure returns the per-measure scorebatch stats for a conventional
+// measure name (created at construction; nil is never returned for
+// names ParseMeasure accepts).
+func (m *metrics) measure(name string) *endpointMetrics { return m.scorebatch[name] }
 
 // snapshot renders every counter as a JSON-ready nested map. Predictor
 // gauges and the optional stream profile are the Server's to add — they
@@ -114,9 +132,14 @@ func (m *metrics) snapshot() map[string]any {
 	for name, em := range m.endpoints {
 		requests[name] = em.snapshot()
 	}
+	scorebatch := make(map[string]any, len(m.scorebatch))
+	for name, em := range m.scorebatch {
+		scorebatch[name] = em.snapshot()
+	}
 	return map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
 		"requests":       requests,
+		"scorebatch":     scorebatch,
 		"ingest": map[string]any{
 			"edges": m.edgesIngested.Load(),
 		},

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	linkpred "linkpred"
+	"linkpred/internal/candidates"
+)
+
+func postJSON(t *testing.T, url string, body any, wantStatus int) map[string]any {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: status %d, want %d; body: %s", url, resp.StatusCode, wantStatus, b)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestScoreBatchEndpoint(t *testing.T) {
+	ts, pred := newTestServer(t)
+	ingest(t, ts, sharedFixture(), http.StatusOK)
+
+	type pair struct {
+		U uint64 `json:"u"`
+		V uint64 `json:"v"`
+	}
+	// Interleaved sources: the handler groups by source, scores each group
+	// in one batch, and must scatter scores back into request order.
+	pairs := []pair{{1, 2}, {2, 10}, {1, 11}, {2, 1}, {1, 2}, {1, 999}}
+	out := postJSON(t, ts.URL+"/scorebatch", map[string]any{
+		"measure": "jaccard", "pairs": pairs,
+	}, http.StatusOK)
+	scores, ok := out["scores"].([]any)
+	if !ok || len(scores) != len(pairs) {
+		t.Fatalf("scores = %v, want %d entries", out["scores"], len(pairs))
+	}
+	for i, p := range pairs {
+		want := pred.Jaccard(p.U, p.V)
+		if got := scores[i].(float64); got != want {
+			t.Errorf("pair %d (%d,%d): score %v, want %v", i, p.U, p.V, got, want)
+		}
+	}
+	if out["pairs"].(float64) != float64(len(pairs)) {
+		t.Errorf("pairs = %v, want %d", out["pairs"], len(pairs))
+	}
+
+	// Default measure is adamic-adar, matching GET /score.
+	out = postJSON(t, ts.URL+"/scorebatch", map[string]any{
+		"pairs": []pair{{1, 2}},
+	}, http.StatusOK)
+	if got, want := out["scores"].([]any)[0].(float64), pred.AdamicAdar(1, 2); got != want {
+		t.Errorf("default measure score = %v, want adamic-adar %v", got, want)
+	}
+
+	postJSON(t, ts.URL+"/scorebatch", map[string]any{
+		"measure": "nope", "pairs": []pair{{1, 2}},
+	}, http.StatusBadRequest)
+
+	resp, err := http.Post(ts.URL+"/scorebatch", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+
+	// Per-measure latency metrics surfaced under "scorebatch".
+	metrics := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	sb, ok := metrics["scorebatch"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing scorebatch section: %v", metrics)
+	}
+	jm, ok := sb["jaccard"].(map[string]any)
+	if !ok || jm["count"].(float64) < 1 {
+		t.Errorf("scorebatch jaccard metrics = %v, want count >= 1", sb["jaccard"])
+	}
+	if aa := sb["adamic-adar"].(map[string]any); aa["count"].(float64) < 1 {
+		t.Errorf("scorebatch adamic-adar metrics = %v, want count >= 1", sb["adamic-adar"])
+	}
+}
+
+func TestScoreBatchBodyCap(t *testing.T) {
+	pred, err := linkpred.NewConcurrent(linkpred.Config{K: 16, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithOptions(pred, Options{MaxBodyBytes: 64}))
+	defer ts.Close()
+	big := map[string]any{"measure": "jaccard", "pairs": make([]map[string]uint64, 100)}
+	for i := range big["pairs"].([]map[string]uint64) {
+		big["pairs"].([]map[string]uint64)[i] = map[string]uint64{"u": 1, "v": 2}
+	}
+	postJSON(t, ts.URL+"/scorebatch", big, http.StatusRequestEntityTooLarge)
+}
+
+// TestTopKNoDuplicateResults is the HTTP-level regression test for the
+// duplicate-candidate bug: repeated ids in the candidates parameter used
+// to produce repeated result rows.
+func TestTopKNoDuplicateResults(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingest(t, ts, sharedFixture(), http.StatusOK)
+	out := getJSON(t, ts.URL+"/topk?u=1&candidates=2,2,2,2,10,11&measure=jaccard&k=5", http.StatusOK)
+	ranked := out["candidates"].([]any)
+	seen := map[float64]bool{}
+	for _, r := range ranked {
+		v := r.(map[string]any)["v"].(float64)
+		if seen[v] {
+			t.Fatalf("duplicate result entry for v=%v: %v", v, ranked)
+		}
+		seen[v] = true
+	}
+	if len(ranked) != 3 { // distinct candidates: 2, 10, 11
+		t.Fatalf("got %d results, want 3: %v", len(ranked), ranked)
+	}
+}
+
+func TestTopKWithCandidateTracker(t *testing.T) {
+	pred, err := linkpred.NewConcurrent(linkpred.Config{K: 64, Seed: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := candidates.New(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithOptions(pred, Options{Candidates: tracker}))
+	defer ts.Close()
+	// Two passes: the tracker counts two-hop paths u–v–w through v's
+	// recent neighbors, so the second pass over the shared neighborhood
+	// is what fills vertex 1's pool with its two-hop partner 2.
+	ingest(t, ts, sharedFixture(), http.StatusOK)
+	ingest(t, ts, sharedFixture(), http.StatusOK)
+
+	// No candidates parameter: the tracker proposes vertex 1's frequent
+	// two-hop partners from the ingested stream.
+	out := getJSON(t, ts.URL+"/topk?u=1&measure=jaccard&k=5", http.StatusOK)
+	ranked := out["candidates"].([]any)
+	if len(ranked) == 0 {
+		t.Fatalf("tracker-backed topk returned no candidates: %v", out)
+	}
+	for _, r := range ranked {
+		if v := r.(map[string]any)["v"].(float64); v == 1 {
+			t.Fatalf("tracker-backed topk returned the query vertex itself: %v", ranked)
+		}
+	}
+
+	// An explicit list still wins over the tracker.
+	out = getJSON(t, ts.URL+"/topk?u=1&candidates=2&measure=jaccard&k=5", http.StatusOK)
+	if got := out["candidates"].([]any); len(got) != 1 || got[0].(map[string]any)["v"].(float64) != 2 {
+		t.Fatalf("explicit candidates overridden: %v", got)
+	}
+}
+
+func TestTopKMissingCandidatesWithoutTracker(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingest(t, ts, sharedFixture(), http.StatusOK)
+	out := getJSON(t, ts.URL+"/topk?u=1&measure=jaccard", http.StatusBadRequest)
+	if msg, _ := out["error"].(string); msg != "missing candidates" {
+		t.Fatalf("error = %q, want %q", msg, "missing candidates")
+	}
+}
+
+// TestIngestFeedsTracker pins the ingest → tracker wiring: edges posted
+// to /ingest must become visible to tracker-backed /topk immediately.
+func TestIngestFeedsTracker(t *testing.T) {
+	pred, err := linkpred.NewConcurrent(linkpred.Config{K: 64, Seed: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := candidates.New(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithOptions(pred, Options{Candidates: tracker}))
+	defer ts.Close()
+	// Edge (7,9) arrives when 7's recent ring holds 8, making 8 a counted
+	// two-hop candidate of 9 (path 9–7–8).
+	ingest(t, ts, "7 8\n7 9\n", http.StatusOK)
+	if !tracker.Knows(7) || !tracker.Knows(8) {
+		t.Fatalf("tracker did not observe ingested edges")
+	}
+	out := getJSON(t, ts.URL+"/topk?u=9&measure=common-neighbors&k=5", http.StatusOK)
+	ranked := out["candidates"].([]any)
+	if len(ranked) != 1 || ranked[0].(map[string]any)["v"].(float64) != 8 {
+		t.Fatalf("tracker-backed topk for 9 = %v, want exactly candidate 8", ranked)
+	}
+}

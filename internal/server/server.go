@@ -8,7 +8,8 @@
 //	POST /ingest          body: edge list, "u v [t]" per line → {"ingested": n}
 //	GET  /pair?u=&v=      all measure estimates for one pair
 //	GET  /score?u=&v=&measure=jaccard|common-neighbors|adamic-adar|resource-allocation|preferential-attachment|cosine
-//	GET  /topk?u=&candidates=1,2,3&measure=&k=   ranked candidates
+//	GET  /topk?u=&candidates=1,2,3&measure=&k=   ranked candidates (candidates optional with a tracker)
+//	POST /scorebatch      body: {"measure": m, "pairs": [{"u":…,"v":…},…]} → aligned scores
 //	GET  /stats           vertex/edge counts and memory
 //	GET  /metrics         request counters, latency histograms, predictor gauges (?format=expvar for a flat map)
 //	GET  /healthz         liveness probe
@@ -16,11 +17,16 @@
 //	POST /restore         replace the predictor with an uploaded checkpoint
 //
 // The server wraps a linkpred.Concurrent predictor, so ingest and
-// queries may overlap freely. Restore swaps the predictor atomically;
-// in-flight requests finish against the old state. Request bodies on
-// /ingest and /restore are capped by Options.MaxBodyBytes (oversized
-// uploads get 413), and every endpoint is instrumented: counts, error
-// counts, and latency histograms are served back on /metrics.
+// queries may overlap freely. Queries go through the predictor's batched
+// read path: /topk deduplicates, scores every candidate with per-shard
+// snapshot reads, and heap-selects k; /scorebatch groups its pair list
+// by source vertex and scores each group in one batch. Restore swaps the
+// predictor atomically; in-flight requests finish against the old state.
+// Request bodies on POST endpoints are capped by Options.MaxBodyBytes
+// (oversized uploads get 413), and every endpoint is instrumented:
+// counts, error counts, and latency histograms are served back on
+// /metrics (/scorebatch additionally keeps a per-measure latency
+// breakdown).
 package server
 
 import (
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	linkpred "linkpred"
+	"linkpred/internal/candidates"
 	"linkpred/internal/monitor"
 	"linkpred/internal/stream"
 )
@@ -51,6 +58,11 @@ type Options struct {
 	// constant-space stream profile (distinct edges/vertices, duplicate
 	// rate, heavy hitters) is folded into GET /metrics under "stream".
 	Monitor *monitor.StreamMonitor
+	// Candidates, when non-nil, receives every ingested edge and lets
+	// GET /topk omit the candidates parameter: the tracker proposes the
+	// query vertex's recent neighbors and frequent stream vertices
+	// instead. Without a tracker, /topk without candidates is 400.
+	Candidates *candidates.Tracker
 }
 
 // Server is the HTTP facade over a concurrent predictor.
@@ -60,6 +72,7 @@ type Server struct {
 	opts    Options
 	metrics *metrics
 	monMu   sync.Mutex // guards opts.Monitor (StreamMonitor is not thread-safe)
+	candMu  sync.Mutex // guards opts.Candidates (Tracker is not thread-safe)
 }
 
 // New returns a Server wrapping pred with default Options.
@@ -77,6 +90,7 @@ func NewWithOptions(pred *linkpred.Concurrent, opts Options) *Server {
 		{"GET /pair", "pair", s.handlePair},
 		{"GET /score", "score", s.handleScore},
 		{"GET /topk", "topk", s.handleTopK},
+		{"POST /scorebatch", "scorebatch", s.handleScoreBatch},
 		{"GET /stats", "stats", s.handleStats},
 		{"GET /metrics", "metrics", s.handleMetrics},
 		{"GET /healthz", "healthz", s.handleHealthz},
@@ -197,6 +211,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			s.opts.Monitor.ProcessEdge(e)
 			s.monMu.Unlock()
 		}
+		if s.opts.Candidates != nil {
+			s.candMu.Lock()
+			s.opts.Candidates.ProcessEdge(e)
+			s.candMu.Unlock()
+		}
 		n++
 		return nil
 	})
@@ -301,19 +320,28 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	candStr := q.Get("candidates")
-	if candStr == "" {
+	var cands []uint64
+	switch {
+	case candStr != "":
+		toks := strings.Split(candStr, ",")
+		cands = make([]uint64, 0, len(toks))
+		for _, tok := range toks {
+			c, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad candidate %q: %v", tok, err)
+				return
+			}
+			cands = append(cands, c)
+		}
+	case s.opts.Candidates != nil:
+		// No explicit list: ask the ingest-fed tracker for the query
+		// vertex's recent neighbors and the stream's frequent vertices.
+		s.candMu.Lock()
+		cands = s.opts.Candidates.Candidates(u)
+		s.candMu.Unlock()
+	default:
 		writeError(w, http.StatusBadRequest, "missing candidates")
 		return
-	}
-	toks := strings.Split(candStr, ",")
-	cands := make([]uint64, 0, len(toks))
-	for _, tok := range toks {
-		c, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad candidate %q: %v", tok, err)
-			return
-		}
-		cands = append(cands, c)
 	}
 	// The library ranking path: self-candidates dropped, NaN-safe
 	// deterministic ordering, ties toward smaller ids.
@@ -332,6 +360,70 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"u": u, "measure": measure, "candidates": out,
+	})
+}
+
+// scoreBatchRequest is the POST /scorebatch body: one measure, many
+// pairs.
+type scoreBatchRequest struct {
+	Measure string `json:"measure"`
+	Pairs   []struct {
+		U uint64 `json:"u"`
+		V uint64 `json:"v"`
+	} `json:"pairs"`
+}
+
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	body := s.limitBody(w, r)
+	var req scoreBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, uploadStatus(err, body), "bad scorebatch body: %v", err)
+		return
+	}
+	measure := req.Measure
+	if measure == "" {
+		measure = "adamic-adar"
+	}
+	m, err := linkpred.ParseMeasure(measure)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "unknown measure %q", measure)
+		return
+	}
+	pred := s.predictor()
+	start := time.Now()
+	// Group the pair list by source vertex so each distinct source costs
+	// one batched ScoreBatch call (one source pin + one snapshot read per
+	// shard), then scatter the group's scores back to the request order.
+	scores := make([]float64, len(req.Pairs))
+	groups := make(map[uint64][]int)
+	order := make([]uint64, 0, 8)
+	for i, p := range req.Pairs {
+		if _, ok := groups[p.U]; !ok {
+			order = append(order, p.U)
+		}
+		groups[p.U] = append(groups[p.U], i)
+	}
+	for _, u := range order {
+		idxs := groups[u]
+		cands := make([]uint64, len(idxs))
+		for j, i := range idxs {
+			cands[j] = req.Pairs[i].V
+		}
+		got, err := pred.ScoreBatch(m, u, cands)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		for j, i := range idxs {
+			scores[i] = got[j]
+		}
+	}
+	s.metrics.measure(measure).observe(time.Since(start), http.StatusOK)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"measure": measure,
+		"pairs":   len(req.Pairs),
+		"scores":  scores,
 	})
 }
 

@@ -119,6 +119,27 @@ func ParseMeasure(name string) (Measure, error) {
 	return m, nil
 }
 
+// queryMeasure maps the public Measure onto the core query engine's
+// measure enum, shared by every facade's ScoreBatch/TopK.
+func queryMeasure(m Measure) (core.QueryMeasure, error) {
+	switch m {
+	case Jaccard:
+		return core.QueryJaccard, nil
+	case CommonNeighbors:
+		return core.QueryCommonNeighbors, nil
+	case AdamicAdar:
+		return core.QueryAdamicAdar, nil
+	case ResourceAllocation:
+		return core.QueryResourceAllocation, nil
+	case PreferentialAttachment:
+		return core.QueryPreferentialAttachment, nil
+	case Cosine:
+		return core.QueryCosine, nil
+	default:
+		return 0, fmt.Errorf("linkpred: unknown measure %v", m)
+	}
+}
+
 // String returns the measure's conventional name.
 func (m Measure) String() string {
 	switch m {
@@ -325,22 +346,49 @@ type Candidate struct {
 	Score float64
 }
 
+// ScoreBatch scores every candidate against u under the given measure in
+// one batched pass, returning scores aligned with candidates. It is
+// equivalent to calling Score per pair but computes shared work — the
+// source's sketch resolution and the weighted measures' common-neighbor
+// degree lookups — once per batch, and scores chunks on parallel
+// workers. Duplicate candidate ids receive identical scores; a candidate
+// equal to u is scored like any other pair (TopK is the ranking layer
+// that skips the source and deduplicates).
+func (p *Predictor) ScoreBatch(m Measure, u uint64, candidates []uint64) ([]float64, error) {
+	qm, err := queryMeasure(m)
+	if err != nil {
+		return nil, err
+	}
+	return p.store.ScoreBatch(qm, u, candidates, nil)
+}
+
 // TopK scores every candidate vertex against u under the given measure
 // and returns the k best, ties broken toward smaller vertex ids for
-// determinism. Candidate generation is the caller's concern (a streaming
-// sketch cannot enumerate two-hop neighborhoods itself); typical callers
-// track recently active vertices or a per-community candidate pool.
+// determinism. Candidates are deduplicated (repeated ids contribute one
+// result entry) and u itself is skipped; scoring goes through the
+// batched path and selection uses a size-k heap, so a query is O(N) in
+// scoring plus O(N log k) in selection rather than O(N log N).
+// Candidate generation is the caller's concern (a streaming sketch
+// cannot enumerate two-hop neighborhoods itself); typical callers track
+// recently active vertices or a per-community candidate pool.
 func (p *Predictor) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Candidate, error) {
-	return topKByScore(u, candidates, k, func(v uint64) (float64, error) {
-		return p.Score(m, u, v)
+	qm, err := queryMeasure(m)
+	if err != nil {
+		return nil, err
+	}
+	return topKBatch(u, candidates, k, func(dedup []uint64, scores []float64) ([]float64, error) {
+		return p.store.ScoreBatch(qm, u, dedup, scores)
 	})
 }
 
-// topKByScore ranks candidates against u under score, shared by the
-// TopK methods of Predictor and Concurrent (and, through them, the HTTP
-// /topk endpoint). NaN scores sort after every real score — a NaN that
-// compared false against everything would otherwise make the ordering
-// non-transitive and the ranking nondeterministic.
+// topKByScore is the sequential reference ranking: score each candidate
+// with a per-pair call, materialize everything, fully sort. The TopK
+// methods now rank through the batched path (topKBatch); this is kept as
+// the oracle the equivalence tests compare against — the batch path must
+// reproduce its output bit-for-bit on duplicate-free candidate lists.
+// NaN scores sort after every real score — a NaN that compared false
+// against everything would otherwise make the ordering non-transitive
+// and the ranking nondeterministic.
 func topKByScore(u uint64, candidates []uint64, k int, score func(v uint64) (float64, error)) ([]Candidate, error) {
 	if k <= 0 {
 		return nil, nil

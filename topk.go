@@ -1,0 +1,137 @@
+package linkpred
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Batched top-k selection shared by the TopK methods of Predictor,
+// Concurrent, ConcurrentDirected, and Windowed. The candidate list is
+// deduplicated (and the source vertex dropped), scored in one ScoreBatch
+// call against the store's batched query engine, and the k best are
+// selected with a size-k heap instead of materializing and fully sorting
+// all N scored candidates — selection is O(N log k) time and O(k) result
+// memory, which matters when a serving tier ranks 10 results out of a
+// 100k-candidate pool per request.
+//
+// The ordering is exactly topKByScore's: score descending, NaN after
+// every real score, ties broken toward smaller vertex ids. After
+// deduplication all ids are distinct, so the order is total and the
+// selected set and its order are bit-identical to sorting everything.
+
+// rankBefore reports whether candidate a ranks strictly before b: higher
+// score first, any real score before NaN, ties toward the smaller vertex
+// id. It mirrors the sort.Slice comparator in topKByScore exactly.
+func rankBefore(a, b Candidate) bool {
+	if na, nb := math.IsNaN(a.Score), math.IsNaN(b.Score); na || nb {
+		if na != nb {
+			return nb // real scores rank above NaN
+		}
+	} else if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.V < b.V
+}
+
+// topkScratch recycles the deduplication and score buffers of topKBatch
+// so steady-state serving allocates only the k-element result slice.
+type topkScratch struct {
+	dedup  []uint64
+	scores []float64
+	seen   map[uint64]struct{}
+}
+
+var topkPool = sync.Pool{New: func() any {
+	return &topkScratch{seen: make(map[uint64]struct{})}
+}}
+
+// topKBatch ranks candidates against u: deduplicate (dropping u itself),
+// score the distinct candidates with one scoreBatch call, heap-select
+// the k best. scoreBatch receives the distinct candidates and a reusable
+// output buffer and must return one score per candidate, aligned.
+//
+// Repeated candidate ids contribute one result entry (the sequential
+// scoring loop returned one entry per occurrence — duplicate ids in an
+// HTTP /topk body produced duplicate result rows and crowded out real
+// candidates; see the regression tests).
+func topKBatch(u uint64, candidates []uint64, k int, scoreBatch func(dedup []uint64, scores []float64) ([]float64, error)) ([]Candidate, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	sc := topkPool.Get().(*topkScratch)
+	sc.dedup = sc.dedup[:0]
+	clear(sc.seen)
+	for _, v := range candidates {
+		if v == u {
+			continue
+		}
+		if _, dup := sc.seen[v]; dup {
+			continue
+		}
+		sc.seen[v] = struct{}{}
+		sc.dedup = append(sc.dedup, v)
+	}
+	scores, err := scoreBatch(sc.dedup, sc.scores)
+	if err != nil {
+		topkPool.Put(sc)
+		return nil, err
+	}
+	sc.scores = scores // keep any growth for the next query
+
+	n := len(sc.dedup)
+	top := k
+	if n < top {
+		top = n
+	}
+	out := make([]Candidate, 0, top)
+	// Size-k min-heap with the WORST kept candidate at the root: a new
+	// candidate either beats the root (replace + sift down) or is
+	// discarded in O(1).
+	for i := 0; i < n; i++ {
+		c := Candidate{V: sc.dedup[i], Score: scores[i]}
+		if len(out) < k {
+			out = append(out, c)
+			siftUp(out, len(out)-1)
+		} else if rankBefore(c, out[0]) {
+			out[0] = c
+			siftDown(out, 0)
+		}
+	}
+	topkPool.Put(sc)
+	sort.Slice(out, func(i, j int) bool { return rankBefore(out[i], out[j]) })
+	return out, nil
+}
+
+// heapWorse reports whether a ranks after b — the heap invariant keeps
+// the worst kept candidate at the root.
+func heapWorse(a, b Candidate) bool { return rankBefore(b, a) }
+
+func siftUp(h []Candidate, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapWorse(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func siftDown(h []Candidate, i int) {
+	n := len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && heapWorse(h[l], h[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && heapWorse(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}

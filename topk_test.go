@@ -1,0 +1,325 @@
+package linkpred
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// sameScore is bit-identity with NaN treated as one value: the batch
+// path must reproduce the sequential oracle's floats exactly.
+func sameScore(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// dedupCandidates reproduces the batch path's candidate normalisation
+// (first occurrence kept, self skipped) so the sequential oracle can be
+// run on the same effective list.
+func dedupCandidates(u uint64, cands []uint64) []uint64 {
+	seen := make(map[uint64]struct{}, len(cands))
+	out := make([]uint64, 0, len(cands))
+	for _, v := range cands {
+		if v == u {
+			continue
+		}
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// topKEqual asserts two rankings agree exactly: same vertices in the
+// same order with bit-identical scores.
+func topKEqual(t *testing.T, label string, got, want []Candidate) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i].V != want[i].V || !sameScore(got[i].Score, want[i].Score) {
+			t.Fatalf("%s: rank %d: got {%d %v}, want {%d %v}", label, i, got[i].V, got[i].Score, want[i].V, want[i].Score)
+		}
+	}
+}
+
+// topKFixture builds a duplicate-heavy test stream plus a candidate list
+// with unknowns, the source itself, and repeats.
+func topKFixture() ([]Edge, []uint64, uint64) {
+	var edges []Edge
+	// Vertex 1 shares neighborhoods of varying overlap with 2..40.
+	for hub := uint64(2); hub <= 40; hub++ {
+		for n := uint64(100); n < 100+hub; n++ {
+			edges = append(edges, Edge{U: 1, V: n})
+			edges = append(edges, Edge{U: hub, V: n})
+		}
+	}
+	cands := make([]uint64, 0, 128)
+	for v := uint64(1); v <= 50; v++ { // includes source 1 and unknowns 41..50
+		cands = append(cands, v)
+	}
+	for v := uint64(2); v <= 40; v += 3 { // duplicates
+		cands = append(cands, v, v)
+	}
+	return edges, cands, 1
+}
+
+// topKOracle runs the retained sequential reference ranking over the
+// deduplicated candidate list.
+func topKOracle(t *testing.T, u uint64, cands []uint64, k int, score func(v uint64) (float64, error)) []Candidate {
+	t.Helper()
+	got, err := topKByScore(u, dedupCandidates(u, cands), k, score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestPredictorTopKMatchesSequentialOracle(t *testing.T) {
+	edges, cands, u := topKFixture()
+	for _, distinct := range []bool{false, true} {
+		p, err := New(Config{K: 32, Seed: 7, DistinctDegrees: distinct})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range edges {
+			p.ObserveEdge(e)
+		}
+		for _, m := range AllMeasures {
+			for _, k := range []int{0, 1, 5, len(cands), len(cands) + 10} {
+				got, err := p.TopK(m, u, cands, k)
+				if err != nil {
+					t.Fatalf("TopK(%v, k=%d): %v", m, k, err)
+				}
+				want := topKOracle(t, u, cands, k, func(v uint64) (float64, error) { return p.Score(m, u, v) })
+				topKEqual(t, m.String(), got, want)
+			}
+		}
+	}
+}
+
+func TestConcurrentTopKMatchesSequentialOracle(t *testing.T) {
+	edges, cands, u := topKFixture()
+	for _, distinct := range []bool{false, true} {
+		c, err := NewConcurrent(Config{K: 32, Seed: 7, DistinctDegrees: distinct}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ObserveEdges(edges)
+		for _, m := range AllMeasures {
+			got, err := c.TopK(m, u, cands, 7)
+			if err != nil {
+				t.Fatalf("TopK(%v): %v", m, err)
+			}
+			want := topKOracle(t, u, cands, 7, func(v uint64) (float64, error) { return c.Score(m, u, v) })
+			topKEqual(t, m.String(), got, want)
+		}
+	}
+}
+
+func TestConcurrentDirectedTopKMatchesSequentialOracle(t *testing.T) {
+	edges, cands, u := topKFixture()
+	c, err := NewConcurrentDirected(Config{K: 32, Seed: 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ObserveEdges(edges)
+	for _, m := range []Measure{Jaccard, CommonNeighbors, AdamicAdar} {
+		got, err := c.TopK(m, u, cands, 7)
+		if err != nil {
+			t.Fatalf("TopK(%v): %v", m, err)
+		}
+		want := topKOracle(t, u, cands, 7, func(v uint64) (float64, error) { return c.Score(m, u, v) })
+		topKEqual(t, m.String(), got, want)
+	}
+	for _, m := range []Measure{ResourceAllocation, PreferentialAttachment, Cosine} {
+		if _, err := c.TopK(m, u, cands, 7); err == nil {
+			t.Fatalf("want error for %v on directed predictor", m)
+		}
+		if _, err := c.ScoreBatch(m, u, cands); err == nil {
+			t.Fatalf("want ScoreBatch error for %v on directed predictor", m)
+		}
+	}
+}
+
+func TestWindowedTopKMatchesSequentialOracle(t *testing.T) {
+	edges, cands, u := topKFixture()
+	w, err := NewWindowed(Config{K: 32, Seed: 7}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range edges {
+		e.T = int64(i) // advancing clock: queries span several generations
+		w.ObserveEdge(e)
+	}
+	for _, m := range []Measure{Jaccard, CommonNeighbors, AdamicAdar} {
+		got, err := w.TopK(m, u, cands, 7)
+		if err != nil {
+			t.Fatalf("TopK(%v): %v", m, err)
+		}
+		want := topKOracle(t, u, cands, 7, func(v uint64) (float64, error) { return w.Score(m, u, v) })
+		topKEqual(t, m.String(), got, want)
+	}
+	for _, m := range []Measure{ResourceAllocation, PreferentialAttachment, Cosine} {
+		if _, err := w.TopK(m, u, cands, 7); err == nil {
+			t.Fatalf("want error for %v on windowed predictor", m)
+		}
+	}
+}
+
+// TestTopKDeduplicatesCandidates is the regression test for the
+// duplicate-result bug: a candidate repeated in the input used to appear
+// once per repetition in the ranking, crowding out genuinely distinct
+// vertices.
+func TestTopKDeduplicatesCandidates(t *testing.T) {
+	edges, _, u := topKFixture()
+	p, err := New(Config{K: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		p.ObserveEdge(e)
+	}
+	// 40 is the strongest candidate; repeat it enough to fill k on its own.
+	cands := []uint64{40, 40, 40, 40, 40, 39, 38, 37, 36}
+	got, err := p.TopK(AdamicAdar, u, cands, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d results, want 4", len(got))
+	}
+	seen := make(map[uint64]bool)
+	for _, c := range got {
+		if seen[c.V] {
+			t.Fatalf("duplicate result entry for %d: %v", c.V, got)
+		}
+		seen[c.V] = true
+	}
+	uniq, err := p.TopK(AdamicAdar, u, []uint64{40, 39, 38, 37, 36}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topKEqual(t, "dup vs uniq", got, uniq)
+}
+
+// TestTopKBatchNaNAndTies drives the heap selection directly with
+// synthetic scores: NaN ranks below every real score, equal scores break
+// toward the smaller id, and the heap agrees with the sequential sort at
+// every k.
+func TestTopKBatchNaNAndTies(t *testing.T) {
+	nan := math.NaN()
+	scores := map[uint64]float64{
+		1: nan, 2: 0.5, 3: 0.5, 4: nan, 5: 1.5, 6: 0, 7: -1, 8: 0.5, 9: math.Inf(1), 10: math.Inf(-1),
+	}
+	cands := []uint64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	scoreBatch := func(dedup []uint64, out []float64) ([]float64, error) {
+		if cap(out) < len(dedup) {
+			out = make([]float64, len(dedup))
+		}
+		out = out[:len(dedup)]
+		for i, v := range dedup {
+			out[i] = scores[v]
+		}
+		return out, nil
+	}
+	for k := 0; k <= len(cands)+1; k++ {
+		got, err := topKBatch(99, cands, k, scoreBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := topKByScore(99, cands, k, func(v uint64) (float64, error) { return scores[v], nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		topKEqual(t, "synthetic", got, want)
+	}
+	// Spot-check the full ordering: +Inf first, NaNs last by id.
+	full, err := topKBatch(99, cands, len(cands), scoreBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []uint64{9, 5, 2, 3, 8, 6, 7, 10, 1, 4}
+	for i, v := range wantOrder {
+		if full[i].V != v {
+			t.Fatalf("full order: rank %d = %d, want %d (%v)", i, full[i].V, v, full)
+		}
+	}
+}
+
+// TestConcurrentTopKRace races batched queries against batched writers;
+// run with -race. Result contents are unasserted (the store is moving),
+// only shape and memory safety.
+func TestConcurrentTopKRace(t *testing.T) {
+	edges, cands, u := topKFixture()
+	c, err := NewConcurrent(Config{K: 16, Seed: 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ObserveEdges(edges[:len(edges)/2])
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				c.ObserveEdges(edges[len(edges)/2:])
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m := AllMeasures[i%len(AllMeasures)]
+				got, err := c.TopK(m, u, cands, 5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) > 5 {
+					t.Errorf("got %d results, want <= 5", len(got))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestScoreBatchAllocsBounded pins the O(shards+k) allocation claim: a
+// steady-state batched query over many candidates must not allocate
+// per-candidate.
+func TestScoreBatchAllocsBounded(t *testing.T) {
+	c, err := NewConcurrent(Config{K: 32, Seed: 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, _, u := topKFixture()
+	c.ObserveEdges(edges)
+	cands := make([]uint64, 10000)
+	for i := range cands {
+		cands[i] = uint64(i % 200)
+	}
+	for i := 0; i < 3; i++ { // warm the scratch pools
+		if _, err := c.TopK(AdamicAdar, u, cands, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := c.TopK(AdamicAdar, u, cands, 10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The steady-state cost is the result slice plus a few pool headers —
+	// far below one allocation per candidate.
+	if allocs > 64 {
+		t.Fatalf("TopK over %d candidates allocates %v objects per run; want O(shards+k)", len(cands), allocs)
+	}
+}

@@ -84,6 +84,54 @@ func (w *Windowed) CommonNeighbors(u, v uint64) float64 {
 // AdamicAdar returns the estimated Adamic–Adar index over the window.
 func (w *Windowed) AdamicAdar(u, v uint64) float64 { return w.store.EstimateAdamicAdar(u, v) }
 
+// Score returns the estimate of the given measure for (u, v) over the
+// window. Windowed prediction supports Jaccard, CommonNeighbors, and
+// AdamicAdar; the other measures return an error.
+func (w *Windowed) Score(m Measure, u, v uint64) (float64, error) {
+	switch m {
+	case Jaccard:
+		return w.store.EstimateJaccard(u, v), nil
+	case CommonNeighbors:
+		return w.store.EstimateCommonNeighbors(u, v), nil
+	case AdamicAdar:
+		return w.store.EstimateAdamicAdar(u, v), nil
+	case ResourceAllocation, PreferentialAttachment, Cosine:
+		return 0, fmt.Errorf("linkpred: measure %v not supported for windowed prediction", m)
+	default:
+		return 0, fmt.Errorf("linkpred: unknown measure %v", m)
+	}
+}
+
+// ScoreBatch scores every candidate against u over the window in one
+// batched pass, returning scores aligned with candidates. The batch path
+// merges the source's generations once and precomputes the Adamic–Adar
+// midpoint weights once per batch — the per-pair estimators redo both
+// for every candidate — and scores chunks on parallel workers. Like the
+// per-pair estimators, it must not run concurrently with ObserveEdge.
+// Supports the same measures as Score.
+func (w *Windowed) ScoreBatch(m Measure, u uint64, candidates []uint64) ([]float64, error) {
+	qm, err := queryMeasure(m)
+	if err != nil {
+		return nil, err
+	}
+	return w.store.ScoreBatch(qm, u, candidates, nil)
+}
+
+// TopK scores every candidate against u over the window and returns the
+// k best, ties broken toward smaller vertex ids. Candidates are
+// deduplicated (repeated ids contribute one result entry) and u itself
+// is skipped. Supports the same measures as Score; must not run
+// concurrently with ObserveEdge.
+func (w *Windowed) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Candidate, error) {
+	qm, err := queryMeasure(m)
+	if err != nil {
+		return nil, err
+	}
+	return topKBatch(u, candidates, k, func(dedup []uint64, scores []float64) ([]float64, error) {
+		return w.store.ScoreBatch(qm, u, dedup, scores)
+	})
+}
+
 // Degree returns the estimated distinct degree of u over the window.
 func (w *Windowed) Degree(u uint64) float64 { return w.store.Degree(u) }
 
