@@ -34,7 +34,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lpbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments to run: all, or comma-separated ids (e1..e21)")
+		exp      = fs.String("exp", "all", "experiments to run: all, or comma-separated ids (e1..e22)")
 		quick    = fs.Bool("quick", false, "small-scale run (seconds instead of minutes)")
 		seed     = fs.Uint64("seed", 42, "experiment seed (EXPERIMENTS.md uses 42)")
 		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files (optional)")

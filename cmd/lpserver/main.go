@@ -21,8 +21,19 @@
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window, and when -checkpoint is set the predictor is saved
-// to that path (atomically, via rename) before exit. On the next start
-// the same flag restores it, so a restart loses no accumulated state.
+// to that path (atomically, via fsync + rename) before exit. On the next
+// start the same flag restores it, so a restart loses no accumulated
+// state.
+//
+// Crash safety goes further with -wal-dir: every acknowledged /ingest
+// batch is appended to a checksummed write-ahead log before it touches
+// the sketches (fsync policy via -wal-fsync), and a background
+// checkpointer (-checkpoint-interval) snapshots the predictor and prunes
+// the log. After a crash — not just a graceful exit — the next start
+// loads the newest valid snapshot and replays the WAL tail, truncating
+// any torn record, so no acknowledged edge is lost. /metrics reports the
+// log and recovery ("wal", "recovery"), and /healthz degrades (still
+// 200, with a reason) when fsync or checkpointing starts failing.
 package main
 
 import (
@@ -34,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -42,18 +54,22 @@ import (
 	"linkpred/internal/monitor"
 	"linkpred/internal/server"
 	"linkpred/internal/stream"
+	"linkpred/internal/wal"
 )
 
 // app bundles everything main needs to serve and shut down: the handler
 // (whose Predictor method yields the live predictor, which /restore may
-// have swapped), the listen address and timeouts, and the checkpoint
-// path ("" disables persistence).
+// have swapped), the listen address and timeouts, the checkpoint path
+// ("" disables persistence), and the durability pipeline (nil without
+// -wal-dir).
 type app struct {
 	srv        *server.Server
 	addr       string
 	checkpoint string
 	readTO     time.Duration
 	writeTO    time.Duration
+	durable    *wal.Durable
+	ckptEvery  time.Duration
 }
 
 func main() {
@@ -91,6 +107,9 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		cand       = fs.Bool("candidates", false, "track candidate vertices on ingest so /topk can omit the candidates parameter")
 		candRecent = fs.Int("candidates-recent", 8, "recent neighbors remembered per vertex by -candidates")
 		candPool   = fs.Int("candidates-pool", 64, "frequent-vertex pool size shared by -candidates")
+		walDir     = fs.String("wal-dir", "", "write-ahead log directory: log every /ingest batch before applying, checkpoint periodically, and recover snapshot+log on start")
+		walFsync   = fs.String("wal-fsync", "interval", "WAL fsync policy: always (fsync per batch) | interval (background fsync) | never (crash loses OS-buffered tail)")
+		ckptEvery  = fs.Duration("checkpoint-interval", 5*time.Minute, "with -wal-dir, how often the background checkpointer snapshots the predictor and prunes the log")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -115,6 +134,58 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		}
 	}
 
+	opts := server.Options{MaxBodyBytes: *maxBody}
+	built := false
+	defer func() {
+		if !built && opts.Durability != nil {
+			opts.Durability.Close() // build failed after WAL open
+		}
+	}()
+	// The checkpointer must snapshot the predictor *currently served*
+	// (POST /restore may swap it), but the Server is built last: the
+	// snapshot closure routes through this holder once it is filled in.
+	var srvHolder atomic.Pointer[server.Server]
+	recovered := false
+	if *walDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*walFsync)
+		if err != nil {
+			return nil, err
+		}
+		res, err := wal.Recover(nil, *walDir, func(r io.Reader) error {
+			loaded, err := linkpred.LoadConcurrent(r)
+			if err != nil {
+				return err
+			}
+			pred = loaded
+			return nil
+		}, func(rec wal.Record) error {
+			pred.ObserveEdges(toEdges(rec.Edges))
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("wal recovery: %w", err)
+		}
+		recovered = res.SnapshotLoaded || res.Replay.Records > 0
+		if recovered {
+			fmt.Fprintf(stdout, "recovered %s: snapshot seq %d + %d replayed edges (%d vertices, %d edges)\n",
+				*walDir, res.SnapshotSeq, res.Replay.Edges, pred.NumVertices(), pred.NumEdges())
+		}
+		if res.Replay.TruncatedBytes > 0 {
+			fmt.Fprintf(stdout, "wal: truncated %d bytes of torn/corrupt log tail\n", res.Replay.TruncatedBytes)
+		}
+		w, err := wal.Open(*walDir, wal.Options{Fsync: policy, NextSeq: res.LastSeq() + 1})
+		if err != nil {
+			return nil, fmt.Errorf("open wal: %w", err)
+		}
+		opts.Durability = wal.NewDurable(w, *walDir, wal.KindEdge, func(wr io.Writer) error {
+			if s := srvHolder.Load(); s != nil {
+				return s.Predictor().Save(wr)
+			}
+			return pred.Save(wr)
+		})
+		opts.Recovery = &res
+	}
+
 	var tracker *candidates.Tracker
 	if *cand {
 		tracker, err = candidates.New(*candRecent, *candPool)
@@ -122,19 +193,37 @@ func build(args []string, stdout io.Writer) (*app, error) {
 			return nil, fmt.Errorf("candidate tracker: %w", err)
 		}
 	}
+	opts.Candidates = tracker
 
-	if *warm != "" {
+	switch {
+	case *warm != "" && recovered:
+		// The WAL already holds everything from the previous run —
+		// including the warm stream it was booted with. Re-ingesting it
+		// would double-count every warm edge's arrivals.
+		fmt.Fprintf(stdout, "skipping -warm %s: state recovered from %s\n", *warm, *walDir)
+	case *warm != "":
 		f, err := os.Open(*warm)
 		if err != nil {
 			return nil, fmt.Errorf("open warm stream: %w", err)
 		}
 		n := 0
-		err = stream.ForEach(stream.NewTextReader(f), func(e stream.Edge) error {
-			pred.ObserveEdge(linkpred.Edge{U: e.U, V: e.V, T: e.T})
-			if tracker != nil {
-				tracker.ProcessEdge(e)
+		err = stream.ForEachBatch(stream.NewTextReader(f), 4096, func(batch []stream.Edge) error {
+			apply := func(b []stream.Edge) {
+				pred.ObserveEdges(toEdges(b))
+				if tracker != nil {
+					for _, e := range b {
+						tracker.ProcessEdge(e)
+					}
+				}
 			}
-			n++
+			if opts.Durability != nil {
+				if err := opts.Durability.Ingest(batch, apply); err != nil {
+					return err
+				}
+			} else {
+				apply(batch)
+			}
+			n += len(batch)
 			return nil
 		})
 		f.Close()
@@ -144,7 +233,6 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		fmt.Fprintf(stdout, "warmed with %d edges (%d vertices)\n", n, pred.NumVertices())
 	}
 
-	opts := server.Options{MaxBodyBytes: *maxBody, Candidates: tracker}
 	if *mon {
 		opts.Monitor, err = monitor.New(monitor.Config{Seed: *seed})
 		if err != nil {
@@ -152,13 +240,30 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		}
 	}
 	fmt.Fprintf(stdout, "serving sketch k=%d over %d shards\n", *k, *shards)
+	srv := server.NewWithOptions(pred, opts)
+	if opts.Durability != nil {
+		srvHolder.Store(srv)
+		opts.Durability.StartCheckpointer(*ckptEvery)
+	}
+	built = true
 	return &app{
-		srv:        server.NewWithOptions(pred, opts),
+		srv:        srv,
 		addr:       *addr,
 		checkpoint: *checkpoint,
 		readTO:     *readTO,
 		writeTO:    *writeTO,
+		durable:    opts.Durability,
+		ckptEvery:  *ckptEvery,
 	}, nil
+}
+
+// toEdges converts a batch of stream edges to the library edge type.
+func toEdges(batch []stream.Edge) []linkpred.Edge {
+	out := make([]linkpred.Edge, len(batch))
+	for i, e := range batch {
+		out[i] = linkpred.Edge{U: e.U, V: e.V, T: e.T}
+	}
+	return out
 }
 
 // run serves until the context is cancelled (signal) or the listener
@@ -188,6 +293,15 @@ func run(ctx context.Context, a *app, stdout io.Writer) error {
 		// predictor (ingest is monotone, a partial request loses only
 		// its own tail).
 		fmt.Fprintln(stdout, "shutdown:", err)
+	}
+	if a.durable != nil {
+		// Final checkpoint: snapshot the predictor and prune the log, so
+		// the next boot recovers from the snapshot without a replay.
+		if err := a.durable.Close(); err != nil {
+			fmt.Fprintln(stdout, "wal close:", err)
+		} else {
+			fmt.Fprintln(stdout, "wal checkpointed and closed")
+		}
 	}
 	if a.checkpoint == "" {
 		return nil
@@ -219,22 +333,12 @@ func loadCheckpoint(path string) (*linkpred.Concurrent, error) {
 
 // saveCheckpoint writes the live predictor (the one currently served,
 // which /restore may have swapped in) to the checkpoint path. The write
-// goes to a temp file in the same directory first and is renamed into
-// place, so a crash mid-write never corrupts the previous image.
+// is atomic and durable: temp file in the same directory, fsynced, then
+// renamed over the target with the directory fsynced too, so neither a
+// crash mid-write nor one just after the rename can leave a corrupt or
+// missing image.
 func (a *app) saveCheckpoint() error {
-	tmp := a.checkpoint + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := a.srv.Predictor().Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, a.checkpoint)
+	return wal.AtomicWriteFile(a.checkpoint, func(w io.Writer) error {
+		return a.srv.Predictor().Save(w)
+	})
 }

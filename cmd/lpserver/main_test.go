@@ -165,3 +165,90 @@ func TestRunShutdownSavesCheckpoint(t *testing.T) {
 	}
 	f.Close()
 }
+
+func TestWALRecoveryAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	flags := []string{"-addr", ":0", "-k", "32", "-wal-dir", dir, "-wal-fsync", "always"}
+
+	var out strings.Builder
+	a, err := build(flags, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.srv)
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain",
+		strings.NewReader("1 2\n2 3\n1 3\n3 4\n4 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d", resp.StatusCode)
+	}
+	want := getBody(t, ts.URL+"/pair?u=1&v=3")
+	metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), `"wal"`) || !strings.Contains(string(metrics), `"recovery"`) {
+		t.Errorf("/metrics missing wal/recovery sections: %s", metrics)
+	}
+	ts.Close()
+	// Crash: abandon the app without Close — no final checkpoint, the
+	// state lives only in the fsynced log.
+
+	out.Reset()
+	a2, err := build(flags, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.durable.Close()
+	if !strings.Contains(out.String(), "recovered") {
+		t.Errorf("second boot should report recovery: %q", out.String())
+	}
+	if n := a2.srv.Predictor().NumEdges(); n != 5 {
+		t.Errorf("recovered %d edges, want 5", n)
+	}
+	ts2 := httptest.NewServer(a2.srv)
+	defer ts2.Close()
+	if got := getBody(t, ts2.URL+"/pair?u=1&v=3"); string(got) != string(want) {
+		t.Errorf("/pair after crash recovery = %s, want %s", got, want)
+	}
+	health := getBody(t, ts2.URL+"/healthz")
+	if !strings.Contains(string(health), `"status":"ok"`) {
+		t.Errorf("healthz after recovery = %s", health)
+	}
+}
+
+func TestWALSkipsWarmAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	warm := t.TempDir() + "/warm.txt"
+	if err := os.WriteFile(warm, []byte("1 2\n2 3\n1 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flags := []string{"-addr", ":0", "-k", "32", "-warm", warm,
+		"-wal-dir", dir, "-wal-fsync", "always"}
+
+	var out strings.Builder
+	a, err := build(flags, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "warmed with 3 edges") {
+		t.Errorf("first boot should warm: %q", out.String())
+	}
+	// Graceful shutdown path: final checkpoint + prune.
+	if err := a.durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	a2, err := build(flags, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.durable.Close()
+	if !strings.Contains(out.String(), "skipping -warm") {
+		t.Errorf("second boot should skip warm: %q", out.String())
+	}
+	if n := a2.srv.Predictor().NumEdges(); n != 3 {
+		t.Errorf("recovered %d edges, want 3 (warm must not double-ingest)", n)
+	}
+}

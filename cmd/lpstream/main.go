@@ -17,6 +17,14 @@
 // query pair given via -pairs, the top-k candidates for the -top vertex
 // (candidates are the vertices seen in the stream), and finally any
 // "u v" query pairs read from stdin if it is not a terminal.
+//
+// With -wal-dir the ingest is crash-safe and resumable: every batch is
+// appended to a checksummed write-ahead log before it is applied
+// (fsync policy via -wal-fsync), and a snapshot is written when ingest
+// completes. Rerun after a crash with the same flags and the same input
+// file: the durable prefix is recovered from snapshot + log replay and
+// skipped in the input, so a long ingest continues where the crash cut
+// it off instead of starting over.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	linkpred "linkpred"
 	"linkpred/internal/monitor"
 	"linkpred/internal/stream"
+	"linkpred/internal/wal"
 )
 
 // undirectedModel is the query surface shared by linkpred.Predictor and
@@ -87,6 +96,8 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		profile  = fs.Bool("profile", false, "also print a constant-space stream profile (distinct edges, duplicate rate, heavy hitters)")
 		parallel = fs.Int("parallel", 1, "ingest writer goroutines; >1 switches to the sharded concurrent predictor")
 		batch    = fs.Int("batch", 4096, "edges per ingest batch")
+		walDir   = fs.String("wal-dir", "", "write-ahead log directory: log batches before applying, snapshot on completion, and resume a crashed ingest of the same input")
+		walFsync = fs.String("wal-fsync", "interval", "WAL fsync policy: always | interval | never")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,28 +120,99 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	var p undirectedModel
 	var dp directedModel
 	var observe func([]linkpred.Edge)
+	// save/load checkpoint the chosen model for -wal-dir; load replaces
+	// the model with the snapshot's (rebinding every handle above), so
+	// the flag-built empty model is discarded on resume.
+	var save func(io.Writer) error
+	var load func(io.Reader) error
+	checkCfg := func(got linkpred.Config) error {
+		if got.K != cfg.K || got.Seed != cfg.Seed || got.DistinctDegrees != cfg.DistinctDegrees {
+			return fmt.Errorf("snapshot was built with -k %d -seed %d -distinct-degrees=%v; rerun with the same flags",
+				got.K, got.Seed, got.DistinctDegrees)
+		}
+		return nil
+	}
 	var err error
 	switch {
 	case *directed && *parallel > 1:
 		m, e := linkpred.NewConcurrentDirected(cfg, 4**parallel)
-		dp, observe, err = m, m.ObserveEdges, e
+		err = e
+		if e == nil {
+			bind := func(m *linkpred.ConcurrentDirected) { dp, observe, save = m, m.ObserveEdges, m.Save }
+			bind(m)
+			load = func(r io.Reader) error {
+				lm, err := linkpred.LoadConcurrentDirected(r)
+				if err != nil {
+					return err
+				}
+				if err := checkCfg(lm.Config()); err != nil {
+					return err
+				}
+				bind(lm)
+				return nil
+			}
+		}
 	case *directed:
 		m, e := linkpred.NewDirected(cfg)
 		err = e
 		if e == nil {
-			dp = m
-			observe = func(batch []linkpred.Edge) {
-				for _, ed := range batch {
-					m.ObserveEdge(ed)
+			bind := func(m *linkpred.Directed) {
+				dp, save = m, m.Save
+				observe = func(batch []linkpred.Edge) {
+					for _, ed := range batch {
+						m.ObserveEdge(ed)
+					}
 				}
+			}
+			bind(m)
+			load = func(r io.Reader) error {
+				lm, err := linkpred.LoadDirected(r)
+				if err != nil {
+					return err
+				}
+				if err := checkCfg(lm.Config()); err != nil {
+					return err
+				}
+				bind(lm)
+				return nil
 			}
 		}
 	case *parallel > 1:
 		m, e := linkpred.NewConcurrent(cfg, 4**parallel)
-		p, observe, err = m, m.ObserveEdges, e
+		err = e
+		if e == nil {
+			bind := func(m *linkpred.Concurrent) { p, observe, save = m, m.ObserveEdges, m.Save }
+			bind(m)
+			load = func(r io.Reader) error {
+				lm, err := linkpred.LoadConcurrent(r)
+				if err != nil {
+					return err
+				}
+				if err := checkCfg(lm.Config()); err != nil {
+					return err
+				}
+				bind(lm)
+				return nil
+			}
+		}
 	default:
 		m, e := linkpred.New(cfg)
-		p, observe, err = m, m.ObserveEdges, e
+		err = e
+		if e == nil {
+			bind := func(m *linkpred.Predictor) { p, observe, save = m, m.ObserveEdges, m.Save }
+			bind(m)
+			load = func(r io.Reader) error {
+				lm, err := linkpred.Load(r)
+				if err != nil {
+					return err
+				}
+				if err := checkCfg(lm.Config()); err != nil {
+					return err
+				}
+				bind(lm)
+				return nil
+			}
+		}
 	}
 	if err != nil {
 		return err
@@ -162,6 +244,47 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 			seen[u] = struct{}{}
 			vertices = append(vertices, u)
 		}
+	}
+
+	// Crash-safe mode: recover whatever the previous run made durable
+	// (snapshot + log replay), then skip that prefix of the input — the
+	// sequence number counts input edges, so the resume point is exact.
+	var durable *wal.Durable
+	var skip uint64
+	walKind := wal.KindEdge
+	if *directed {
+		walKind = wal.KindArc
+	}
+	if *walDir != "" {
+		policy, perr := wal.ParseFsyncPolicy(*walFsync)
+		if perr != nil {
+			return perr
+		}
+		res, rerr := wal.Recover(nil, *walDir, load, func(rec wal.Record) error {
+			if rec.Kind != walKind {
+				return fmt.Errorf("log holds %s records; rerun with the matching -directed setting",
+					map[wal.Kind]string{wal.KindEdge: "undirected edge", wal.KindArc: "directed arc"}[rec.Kind])
+			}
+			b := make([]linkpred.Edge, len(rec.Edges))
+			for i, e := range rec.Edges {
+				b[i] = linkpred.Edge{U: e.U, V: e.V, T: e.T}
+			}
+			observe(b)
+			return nil
+		})
+		if rerr != nil {
+			return fmt.Errorf("wal recovery: %w", rerr)
+		}
+		skip = res.LastSeq()
+		if skip > 0 {
+			fmt.Fprintf(stdout, "resuming from %s: %d edges durable (snapshot seq %d, %d replayed), skipping them in the input\n",
+				*walDir, skip, res.SnapshotSeq, res.Replay.Edges)
+		}
+		w, werr := wal.Open(*walDir, wal.Options{Fsync: policy, NextSeq: skip + 1})
+		if werr != nil {
+			return fmt.Errorf("open wal: %w", werr)
+		}
+		durable = wal.NewDurable(w, *walDir, walKind, func(wr io.Writer) error { return save(wr) })
 	}
 
 	// Batched ingest pipeline: the reader fills -batch-edge buffers and
@@ -198,23 +321,56 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	for {
 		n, rerr := stream.ReadBatch(src, rbuf)
 		if n > 0 {
-			b := inline[:0]
-			if *parallel > 1 {
-				b = <-free
-			}
-			for _, e := range rbuf[:n] {
-				if mon != nil {
-					mon.ProcessEdge(e)
+			be := rbuf[:n]
+			if skip > 0 {
+				// Durable from the previous run: recovery already folded
+				// these into the sketches. They still count toward the
+				// vertex universe and the profile, but are not re-ingested
+				// or re-logged.
+				d := len(be)
+				if uint64(d) > skip {
+					d = int(skip)
 				}
-				note(e.U)
-				note(e.V)
-				b = append(b, linkpred.Edge{U: e.U, V: e.V, T: e.T})
+				for _, e := range be[:d] {
+					if mon != nil {
+						mon.ProcessEdge(e)
+					}
+					note(e.U)
+					note(e.V)
+				}
+				skip -= uint64(d)
+				be = be[d:]
 			}
-			edges += n
-			if *parallel > 1 {
-				work <- b
-			} else {
-				observe(b)
+			if len(be) > 0 {
+				if durable != nil {
+					// Log before apply: an acknowledged batch is exactly one
+					// that recovery can reproduce.
+					if _, aerr := durable.WAL().Append(walKind, be); aerr != nil {
+						if *parallel > 1 {
+							close(work)
+							wg.Wait()
+						}
+						return fmt.Errorf("wal append: %w", aerr)
+					}
+				}
+				b := inline[:0]
+				if *parallel > 1 {
+					b = <-free
+				}
+				for _, e := range be {
+					if mon != nil {
+						mon.ProcessEdge(e)
+					}
+					note(e.U)
+					note(e.V)
+					b = append(b, linkpred.Edge{U: e.U, V: e.V, T: e.T})
+				}
+				edges += len(be)
+				if *parallel > 1 {
+					work <- b
+				} else {
+					observe(b)
+				}
 			}
 		}
 		if rerr != nil || n < *batch {
@@ -239,6 +395,13 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	}
 	fmt.Fprintf(stdout, "ingest: %.3fs, %.0f edges/sec (parallel=%d, batch=%d)\n",
 		elapsed.Seconds(), rate, *parallel, *batch)
+	if durable != nil {
+		lastSeq := durable.WAL().LastSeq()
+		if cerr := durable.Close(); cerr != nil {
+			return fmt.Errorf("wal checkpoint: %w", cerr)
+		}
+		fmt.Fprintf(stdout, "wal: snapshot at seq %d written to %s\n", lastSeq, *walDir)
+	}
 	if mon != nil {
 		r := mon.Report(5)
 		fmt.Fprintf(stdout, "stream profile: %s (profile memory %.2f MiB)\n", r, float64(mon.MemoryBytes())/(1<<20))

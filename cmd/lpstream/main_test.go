@@ -194,3 +194,128 @@ func TestRunFlagValidation(t *testing.T) {
 		t.Error("-batch 0 should error")
 	}
 }
+
+// walFixture writes n deterministic edge lines to dir/name.
+func walFixture(t *testing.T, dir, name string, n int) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d %d\n", i%17, (i*7+3)%23)
+	}
+	path := dir + "/" + name
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWALResume(t *testing.T) {
+	dir := t.TempDir()
+	full := walFixture(t, dir, "full.txt", 40)
+	prefix := walFixture(t, dir, "prefix.txt", 25)
+	wdir := dir + "/wal"
+
+	// Reference: one uninterrupted run over the full stream.
+	var ref bytes.Buffer
+	if err := run([]string{"-in", full, "-k", "32", "-pairs", "1:3", "-batch", "8"}, &ref, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crashed" run: only the first 25 edges got through before the
+	// process died; its completed prefix is durable in the WAL.
+	var out1 bytes.Buffer
+	err := run([]string{"-in", prefix, "-k", "32", "-batch", "8",
+		"-wal-dir", wdir, "-wal-fsync", "always"}, &out1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out1.String(), "wal: snapshot at seq 25") {
+		t.Errorf("first run should checkpoint at seq 25:\n%s", out1.String())
+	}
+
+	// Resume over the full stream: the durable 25 are skipped, the
+	// remaining 15 ingested, and the estimates match the reference.
+	var out2 bytes.Buffer
+	err = run([]string{"-in", full, "-k", "32", "-pairs", "1:3", "-batch", "8",
+		"-wal-dir", wdir, "-wal-fsync", "always"}, &out2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out2.String()
+	if !strings.Contains(s, "resuming from "+wdir+": 25 edges durable") {
+		t.Errorf("missing resume line:\n%s", s)
+	}
+	if !strings.Contains(s, "ingested 15 edges") {
+		t.Errorf("resume should ingest only the tail:\n%s", s)
+	}
+	if !strings.Contains(s, "wal: snapshot at seq 40") {
+		t.Errorf("resume should checkpoint at seq 40:\n%s", s)
+	}
+	wantPair := ""
+	for _, line := range strings.Split(ref.String(), "\n") {
+		if strings.HasPrefix(line, "(1, 3):") {
+			wantPair = line
+		}
+	}
+	if wantPair == "" || !strings.Contains(s, wantPair) {
+		t.Errorf("resumed estimates differ from uninterrupted run:\nwant %q in\n%s", wantPair, s)
+	}
+}
+
+func TestRunWALParallelResume(t *testing.T) {
+	dir := t.TempDir()
+	full := walFixture(t, dir, "full.txt", 60)
+	prefix := walFixture(t, dir, "prefix.txt", 30)
+	wdir := dir + "/wal"
+
+	var out1 bytes.Buffer
+	err := run([]string{"-in", prefix, "-k", "32", "-parallel", "3", "-batch", "8",
+		"-wal-dir", wdir}, &out1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	err = run([]string{"-in", full, "-k", "32", "-parallel", "3", "-batch", "8",
+		"-pairs", "1:3", "-wal-dir", wdir}, &out2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "ingested 30 edges") {
+		t.Errorf("parallel resume should ingest only the tail:\n%s", out2.String())
+	}
+
+	// The resumed sharded model answers like a fresh full run.
+	var ref bytes.Buffer
+	if err := run([]string{"-in", full, "-k", "32", "-parallel", "3", "-pairs", "1:3"}, &ref, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := ""
+	for _, line := range strings.Split(ref.String(), "\n") {
+		if strings.HasPrefix(line, "(1, 3):") {
+			want = line
+		}
+	}
+	if want == "" || !strings.Contains(out2.String(), want) {
+		t.Errorf("resumed estimates differ:\nwant %q in\n%s", want, out2.String())
+	}
+}
+
+func TestRunWALMismatchErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := walFixture(t, dir, "in.txt", 20)
+	wdir := dir + "/wal"
+	var out bytes.Buffer
+	if err := run([]string{"-in", in, "-k", "32", "-wal-dir", wdir}, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Same log, different orientation: the snapshot cannot be loaded
+	// into a directed model.
+	if err := run([]string{"-in", in, "-k", "32", "-directed", "-wal-dir", wdir}, &out, nil); err == nil {
+		t.Error("directed resume of an undirected log should error")
+	}
+	// Same log, different sketch config: refuse rather than mix.
+	err := run([]string{"-in", in, "-k", "64", "-wal-dir", wdir}, &out, nil)
+	if err == nil || !strings.Contains(err.Error(), "-k 32") {
+		t.Errorf("resume with different -k should name the snapshot flags, got %v", err)
+	}
+}

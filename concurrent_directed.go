@@ -2,6 +2,7 @@ package linkpred
 
 import (
 	"fmt"
+	"io"
 
 	"linkpred/internal/core"
 	"linkpred/internal/hashing"
@@ -155,3 +156,28 @@ func (c *ConcurrentDirected) NumArcs() int64 { return c.store.NumArcs() }
 
 // MemoryBytes returns the predictor's payload memory.
 func (c *ConcurrentDirected) MemoryBytes() int { return c.store.MemoryBytes() }
+
+// Save writes the predictor's complete state to w. It takes a
+// consistent snapshot: concurrent writers block for the duration.
+func (c *ConcurrentDirected) Save(w io.Writer) error {
+	if err := c.store.Save(w); err != nil {
+		return fmt.Errorf("linkpred: %w", err)
+	}
+	return nil
+}
+
+// LoadConcurrentDirected restores a predictor saved with
+// (*ConcurrentDirected).Save.
+func LoadConcurrentDirected(r io.Reader) (*ConcurrentDirected, error) {
+	store, err := core.LoadShardedDirected(r)
+	if err != nil {
+		return nil, fmt.Errorf("linkpred: %w", err)
+	}
+	cc := store.Config()
+	return &ConcurrentDirected{store: store, cfg: Config{
+		K:                 cc.K,
+		Seed:              cc.Seed,
+		TabulationHashing: cc.Hash == hashing.KindTabulation,
+		DistinctDegrees:   cc.Degrees == core.DegreeDistinctKMV,
+	}}, nil
+}

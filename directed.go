@@ -2,6 +2,7 @@ package linkpred
 
 import (
 	"fmt"
+	"io"
 
 	"linkpred/internal/core"
 	"linkpred/internal/hashing"
@@ -94,3 +95,29 @@ func (d *Directed) NumArcs() int64 { return d.store.NumArcs() }
 // MemoryBytes returns the predictor's payload memory (two sketches per
 // vertex).
 func (d *Directed) MemoryBytes() int { return d.store.MemoryBytes() }
+
+// Save writes the predictor's complete state to w, for checkpointing
+// long-running arc-stream processors. LoadDirected restores it.
+func (d *Directed) Save(w io.Writer) error {
+	if err := d.store.Save(w); err != nil {
+		return fmt.Errorf("linkpred: %w", err)
+	}
+	return nil
+}
+
+// LoadDirected restores a predictor saved with (*Directed).Save. The
+// restored predictor answers every query identically and can continue
+// consuming the arc stream where the original left off.
+func LoadDirected(r io.Reader) (*Directed, error) {
+	store, err := core.LoadDirected(r)
+	if err != nil {
+		return nil, fmt.Errorf("linkpred: %w", err)
+	}
+	cc := store.Config()
+	return &Directed{store: store, cfg: Config{
+		K:                 cc.K,
+		Seed:              cc.Seed,
+		TabulationHashing: cc.Hash == hashing.KindTabulation,
+		DistinctDegrees:   cc.Degrees == core.DegreeDistinctKMV,
+	}}, nil
+}

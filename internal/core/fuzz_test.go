@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -28,6 +29,36 @@ func FuzzLoadSketchStore(f *testing.F) {
 	f.Add(corrupt)
 	f.Add([]byte("LPSK"))
 	f.Add([]byte{})
+	// A biased-sketch image (exercises the per-vertex entry lists), its
+	// truncations at the header/vertex boundaries, and forged headers
+	// that drive each hardening check: impossible K, out-of-range enum
+	// bytes, non-boolean flags, and a vertex count no input could back.
+	b, err := NewSketchStore(Config{K: 4, Seed: 2, EnableBiased: true, TrackTriangles: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range randomEdges(10, 40, 2) {
+		b.ProcessEdge(e)
+	}
+	var biased bytes.Buffer
+	if err := b.Save(&biased); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(biased.Bytes())
+	f.Add(biased.Bytes()[:24])                    // through the flags
+	f.Add(biased.Bytes()[:48])                    // through the vertex count
+	f.Add(biased.Bytes()[:len(biased.Bytes())-3]) // torn final vertex
+	forge := func(mutate func(img []byte)) []byte {
+		img := append([]byte(nil), valid.Bytes()...)
+		mutate(img)
+		return img
+	}
+	f.Add(forge(func(img []byte) { binary.LittleEndian.PutUint32(img[8:12], 0) }))      // K = 0
+	f.Add(forge(func(img []byte) { binary.LittleEndian.PutUint32(img[8:12], 1<<30) }))  // K beyond bound
+	f.Add(forge(func(img []byte) { img[20] = 0xff }))                                   // unknown hash family
+	f.Add(forge(func(img []byte) { img[21] = 0xff }))                                   // unknown degree mode
+	f.Add(forge(func(img []byte) { img[22] = 2 }))                                      // non-boolean flag
+	f.Add(forge(func(img []byte) { binary.LittleEndian.PutUint64(img[40:48], 1<<62) })) // forged vertex count
 
 	f.Fuzz(func(t *testing.T, input []byte) {
 		loaded, err := LoadSketchStore(bytes.NewReader(input))

@@ -7,8 +7,6 @@ import (
 	"io"
 	"math"
 	"sort"
-
-	"linkpred/internal/hashing"
 )
 
 // Sketch persistence: a stream processor that maintains sketches for
@@ -134,124 +132,116 @@ func (s *SketchStore) Save(w io.Writer) error {
 // LoadSketchStore reads a store saved by Save. The restored store
 // answers every estimator query identically to the original and can
 // continue consuming the stream where the original left off.
+//
+// The loader is hardened against corrupt input: counts are bounded
+// before any allocation they size, enum and flag bytes are checked
+// against their legal ranges, and errors name the byte offset where
+// decoding failed. An existing *bufio.Reader is reused rather than
+// re-wrapped, so the sharded formats can concatenate several images in
+// one stream.
 func LoadSketchStore(r io.Reader) (*SketchStore, error) {
-	// Reuse the caller's buffered reader if there is one: wrapping would
-	// read ahead past this store's bytes and corrupt any data that
-	// follows it in the same stream (the sharded format concatenates
-	// several store images).
-	br, ok := r.(*bufio.Reader)
-	if !ok {
-		br = bufio.NewReader(r)
+	return loadSketchStore(newBinReader(r))
+}
+
+func loadSketchStore(rd *binReader) (*SketchStore, error) {
+	if err := rd.magic(persistMagic); err != nil {
+		return nil, err
 	}
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("core: load magic: %w", err)
+	if err := rd.version(persistVersion); err != nil {
+		return nil, err
 	}
-	if string(magic[:]) != persistMagic {
-		return nil, fmt.Errorf("core: bad sketch magic %q, want %q", magic, persistMagic)
-	}
-	readU32 := func() (uint32, error) {
-		var buf [4]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(buf[:]), nil
-	}
-	readU64 := func() (uint64, error) {
-		var buf [8]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint64(buf[:]), nil
-	}
-	version, err := readU32()
+	k, err := rd.sketchK()
 	if err != nil {
-		return nil, fmt.Errorf("core: load version: %w", err)
+		return nil, err
 	}
-	if version != persistVersion {
-		return nil, fmt.Errorf("core: unsupported sketch version %d (supported: %d)", version, persistVersion)
-	}
-	k, err := readU32()
+	seed, err := rd.u64()
 	if err != nil {
-		return nil, fmt.Errorf("core: load K: %w", err)
-	}
-	seed, err := readU64()
-	if err != nil {
-		return nil, fmt.Errorf("core: load seed: %w", err)
+		return nil, rd.fail("seed", err)
 	}
 	var flags [4]byte
-	if _, err := io.ReadFull(br, flags[:]); err != nil {
-		return nil, fmt.Errorf("core: load flags: %w", err)
+	if err := rd.read(flags[:]); err != nil {
+		return nil, rd.fail("flags", err)
 	}
-	cfg := Config{
-		K:              int(k),
-		Seed:           seed,
-		Hash:           hashing.Kind(flags[0]),
-		Degrees:        DegreeMode(flags[1]),
-		EnableBiased:   flags[2] == 1,
-		TrackTriangles: flags[3] == 1,
+	cfg := Config{K: k, Seed: seed}
+	if cfg.Hash, err = rd.hashKind(flags[0]); err != nil {
+		return nil, err
+	}
+	if cfg.Degrees, err = rd.degreeMode(flags[1]); err != nil {
+		return nil, err
+	}
+	if cfg.EnableBiased, err = rd.boolByte("biased", flags[2]); err != nil {
+		return nil, err
+	}
+	if cfg.TrackTriangles, err = rd.boolByte("triangles", flags[3]); err != nil {
+		return nil, err
 	}
 	s, err := NewSketchStore(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: load config: %w", err)
 	}
-	edges, err := readU64()
+	edges, err := rd.u64()
 	if err != nil {
-		return nil, fmt.Errorf("core: load edge count: %w", err)
+		return nil, rd.fail("edge count", err)
 	}
 	s.edges = int64(edges)
-	triBits, err := readU64()
+	triBits, err := rd.u64()
 	if err != nil {
-		return nil, fmt.Errorf("core: load triangle accumulator: %w", err)
+		return nil, rd.fail("triangle accumulator", err)
 	}
 	s.triangles = math.Float64frombits(triBits)
-	vertexCount, err := readU64()
+	vertexCount, err := rd.u64()
 	if err != nil {
-		return nil, fmt.Errorf("core: load vertex count: %w", err)
+		return nil, rd.fail("vertex count", err)
+	}
+	// Each vertex record is at least 24 bytes + 16K of registers, so a
+	// count the input cannot possibly back is rejected up front instead
+	// of allocating state for it vertex by vertex until EOF.
+	if vertexCount > uint64(math.MaxInt64)/uint64(24+16*k) {
+		return nil, rd.corrupt("impossible vertex count %d for K=%d", vertexCount, k)
 	}
 	for i := uint64(0); i < vertexCount; i++ {
-		id, err := readU64()
+		id, err := rd.u64()
 		if err != nil {
-			return nil, fmt.Errorf("core: load vertex %d id: %w", i, err)
+			return nil, rd.fail(fmt.Sprintf("vertex %d id", i), err)
 		}
-		arrivals, err := readU64()
+		arrivals, err := rd.u64()
 		if err != nil {
-			return nil, fmt.Errorf("core: load vertex %d arrivals: %w", id, err)
+			return nil, rd.fail(fmt.Sprintf("vertex %d arrivals", id), err)
 		}
 		st := s.state(id)
 		st.arrivals = int64(arrivals)
-		vertexTri, err := readU64()
+		vertexTri, err := rd.u64()
 		if err != nil {
-			return nil, fmt.Errorf("core: load vertex %d triangles: %w", id, err)
+			return nil, rd.fail(fmt.Sprintf("vertex %d triangles", id), err)
 		}
 		st.triangles = math.Float64frombits(vertexTri)
 		for j := range st.sketch.vals {
-			if st.sketch.vals[j], err = readU64(); err != nil {
-				return nil, fmt.Errorf("core: load vertex %d registers: %w", id, err)
+			if st.sketch.vals[j], err = rd.u64(); err != nil {
+				return nil, rd.fail(fmt.Sprintf("vertex %d registers", id), err)
 			}
 		}
 		for j := range st.sketch.ids {
-			if st.sketch.ids[j], err = readU64(); err != nil {
-				return nil, fmt.Errorf("core: load vertex %d argmins: %w", id, err)
+			if st.sketch.ids[j], err = rd.u64(); err != nil {
+				return nil, rd.fail(fmt.Sprintf("vertex %d argmins", id), err)
 			}
 		}
 		if cfg.EnableBiased {
-			n, err := readU32()
+			n, err := rd.u32()
 			if err != nil {
-				return nil, fmt.Errorf("core: load vertex %d biased count: %w", id, err)
+				return nil, rd.fail(fmt.Sprintf("vertex %d biased count", id), err)
 			}
 			if int(n) > cfg.K {
-				return nil, fmt.Errorf("core: vertex %d biased sketch has %d entries, max %d", id, n, cfg.K)
+				return nil, rd.corrupt("vertex %d biased sketch has %d entries, max %d", id, n, cfg.K)
 			}
 			st.biased.entries = st.biased.entries[:0]
 			for j := uint32(0); j < n; j++ {
-				eid, err := readU64()
+				eid, err := rd.u64()
 				if err != nil {
-					return nil, fmt.Errorf("core: load vertex %d biased ids: %w", id, err)
+					return nil, rd.fail(fmt.Sprintf("vertex %d biased ids", id), err)
 				}
-				bits, err := readU64()
+				bits, err := rd.u64()
 				if err != nil {
-					return nil, fmt.Errorf("core: load vertex %d biased ranks: %w", id, err)
+					return nil, rd.fail(fmt.Sprintf("vertex %d biased ranks", id), err)
 				}
 				st.biased.entries = append(st.biased.entries, biasedEntry{id: eid, rank: math.Float64frombits(bits)})
 			}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"linkpred/internal/hashing"
+)
+
+// Hardened binary-image decoding, shared by every persistence loader.
+//
+// Checkpoint images come off disks that tear writes, filesystems that
+// truncate on crash, and operators that point the loader at the wrong
+// file. The loaders therefore treat every field as hostile: counts are
+// bounded before any allocation sized by them, enum and flag bytes are
+// checked against their legal ranges, and every decode error names the
+// byte offset where the image went bad so a corrupt checkpoint can be
+// diagnosed with nothing but the error string and a hex dump.
+
+// maxPersistK bounds the sketch width accepted from an image. The
+// largest useful K is a few thousand (error shrinks as 1/√K); 2^20
+// registers per vertex (16 MiB) is far beyond any real configuration,
+// so anything bigger is treated as corruption rather than letting a
+// forged count drive per-vertex allocations to gigabytes.
+const maxPersistK = 1 << 20
+
+// binReader decodes little-endian binary images while tracking the
+// offset of the next unread byte, counted from where decoding started
+// (for a container format such as the sharded image, that is the start
+// of the *container*, so offsets in errors locate the fault within the
+// whole file).
+type binReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+// newBinReader wraps r. An existing *bufio.Reader is used as-is:
+// wrapping again would read ahead past the current image and corrupt
+// any data that follows it in the same stream (the sharded formats
+// concatenate several store images back to back).
+func newBinReader(r io.Reader) *binReader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &binReader{br: br}
+}
+
+// fail wraps err with the field being decoded and the image offset
+// where its bytes ended. io.EOF is folded into ErrUnexpectedEOF first:
+// inside a structured image a clean EOF still means truncation.
+func (b *binReader) fail(what string, err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("core: load %s at image byte %d: %w", what, b.off, err)
+}
+
+// corrupt reports a structurally invalid field at the current offset.
+func (b *binReader) corrupt(format string, args ...interface{}) error {
+	return fmt.Errorf("core: corrupt image at byte %d: %s", b.off, fmt.Sprintf(format, args...))
+}
+
+func (b *binReader) read(p []byte) error {
+	n, err := io.ReadFull(b.br, p)
+	b.off += int64(n)
+	return err
+}
+
+func (b *binReader) u32() (uint32, error) {
+	var buf [4]byte
+	if err := b.read(buf[:]); err != nil {
+		return 0, err
+	}
+	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24, nil
+}
+
+func (b *binReader) u64() (uint64, error) {
+	var buf [8]byte
+	if err := b.read(buf[:]); err != nil {
+		return 0, err
+	}
+	return uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 | uint64(buf[3])<<24 |
+		uint64(buf[4])<<32 | uint64(buf[5])<<40 | uint64(buf[6])<<48 | uint64(buf[7])<<56, nil
+}
+
+// magic consumes and checks a 4-byte magic string.
+func (b *binReader) magic(want string) error {
+	var m [4]byte
+	if err := b.read(m[:]); err != nil {
+		return b.fail("magic", err)
+	}
+	if string(m[:]) != want {
+		return b.corrupt("bad magic %q, want %q", m, want)
+	}
+	return nil
+}
+
+// version consumes a u32 version field and checks it.
+func (b *binReader) version(want uint32) error {
+	v, err := b.u32()
+	if err != nil {
+		return b.fail("version", err)
+	}
+	if v != want {
+		return b.corrupt("unsupported version %d (supported: %d)", v, want)
+	}
+	return nil
+}
+
+// sketchK consumes a u32 sketch width and bounds it.
+func (b *binReader) sketchK() (int, error) {
+	k, err := b.u32()
+	if err != nil {
+		return 0, b.fail("K", err)
+	}
+	if k == 0 || k > maxPersistK {
+		return 0, b.corrupt("impossible sketch width K=%d (max %d)", k, maxPersistK)
+	}
+	return int(k), nil
+}
+
+// boolByte validates a flag byte that must be exactly 0 or 1.
+func (b *binReader) boolByte(what string, v byte) (bool, error) {
+	if v > 1 {
+		return false, b.corrupt("%s flag byte %#x, want 0 or 1", what, v)
+	}
+	return v == 1, nil
+}
+
+// hashKind validates a hash-family enum byte.
+func (b *binReader) hashKind(v byte) (hashing.Kind, error) {
+	k := hashing.Kind(v)
+	if k < hashing.KindMixed || k > hashing.KindTabulation {
+		return 0, b.corrupt("unknown hash family %d", v)
+	}
+	return k, nil
+}
+
+// degreeMode validates a degree-mode enum byte.
+func (b *binReader) degreeMode(v byte) (DegreeMode, error) {
+	m := DegreeMode(v)
+	if m < DegreeArrivals || m > DegreeDistinctKMV {
+		return 0, b.corrupt("unknown degree mode %d", v)
+	}
+	return m, nil
+}

@@ -50,30 +50,31 @@ func (s *Sharded) Save(w io.Writer) error {
 
 // LoadSharded restores a store saved by (*Sharded).Save. The restored
 // store answers every query identically and accepts further ingest.
+// Corrupt images are rejected with errors naming the byte offset of
+// the fault (offsets count from the start of the sharded image, across
+// the concatenated shard images).
 func LoadSharded(r io.Reader) (*Sharded, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("core: load sharded magic: %v", err)
+	rd := newBinReader(r)
+	if err := rd.magic(shardedMagic); err != nil {
+		return nil, err
 	}
-	if string(magic[:]) != shardedMagic {
-		return nil, fmt.Errorf("core: bad sharded magic %q, want %q", magic, shardedMagic)
+	if err := rd.version(shardedVersion); err != nil {
+		return nil, err
 	}
-	var hdr [16]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("core: load sharded header: %v", err)
+	nShards, err := rd.u32()
+	if err != nil {
+		return nil, rd.fail("shard count", err)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != shardedVersion {
-		return nil, fmt.Errorf("core: unsupported sharded version %d", v)
-	}
-	nShards := binary.LittleEndian.Uint32(hdr[4:8])
 	if nShards == 0 || nShards > 1<<16 {
-		return nil, fmt.Errorf("core: implausible shard count %d", nShards)
+		return nil, rd.corrupt("implausible shard count %d", nShards)
 	}
-	edges := binary.LittleEndian.Uint64(hdr[8:16])
+	edges, err := rd.u64()
+	if err != nil {
+		return nil, rd.fail("edge count", err)
+	}
 	shards := make([]*SketchStore, nShards)
 	for i := range shards {
-		store, err := LoadSketchStore(br)
+		store, err := loadSketchStore(rd)
 		if err != nil {
 			return nil, fmt.Errorf("core: load shard %d: %w", i, err)
 		}

@@ -49,35 +49,40 @@ func (s *Windowed) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadWindowed restores a store saved by (*Windowed).Save.
+// LoadWindowed restores a store saved by (*Windowed).Save. Corrupt
+// images are rejected with errors naming the byte offset of the fault.
 func LoadWindowed(r io.Reader) (*Windowed, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("core: load windowed magic: %v", err)
-	}
-	if string(magic[:]) != windowedMagic {
-		return nil, fmt.Errorf("core: bad windowed magic %q, want %q", magic, windowedMagic)
+	rd := newBinReader(r)
+	if err := rd.magic(windowedMagic); err != nil {
+		return nil, err
 	}
 	var hdr [44]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("core: load windowed header: %v", err)
+	if err := rd.read(hdr[:]); err != nil {
+		return nil, rd.fail("windowed header", err)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != windowedVersion {
-		return nil, fmt.Errorf("core: unsupported windowed version %d", v)
+		return nil, rd.corrupt("unsupported windowed version %d (supported: %d)", v, windowedVersion)
 	}
 	span := int64(binary.LittleEndian.Uint64(hdr[4:12]))
 	nGens := binary.LittleEndian.Uint32(hdr[12:16])
 	if span < 1 || nGens < 2 || nGens > 1<<16 {
-		return nil, fmt.Errorf("core: implausible windowed geometry: span %d, %d generations", span, nGens)
+		return nil, rd.corrupt("implausible windowed geometry: span %d, %d generations", span, nGens)
 	}
 	cur := binary.LittleEndian.Uint32(hdr[16:20])
 	if cur >= nGens {
-		return nil, fmt.Errorf("core: generation cursor %d out of range [0, %d)", cur, nGens)
+		return nil, rd.corrupt("generation cursor %d out of range [0, %d)", cur, nGens)
 	}
+	rotation := int64(binary.LittleEndian.Uint64(hdr[28:36]))
+	if rotation < 0 {
+		return nil, rd.corrupt("negative rotation count %d", rotation)
+	}
+	if hdr[36] > 1 {
+		return nil, rd.corrupt("started flag byte %#x, want 0 or 1", hdr[36])
+	}
+	started := hdr[36] == 1
 	gens := make([]*SketchStore, nGens)
 	for i := range gens {
-		store, err := LoadSketchStore(br)
+		store, err := loadSketchStore(rd)
 		if err != nil {
 			return nil, fmt.Errorf("core: load generation %d: %w", i, err)
 		}
@@ -92,7 +97,7 @@ func LoadWindowed(r io.Reader) (*Windowed, error) {
 		gens:     gens,
 		cur:      int(cur),
 		curEnd:   int64(binary.LittleEndian.Uint64(hdr[20:28])),
-		rotation: int64(binary.LittleEndian.Uint64(hdr[28:36])),
-		started:  hdr[36] == 1,
+		rotation: rotation,
+		started:  started,
 	}, nil
 }

@@ -45,6 +45,7 @@ import (
 	"linkpred/internal/candidates"
 	"linkpred/internal/monitor"
 	"linkpred/internal/stream"
+	"linkpred/internal/wal"
 )
 
 // Options configures the optional hardening knobs of a Server. The zero
@@ -63,6 +64,20 @@ type Options struct {
 	// query vertex's recent neighbors and frequent stream vertices
 	// instead. Without a tracker, /topk without candidates is 400.
 	Candidates *candidates.Tracker
+	// Durability, when non-nil, routes every /ingest batch through the
+	// write-ahead log before it is applied: a batch is acknowledged only
+	// once the log has it under the configured fsync policy, and a WAL
+	// append failure aborts the request with 503 (the durable prefix is
+	// reported, nothing beyond it was applied). /metrics gains a "wal"
+	// section and /healthz degrades — still 200, with a reason — when
+	// the last fsync or checkpoint failed. Note that POST /restore swaps
+	// the predictor the checkpointer snapshots, so the next checkpoint
+	// captures the restored state and the log continues from there.
+	Durability *wal.Durable
+	// Recovery, when non-nil, is the boot-time recovery summary (which
+	// snapshot seeded the store, how much WAL tail was replayed),
+	// reported under "recovery" in /metrics.
+	Recovery *wal.RecoverResult
 }
 
 // Server is the HTTP facade over a concurrent predictor.
@@ -198,28 +213,64 @@ func uploadStatus(err error, body *cappedBody) int {
 	return http.StatusBadRequest
 }
 
+// ingestBatchSize is the edge count per /ingest apply batch: large
+// enough to amortize hashing and shard locking (and, with Durability,
+// one WAL record and fsync per batch), small enough that the durable
+// prefix reported after a mid-request failure is fine-grained.
+const ingestBatchSize = 4096
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer r.Body.Close()
 	body := s.limitBody(w, r)
 	pred := s.predictor()
 	reader := stream.NewTextReader(r.Body)
 	n := 0
-	err := stream.ForEach(reader, func(e stream.Edge) error {
-		pred.ObserveEdge(linkpred.Edge{U: e.U, V: e.V, T: e.T})
+	buf := make([]linkpred.Edge, 0, ingestBatchSize)
+	apply := func(batch []stream.Edge) {
+		buf = buf[:0]
+		for _, e := range batch {
+			buf = append(buf, linkpred.Edge{U: e.U, V: e.V, T: e.T})
+		}
+		pred.ObserveEdges(buf)
 		if s.opts.Monitor != nil {
 			s.monMu.Lock()
-			s.opts.Monitor.ProcessEdge(e)
+			for _, e := range batch {
+				s.opts.Monitor.ProcessEdge(e)
+			}
 			s.monMu.Unlock()
 		}
 		if s.opts.Candidates != nil {
 			s.candMu.Lock()
-			s.opts.Candidates.ProcessEdge(e)
+			for _, e := range batch {
+				s.opts.Candidates.ProcessEdge(e)
+			}
 			s.candMu.Unlock()
 		}
-		n++
+	}
+	var walErr error
+	err := stream.ForEachBatch(reader, ingestBatchSize, func(batch []stream.Edge) error {
+		if s.opts.Durability != nil {
+			if werr := s.opts.Durability.Ingest(batch, apply); werr != nil {
+				walErr = werr
+				return werr
+			}
+		} else {
+			apply(batch)
+		}
+		n += len(batch)
 		return nil
 	})
 	s.metrics.edgesIngested.Add(int64(n))
+	if walErr != nil {
+		// The log refused the batch, so it was not applied: everything
+		// up to n is durable, nothing beyond it exists. 503 — durability
+		// is down, the client may retry the tail.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":    walErr.Error(),
+			"ingested": n,
+		})
+		return
+	}
 	if err != nil {
 		// Report how much was ingested before the malformed line: the
 		// sketch has no rollback (and needs none — ingest is idempotent
@@ -461,6 +512,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"mean_degree":       rep.MeanDegree,
 		}
 	}
+	if s.opts.Durability != nil {
+		ds := s.opts.Durability.Stats()
+		snap["wal"] = map[string]any{
+			"appends":             ds.WAL.Appends,
+			"records":             ds.WAL.Records,
+			"edges":               ds.WAL.Edges,
+			"bytes":               ds.WAL.Bytes,
+			"fsyncs":              ds.WAL.Fsyncs,
+			"fsync_errors":        ds.WAL.FsyncErrs,
+			"rotations":           ds.WAL.Rotations,
+			"segments":            ds.WAL.Segments,
+			"last_seq":            ds.WAL.LastSeq,
+			"checkpoints":         ds.Checkpoints,
+			"checkpoint_errors":   ds.CheckpointErrors,
+			"last_checkpoint_seq": ds.LastCheckpointSeq,
+		}
+	}
+	if s.opts.Recovery != nil {
+		rec := s.opts.Recovery
+		snap["recovery"] = map[string]any{
+			"snapshot_loaded":   rec.SnapshotLoaded,
+			"snapshot_seq":      rec.SnapshotSeq,
+			"skipped_snapshots": len(rec.SkippedSnapshots),
+			"replayed_records":  rec.Replay.Records,
+			"replayed_edges":    rec.Replay.Edges,
+			"truncated_bytes":   rec.Replay.TruncatedBytes,
+			"last_seq":          rec.LastSeq(),
+		}
+	}
 	if r.URL.Query().Get("format") == "expvar" {
 		flat := make(map[string]any)
 		flatten("", snap, flat)
@@ -472,12 +552,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	pred := s.predictor()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
 		"vertices":       pred.NumVertices(),
 		"edges":          pred.NumEdges(),
-	})
+	}
+	// A broken durability pipeline degrades rather than fails the probe:
+	// the store still serves reads and accepts (non-durable) queries, so
+	// the process must not be restarted into a crash loop — but the
+	// operator needs to see why acknowledged writes stopped.
+	if s.opts.Durability != nil {
+		if ok, reason := s.opts.Durability.Healthy(); !ok {
+			resp["status"] = "degraded"
+			resp["reason"] = reason
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

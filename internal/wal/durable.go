@@ -1,0 +1,247 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"linkpred/internal/stream"
+)
+
+// Durable ties a WAL to a live store: every ingested batch is appended
+// to the log *before* it is applied, and checkpoints quiesce ingest so
+// each snapshot corresponds to an exact WAL sequence number.
+//
+// The locking discipline is the whole correctness argument. Ingest
+// holds the read side while it appends and applies, so any edge the
+// store has absorbed is also in the log. Checkpoint holds the write
+// side, so when it runs there is no in-flight batch: the store state
+// equals exactly the WAL prefix [1, LastSeq], which is the sequence
+// number the snapshot is stamped with. Concurrent ingests may append
+// and apply in different interleavings, but MinHash register updates
+// commute and degree counters are additive, so the quiesced state is
+// independent of that interleaving — identical to sequential ingest of
+// the log prefix.
+type Durable struct {
+	w    *WAL
+	fsys FS
+	dir  string
+	kind Kind
+
+	mu       sync.RWMutex // read: ingest; write: checkpoint quiesce
+	snapshot func(io.Writer) error
+
+	ckptMu      sync.Mutex
+	checkpoints int64
+	ckptErrs    int64
+	lastCkptSeq uint64
+	lastCkptErr error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewDurable wraps an open WAL. snapshot must write a complete store
+// image (it runs with ingest quiesced); kind tags appended records.
+// dir is where snapshots live — conventionally the WAL directory.
+func NewDurable(w *WAL, dir string, kind Kind, snapshot func(io.Writer) error) *Durable {
+	return &Durable{w: w, fsys: w.fsys, dir: dir, kind: kind, snapshot: snapshot}
+}
+
+// WAL returns the underlying log (for metrics).
+func (d *Durable) WAL() *WAL { return d.w }
+
+// Ingest logs edges and then applies them to the store via apply. The
+// batch is acknowledged (nil error) only after the WAL append
+// succeeded under the configured fsync policy; on append failure the
+// batch is *not* applied, keeping the store at the durable prefix.
+func (d *Durable) Ingest(edges []stream.Edge, apply func([]stream.Edge)) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if _, err := d.w.Append(d.kind, edges); err != nil {
+		return err
+	}
+	apply(edges)
+	return nil
+}
+
+// Checkpoint quiesces ingest, syncs the WAL, writes a snapshot stamped
+// with the current last sequence number, and prunes WAL segments and
+// older snapshots the new image covers. A checkpoint with no new edges
+// since the last one is a no-op.
+func (d *Durable) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.checkpointLocked()
+	d.ckptMu.Lock()
+	d.lastCkptErr = err
+	if err != nil {
+		d.ckptErrs++
+	}
+	d.ckptMu.Unlock()
+	return err
+}
+
+func (d *Durable) checkpointLocked() error {
+	if err := d.w.Sync(); err != nil {
+		return fmt.Errorf("checkpoint sync: %w", err)
+	}
+	seq := d.w.LastSeq()
+	d.ckptMu.Lock()
+	last := d.lastCkptSeq
+	d.ckptMu.Unlock()
+	if seq == last && d.checkpointsTaken() > 0 {
+		return nil
+	}
+	if err := WriteSnapshot(d.fsys, d.dir, seq, d.snapshot); err != nil {
+		return err
+	}
+	if _, err := d.w.Prune(seq); err != nil {
+		return err
+	}
+	if _, err := PruneSnapshots(d.fsys, d.dir, seq); err != nil {
+		return err
+	}
+	d.ckptMu.Lock()
+	d.checkpoints++
+	d.lastCkptSeq = seq
+	d.ckptMu.Unlock()
+	return nil
+}
+
+func (d *Durable) checkpointsTaken() int64 {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	return d.checkpoints
+}
+
+// StartCheckpointer begins periodic background checkpoints every
+// interval. Errors are recorded (Healthy reports them) and retried on
+// the next tick. Stop it with Close.
+func (d *Durable) StartCheckpointer(interval time.Duration) {
+	if d.stop != nil || interval <= 0 {
+		return
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go func() {
+		defer close(d.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+				d.Checkpoint() // outcome recorded for Healthy
+			}
+		}
+	}()
+}
+
+// Close stops the background checkpointer, takes a final checkpoint,
+// and closes the WAL. The returned error is the first failure; the log
+// is closed regardless.
+func (d *Durable) Close() error {
+	if d.stop != nil {
+		close(d.stop)
+		<-d.done
+		d.stop = nil
+	}
+	err := d.Checkpoint()
+	if cerr := d.w.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Healthy reports whether the durability pipeline is intact: the last
+// WAL fsync and the last checkpoint both succeeded. When not, reason
+// says which failed — the store still serves, but /healthz degrades.
+func (d *Durable) Healthy() (ok bool, reason string) {
+	if ok, reason = d.w.Healthy(); !ok {
+		return false, reason
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if d.lastCkptErr != nil {
+		return false, fmt.Sprintf("last checkpoint failed: %v", d.lastCkptErr)
+	}
+	return true, ""
+}
+
+// DurableStats is the /metrics view of the durability pipeline.
+type DurableStats struct {
+	WAL               Stats  `json:"wal"`
+	Checkpoints       int64  `json:"checkpoints"`
+	CheckpointErrors  int64  `json:"checkpoint_errors"`
+	LastCheckpointSeq uint64 `json:"last_checkpoint_seq"`
+}
+
+// Stats returns a snapshot of the WAL and checkpoint counters.
+func (d *Durable) Stats() DurableStats {
+	d.ckptMu.Lock()
+	s := DurableStats{
+		Checkpoints:       d.checkpoints,
+		CheckpointErrors:  d.ckptErrs,
+		LastCheckpointSeq: d.lastCkptSeq,
+	}
+	d.ckptMu.Unlock()
+	s.WAL = d.w.Stats()
+	return s
+}
+
+// RecoverResult describes what recovery found: which snapshot seeded
+// the store and how much WAL tail was replayed on top of it.
+type RecoverResult struct {
+	SnapshotSeq      uint64       `json:"snapshot_seq"`
+	SnapshotLoaded   bool         `json:"snapshot_loaded"`
+	SkippedSnapshots []string     `json:"skipped_snapshots,omitempty"`
+	Replay           ReplayResult `json:"replay"`
+}
+
+// LastSeq returns the sequence number of the last recovered edge.
+func (r RecoverResult) LastSeq() uint64 {
+	if r.Replay.LastSeq > r.SnapshotSeq {
+		return r.Replay.LastSeq
+	}
+	return r.SnapshotSeq
+}
+
+// Recover rebuilds store state from dir: it loads the newest snapshot
+// that passes its checksum (calling load with the image), then replays
+// the WAL tail after the snapshot's sequence number (calling apply per
+// record, in append order). Corrupt newest snapshots fall back to
+// older ones; a torn or corrupt WAL tail is truncated at replay, not
+// fatal. After Recover, open the log for appending with Open and
+// Options.NextSeq = result.LastSeq()+1.
+func Recover(fsys FS, dir string, load func(io.Reader) error, apply func(Record) error) (RecoverResult, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	var res RecoverResult
+	if err := fsys.MkdirAll(dir); err != nil {
+		return res, fmt.Errorf("wal: create dir %s: %w", dir, err)
+	}
+	seq, skipped, err := LoadNewestSnapshot(fsys, dir, load)
+	res.SkippedSnapshots = skipped
+	switch {
+	case err == nil:
+		res.SnapshotSeq = seq
+		res.SnapshotLoaded = true
+	case err == ErrNoSnapshot:
+		// First boot, or every snapshot was corrupt: replay from the
+		// beginning of the log.
+	default:
+		return res, err
+	}
+	res.Replay, err = Replay(fsys, dir, res.SnapshotSeq, apply)
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}

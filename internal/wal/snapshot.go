@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshots. A snapshot is a complete store image bound to a WAL
+// sequence number: "this store has applied exactly the edges with
+// seq ≤ S". Recovery loads the newest snapshot that passes its
+// whole-file checksum and replays the WAL from S.
+//
+// Byte layout (little-endian; crc is CRC32C):
+//
+//	snapshot = magic "LPSN" | version u32 | seq u64 | payload | crc u32
+//
+// payload is the store's own Save image (any of the persist formats).
+// The trailing crc covers every preceding byte, so a truncated or
+// bit-flipped snapshot is detected before the payload is handed to a
+// loader. Snapshots are written with WriteFileAtomic — temp file,
+// fsync, rename, fsync dir — so a crash mid-snapshot leaves the
+// previous snapshot intact, and a corrupt newest snapshot falls back
+// to the one before it.
+
+const (
+	snapMagic      = "LPSN"
+	snapVersion    = 1
+	snapHeaderSize = 16
+)
+
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq) }
+
+// parseSnapName extracts the sequence number from a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	hexa := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap")
+	if len(hexa) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hexa, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// crcWriter checksums everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// WriteSnapshot writes a snapshot at sequence number seq into dir,
+// calling save to produce the store image. The caller must ensure the
+// store state corresponds to exactly the WAL prefix seq (the Durable
+// wrapper quiesces ingest around this call).
+func WriteSnapshot(fsys FS, dir string, seq uint64, save func(io.Writer) error) error {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return fmt.Errorf("wal: create snapshot dir %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, snapName(seq))
+	return WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		cw := &crcWriter{w: w}
+		var hdr [snapHeaderSize]byte
+		copy(hdr[0:4], snapMagic)
+		binary.LittleEndian.PutUint32(hdr[4:8], snapVersion)
+		binary.LittleEndian.PutUint64(hdr[8:16], seq)
+		if _, err := cw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if err := save(cw); err != nil {
+			return err
+		}
+		var tail [4]byte
+		binary.LittleEndian.PutUint32(tail[:], cw.crc)
+		_, err := w.Write(tail[:])
+		return err
+	})
+}
+
+// ErrNoSnapshot is returned by LoadNewestSnapshot when dir holds no
+// valid snapshot — the normal first boot.
+var ErrNoSnapshot = errors.New("wal: no valid snapshot")
+
+// LoadNewestSnapshot finds the newest snapshot in dir that passes its
+// whole-file checksum and hands its payload to load. Corrupt or
+// truncated snapshots are skipped (newest first), not fatal: the
+// fallback chain ends at ErrNoSnapshot, which callers treat as "replay
+// the whole log". It returns the snapshot's sequence number and the
+// names of any corrupt snapshots it skipped.
+func LoadNewestSnapshot(fsys FS, dir string, load func(io.Reader) error) (seq uint64, skipped []string, err error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: list snapshots in %s: %w", dir, err)
+	}
+	type snap struct {
+		name string
+		seq  uint64
+	}
+	var snaps []snap
+	for _, name := range names {
+		if s, ok := parseSnapName(name); ok {
+			snaps = append(snaps, snap{name: name, seq: s})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq })
+	for _, sn := range snaps {
+		data, err := fsys.ReadFile(filepath.Join(dir, sn.name))
+		if err != nil {
+			skipped = append(skipped, sn.name)
+			continue
+		}
+		if !snapshotValid(data, sn.seq) {
+			skipped = append(skipped, sn.name)
+			continue
+		}
+		payload := data[snapHeaderSize : len(data)-4]
+		if err := load(bytes.NewReader(payload)); err != nil {
+			// The checksum held but the loader rejected the image (e.g. a
+			// version skew). That is a real error, not silent fallback —
+			// surfacing it beats quietly recovering an older store.
+			return 0, skipped, fmt.Errorf("wal: load snapshot %s: %w", sn.name, err)
+		}
+		return sn.seq, skipped, nil
+	}
+	return 0, skipped, ErrNoSnapshot
+}
+
+// snapshotValid checks a snapshot image's framing: magic, version, the
+// sequence number it was named with, and the trailing whole-file CRC.
+func snapshotValid(data []byte, wantSeq uint64) bool {
+	if len(data) < snapHeaderSize+4 {
+		return false
+	}
+	if string(data[0:4]) != snapMagic {
+		return false
+	}
+	if binary.LittleEndian.Uint32(data[4:8]) != snapVersion {
+		return false
+	}
+	if binary.LittleEndian.Uint64(data[8:16]) != wantSeq {
+		return false
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	return crc32.Checksum(body, castagnoli) == binary.LittleEndian.Uint32(tail)
+}
+
+// PruneSnapshots removes all snapshots older than keepSeq, keeping the
+// one at keepSeq itself. Called after a successful checkpoint so disk
+// use stays bounded at roughly one image plus the live WAL tail.
+func PruneSnapshots(fsys FS, dir string, keepSeq uint64) (int, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: list snapshots in %s: %w", dir, err)
+	}
+	removed := 0
+	for _, name := range names {
+		seq, ok := parseSnapName(name)
+		if !ok || seq >= keepSeq {
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+			return removed, fmt.Errorf("wal: prune snapshot %s: %w", name, err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := fsys.SyncDir(dir); err != nil {
+			return removed, fmt.Errorf("wal: fsync dir after snapshot prune: %w", err)
+		}
+	}
+	return removed, nil
+}
