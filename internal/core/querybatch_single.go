@@ -132,24 +132,20 @@ func (w *Windowed) mergedInto(u uint64, vals []uint64) (arrivals int64, ok bool)
 }
 
 // ScoreBatch scores every candidate against u over the current window,
-// writing scores into out aligned with candidates. Windowed prediction
-// supports QueryJaccard, QueryCommonNeighbors, and QueryAdamicAdar.
+// writing scores into out aligned with candidates. All six measures are
+// supported; scores are bit-identical to the corresponding per-pair
+// windowed estimators.
 //
 // This is the windowed path's biggest query win: the sequential
 // estimators re-merge the SOURCE's generations for every candidate, and
-// windowed Adamic–Adar re-merges every matched midpoint per pair
-// (O(gens·K) each). The batch path merges the source once, precomputes
-// the ≤ K midpoint weights once, and merges each candidate exactly once,
-// on GOMAXPROCS-bounded workers. Must not run concurrently with
-// ProcessEdge.
+// the windowed weighted measures re-merge every matched midpoint per
+// pair (O(gens·K) each). The batch path merges the source once,
+// precomputes the ≤ K midpoint weights once, and merges each candidate
+// exactly once, on GOMAXPROCS-bounded workers. Must not run concurrently
+// with ProcessEdge.
 func (w *Windowed) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out []float64) ([]float64, error) {
-	switch m {
-	case QueryJaccard, QueryCommonNeighbors, QueryAdamicAdar:
-	default:
-		if !m.valid() {
-			return nil, fmt.Errorf("core: unknown query measure %v", m)
-		}
-		return nil, fmt.Errorf("core: measure %v not supported for windowed prediction", m)
+	if !m.valid() {
+		return nil, fmt.Errorf("core: unknown query measure %v", m)
 	}
 	out = grow(out, len(candidates))
 	if len(candidates) == 0 {
@@ -166,15 +162,19 @@ func (w *Windowed) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out
 	if m != QueryJaccard {
 		du = kmvDistinct(&minHashSketch{vals: uv}, uarr)
 	}
-	if m == QueryAdamicAdar {
+	if m.weighted() {
 		sc.regWeight = grow(sc.regWeight, k)
 		for i, val := range uv {
 			if val == emptyRegister {
 				sc.regWeight[i] = 0
 				continue
 			}
-			d := math.Max(w.Degree(uids[i]), 2)
-			sc.regWeight[i] = 1 / math.Log(d)
+			if m == QueryAdamicAdar {
+				d := math.Max(w.Degree(uids[i]), 2)
+				sc.regWeight[i] = 1 / math.Log(d)
+			} else {
+				sc.regWeight[i] = 1 / math.Max(w.Degree(uids[i]), 2)
+			}
 		}
 	}
 
@@ -187,6 +187,10 @@ func (w *Windowed) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out
 				out[ci] = 0
 				continue
 			}
+			if m == QueryPreferentialAttachment {
+				out[ci] = du * kmvDistinct(&minHashSketch{vals: vals}, varr)
+				continue
+			}
 			matches := 0
 			var weightSum float64
 			for i, val := range uv {
@@ -194,7 +198,7 @@ func (w *Windowed) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out
 					continue
 				}
 				matches++
-				if m == QueryAdamicAdar {
+				if m.weighted() {
 					weightSum += sc.regWeight[i]
 				}
 			}
@@ -205,15 +209,22 @@ func (w *Windowed) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out
 			dv := kmvDistinct(&minHashSketch{vals: vals}, varr)
 			j := float64(matches) / kf
 			cn := j / (1 + j) * (du + dv)
-			if m == QueryCommonNeighbors {
+			switch m {
+			case QueryCommonNeighbors:
 				out[ci] = cn
-				continue
+			case QueryCosine:
+				if du == 0 || dv == 0 {
+					out[ci] = 0
+					continue
+				}
+				out[ci] = cn / math.Sqrt(du*dv)
+			default: // QueryAdamicAdar, QueryResourceAllocation
+				if matches == 0 {
+					out[ci] = 0
+					continue
+				}
+				out[ci] = cn * weightSum / float64(matches)
 			}
-			if matches == 0 {
-				out[ci] = 0
-				continue
-			}
-			out[ci] = cn * weightSum / float64(matches)
 		}
 	})
 	queryPool.Put(sc)

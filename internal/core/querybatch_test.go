@@ -193,33 +193,17 @@ func TestWindowedScoreBatchMatchesSequential(t *testing.T) {
 	for _, e := range edges {
 		w.ProcessEdge(e) // timestamps 0..1999 force rotations mid-stream
 	}
-	seq := func(m QueryMeasure, u, v uint64) float64 {
-		switch m {
-		case QueryJaccard:
-			return w.EstimateJaccard(u, v)
-		case QueryCommonNeighbors:
-			return w.EstimateCommonNeighbors(u, v)
-		case QueryAdamicAdar:
-			return w.EstimateAdamicAdar(u, v)
-		}
-		panic("unsupported")
-	}
 	for _, src := range []uint64{edges[len(edges)-1].U, 3, 999} {
-		for _, m := range []QueryMeasure{QueryJaccard, QueryCommonNeighbors, QueryAdamicAdar} {
+		for _, m := range allQueryMeasures {
 			got, err := w.ScoreBatch(m, src, cands, nil)
 			if err != nil {
 				t.Fatalf("ScoreBatch(%v): %v", m, err)
 			}
 			for i, v := range cands {
-				if want := seq(m, src, v); !sameFloat(got[i], want) {
+				if want := seqScore(w, m, src, v); !sameFloat(got[i], want) {
 					t.Fatalf("m=%v u=%d v=%d: batch=%v seq=%v", m, src, v, got[i], want)
 				}
 			}
-		}
-	}
-	for _, m := range []QueryMeasure{QueryResourceAllocation, QueryPreferentialAttachment, QueryCosine} {
-		if _, err := w.ScoreBatch(m, 1, cands, nil); err == nil {
-			t.Fatalf("want error for %v on windowed store", m)
 		}
 	}
 }

@@ -252,6 +252,42 @@ func (w *Windowed) EstimateAdamicAdar(u, v uint64) float64 {
 	return cn * weightSum / float64(len(matchedIDs))
 }
 
+// EstimateResourceAllocation estimates the resource-allocation index
+// over the window with the matched-register estimator, weighting
+// midpoints by 1/d(w) under the windowed (KMV distinct) degrees, clamped
+// at 2 as in the plain store.
+func (w *Windowed) EstimateResourceAllocation(u, v uint64) float64 {
+	var matchedIDs []uint64
+	j, du, dv, ok := w.pairStats(u, v, &matchedIDs)
+	if !ok || len(matchedIDs) == 0 {
+		return 0
+	}
+	weightSum := 0.0
+	for _, id := range matchedIDs {
+		weightSum += 1 / math.Max(w.Degree(id), 2)
+	}
+	cn := j / (1 + j) * (du + dv)
+	return cn * weightSum / float64(len(matchedIDs))
+}
+
+// EstimatePreferentialAttachment returns d(u)·d(v) under the windowed
+// degree estimates (always KMV distinct counts over the merged
+// generations).
+func (w *Windowed) EstimatePreferentialAttachment(u, v uint64) float64 {
+	return w.Degree(u) * w.Degree(v)
+}
+
+// EstimateCosine returns the estimated cosine (Salton) similarity
+// |N(u)∩N(v)| / sqrt(d(u)·d(v)) over the window. Pairs involving
+// vertices absent from every live generation score 0.
+func (w *Windowed) EstimateCosine(u, v uint64) float64 {
+	du, dv := w.Degree(u), w.Degree(v)
+	if du == 0 || dv == 0 {
+		return 0
+	}
+	return w.EstimateCommonNeighbors(u, v) / math.Sqrt(du*dv)
+}
+
 // pairStats merges both endpoints, returning the Jaccard estimate and
 // windowed degrees; matchedIDs (if non-nil) receives the argmin ids of
 // matching registers.

@@ -157,18 +157,13 @@ func TestWindowedTopKMatchesSequentialOracle(t *testing.T) {
 		e.T = int64(i) // advancing clock: queries span several generations
 		w.ObserveEdge(e)
 	}
-	for _, m := range []Measure{Jaccard, CommonNeighbors, AdamicAdar} {
+	for _, m := range AllMeasures {
 		got, err := w.TopK(m, u, cands, 7)
 		if err != nil {
 			t.Fatalf("TopK(%v): %v", m, err)
 		}
 		want := topKOracle(t, u, cands, 7, func(v uint64) (float64, error) { return w.Score(m, u, v) })
 		topKEqual(t, m.String(), got, want)
-	}
-	for _, m := range []Measure{ResourceAllocation, PreferentialAttachment, Cosine} {
-		if _, err := w.TopK(m, u, cands, 7); err == nil {
-			t.Fatalf("want error for %v on windowed predictor", m)
-		}
 	}
 }
 

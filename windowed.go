@@ -84,9 +84,24 @@ func (w *Windowed) CommonNeighbors(u, v uint64) float64 {
 // AdamicAdar returns the estimated Adamic–Adar index over the window.
 func (w *Windowed) AdamicAdar(u, v uint64) float64 { return w.store.EstimateAdamicAdar(u, v) }
 
+// ResourceAllocation returns the estimated resource-allocation index
+// over the window.
+func (w *Windowed) ResourceAllocation(u, v uint64) float64 {
+	return w.store.EstimateResourceAllocation(u, v)
+}
+
+// PreferentialAttachment returns the degree product d(u)·d(v) under the
+// windowed (distinct-count) degree estimates.
+func (w *Windowed) PreferentialAttachment(u, v uint64) float64 {
+	return w.store.EstimatePreferentialAttachment(u, v)
+}
+
+// Cosine returns the estimated cosine (Salton) similarity over the
+// window.
+func (w *Windowed) Cosine(u, v uint64) float64 { return w.store.EstimateCosine(u, v) }
+
 // Score returns the estimate of the given measure for (u, v) over the
-// window. Windowed prediction supports Jaccard, CommonNeighbors, and
-// AdamicAdar; the other measures return an error.
+// window. Every library measure is supported.
 func (w *Windowed) Score(m Measure, u, v uint64) (float64, error) {
 	switch m {
 	case Jaccard:
@@ -95,8 +110,12 @@ func (w *Windowed) Score(m Measure, u, v uint64) (float64, error) {
 		return w.store.EstimateCommonNeighbors(u, v), nil
 	case AdamicAdar:
 		return w.store.EstimateAdamicAdar(u, v), nil
-	case ResourceAllocation, PreferentialAttachment, Cosine:
-		return 0, fmt.Errorf("linkpred: measure %v not supported for windowed prediction", m)
+	case ResourceAllocation:
+		return w.store.EstimateResourceAllocation(u, v), nil
+	case PreferentialAttachment:
+		return w.store.EstimatePreferentialAttachment(u, v), nil
+	case Cosine:
+		return w.store.EstimateCosine(u, v), nil
 	default:
 		return 0, fmt.Errorf("linkpred: unknown measure %v", m)
 	}
