@@ -91,10 +91,27 @@ func (c *ConcurrentDirected) AdamicAdar(u, v uint64) float64 {
 	return c.store.EstimateAdamicAdar(u, v)
 }
 
+// ResourceAllocation returns the estimated directed resource-allocation
+// index of u → v (midpoints weighted by 1/d of their total degree).
+func (c *ConcurrentDirected) ResourceAllocation(u, v uint64) float64 {
+	return c.store.EstimateResourceAllocation(u, v)
+}
+
+// PreferentialAttachment returns the directed degree product
+// d_out(u)·d_in(v).
+func (c *ConcurrentDirected) PreferentialAttachment(u, v uint64) float64 {
+	return c.store.EstimatePreferentialAttachment(u, v)
+}
+
+// Cosine returns the estimated directed cosine similarity of u → v.
+func (c *ConcurrentDirected) Cosine(u, v uint64) float64 {
+	return c.store.EstimateCosine(u, v)
+}
+
 // Score returns the estimate of the given measure for the candidate arc
-// u → v. Directed prediction supports Jaccard, CommonNeighbors, and
-// AdamicAdar; the degree-product and cosine measures are undefined on
-// the out/in split and return an error.
+// u → v. Every library measure is supported, under the directed reading:
+// common neighborhoods are N_out(u) ∩ N_in(v), and degree terms use
+// d_out(u) and d_in(v).
 func (c *ConcurrentDirected) Score(m Measure, u, v uint64) (float64, error) {
 	switch m {
 	case Jaccard:
@@ -103,8 +120,12 @@ func (c *ConcurrentDirected) Score(m Measure, u, v uint64) (float64, error) {
 		return c.store.EstimateCommonNeighbors(u, v), nil
 	case AdamicAdar:
 		return c.store.EstimateAdamicAdar(u, v), nil
-	case ResourceAllocation, PreferentialAttachment, Cosine:
-		return 0, fmt.Errorf("linkpred: measure %v not supported for directed prediction", m)
+	case ResourceAllocation:
+		return c.store.EstimateResourceAllocation(u, v), nil
+	case PreferentialAttachment:
+		return c.store.EstimatePreferentialAttachment(u, v), nil
+	case Cosine:
+		return c.store.EstimateCosine(u, v), nil
 	default:
 		return 0, fmt.Errorf("linkpred: unknown measure %v", m)
 	}

@@ -75,6 +75,23 @@ func (d *Directed) CommonNeighbors(u, v uint64) float64 {
 // arc u → v, weighting midpoints by total (in+out) degree.
 func (d *Directed) AdamicAdar(u, v uint64) float64 { return d.store.EstimateAdamicAdar(u, v) }
 
+// ResourceAllocation returns the estimated directed resource-allocation
+// index of u → v (the Adamic–Adar construction with 1/d midpoint
+// weights).
+func (d *Directed) ResourceAllocation(u, v uint64) float64 {
+	return d.store.EstimateResourceAllocation(u, v)
+}
+
+// PreferentialAttachment returns the directed degree product
+// d_out(u)·d_in(v).
+func (d *Directed) PreferentialAttachment(u, v uint64) float64 {
+	return d.store.EstimatePreferentialAttachment(u, v)
+}
+
+// Cosine returns the estimated directed cosine similarity
+// |N_out(u) ∩ N_in(v)| / sqrt(d_out(u)·d_in(v)).
+func (d *Directed) Cosine(u, v uint64) float64 { return d.store.EstimateCosine(u, v) }
+
 // OutDegree returns the out-degree estimate of u.
 func (d *Directed) OutDegree(u uint64) float64 { return d.store.OutDegree(u) }
 

@@ -166,6 +166,22 @@ func (s *DirectedStore) EstimateCommonNeighbors(u, v uint64) float64 {
 // Σ_{w ∈ N_out(u) ∩ N_in(v)} 1/ln d(w), weighting midpoints by their
 // estimated total (in+out) degree.
 func (s *DirectedStore) EstimateAdamicAdar(u, v uint64) float64 {
+	return s.estimateWeightedArc(u, v, weightAdamicAdar)
+}
+
+// EstimateResourceAllocation returns the estimated directed
+// resource-allocation index Σ_{w ∈ N_out(u) ∩ N_in(v)} 1/d(w), the
+// Adamic–Adar construction with 1/d midpoint weights (total in+out
+// degree, clamped at 2 as everywhere else).
+func (s *DirectedStore) EstimateResourceAllocation(u, v uint64) float64 {
+	return s.estimateWeightedArc(u, v, weightResourceAllocation)
+}
+
+// estimateWeightedArc is the directed matched-register estimator for
+// Σ_{w ∈ N_out(u) ∩ N_in(v)} f(w): register matches between u's
+// out-sketch and v's in-sketch sample the directed midpoints, and f is
+// the 1/ln d or 1/d weight under the midpoint's total degree.
+func (s *DirectedStore) estimateWeightedArc(u, v uint64, weight neighborWeight) float64 {
 	su, sv := s.vertices[u], s.vertices[v]
 	if su == nil || sv == nil {
 		return 0
@@ -179,7 +195,11 @@ func (s *DirectedStore) EstimateAdamicAdar(u, v uint64) float64 {
 		matched++
 		w := su.out.ids[i]
 		d := math.Max(s.OutDegree(w)+s.InDegree(w), 2)
-		weightSum += 1 / math.Log(d)
+		if weight == weightAdamicAdar {
+			weightSum += 1 / math.Log(d)
+		} else {
+			weightSum += 1 / d
+		}
 	}
 	if matched == 0 {
 		return 0
@@ -187,6 +207,31 @@ func (s *DirectedStore) EstimateAdamicAdar(u, v uint64) float64 {
 	j := float64(matched) / float64(s.cfg.K)
 	cn := j / (1 + j) * (s.sideDegree(su.out, su.outArr) + s.sideDegree(sv.in, sv.inArr))
 	return cn * weightSum / float64(matched)
+}
+
+// EstimatePreferentialAttachment returns the directed degree product
+// d_out(u)·d_in(v) — the propensity of u to emit arcs times the
+// propensity of v to receive them.
+func (s *DirectedStore) EstimatePreferentialAttachment(u, v uint64) float64 {
+	return s.OutDegree(u) * s.InDegree(v)
+}
+
+// EstimateCosine returns the estimated directed cosine similarity
+// |N_out(u) ∩ N_in(v)| / sqrt(d_out(u)·d_in(v)). Pairs with an unknown
+// endpoint or a zero side-degree score 0.
+func (s *DirectedStore) EstimateCosine(u, v uint64) float64 {
+	su, sv := s.vertices[u], s.vertices[v]
+	if su == nil || sv == nil {
+		return 0
+	}
+	dOut := s.sideDegree(su.out, su.outArr)
+	dIn := s.sideDegree(sv.in, sv.inArr)
+	if dOut == 0 || dIn == 0 {
+		return 0
+	}
+	j := float64(su.out.matches(sv.in)) / float64(s.cfg.K)
+	cn := j / (1 + j) * (dOut + dIn)
+	return cn / math.Sqrt(dOut*dIn)
 }
 
 // dirVertexOverhead is the rough per-vertex bookkeeping charge (map

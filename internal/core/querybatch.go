@@ -362,20 +362,15 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 }
 
 // ScoreBatch scores every candidate arc u → candidate under measure m,
-// writing scores into out aligned with candidates. Directed prediction
-// supports QueryJaccard, QueryCommonNeighbors, and QueryAdamicAdar; the
-// other measures return an error. Semantics otherwise mirror
+// writing scores into out aligned with candidates. All six measures are
+// supported, under the directed reading (out-side of the source against
+// the in-side of each candidate). Semantics otherwise mirror
 // Sharded.ScoreBatch: one RLock pins the source's out-sketch, one RLock
 // per shard per batch copies the candidates' in-sketch views, and
 // workers score chunks against the pinned snapshot.
 func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out []float64) ([]float64, error) {
-	switch m {
-	case QueryJaccard, QueryCommonNeighbors, QueryAdamicAdar:
-	default:
-		if !m.valid() {
-			return nil, fmt.Errorf("core: unknown query measure %v", m)
-		}
-		return nil, fmt.Errorf("core: measure %v not supported for directed prediction", m)
+	if !m.valid() {
+		return nil, fmt.Errorf("core: unknown query measure %v", m)
 	}
 	out = grow(out, len(candidates))
 	if len(candidates) == 0 {
@@ -405,9 +400,10 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 		return out, nil
 	}
 
-	// Stage 2: Adamic–Adar midpoint weights from the pinned argmin ids,
-	// using total (out+in) degree exactly like the sequential estimator.
-	if m == QueryAdamicAdar {
+	// Stage 2: weighted-measure midpoint weights from the pinned argmin
+	// ids, using total (out+in) degree exactly like the sequential
+	// estimators.
+	if m.weighted() {
 		sc.regWeight = grow(sc.regWeight, k)
 		for i := 0; i < k; i++ {
 			if sc.srcVals[i] == emptyRegister {
@@ -418,7 +414,11 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 			if d < 2 {
 				d = 2
 			}
-			sc.regWeight[i] = 1 / math.Log(d)
+			if m == QueryAdamicAdar {
+				sc.regWeight[i] = 1 / math.Log(d)
+			} else {
+				sc.regWeight[i] = 1 / d
+			}
 		}
 	}
 
@@ -457,6 +457,19 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 				continue
 			}
 			regs := sc.regs[c*k : (c+1)*k]
+			// Candidate in-degree, replicating sideDegree on the snapshot.
+			var dIn float64
+			if m != QueryJaccard && sc.arrs[c] != 0 {
+				if cfg.Degrees == DegreeArrivals {
+					dIn = float64(sc.arrs[c])
+				} else {
+					dIn = kmvDistinct(&minHashSketch{vals: regs}, sc.arrs[c])
+				}
+			}
+			if m == QueryPreferentialAttachment {
+				sc.scores[c] = srcDeg * dIn
+				continue
+			}
 			matches := 0
 			var weightSum float64
 			for i, val := range sc.srcVals {
@@ -464,7 +477,7 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 					continue
 				}
 				matches++
-				if m == QueryAdamicAdar {
+				if m.weighted() {
 					weightSum += sc.regWeight[i]
 				}
 			}
@@ -472,26 +485,24 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 				sc.scores[c] = float64(matches) / kf
 				continue
 			}
-			// Candidate in-degree, replicating sideDegree on the snapshot.
-			var dIn float64
-			if sc.arrs[c] != 0 {
-				if cfg.Degrees == DegreeArrivals {
-					dIn = float64(sc.arrs[c])
-				} else {
-					dIn = kmvDistinct(&minHashSketch{vals: regs}, sc.arrs[c])
-				}
-			}
 			j := float64(matches) / kf
 			cn := j / (1 + j) * (srcDeg + dIn)
-			if m == QueryCommonNeighbors {
+			switch m {
+			case QueryCommonNeighbors:
 				sc.scores[c] = cn
-				continue
+			case QueryCosine:
+				if srcDeg == 0 || dIn == 0 {
+					sc.scores[c] = 0
+					continue
+				}
+				sc.scores[c] = cn / math.Sqrt(srcDeg*dIn)
+			default: // QueryAdamicAdar, QueryResourceAllocation
+				if matches == 0 {
+					sc.scores[c] = 0
+					continue
+				}
+				sc.scores[c] = cn * weightSum / float64(matches)
 			}
-			if matches == 0 {
-				sc.scores[c] = 0
-				continue
-			}
-			sc.scores[c] = cn * weightSum / float64(matches)
 		}
 	})
 

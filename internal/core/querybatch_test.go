@@ -124,34 +124,18 @@ func TestShardedDirectedScoreBatchMatchesSequential(t *testing.T) {
 		for _, e := range edges {
 			s.ProcessArc(e)
 		}
-		seq := func(m QueryMeasure, u, v uint64) float64 {
-			switch m {
-			case QueryJaccard:
-				return s.EstimateJaccard(u, v)
-			case QueryCommonNeighbors:
-				return s.EstimateCommonNeighbors(u, v)
-			case QueryAdamicAdar:
-				return s.EstimateAdamicAdar(u, v)
-			}
-			panic("unsupported")
-		}
 		for _, src := range []uint64{edges[0].U, 3, 999} {
-			for _, m := range []QueryMeasure{QueryJaccard, QueryCommonNeighbors, QueryAdamicAdar} {
+			for _, m := range allQueryMeasures {
 				got, err := s.ScoreBatch(m, src, cands, nil)
 				if err != nil {
 					t.Fatalf("degrees=%v ScoreBatch(%v): %v", degrees, m, err)
 				}
 				for i, v := range cands {
-					if want := seq(m, src, v); !sameFloat(got[i], want) {
+					if want := seqScore(s, m, src, v); !sameFloat(got[i], want) {
 						t.Fatalf("degrees=%v m=%v u=%d v=%d: batch=%v seq=%v",
 							degrees, m, src, v, got[i], want)
 					}
 				}
-			}
-		}
-		for _, m := range []QueryMeasure{QueryResourceAllocation, QueryPreferentialAttachment, QueryCosine} {
-			if _, err := s.ScoreBatch(m, 1, cands, nil); err == nil {
-				t.Fatalf("want error for %v on directed store", m)
 			}
 		}
 	}

@@ -190,6 +190,17 @@ func (s *ShardedDirected) EstimateCommonNeighbors(u, v uint64) float64 {
 // Safe for concurrent use; midpoint degrees are read one shard at a time
 // after the pair locks are released (see Sharded for the discipline).
 func (s *ShardedDirected) EstimateAdamicAdar(u, v uint64) float64 {
+	return s.estimateWeighted(u, v, weightAdamicAdar)
+}
+
+// EstimateResourceAllocation estimates the directed resource-allocation
+// index of u → v (Adamic–Adar with 1/d midpoint weights). Safe for
+// concurrent use.
+func (s *ShardedDirected) EstimateResourceAllocation(u, v uint64) float64 {
+	return s.estimateWeighted(u, v, weightResourceAllocation)
+}
+
+func (s *ShardedDirected) estimateWeighted(u, v uint64, weight neighborWeight) float64 {
 	bufp := matchedIDPool.Get().(*[]uint64)
 	matches, dOut, dIn, known, ids := s.pairSnapshot(u, v, true, (*bufp)[:0])
 	*bufp = ids[:0] // keep any growth for the next query
@@ -203,12 +214,38 @@ func (s *ShardedDirected) EstimateAdamicAdar(u, v uint64) float64 {
 		if d < 2 {
 			d = 2
 		}
-		weightSum += 1 / math.Log(d)
+		if weight == weightAdamicAdar {
+			weightSum += 1 / math.Log(d)
+		} else {
+			weightSum += 1 / d
+		}
 	}
 	matchedIDPool.Put(bufp)
 	j := float64(matches) / float64(s.Config().K)
 	cn := j / (1 + j) * (dOut + dIn)
 	return cn * weightSum / float64(matches)
+}
+
+// EstimatePreferentialAttachment returns the directed degree product
+// d_out(u)·d_in(v). Safe for concurrent use; the two side degrees are
+// read one shard at a time (the same timing caveat as the weighted
+// estimators applies under concurrent writes).
+func (s *ShardedDirected) EstimatePreferentialAttachment(u, v uint64) float64 {
+	return s.OutDegree(u) * s.InDegree(v)
+}
+
+// EstimateCosine returns the estimated directed cosine similarity
+// |N_out(u) ∩ N_in(v)| / sqrt(d_out(u)·d_in(v)). Safe for concurrent
+// use: matches and both side degrees come from a single pairSnapshot, so
+// the estimate is internally consistent even under concurrent writes.
+func (s *ShardedDirected) EstimateCosine(u, v uint64) float64 {
+	matches, dOut, dIn, known, _ := s.pairSnapshot(u, v, false, nil)
+	if !known || dOut == 0 || dIn == 0 {
+		return 0
+	}
+	j := float64(matches) / float64(s.Config().K)
+	cn := j / (1 + j) * (dOut + dIn)
+	return cn / math.Sqrt(dOut*dIn)
 }
 
 // OutDegree returns the out-degree estimate of u. Safe for concurrent

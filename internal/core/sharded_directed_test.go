@@ -61,6 +61,15 @@ func TestShardedDirectedMatchesUnsharded(t *testing.T) {
 			if a, b := sharded.EstimateAdamicAdar(u, v), plain.EstimateAdamicAdar(u, v); math.Abs(a-b) > 1e-12 {
 				t.Fatalf("shards=%d: AA(%d→%d) %v != %v", nShards, u, v, a, b)
 			}
+			if a, b := sharded.EstimateResourceAllocation(u, v), plain.EstimateResourceAllocation(u, v); math.Abs(a-b) > 1e-12 {
+				t.Fatalf("shards=%d: RA(%d→%d) %v != %v", nShards, u, v, a, b)
+			}
+			if a, b := sharded.EstimatePreferentialAttachment(u, v), plain.EstimatePreferentialAttachment(u, v); a != b {
+				t.Fatalf("shards=%d: PA(%d→%d) %v != %v", nShards, u, v, a, b)
+			}
+			if a, b := sharded.EstimateCosine(u, v), plain.EstimateCosine(u, v); a != b {
+				t.Fatalf("shards=%d: cosine(%d→%d) %v != %v", nShards, u, v, a, b)
+			}
 			if sharded.OutDegree(u) != plain.OutDegree(u) || sharded.InDegree(u) != plain.InDegree(u) {
 				t.Fatalf("shards=%d: degrees diverge at %d", nShards, u)
 			}

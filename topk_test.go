@@ -129,21 +129,13 @@ func TestConcurrentDirectedTopKMatchesSequentialOracle(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.ObserveEdges(edges)
-	for _, m := range []Measure{Jaccard, CommonNeighbors, AdamicAdar} {
+	for _, m := range AllMeasures {
 		got, err := c.TopK(m, u, cands, 7)
 		if err != nil {
 			t.Fatalf("TopK(%v): %v", m, err)
 		}
 		want := topKOracle(t, u, cands, 7, func(v uint64) (float64, error) { return c.Score(m, u, v) })
 		topKEqual(t, m.String(), got, want)
-	}
-	for _, m := range []Measure{ResourceAllocation, PreferentialAttachment, Cosine} {
-		if _, err := c.TopK(m, u, cands, 7); err == nil {
-			t.Fatalf("want error for %v on directed predictor", m)
-		}
-		if _, err := c.ScoreBatch(m, u, cands); err == nil {
-			t.Fatalf("want ScoreBatch error for %v on directed predictor", m)
-		}
 	}
 }
 
