@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"linkpred/internal/hashing"
 	"linkpred/internal/stream"
@@ -139,34 +138,63 @@ func (s *DirectedStore) sideDegree(sk *minHashSketch, arrivals int64) float64 {
 	return kmvDistinct(sk, arrivals)
 }
 
+// pairQuery is the directed side of the measure kernel (see
+// measure_kernel.go): register matches between u's out-sketch and v's
+// in-sketch, the two side degrees d_out(u) and d_in(v), and optionally
+// the matched argmin ids (the sampled two-path midpoints).
+func (s *DirectedStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches int, du, dv float64, known bool, ids []uint64) {
+	su, sv := s.vertices[u], s.vertices[v]
+	if su == nil || sv == nil {
+		return 0, 0, 0, false, idBuf
+	}
+	ids = idBuf
+	for i, val := range su.out.vals {
+		if val == emptyRegister || val != sv.in.vals[i] {
+			continue
+		}
+		matches++
+		if collect {
+			ids = append(ids, su.out.ids[i])
+		}
+	}
+	return matches, s.sideDegree(su.out, su.outArr), s.sideDegree(sv.in, sv.inArr), true, ids
+}
+
+// midpointDegree weights directed midpoints by their estimated total
+// (in+out) degree (measure kernel hook).
+func (s *DirectedStore) midpointDegree(w uint64) float64 {
+	return s.OutDegree(w) + s.InDegree(w)
+}
+
+// Estimate returns the estimate of any query measure for the candidate
+// arc u → v. Note the asymmetry: Estimate(m, u, v) scores u → v, not
+// v → u.
+func (s *DirectedStore) Estimate(m QueryMeasure, u, v uint64) (float64, error) {
+	return estimatePair(s, m, u, v)
+}
+
 // EstimateJaccard returns the MinHash estimate of
 // |N_out(u) ∩ N_in(v)| / |N_out(u) ∪ N_in(v)| for the candidate arc
 // u → v. Note the asymmetry: EstimateJaccard(u, v) scores u → v, not
 // v → u.
 func (s *DirectedStore) EstimateJaccard(u, v uint64) float64 {
-	su, sv := s.vertices[u], s.vertices[v]
-	if su == nil || sv == nil {
-		return 0
-	}
-	return float64(su.out.matches(sv.in)) / float64(s.cfg.K)
+	f, _ := estimatePair(s, QueryJaccard, u, v)
+	return f
 }
 
 // EstimateCommonNeighbors returns the estimated number of directed
 // two-path midpoints |{w : u → w → v}|.
 func (s *DirectedStore) EstimateCommonNeighbors(u, v uint64) float64 {
-	su, sv := s.vertices[u], s.vertices[v]
-	if su == nil || sv == nil {
-		return 0
-	}
-	j := float64(su.out.matches(sv.in)) / float64(s.cfg.K)
-	return j / (1 + j) * (s.sideDegree(su.out, su.outArr) + s.sideDegree(sv.in, sv.inArr))
+	f, _ := estimatePair(s, QueryCommonNeighbors, u, v)
+	return f
 }
 
 // EstimateAdamicAdar returns the estimated directed Adamic–Adar index
 // Σ_{w ∈ N_out(u) ∩ N_in(v)} 1/ln d(w), weighting midpoints by their
 // estimated total (in+out) degree.
 func (s *DirectedStore) EstimateAdamicAdar(u, v uint64) float64 {
-	return s.estimateWeightedArc(u, v, weightAdamicAdar)
+	f, _ := estimatePair(s, QueryAdamicAdar, u, v)
+	return f
 }
 
 // EstimateResourceAllocation returns the estimated directed
@@ -174,64 +202,24 @@ func (s *DirectedStore) EstimateAdamicAdar(u, v uint64) float64 {
 // Adamic–Adar construction with 1/d midpoint weights (total in+out
 // degree, clamped at 2 as everywhere else).
 func (s *DirectedStore) EstimateResourceAllocation(u, v uint64) float64 {
-	return s.estimateWeightedArc(u, v, weightResourceAllocation)
-}
-
-// estimateWeightedArc is the directed matched-register estimator for
-// Σ_{w ∈ N_out(u) ∩ N_in(v)} f(w): register matches between u's
-// out-sketch and v's in-sketch sample the directed midpoints, and f is
-// the 1/ln d or 1/d weight under the midpoint's total degree.
-func (s *DirectedStore) estimateWeightedArc(u, v uint64, weight neighborWeight) float64 {
-	su, sv := s.vertices[u], s.vertices[v]
-	if su == nil || sv == nil {
-		return 0
-	}
-	var matched int
-	var weightSum float64
-	for i, val := range su.out.vals {
-		if val == emptyRegister || val != sv.in.vals[i] {
-			continue
-		}
-		matched++
-		w := su.out.ids[i]
-		d := math.Max(s.OutDegree(w)+s.InDegree(w), 2)
-		if weight == weightAdamicAdar {
-			weightSum += 1 / math.Log(d)
-		} else {
-			weightSum += 1 / d
-		}
-	}
-	if matched == 0 {
-		return 0
-	}
-	j := float64(matched) / float64(s.cfg.K)
-	cn := j / (1 + j) * (s.sideDegree(su.out, su.outArr) + s.sideDegree(sv.in, sv.inArr))
-	return cn * weightSum / float64(matched)
+	f, _ := estimatePair(s, QueryResourceAllocation, u, v)
+	return f
 }
 
 // EstimatePreferentialAttachment returns the directed degree product
 // d_out(u)·d_in(v) — the propensity of u to emit arcs times the
 // propensity of v to receive them.
 func (s *DirectedStore) EstimatePreferentialAttachment(u, v uint64) float64 {
-	return s.OutDegree(u) * s.InDegree(v)
+	f, _ := estimatePair(s, QueryPreferentialAttachment, u, v)
+	return f
 }
 
 // EstimateCosine returns the estimated directed cosine similarity
 // |N_out(u) ∩ N_in(v)| / sqrt(d_out(u)·d_in(v)). Pairs with an unknown
 // endpoint or a zero side-degree score 0.
 func (s *DirectedStore) EstimateCosine(u, v uint64) float64 {
-	su, sv := s.vertices[u], s.vertices[v]
-	if su == nil || sv == nil {
-		return 0
-	}
-	dOut := s.sideDegree(su.out, su.outArr)
-	dIn := s.sideDegree(sv.in, sv.inArr)
-	if dOut == 0 || dIn == 0 {
-		return 0
-	}
-	j := float64(su.out.matches(sv.in)) / float64(s.cfg.K)
-	cn := j / (1 + j) * (dOut + dIn)
-	return cn / math.Sqrt(dOut*dIn)
+	f, _ := estimatePair(s, QueryCosine, u, v)
+	return f
 }
 
 // dirVertexOverhead is the rough per-vertex bookkeeping charge (map

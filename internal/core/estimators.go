@@ -7,28 +7,51 @@ import "math"
 // (a vertex never seen in the stream has an empty neighborhood, for
 // which every measure is 0).
 
+// pairQuery is SketchStore's side of the measure kernel (see
+// measure_kernel.go): matching registers between the two sketches, the
+// two degree estimates, and optionally the matched argmin ids.
+func (s *SketchStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches int, du, dv float64, known bool, ids []uint64) {
+	su, sv := s.vertices[u], s.vertices[v]
+	if su == nil || sv == nil {
+		return 0, 0, 0, false, idBuf
+	}
+	ids = idBuf
+	for i, val := range su.sketch.vals {
+		if val == emptyRegister || val != sv.sketch.vals[i] {
+			continue
+		}
+		matches++
+		if collect {
+			ids = append(ids, su.sketch.ids[i])
+		}
+	}
+	return matches, s.degree(su), s.degree(sv), true, ids
+}
+
+// midpointDegree is the degree estimate used to weight common-neighbor
+// midpoints (measure kernel hook).
+func (s *SketchStore) midpointDegree(w uint64) float64 { return s.Degree(w) }
+
+// Estimate returns the estimate of any query measure for (u, v).
+func (s *SketchStore) Estimate(m QueryMeasure, u, v uint64) (float64, error) {
+	return estimatePair(s, m, u, v)
+}
+
 // EstimateJaccard returns the MinHash estimate of the Jaccard coefficient
 // J(u, v) = |N(u)∩N(v)| / |N(u)∪N(v)|: the fraction of registers on
 // which the two sketches agree. The estimate is unbiased with
 // Var = J(1−J)/K; see theory.go for the (ε, δ) bound.
 func (s *SketchStore) EstimateJaccard(u, v uint64) float64 {
-	su, sv := s.vertices[u], s.vertices[v]
-	if su == nil || sv == nil {
-		return 0
-	}
-	return float64(su.sketch.matches(sv.sketch)) / float64(s.cfg.K)
+	f, _ := estimatePair(s, QueryJaccard, u, v)
+	return f
 }
 
 // EstimateCommonNeighbors returns the estimate of |N(u) ∩ N(v)| obtained
 // by combining the Jaccard estimate with the degree counters through the
 // identity |A∩B| = J/(1+J) · (|A| + |B|).
 func (s *SketchStore) EstimateCommonNeighbors(u, v uint64) float64 {
-	su, sv := s.vertices[u], s.vertices[v]
-	if su == nil || sv == nil {
-		return 0
-	}
-	j := float64(su.sketch.matches(sv.sketch)) / float64(s.cfg.K)
-	return j / (1 + j) * (s.degree(su) + s.degree(sv))
+	f, _ := estimatePair(s, QueryCommonNeighbors, u, v)
+	return f
 }
 
 // EstimateUnionSize returns the KMV estimate of |N(u) ∪ N(v)| computed by
@@ -85,7 +108,8 @@ func (s *SketchStore) EstimateCommonNeighborsViaUnion(u, v uint64) float64 {
 // intersection size ĈN gives the sum. Weights use the store's live
 // degree estimates, so they track the current stream.
 func (s *SketchStore) EstimateAdamicAdar(u, v uint64) float64 {
-	return s.estimateWeightedCN(u, v, s.aaWeight)
+	f, _ := estimatePair(s, QueryAdamicAdar, u, v)
+	return f
 }
 
 // EstimateAdamicAdarBiased returns the vertex-biased bottom-k estimate of

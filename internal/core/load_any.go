@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// LoadAny re-opens a store image of any type by sniffing its 4-byte
+// magic header and dispatching to the matching loader. It returns the
+// loaded store as a Store; callers that need the concrete type (for
+// capability methods) type-switch on the result.
+//
+// The five store images are distinguishable by construction — each
+// format opens with its own magic (LPSK plain, LPSH sharded, LPSW
+// windowed, LPSD directed, LPDH sharded-directed) — so a checkpoint
+// file is self-describing and a server can restore whatever mode wrote
+// it. The stream binary format (LPS1, internal/stream) is deliberately
+// rejected here: it is a stream of edges, not a store image.
+func LoadAny(r io.Reader) (Store, error) {
+	// Peek, don't consume: each loader re-verifies its own magic. The
+	// loaders hand r to newBinReader, which uses an existing
+	// *bufio.Reader as-is, so the peeked bytes are not lost.
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	magic, err := br.Peek(4)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("core: load store image magic: %w", err)
+	}
+	switch string(magic) {
+	case persistMagic:
+		return LoadSketchStore(br)
+	case shardedMagic:
+		return LoadSharded(br)
+	case windowedMagic:
+		return LoadWindowed(br)
+	case directedMagic:
+		return LoadDirected(br)
+	case shardedDirectedMagic:
+		return LoadShardedDirected(br)
+	default:
+		return nil, fmt.Errorf("core: unknown store image magic %q", magic)
+	}
+}

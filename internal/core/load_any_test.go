@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"linkpred/internal/stream"
+)
+
+// loadAnyStores builds one populated store of each of the five types
+// over the same small edge stream (timestamps drive the windowed
+// store; the directed stores read the edges as arcs).
+func loadAnyStores(t *testing.T) map[string]Store {
+	t.Helper()
+	cfg := Config{K: 32, Seed: 99, Degrees: DegreeDistinctKMV}
+	edges, _ := batchEdges(17, 400)
+
+	plain, err := NewSketchStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := NewWindowed(Config{K: 32, Seed: 99}, 4000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directed, err := NewDirectedStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedDir, err := NewShardedDirected(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := map[string]Store{
+		"plain":            plain,
+		"sharded":          sharded,
+		"windowed":         windowed,
+		"directed":         directed,
+		"sharded-directed": shardedDir,
+	}
+	for _, s := range stores {
+		for _, e := range edges {
+			s.Ingest(e)
+		}
+	}
+	return stores
+}
+
+// TestLoadAnyRoundTrip saves each of the five store types and re-opens
+// it with LoadAny, asserting the concrete type survives and the
+// re-opened store answers queries identically.
+func TestLoadAnyRoundTrip(t *testing.T) {
+	for name, s := range loadAnyStores(t) {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := s.Save(&buf); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			got, err := LoadAny(&buf)
+			if err != nil {
+				t.Fatalf("LoadAny: %v", err)
+			}
+			wantType := func(ok bool) {
+				t.Helper()
+				if !ok {
+					t.Fatalf("LoadAny(%s) returned %T", name, got)
+				}
+			}
+			switch name {
+			case "plain":
+				_, ok := got.(*SketchStore)
+				wantType(ok)
+			case "sharded":
+				_, ok := got.(*Sharded)
+				wantType(ok)
+			case "windowed":
+				_, ok := got.(*Windowed)
+				wantType(ok)
+			case "directed":
+				_, ok := got.(*DirectedStore)
+				wantType(ok)
+			case "sharded-directed":
+				_, ok := got.(*ShardedDirected)
+				wantType(ok)
+			}
+			if got.NumVertices() != s.NumVertices() {
+				t.Fatalf("NumVertices: got %d, want %d", got.NumVertices(), s.NumVertices())
+			}
+			if got.NumEdges() != s.NumEdges() {
+				t.Fatalf("NumEdges: got %d, want %d", got.NumEdges(), s.NumEdges())
+			}
+			for _, m := range allQueryMeasures {
+				for u := uint64(0); u < 30; u++ {
+					for v := u + 1; v < 30; v++ {
+						want, err := s.Estimate(m, u, v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						have, err := got.Estimate(m, u, v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !sameFloat(want, have) {
+							t.Fatalf("%v(%d,%d): loaded %v, want %v", m, u, v, have, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLoadAnyRejectsStreamFile asserts that a binary *stream* file
+// (magic LPS1, internal/stream's edge format) is rejected with the
+// unknown-magic error rather than misparsed as a store image.
+func TestLoadAnyRejectsStreamFile(t *testing.T) {
+	payload := append([]byte("LPS1"), 0, 0, 0, 0)
+	_, err := LoadAny(bytes.NewReader(payload))
+	if err == nil || !strings.Contains(err.Error(), `unknown store image magic "LPS1"`) {
+		t.Fatalf("want unknown-magic error for LPS1 stream file, got %v", err)
+	}
+}
+
+// TestLoadAnyShortInput asserts truncated input fails cleanly.
+func TestLoadAnyShortInput(t *testing.T) {
+	if _, err := LoadAny(bytes.NewReader([]byte("LP"))); err == nil {
+		t.Fatal("want error for 2-byte input")
+	}
+	if _, err := LoadAny(bytes.NewReader(nil)); err == nil {
+		t.Fatal("want error for empty input")
+	}
+}
+
+// TestStoreMagicsDistinct asserts the six on-disk magic strings — the
+// five store images plus the binary stream format — are pairwise
+// distinct, so LoadAny's sniffing can never dispatch to the wrong
+// loader. The stream magic is asserted as a literal: it lives in
+// internal/stream and must not collide with any store image.
+func TestStoreMagicsDistinct(t *testing.T) {
+	magics := map[string]string{
+		"plain":            persistMagic,
+		"sharded":          shardedMagic,
+		"windowed":         windowedMagic,
+		"directed":         directedMagic,
+		"sharded-directed": shardedDirectedMagic,
+		"stream-file":      "LPS1",
+	}
+	seen := make(map[string]string)
+	for name, m := range magics {
+		if len(m) != 4 {
+			t.Errorf("magic %q (%s) is not 4 bytes", m, name)
+		}
+		if prev, dup := seen[m]; dup {
+			t.Errorf("magic %q used by both %s and %s", m, prev, name)
+		}
+		seen[m] = name
+	}
+}
+
+// TestStoreInterfaceStats spot-checks the Store-level gauges that the
+// adapters in store_iface.go derive (directed Degree = out+in, windowed
+// NumVertices = union over generations).
+func TestStoreInterfaceStats(t *testing.T) {
+	cfg := Config{K: 32, Seed: 5, Degrees: DegreeArrivals}
+	d, err := NewDirectedStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Ingest(stream.Edge{U: 1, V: 2})
+	d.Ingest(stream.Edge{U: 3, V: 1})
+	if got, want := d.Degree(1), d.OutDegree(1)+d.InDegree(1); got != want {
+		t.Fatalf("directed Degree(1) = %v, want out+in = %v", got, want)
+	}
+	if got := d.NumEdges(); got != 2 {
+		t.Fatalf("directed NumEdges = %d, want 2", got)
+	}
+
+	w, err := NewWindowed(Config{K: 32, Seed: 5}, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 1 appears in both generations; the union must count it once.
+	w.Ingest(stream.Edge{U: 1, V: 2, T: 0})
+	w.Ingest(stream.Edge{U: 1, V: 3, T: 60})
+	if got := w.NumVertices(); got != 3 {
+		t.Fatalf("windowed NumVertices = %d, want 3 (union of {1,2} and {1,3})", got)
+	}
+}

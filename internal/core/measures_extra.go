@@ -1,7 +1,5 @@
 package core
 
-import "math"
-
 // Additional neighborhood measures beyond the paper's three targets.
 // They fall out of the same sketch machinery: resource allocation is the
 // matched-register estimator with weight 1/d(w) instead of 1/ln d(w);
@@ -9,32 +7,9 @@ import "math"
 // Jaccard estimate and the degree counters. They are provided because a
 // production link-prediction deployment almost always wants to compare
 // measures, and because they exercise the generality of the
-// matched-register construction (DESIGN.md §2.3).
-
-// estimateWeightedCN is the generic matched-register estimator for
-// Σ_{w ∈ N(u)∩N(v)} f(w): the estimated intersection size times the mean
-// of f over the register-sampled intersection members.
-func (s *SketchStore) estimateWeightedCN(u, v uint64, f func(w uint64) float64) float64 {
-	su, sv := s.vertices[u], s.vertices[v]
-	if su == nil || sv == nil {
-		return 0
-	}
-	var matched int
-	var weightSum float64
-	for i, val := range su.sketch.vals {
-		if val == emptyRegister || val != sv.sketch.vals[i] {
-			continue
-		}
-		matched++
-		weightSum += f(su.sketch.ids[i])
-	}
-	if matched == 0 {
-		return 0
-	}
-	j := float64(matched) / float64(s.cfg.K)
-	cn := j / (1 + j) * (s.degree(su) + s.degree(sv))
-	return cn * weightSum / float64(matched)
-}
+// matched-register construction (DESIGN.md §2.3). The formulas live in
+// the shared measure kernel (measure_kernel.go); these wrappers only
+// name them.
 
 // EstimateResourceAllocation returns the estimate of the resource
 // allocation index RA(u, v) = Σ_{w ∈ N(u)∩N(v)} 1/d(w), using the
@@ -42,16 +17,16 @@ func (s *SketchStore) estimateWeightedCN(u, v uint64, f func(w uint64) float64) 
 // Degrees are clamped at 2 for the same reason as Adamic–Adar weights
 // (a true common neighbor always has degree >= 2).
 func (s *SketchStore) EstimateResourceAllocation(u, v uint64) float64 {
-	return s.estimateWeightedCN(u, v, func(w uint64) float64 {
-		return 1 / math.Max(s.Degree(w), 2)
-	})
+	f, _ := estimatePair(s, QueryResourceAllocation, u, v)
+	return f
 }
 
 // EstimatePreferentialAttachment returns d(u)·d(v) under the store's
 // degree estimates — exact in DegreeArrivals mode on duplicate-free
 // streams.
 func (s *SketchStore) EstimatePreferentialAttachment(u, v uint64) float64 {
-	return s.Degree(u) * s.Degree(v)
+	f, _ := estimatePair(s, QueryPreferentialAttachment, u, v)
+	return f
 }
 
 // EstimateCosine returns the estimated cosine (Salton) similarity
@@ -59,9 +34,6 @@ func (s *SketchStore) EstimatePreferentialAttachment(u, v uint64) float64 {
 // estimate and the degree counters. Pairs involving unknown or isolated
 // vertices score 0.
 func (s *SketchStore) EstimateCosine(u, v uint64) float64 {
-	du, dv := s.Degree(u), s.Degree(v)
-	if du == 0 || dv == 0 {
-		return 0
-	}
-	return s.EstimateCommonNeighbors(u, v) / math.Sqrt(du*dv)
+	f, _ := estimatePair(s, QueryCosine, u, v)
+	return f
 }

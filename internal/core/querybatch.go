@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sync"
 
 	"linkpred/internal/rng"
@@ -43,50 +42,6 @@ import (
 // consistent than the sequential one: all candidates in a shard are read
 // atomically with respect to that shard's writers, and the source is one
 // fixed snapshot, whereas sequential TopK re-reads everything per pair.
-
-// QueryMeasure identifies a ranking measure for the batched query
-// engine. It mirrors the public linkpred.Measure set; the facades map
-// between the two.
-type QueryMeasure int
-
-const (
-	QueryJaccard QueryMeasure = iota
-	QueryCommonNeighbors
-	QueryAdamicAdar
-	QueryResourceAllocation
-	QueryPreferentialAttachment
-	QueryCosine
-)
-
-// String returns the measure's conventional name.
-func (m QueryMeasure) String() string {
-	switch m {
-	case QueryJaccard:
-		return "jaccard"
-	case QueryCommonNeighbors:
-		return "common-neighbors"
-	case QueryAdamicAdar:
-		return "adamic-adar"
-	case QueryResourceAllocation:
-		return "resource-allocation"
-	case QueryPreferentialAttachment:
-		return "preferential-attachment"
-	case QueryCosine:
-		return "cosine"
-	default:
-		return fmt.Sprintf("QueryMeasure(%d)", int(m))
-	}
-}
-
-func (m QueryMeasure) valid() bool {
-	return m >= QueryJaccard && m <= QueryCosine
-}
-
-// weighted reports whether the measure sums per-common-neighbor weights
-// (and therefore needs the source's argmin ids and stage 2).
-func (m QueryMeasure) weighted() bool {
-	return m == QueryAdamicAdar || m == QueryResourceAllocation
-}
 
 // minScoreChunk is the smallest distinct-candidate chunk worth handing
 // to a scoring worker; each candidate costs O(K), so below this the
@@ -241,21 +196,7 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 	// sequential path's per-pair degree lookups with ≤ K per batch.
 	if m.weighted() {
 		sc.regWeight = grow(sc.regWeight, k)
-		for i := 0; i < k; i++ {
-			if sc.srcVals[i] == emptyRegister {
-				sc.regWeight[i] = 0
-				continue
-			}
-			d := s.Degree(sc.srcIDs[i])
-			if d < 2 {
-				d = 2
-			}
-			if m == QueryAdamicAdar {
-				sc.regWeight[i] = 1 / math.Log(d)
-			} else {
-				sc.regWeight[i] = 1 / d
-			}
-		}
+		fillRegWeights(m, sc.srcVals, sc.srcIDs, sc.regWeight, s)
 	}
 
 	// Stage 3: intern candidates and group them by home shard.
@@ -295,9 +236,9 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 	})
 
 	// Stage 5: score distinct candidates on GOMAXPROCS-bounded workers
-	// against the pinned source. The match loop, degree formulas, and
-	// register-order weight summation replicate the sequential
-	// estimators exactly.
+	// against the pinned source. matchRegisters + scoreFromSnapshot are
+	// the same kernel the sequential estimators end in, which is what
+	// keeps the two paths bit-identical.
 	sc.scores = grow(sc.scores, nd)
 	kf := float64(k)
 	parallelRange(nd, minScoreChunk, func(lo, hi int) {
@@ -315,44 +256,12 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 				}
 			}
 			if m == QueryPreferentialAttachment {
+				// No register scan needed: the score is the degree product.
 				sc.scores[c] = srcDeg * dv
 				continue
 			}
-			regs := sc.regs[c*k : (c+1)*k]
-			matches := 0
-			var weightSum float64
-			for i, val := range sc.srcVals {
-				if val == emptyRegister || val != regs[i] {
-					continue
-				}
-				matches++
-				if m.weighted() {
-					weightSum += sc.regWeight[i]
-				}
-			}
-			switch m {
-			case QueryJaccard:
-				sc.scores[c] = float64(matches) / kf
-			case QueryCommonNeighbors:
-				j := float64(matches) / kf
-				sc.scores[c] = j / (1 + j) * (srcDeg + dv)
-			case QueryAdamicAdar, QueryResourceAllocation:
-				if matches == 0 {
-					sc.scores[c] = 0
-					continue
-				}
-				j := float64(matches) / kf
-				cn := j / (1 + j) * (srcDeg + dv)
-				sc.scores[c] = cn * weightSum / float64(matches)
-			case QueryCosine:
-				if srcDeg == 0 || dv == 0 {
-					sc.scores[c] = 0
-					continue
-				}
-				j := float64(matches) / kf
-				cn := j / (1 + j) * (srcDeg + dv)
-				sc.scores[c] = cn / math.Sqrt(srcDeg*dv)
-			}
+			matches, weightSum := matchRegisters(m, sc.srcVals, sc.regs[c*k:(c+1)*k], sc.regWeight)
+			sc.scores[c] = scoreFromSnapshot(m, kf, matches, weightSum, srcDeg, dv)
 		}
 	})
 
@@ -405,21 +314,7 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 	// estimators.
 	if m.weighted() {
 		sc.regWeight = grow(sc.regWeight, k)
-		for i := 0; i < k; i++ {
-			if sc.srcVals[i] == emptyRegister {
-				sc.regWeight[i] = 0
-				continue
-			}
-			d := s.OutDegree(sc.srcIDs[i]) + s.InDegree(sc.srcIDs[i])
-			if d < 2 {
-				d = 2
-			}
-			if m == QueryAdamicAdar {
-				sc.regWeight[i] = 1 / math.Log(d)
-			} else {
-				sc.regWeight[i] = 1 / d
-			}
-		}
+		fillRegWeights(m, sc.srcVals, sc.srcIDs, sc.regWeight, s)
 	}
 
 	// Stages 3–4: intern, group, snapshot candidates' in-sides.
@@ -467,42 +362,12 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 				}
 			}
 			if m == QueryPreferentialAttachment {
+				// No register scan needed: the score is the degree product.
 				sc.scores[c] = srcDeg * dIn
 				continue
 			}
-			matches := 0
-			var weightSum float64
-			for i, val := range sc.srcVals {
-				if val == emptyRegister || val != regs[i] {
-					continue
-				}
-				matches++
-				if m.weighted() {
-					weightSum += sc.regWeight[i]
-				}
-			}
-			if m == QueryJaccard {
-				sc.scores[c] = float64(matches) / kf
-				continue
-			}
-			j := float64(matches) / kf
-			cn := j / (1 + j) * (srcDeg + dIn)
-			switch m {
-			case QueryCommonNeighbors:
-				sc.scores[c] = cn
-			case QueryCosine:
-				if srcDeg == 0 || dIn == 0 {
-					sc.scores[c] = 0
-					continue
-				}
-				sc.scores[c] = cn / math.Sqrt(srcDeg*dIn)
-			default: // QueryAdamicAdar, QueryResourceAllocation
-				if matches == 0 {
-					sc.scores[c] = 0
-					continue
-				}
-				sc.scores[c] = cn * weightSum / float64(matches)
-			}
+			matches, weightSum := matchRegisters(m, sc.srcVals, regs, sc.regWeight)
+			sc.scores[c] = scoreFromSnapshot(m, kf, matches, weightSum, srcDeg, dIn)
 		}
 	})
 

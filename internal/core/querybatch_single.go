@@ -1,9 +1,6 @@
 package core
 
-import (
-	"fmt"
-	"math"
-)
+import "fmt"
 
 // Batched query paths for the single-writer stores (SketchStore,
 // Windowed). There are no locks to amortize here, but the other two
@@ -38,17 +35,7 @@ func (s *SketchStore) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, 
 
 	if m.weighted() {
 		sc.regWeight = grow(sc.regWeight, k)
-		for i, val := range su.sketch.vals {
-			if val == emptyRegister {
-				sc.regWeight[i] = 0
-				continue
-			}
-			if m == QueryAdamicAdar {
-				sc.regWeight[i] = s.aaWeight(su.sketch.ids[i])
-			} else {
-				sc.regWeight[i] = 1 / math.Max(s.Degree(su.sketch.ids[i]), 2)
-			}
-		}
+		fillRegWeights(m, su.sketch.vals, su.sketch.ids, sc.regWeight, s)
 	}
 
 	kf := float64(k)
@@ -64,43 +51,12 @@ func (s *SketchStore) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, 
 				dv = s.degree(sv)
 			}
 			if m == QueryPreferentialAttachment {
+				// No register scan needed: the score is the degree product.
 				out[ci] = srcDeg * dv
 				continue
 			}
-			matches := 0
-			var weightSum float64
-			for i, val := range su.sketch.vals {
-				if val == emptyRegister || val != sv.sketch.vals[i] {
-					continue
-				}
-				matches++
-				if m.weighted() {
-					weightSum += sc.regWeight[i]
-				}
-			}
-			switch m {
-			case QueryJaccard:
-				out[ci] = float64(matches) / kf
-			case QueryCommonNeighbors:
-				j := float64(matches) / kf
-				out[ci] = j / (1 + j) * (srcDeg + dv)
-			case QueryAdamicAdar, QueryResourceAllocation:
-				if matches == 0 {
-					out[ci] = 0
-					continue
-				}
-				j := float64(matches) / kf
-				cn := j / (1 + j) * (srcDeg + dv)
-				out[ci] = cn * weightSum / float64(matches)
-			case QueryCosine:
-				if srcDeg == 0 || dv == 0 {
-					out[ci] = 0
-					continue
-				}
-				j := float64(matches) / kf
-				cn := j / (1 + j) * (srcDeg + dv)
-				out[ci] = cn / math.Sqrt(srcDeg*dv)
-			}
+			matches, weightSum := matchRegisters(m, su.sketch.vals, sv.sketch.vals, sc.regWeight)
+			out[ci] = scoreFromSnapshot(m, kf, matches, weightSum, srcDeg, dv)
 		}
 	})
 	queryPool.Put(sc)
@@ -164,18 +120,7 @@ func (w *Windowed) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out
 	}
 	if m.weighted() {
 		sc.regWeight = grow(sc.regWeight, k)
-		for i, val := range uv {
-			if val == emptyRegister {
-				sc.regWeight[i] = 0
-				continue
-			}
-			if m == QueryAdamicAdar {
-				d := math.Max(w.Degree(uids[i]), 2)
-				sc.regWeight[i] = 1 / math.Log(d)
-			} else {
-				sc.regWeight[i] = 1 / math.Max(w.Degree(uids[i]), 2)
-			}
-		}
+		fillRegWeights(m, uv, uids, sc.regWeight, w)
 	}
 
 	kf := float64(k)
@@ -188,43 +133,16 @@ func (w *Windowed) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out
 				continue
 			}
 			if m == QueryPreferentialAttachment {
+				// No register scan needed: the score is the degree product.
 				out[ci] = du * kmvDistinct(&minHashSketch{vals: vals}, varr)
 				continue
 			}
-			matches := 0
-			var weightSum float64
-			for i, val := range uv {
-				if val == emptyRegister || val != vals[i] {
-					continue
-				}
-				matches++
-				if m.weighted() {
-					weightSum += sc.regWeight[i]
-				}
+			matches, weightSum := matchRegisters(m, uv, vals, sc.regWeight)
+			var dv float64
+			if m != QueryJaccard {
+				dv = kmvDistinct(&minHashSketch{vals: vals}, varr)
 			}
-			if m == QueryJaccard {
-				out[ci] = float64(matches) / kf
-				continue
-			}
-			dv := kmvDistinct(&minHashSketch{vals: vals}, varr)
-			j := float64(matches) / kf
-			cn := j / (1 + j) * (du + dv)
-			switch m {
-			case QueryCommonNeighbors:
-				out[ci] = cn
-			case QueryCosine:
-				if du == 0 || dv == 0 {
-					out[ci] = 0
-					continue
-				}
-				out[ci] = cn / math.Sqrt(du*dv)
-			default: // QueryAdamicAdar, QueryResourceAllocation
-				if matches == 0 {
-					out[ci] = 0
-					continue
-				}
-				out[ci] = cn * weightSum / float64(matches)
-			}
+			out[ci] = scoreFromSnapshot(m, kf, matches, weightSum, du, dv)
 		}
 	})
 	queryPool.Put(sc)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 
@@ -153,12 +152,13 @@ func (s *Sharded) refreshGauges(shard int) {
 	s.memGauge[shard].Store(n * int64(vertexOverhead+16*st.cfg.K))
 }
 
-// pairSnapshot reads the query state of (u, v) — register matches,
+// pairQuery reads the query state of (u, v) — register matches,
 // degrees, and (when collect is true) the argmin ids of matching
-// registers — under the ordered pair of read locks. matchedIDs is
-// appended to idBuf, so callers that pass a reused buffer keep the
-// weighted-query hot path allocation-free.
-func (s *Sharded) pairSnapshot(u, v uint64, collect bool, idBuf []uint64) (matches int, du, dv float64, known bool, matchedIDs []uint64) {
+// registers — under the ordered pair of read locks (measure-kernel
+// hook; see measure_kernel.go). matchedIDs is appended to idBuf, so
+// callers that pass a reused buffer keep the weighted-query hot path
+// allocation-free.
+func (s *Sharded) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches int, du, dv float64, known bool, matchedIDs []uint64) {
 	a, b := s.shardOf(u), s.shardOf(v)
 	lo, hi := a, b
 	if lo > hi {
@@ -194,104 +194,62 @@ func (s *Sharded) pairSnapshot(u, v uint64, collect bool, idBuf []uint64) (match
 	return matches, du, dv, true, matchedIDs
 }
 
+// midpointDegree is the degree estimate used to weight common-neighbor
+// midpoints (measure kernel hook). Lookups happen after pairQuery has
+// released the pair locks — one shard lock at a time inside Degree —
+// see the type comment for why.
+func (s *Sharded) midpointDegree(w uint64) float64 { return s.Degree(w) }
+
+// Estimate returns the estimate of any query measure for (u, v). Safe
+// for concurrent use: matches and both degrees come from a single
+// pairQuery snapshot, so each estimate is internally consistent even
+// under concurrent writes (weighted midpoint degrees are read after the
+// pair locks are released, the same timing caveat as always).
+func (s *Sharded) Estimate(m QueryMeasure, u, v uint64) (float64, error) {
+	return estimatePair(s, m, u, v)
+}
+
 // EstimateJaccard estimates the Jaccard coefficient of (u, v). Safe for
 // concurrent use.
 func (s *Sharded) EstimateJaccard(u, v uint64) float64 {
-	matches, _, _, known, _ := s.pairSnapshot(u, v, false, nil)
-	if !known {
-		return 0
-	}
-	return float64(matches) / float64(s.Config().K)
+	f, _ := estimatePair(s, QueryJaccard, u, v)
+	return f
 }
 
 // EstimateCommonNeighbors estimates |N(u) ∩ N(v)|. Safe for concurrent
 // use.
 func (s *Sharded) EstimateCommonNeighbors(u, v uint64) float64 {
-	matches, du, dv, known, _ := s.pairSnapshot(u, v, false, nil)
-	if !known {
-		return 0
-	}
-	j := float64(matches) / float64(s.Config().K)
-	return j / (1 + j) * (du + dv)
+	f, _ := estimatePair(s, QueryCommonNeighbors, u, v)
+	return f
 }
 
 // EstimateAdamicAdar estimates the Adamic–Adar index with the
 // matched-register estimator. Safe for concurrent use.
 func (s *Sharded) EstimateAdamicAdar(u, v uint64) float64 {
-	return s.estimateWeighted(u, v, weightAdamicAdar)
+	f, _ := estimatePair(s, QueryAdamicAdar, u, v)
+	return f
 }
 
 // EstimateResourceAllocation estimates the resource-allocation index.
 // Safe for concurrent use.
 func (s *Sharded) EstimateResourceAllocation(u, v uint64) float64 {
-	return s.estimateWeighted(u, v, weightResourceAllocation)
-}
-
-// neighborWeight selects the per-common-neighbor weight used by
-// estimateWeighted. An enum instead of a func parameter keeps the query
-// hot path free of closure allocations (see TestEstimateWeightedNoAlloc).
-type neighborWeight int
-
-const (
-	weightAdamicAdar neighborWeight = iota
-	weightResourceAllocation
-)
-
-// matchedIDPool recycles the matched-argmin buffers of the weighted
-// estimators so the query hot path is allocation-free in steady state.
-var matchedIDPool = sync.Pool{New: func() any { return new([]uint64) }}
-
-func (s *Sharded) estimateWeighted(u, v uint64, weight neighborWeight) float64 {
-	bufp := matchedIDPool.Get().(*[]uint64)
-	matches, du, dv, known, ids := s.pairSnapshot(u, v, true, (*bufp)[:0])
-	*bufp = ids[:0] // keep any growth for the next query
-	if !known || matches == 0 {
-		matchedIDPool.Put(bufp)
-		return 0
-	}
-	// Degree lookups happen after the pair locks are released (one shard
-	// lock at a time inside Degree) — see the type comment for why. The
-	// degree clamp at 2 keeps both weights finite (mirrors
-	// SketchStore.aaWeight).
-	weightSum := 0.0
-	for _, w := range ids {
-		d := s.Degree(w)
-		if d < 2 {
-			d = 2
-		}
-		if weight == weightAdamicAdar {
-			weightSum += 1 / math.Log(d)
-		} else {
-			weightSum += 1 / d
-		}
-	}
-	matchedIDPool.Put(bufp)
-	j := float64(matches) / float64(s.Config().K)
-	cn := j / (1 + j) * (du + dv)
-	return cn * weightSum / float64(matches)
+	f, _ := estimatePair(s, QueryResourceAllocation, u, v)
+	return f
 }
 
 // EstimatePreferentialAttachment returns d(u)·d(v) under the store's
-// degree estimates. Safe for concurrent use; the two degrees are read
-// one shard at a time (the same timing caveat as the weighted
-// estimators applies under concurrent writes).
+// degree estimates. Safe for concurrent use.
 func (s *Sharded) EstimatePreferentialAttachment(u, v uint64) float64 {
-	return s.Degree(u) * s.Degree(v)
+	f, _ := estimatePair(s, QueryPreferentialAttachment, u, v)
+	return f
 }
 
 // EstimateCosine returns the estimated cosine (Salton) similarity
-// |N(u)∩N(v)| / sqrt(d(u)·d(v)). Safe for concurrent use: matches and
-// both degrees come from a single pairSnapshot, so the estimate is
-// internally consistent even under concurrent writes. Pairs involving
-// unknown or isolated vertices score 0.
+// |N(u)∩N(v)| / sqrt(d(u)·d(v)). Safe for concurrent use. Pairs
+// involving unknown or isolated vertices score 0.
 func (s *Sharded) EstimateCosine(u, v uint64) float64 {
-	matches, du, dv, known, _ := s.pairSnapshot(u, v, false, nil)
-	if !known || du == 0 || dv == 0 {
-		return 0
-	}
-	j := float64(matches) / float64(s.Config().K)
-	cn := j / (1 + j) * (du + dv)
-	return cn / math.Sqrt(du*dv)
+	f, _ := estimatePair(s, QueryCosine, u, v)
+	return f
 }
 
 // Degree returns the degree estimate of u under the configured mode.

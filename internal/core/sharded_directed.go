@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 
@@ -125,11 +124,12 @@ func (s *ShardedDirected) refreshGauges(shard int) {
 	s.memGauge[shard].Store(n * int64(dirVertexOverhead+2*16*st.cfg.K))
 }
 
-// pairSnapshot reads the arc-query state for u → v under the ordered
-// pair of read locks: register matches between u's out-sketch and v's
-// in-sketch, the two side degrees, and (if collect) the matched argmin
-// ids, appended to idBuf so callers can reuse a buffer.
-func (s *ShardedDirected) pairSnapshot(u, v uint64, collect bool, idBuf []uint64) (matches int, dOut, dIn float64, known bool, matchedIDs []uint64) {
+// pairQuery reads the arc-query state for u → v under the ordered
+// pair of read locks (measure-kernel hook; see measure_kernel.go):
+// register matches between u's out-sketch and v's in-sketch, the two
+// side degrees, and (if collect) the matched argmin ids, appended to
+// idBuf so callers can reuse a buffer.
+func (s *ShardedDirected) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches int, dOut, dIn float64, known bool, matchedIDs []uint64) {
 	a, b := s.shardOf(u), s.shardOf(v)
 	lo, hi := a, b
 	if lo > hi {
@@ -165,87 +165,66 @@ func (s *ShardedDirected) pairSnapshot(u, v uint64, collect bool, idBuf []uint64
 	return matches, dOut, dIn, true, matchedIDs
 }
 
+// midpointDegree weights directed midpoints by their estimated total
+// (in+out) degree (measure kernel hook). Lookups happen after pairQuery
+// has released the pair locks — one shard lock at a time — see Sharded
+// for the discipline.
+func (s *ShardedDirected) midpointDegree(w uint64) float64 {
+	return s.OutDegree(w) + s.InDegree(w)
+}
+
+// Estimate returns the estimate of any query measure for the candidate
+// arc u → v. Safe for concurrent use: matches and both side degrees
+// come from a single pairQuery snapshot, so each estimate is internally
+// consistent even under concurrent writes (weighted midpoint degrees
+// are read after the pair locks are released, the usual timing caveat).
+func (s *ShardedDirected) Estimate(m QueryMeasure, u, v uint64) (float64, error) {
+	return estimatePair(s, m, u, v)
+}
+
 // EstimateJaccard estimates the directed Jaccard of the candidate arc
 // u → v. Safe for concurrent use.
 func (s *ShardedDirected) EstimateJaccard(u, v uint64) float64 {
-	matches, _, _, known, _ := s.pairSnapshot(u, v, false, nil)
-	if !known {
-		return 0
-	}
-	return float64(matches) / float64(s.Config().K)
+	f, _ := estimatePair(s, QueryJaccard, u, v)
+	return f
 }
 
 // EstimateCommonNeighbors estimates |{w : u → w → v}|. Safe for
 // concurrent use.
 func (s *ShardedDirected) EstimateCommonNeighbors(u, v uint64) float64 {
-	matches, dOut, dIn, known, _ := s.pairSnapshot(u, v, false, nil)
-	if !known {
-		return 0
-	}
-	j := float64(matches) / float64(s.Config().K)
-	return j / (1 + j) * (dOut + dIn)
+	f, _ := estimatePair(s, QueryCommonNeighbors, u, v)
+	return f
 }
 
 // EstimateAdamicAdar estimates the directed Adamic–Adar index of u → v.
 // Safe for concurrent use; midpoint degrees are read one shard at a time
 // after the pair locks are released (see Sharded for the discipline).
 func (s *ShardedDirected) EstimateAdamicAdar(u, v uint64) float64 {
-	return s.estimateWeighted(u, v, weightAdamicAdar)
+	f, _ := estimatePair(s, QueryAdamicAdar, u, v)
+	return f
 }
 
 // EstimateResourceAllocation estimates the directed resource-allocation
 // index of u → v (Adamic–Adar with 1/d midpoint weights). Safe for
 // concurrent use.
 func (s *ShardedDirected) EstimateResourceAllocation(u, v uint64) float64 {
-	return s.estimateWeighted(u, v, weightResourceAllocation)
-}
-
-func (s *ShardedDirected) estimateWeighted(u, v uint64, weight neighborWeight) float64 {
-	bufp := matchedIDPool.Get().(*[]uint64)
-	matches, dOut, dIn, known, ids := s.pairSnapshot(u, v, true, (*bufp)[:0])
-	*bufp = ids[:0] // keep any growth for the next query
-	if !known || matches == 0 {
-		matchedIDPool.Put(bufp)
-		return 0
-	}
-	weightSum := 0.0
-	for _, w := range ids {
-		d := s.OutDegree(w) + s.InDegree(w)
-		if d < 2 {
-			d = 2
-		}
-		if weight == weightAdamicAdar {
-			weightSum += 1 / math.Log(d)
-		} else {
-			weightSum += 1 / d
-		}
-	}
-	matchedIDPool.Put(bufp)
-	j := float64(matches) / float64(s.Config().K)
-	cn := j / (1 + j) * (dOut + dIn)
-	return cn * weightSum / float64(matches)
+	f, _ := estimatePair(s, QueryResourceAllocation, u, v)
+	return f
 }
 
 // EstimatePreferentialAttachment returns the directed degree product
-// d_out(u)·d_in(v). Safe for concurrent use; the two side degrees are
-// read one shard at a time (the same timing caveat as the weighted
-// estimators applies under concurrent writes).
+// d_out(u)·d_in(v). Safe for concurrent use.
 func (s *ShardedDirected) EstimatePreferentialAttachment(u, v uint64) float64 {
-	return s.OutDegree(u) * s.InDegree(v)
+	f, _ := estimatePair(s, QueryPreferentialAttachment, u, v)
+	return f
 }
 
 // EstimateCosine returns the estimated directed cosine similarity
 // |N_out(u) ∩ N_in(v)| / sqrt(d_out(u)·d_in(v)). Safe for concurrent
-// use: matches and both side degrees come from a single pairSnapshot, so
-// the estimate is internally consistent even under concurrent writes.
+// use.
 func (s *ShardedDirected) EstimateCosine(u, v uint64) float64 {
-	matches, dOut, dIn, known, _ := s.pairSnapshot(u, v, false, nil)
-	if !known || dOut == 0 || dIn == 0 {
-		return 0
-	}
-	j := float64(matches) / float64(s.Config().K)
-	cn := j / (1 + j) * (dOut + dIn)
-	return cn / math.Sqrt(dOut*dIn)
+	f, _ := estimatePair(s, QueryCosine, u, v)
+	return f
 }
 
 // OutDegree returns the out-degree estimate of u. Safe for concurrent

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"linkpred/internal/stream"
 )
@@ -209,47 +208,59 @@ func (w *Windowed) Knows(u uint64) bool {
 	return false
 }
 
+// pairQuery is the windowed side of the measure kernel (see
+// measure_kernel.go): it merges both endpoints across live generations
+// and returns the register matches, the windowed (KMV distinct)
+// degrees, and optionally the matched argmin ids.
+func (w *Windowed) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches int, du, dv float64, known bool, ids []uint64) {
+	uv, uids, uarr, okU := w.merged(u)
+	vv, _, varr, okV := w.merged(v)
+	if !okU || !okV {
+		return 0, 0, 0, false, idBuf
+	}
+	ids = idBuf
+	for i := range uv {
+		if uv[i] == emptyRegister || uv[i] != vv[i] {
+			continue
+		}
+		matches++
+		if collect {
+			ids = append(ids, uids[i])
+		}
+	}
+	du = kmvDistinct(&minHashSketch{vals: uv}, uarr)
+	dv = kmvDistinct(&minHashSketch{vals: vv}, varr)
+	return matches, du, dv, true, ids
+}
+
+// midpointDegree weights common-neighbor midpoints by their windowed
+// degree (measure kernel hook).
+func (w *Windowed) midpointDegree(u uint64) float64 { return w.Degree(u) }
+
+// Estimate returns the estimate of any query measure for (u, v) over
+// the window.
+func (w *Windowed) Estimate(m QueryMeasure, u, v uint64) (float64, error) {
+	return estimatePair(w, m, u, v)
+}
+
 // EstimateJaccard estimates the Jaccard coefficient of (u, v) over the
 // window.
 func (w *Windowed) EstimateJaccard(u, v uint64) float64 {
-	uv, _, _, okU := w.merged(u)
-	vv, _, _, okV := w.merged(v)
-	if !okU || !okV {
-		return 0
-	}
-	matches := 0
-	for i := range uv {
-		if uv[i] != emptyRegister && uv[i] == vv[i] {
-			matches++
-		}
-	}
-	return float64(matches) / float64(w.cfg.K)
+	f, _ := estimatePair(w, QueryJaccard, u, v)
+	return f
 }
 
 // EstimateCommonNeighbors estimates |N(u) ∩ N(v)| over the window.
 func (w *Windowed) EstimateCommonNeighbors(u, v uint64) float64 {
-	j, du, dv, ok := w.pairStats(u, v, nil)
-	if !ok {
-		return 0
-	}
-	return j / (1 + j) * (du + dv)
+	f, _ := estimatePair(w, QueryCommonNeighbors, u, v)
+	return f
 }
 
 // EstimateAdamicAdar estimates the Adamic–Adar index over the window
 // with the matched-register estimator, weighting by windowed degrees.
 func (w *Windowed) EstimateAdamicAdar(u, v uint64) float64 {
-	var matchedIDs []uint64
-	j, du, dv, ok := w.pairStats(u, v, &matchedIDs)
-	if !ok || len(matchedIDs) == 0 {
-		return 0
-	}
-	weightSum := 0.0
-	for _, id := range matchedIDs {
-		d := math.Max(w.Degree(id), 2)
-		weightSum += 1 / math.Log(d)
-	}
-	cn := j / (1 + j) * (du + dv)
-	return cn * weightSum / float64(len(matchedIDs))
+	f, _ := estimatePair(w, QueryAdamicAdar, u, v)
+	return f
 }
 
 // EstimateResourceAllocation estimates the resource-allocation index
@@ -257,59 +268,24 @@ func (w *Windowed) EstimateAdamicAdar(u, v uint64) float64 {
 // midpoints by 1/d(w) under the windowed (KMV distinct) degrees, clamped
 // at 2 as in the plain store.
 func (w *Windowed) EstimateResourceAllocation(u, v uint64) float64 {
-	var matchedIDs []uint64
-	j, du, dv, ok := w.pairStats(u, v, &matchedIDs)
-	if !ok || len(matchedIDs) == 0 {
-		return 0
-	}
-	weightSum := 0.0
-	for _, id := range matchedIDs {
-		weightSum += 1 / math.Max(w.Degree(id), 2)
-	}
-	cn := j / (1 + j) * (du + dv)
-	return cn * weightSum / float64(len(matchedIDs))
+	f, _ := estimatePair(w, QueryResourceAllocation, u, v)
+	return f
 }
 
 // EstimatePreferentialAttachment returns d(u)·d(v) under the windowed
 // degree estimates (always KMV distinct counts over the merged
 // generations).
 func (w *Windowed) EstimatePreferentialAttachment(u, v uint64) float64 {
-	return w.Degree(u) * w.Degree(v)
+	f, _ := estimatePair(w, QueryPreferentialAttachment, u, v)
+	return f
 }
 
 // EstimateCosine returns the estimated cosine (Salton) similarity
 // |N(u)∩N(v)| / sqrt(d(u)·d(v)) over the window. Pairs involving
 // vertices absent from every live generation score 0.
 func (w *Windowed) EstimateCosine(u, v uint64) float64 {
-	du, dv := w.Degree(u), w.Degree(v)
-	if du == 0 || dv == 0 {
-		return 0
-	}
-	return w.EstimateCommonNeighbors(u, v) / math.Sqrt(du*dv)
-}
-
-// pairStats merges both endpoints, returning the Jaccard estimate and
-// windowed degrees; matchedIDs (if non-nil) receives the argmin ids of
-// matching registers.
-func (w *Windowed) pairStats(u, v uint64, matchedIDs *[]uint64) (j, du, dv float64, ok bool) {
-	uv, uids, uarr, okU := w.merged(u)
-	vv, _, varr, okV := w.merged(v)
-	if !okU || !okV {
-		return 0, 0, 0, false
-	}
-	matches := 0
-	for i := range uv {
-		if uv[i] == emptyRegister || uv[i] != vv[i] {
-			continue
-		}
-		matches++
-		if matchedIDs != nil {
-			*matchedIDs = append(*matchedIDs, uids[i])
-		}
-	}
-	du = kmvDistinct(&minHashSketch{vals: uv}, uarr)
-	dv = kmvDistinct(&minHashSketch{vals: vv}, varr)
-	return float64(matches) / float64(w.cfg.K), du, dv, true
+	f, _ := estimatePair(w, QueryCosine, u, v)
+	return f
 }
 
 // MemoryBytes returns the total payload memory across live generations.
