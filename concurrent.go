@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"linkpred/internal/core"
-	"linkpred/internal/hashing"
 	"linkpred/internal/stream"
 )
 
@@ -16,10 +15,20 @@ import (
 // multiset of edges (MinHash updates commute), modulo the documented
 // degree-read timing of the weighted estimators under concurrent writes.
 //
+// ObserveEdges is much faster than per-edge Observe calls: the batch's
+// endpoints are hashed once per distinct vertex outside any lock,
+// duplicate edges are folded into arrival multiplicities, and each
+// shard's lock is taken once per batch instead of once per edge. A few
+// thousand edges per batch is a good choice; see the "Parallel ingest"
+// example in the README. ScoreBatch/TopK pin the source's sketch under
+// one read lock and copy each shard's candidate register views under one
+// read lock per shard per batch, so per-query lock cost is O(shards),
+// not O(candidates), and all candidates in a shard are scored against
+// one coherent snapshot of that shard.
+//
 // Config.EnableBiased is not supported in concurrent mode.
 type Concurrent struct {
-	store *core.Sharded
-	cfg   Config
+	facade[*core.Sharded]
 }
 
 // NewConcurrent returns an empty Concurrent predictor with the given
@@ -27,29 +36,14 @@ type Concurrent struct {
 // good choice). It returns an error if cfg.K < 1, shards < 1, or
 // cfg.EnableBiased is set.
 func NewConcurrent(cfg Config, shards int) (*Concurrent, error) {
-	kind := hashing.KindMixed
-	if cfg.TabulationHashing {
-		kind = hashing.KindTabulation
-	}
-	degrees := core.DegreeArrivals
-	if cfg.DistinctDegrees {
-		degrees = core.DegreeDistinctKMV
-	}
-	store, err := core.NewSharded(core.Config{
-		K:            cfg.K,
-		Seed:         cfg.Seed,
-		Hash:         kind,
-		Degrees:      degrees,
-		EnableBiased: cfg.EnableBiased,
-	}, shards)
+	cc := coreConfig(cfg)
+	cc.TrackTriangles = false // triangle tracking is single-writer only
+	store, err := core.NewSharded(cc, shards)
 	if err != nil {
 		return nil, fmt.Errorf("linkpred: %w", err)
 	}
-	return &Concurrent{store: store, cfg: cfg}, nil
+	return &Concurrent{facade[*core.Sharded]{store: store, cfg: cfg}}, nil
 }
-
-// Config returns the configuration the predictor was built with.
-func (c *Concurrent) Config() Config { return c.cfg }
 
 // NumShards returns the shard count.
 func (c *Concurrent) NumShards() int { return c.store.NumShards() }
@@ -60,141 +54,11 @@ func (c *Concurrent) Observe(u, v uint64) {
 	c.store.ProcessEdge(stream.Edge{U: u, V: v})
 }
 
-// ObserveEdge folds a timestamped edge into the sketches. Safe for
-// concurrent use.
-func (c *Concurrent) ObserveEdge(e Edge) {
-	c.store.ProcessEdge(stream.Edge{U: e.U, V: e.V, T: e.T})
-}
-
-// ObserveEdges folds a batch of edges into the sketches. Safe for
-// concurrent use, and much faster than per-edge Observe calls: the
-// batch's endpoints are hashed once per distinct vertex outside any
-// lock, duplicate edges are folded into arrival multiplicities, and
-// each shard's lock is taken once per batch instead of once per edge.
-// The resulting sketches are register-identical to per-edge ingest of
-// the same edges (MinHash register updates are pointwise minima, which
-// commute and are idempotent). A few thousand edges per batch is a good
-// choice; see the "Parallel ingest" example in the README.
-func (c *Concurrent) ObserveEdges(edges []Edge) {
-	buf := toStreamEdges(edges)
-	c.store.ProcessEdges(*buf)
-	putStreamEdges(buf)
-}
-
-// Jaccard returns the estimated Jaccard coefficient of (u, v).
-func (c *Concurrent) Jaccard(u, v uint64) float64 { return c.store.EstimateJaccard(u, v) }
-
-// CommonNeighbors returns the estimated number of common neighbors.
-func (c *Concurrent) CommonNeighbors(u, v uint64) float64 {
-	return c.store.EstimateCommonNeighbors(u, v)
-}
-
-// AdamicAdar returns the estimated Adamic–Adar index.
-func (c *Concurrent) AdamicAdar(u, v uint64) float64 { return c.store.EstimateAdamicAdar(u, v) }
-
-// ResourceAllocation returns the estimated resource-allocation index.
-func (c *Concurrent) ResourceAllocation(u, v uint64) float64 {
-	return c.store.EstimateResourceAllocation(u, v)
-}
-
-// PreferentialAttachment returns the degree product d(u)·d(v).
-func (c *Concurrent) PreferentialAttachment(u, v uint64) float64 {
-	return c.store.EstimatePreferentialAttachment(u, v)
-}
-
-// Cosine returns the estimated cosine (Salton) similarity
-// |N(u)∩N(v)| / sqrt(d(u)·d(v)).
-func (c *Concurrent) Cosine(u, v uint64) float64 { return c.store.EstimateCosine(u, v) }
-
-// Degree returns the degree estimate for u.
-func (c *Concurrent) Degree(u uint64) float64 { return c.store.Degree(u) }
-
-// Score returns the estimate of the given measure for (u, v). Every
-// library measure is supported.
-func (c *Concurrent) Score(m Measure, u, v uint64) (float64, error) {
-	switch m {
-	case Jaccard:
-		return c.store.EstimateJaccard(u, v), nil
-	case CommonNeighbors:
-		return c.store.EstimateCommonNeighbors(u, v), nil
-	case AdamicAdar:
-		return c.store.EstimateAdamicAdar(u, v), nil
-	case ResourceAllocation:
-		return c.store.EstimateResourceAllocation(u, v), nil
-	case PreferentialAttachment:
-		return c.store.EstimatePreferentialAttachment(u, v), nil
-	case Cosine:
-		return c.store.EstimateCosine(u, v), nil
-	default:
-		return 0, fmt.Errorf("linkpred: unknown measure %v", m)
-	}
-}
-
-// ScoreBatch scores every candidate against u under the given measure in
-// one batched pass, returning scores aligned with candidates. Unlike
-// per-pair Score calls — which take two shard read locks per candidate —
-// the batch path pins the source's sketch under one read lock, copies
-// each shard's candidate register views under one read lock per shard
-// per batch, and scores on parallel workers, so per-query lock cost is
-// O(shards), not O(candidates). Safe for concurrent use with writers:
-// all candidates in a shard are scored against one coherent snapshot of
-// that shard. Duplicate candidate ids receive identical scores.
-func (c *Concurrent) ScoreBatch(m Measure, u uint64, candidates []uint64) ([]float64, error) {
-	qm, err := queryMeasure(m)
-	if err != nil {
-		return nil, err
-	}
-	return c.store.ScoreBatch(qm, u, candidates, nil)
-}
-
-// TopK scores every candidate vertex against u under the given measure
-// and returns the k best, ties broken toward smaller vertex ids.
-// Candidates are deduplicated (repeated ids contribute one result entry)
-// and u itself is skipped. It may run concurrently with writers; scoring
-// goes through the batched path, so each shard's candidates are read as
-// one coherent snapshot and selection uses a size-k heap.
-func (c *Concurrent) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Candidate, error) {
-	qm, err := queryMeasure(m)
-	if err != nil {
-		return nil, err
-	}
-	return topKBatch(u, candidates, k, func(dedup []uint64, scores []float64) ([]float64, error) {
-		return c.store.ScoreBatch(qm, u, dedup, scores)
-	})
-}
-
-// Seen reports whether u has appeared in the stream.
-func (c *Concurrent) Seen(u uint64) bool { return c.store.Knows(u) }
-
-// NumVertices returns the number of distinct vertices observed.
-func (c *Concurrent) NumVertices() int { return c.store.NumVertices() }
-
-// NumEdges returns the number of (non-self-loop) edges observed.
-func (c *Concurrent) NumEdges() int64 { return c.store.NumEdges() }
-
-// MemoryBytes returns the predictor's payload memory.
-func (c *Concurrent) MemoryBytes() int { return c.store.MemoryBytes() }
-
-// Save writes the predictor's complete state to w. It takes a consistent
-// snapshot: concurrent writers block for the duration.
-func (c *Concurrent) Save(w io.Writer) error {
-	if err := c.store.Save(w); err != nil {
-		return fmt.Errorf("linkpred: %w", err)
-	}
-	return nil
-}
-
 // LoadConcurrent restores a predictor saved with (*Concurrent).Save.
 func LoadConcurrent(r io.Reader) (*Concurrent, error) {
 	store, err := core.LoadSharded(r)
 	if err != nil {
 		return nil, fmt.Errorf("linkpred: %w", err)
 	}
-	cc := store.Config()
-	return &Concurrent{store: store, cfg: Config{
-		K:                 cc.K,
-		Seed:              cc.Seed,
-		TabulationHashing: cc.Hash == hashing.KindTabulation,
-		DistinctDegrees:   cc.Degrees == core.DegreeDistinctKMV,
-	}}, nil
+	return &Concurrent{facade[*core.Sharded]{store: store, cfg: configFromCore(store.Config())}}, nil
 }

@@ -5,48 +5,33 @@ import (
 	"io"
 
 	"linkpred/internal/core"
-	"linkpred/internal/hashing"
 	"linkpred/internal/stream"
 )
 
 // ConcurrentDirected is the thread-safe directed predictor: the Directed
 // API with vertex-sharded locking, for parallel ingest of follow or
 // citation streams. Estimates are identical to a single-threaded
-// Directed fed the same multiset of arcs.
+// Directed fed the same multiset of arcs. Like Concurrent, ObserveEdges
+// hashes each distinct endpoint once outside any lock, folds duplicate
+// arcs into arrival multiplicities, and takes each shard lock once per
+// batch; ScoreBatch/TopK pin the source's out-sketch under one read lock
+// and copy each shard's candidate in-sketch views under one read lock
+// per shard per batch.
 //
 // Config.EnableBiased and Config.TrackTriangles are not supported.
 type ConcurrentDirected struct {
-	store *core.ShardedDirected
-	cfg   Config
+	facade[*core.ShardedDirected]
 }
 
 // NewConcurrentDirected returns an empty concurrent directed predictor
 // with the given number of shards.
 func NewConcurrentDirected(cfg Config, shards int) (*ConcurrentDirected, error) {
-	kind := hashing.KindMixed
-	if cfg.TabulationHashing {
-		kind = hashing.KindTabulation
-	}
-	degrees := core.DegreeArrivals
-	if cfg.DistinctDegrees {
-		degrees = core.DegreeDistinctKMV
-	}
-	store, err := core.NewShardedDirected(core.Config{
-		K:              cfg.K,
-		Seed:           cfg.Seed,
-		Hash:           kind,
-		Degrees:        degrees,
-		EnableBiased:   cfg.EnableBiased,
-		TrackTriangles: cfg.TrackTriangles,
-	}, shards)
+	store, err := core.NewShardedDirected(coreConfig(cfg), shards)
 	if err != nil {
 		return nil, fmt.Errorf("linkpred: %w", err)
 	}
-	return &ConcurrentDirected{store: store, cfg: cfg}, nil
+	return &ConcurrentDirected{facade[*core.ShardedDirected]{store: store, cfg: cfg}}, nil
 }
-
-// Config returns the configuration the predictor was built with.
-func (c *ConcurrentDirected) Config() Config { return c.cfg }
 
 // NumShards returns the shard count.
 func (c *ConcurrentDirected) NumShards() int { return c.store.NumShards() }
@@ -57,135 +42,15 @@ func (c *ConcurrentDirected) Observe(u, v uint64) {
 	c.store.ProcessArc(stream.Edge{U: u, V: v})
 }
 
-// ObserveEdge folds a timestamped arc Edge.U → Edge.V. Safe for
-// concurrent use.
-func (c *ConcurrentDirected) ObserveEdge(e Edge) {
-	c.store.ProcessArc(stream.Edge{U: e.U, V: e.V, T: e.T})
-}
-
-// ObserveEdges folds a batch of arcs into the sketches. Safe for
-// concurrent use; like Concurrent.ObserveEdges it hashes each distinct
-// endpoint once outside any lock, folds duplicate arcs into arrival
-// multiplicities, and takes each shard lock once per batch. The result
-// is register-identical to per-arc ingest of the same arcs.
-func (c *ConcurrentDirected) ObserveEdges(edges []Edge) {
-	buf := toStreamEdges(edges)
-	c.store.ProcessArcs(*buf)
-	putStreamEdges(buf)
-}
-
-// Jaccard returns the estimated directed Jaccard of the candidate arc
-// u → v.
-func (c *ConcurrentDirected) Jaccard(u, v uint64) float64 {
-	return c.store.EstimateJaccard(u, v)
-}
-
-// CommonNeighbors returns the estimated number of directed two-path
-// midpoints |{w : u → w → v}|.
-func (c *ConcurrentDirected) CommonNeighbors(u, v uint64) float64 {
-	return c.store.EstimateCommonNeighbors(u, v)
-}
-
-// AdamicAdar returns the estimated directed Adamic–Adar index of u → v.
-func (c *ConcurrentDirected) AdamicAdar(u, v uint64) float64 {
-	return c.store.EstimateAdamicAdar(u, v)
-}
-
-// ResourceAllocation returns the estimated directed resource-allocation
-// index of u → v (midpoints weighted by 1/d of their total degree).
-func (c *ConcurrentDirected) ResourceAllocation(u, v uint64) float64 {
-	return c.store.EstimateResourceAllocation(u, v)
-}
-
-// PreferentialAttachment returns the directed degree product
-// d_out(u)·d_in(v).
-func (c *ConcurrentDirected) PreferentialAttachment(u, v uint64) float64 {
-	return c.store.EstimatePreferentialAttachment(u, v)
-}
-
-// Cosine returns the estimated directed cosine similarity of u → v.
-func (c *ConcurrentDirected) Cosine(u, v uint64) float64 {
-	return c.store.EstimateCosine(u, v)
-}
-
-// Score returns the estimate of the given measure for the candidate arc
-// u → v. Every library measure is supported, under the directed reading:
-// common neighborhoods are N_out(u) ∩ N_in(v), and degree terms use
-// d_out(u) and d_in(v).
-func (c *ConcurrentDirected) Score(m Measure, u, v uint64) (float64, error) {
-	switch m {
-	case Jaccard:
-		return c.store.EstimateJaccard(u, v), nil
-	case CommonNeighbors:
-		return c.store.EstimateCommonNeighbors(u, v), nil
-	case AdamicAdar:
-		return c.store.EstimateAdamicAdar(u, v), nil
-	case ResourceAllocation:
-		return c.store.EstimateResourceAllocation(u, v), nil
-	case PreferentialAttachment:
-		return c.store.EstimatePreferentialAttachment(u, v), nil
-	case Cosine:
-		return c.store.EstimateCosine(u, v), nil
-	default:
-		return 0, fmt.Errorf("linkpred: unknown measure %v", m)
-	}
-}
-
-// ScoreBatch scores every candidate arc u → candidate under the given
-// measure in one batched pass, returning scores aligned with candidates.
-// The source's out-sketch is pinned under one read lock and each shard's
-// candidate in-sketch views are copied under one read lock per shard per
-// batch, so per-query lock cost is O(shards), not O(candidates). Safe
-// for concurrent use with writers. Supports the same measures as Score.
-func (c *ConcurrentDirected) ScoreBatch(m Measure, u uint64, candidates []uint64) ([]float64, error) {
-	qm, err := queryMeasure(m)
-	if err != nil {
-		return nil, err
-	}
-	return c.store.ScoreBatch(qm, u, candidates, nil)
-}
-
-// TopK scores every candidate arc u → candidate and returns the k best,
-// ties broken toward smaller vertex ids. Candidates are deduplicated
-// (repeated ids contribute one result entry) and u itself is skipped;
-// scoring goes through the batched path and selection uses a size-k
-// heap. Supports the same measures as Score.
-func (c *ConcurrentDirected) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Candidate, error) {
-	qm, err := queryMeasure(m)
-	if err != nil {
-		return nil, err
-	}
-	return topKBatch(u, candidates, k, func(dedup []uint64, scores []float64) ([]float64, error) {
-		return c.store.ScoreBatch(qm, u, dedup, scores)
-	})
-}
-
 // OutDegree returns the out-degree estimate of u.
 func (c *ConcurrentDirected) OutDegree(u uint64) float64 { return c.store.OutDegree(u) }
 
 // InDegree returns the in-degree estimate of u.
 func (c *ConcurrentDirected) InDegree(u uint64) float64 { return c.store.InDegree(u) }
 
-// Seen reports whether u has appeared in the stream.
-func (c *ConcurrentDirected) Seen(u uint64) bool { return c.store.Knows(u) }
-
-// NumVertices returns the number of distinct vertices observed.
-func (c *ConcurrentDirected) NumVertices() int { return c.store.NumVertices() }
-
-// NumArcs returns the number of (non-self-loop) arcs observed.
+// NumArcs returns the number of (non-self-loop) arcs observed (alias of
+// NumEdges).
 func (c *ConcurrentDirected) NumArcs() int64 { return c.store.NumArcs() }
-
-// MemoryBytes returns the predictor's payload memory.
-func (c *ConcurrentDirected) MemoryBytes() int { return c.store.MemoryBytes() }
-
-// Save writes the predictor's complete state to w. It takes a
-// consistent snapshot: concurrent writers block for the duration.
-func (c *ConcurrentDirected) Save(w io.Writer) error {
-	if err := c.store.Save(w); err != nil {
-		return fmt.Errorf("linkpred: %w", err)
-	}
-	return nil
-}
 
 // LoadConcurrentDirected restores a predictor saved with
 // (*ConcurrentDirected).Save.
@@ -194,11 +59,5 @@ func LoadConcurrentDirected(r io.Reader) (*ConcurrentDirected, error) {
 	if err != nil {
 		return nil, fmt.Errorf("linkpred: %w", err)
 	}
-	cc := store.Config()
-	return &ConcurrentDirected{store: store, cfg: Config{
-		K:                 cc.K,
-		Seed:              cc.Seed,
-		TabulationHashing: cc.Hash == hashing.KindTabulation,
-		DistinctDegrees:   cc.Degrees == core.DegreeDistinctKMV,
-	}}, nil
+	return &ConcurrentDirected{facade[*core.ShardedDirected]{store: store, cfg: configFromCore(store.Config())}}, nil
 }

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"linkpred/internal/core"
-	"linkpred/internal/hashing"
 	"linkpred/internal/stream"
 )
 
@@ -15,40 +14,30 @@ import (
 // u → v against the directed common neighborhood
 // {w : u → w → v} = N_out(u) ∩ N_in(v), so — unlike the undirected
 // Predictor — every estimate is asymmetric: Jaccard(u, v) scores u → v.
+// PreferentialAttachment is the directed degree product d_out(u)·d_in(v),
+// and the weighted measures (AdamicAdar, ResourceAllocation) weight
+// midpoints by total (in+out) degree. Degree returns the total in+out
+// degree; the directed sides stay available through OutDegree/InDegree,
+// and NumEdges counts arcs (alias NumArcs).
 //
 // Space is O(2K) words per vertex and time O(K) per arc and per query.
-// Config.EnableBiased is not supported. Not safe for concurrent use.
+// Config.EnableBiased is not supported. Not safe for concurrent use
+// (wrap in Synchronized, or use ConcurrentDirected).
 type Directed struct {
-	store *core.DirectedStore
-	cfg   Config
+	facade[*core.DirectedStore]
 }
 
 // NewDirected returns an empty directed predictor. It returns an error
 // if cfg.K < 1 or cfg.EnableBiased is set.
 func NewDirected(cfg Config) (*Directed, error) {
-	kind := hashing.KindMixed
-	if cfg.TabulationHashing {
-		kind = hashing.KindTabulation
-	}
-	degrees := core.DegreeArrivals
-	if cfg.DistinctDegrees {
-		degrees = core.DegreeDistinctKMV
-	}
-	store, err := core.NewDirectedStore(core.Config{
-		K:            cfg.K,
-		Seed:         cfg.Seed,
-		Hash:         kind,
-		Degrees:      degrees,
-		EnableBiased: cfg.EnableBiased,
-	})
+	cc := coreConfig(cfg)
+	cc.TrackTriangles = false // triangle tracking is undirected-only
+	store, err := core.NewDirectedStore(cc)
 	if err != nil {
 		return nil, fmt.Errorf("linkpred: %w", err)
 	}
-	return &Directed{store: store, cfg: cfg}, nil
+	return &Directed{facade[*core.DirectedStore]{store: store, cfg: cfg}}, nil
 }
-
-// Config returns the configuration the predictor was built with.
-func (d *Directed) Config() Config { return d.cfg }
 
 // Observe folds the arc u → v into the sketches. Self-loops are
 // ignored.
@@ -56,71 +45,15 @@ func (d *Directed) Observe(u, v uint64) {
 	d.store.ProcessArc(stream.Edge{U: u, V: v})
 }
 
-// ObserveEdge folds a timestamped arc Edge.U → Edge.V.
-func (d *Directed) ObserveEdge(e Edge) {
-	d.store.ProcessArc(stream.Edge{U: e.U, V: e.V, T: e.T})
-}
-
-// Jaccard returns the estimated directed Jaccard coefficient of the
-// candidate arc u → v: |N_out(u) ∩ N_in(v)| / |N_out(u) ∪ N_in(v)|.
-func (d *Directed) Jaccard(u, v uint64) float64 { return d.store.EstimateJaccard(u, v) }
-
-// CommonNeighbors returns the estimated number of directed two-path
-// midpoints |{w : u → w → v}|.
-func (d *Directed) CommonNeighbors(u, v uint64) float64 {
-	return d.store.EstimateCommonNeighbors(u, v)
-}
-
-// AdamicAdar returns the estimated directed Adamic–Adar index of the
-// arc u → v, weighting midpoints by total (in+out) degree.
-func (d *Directed) AdamicAdar(u, v uint64) float64 { return d.store.EstimateAdamicAdar(u, v) }
-
-// ResourceAllocation returns the estimated directed resource-allocation
-// index of u → v (the Adamic–Adar construction with 1/d midpoint
-// weights).
-func (d *Directed) ResourceAllocation(u, v uint64) float64 {
-	return d.store.EstimateResourceAllocation(u, v)
-}
-
-// PreferentialAttachment returns the directed degree product
-// d_out(u)·d_in(v).
-func (d *Directed) PreferentialAttachment(u, v uint64) float64 {
-	return d.store.EstimatePreferentialAttachment(u, v)
-}
-
-// Cosine returns the estimated directed cosine similarity
-// |N_out(u) ∩ N_in(v)| / sqrt(d_out(u)·d_in(v)).
-func (d *Directed) Cosine(u, v uint64) float64 { return d.store.EstimateCosine(u, v) }
-
 // OutDegree returns the out-degree estimate of u.
 func (d *Directed) OutDegree(u uint64) float64 { return d.store.OutDegree(u) }
 
 // InDegree returns the in-degree estimate of u.
 func (d *Directed) InDegree(u uint64) float64 { return d.store.InDegree(u) }
 
-// Seen reports whether u has appeared in the stream (either arc
-// endpoint).
-func (d *Directed) Seen(u uint64) bool { return d.store.Knows(u) }
-
-// NumVertices returns the number of distinct vertices observed.
-func (d *Directed) NumVertices() int { return d.store.NumVertices() }
-
 // NumArcs returns the number of (non-self-loop) arcs observed, counting
-// duplicates.
+// duplicates (alias of NumEdges).
 func (d *Directed) NumArcs() int64 { return d.store.NumArcs() }
-
-// MemoryBytes returns the predictor's payload memory (two sketches per
-// vertex).
-func (d *Directed) MemoryBytes() int { return d.store.MemoryBytes() }
-
-// Save writes the predictor's complete state to w, for checkpointing
-// long-running arc-stream processors. LoadDirected restores it.
-func (d *Directed) Save(w io.Writer) error {
-	if err := d.store.Save(w); err != nil {
-		return fmt.Errorf("linkpred: %w", err)
-	}
-	return nil
-}
 
 // LoadDirected restores a predictor saved with (*Directed).Save. The
 // restored predictor answers every query identically and can continue
@@ -130,11 +63,5 @@ func LoadDirected(r io.Reader) (*Directed, error) {
 	if err != nil {
 		return nil, fmt.Errorf("linkpred: %w", err)
 	}
-	cc := store.Config()
-	return &Directed{store: store, cfg: Config{
-		K:                 cc.K,
-		Seed:              cc.Seed,
-		TabulationHashing: cc.Hash == hashing.KindTabulation,
-		DistinctDegrees:   cc.Degrees == core.DegreeDistinctKMV,
-	}}, nil
+	return &Directed{facade[*core.DirectedStore]{store: store, cfg: configFromCore(store.Config())}}, nil
 }

@@ -23,6 +23,15 @@
 //
 // Accuracy scales as 1/√K: use SketchSizeFor to derive K from a target
 // (ε, δ) guarantee.
+//
+// # Predictor modes
+//
+// Five predictor types cover the mode matrix — Predictor (single-writer
+// undirected), Concurrent (sharded undirected), Directed and
+// ConcurrentDirected (arc streams), Windowed (sliding window). All five
+// embed the same engine core, so every measure, Score/ScoreBatch/TopK,
+// the stats gauges, and Save behave identically across modes; the
+// Engine interface is the mode-agnostic handle serving layers build on.
 package linkpred
 
 import (
@@ -33,7 +42,6 @@ import (
 	"sync"
 
 	"linkpred/internal/core"
-	"linkpred/internal/hashing"
 	"linkpred/internal/stream"
 )
 
@@ -120,7 +128,9 @@ func ParseMeasure(name string) (Measure, error) {
 }
 
 // queryMeasure maps the public Measure onto the core query engine's
-// measure enum, shared by every facade's ScoreBatch/TopK.
+// measure enum, shared by every facade method. Adding a measure to the
+// library is a two-file change: the kernel arm in
+// internal/core/measure_kernel.go, plus the constant and this mapping.
 func queryMeasure(m Measure) (core.QueryMeasure, error) {
 	switch m {
 	case Jaccard:
@@ -163,57 +173,28 @@ func (m Measure) String() string {
 // Predictor is a streaming link predictor. It is safe for concurrent
 // queries, but Observe/ObserveEdge must not run concurrently with
 // anything else.
+//
+// The query, stats, and persistence surface (Jaccard … Cosine, Score,
+// ScoreBatch, TopK, Degree, Seen, NumVertices, NumEdges, MemoryBytes,
+// Save) is the shared facade; see the Engine interface for the
+// mode-agnostic contract.
 type Predictor struct {
-	store *core.SketchStore
-	cfg   Config
+	facade[*core.SketchStore]
 }
 
 // New returns an empty Predictor. It returns an error if cfg.K < 1.
 func New(cfg Config) (*Predictor, error) {
-	kind := hashing.KindMixed
-	if cfg.TabulationHashing {
-		kind = hashing.KindTabulation
-	}
-	degrees := core.DegreeArrivals
-	if cfg.DistinctDegrees {
-		degrees = core.DegreeDistinctKMV
-	}
-	store, err := core.NewSketchStore(core.Config{
-		K:              cfg.K,
-		Seed:           cfg.Seed,
-		Hash:           kind,
-		Degrees:        degrees,
-		EnableBiased:   cfg.EnableBiased,
-		TrackTriangles: cfg.TrackTriangles,
-	})
+	store, err := core.NewSketchStore(coreConfig(cfg))
 	if err != nil {
 		return nil, fmt.Errorf("linkpred: %w", err)
 	}
-	return &Predictor{store: store, cfg: cfg}, nil
+	return &Predictor{facade[*core.SketchStore]{store: store, cfg: cfg}}, nil
 }
-
-// Config returns the configuration the Predictor was built with.
-func (p *Predictor) Config() Config { return p.cfg }
 
 // Observe folds the undirected edge {u, v} into the sketches.
 // Self-loops are ignored. Cost: O(K).
 func (p *Predictor) Observe(u, v uint64) {
 	p.store.ProcessEdge(stream.Edge{U: u, V: v})
-}
-
-// ObserveEdge folds a timestamped edge into the sketches.
-func (p *Predictor) ObserveEdge(e Edge) {
-	p.store.ProcessEdge(stream.Edge{U: e.U, V: e.V, T: e.T})
-}
-
-// ObserveEdges folds a batch of edges into the sketches, equivalent to
-// calling ObserveEdge on each in order. Batching exists for API symmetry
-// with Concurrent.ObserveEdges; the single-writer Predictor gains no
-// locking advantage from it.
-func (p *Predictor) ObserveEdges(edges []Edge) {
-	buf := toStreamEdges(edges)
-	p.store.ProcessEdges(*buf)
-	putStreamEdges(buf)
 }
 
 // streamEdgePool recycles the []stream.Edge conversion buffers behind
@@ -238,38 +219,6 @@ func toStreamEdges(edges []Edge) *[]stream.Edge {
 }
 
 func putStreamEdges(bp *[]stream.Edge) { streamEdgePool.Put(bp) }
-
-// Jaccard returns the estimated Jaccard coefficient of (u, v) in [0, 1].
-// Pairs involving never-observed vertices score 0.
-func (p *Predictor) Jaccard(u, v uint64) float64 { return p.store.EstimateJaccard(u, v) }
-
-// CommonNeighbors returns the estimated number of common neighbors of
-// (u, v).
-func (p *Predictor) CommonNeighbors(u, v uint64) float64 {
-	return p.store.EstimateCommonNeighbors(u, v)
-}
-
-// AdamicAdar returns the estimated Adamic–Adar index of (u, v) using the
-// default matched-register estimator.
-func (p *Predictor) AdamicAdar(u, v uint64) float64 { return p.store.EstimateAdamicAdar(u, v) }
-
-// ResourceAllocation returns the estimated resource-allocation index
-// RA(u, v) = Σ_{w ∈ N(u)∩N(v)} 1/d(w).
-func (p *Predictor) ResourceAllocation(u, v uint64) float64 {
-	return p.store.EstimateResourceAllocation(u, v)
-}
-
-// PreferentialAttachment returns the degree product d(u)·d(v) under the
-// Predictor's degree estimates.
-func (p *Predictor) PreferentialAttachment(u, v uint64) float64 {
-	return p.store.EstimatePreferentialAttachment(u, v)
-}
-
-// Cosine returns the estimated cosine (Salton) similarity
-// |N(u)∩N(v)| / sqrt(d(u)·d(v)).
-func (p *Predictor) Cosine(u, v uint64) float64 {
-	return p.store.EstimateCosine(u, v)
-}
 
 // AdamicAdarBiased returns the vertex-biased sampling estimate of the
 // Adamic–Adar index. It returns NaN unless the Predictor was built with
@@ -302,83 +251,10 @@ func (p *Predictor) LocalClustering(u uint64) float64 {
 	return p.store.EstimateLocalClustering(u)
 }
 
-// Score returns the estimate of the given measure for (u, v).
-func (p *Predictor) Score(m Measure, u, v uint64) (float64, error) {
-	switch m {
-	case Jaccard:
-		return p.store.EstimateJaccard(u, v), nil
-	case CommonNeighbors:
-		return p.store.EstimateCommonNeighbors(u, v), nil
-	case AdamicAdar:
-		return p.store.EstimateAdamicAdar(u, v), nil
-	case ResourceAllocation:
-		return p.store.EstimateResourceAllocation(u, v), nil
-	case PreferentialAttachment:
-		return p.store.EstimatePreferentialAttachment(u, v), nil
-	case Cosine:
-		return p.store.EstimateCosine(u, v), nil
-	default:
-		return 0, fmt.Errorf("linkpred: unknown measure %v", m)
-	}
-}
-
-// Degree returns the Predictor's degree estimate for u (exact arrival
-// count, or KMV distinct estimate under Config.DistinctDegrees).
-func (p *Predictor) Degree(u uint64) float64 { return p.store.Degree(u) }
-
-// Seen reports whether u has appeared in the stream.
-func (p *Predictor) Seen(u uint64) bool { return p.store.Knows(u) }
-
-// NumVertices returns the number of distinct vertices observed.
-func (p *Predictor) NumVertices() int { return p.store.NumVertices() }
-
-// NumEdges returns the number of (non-self-loop) edges observed,
-// counting duplicates.
-func (p *Predictor) NumEdges() int64 { return p.store.NumEdges() }
-
-// MemoryBytes returns the Predictor's payload memory: O(K) per observed
-// vertex, independent of the number of edges.
-func (p *Predictor) MemoryBytes() int { return p.store.MemoryBytes() }
-
 // Candidate pairs a vertex with its estimated score, as returned by TopK.
 type Candidate struct {
 	V     uint64
 	Score float64
-}
-
-// ScoreBatch scores every candidate against u under the given measure in
-// one batched pass, returning scores aligned with candidates. It is
-// equivalent to calling Score per pair but computes shared work — the
-// source's sketch resolution and the weighted measures' common-neighbor
-// degree lookups — once per batch, and scores chunks on parallel
-// workers. Duplicate candidate ids receive identical scores; a candidate
-// equal to u is scored like any other pair (TopK is the ranking layer
-// that skips the source and deduplicates).
-func (p *Predictor) ScoreBatch(m Measure, u uint64, candidates []uint64) ([]float64, error) {
-	qm, err := queryMeasure(m)
-	if err != nil {
-		return nil, err
-	}
-	return p.store.ScoreBatch(qm, u, candidates, nil)
-}
-
-// TopK scores every candidate vertex against u under the given measure
-// and returns the k best, ties broken toward smaller vertex ids for
-// determinism. Candidates are deduplicated (repeated ids contribute one
-// result entry) and u itself is skipped; scoring goes through the
-// batched path and selection uses a size-k heap, so a query is O(N) in
-// scoring plus O(N log k) in selection rather than O(N log N).
-// Candidate generation is the caller's concern (a streaming sketch
-// cannot enumerate two-hop neighborhoods itself); typical callers track
-// recently active vertices or a per-community candidate pool.
-func (p *Predictor) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Candidate, error) {
-	qm, err := queryMeasure(m)
-	if err != nil {
-		return nil, err
-	}
-	return topKBatch(u, candidates, k, func(dedup []uint64, scores []float64) ([]float64, error) {
-		return p.store.ScoreBatch(qm, u, dedup, scores)
-	})
 }
 
 // topKByScore is the sequential reference ranking: score each candidate
@@ -421,16 +297,6 @@ func topKByScore(u uint64, candidates []uint64, k int, score func(v uint64) (flo
 	return out, nil
 }
 
-// Save writes the Predictor's complete state (configuration, degree
-// counters and sketches) to w in a versioned binary format, for
-// checkpointing long-running stream processors. Load restores it.
-func (p *Predictor) Save(w io.Writer) error {
-	if err := p.store.Save(w); err != nil {
-		return fmt.Errorf("linkpred: %w", err)
-	}
-	return nil
-}
-
 // Load restores a Predictor saved with Save. The restored Predictor
 // answers every query identically to the saved one and can continue
 // consuming the stream where it left off.
@@ -439,15 +305,7 @@ func Load(r io.Reader) (*Predictor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("linkpred: %w", err)
 	}
-	cc := store.Config()
-	return &Predictor{store: store, cfg: Config{
-		K:                 cc.K,
-		Seed:              cc.Seed,
-		TabulationHashing: cc.Hash == hashing.KindTabulation,
-		DistinctDegrees:   cc.Degrees == core.DegreeDistinctKMV,
-		EnableBiased:      cc.EnableBiased,
-		TrackTriangles:    cc.TrackTriangles,
-	}}, nil
+	return &Predictor{facade[*core.SketchStore]{store: store, cfg: configFromCore(store.Config())}}, nil
 }
 
 // SketchSizeFor returns the smallest K for which the Jaccard estimator is

@@ -5,8 +5,6 @@ import (
 	"io"
 
 	"linkpred/internal/core"
-	"linkpred/internal/hashing"
-	"linkpred/internal/stream"
 )
 
 // Windowed is a sliding-window streaming link predictor: estimates
@@ -22,41 +20,33 @@ import (
 // Config.DistinctDegrees is implied. Config.EnableBiased is not
 // supported.
 //
-// Edge timestamps must be non-decreasing. Rotation is O(gens) worst
+// Edge timestamps must be non-decreasing, which is why Windowed has no
+// timestamp-less Observe method: feed it through ObserveEdge (or
+// ObserveEdges) with explicit Edge.T values. Rotation is O(gens) worst
 // case per edge for any time gap (an idle period, or a jump from T=0 to
 // epoch-seconds timestamps, rotates arithmetically instead of one span
 // at a time), so per-edge cost stays constant. A late edge still inside
 // the window lands in the generation covering its timestamp; an edge
 // older than the whole window is folded into the oldest live generation
-// rather than dropped.
+// rather than dropped. Not safe for concurrent use (wrap in
+// Synchronized to serve queries against a live window).
 type Windowed struct {
-	store *core.Windowed
-	cfg   Config
+	facade[*core.Windowed]
 }
 
 // NewWindowed returns an empty windowed predictor. It returns an error
 // if cfg.K < 1, window < 1, gens < 2, window/gens < 1, or
 // cfg.EnableBiased is set.
 func NewWindowed(cfg Config, window int64, gens int) (*Windowed, error) {
-	kind := hashing.KindMixed
-	if cfg.TabulationHashing {
-		kind = hashing.KindTabulation
-	}
-	store, err := core.NewWindowed(core.Config{
-		K:            cfg.K,
-		Seed:         cfg.Seed,
-		Hash:         kind,
-		Degrees:      core.DegreeDistinctKMV,
-		EnableBiased: cfg.EnableBiased,
-	}, window, gens)
+	cc := coreConfig(cfg)
+	cc.Degrees = core.DegreeDistinctKMV // windowed degrees are always distinct counts
+	cc.TrackTriangles = false           // triangle tracking is whole-stream only
+	store, err := core.NewWindowed(cc, window, gens)
 	if err != nil {
 		return nil, fmt.Errorf("linkpred: %w", err)
 	}
-	return &Windowed{store: store, cfg: cfg}, nil
+	return &Windowed{facade[*core.Windowed]{store: store, cfg: cfg}}, nil
 }
-
-// Config returns the configuration the predictor was built with.
-func (w *Windowed) Config() Config { return w.cfg }
 
 // Window returns the total window span covered.
 func (w *Windowed) Window() int64 { return w.store.Window() }
@@ -66,124 +56,13 @@ func (w *Windowed) Window() int64 { return w.store.Window() }
 // regardless of the time gap between edges.
 func (w *Windowed) Rotations() int64 { return w.store.Rotations() }
 
-// ObserveEdge folds a timestamped edge into the window. Timestamps must
-// be non-decreasing.
-func (w *Windowed) ObserveEdge(e Edge) {
-	w.store.ProcessEdge(stream.Edge{U: e.U, V: e.V, T: e.T})
-}
-
-// Jaccard returns the estimated Jaccard coefficient over the window.
-func (w *Windowed) Jaccard(u, v uint64) float64 { return w.store.EstimateJaccard(u, v) }
-
-// CommonNeighbors returns the estimated common-neighbor count over the
-// window.
-func (w *Windowed) CommonNeighbors(u, v uint64) float64 {
-	return w.store.EstimateCommonNeighbors(u, v)
-}
-
-// AdamicAdar returns the estimated Adamic–Adar index over the window.
-func (w *Windowed) AdamicAdar(u, v uint64) float64 { return w.store.EstimateAdamicAdar(u, v) }
-
-// ResourceAllocation returns the estimated resource-allocation index
-// over the window.
-func (w *Windowed) ResourceAllocation(u, v uint64) float64 {
-	return w.store.EstimateResourceAllocation(u, v)
-}
-
-// PreferentialAttachment returns the degree product d(u)·d(v) under the
-// windowed (distinct-count) degree estimates.
-func (w *Windowed) PreferentialAttachment(u, v uint64) float64 {
-	return w.store.EstimatePreferentialAttachment(u, v)
-}
-
-// Cosine returns the estimated cosine (Salton) similarity over the
-// window.
-func (w *Windowed) Cosine(u, v uint64) float64 { return w.store.EstimateCosine(u, v) }
-
-// Score returns the estimate of the given measure for (u, v) over the
-// window. Every library measure is supported.
-func (w *Windowed) Score(m Measure, u, v uint64) (float64, error) {
-	switch m {
-	case Jaccard:
-		return w.store.EstimateJaccard(u, v), nil
-	case CommonNeighbors:
-		return w.store.EstimateCommonNeighbors(u, v), nil
-	case AdamicAdar:
-		return w.store.EstimateAdamicAdar(u, v), nil
-	case ResourceAllocation:
-		return w.store.EstimateResourceAllocation(u, v), nil
-	case PreferentialAttachment:
-		return w.store.EstimatePreferentialAttachment(u, v), nil
-	case Cosine:
-		return w.store.EstimateCosine(u, v), nil
-	default:
-		return 0, fmt.Errorf("linkpred: unknown measure %v", m)
-	}
-}
-
-// ScoreBatch scores every candidate against u over the window in one
-// batched pass, returning scores aligned with candidates. The batch path
-// merges the source's generations once and precomputes the Adamic–Adar
-// midpoint weights once per batch — the per-pair estimators redo both
-// for every candidate — and scores chunks on parallel workers. Like the
-// per-pair estimators, it must not run concurrently with ObserveEdge.
-// Supports the same measures as Score.
-func (w *Windowed) ScoreBatch(m Measure, u uint64, candidates []uint64) ([]float64, error) {
-	qm, err := queryMeasure(m)
-	if err != nil {
-		return nil, err
-	}
-	return w.store.ScoreBatch(qm, u, candidates, nil)
-}
-
-// TopK scores every candidate against u over the window and returns the
-// k best, ties broken toward smaller vertex ids. Candidates are
-// deduplicated (repeated ids contribute one result entry) and u itself
-// is skipped. Supports the same measures as Score; must not run
-// concurrently with ObserveEdge.
-func (w *Windowed) TopK(m Measure, u uint64, candidates []uint64, k int) ([]Candidate, error) {
-	qm, err := queryMeasure(m)
-	if err != nil {
-		return nil, err
-	}
-	return topKBatch(u, candidates, k, func(dedup []uint64, scores []float64) ([]float64, error) {
-		return w.store.ScoreBatch(qm, u, dedup, scores)
-	})
-}
-
-// Degree returns the estimated distinct degree of u over the window.
-func (w *Windowed) Degree(u uint64) float64 { return w.store.Degree(u) }
-
-// Seen reports whether u appears anywhere in the current window.
-func (w *Windowed) Seen(u uint64) bool { return w.store.Knows(u) }
-
-// NumEdges returns the number of edges currently held in the window.
-func (w *Windowed) NumEdges() int64 { return w.store.NumEdges() }
-
-// MemoryBytes returns the predictor's payload memory.
-func (w *Windowed) MemoryBytes() int { return w.store.MemoryBytes() }
-
-// Save writes the windowed predictor's complete state — including the
-// window geometry and rotation cursor — to wr, so a restored predictor
-// resumes the window exactly where it left off.
-func (w *Windowed) Save(wr io.Writer) error {
-	if err := w.store.Save(wr); err != nil {
-		return fmt.Errorf("linkpred: %w", err)
-	}
-	return nil
-}
-
 // LoadWindowed restores a predictor saved with (*Windowed).Save.
 func LoadWindowed(r io.Reader) (*Windowed, error) {
 	store, err := core.LoadWindowed(r)
 	if err != nil {
 		return nil, fmt.Errorf("linkpred: %w", err)
 	}
-	cc := store.Config()
-	return &Windowed{store: store, cfg: Config{
-		K:                 cc.K,
-		Seed:              cc.Seed,
-		TabulationHashing: cc.Hash == hashing.KindTabulation,
-		DistinctDegrees:   true, // windowed mode always uses distinct degrees
-	}}, nil
+	cfg := configFromCore(store.Config())
+	cfg.DistinctDegrees = true // windowed mode always uses distinct degrees
+	return &Windowed{facade[*core.Windowed]{store: store, cfg: cfg}}, nil
 }
