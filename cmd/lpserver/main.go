@@ -3,8 +3,21 @@
 // Usage:
 //
 //	lpserver -addr :8080 -k 128 -shards 8
+//	lpserver -addr :8080 -mode directed          # serve an arc stream
+//	lpserver -addr :8080 -mode windowed -window 3600 -gens 6
 //	lpserver -addr :8080 -warm stream.txt        # pre-ingest a stream file
 //	lpserver -addr :8080 -checkpoint state.lp    # restore on start, save on exit
+//
+// -mode selects the predictor engine behind the same HTTP surface:
+// concurrent (default, sharded undirected), single, directed,
+// concurrent-directed, or windowed (sliding window over Edge.T; set
+// -window and -gens). Every mode serves the full endpoint set —
+// /score, /scorebatch, /topk, durable /ingest — identically; directed
+// modes read ingested lines as arcs u → v and log them to the WAL as
+// arc records, and single-writer modes are wrapped in a lock so
+// concurrent traffic stays safe. Checkpoints are self-describing: on
+// restore (boot -checkpoint, WAL snapshot, or POST /restore) the
+// image's magic header selects the store, whatever mode wrote it.
 //
 // Endpoints (see internal/server):
 //
@@ -94,9 +107,12 @@ func build(args []string, stdout io.Writer) (*app, error) {
 	fs := flag.NewFlagSet("lpserver", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
+		mode       = fs.String("mode", linkpred.ModeConcurrent, "engine mode: single | concurrent | directed | concurrent-directed | windowed")
 		k          = fs.Int("k", 128, "sketch registers per vertex")
 		seed       = fs.Uint64("seed", 42, "hash seed")
 		shards     = fs.Int("shards", 8, "lock shards for concurrent ingest")
+		window     = fs.Int64("window", 3600, "with -mode windowed: window span in Edge.T units")
+		gens       = fs.Int("gens", 4, "with -mode windowed: tumbling generations covering the window")
 		distinct   = fs.Bool("distinct-degrees", true, "KMV distinct-degree estimation (robust to duplicate edges)")
 		warm       = fs.String("warm", "", "optional stream file to ingest before serving")
 		checkpoint = fs.String("checkpoint", "", "restore predictor from this file on start (if present) and save to it on graceful exit")
@@ -115,9 +131,13 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		return nil, err
 	}
 
-	pred, err := linkpred.NewConcurrent(linkpred.Config{
-		K: *k, Seed: *seed, DistinctDegrees: *distinct,
-	}, *shards)
+	pred, err := linkpred.NewEngine(linkpred.EngineSpec{
+		Mode:   *mode,
+		Config: linkpred.Config{K: *k, Seed: *seed, DistinctDegrees: *distinct},
+		Shards: *shards,
+		Window: *window,
+		Gens:   *gens,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -129,8 +149,8 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		}
 		if restored != nil {
 			pred = restored
-			fmt.Fprintf(stdout, "restored checkpoint %s (%d vertices, %d edges)\n",
-				*checkpoint, pred.NumVertices(), pred.NumEdges())
+			fmt.Fprintf(stdout, "restored checkpoint %s (mode %s, %d vertices, %d edges)\n",
+				*checkpoint, linkpred.ModeOf(pred), pred.NumVertices(), pred.NumEdges())
 		}
 	}
 
@@ -152,7 +172,7 @@ func build(args []string, stdout io.Writer) (*app, error) {
 			return nil, err
 		}
 		res, err := wal.Recover(nil, *walDir, func(r io.Reader) error {
-			loaded, err := linkpred.LoadConcurrent(r)
+			loaded, err := linkpred.LoadAnyEngine(r)
 			if err != nil {
 				return err
 			}
@@ -177,9 +197,15 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		if err != nil {
 			return nil, fmt.Errorf("open wal: %w", err)
 		}
-		opts.Durability = wal.NewDurable(w, *walDir, wal.KindEdge, func(wr io.Writer) error {
+		// Directed engines log arcs, so a replayed record keeps its
+		// orientation.
+		kind := wal.KindEdge
+		if linkpred.DirectedEngine(pred) {
+			kind = wal.KindArc
+		}
+		opts.Durability = wal.NewDurable(w, *walDir, kind, func(wr io.Writer) error {
 			if s := srvHolder.Load(); s != nil {
-				return s.Predictor().Save(wr)
+				return s.Engine().Save(wr)
 			}
 			return pred.Save(wr)
 		})
@@ -239,7 +265,7 @@ func build(args []string, stdout io.Writer) (*app, error) {
 			return nil, fmt.Errorf("stream monitor: %w", err)
 		}
 	}
-	fmt.Fprintf(stdout, "serving sketch k=%d over %d shards\n", *k, *shards)
+	fmt.Fprintf(stdout, "serving %s sketch k=%d\n", linkpred.ModeOf(pred), *k)
 	srv := server.NewWithOptions(pred, opts)
 	if opts.Durability != nil {
 		srvHolder.Store(srv)
@@ -313,9 +339,10 @@ func run(ctx context.Context, a *app, stdout io.Writer) error {
 	return nil
 }
 
-// loadCheckpoint reads a predictor image from path. A missing file is
+// loadCheckpoint reads a predictor image from path; the image's magic
+// header selects the engine mode, whatever wrote it. A missing file is
 // not an error — it is the normal first boot — and yields (nil, nil).
-func loadCheckpoint(path string) (*linkpred.Concurrent, error) {
+func loadCheckpoint(path string) (linkpred.Engine, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
@@ -324,7 +351,7 @@ func loadCheckpoint(path string) (*linkpred.Concurrent, error) {
 		return nil, fmt.Errorf("open checkpoint: %w", err)
 	}
 	defer f.Close()
-	pred, err := linkpred.LoadConcurrent(f)
+	pred, err := linkpred.LoadAnyEngine(f)
 	if err != nil {
 		return nil, fmt.Errorf("load checkpoint %s: %w", path, err)
 	}
@@ -339,6 +366,6 @@ func loadCheckpoint(path string) (*linkpred.Concurrent, error) {
 // missing image.
 func (a *app) saveCheckpoint() error {
 	return wal.AtomicWriteFile(a.checkpoint, func(w io.Writer) error {
-		return a.srv.Predictor().Save(w)
+		return a.srv.Engine().Save(w)
 	})
 }

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	linkpred "linkpred"
 )
 
 func TestBuildAndServe(t *testing.T) {
@@ -140,7 +142,7 @@ func TestRunShutdownSavesCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a.srv.Predictor().Observe(1, 2)
+	a.srv.Engine().ObserveEdge(linkpred.Edge{U: 1, V: 2})
 
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
@@ -203,7 +205,7 @@ func TestWALRecoveryAfterCrash(t *testing.T) {
 	if !strings.Contains(out.String(), "recovered") {
 		t.Errorf("second boot should report recovery: %q", out.String())
 	}
-	if n := a2.srv.Predictor().NumEdges(); n != 5 {
+	if n := a2.srv.Engine().NumEdges(); n != 5 {
 		t.Errorf("recovered %d edges, want 5", n)
 	}
 	ts2 := httptest.NewServer(a2.srv)
@@ -248,7 +250,7 @@ func TestWALSkipsWarmAfterRecovery(t *testing.T) {
 	if !strings.Contains(out.String(), "skipping -warm") {
 		t.Errorf("second boot should skip warm: %q", out.String())
 	}
-	if n := a2.srv.Predictor().NumEdges(); n != 3 {
+	if n := a2.srv.Engine().NumEdges(); n != 3 {
 		t.Errorf("recovered %d edges, want 3 (warm must not double-ingest)", n)
 	}
 }

@@ -45,27 +45,6 @@ import (
 	"linkpred/internal/wal"
 )
 
-// undirectedModel is the query surface shared by linkpred.Predictor and
-// linkpred.Concurrent, so the reporting code below is mode-agnostic.
-type undirectedModel interface {
-	Jaccard(u, v uint64) float64
-	CommonNeighbors(u, v uint64) float64
-	AdamicAdar(u, v uint64) float64
-	TopK(m linkpred.Measure, u uint64, candidates []uint64, k int) ([]linkpred.Candidate, error)
-	NumVertices() int
-	MemoryBytes() int
-}
-
-// directedModel is the query surface shared by linkpred.Directed and
-// linkpred.ConcurrentDirected.
-type directedModel interface {
-	Jaccard(u, v uint64) float64
-	CommonNeighbors(u, v uint64) float64
-	AdamicAdar(u, v uint64) float64
-	NumVertices() int
-	MemoryBytes() int
-}
-
 func main() {
 	// Stdin queries only when something is piped in.
 	var queries io.Reader
@@ -112,110 +91,45 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		return fmt.Errorf("-batch must be >= 1, got %d", *batch)
 	}
 
-	// Pick the model: the single-writer predictors at -parallel 1, the
+	// Pick the engine mode: single-writer predictors at -parallel 1, the
 	// sharded concurrent ones above that (shards = 4× the writer count so
 	// that per-batch shard groups spread across writers). Every estimate
-	// is identical across the four; only locking differs.
+	// is identical across the four modes; only locking differs. The
+	// constructor registry (linkpred.NewEngine) is the same one lpserver
+	// serves from.
 	cfg := linkpred.Config{K: *k, Seed: *seed, DistinctDegrees: *distinct}
-	var p undirectedModel
-	var dp directedModel
-	var observe func([]linkpred.Edge)
-	// save/load checkpoint the chosen model for -wal-dir; load replaces
-	// the model with the snapshot's (rebinding every handle above), so
-	// the flag-built empty model is discarded on resume.
-	var save func(io.Writer) error
-	var load func(io.Reader) error
-	checkCfg := func(got linkpred.Config) error {
-		if got.K != cfg.K || got.Seed != cfg.Seed || got.DistinctDegrees != cfg.DistinctDegrees {
+	mode := linkpred.ModeSingle
+	switch {
+	case *directed && *parallel > 1:
+		mode = linkpred.ModeConcurrentDirected
+	case *directed:
+		mode = linkpred.ModeDirected
+	case *parallel > 1:
+		mode = linkpred.ModeConcurrent
+	}
+	eng, err := linkpred.NewEngine(linkpred.EngineSpec{Mode: mode, Config: cfg, Shards: 4 * *parallel})
+	if err != nil {
+		return err
+	}
+	// load replaces the flag-built empty engine with a -wal-dir
+	// snapshot's (the image's magic selects the store); the snapshot must
+	// match the flags, or the resumed ingest would diverge from the
+	// durable prefix.
+	observe := func(batch []linkpred.Edge) { eng.ObserveEdges(batch) }
+	load := func(r io.Reader) error {
+		loaded, lerr := linkpred.LoadAnyEngine(r)
+		if lerr != nil {
+			return lerr
+		}
+		if got := loaded.Config(); got.K != cfg.K || got.Seed != cfg.Seed || got.DistinctDegrees != cfg.DistinctDegrees {
 			return fmt.Errorf("snapshot was built with -k %d -seed %d -distinct-degrees=%v; rerun with the same flags",
 				got.K, got.Seed, got.DistinctDegrees)
 		}
+		if got := linkpred.ModeOf(loaded); got != mode {
+			return fmt.Errorf("snapshot was built in %s mode, this run is %s; rerun with the matching -directed/-parallel flags", got, mode)
+		}
+		eng = loaded
 		return nil
-	}
-	var err error
-	switch {
-	case *directed && *parallel > 1:
-		m, e := linkpred.NewConcurrentDirected(cfg, 4**parallel)
-		err = e
-		if e == nil {
-			bind := func(m *linkpred.ConcurrentDirected) { dp, observe, save = m, m.ObserveEdges, m.Save }
-			bind(m)
-			load = func(r io.Reader) error {
-				lm, err := linkpred.LoadConcurrentDirected(r)
-				if err != nil {
-					return err
-				}
-				if err := checkCfg(lm.Config()); err != nil {
-					return err
-				}
-				bind(lm)
-				return nil
-			}
-		}
-	case *directed:
-		m, e := linkpred.NewDirected(cfg)
-		err = e
-		if e == nil {
-			bind := func(m *linkpred.Directed) {
-				dp, save = m, m.Save
-				observe = func(batch []linkpred.Edge) {
-					for _, ed := range batch {
-						m.ObserveEdge(ed)
-					}
-				}
-			}
-			bind(m)
-			load = func(r io.Reader) error {
-				lm, err := linkpred.LoadDirected(r)
-				if err != nil {
-					return err
-				}
-				if err := checkCfg(lm.Config()); err != nil {
-					return err
-				}
-				bind(lm)
-				return nil
-			}
-		}
-	case *parallel > 1:
-		m, e := linkpred.NewConcurrent(cfg, 4**parallel)
-		err = e
-		if e == nil {
-			bind := func(m *linkpred.Concurrent) { p, observe, save = m, m.ObserveEdges, m.Save }
-			bind(m)
-			load = func(r io.Reader) error {
-				lm, err := linkpred.LoadConcurrent(r)
-				if err != nil {
-					return err
-				}
-				if err := checkCfg(lm.Config()); err != nil {
-					return err
-				}
-				bind(lm)
-				return nil
-			}
-		}
-	default:
-		m, e := linkpred.New(cfg)
-		err = e
-		if e == nil {
-			bind := func(m *linkpred.Predictor) { p, observe, save = m, m.ObserveEdges, m.Save }
-			bind(m)
-			load = func(r io.Reader) error {
-				lm, err := linkpred.Load(r)
-				if err != nil {
-					return err
-				}
-				if err := checkCfg(lm.Config()); err != nil {
-					return err
-				}
-				bind(lm)
-				return nil
-			}
-		}
-	}
-	if err != nil {
-		return err
 	}
 	var mon *monitor.StreamMonitor
 	if *profile {
@@ -284,7 +198,7 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		if werr != nil {
 			return fmt.Errorf("open wal: %w", werr)
 		}
-		durable = wal.NewDurable(w, *walDir, walKind, func(wr io.Writer) error { return save(wr) })
+		durable = wal.NewDurable(w, *walDir, walKind, func(wr io.Writer) error { return eng.Save(wr) })
 	}
 
 	// Batched ingest pipeline: the reader fills -batch-edge buffers and
@@ -386,12 +300,12 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	}
 	elapsed := time.Since(start)
 	rate := float64(edges) / elapsed.Seconds()
-	if dp != nil {
+	if *directed {
 		fmt.Fprintf(stdout, "ingested %d arcs, %d vertices; sketch memory %.1f MiB (k=%d, directed)\n",
-			edges, dp.NumVertices(), float64(dp.MemoryBytes())/(1<<20), *k)
+			edges, eng.NumVertices(), float64(eng.MemoryBytes())/(1<<20), *k)
 	} else {
 		fmt.Fprintf(stdout, "ingested %d edges, %d vertices; sketch memory %.1f MiB (k=%d)\n",
-			edges, p.NumVertices(), float64(p.MemoryBytes())/(1<<20), *k)
+			edges, eng.NumVertices(), float64(eng.MemoryBytes())/(1<<20), *k)
 	}
 	fmt.Fprintf(stdout, "ingest: %.3fs, %.0f edges/sec (parallel=%d, batch=%d)\n",
 		elapsed.Seconds(), rate, *parallel, *batch)
@@ -420,22 +334,15 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		if err1 != nil || err2 != nil {
 			return fmt.Errorf("bad pair %q: %v %v", spec, err1, err2)
 		}
-		if dp != nil {
-			printArc(stdout, dp, u, v)
-		} else {
-			printPair(stdout, p, u, v)
-		}
+		printPair(stdout, eng, *directed, u, v)
 	}
 
-	if *top != 0 && dp != nil {
-		return fmt.Errorf("-top ranking is not supported in -directed mode (use -pairs to score candidate arcs)")
-	}
 	if *top != 0 {
 		m, err := parseMeasure(*measure)
 		if err != nil {
 			return err
 		}
-		cands, err := p.TopK(m, *top, vertices, *topk)
+		cands, err := eng.TopK(m, *top, vertices, *topk)
 		if err != nil {
 			return err
 		}
@@ -458,11 +365,7 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 			if err1 != nil || err2 != nil {
 				continue
 			}
-			if dp != nil {
-				printArc(stdout, dp, u, v)
-			} else {
-				printPair(stdout, p, u, v)
-			}
+			printPair(stdout, eng, *directed, u, v)
 		}
 		if err := sc.Err(); err != nil && err != io.EOF {
 			return fmt.Errorf("read queries: %w", err)
@@ -471,14 +374,18 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	return nil
 }
 
-func printArc(w io.Writer, d directedModel, u, v uint64) {
-	fmt.Fprintf(w, "(%d -> %d): jaccard=%.4f common-neighbors=%.2f adamic-adar=%.3f\n",
-		u, v, d.Jaccard(u, v), d.CommonNeighbors(u, v), d.AdamicAdar(u, v))
-}
-
-func printPair(w io.Writer, p undirectedModel, u, v uint64) {
-	fmt.Fprintf(w, "(%d, %d): jaccard=%.4f common-neighbors=%.2f adamic-adar=%.3f\n",
-		u, v, p.Jaccard(u, v), p.CommonNeighbors(u, v), p.AdamicAdar(u, v))
+// printPair prints the standard pair report; directed pairs are
+// rendered as the candidate arc u -> v.
+func printPair(w io.Writer, e linkpred.Engine, directed bool, u, v uint64) {
+	j, _ := e.Score(linkpred.Jaccard, u, v)
+	cn, _ := e.Score(linkpred.CommonNeighbors, u, v)
+	aa, _ := e.Score(linkpred.AdamicAdar, u, v)
+	arrow := ","
+	if directed {
+		arrow = " ->"
+	}
+	fmt.Fprintf(w, "(%d%s %d): jaccard=%.4f common-neighbors=%.2f adamic-adar=%.3f\n",
+		u, arrow, v, j, cn, aa)
 }
 
 // parseMeasure delegates to the library's shared name→Measure table, so

@@ -92,6 +92,20 @@ func TestRunDirectedAndProfile(t *testing.T) {
 	}
 }
 
+func TestRunDirectedTopK(t *testing.T) {
+	// -top used to be rejected in -directed mode; the unified engine
+	// supports TopK on every mode, ranking candidate arcs u -> v.
+	path := writeFixtureStream(t)
+	var out bytes.Buffer
+	err := run([]string{"-in", path, "-directed", "-top", "1", "-topk", "3"}, &out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "top 3 candidates for vertex 1") {
+		t.Errorf("missing directed top-k:\n%s", out.String())
+	}
+}
+
 func TestRunPipedQueries(t *testing.T) {
 	path := writeFixtureStream(t)
 	var out bytes.Buffer
@@ -116,8 +130,8 @@ func TestRunErrorCases(t *testing.T) {
 	if err := run([]string{"-in", path, "-pairs", "nonsense"}, &out, nil); err == nil {
 		t.Error("bad pair spec should error")
 	}
-	if err := run([]string{"-in", path, "-directed", "-top", "1"}, &out, nil); err == nil {
-		t.Error("-top with -directed should error")
+	if err := run([]string{"-in", path, "-directed", "-top", "1", "-measure", "zebra"}, &out, nil); err == nil {
+		t.Error("bad measure should error in -directed mode too")
 	}
 	if err := run([]string{"-in", path, "-top", "1", "-measure", "zebra"}, &out, nil); err == nil {
 		t.Error("bad measure should error")

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	linkpred "linkpred"
+)
+
+// modeSpecs enumerates every engine mode the server must serve
+// identically, with the windowed geometry wide enough that the fixture
+// never rotates out.
+func modeSpecs() map[string]linkpred.EngineSpec {
+	cfg := linkpred.Config{K: 64, Seed: 1}
+	return map[string]linkpred.EngineSpec{
+		linkpred.ModeSingle:             {Mode: linkpred.ModeSingle, Config: cfg},
+		linkpred.ModeConcurrent:         {Mode: linkpred.ModeConcurrent, Config: cfg, Shards: 4},
+		linkpred.ModeDirected:           {Mode: linkpred.ModeDirected, Config: cfg},
+		linkpred.ModeConcurrentDirected: {Mode: linkpred.ModeConcurrentDirected, Config: cfg, Shards: 4},
+		linkpred.ModeWindowed:           {Mode: linkpred.ModeWindowed, Config: cfg, Window: 1 << 20, Gens: 4},
+	}
+}
+
+// TestAllModesServeFullEndpointSet drives the complete query surface —
+// /pair, /score, /scorebatch, /topk, /stats, /healthz — against a
+// server in every engine mode, asserting each endpoint succeeds and
+// agrees with the engine scored directly.
+func TestAllModesServeFullEndpointSet(t *testing.T) {
+	type pair struct {
+		U uint64 `json:"u"`
+		V uint64 `json:"v"`
+	}
+	for mode, spec := range modeSpecs() {
+		t.Run(mode, func(t *testing.T) {
+			eng, err := linkpred.NewEngine(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(New(eng))
+			defer ts.Close()
+
+			ingest(t, ts, sharedFixture(), http.StatusOK)
+
+			// /pair returns every measure the library defines.
+			out := getJSON(t, ts.URL+"/pair?u=1&v=2", http.StatusOK)
+			for _, m := range linkpred.AllMeasures {
+				key := strings.ReplaceAll(m.String(), "-", "_")
+				got, ok := out[key].(float64)
+				if !ok {
+					t.Fatalf("/pair missing measure %q: %v", key, out)
+				}
+				want, err := eng.Score(m, 1, 2)
+				if err != nil {
+					t.Fatalf("engine %s Score(%s): %v", mode, m, err)
+				}
+				if got != want {
+					t.Errorf("/pair %s = %v, engine says %v", key, got, want)
+				}
+			}
+
+			// /score and /scorebatch for every measure.
+			for _, m := range linkpred.AllMeasures {
+				out := getJSON(t, fmt.Sprintf("%s/score?u=1&v=2&measure=%s", ts.URL, m), http.StatusOK)
+				want, _ := eng.Score(m, 1, 2)
+				if got := out["score"].(float64); got != want {
+					t.Errorf("/score measure=%s = %v, want %v", m, got, want)
+				}
+				batch := postJSON(t, ts.URL+"/scorebatch", map[string]any{
+					"measure": m.String(),
+					"pairs":   []pair{{1, 2}, {2, 10}, {1, 999}},
+				}, http.StatusOK)
+				scores := batch["scores"].([]any)
+				if len(scores) != 3 {
+					t.Fatalf("/scorebatch measure=%s returned %d scores", m, len(scores))
+				}
+				if got := scores[0].(float64); got != want {
+					t.Errorf("/scorebatch measure=%s [0] = %v, want %v", m, got, want)
+				}
+			}
+
+			// /topk with explicit candidates, every measure.
+			for _, m := range linkpred.AllMeasures {
+				out := getJSON(t, fmt.Sprintf("%s/topk?u=1&candidates=2,10,11,999&k=2&measure=%s", ts.URL, m), http.StatusOK)
+				if got := out["candidates"].([]any); len(got) != 2 {
+					t.Errorf("/topk measure=%s returned %d candidates, want 2", m, len(got))
+				}
+			}
+
+			// /stats reports the mode and directedness gauges.
+			stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+			if got := stats["mode"].(string); got != mode {
+				t.Errorf("stats mode = %q, want %q", got, mode)
+			}
+			wantDirected := mode == linkpred.ModeDirected || mode == linkpred.ModeConcurrentDirected
+			if got := stats["directed"].(bool); got != wantDirected {
+				t.Errorf("stats directed = %v, want %v", got, wantDirected)
+			}
+			if mode == linkpred.ModeWindowed {
+				if _, ok := stats["window"]; !ok {
+					t.Errorf("windowed stats missing window gauge: %v", stats)
+				}
+			}
+			health := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+			if health["status"] != "ok" {
+				t.Errorf("healthz = %v", health)
+			}
+		})
+	}
+}
+
+// TestCrossModeRestore checkpoints a server in each mode and restores
+// the image into a server booted in a different mode: the magic header
+// must select the store, and queries must come back identical to the
+// source server's.
+func TestCrossModeRestore(t *testing.T) {
+	specs := modeSpecs()
+	for mode, spec := range specs {
+		t.Run(mode, func(t *testing.T) {
+			eng, err := linkpred.NewEngine(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := httptest.NewServer(New(eng))
+			defer src.Close()
+			ingest(t, src, sharedFixture(), http.StatusOK)
+			want := getBodyBytes(t, src.URL+"/pair?u=1&v=2")
+
+			resp, err := http.Get(src.URL + "/checkpoint")
+			if err != nil {
+				t.Fatal(err)
+			}
+			image, _ := readAll(resp)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("/checkpoint = %d", resp.StatusCode)
+			}
+
+			// The destination boots concurrent (or single, when the source
+			// is concurrent) — any mismatched mode proves the swap.
+			dstSpec := specs[linkpred.ModeConcurrent]
+			if mode == linkpred.ModeConcurrent {
+				dstSpec = specs[linkpred.ModeSingle]
+			}
+			dstEng, err := linkpred.NewEngine(dstSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := httptest.NewServer(New(dstEng))
+			defer dst.Close()
+
+			rresp, err := http.Post(dst.URL+"/restore", "application/octet-stream", bytes.NewReader(image))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rbody, _ := readAll(rresp)
+			if rresp.StatusCode != http.StatusOK {
+				t.Fatalf("/restore = %d %s", rresp.StatusCode, rbody)
+			}
+			if !strings.Contains(string(rbody), fmt.Sprintf("%q:%q", "restored_mode", mode)) {
+				t.Errorf("restore response missing mode %q: %s", mode, rbody)
+			}
+			stats := getJSON(t, dst.URL+"/stats", http.StatusOK)
+			if got := stats["mode"].(string); got != mode {
+				t.Errorf("restored stats mode = %q, want %q", got, mode)
+			}
+			if got := getBodyBytes(t, dst.URL+"/pair?u=1&v=2"); !bytes.Equal(got, want) {
+				t.Errorf("restored /pair = %s, want %s", got, want)
+			}
+		})
+	}
+}
+
+// TestDirectedIngestKeepsOrientation asserts a directed server reads
+// ingested lines as arcs: common-neighbors of (u, v) counts u's
+// out-neighborhood against v's in-neighborhood, so the score is
+// asymmetric where an undirected server would collapse it.
+func TestDirectedIngestKeepsOrientation(t *testing.T) {
+	eng, err := linkpred.NewEngine(linkpred.EngineSpec{
+		Mode: linkpred.ModeDirected, Config: linkpred.Config{K: 64, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	// 1 → m and m → 2 for m in 10..29: candidate arc 1 → 2 shares 20
+	// intermediaries; the reverse arc 2 → 1 shares none.
+	var b strings.Builder
+	for i := 10; i < 30; i++ {
+		fmt.Fprintf(&b, "1 %d\n%d 2\n", i, i)
+	}
+	ingest(t, ts, b.String(), http.StatusOK)
+
+	fwd := getJSON(t, ts.URL+"/score?u=1&v=2&measure=common-neighbors", http.StatusOK)["score"].(float64)
+	rev := getJSON(t, ts.URL+"/score?u=2&v=1&measure=common-neighbors", http.StatusOK)["score"].(float64)
+	if fwd <= 0 {
+		t.Errorf("forward arc score = %v, want > 0", fwd)
+	}
+	if rev >= fwd {
+		t.Errorf("reverse arc score %v should trail forward %v", rev, fwd)
+	}
+}
+
+func getBodyBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}

@@ -16,12 +16,17 @@
 //	GET  /checkpoint      download the predictor state (binary)
 //	POST /restore         replace the predictor with an uploaded checkpoint
 //
-// The server wraps a linkpred.Concurrent predictor, so ingest and
-// queries may overlap freely. Queries go through the predictor's batched
-// read path: /topk deduplicates, scores every candidate with per-shard
-// snapshot reads, and heap-selects k; /scorebatch groups its pair list
-// by source vertex and scores each group in one batch. Restore swaps the
-// predictor atomically; in-flight requests finish against the old state.
+// The server wraps any linkpred.Engine — the sharded default, the
+// directed modes, or a Synchronized windowed predictor — so ingest and
+// queries may overlap freely regardless of mode. Queries go through the
+// engine's batched read path where the store has one: /topk
+// deduplicates, scores every candidate with per-shard snapshot reads,
+// and heap-selects k; /scorebatch groups its pair list by source vertex
+// and scores each group in one batch. On directed engines /ingest reads
+// arcs u → v and pair queries score the candidate arc. Restore accepts
+// a checkpoint of *any* mode (the image's magic header selects the
+// store) and swaps the engine atomically; in-flight requests finish
+// against the old state.
 // Request bodies on POST endpoints are capped by Options.MaxBodyBytes
 // (oversized uploads get 413), and every endpoint is instrumented:
 // counts, error counts, and latency histograms are served back on
@@ -80,9 +85,18 @@ type Options struct {
 	Recovery *wal.RecoverResult
 }
 
-// Server is the HTTP facade over a concurrent predictor.
+// engineBox wraps the interface value so it can live in an
+// atomic.Pointer (which needs a concrete pointee type).
+type engineBox struct {
+	e linkpred.Engine
+}
+
+// Server is the HTTP facade over a linkpred.Engine. The engine must be
+// safe for concurrent use (every engine NewEngine or LoadAnyEngine
+// returns is; wrap raw single-writer predictors in
+// linkpred.Synchronize).
 type Server struct {
-	pred    atomic.Pointer[linkpred.Concurrent]
+	eng     atomic.Pointer[engineBox]
 	mux     *http.ServeMux
 	opts    Options
 	metrics *metrics
@@ -90,13 +104,13 @@ type Server struct {
 	candMu  sync.Mutex // guards opts.Candidates (Tracker is not thread-safe)
 }
 
-// New returns a Server wrapping pred with default Options.
-func New(pred *linkpred.Concurrent) *Server { return NewWithOptions(pred, Options{}) }
+// New returns a Server wrapping eng with default Options.
+func New(eng linkpred.Engine) *Server { return NewWithOptions(eng, Options{}) }
 
-// NewWithOptions returns a Server wrapping pred with the given Options.
-func NewWithOptions(pred *linkpred.Concurrent, opts Options) *Server {
+// NewWithOptions returns a Server wrapping eng with the given Options.
+func NewWithOptions(eng linkpred.Engine, opts Options) *Server {
 	s := &Server{mux: http.NewServeMux(), opts: opts}
-	s.pred.Store(pred)
+	s.eng.Store(&engineBox{e: eng})
 	endpoints := []struct {
 		pattern, name string
 		h             http.HandlerFunc
@@ -123,13 +137,14 @@ func NewWithOptions(pred *linkpred.Concurrent, opts Options) *Server {
 	return s
 }
 
-// predictor returns the current predictor (restore may swap it).
-func (s *Server) predictor() *linkpred.Concurrent { return s.pred.Load() }
+// engine returns the current engine (restore may swap it).
+func (s *Server) engine() linkpred.Engine { return s.eng.Load().e }
 
-// Predictor returns the predictor currently serving queries. Callers
-// that checkpoint on shutdown must use this rather than the predictor
-// the Server was constructed with — POST /restore may have swapped it.
-func (s *Server) Predictor() *linkpred.Concurrent { return s.pred.Load() }
+// Engine returns the engine currently serving queries. Callers that
+// checkpoint on shutdown must use this rather than the engine the
+// Server was constructed with — POST /restore may have swapped it (and
+// possibly changed its mode).
+func (s *Server) Engine() linkpred.Engine { return s.eng.Load().e }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -222,7 +237,7 @@ const ingestBatchSize = 4096
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer r.Body.Close()
 	body := s.limitBody(w, r)
-	pred := s.predictor()
+	eng := s.engine()
 	reader := stream.NewTextReader(r.Body)
 	n := 0
 	buf := make([]linkpred.Edge, 0, ingestBatchSize)
@@ -231,7 +246,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		for _, e := range batch {
 			buf = append(buf, linkpred.Edge{U: e.U, V: e.V, T: e.T})
 		}
-		pred.ObserveEdges(buf)
+		eng.ObserveEdges(buf)
 		if s.opts.Monitor != nil {
 			s.monMu.Lock()
 			for _, e := range batch {
@@ -305,7 +320,7 @@ func (s *Server) score(measure string, u, v uint64) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("unknown measure %q", measure)
 	}
-	return s.predictor().Score(m, u, v)
+	return s.engine().Score(m, u, v)
 }
 
 func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
@@ -314,17 +329,19 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	pred := s.predictor()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"u":                       u,
-		"v":                       v,
-		"jaccard":                 pred.Jaccard(u, v),
-		"common_neighbors":        pred.CommonNeighbors(u, v),
-		"adamic_adar":             pred.AdamicAdar(u, v),
-		"resource_allocation":     pred.ResourceAllocation(u, v),
-		"preferential_attachment": pred.PreferentialAttachment(u, v),
-		"cosine":                  pred.Cosine(u, v),
-	})
+	eng := s.engine()
+	resp := map[string]any{"u": u, "v": v}
+	// Every measure the library defines, keyed by its conventional name
+	// with JSON-friendly underscores (jaccard, common_neighbors, ...).
+	for _, m := range linkpred.AllMeasures {
+		score, err := eng.Score(m, u, v)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp[strings.ReplaceAll(m.String(), "-", "_")] = score
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
@@ -396,7 +413,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	// The library ranking path: self-candidates dropped, NaN-safe
 	// deterministic ordering, ties toward smaller ids.
-	ranked, err := s.predictor().TopK(m, u, cands, k)
+	ranked, err := s.engine().TopK(m, u, cands, k)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -441,7 +458,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown measure %q", measure)
 		return
 	}
-	pred := s.predictor()
+	eng := s.engine()
 	start := time.Now()
 	// Group the pair list by source vertex so each distinct source costs
 	// one batched ScoreBatch call (one source pin + one snapshot read per
@@ -461,7 +478,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		for j, i := range idxs {
 			cands[j] = req.Pairs[i].V
 		}
-		got, err := pred.ScoreBatch(m, u, cands)
+		got, err := eng.ScoreBatch(m, u, cands)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -478,27 +495,43 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// engineGauges returns the mode-aware predictor gauges served on /stats
+// and under "predictor" in /metrics: the Engine-level stats always, plus
+// whatever the concrete mode can report (shard count, window geometry,
+// directedness).
+func engineGauges(eng linkpred.Engine) map[string]any {
+	g := map[string]any{
+		"mode":         linkpred.ModeOf(eng),
+		"directed":     linkpred.DirectedEngine(eng),
+		"vertices":     eng.NumVertices(),
+		"edges":        eng.NumEdges(),
+		"memory_bytes": eng.MemoryBytes(),
+		"k":            eng.Config().K,
+	}
+	inner := eng
+	if sy, ok := inner.(*linkpred.Synchronized); ok {
+		inner = sy.Unwrap()
+	}
+	if sh, ok := inner.(interface{ NumShards() int }); ok {
+		g["shards"] = sh.NumShards()
+	}
+	if win, ok := inner.(interface {
+		Window() int64
+		Rotations() int64
+	}); ok {
+		g["window"] = win.Window()
+		g["rotations"] = win.Rotations()
+	}
+	return g
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	pred := s.predictor()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"vertices":     pred.NumVertices(),
-		"edges":        pred.NumEdges(),
-		"memory_bytes": pred.MemoryBytes(),
-		"shards":       pred.NumShards(),
-		"k":            pred.Config().K,
-	})
+	writeJSON(w, http.StatusOK, engineGauges(s.engine()))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot()
-	pred := s.predictor()
-	snap["predictor"] = map[string]any{
-		"vertices":     pred.NumVertices(),
-		"edges":        pred.NumEdges(),
-		"memory_bytes": pred.MemoryBytes(),
-		"shards":       pred.NumShards(),
-		"k":            pred.Config().K,
-	}
+	snap["predictor"] = engineGauges(s.engine())
 	if s.opts.Monitor != nil {
 		s.monMu.Lock()
 		rep := s.opts.Monitor.Report(5)
@@ -551,12 +584,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	pred := s.predictor()
+	eng := s.engine()
 	resp := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
-		"vertices":       pred.NumVertices(),
-		"edges":          pred.NumEdges(),
+		"vertices":       eng.NumVertices(),
+		"edges":          eng.NumEdges(),
 	}
 	// A broken durability pipeline degrades rather than fails the probe:
 	// the store still serves reads and accepts (non-durable) queries, so
@@ -574,9 +607,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", `attachment; filename="linkpred.ckpt"`)
-	if err := s.predictor().Save(w); err != nil {
+	if err := s.engine().Save(w); err != nil {
 		// Headers are already committed; the client sees a truncated
-		// body, which LoadConcurrent will reject on restore.
+		// body, which LoadAnyEngine will reject on restore.
 		return
 	}
 	s.metrics.checkpoints.Add(1)
@@ -585,14 +618,18 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	defer r.Body.Close()
 	body := s.limitBody(w, r)
-	loaded, err := linkpred.LoadConcurrent(r.Body)
+	// The image's magic header selects the store, so a server can be
+	// restored from a checkpoint of any mode — single-writer images come
+	// back wrapped in Synchronized and keep serving concurrent traffic.
+	loaded, err := linkpred.LoadAnyEngine(r.Body)
 	if err != nil {
 		writeError(w, uploadStatus(err, body), "restore: %v", err)
 		return
 	}
-	s.pred.Store(loaded)
+	s.eng.Store(&engineBox{e: loaded})
 	s.metrics.restores.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{
+		"restored_mode":     linkpred.ModeOf(loaded),
 		"restored_vertices": loaded.NumVertices(),
 		"restored_edges":    loaded.NumEdges(),
 	})
