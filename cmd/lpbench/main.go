@@ -18,6 +18,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -43,9 +45,36 @@ func run(args []string, stdout io.Writer) error {
 		parallel = fs.Int("parallel", 0, "max writer goroutines swept by the ingest scaling experiment (0 = default 8)")
 		batch    = fs.Int("batch", 0, "edges per batch for batched-ingest measurements (0 = default 256)")
 		queries  = fs.Bool("queries", false, "run the batched query experiment (e21) and write BENCH_query.json in the current directory")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
+		memProf  = fs.String("memprofile", "", "write a heap profile after the selected experiments to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lpbench: create mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lpbench: write mem profile:", err)
+			}
+		}()
 	}
 
 	if *list {

@@ -73,11 +73,16 @@ func TestRunIngestScalingWithJSON(t *testing.T) {
 	if err := json.Unmarshal(js, &doc); err != nil {
 		t.Fatalf("e20.json invalid: %v", err)
 	}
-	// -parallel 2 sweeps goroutines 1 and 2 with two modes each.
-	if len(doc.Rows) != 4 {
-		t.Errorf("e20.json has %d rows, want 4:\n%s", len(doc.Rows), js)
+	// -parallel 2 sweeps goroutines 1 and 2 with two modes each, then
+	// the two live-server wire-format rows (text vs binary frames).
+	if len(doc.Rows) != 6 {
+		t.Errorf("e20.json has %d rows, want 6:\n%s", len(doc.Rows), js)
 	}
 	if len(doc.Columns) == 0 || doc.Columns[0] != "mode" {
 		t.Errorf("unexpected columns: %v", doc.Columns)
+	}
+	last := doc.Rows[len(doc.Rows)-1]
+	if len(last) == 0 || last[0] != "http-binary" {
+		t.Errorf("last row should be the binary-ingest row, got %v", last)
 	}
 }

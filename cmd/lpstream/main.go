@@ -6,6 +6,7 @@
 //	lpstream -in stream.txt -k 128 -pairs "3:17,42:99"
 //	lpstream -in stream.bin -binary -k 256 -top 42 -topk 10
 //	lpstream -in stream.txt -parallel 4                # sharded parallel ingest
+//	lpstream -in stream.bin -binary -post http://localhost:8080  # binary-frame remote ingest
 //	cat queries.txt | lpstream -in stream.txt          # "u v" per line
 //
 // Ingest reads the stream in batches (-batch edges at a time) and folds
@@ -33,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -77,6 +79,7 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		batch    = fs.Int("batch", 4096, "edges per ingest batch")
 		walDir   = fs.String("wal-dir", "", "write-ahead log directory: log batches before applying, snapshot on completion, and resume a crashed ingest of the same input")
 		walFsync = fs.String("wal-fsync", "interval", "WAL fsync policy: always | interval | never")
+		post     = fs.String("post", "", "POST the stream to this lpserver base URL as binary frames (application/x-lp-edges) instead of ingesting locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,6 +151,14 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		src = stream.NewBinaryReader(f)
 	} else {
 		src = stream.NewTextReader(f)
+	}
+
+	// Remote ingest: frame the stream in the binary /ingest wire format
+	// and ship it to a running lpserver in one request. Queries belong to
+	// the server in this mode, so the local flags that need a predictor
+	// (-pairs, -top, -wal-dir) don't apply.
+	if *post != "" {
+		return postStream(stdout, *post, src, *batch, *directed)
 	}
 
 	// Track the vertex universe for -top candidate generation.
@@ -371,6 +382,69 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 			return fmt.Errorf("read queries: %w", err)
 		}
 	}
+	return nil
+}
+
+// postStream streams the source to baseURL/ingest as binary
+// crc/len-framed edge records (Content-Type application/x-lp-edges),
+// one frame per -batch edges, in a single chunked request. The server
+// validates every frame's CRC and — when running with -wal-dir —
+// appends the frame bytes to its log without re-encoding them.
+func postStream(stdout io.Writer, baseURL string, src stream.Source, batch int, directed bool) error {
+	kind := wal.KindEdge
+	if directed {
+		kind = wal.KindArc
+	}
+	pr, pw := io.Pipe()
+	edges := 0
+	go func() {
+		bw := bufio.NewWriterSize(pw, 1<<16)
+		buf := make([]stream.Edge, batch)
+		var frame []byte
+		var ferr error
+		for ferr == nil {
+			n, rerr := stream.ReadBatch(src, buf)
+			if n > 0 {
+				if frame, ferr = wal.EncodeFrame(frame[:0], kind, buf[:n]); ferr != nil {
+					break
+				}
+				if _, ferr = bw.Write(frame); ferr != nil {
+					break
+				}
+				edges += n
+			}
+			if rerr != nil {
+				if !errors.Is(rerr, io.EOF) {
+					ferr = rerr
+				}
+				break
+			}
+			if n < batch {
+				break
+			}
+		}
+		if ferr == nil {
+			ferr = bw.Flush()
+		}
+		pw.CloseWithError(ferr)
+	}()
+	start := time.Now()
+	resp, err := http.Post(strings.TrimRight(baseURL, "/")+"/ingest", wal.FrameContentType, pr)
+	if err != nil {
+		return fmt.Errorf("post stream: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("read ingest response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server rejected the stream (status %d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "posted %d edges in %d-edge frames to %s: %.3fs, %.0f edges/sec\n",
+		edges, batch, baseURL, elapsed.Seconds(), float64(edges)/elapsed.Seconds())
+	fmt.Fprintf(stdout, "server response: %s\n", strings.TrimSpace(string(body)))
 	return nil
 }
 

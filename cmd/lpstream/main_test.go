@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
 
 	linkpred "linkpred"
+	"linkpred/internal/server"
 )
 
 func TestParseMeasure(t *testing.T) {
@@ -331,5 +333,29 @@ func TestRunWALMismatchErrors(t *testing.T) {
 	err := run([]string{"-in", in, "-k", "64", "-wal-dir", wdir}, &out, nil)
 	if err == nil || !strings.Contains(err.Error(), "-k 32") {
 		t.Errorf("resume with different -k should name the snapshot flags, got %v", err)
+	}
+}
+
+func TestRunPostBinaryFrames(t *testing.T) {
+	pred, err := linkpred.NewConcurrent(linkpred.Config{K: 64, Seed: 42}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(pred))
+	defer ts.Close()
+
+	in := writeFixtureStream(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", in, "-post", ts.URL, "-batch", "7"}, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if pred.NumEdges() != 20 {
+		t.Errorf("server predictor has %d edges, want 20", pred.NumEdges())
+	}
+	if !strings.Contains(out.String(), "posted 20 edges") {
+		t.Errorf("missing post summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `"ingested": 20`) && !strings.Contains(out.String(), `"ingested":20`) {
+		t.Errorf("missing server ack:\n%s", out.String())
 	}
 }

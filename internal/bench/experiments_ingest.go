@@ -1,13 +1,21 @@
 package bench
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
 	"sync"
 	"time"
 
+	linkpred "linkpred"
 	"linkpred/internal/core"
 	"linkpred/internal/gen"
+	"linkpred/internal/server"
 	"linkpred/internal/stream"
+	"linkpred/internal/wal"
 )
 
 func init() {
@@ -106,5 +114,100 @@ func runE20(cfg RunConfig) (*Table, error) {
 		t.AddRow("per-edge", g, base, 1e9/base, 1.0)
 		t.AddRow("batched", g, bat, 1e9/bat, base/bat)
 	}
+
+	// The server's two /ingest wire formats head-to-head, end to end over
+	// a local socket: text lines parsed per edge vs binary crc/len frames
+	// applied batch-per-frame with no text parsing. Best of two passes,
+	// like the in-process rows; the speedup column compares binary
+	// against text.
+	measureHTTP := func(binary bool) (float64, error) {
+		best := 0.0
+		for pass := 0; pass < 2; pass++ {
+			ns, err := measureHTTPIngest(edges, batch, binary)
+			if err != nil {
+				return 0, err
+			}
+			if pass == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+	httpText, err := measureHTTP(false)
+	if err != nil {
+		return nil, err
+	}
+	httpBin, err := measureHTTP(true)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("http-text", 1, httpText, 1e9/httpText, 1.0)
+	t.AddRow("http-binary", 1, httpBin, 1e9/httpBin, httpText/httpBin)
+	t.Notes = append(t.Notes,
+		"http rows POST the same stream to a live server's /ingest: text lines vs application/x-lp-edges binary frames (one frame per batch); their speedup column compares binary against text")
 	return t, nil
+}
+
+// measureHTTPIngest POSTs the edges to a fresh server over a loopback
+// socket in the chosen wire format and returns ns/edge end to end.
+func measureHTTPIngest(edges []stream.Edge, batch int, binary bool) (float64, error) {
+	pred, err := linkpred.NewConcurrent(linkpred.Config{K: 64, Seed: 1}, 32)
+	if err != nil {
+		return 0, err
+	}
+	ts := httptest.NewServer(server.New(pred))
+	defer ts.Close()
+
+	pr, pw := io.Pipe()
+	go func() {
+		bw := bufio.NewWriterSize(pw, 1<<16)
+		var ferr error
+		if binary {
+			var frame []byte
+			for lo := 0; lo < len(edges) && ferr == nil; lo += batch {
+				hi := lo + batch
+				if hi > len(edges) {
+					hi = len(edges)
+				}
+				if frame, ferr = wal.EncodeFrame(frame[:0], wal.KindEdge, edges[lo:hi]); ferr == nil {
+					_, ferr = bw.Write(frame)
+				}
+			}
+		} else {
+			var line []byte
+			for _, e := range edges {
+				line = strconv.AppendUint(line[:0], e.U, 10)
+				line = append(line, ' ')
+				line = strconv.AppendUint(line, e.V, 10)
+				line = append(line, ' ')
+				line = strconv.AppendInt(line, e.T, 10)
+				line = append(line, '\n')
+				if _, ferr = bw.Write(line); ferr != nil {
+					break
+				}
+			}
+		}
+		if ferr == nil {
+			ferr = bw.Flush()
+		}
+		pw.CloseWithError(ferr)
+	}()
+
+	contentType := "text/plain"
+	if binary {
+		contentType = wal.FrameContentType
+	}
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/ingest", contentType, pr)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("http ingest (binary=%v): status %d", binary, resp.StatusCode)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(len(edges)), nil
 }

@@ -330,8 +330,10 @@ func (s *Sharded) ProcessEdges(edges []stream.Edge) {
 				o := sc.vertGroup.order[vi]
 				vs := next
 				if vi+1 < hi {
+					// state may grow the bank; bank.update below re-derives
+					// its spans per call, so no slice here can go stale.
 					next = st.state(sc.distinct[sc.vertGroup.order[vi+1]])
-					nv := next.sketch.vals
+					nv := st.bank.regs(next.slot)
 					for j := 0; j < len(nv); j += 8 { // one load per cache line
 						sink ^= nv[j]
 					}
@@ -340,7 +342,7 @@ func (s *Sharded) ProcessEdges(edges []stream.Edge) {
 				var arr int64
 				for _, hj := range group {
 					h := &sc.halves[hj]
-					vs.sketch.update(sc.distinct[h.hashIdx], sc.hashes[int(h.hashIdx)*k:(int(h.hashIdx)+1)*k])
+					st.bank.update(vs.slot, sc.distinct[h.hashIdx], sc.hashes[int(h.hashIdx)*k:(int(h.hashIdx)+1)*k])
 					arr += int64(h.mult)
 				}
 				vs.arrivals += arr
@@ -382,8 +384,11 @@ func (s *ShardedDirected) ProcessArcs(arcs []stream.Edge) {
 				o := sc.vertGroup.order[vi]
 				vs := next
 				if vi+1 < hi {
+					// Same staleness discipline as the undirected loop: the
+					// spans are derived after the state call that may grow
+					// the banks, and bank.update re-derives per call.
 					next = st.state(sc.distinct[sc.vertGroup.order[vi+1]])
-					no, ni := next.out.vals, next.in.vals
+					no, ni := st.out.regs(next.slot), st.in.regs(next.slot)
 					for j := 0; j < len(no); j += 8 { // one load per cache line
 						sink ^= no[j] ^ ni[j]
 					}
@@ -393,10 +398,10 @@ func (s *ShardedDirected) ProcessArcs(arcs []stream.Edge) {
 					h := &sc.halves[hj]
 					nbrHashes := sc.hashes[int(h.hashIdx)*k : (int(h.hashIdx)+1)*k]
 					if h.out {
-						vs.out.update(sc.distinct[h.hashIdx], nbrHashes)
+						st.out.update(vs.slot, sc.distinct[h.hashIdx], nbrHashes)
 						vs.outArr += int64(h.mult)
 					} else {
-						vs.in.update(sc.distinct[h.hashIdx], nbrHashes)
+						st.in.update(vs.slot, sc.distinct[h.hashIdx], nbrHashes)
 						vs.inArr += int64(h.mult)
 					}
 				}

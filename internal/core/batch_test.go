@@ -33,12 +33,14 @@ func shardedRegistersEqual(t *testing.T, s *Sharded, plain *SketchStore) {
 			if vs.arrivals != want.arrivals {
 				t.Fatalf("vertex %d: arrivals %d != %d", u, vs.arrivals, want.arrivals)
 			}
-			for i := range vs.sketch.vals {
-				if vs.sketch.vals[i] != want.sketch.vals[i] {
-					t.Fatalf("vertex %d register %d: val %d != %d", u, i, vs.sketch.vals[i], want.sketch.vals[i])
+			gotVals, gotIDs := shard.bank.regs(vs.slot), shard.bank.argmins(vs.slot)
+			wantVals, wantIDs := plain.bank.regs(want.slot), plain.bank.argmins(want.slot)
+			for i := range gotVals {
+				if gotVals[i] != wantVals[i] {
+					t.Fatalf("vertex %d register %d: val %d != %d", u, i, gotVals[i], wantVals[i])
 				}
-				if vs.sketch.vals[i] != emptyRegister && vs.sketch.ids[i] != want.sketch.ids[i] {
-					t.Fatalf("vertex %d register %d: argmin %d != %d", u, i, vs.sketch.ids[i], want.sketch.ids[i])
+				if gotVals[i] != emptyRegister && gotIDs[i] != wantIDs[i] {
+					t.Fatalf("vertex %d register %d: argmin %d != %d", u, i, gotIDs[i], wantIDs[i])
 				}
 			}
 		}
@@ -161,8 +163,10 @@ func TestProcessArcsMatchesSequential(t *testing.T) {
 					if vs.outArr != want.outArr || vs.inArr != want.inArr {
 						t.Fatalf("vertex %d: arrivals (%d,%d) != (%d,%d)", u, vs.outArr, vs.inArr, want.outArr, want.inArr)
 					}
-					for i := range vs.out.vals {
-						if vs.out.vals[i] != want.out.vals[i] || vs.in.vals[i] != want.in.vals[i] {
+					gotOut, gotIn := shard.out.regs(vs.slot), shard.in.regs(vs.slot)
+					wantOut, wantIn := plain.out.regs(want.slot), plain.in.regs(want.slot)
+					for i := range gotOut {
+						if gotOut[i] != wantOut[i] || gotIn[i] != wantIn[i] {
 							t.Fatalf("vertex %d register %d: out/in values diverge", u, i)
 						}
 					}

@@ -26,12 +26,16 @@ type DirectedStore struct {
 	cfg      Config
 	family   *hashing.Family
 	vertices map[uint64]*dirVertexState
-	arcs     int64
-	hashBuf  []uint64
+	// out and in are the two register banks (see regBank in sketch.go);
+	// a vertex's slot indexes both in lockstep, so each side's k
+	// registers stay one contiguous span.
+	out, in regBank
+	arcs    int64
+	hashBuf []uint64
 }
 
 type dirVertexState struct {
-	out, in       *minHashSketch
+	slot          int32
 	outArr, inArr int64
 }
 
@@ -48,12 +52,15 @@ func NewDirectedStore(cfg Config) (*DirectedStore, error) {
 	if cfg.TrackTriangles {
 		return nil, fmt.Errorf("core: directed mode does not support triangle tracking (directed triangle census needs three orientation classes; out of scope)")
 	}
-	return &DirectedStore{
+	s := &DirectedStore{
 		cfg:      cfg,
 		family:   hashing.NewFamily(cfg.Hash, cfg.K, cfg.Seed),
 		vertices: make(map[uint64]*dirVertexState),
 		hashBuf:  make([]uint64, 0, cfg.K),
-	}, nil
+	}
+	s.out.init(cfg.K, true)
+	s.in.init(cfg.K, true)
+	return s, nil
 }
 
 // Config returns the store's configuration.
@@ -68,9 +75,9 @@ func (s *DirectedStore) ProcessArc(e stream.Edge) {
 	su := s.state(e.U)
 	sv := s.state(e.V)
 	s.hashBuf = s.family.HashAll(e.V, s.hashBuf)
-	su.out.update(e.V, s.hashBuf)
+	s.out.update(su.slot, e.V, s.hashBuf)
 	s.hashBuf = s.family.HashAll(e.U, s.hashBuf)
-	sv.in.update(e.U, s.hashBuf)
+	s.in.update(sv.slot, e.U, s.hashBuf)
 	su.outArr++
 	sv.inArr++
 	s.arcs++
@@ -90,10 +97,11 @@ func (s *DirectedStore) Process(src stream.Source) (int64, error) {
 func (s *DirectedStore) state(u uint64) *dirVertexState {
 	st := s.vertices[u]
 	if st == nil {
-		st = &dirVertexState{
-			out: newMinHashSketch(s.cfg.K),
-			in:  newMinHashSketch(s.cfg.K),
+		slot := s.out.alloc()
+		if got := s.in.alloc(); got != slot {
+			panic("core: directed banks out of lockstep") // allocs are paired; cannot happen
 		}
+		st = &dirVertexState{slot: slot}
 		s.vertices[u] = st
 	}
 	return st
@@ -116,7 +124,7 @@ func (s *DirectedStore) OutDegree(u uint64) float64 {
 	if st == nil {
 		return 0
 	}
-	return s.sideDegree(st.out, st.outArr)
+	return s.sideDegree(s.out.regs(st.slot), st.outArr)
 }
 
 // InDegree returns the in-degree estimate of u.
@@ -125,17 +133,17 @@ func (s *DirectedStore) InDegree(u uint64) float64 {
 	if st == nil {
 		return 0
 	}
-	return s.sideDegree(st.in, st.inArr)
+	return s.sideDegree(s.in.regs(st.slot), st.inArr)
 }
 
-func (s *DirectedStore) sideDegree(sk *minHashSketch, arrivals int64) float64 {
+func (s *DirectedStore) sideDegree(vals []uint64, arrivals int64) float64 {
 	if arrivals == 0 {
 		return 0
 	}
 	if s.cfg.Degrees == DegreeArrivals {
 		return float64(arrivals)
 	}
-	return kmvDistinct(sk, arrivals)
+	return kmvDistinct(vals, arrivals)
 }
 
 // pairQuery is the directed side of the measure kernel (see
@@ -148,16 +156,21 @@ func (s *DirectedStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (ma
 		return 0, 0, 0, false, idBuf
 	}
 	ids = idBuf
-	for i, val := range su.out.vals {
-		if val == emptyRegister || val != sv.in.vals[i] {
-			continue
-		}
-		matches++
-		if collect {
-			ids = append(ids, su.out.ids[i])
+	outVals := s.out.regs(su.slot)
+	inVals := s.in.regs(sv.slot)
+	if !collect {
+		matches = matchCount(outVals, inVals)
+	} else {
+		outIDs := s.out.argmins(su.slot)
+		for i, val := range outVals {
+			if val == emptyRegister || val != inVals[i] {
+				continue
+			}
+			matches++
+			ids = append(ids, outIDs[i])
 		}
 	}
-	return matches, s.sideDegree(su.out, su.outArr), s.sideDegree(sv.in, sv.inArr), true, ids
+	return matches, s.sideDegree(outVals, su.outArr), s.sideDegree(inVals, sv.inArr), true, ids
 }
 
 // midpointDegree weights directed midpoints by their estimated total
@@ -227,12 +240,8 @@ func (s *DirectedStore) EstimateCosine(u, v uint64) float64 {
 // for the sharded directed store's memory gauges.
 const dirVertexOverhead = 56
 
-// MemoryBytes returns the payload memory: two sketches and two counters
-// per vertex, plus the usual rough map overhead.
+// MemoryBytes returns the payload memory: the two register banks' actual
+// storage plus the usual rough per-vertex map overhead.
 func (s *DirectedStore) MemoryBytes() int {
-	total := 0
-	for _, st := range s.vertices {
-		total += dirVertexOverhead + st.out.memoryBytes() + st.in.memoryBytes()
-	}
-	return total
+	return s.out.memoryBytes() + s.in.memoryBytes() + dirVertexOverhead*len(s.vertices)
 }

@@ -88,13 +88,13 @@ func (s *DirectedStore) Save(w io.Writer) error {
 		if err := writeU64(uint64(st.inArr)); err != nil {
 			return fmt.Errorf("core: save vertex %d in-arrivals: %w", id, err)
 		}
-		for _, sk := range []*minHashSketch{st.out, st.in} {
-			for _, v := range sk.vals {
+		for _, b := range []*regBank{&s.out, &s.in} {
+			for _, v := range b.regs(st.slot) {
 				if err := writeU64(v); err != nil {
 					return fmt.Errorf("core: save vertex %d registers: %w", id, err)
 				}
 			}
-			for _, v := range sk.ids {
+			for _, v := range b.argmins(st.slot) {
 				if err := writeU64(v); err != nil {
 					return fmt.Errorf("core: save vertex %d argmins: %w", id, err)
 				}
@@ -175,14 +175,16 @@ func loadDirected(rd *binReader) (*DirectedStore, error) {
 		}
 		st := s.state(id)
 		st.outArr, st.inArr = int64(outArr), int64(inArr)
-		for _, sk := range []*minHashSketch{st.out, st.in} {
-			for j := range sk.vals {
-				if sk.vals[j], err = rd.u64(); err != nil {
+		// Format predates the banks; fill the vertex's spans in place.
+		for _, b := range []*regBank{&s.out, &s.in} {
+			vals, argmins := b.regs(st.slot), b.argmins(st.slot)
+			for j := range vals {
+				if vals[j], err = rd.u64(); err != nil {
 					return nil, rd.fail(fmt.Sprintf("vertex %d registers", id), err)
 				}
 			}
-			for j := range sk.ids {
-				if sk.ids[j], err = rd.u64(); err != nil {
+			for j := range argmins {
+				if argmins[j], err = rd.u64(); err != nil {
 					return nil, rd.fail(fmt.Sprintf("vertex %d argmins", id), err)
 				}
 			}

@@ -16,13 +16,18 @@ func (s *SketchStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matc
 		return 0, 0, 0, false, idBuf
 	}
 	ids = idBuf
-	for i, val := range su.sketch.vals {
-		if val == emptyRegister || val != sv.sketch.vals[i] {
-			continue
-		}
-		matches++
-		if collect {
-			ids = append(ids, su.sketch.ids[i])
+	uVals := s.bank.regs(su.slot)
+	vVals := s.bank.regs(sv.slot)
+	if !collect {
+		matches = matchCount(uVals, vVals)
+	} else {
+		uIDs := s.bank.argmins(su.slot)
+		for i, val := range uVals {
+			if val == emptyRegister || val != vVals[i] {
+				continue
+			}
+			matches++
+			ids = append(ids, uIDs[i])
 		}
 	}
 	return matches, s.degree(su), s.degree(sv), true, ids
@@ -71,13 +76,15 @@ func (s *SketchStore) EstimateUnionSize(u, v uint64) float64 {
 	if sv == nil {
 		return s.degree(su)
 	}
-	merged := newMinHashSketch(s.cfg.K)
-	for i := range merged.vals {
-		a, b := su.sketch.vals[i], sv.sketch.vals[i]
+	uVals := s.bank.regs(su.slot)
+	vVals := s.bank.regs(sv.slot)
+	merged := make([]uint64, s.cfg.K)
+	for i := range merged {
+		a, b := uVals[i], vVals[i]
 		if a <= b {
-			merged.vals[i] = a
+			merged[i] = a
 		} else {
-			merged.vals[i] = b
+			merged[i] = b
 		}
 	}
 	return kmvDistinct(merged, su.arrivals+sv.arrivals)
@@ -93,7 +100,7 @@ func (s *SketchStore) EstimateCommonNeighborsViaUnion(u, v uint64) float64 {
 	if su == nil || sv == nil {
 		return 0
 	}
-	j := float64(su.sketch.matches(sv.sketch)) / float64(s.cfg.K)
+	j := float64(matchCount(s.bank.regs(su.slot), s.bank.regs(sv.slot))) / float64(s.cfg.K)
 	return j * s.EstimateUnionSize(u, v)
 }
 

@@ -1,0 +1,85 @@
+package core
+
+// The branch-free register-compare kernel (DESIGN.md §2.9). Counting
+// matching registers between two k-span vectors is the innermost loop of
+// every estimator and every batch query path; on real candidate sets the
+// match/no-match pattern is effectively random, so a branchy loop pays a
+// mispredict per register. The kernels below replace the branches with
+// flag materialisation (b2i compiles to SETcc, no jump), unrolled 4× so
+// the four independent accumulator chains hide each comparison's latency.
+//
+// Contract (the equivalence tests assert it per store and per measure):
+//
+//   - matchCount(src, cand) equals the number of indices i with
+//     src[i] != emptyRegister && src[i] == cand[i] — exactly the seed's
+//     branchy count, as an integer, in any summation order.
+//   - matchWeightedRegs additionally returns Σ w[i] over the matched
+//     indices, accumulated in ascending register order — exactly the
+//     seed's skip-on-mismatch loop, so the float result is bit-identical.
+//
+// matchCount dispatches to an SSE2 assembly loop on amd64 (see
+// matchcount_amd64.s; build with -tags purego to force the Go fallback).
+// The weighted kernel deliberately keeps its branch: unlike the raw
+// count — where match/no-match is coin-flip random and the mispredict
+// tax is the whole cost — the weighted sum only does float work on the
+// *matched* lanes, which are rare (≈ J·k per pair), so the branch
+// predicts "skip" almost always and the branchy loop beats a masked
+// multiply on every lane by ~2× in the batch-path profile.
+
+// b2i converts a bool to 0/1. The compiler lowers this to SETcc —
+// no branch — which is the whole point of the kernel.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// matchCountGo is the portable branch-free match counter, 4×-unrolled.
+// It is the reference implementation the assembly variant is tested
+// against, and the fallback on non-amd64 builds.
+func matchCountGo(src, cand []uint64) int {
+	n := len(src)
+	if len(cand) < n {
+		n = len(cand)
+	}
+	src = src[:n]
+	cand = cand[:n]
+	var n0, n1, n2, n3 int
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		a0, a1, a2, a3 := src[i], src[i+1], src[i+2], src[i+3]
+		b0, b1, b2, b3 := cand[i], cand[i+1], cand[i+2], cand[i+3]
+		n0 += b2i(a0 == b0) & b2i(a0 != emptyRegister)
+		n1 += b2i(a1 == b1) & b2i(a1 != emptyRegister)
+		n2 += b2i(a2 == b2) & b2i(a2 != emptyRegister)
+		n3 += b2i(a3 == b3) & b2i(a3 != emptyRegister)
+	}
+	for ; i < n; i++ {
+		n0 += b2i(src[i] == cand[i]) & b2i(src[i] != emptyRegister)
+	}
+	return n0 + n1 + n2 + n3
+}
+
+// matchWeightedRegs counts matching non-empty registers and sums their
+// precomputed per-register weights in ascending register order (the
+// order the sequential weighted estimators accumulate in, which keeps
+// the float result bit-identical). See the kernel comment above for why
+// this one keeps its (well-predicted) branch.
+func matchWeightedRegs(src, cand []uint64, w []float64) (matches int, weightSum float64) {
+	n := len(src)
+	if len(cand) < n {
+		n = len(cand)
+	}
+	src = src[:n]
+	cand = cand[:n]
+	w = w[:n]
+	for i, v := range src {
+		if v != cand[i] || v == emptyRegister {
+			continue
+		}
+		matches++
+		weightSum += w[i]
+	}
+	return matches, weightSum
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// referenceMatchCount is the obvious branchy loop the kernel replaces.
+// Keeping it here (not in the package proper) pins the kernel contract
+// to something a reviewer can verify by eye.
+func referenceMatchCount(src, cand []uint64) int {
+	n := 0
+	for i, v := range src {
+		if v != emptyRegister && v == cand[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMatchCountAgainstReference cross-checks the dispatched matchCount
+// (assembly on amd64, pure Go elsewhere) and matchCountGo against the
+// branchy reference on adversarial lengths and register mixes. Lengths
+// straddle the 8-register assembly threshold and the 4-wide unroll
+// remainder cases.
+func TestMatchCountAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20261))
+	lengths := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 31, 32, 33, 48, 64, 127, 128, 256}
+	for _, n := range lengths {
+		for trial := 0; trial < 50; trial++ {
+			src := make([]uint64, n)
+			cand := make([]uint64, n)
+			for i := range src {
+				// Small value domain forces frequent matches; sprinkle
+				// empty registers on both sides, including both-empty
+				// (which must NOT count as a match).
+				src[i] = uint64(rng.Intn(8))
+				cand[i] = uint64(rng.Intn(8))
+				switch rng.Intn(5) {
+				case 0:
+					src[i] = emptyRegister
+				case 1:
+					cand[i] = emptyRegister
+				case 2:
+					src[i], cand[i] = emptyRegister, emptyRegister
+				case 3:
+					cand[i] = src[i] // guaranteed match unless empty
+				}
+			}
+			want := referenceMatchCount(src, cand)
+			if got := matchCount(src, cand); got != want {
+				t.Fatalf("matchCount(n=%d, trial=%d) = %d, want %d", n, trial, got, want)
+			}
+			if got := matchCountGo(src, cand); got != want {
+				t.Fatalf("matchCountGo(n=%d, trial=%d) = %d, want %d", n, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestMatchCountExtremes hits the bit patterns the SSE2 empty-detection
+// lane trick is most likely to get wrong: values adjacent to the
+// all-ones sentinel and values whose low/high 32-bit halves match while
+// the other half differs.
+func TestMatchCountExtremes(t *testing.T) {
+	e := uint64(emptyRegister)
+	src := []uint64{e, e - 1, e - 1, 0, 1 << 32, 1, 0xAAAAAAAA00000000, 0x00000000AAAAAAAA}
+	cand := []uint64{e, e - 1, e, 0, 1, 1 << 32, 0x00000000AAAAAAAA, 0x00000000AAAAAAAA}
+	// index 0: both empty — no match. index 1: equal non-empty — match.
+	// index 2: one empty — no match. index 3: equal zeros — match.
+	// index 4/5: halves swapped — no match. index 6: high half differs —
+	// no match. index 7: equal — match.
+	want := 3
+	if got := matchCount(src, cand); got != want {
+		t.Fatalf("matchCount = %d, want %d", got, want)
+	}
+	if got := matchCountGo(src, cand); got != want {
+		t.Fatalf("matchCountGo = %d, want %d", got, want)
+	}
+}
+
+// TestMatchWeightedRegsAgainstReference checks the weighted kernel's
+// match count and weight sum against a branchy reference, bit for bit.
+// Bit-identity (not approximate equality) is the contract: ScoreBatch
+// results must equal the sequential estimators exactly.
+func TestMatchWeightedRegsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20262))
+	for _, n := range []int{0, 1, 3, 8, 17, 48, 128} {
+		for trial := 0; trial < 50; trial++ {
+			src := make([]uint64, n)
+			cand := make([]uint64, n)
+			w := make([]float64, n)
+			for i := range src {
+				src[i] = uint64(rng.Intn(6))
+				cand[i] = uint64(rng.Intn(6))
+				if rng.Intn(4) == 0 {
+					src[i] = emptyRegister
+				}
+				if rng.Intn(4) == 0 {
+					cand[i] = emptyRegister
+				}
+				w[i] = rng.Float64() * 3
+			}
+			wantM := 0
+			wantW := 0.0
+			for i, v := range src {
+				if v != emptyRegister && v == cand[i] {
+					wantM++
+					wantW += w[i]
+				}
+			}
+			gotM, gotW := matchWeightedRegs(src, cand, w)
+			if gotM != wantM || math.Float64bits(gotW) != math.Float64bits(wantW) {
+				t.Fatalf("matchWeightedRegs(n=%d, trial=%d) = (%d, %x), want (%d, %x)",
+					n, trial, gotM, math.Float64bits(gotW), wantM, math.Float64bits(wantW))
+			}
+		}
+	}
+}
+
+// benchRegs builds two K-register banks with ~50% match density, the
+// regime the scoring hot loop sees between similar vertices.
+func benchRegs(k int) (src, cand []uint64) {
+	rng := rand.New(rand.NewSource(42))
+	src = make([]uint64, k)
+	cand = make([]uint64, k)
+	for i := range src {
+		src[i] = rng.Uint64() >> 1 // keep clear of the sentinel
+		if rng.Intn(2) == 0 {
+			cand[i] = src[i]
+		} else {
+			cand[i] = rng.Uint64() >> 1
+		}
+		if rng.Intn(16) == 0 {
+			src[i] = emptyRegister
+		}
+	}
+	return src, cand
+}
+
+var benchSink int
+
+func BenchmarkMatchesKernel(b *testing.B) {
+	for _, k := range []int{64, 256, 1024} {
+		src, cand := benchRegs(k)
+		b.Run(sizeName(k), func(b *testing.B) {
+			b.SetBytes(int64(16 * k))
+			n := 0
+			for i := 0; i < b.N; i++ {
+				n += matchCount(src, cand)
+			}
+			benchSink = n
+		})
+	}
+}
+
+func BenchmarkMatchesKernelGo(b *testing.B) {
+	for _, k := range []int{64, 256, 1024} {
+		src, cand := benchRegs(k)
+		b.Run(sizeName(k), func(b *testing.B) {
+			b.SetBytes(int64(16 * k))
+			n := 0
+			for i := 0; i < b.N; i++ {
+				n += matchCountGo(src, cand)
+			}
+			benchSink = n
+		})
+	}
+}
+
+var weightSink float64
+
+func BenchmarkMatchesWeighted(b *testing.B) {
+	for _, k := range []int{64, 256, 1024} {
+		src, cand := benchRegs(k)
+		w := make([]float64, k)
+		for i := range w {
+			w[i] = 1.5
+		}
+		b.Run(sizeName(k), func(b *testing.B) {
+			b.SetBytes(int64(16 * k))
+			var s float64
+			for i := 0; i < b.N; i++ {
+				_, ws := matchWeightedRegs(src, cand, w)
+				s += ws
+			}
+			weightSink = s
+		})
+	}
+}
+
+func sizeName(k int) string {
+	switch {
+	case k >= 1024:
+		return "K1024"
+	case k >= 256:
+		return "K256"
+	default:
+		return "K64"
+	}
+}

@@ -54,8 +54,9 @@ func (s *SketchStore) BuildLSHIndex(bands, rows int) (*LSHIndex, error) {
 		idx.buckets[i] = make(map[uint64][]uint64)
 	}
 	for u, st := range s.vertices {
+		vals := s.bank.regs(st.slot)
 		for b := 0; b < bands; b++ {
-			key := idx.bandKey(st.sketch, b)
+			key := idx.bandKey(vals, b)
 			idx.buckets[b][key] = append(idx.buckets[b][key], u)
 		}
 	}
@@ -70,10 +71,10 @@ func (s *SketchStore) BuildLSHIndex(bands, rows int) (*LSHIndex, error) {
 
 // bandKey hashes band b's registers (rows consecutive register values)
 // into one bucket key.
-func (x *LSHIndex) bandKey(sk *minHashSketch, b int) uint64 {
+func (x *LSHIndex) bandKey(vals []uint64, b int) uint64 {
 	h := x.salt + uint64(b)*0x9e3779b97f4a7c15
 	for i := b * x.rows; i < (b+1)*x.rows; i++ {
-		h = rng.Mix64(h ^ sk.vals[i])
+		h = rng.Mix64(h ^ vals[i])
 	}
 	return h
 }
@@ -93,9 +94,10 @@ func (x *LSHIndex) Candidates(u uint64) []uint64 {
 	if st == nil {
 		return nil
 	}
+	vals := x.store.bank.regs(st.slot)
 	seen := make(map[uint64]struct{})
 	for b := 0; b < x.bands; b++ {
-		for _, v := range x.buckets[b][x.bandKey(st.sketch, b)] {
+		for _, v := range x.buckets[b][x.bandKey(vals, b)] {
 			if v != u {
 				seen[v] = struct{}{}
 			}

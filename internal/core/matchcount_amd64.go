@@ -1,0 +1,25 @@
+//go:build amd64 && !purego
+
+package core
+
+// matchCountAsm is the SSE2 match-count loop in matchcount_amd64.s. It
+// requires n >= 1 and both pointers valid for n words. SSE2 is part of
+// the amd64 baseline, so no runtime feature detection is needed.
+//
+//go:noescape
+func matchCountAsm(src, cand *uint64, n int) int
+
+// matchCount counts indices where src and cand hold the same non-empty
+// register value (see kernel.go for the contract). On amd64 it runs the
+// vector loop; tiny inputs stay in Go, where the call overhead would
+// dominate the handful of compares.
+func matchCount(src, cand []uint64) int {
+	n := len(src)
+	if len(cand) < n {
+		n = len(cand)
+	}
+	if n < 8 {
+		return matchCountGo(src[:n], cand[:n])
+	}
+	return matchCountAsm(&src[0], &cand[0], n)
+}

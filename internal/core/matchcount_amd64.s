@@ -1,0 +1,99 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func matchCountAsm(src, cand *uint64, n int) int
+//
+// Counts indices i in [0, n) with src[i] == cand[i] && src[i] != ^0
+// (emptyRegister). SSE2 only — part of the amd64 baseline, so this runs
+// on every amd64 without feature detection.
+//
+// SSE2 has no 64-bit lane compare (PCMPEQQ is SSE4.1), so 64-bit
+// equality is built from the 32-bit one: PCMPEQL compares the four
+// 32-bit lanes, PSHUFD $0xB1 swaps the two halves of each 64-bit lane,
+// and ANDing the two masks leaves a 64-bit lane all-ones iff both halves
+// matched. The same construction against all-ones detects empty
+// registers; PANDN combines (~empty & equal), PSRLQ $63 turns each lane
+// mask into 0/1, and PADDQ accumulates. Main loop handles 4 registers
+// per iteration (two 128-bit lanes); the tail runs a branch-free scalar
+// loop with SETEQ/SETNE.
+TEXT ·matchCountAsm(SB), NOSPLIT, $0-32
+	MOVQ src+0(FP), SI
+	MOVQ cand+8(FP), DI
+	MOVQ n+16(FP), CX
+
+	XORQ    AX, AX      // scalar accumulator
+	PXOR    X4, X4      // vector accumulator: two u64 lane counts
+	PCMPEQL X5, X5      // all-ones = emptyRegister in both lanes
+
+	MOVQ CX, DX
+	SHRQ $2, DX         // DX = number of 4-register blocks
+	JZ   tail
+
+loop4:
+	MOVOU (SI), X0      // s[0:2]
+	MOVOU 16(SI), X6    // s[2:4]
+	MOVOU (DI), X1      // c[0:2]
+	MOVOU 16(DI), X7    // c[2:4]
+
+	// First pair: X2 = eq64(s, c), X3 = eq64(s, empty)
+	MOVOA   X0, X2
+	PCMPEQL X1, X2      // 32-bit eq(s, c)
+	PSHUFD  $0xB1, X2, X3
+	PAND    X3, X2      // 64-bit eq(s, c)
+	MOVOA   X0, X3
+	PCMPEQL X5, X3      // 32-bit eq(s, ^0)
+	PSHUFD  $0xB1, X3, X0
+	PAND    X0, X3      // 64-bit eq(s, empty)
+	PANDN   X2, X3      // ~empty & eq
+	PSRLQ   $63, X3     // lane mask -> 0/1
+	PADDQ   X3, X4
+
+	// Second pair, same dance on X6/X7.
+	MOVOA   X6, X2
+	PCMPEQL X7, X2
+	PSHUFD  $0xB1, X2, X3
+	PAND    X3, X2
+	MOVOA   X6, X3
+	PCMPEQL X5, X3
+	PSHUFD  $0xB1, X3, X6
+	PAND    X6, X3
+	PANDN   X2, X3
+	PSRLQ   $63, X3
+	PADDQ   X3, X4
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ DX
+	JNZ  loop4
+
+tail:
+	MOVQ CX, DX
+	ANDQ $3, DX         // leftover registers
+	JZ   reduce
+
+tailloop:
+	MOVQ  (SI), R8
+	MOVQ  (DI), R9
+	XORL  R10, R10
+	XORL  R11, R11
+	CMPQ  R8, R9
+	SETEQ R10           // R10 = (s == c)
+	CMPQ  R8, $-1
+	SETNE R11           // R11 = (s != empty)
+	ANDQ  R11, R10
+	ADDQ  R10, AX
+	ADDQ  $8, SI
+	ADDQ  $8, DI
+	DECQ  DX
+	JNZ   tailloop
+
+reduce:
+	// Fold the two vector lanes into the scalar count.
+	PSHUFD $0x4E, X4, X0 // swap the two u64 lanes
+	PADDQ  X0, X4
+	MOVQ   X4, DX
+	ADDQ   DX, AX
+
+	MOVQ AX, ret+24(FP)
+	RET

@@ -1,0 +1,10 @@
+//go:build !amd64 || purego
+
+package core
+
+// matchCount counts indices where src and cand hold the same non-empty
+// register value (see kernel.go for the contract). Non-amd64 targets —
+// and amd64 built with -tags purego — use the portable branch-free loop.
+func matchCount(src, cand []uint64) int {
+	return matchCountGo(src, cand)
+}

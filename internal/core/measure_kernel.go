@@ -189,17 +189,11 @@ func fillRegWeights(m QueryMeasure, vals, ids []uint64, regWeight []float64, s p
 // matchRegisters counts matching non-empty registers between a pinned
 // source register vector and one candidate's, accumulating the
 // precomputed per-register weights for weighted measures. The shared
-// inner loop of all four batch paths.
+// inner loop of all four batch paths, dispatching to the branch-free
+// kernels of kernel.go (vectorized on amd64 for the unweighted count).
 func matchRegisters(m QueryMeasure, src, cand []uint64, regWeight []float64) (matches int, weightSum float64) {
-	weighted := m.weighted()
-	for i, val := range src {
-		if val == emptyRegister || val != cand[i] {
-			continue
-		}
-		matches++
-		if weighted {
-			weightSum += regWeight[i]
-		}
+	if m.weighted() {
+		return matchWeightedRegs(src, cand, regWeight)
 	}
-	return matches, weightSum
+	return matchCount(src, cand), 0
 }

@@ -99,12 +99,12 @@ func (s *SketchStore) Save(w io.Writer) error {
 		if err := writeU64(math.Float64bits(st.triangles)); err != nil {
 			return fmt.Errorf("core: save vertex %d triangles: %w", id, err)
 		}
-		for _, v := range st.sketch.vals {
+		for _, v := range s.bank.regs(st.slot) {
 			if err := writeU64(v); err != nil {
 				return fmt.Errorf("core: save vertex %d registers: %w", id, err)
 			}
 		}
-		for _, v := range st.sketch.ids {
+		for _, v := range s.bank.argmins(st.slot) {
 			if err := writeU64(v); err != nil {
 				return fmt.Errorf("core: save vertex %d argmins: %w", id, err)
 			}
@@ -215,13 +215,16 @@ func loadSketchStore(rd *binReader) (*SketchStore, error) {
 			return nil, rd.fail(fmt.Sprintf("vertex %d triangles", id), err)
 		}
 		st.triangles = math.Float64frombits(vertexTri)
-		for j := range st.sketch.vals {
-			if st.sketch.vals[j], err = rd.u64(); err != nil {
+		// The on-disk format predates the register banks; conversion on
+		// load is just filling the vertex's bank spans in place.
+		vals, argmins := s.registers(st)
+		for j := range vals {
+			if vals[j], err = rd.u64(); err != nil {
 				return nil, rd.fail(fmt.Sprintf("vertex %d registers", id), err)
 			}
 		}
-		for j := range st.sketch.ids {
-			if st.sketch.ids[j], err = rd.u64(); err != nil {
+		for j := range argmins {
+			if argmins[j], err = rd.u64(); err != nil {
 				return nil, rd.fail(fmt.Sprintf("vertex %d argmins", id), err)
 			}
 		}

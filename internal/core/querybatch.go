@@ -27,12 +27,18 @@ import (
 //  3. Group: candidates are interned (duplicates collapse to one score)
 //     and counting-sorted by home shard, reusing the grouping machinery
 //     of the ingest pipeline (group.go).
-//  4. Snapshot: each shard's candidate register views and arrival
-//     counters are copied under ONE RLock per shard per batch — O(shards)
-//     lock acquisitions per query instead of O(candidates).
-//  5. Score: GOMAXPROCS-bounded workers score disjoint chunks of the
-//     distinct candidates against the pinned source; scores fan back out
-//     to the caller's candidate order.
+//  4. Score in place: GOMAXPROCS-bounded workers take ONE RLock per
+//     shard per batch — O(shards) lock acquisitions per query instead
+//     of O(candidates) — and score that shard's candidates directly
+//     from its register bank against the pinned source. The bank's
+//     struct-of-arrays layout (sketch.go) is what makes this cheap:
+//     a candidate's k registers are one contiguous span, so the match
+//     kernel streams the bank instead of chasing per-vertex pointers,
+//     and nothing is copied per candidate (the earlier design copied
+//     every candidate's registers out of the shard before scoring —
+//     at k=64 that memmove traffic was ~30% of the batch's wall time).
+//  5. Fan out: scores propagate from distinct-candidate slots back to
+//     the caller's candidate order.
 //
 // Equivalence: on a quiescent store every score is bit-identical to the
 // corresponding sequential estimator — the match loops, degree formulas,
@@ -60,20 +66,26 @@ type queryScratch struct {
 	// Candidate interning (stage 3): distinct candidates in first-
 	// appearance order, candIdx maps caller positions to distinct
 	// indices, and the epoch memo makes per-batch invalidation O(1).
+	// hashes caches each distinct candidate's Mix64 so grouping by home
+	// shard does not rehash what interning already hashed.
 	distinct  []uint64
+	hashes    []uint64
 	candIdx   []int32
 	memoKeys  []uint64
 	memoIdx   []int32
 	memoEpoch []uint32
 	epoch     uint32
 
-	// Shard grouping (stage 3) and per-distinct snapshots (stage 4).
+	// Shard grouping (stage 3) and per-distinct resolution + scores
+	// (stage 4). slots[c] is candidate c's bank slot (-1 when the vertex
+	// is unknown), arrs[c] its arrival counter; warm keeps the resolve
+	// pass's cache-warming loads observable so they cannot be elided.
 	candShard []int32
 	group     grouping
-	regs      []uint64 // candidate register views: candidate i at [i*K, (i+1)*K)
+	slots     []int32
 	arrs      []int64
-	known     []bool
 	scores    []float64
+	warm      uint64
 }
 
 var queryPool = sync.Pool{New: func() any { return new(queryScratch) }}
@@ -83,6 +95,7 @@ var queryPool = sync.Pool{New: func() any { return new(queryScratch) }}
 // distinct candidates.
 func (sc *queryScratch) internCandidates(candidates []uint64) int {
 	sc.distinct = sc.distinct[:0]
+	sc.hashes = sc.hashes[:0]
 	size := 1
 	for size < 2*len(candidates) { // ≤ 50% load
 		size <<= 1
@@ -107,7 +120,8 @@ func (sc *queryScratch) internCandidates(candidates []uint64) int {
 
 func (sc *queryScratch) intern(v uint64) int32 {
 	mask := uint64(len(sc.memoKeys) - 1)
-	slot := rng.Mix64(v) & mask
+	h := rng.Mix64(v)
+	slot := h & mask
 	for {
 		if sc.memoEpoch[slot] != sc.epoch {
 			sc.memoEpoch[slot] = sc.epoch
@@ -115,6 +129,7 @@ func (sc *queryScratch) intern(v uint64) int32 {
 			idx := int32(len(sc.distinct))
 			sc.memoIdx[slot] = idx
 			sc.distinct = append(sc.distinct, v)
+			sc.hashes = append(sc.hashes, h)
 			return idx
 		}
 		if sc.memoKeys[slot] == v {
@@ -125,12 +140,13 @@ func (sc *queryScratch) intern(v uint64) int32 {
 }
 
 // groupByShard counting-sorts the distinct candidates by home shard
-// (same hash as Sharded.shardOf / ShardedDirected.shardOf).
+// (same hash as Sharded.shardOf / ShardedDirected.shardOf, read back
+// from the intern pass's cache).
 func (sc *queryScratch) groupByShard(nShards int) {
 	nd := len(sc.distinct)
 	sc.candShard = grow(sc.candShard, nd)
-	for i, v := range sc.distinct {
-		sc.candShard[i] = int32(rng.Mix64(v) % uint64(nShards))
+	for i, h := range sc.hashes {
+		sc.candShard[i] = int32(h % uint64(nShards))
 	}
 	sc.group.group(nd, nShards, func(i int) int32 { return sc.candShard[i] })
 }
@@ -152,10 +168,10 @@ func (sc *queryScratch) fanOut(out []float64) {
 // sequential estimator per pair on a quiescent store.
 //
 // Safe for concurrent use, including concurrently with writers: the
-// source is read under one RLock, each shard's candidates are read under
-// one RLock per shard per batch, and scoring runs on GOMAXPROCS-bounded
-// workers against those snapshots. Per-query lock cost is O(shards + K),
-// not O(candidates).
+// source is read under one RLock, and GOMAXPROCS-bounded workers score
+// each shard's candidates directly from its register bank under one
+// RLock per shard per batch. Per-query lock cost is O(shards + K), not
+// O(candidates).
 func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out []float64) ([]float64, error) {
 	if !m.valid() {
 		return nil, fmt.Errorf("core: unknown query measure %v", m)
@@ -177,8 +193,8 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 	s.mus[a].RLock()
 	if su := s.shards[a].vertices[u]; su != nil {
 		srcKnown = true
-		copy(sc.srcVals, su.sketch.vals)
-		copy(sc.srcIDs, su.sketch.ids)
+		copy(sc.srcVals, s.shards[a].bank.regs(su.slot))
+		copy(sc.srcIDs, s.shards[a].bank.argmins(su.slot))
 		srcDeg = s.shards[a].degree(su)
 	}
 	s.mus[a].RUnlock()
@@ -204,46 +220,62 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 	nShards := len(s.shards)
 	sc.groupByShard(nShards)
 
-	// Stage 4: copy each shard's candidate register views and arrival
-	// counters under one RLock per shard. Slots are indexed by distinct
-	// candidate, and each candidate belongs to exactly one shard, so
-	// workers write disjoint memory. Preferential attachment under
-	// arrival-counted degrees needs no registers at all.
+	// Stage 4: score each shard's candidates in place, directly from the
+	// shard's register bank, under one RLock per shard. Each candidate
+	// belongs to exactly one shard, so workers write disjoint score
+	// slots. matchRegisters + scoreFromSnapshot are the same kernel the
+	// sequential estimators end in, which is what keeps the two paths
+	// bit-identical. Two passes per shard, both under the same RLock (so
+	// slots stay valid — the bank cannot grow/move while it is held):
+	// the first resolves every candidate's slot and walks one word per
+	// cache line of its register span, which overlaps the span fetches
+	// across candidates (the match kernel's loads are consumed serially,
+	// so letting it demand-miss per candidate wastes the memory
+	// parallelism the independent lookups have); the second scores
+	// against now-warm lines.
 	needRegs := !(m == QueryPreferentialAttachment && cfg.Degrees == DegreeArrivals)
-	if needRegs {
-		sc.regs = grow(sc.regs, nd*k)
-	}
+	sc.slots = grow(sc.slots, nd)
 	sc.arrs = grow(sc.arrs, nd)
-	sc.known = grow(sc.known, nd)
+	sc.scores = grow(sc.scores, nd)
+	kf := float64(k)
 	forEachShard(nShards, sc.group.starts, func(shard int) {
 		st := s.shards[shard]
 		s.mus[shard].RLock()
 		lo, hi := sc.group.starts[shard], sc.group.starts[shard+1]
+		if !needRegs {
+			// Preferential attachment over arrival counts touches no
+			// registers: the resolve pass IS the score pass.
+			for gi := lo; gi < hi; gi++ {
+				c := sc.group.order[gi]
+				if sv := st.vertices[sc.distinct[c]]; sv != nil {
+					sc.scores[c] = srcDeg * float64(sv.arrivals)
+				} else {
+					sc.scores[c] = 0
+				}
+			}
+			s.mus[shard].RUnlock()
+			return
+		}
+		var warm uint64
 		for gi := lo; gi < hi; gi++ {
 			c := sc.group.order[gi]
 			sv := st.vertices[sc.distinct[c]]
 			if sv == nil {
-				sc.known[c] = false
+				sc.slots[c] = -1
 				continue
 			}
-			sc.known[c] = true
+			sc.slots[c] = sv.slot
 			sc.arrs[c] = sv.arrivals
-			if needRegs {
-				copy(sc.regs[int(c)*k:(int(c)+1)*k], sv.sketch.vals)
+			regs := st.bank.regs(sv.slot)
+			for j := 0; j < len(regs); j += 8 {
+				warm += regs[j]
 			}
 		}
-		s.mus[shard].RUnlock()
-	})
-
-	// Stage 5: score distinct candidates on GOMAXPROCS-bounded workers
-	// against the pinned source. matchRegisters + scoreFromSnapshot are
-	// the same kernel the sequential estimators end in, which is what
-	// keeps the two paths bit-identical.
-	sc.scores = grow(sc.scores, nd)
-	kf := float64(k)
-	parallelRange(nd, minScoreChunk, func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			if !sc.known[c] {
+		sc.warm = warm
+		for gi := lo; gi < hi; gi++ {
+			c := sc.group.order[gi]
+			slot := sc.slots[c]
+			if slot < 0 {
 				sc.scores[c] = 0
 				continue
 			}
@@ -252,7 +284,7 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 				if cfg.Degrees == DegreeArrivals {
 					dv = float64(sc.arrs[c])
 				} else {
-					dv = kmvDistinct(&minHashSketch{vals: sc.regs[c*k : (c+1)*k]}, sc.arrs[c])
+					dv = kmvDistinct(st.bank.regs(slot), sc.arrs[c])
 				}
 			}
 			if m == QueryPreferentialAttachment {
@@ -260,11 +292,13 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 				sc.scores[c] = srcDeg * dv
 				continue
 			}
-			matches, weightSum := matchRegisters(m, sc.srcVals, sc.regs[c*k:(c+1)*k], sc.regWeight)
+			matches, weightSum := matchRegisters(m, sc.srcVals, st.bank.regs(slot), sc.regWeight)
 			sc.scores[c] = scoreFromSnapshot(m, kf, matches, weightSum, srcDeg, dv)
 		}
+		s.mus[shard].RUnlock()
 	})
 
+	// Stage 5: fan scores back out to the caller's candidate order.
 	sc.fanOut(out)
 	queryPool.Put(sc)
 	return out, nil
@@ -274,9 +308,9 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 // writing scores into out aligned with candidates. All six measures are
 // supported, under the directed reading (out-side of the source against
 // the in-side of each candidate). Semantics otherwise mirror
-// Sharded.ScoreBatch: one RLock pins the source's out-sketch, one RLock
-// per shard per batch copies the candidates' in-sketch views, and
-// workers score chunks against the pinned snapshot.
+// Sharded.ScoreBatch: one RLock pins the source's out-sketch, and
+// workers score each shard's candidates in place from its in-side
+// register bank under one RLock per shard per batch.
 func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out []float64) ([]float64, error) {
 	if !m.valid() {
 		return nil, fmt.Errorf("core: unknown query measure %v", m)
@@ -298,9 +332,10 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 	s.mus[a].RLock()
 	if su := s.shards[a].vertices[u]; su != nil {
 		srcKnown = true
-		copy(sc.srcVals, su.out.vals)
-		copy(sc.srcIDs, su.out.ids)
-		srcDeg = s.shards[a].sideDegree(su.out, su.outArr)
+		st := s.shards[a]
+		copy(sc.srcVals, st.out.regs(su.slot))
+		copy(sc.srcIDs, st.out.argmins(su.slot))
+		srcDeg = st.sideDegree(st.out.regs(su.slot), su.outArr)
 	}
 	s.mus[a].RUnlock()
 	if !srcKnown {
@@ -317,48 +352,51 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 		fillRegWeights(m, sc.srcVals, sc.srcIDs, sc.regWeight, s)
 	}
 
-	// Stages 3–4: intern, group, snapshot candidates' in-sides.
+	// Stages 3–4: intern, group, then score candidates' in-sides in
+	// place from each shard's bank under one RLock per shard — the same
+	// two-pass resolve-then-score shape as the undirected path.
 	nd := sc.internCandidates(candidates)
 	nShards := len(s.shards)
 	sc.groupByShard(nShards)
-	sc.regs = grow(sc.regs, nd*k)
+	sc.slots = grow(sc.slots, nd)
 	sc.arrs = grow(sc.arrs, nd)
-	sc.known = grow(sc.known, nd)
+	sc.scores = grow(sc.scores, nd)
+	kf := float64(k)
 	forEachShard(nShards, sc.group.starts, func(shard int) {
 		st := s.shards[shard]
 		s.mus[shard].RLock()
 		lo, hi := sc.group.starts[shard], sc.group.starts[shard+1]
+		var warm uint64
 		for gi := lo; gi < hi; gi++ {
 			c := sc.group.order[gi]
 			sv := st.vertices[sc.distinct[c]]
 			if sv == nil {
-				sc.known[c] = false
+				sc.slots[c] = -1
 				continue
 			}
-			sc.known[c] = true
+			sc.slots[c] = sv.slot
 			sc.arrs[c] = sv.inArr
-			copy(sc.regs[int(c)*k:(int(c)+1)*k], sv.in.vals)
+			regs := st.in.regs(sv.slot)
+			for j := 0; j < len(regs); j += 8 {
+				warm += regs[j]
+			}
 		}
-		s.mus[shard].RUnlock()
-	})
-
-	// Stage 5: parallel scoring against the pinned out-snapshot.
-	sc.scores = grow(sc.scores, nd)
-	kf := float64(k)
-	parallelRange(nd, minScoreChunk, func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			if !sc.known[c] {
+		sc.warm = warm
+		for gi := lo; gi < hi; gi++ {
+			c := sc.group.order[gi]
+			slot := sc.slots[c]
+			if slot < 0 {
 				sc.scores[c] = 0
 				continue
 			}
-			regs := sc.regs[c*k : (c+1)*k]
-			// Candidate in-degree, replicating sideDegree on the snapshot.
+			regs := st.in.regs(slot)
+			// Candidate in-degree, replicating sideDegree.
 			var dIn float64
 			if m != QueryJaccard && sc.arrs[c] != 0 {
 				if cfg.Degrees == DegreeArrivals {
 					dIn = float64(sc.arrs[c])
 				} else {
-					dIn = kmvDistinct(&minHashSketch{vals: regs}, sc.arrs[c])
+					dIn = kmvDistinct(regs, sc.arrs[c])
 				}
 			}
 			if m == QueryPreferentialAttachment {
@@ -369,8 +407,10 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 			matches, weightSum := matchRegisters(m, sc.srcVals, regs, sc.regWeight)
 			sc.scores[c] = scoreFromSnapshot(m, kf, matches, weightSum, srcDeg, dIn)
 		}
+		s.mus[shard].RUnlock()
 	})
 
+	// Stage 5: fan scores back out to the caller's candidate order.
 	sc.fanOut(out)
 	queryPool.Put(sc)
 	return out, nil

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Batched query paths for the single-writer stores (SketchStore,
 // Windowed). There are no locks to amortize here, but the other two
@@ -32,10 +35,11 @@ func (s *SketchStore) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, 
 	srcDeg := s.degree(su)
 	sc := queryPool.Get().(*queryScratch)
 	k := s.cfg.K
+	srcVals, srcIDs := s.registers(su)
 
 	if m.weighted() {
 		sc.regWeight = grow(sc.regWeight, k)
-		fillRegWeights(m, su.sketch.vals, su.sketch.ids, sc.regWeight, s)
+		fillRegWeights(m, srcVals, srcIDs, sc.regWeight, s)
 	}
 
 	kf := float64(k)
@@ -55,7 +59,7 @@ func (s *SketchStore) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, 
 				out[ci] = srcDeg * dv
 				continue
 			}
-			matches, weightSum := matchRegisters(m, su.sketch.vals, sv.sketch.vals, sc.regWeight)
+			matches, weightSum := matchRegisters(m, srcVals, s.bank.regs(sv.slot), sc.regWeight)
 			out[ci] = scoreFromSnapshot(m, kf, matches, weightSum, srcDeg, dv)
 		}
 	})
@@ -78,7 +82,7 @@ func (w *Windowed) mergedInto(u uint64, vals []uint64) (arrivals int64, ok bool)
 		}
 		ok = true
 		arrivals += st.arrivals
-		for i, v := range st.sketch.vals {
+		for i, v := range g.bank.regs(st.slot) {
 			if v < vals[i] {
 				vals[i] = v
 			}
@@ -116,7 +120,7 @@ func (w *Windowed) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out
 	k := w.cfg.K
 	var du float64
 	if m != QueryJaccard {
-		du = kmvDistinct(&minHashSketch{vals: uv}, uarr)
+		du = kmvDistinct(uv, uarr)
 	}
 	if m.weighted() {
 		sc.regWeight = grow(sc.regWeight, k)
@@ -125,7 +129,10 @@ func (w *Windowed) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out
 
 	kf := float64(k)
 	parallelRange(len(candidates), minScoreChunk, func(lo, hi int) {
-		vals := make([]uint64, k) // per-chunk merge buffer
+		// Per-chunk merge buffer from the shared scratch pool: chunks run
+		// on distinct workers, so each gets its own.
+		bufp := mergeBufPool.Get().(*[]uint64)
+		vals := grow(*bufp, k)
 		for ci := lo; ci < hi; ci++ {
 			varr, okV := w.mergedInto(candidates[ci], vals)
 			if !okV {
@@ -134,17 +141,24 @@ func (w *Windowed) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out
 			}
 			if m == QueryPreferentialAttachment {
 				// No register scan needed: the score is the degree product.
-				out[ci] = du * kmvDistinct(&minHashSketch{vals: vals}, varr)
+				out[ci] = du * kmvDistinct(vals, varr)
 				continue
 			}
 			matches, weightSum := matchRegisters(m, uv, vals, sc.regWeight)
 			var dv float64
 			if m != QueryJaccard {
-				dv = kmvDistinct(&minHashSketch{vals: vals}, varr)
+				dv = kmvDistinct(vals, varr)
 			}
 			out[ci] = scoreFromSnapshot(m, kf, matches, weightSum, du, dv)
 		}
+		*bufp = vals
+		mergeBufPool.Put(bufp)
 	})
 	queryPool.Put(sc)
 	return out, nil
 }
+
+// mergeBufPool recycles the windowed per-chunk merge buffers so a
+// steady-state serving tier's ScoreBatch stays allocation-free on the
+// windowed store too.
+var mergeBufPool = sync.Pool{New: func() any { return new([]uint64) }}

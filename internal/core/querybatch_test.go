@@ -248,7 +248,7 @@ func TestShardedGauges(t *testing.T) {
 		for i := range s.shards {
 			s.mus[i].RLock()
 			n += len(s.shards[i].vertices)
-			mem += len(s.shards[i].vertices) * (vertexOverhead + 16*s.shards[i].cfg.K)
+			mem += s.shards[i].bank.memoryBytes() + len(s.shards[i].vertices)*vertexOverhead
 			s.mus[i].RUnlock()
 		}
 		if got := s.NumVertices(); got != n {

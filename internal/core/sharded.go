@@ -89,7 +89,7 @@ func (s *Sharded) shardOf(u uint64) int {
 // write lock; hashing happens outside it.
 func (st *SketchStore) applyHalfEdge(owner, nbr uint64, nbrHashes []uint64) {
 	vs := st.state(owner)
-	vs.sketch.update(nbr, nbrHashes)
+	st.bank.update(vs.slot, nbr, nbrHashes)
 	vs.arrivals++
 }
 
@@ -142,14 +142,15 @@ func (s *Sharded) ProcessEdge(e stream.Edge) {
 // refreshGauges re-derives shard's vertex-count and memory gauges from
 // the shard's live state. The caller must hold the shard's write lock,
 // which makes each Store a consistent snapshot of the shard at some
-// instant. The memory formula is exact for sharded stores: biased
-// sketches are rejected by NewSharded, so every vertex costs
-// vertexOverhead plus one fixed-size minhash sketch.
+// instant. The memory figure reads the register bank's actual storage —
+// not an assumed bytes-per-register constant — so the gauge stays
+// truthful if a bank ever stops tracking argmin ids (biased sketches are
+// rejected by NewSharded, so the bank plus map overhead is everything).
 func (s *Sharded) refreshGauges(shard int) {
 	st := s.shards[shard]
 	n := int64(len(st.vertices))
 	s.vertGauge[shard].Store(n)
-	s.memGauge[shard].Store(n * int64(vertexOverhead+16*st.cfg.K))
+	s.memGauge[shard].Store(int64(st.bank.memoryBytes()) + n*vertexOverhead)
 }
 
 // pairQuery reads the query state of (u, v) — register matches,
@@ -182,13 +183,18 @@ func (s *Sharded) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches 
 	du = s.shards[a].degree(su)
 	dv = s.shards[b].degree(sv)
 	matchedIDs = idBuf
-	for i, val := range su.sketch.vals {
-		if val == emptyRegister || val != sv.sketch.vals[i] {
-			continue
-		}
-		matches++
-		if collect {
-			matchedIDs = append(matchedIDs, su.sketch.ids[i])
+	uVals := s.shards[a].bank.regs(su.slot)
+	vVals := s.shards[b].bank.regs(sv.slot)
+	if !collect {
+		matches = matchCount(uVals, vVals)
+	} else {
+		uIDs := s.shards[a].bank.argmins(su.slot)
+		for i, val := range uVals {
+			if val == emptyRegister || val != vVals[i] {
+				continue
+			}
+			matches++
+			matchedIDs = append(matchedIDs, uIDs[i])
 		}
 	}
 	return matches, du, dv, true, matchedIDs

@@ -134,3 +134,48 @@ func BenchmarkShardedIngestParallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkShardedScoreBatch is the batched query path at E21's query
+// shape: one high-degree source against 1000 candidates drawn with
+// replacement from the observed vertex set, per measure. One op is one
+// ScoreBatch call, so ns/op is the batched ns/query E21 reports.
+func BenchmarkShardedScoreBatch(b *testing.B) {
+	edges := coauthorStream(b, 42)
+	s, err := NewSharded(Config{K: 64, Seed: 42}, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deg := make(map[uint64]int)
+	for lo := 0; lo < len(edges); lo += 256 {
+		hi := min(lo+256, len(edges))
+		s.ProcessEdges(edges[lo:hi])
+		for _, e := range edges[lo:hi] {
+			deg[e.U]++
+			deg[e.V]++
+		}
+	}
+	verts := make([]uint64, 0, len(deg))
+	var u uint64
+	for v, d := range deg {
+		verts = append(verts, v)
+		if d > deg[u] {
+			u = v
+		}
+	}
+	x := rng.NewXoshiro256(7)
+	cands := make([]uint64, 1000)
+	for i := range cands {
+		cands[i] = verts[x.Intn(len(verts))]
+	}
+	for _, m := range []QueryMeasure{QueryJaccard, QueryCommonNeighbors, QueryAdamicAdar} {
+		b.Run(m.String(), func(b *testing.B) {
+			var out []float64
+			for i := 0; i < b.N; i++ {
+				out, err = s.ScoreBatch(m, u, cands, out)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -67,10 +67,10 @@ func (s *ShardedDirected) shardOf(u uint64) int {
 func (st *DirectedStore) applyHalfArc(owner, nbr uint64, out bool, nbrHashes []uint64) {
 	vs := st.state(owner)
 	if out {
-		vs.out.update(nbr, nbrHashes)
+		st.out.update(vs.slot, nbr, nbrHashes)
 		vs.outArr++
 	} else {
-		vs.in.update(nbr, nbrHashes)
+		st.in.update(vs.slot, nbr, nbrHashes)
 		vs.inArr++
 	}
 }
@@ -115,13 +115,13 @@ func (s *ShardedDirected) ProcessArc(e stream.Edge) {
 }
 
 // refreshGauges re-derives shard's vertex-count and memory gauges; the
-// caller must hold the shard's write lock. Each directed vertex carries
-// two fixed-size sketches, so the memory formula is exact.
+// caller must hold the shard's write lock. The memory figure reads the
+// two register banks' actual storage, as in Sharded.refreshGauges.
 func (s *ShardedDirected) refreshGauges(shard int) {
 	st := s.shards[shard]
 	n := int64(len(st.vertices))
 	s.vertGauge[shard].Store(n)
-	s.memGauge[shard].Store(n * int64(dirVertexOverhead+2*16*st.cfg.K))
+	s.memGauge[shard].Store(int64(st.out.memoryBytes()+st.in.memoryBytes()) + n*dirVertexOverhead)
 }
 
 // pairQuery reads the arc-query state for u → v under the ordered
@@ -150,16 +150,21 @@ func (s *ShardedDirected) pairQuery(u, v uint64, collect bool, idBuf []uint64) (
 	if su == nil || sv == nil {
 		return 0, 0, 0, false, idBuf
 	}
-	dOut = s.shards[a].sideDegree(su.out, su.outArr)
-	dIn = s.shards[b].sideDegree(sv.in, sv.inArr)
+	outVals := s.shards[a].out.regs(su.slot)
+	inVals := s.shards[b].in.regs(sv.slot)
+	dOut = s.shards[a].sideDegree(outVals, su.outArr)
+	dIn = s.shards[b].sideDegree(inVals, sv.inArr)
 	matchedIDs = idBuf
-	for i, val := range su.out.vals {
-		if val == emptyRegister || val != sv.in.vals[i] {
-			continue
-		}
-		matches++
-		if collect {
-			matchedIDs = append(matchedIDs, su.out.ids[i])
+	if !collect {
+		matches = matchCount(outVals, inVals)
+	} else {
+		outIDs := s.shards[a].out.argmins(su.slot)
+		for i, val := range outVals {
+			if val == emptyRegister || val != inVals[i] {
+				continue
+			}
+			matches++
+			matchedIDs = append(matchedIDs, outIDs[i])
 		}
 	}
 	return matches, dOut, dIn, true, matchedIDs

@@ -27,52 +27,118 @@ import "math"
 // so the sentinel is never load-bearing for correctness.
 const emptyRegister = math.MaxUint64
 
-// minHashSketch is the k-register MinHash sketch of one vertex's neighbor
-// set. vals[i] is min_{w ∈ N(u)} h_i(w); ids[i] is the argmin neighbor.
-type minHashSketch struct {
-	vals []uint64
-	ids  []uint64
+// regBank is the struct-of-arrays register storage of one store (one per
+// shard in the sharded modes, see DESIGN.md §2.9). Instead of a heap
+// object with two slices per vertex, every vertex owns a dense slot: its
+// k register values live at vals[slot*k : (slot+1)*k] and the parallel
+// argmin ids at the same span of ids. The layout buys two things the
+// per-vertex objects could not:
+//
+//   - a vertex's registers are one contiguous k·8-byte span, so the query
+//     kernel streams cache lines instead of chasing a pointer per vertex,
+//     and a batch snapshot copies straight out of the bank;
+//   - the bank grows like an appended slice (amortized doubling), so a
+//     million vertices cost two allocations' worth of bookkeeping rather
+//     than two million 8-word heap objects for the GC to trace.
+//
+// Slots are never freed (vertices are never removed from a store), so a
+// slot index is stable for the life of the store. The backing arrays DO
+// move when the bank grows: never cache a register slice across an
+// operation that may allocate a slot — re-derive it with regs/argmins at
+// the point of use. All growth happens under the owning store's write
+// lock (or in single-writer stores, in the writer), so concurrent readers
+// holding read locks always see a stable array.
+//
+// trackIDs selects whether the argmin bank is maintained. Every live
+// store tracks ids today (the weighted measures and the windowed merge
+// need them); the flag exists so transient banks can skip the second
+// array, and so memoryBytes reflects what is actually allocated.
+type regBank struct {
+	k        int
+	trackIDs bool
+	vals     []uint64 // slot s at [s*k, (s+1)*k); emptyRegister when unset
+	ids      []uint64 // parallel argmin bank; empty when !trackIDs
 }
 
-func newMinHashSketch(k int) *minHashSketch {
-	s := &minHashSketch{
-		vals: make([]uint64, k),
-		ids:  make([]uint64, k),
-	}
-	for i := range s.vals {
-		s.vals[i] = emptyRegister
-	}
-	return s
+// init prepares an empty bank for k-register sketches.
+func (b *regBank) init(k int, trackIDs bool) {
+	b.k = k
+	b.trackIDs = trackIDs
 }
 
-// update folds neighbor w, whose k hash values are hashes, into the
-// sketch. Min is idempotent, so duplicate edges are harmless.
-func (s *minHashSketch) update(w uint64, hashes []uint64) {
-	// Reslicing vals to the iteration length lets the compiler drop the
-	// per-register bounds check in this innermost of all ingest loops.
-	vals := s.vals[:len(hashes)]
+// alloc claims the next slot, extending the banks by one k-span (values
+// initialised to emptyRegister, ids zeroed). Amortized O(k).
+func (b *regBank) alloc() int32 {
+	slot := int32(len(b.vals) / b.k)
+	b.vals = bankGrow(b.vals, b.k)
+	span := b.vals[len(b.vals)-b.k:]
+	for i := range span {
+		span[i] = emptyRegister
+	}
+	if b.trackIDs {
+		b.ids = bankGrow(b.ids, b.k)
+	}
+	return slot
+}
+
+// bankGrow extends buf by n elements with amortized doubling. New
+// elements are zero (a freshly made backing array is zeroed, and the bank
+// only ever appends, so reused capacity has never held data).
+func bankGrow(buf []uint64, n int) []uint64 {
+	l := len(buf)
+	if cap(buf) >= l+n {
+		return buf[: l+n : cap(buf)]
+	}
+	c := 2 * cap(buf)
+	if c < l+n {
+		c = l + n
+	}
+	nb := make([]uint64, l+n, c)
+	copy(nb, buf)
+	return nb
+}
+
+// regs returns slot's register-value span. The slice is capped at k so an
+// append cannot silently bleed into the neighboring slot.
+func (b *regBank) regs(slot int32) []uint64 {
+	o := int(slot) * b.k
+	return b.vals[o : o+b.k : o+b.k]
+}
+
+// argmins returns slot's argmin-id span.
+func (b *regBank) argmins(slot int32) []uint64 {
+	o := int(slot) * b.k
+	return b.ids[o : o+b.k : o+b.k]
+}
+
+// update folds neighbor w, whose k hash values are hashes, into slot's
+// registers. Min is idempotent, so duplicate edges are harmless.
+func (b *regBank) update(slot int32, w uint64, hashes []uint64) {
+	// Reslicing to the iteration length lets the compiler drop the
+	// per-register bounds checks in this innermost of all ingest loops.
+	vals := b.regs(slot)[:len(hashes)]
+	ids := b.argmins(slot)[:len(hashes)]
 	for i, h := range hashes {
 		if h < vals[i] {
 			vals[i] = h
-			s.ids[i] = w
+			ids[i] = w
 		}
 	}
 }
 
-// matches returns the number of registers on which the two sketches
-// agree, which estimates k·J for sketches of two neighbor sets.
-func (s *minHashSketch) matches(o *minHashSketch) int {
-	n := 0
-	for i, v := range s.vals {
-		if v != emptyRegister && v == o.vals[i] {
-			n++
-		}
+// slots returns the number of allocated slots.
+func (b *regBank) slots() int {
+	if b.k == 0 {
+		return 0
 	}
-	return n
+	return len(b.vals) / b.k
 }
 
-// memoryBytes returns the exact payload size of the sketch (register
-// values and argmin ids), excluding Go slice headers.
-func (s *minHashSketch) memoryBytes() int {
-	return 16 * len(s.vals)
+// memoryBytes returns the exact payload size of the bank: what the value
+// and argmin arrays actually hold. Ids are counted only when argmin
+// tracking is enabled — len(b.ids) is zero otherwise — so the store
+// memory gauges derive from real storage instead of assuming 16 bytes
+// per register.
+func (b *regBank) memoryBytes() int {
+	return 8*len(b.vals) + 8*len(b.ids)
 }

@@ -62,9 +62,11 @@ type Config struct {
 	TrackTriangles bool
 }
 
-// vertexState is the constant-size per-vertex state.
+// vertexState is the constant-size per-vertex state. The MinHash
+// registers themselves live in the store's register bank (see regBank in
+// sketch.go); slot indexes the vertex's k-span there.
 type vertexState struct {
-	sketch   *minHashSketch
+	slot     int32
 	arrivals int64
 	biased   *biasedSketch // nil unless Config.EnableBiased
 	// triangles accumulates this vertex's share of closed triangles when
@@ -83,6 +85,7 @@ type SketchStore struct {
 	family   *hashing.Family
 	biasHash hashing.Mixed // global rank hash for biased sketches
 	vertices map[uint64]*vertexState
+	bank     regBank // struct-of-arrays register storage for all vertices
 	edges    int64
 	// triangles accumulates the streaming triangle estimate when
 	// Config.TrackTriangles is set (see triangles.go).
@@ -99,13 +102,15 @@ func NewSketchStore(cfg Config) (*SketchStore, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("core: Config.K must be >= 1, got %d", cfg.K)
 	}
-	return &SketchStore{
+	s := &SketchStore{
 		cfg:      cfg,
 		family:   hashing.NewFamily(cfg.Hash, cfg.K, cfg.Seed),
 		biasHash: hashing.NewMixed(cfg.Seed ^ 0xb1a5ed5eedf00d42),
 		vertices: make(map[uint64]*vertexState),
 		hashBuf:  make([]uint64, 0, cfg.K),
-	}, nil
+	}
+	s.bank.init(cfg.K, true)
+	return s, nil
 }
 
 // Config returns the store's configuration.
@@ -127,9 +132,9 @@ func (s *SketchStore) ProcessEdge(e stream.Edge) {
 	}
 
 	s.hashBuf = s.family.HashAll(e.V, s.hashBuf)
-	su.sketch.update(e.V, s.hashBuf)
+	s.bank.update(su.slot, e.V, s.hashBuf)
 	s.hashBuf = s.family.HashAll(e.U, s.hashBuf)
-	sv.sketch.update(e.U, s.hashBuf)
+	s.bank.update(sv.slot, e.U, s.hashBuf)
 
 	su.arrivals++
 	sv.arrivals++
@@ -166,17 +171,26 @@ func (s *SketchStore) Process(src stream.Source) (int64, error) {
 	return n, err
 }
 
-// state returns (creating if needed) the per-vertex state of u.
+// state returns (creating if needed) the per-vertex state of u. Creating
+// a vertex allocates a bank slot, which may move the bank's backing
+// arrays — register slices derived before a state call are stale after
+// it (see regBank).
 func (s *SketchStore) state(u uint64) *vertexState {
 	st := s.vertices[u]
 	if st == nil {
-		st = &vertexState{sketch: newMinHashSketch(s.cfg.K)}
+		st = &vertexState{slot: s.bank.alloc()}
 		if s.cfg.EnableBiased {
 			st.biased = newBiasedSketch(s.cfg.K)
 		}
 		s.vertices[u] = st
 	}
 	return st
+}
+
+// registers returns st's register-value and argmin spans in the store's
+// bank. Re-derive after any operation that can create a vertex.
+func (s *SketchStore) registers(st *vertexState) (vals, ids []uint64) {
+	return s.bank.regs(st.slot), s.bank.argmins(st.slot)
 }
 
 // Knows reports whether u has appeared in the stream.
@@ -205,7 +219,7 @@ func (s *SketchStore) degree(st *vertexState) float64 {
 	if s.cfg.Degrees == DegreeArrivals {
 		return float64(st.arrivals)
 	}
-	return kmvDistinct(st.sketch, st.arrivals)
+	return kmvDistinct(s.bank.regs(st.slot), st.arrivals)
 }
 
 // kmvDistinct estimates the number of distinct items folded into the
@@ -216,10 +230,10 @@ func (s *SketchStore) degree(st *vertexState) float64 {
 // 1/sum is used. The estimate is clamped to [1, arrivals]: a vertex in
 // the store has at least one neighbor, and cannot have more distinct
 // neighbors than arrivals.
-func kmvDistinct(sk *minHashSketch, arrivals int64) float64 {
-	k := len(sk.vals)
+func kmvDistinct(vals []uint64, arrivals int64) float64 {
+	k := len(vals)
 	sum := 0.0
-	for _, v := range sk.vals {
+	for _, v := range vals {
 		if v == emptyRegister {
 			return 0
 		}
@@ -246,15 +260,15 @@ func kmvDistinct(sk *minHashSketch, arrivals int64) float64 {
 // store's per-shard memory gauges can reuse the same formula.
 const vertexOverhead = 48
 
-// MemoryBytes returns the payload memory of the store: register values,
-// argmin ids, degree counters and (if enabled) biased sketches, plus the
-// standard rough per-entry map overhead used throughout this repository
-// for footprint comparisons (see graph.MemoryBytes).
+// MemoryBytes returns the payload memory of the store: the register
+// bank's actual storage (values, plus argmin ids only when the bank
+// tracks them), degree counters and (if enabled) biased sketches, plus
+// the standard rough per-entry map overhead used throughout this
+// repository for footprint comparisons (see graph.MemoryBytes).
 func (s *SketchStore) MemoryBytes() int {
-	total := 0
-	for _, st := range s.vertices {
-		total += vertexOverhead + st.sketch.memoryBytes()
-		if st.biased != nil {
+	total := s.bank.memoryBytes() + vertexOverhead*len(s.vertices)
+	if s.cfg.EnableBiased {
+		for _, st := range s.vertices {
 			total += st.biased.memoryBytes()
 		}
 	}

@@ -76,12 +76,14 @@ func (s *SketchStore) addTriangles(su, sv *vertexState) {
 	}
 	var matched int
 	var midpoints []uint64
-	for i, val := range su.sketch.vals {
-		if val == emptyRegister || val != sv.sketch.vals[i] {
+	suVals, suIDs := s.registers(su)
+	svVals := s.bank.regs(sv.slot)
+	for i, val := range suVals {
+		if val == emptyRegister || val != svVals[i] {
 			continue
 		}
 		matched++
-		midpoints = append(midpoints, su.sketch.ids[i])
+		midpoints = append(midpoints, suIDs[i])
 	}
 	if matched == 0 {
 		return

@@ -179,10 +179,12 @@ func (w *Windowed) merged(u uint64) (vals, ids []uint64, arrivals int64, ok bool
 		}
 		ok = true
 		arrivals += st.arrivals
-		for i, v := range st.sketch.vals {
+		gv := g.bank.regs(st.slot)
+		gi := g.bank.argmins(st.slot)
+		for i, v := range gv {
 			if v < vals[i] {
 				vals[i] = v
-				ids[i] = st.sketch.ids[i]
+				ids[i] = gi[i]
 			}
 		}
 	}
@@ -195,7 +197,7 @@ func (w *Windowed) Degree(u uint64) float64 {
 	if !ok {
 		return 0
 	}
-	return kmvDistinct(&minHashSketch{vals: vals}, arrivals)
+	return kmvDistinct(vals, arrivals)
 }
 
 // Knows reports whether u appears anywhere in the window.
@@ -219,17 +221,19 @@ func (w *Windowed) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches
 		return 0, 0, 0, false, idBuf
 	}
 	ids = idBuf
-	for i := range uv {
-		if uv[i] == emptyRegister || uv[i] != vv[i] {
-			continue
-		}
-		matches++
-		if collect {
+	if !collect {
+		matches = matchCount(uv, vv)
+	} else {
+		for i := range uv {
+			if uv[i] == emptyRegister || uv[i] != vv[i] {
+				continue
+			}
+			matches++
 			ids = append(ids, uids[i])
 		}
 	}
-	du = kmvDistinct(&minHashSketch{vals: uv}, uarr)
-	dv = kmvDistinct(&minHashSketch{vals: vv}, varr)
+	du = kmvDistinct(uv, uarr)
+	dv = kmvDistinct(vv, varr)
 	return matches, du, dv, true, ids
 }
 

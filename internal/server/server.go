@@ -5,7 +5,12 @@
 //
 // Endpoints:
 //
-//	POST /ingest          body: edge list, "u v [t]" per line → {"ingested": n}
+//	POST /ingest          body: edge list, "u v [t]" per line → {"ingested": n};
+//	                      with Content-Type application/x-lp-edges the body is
+//	                      binary crc/len-framed edge records (the WAL record
+//	                      layout), applied batch-per-frame with no text parsing —
+//	                      and, under -wal-dir, logged by appending the frame
+//	                      bytes directly
 //	GET  /pair?u=&v=      all measure estimates for one pair
 //	GET  /score?u=&v=&measure=jaccard|common-neighbors|adamic-adar|resource-allocation|preferential-attachment|cosine
 //	GET  /topk?u=&candidates=1,2,3&measure=&k=   ranked candidates (candidates optional with a tracker)
@@ -20,7 +25,7 @@
 // directed modes, or a Synchronized windowed predictor — so ingest and
 // queries may overlap freely regardless of mode. Queries go through the
 // engine's batched read path where the store has one: /topk
-// deduplicates, scores every candidate with per-shard snapshot reads,
+// deduplicates, scores every candidate in place from per-shard banks,
 // and heap-selects k; /scorebatch groups its pair list by source vertex
 // and scores each group in one batch. On directed engines /ingest reads
 // arcs u → v and pair queries score the candidate arc. Restore accepts
@@ -234,14 +239,12 @@ func uploadStatus(err error, body *cappedBody) int {
 // prefix reported after a mid-request failure is fine-grained.
 const ingestBatchSize = 4096
 
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	defer r.Body.Close()
-	body := s.limitBody(w, r)
-	eng := s.engine()
-	reader := stream.NewTextReader(r.Body)
-	n := 0
+// applyFunc builds the per-batch apply closure shared by the text and
+// binary ingest paths: fold the batch into the engine and feed the
+// optional monitor and candidate tracker.
+func (s *Server) applyFunc(eng linkpred.Engine) func([]stream.Edge) {
 	buf := make([]linkpred.Edge, 0, ingestBatchSize)
-	apply := func(batch []stream.Edge) {
+	return func(batch []stream.Edge) {
 		buf = buf[:0]
 		for _, e := range batch {
 			buf = append(buf, linkpred.Edge{U: e.U, V: e.V, T: e.T})
@@ -262,6 +265,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			s.candMu.Unlock()
 		}
 	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	body := s.limitBody(w, r)
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, wal.FrameContentType) {
+		s.ingestFrames(w, r, body)
+		return
+	}
+	eng := s.engine()
+	reader := stream.NewTextReader(r.Body)
+	n := 0
+	apply := s.applyFunc(eng)
 	var walErr error
 	err := stream.ForEachBatch(reader, ingestBatchSize, func(batch []stream.Edge) error {
 		if s.opts.Durability != nil {
@@ -296,6 +312,61 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	writeJSON(w, http.StatusOK, map[string]any{"ingested": n})
+}
+
+// ingestFrames is the binary /ingest path (Content-Type
+// application/x-lp-edges): the body is a sequence of crc/len-framed
+// edge records in the WAL's on-disk layout. Each frame is validated
+// (CRC, length/count consistency) and applied as one batch; with
+// Durability the frame's bytes are appended to the log directly — seq
+// patched in place, CRC recomputed — so the durable hot path never
+// re-encodes the edges. Malformed frames end the request with 400 (413
+// when the body cap cut the stream); the edges of the preceding valid
+// frames are already ingested and reported, exactly like a malformed
+// text line.
+func (s *Server) ingestFrames(w http.ResponseWriter, r *http.Request, body *cappedBody) {
+	eng := s.engine()
+	directed := linkpred.DirectedEngine(eng)
+	apply := s.applyFunc(eng)
+	fr := wal.NewFrameReader(r.Body)
+	n := 0
+	for {
+		kind, frame, edges, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.metrics.edgesIngested.Add(int64(n))
+			writeJSON(w, uploadStatus(err, body), map[string]any{
+				"error":    err.Error(),
+				"ingested": n,
+			})
+			return
+		}
+		if (kind == wal.KindArc) != directed {
+			s.metrics.edgesIngested.Add(int64(n))
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error":    fmt.Sprintf("frame kind %d does not match the store's orientation", kind),
+				"ingested": n,
+			})
+			return
+		}
+		if s.opts.Durability != nil {
+			if werr := s.opts.Durability.IngestFrame(frame, edges, apply); werr != nil {
+				s.metrics.edgesIngested.Add(int64(n))
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+					"error":    werr.Error(),
+					"ingested": n,
+				})
+				return
+			}
+		} else {
+			apply(edges)
+		}
+		n += len(edges)
+	}
+	s.metrics.edgesIngested.Add(int64(n))
 	writeJSON(w, http.StatusOK, map[string]any{"ingested": n})
 }
 

@@ -36,15 +36,70 @@ func rankBefore(a, b Candidate) bool {
 
 // topkScratch recycles the deduplication and score buffers of topKBatch
 // so steady-state serving allocates only the k-element result slice.
+// Dedup membership uses an epoch-stamped open-addressing table instead
+// of a Go map: a map insert per candidate was the single largest fixed
+// cost of a TopK call after the batch path eliminated the per-candidate
+// locks, and stale entries are invalidated by bumping the epoch instead
+// of clearing the table.
 type topkScratch struct {
-	dedup  []uint64
-	scores []float64
-	seen   map[uint64]struct{}
+	dedup     []uint64
+	scores    []float64
+	seenKeys  []uint64
+	seenEpoch []uint32
+	epoch     uint32
 }
 
-var topkPool = sync.Pool{New: func() any {
-	return &topkScratch{seen: make(map[uint64]struct{})}
-}}
+var topkPool = sync.Pool{New: func() any { return new(topkScratch) }}
+
+// insert records v in the scratch's membership table, reporting whether
+// it was already present this epoch. The table is sized (at ≤50% load)
+// by reset before the first insert of a batch.
+func (sc *topkScratch) insert(v uint64) (dup bool) {
+	mask := uint64(len(sc.seenKeys) - 1)
+	slot := mix64(v) & mask
+	for {
+		if sc.seenEpoch[slot] != sc.epoch {
+			sc.seenEpoch[slot] = sc.epoch
+			sc.seenKeys[slot] = v
+			return false
+		}
+		if sc.seenKeys[slot] == v {
+			return true
+		}
+		slot = (slot + 1) & mask
+	}
+}
+
+// reset sizes the membership table for n candidates and starts a new
+// epoch, invalidating every prior entry in O(1).
+func (sc *topkScratch) reset(n int) {
+	size := 1
+	for size < 2*n { // ≤ 50% load
+		size <<= 1
+	}
+	if len(sc.seenKeys) < size {
+		sc.seenKeys = make([]uint64, size)
+		sc.seenEpoch = make([]uint32, size)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // uint32 wraparound: stale epochs could false-hit
+		clear(sc.seenEpoch)
+		sc.epoch = 1
+	}
+}
+
+// mix64 is SplitMix64's finalizer — the same full-avalanche mixer the
+// core package hashes with (rng.Mix64), inlined here so the root
+// package's scratch does not reach into internal/rng for one function.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
 
 // topKBatch ranks candidates against u: deduplicate (dropping u itself),
 // score the distinct candidates with one scoreBatch call, heap-select
@@ -61,15 +116,11 @@ func topKBatch(u uint64, candidates []uint64, k int, scoreBatch func(dedup []uin
 	}
 	sc := topkPool.Get().(*topkScratch)
 	sc.dedup = sc.dedup[:0]
-	clear(sc.seen)
+	sc.reset(len(candidates))
 	for _, v := range candidates {
-		if v == u {
+		if v == u || sc.insert(v) {
 			continue
 		}
-		if _, dup := sc.seen[v]; dup {
-			continue
-		}
-		sc.seen[v] = struct{}{}
 		sc.dedup = append(sc.dedup, v)
 	}
 	scores, err := scoreBatch(sc.dedup, sc.scores)
