@@ -10,14 +10,18 @@
 //
 // -mode selects the predictor engine behind the same HTTP surface:
 // concurrent (default, sharded undirected), single, directed,
-// concurrent-directed, or windowed (sliding window over Edge.T; set
-// -window and -gens). Every mode serves the full endpoint set —
-// /score, /scorebatch, /topk, durable /ingest — identically; directed
-// modes read ingested lines as arcs u → v and log them to the WAL as
-// arc records, and single-writer modes are wrapped in a lock so
-// concurrent traffic stays safe. Checkpoints are self-describing: on
-// restore (boot -checkpoint, WAL snapshot, or POST /restore) the
-// image's magic header selects the store, whatever mode wrote it.
+// concurrent-directed, windowed (sliding window over Edge.T; set
+// -window and -gens), or dynamic (deletion-capable; set -recover-depth
+// for the per-register recovery buffer). Every mode serves the full
+// endpoint set — /score, /scorebatch, /topk, durable /ingest —
+// identically; directed modes read ingested lines as arcs u → v and
+// log them to the WAL as arc records, single-writer modes are wrapped
+// in a lock so concurrent traffic stays safe, and dynamic mode
+// additionally serves DELETE /ingest (retractions, logged as
+// KindDelete records and replayed as deletions on recovery).
+// Checkpoints are self-describing: on restore (boot -checkpoint, WAL
+// snapshot, or POST /restore) the image's magic header selects the
+// store, whatever mode wrote it.
 //
 // Endpoints (see internal/server):
 //
@@ -107,12 +111,13 @@ func build(args []string, stdout io.Writer) (*app, error) {
 	fs := flag.NewFlagSet("lpserver", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
-		mode       = fs.String("mode", linkpred.ModeConcurrent, "engine mode: single | concurrent | directed | concurrent-directed | windowed")
+		mode       = fs.String("mode", linkpred.ModeConcurrent, "engine mode: single | concurrent | directed | concurrent-directed | windowed | dynamic")
 		k          = fs.Int("k", 128, "sketch registers per vertex")
 		seed       = fs.Uint64("seed", 42, "hash seed")
 		shards     = fs.Int("shards", 8, "lock shards for concurrent ingest")
 		window     = fs.Int64("window", 3600, "with -mode windowed: window span in Edge.T units")
 		gens       = fs.Int("gens", 4, "with -mode windowed: tumbling generations covering the window")
+		recDepth   = fs.Int("recover-depth", 0, "with -mode dynamic: smallest hashes kept per register for deletion recovery (0 = default)")
 		distinct   = fs.Bool("distinct-degrees", true, "KMV distinct-degree estimation (robust to duplicate edges)")
 		warm       = fs.String("warm", "", "optional stream file to ingest before serving")
 		checkpoint = fs.String("checkpoint", "", "restore predictor from this file on start (if present) and save to it on graceful exit")
@@ -123,6 +128,7 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		cand       = fs.Bool("candidates", false, "track candidate vertices on ingest so /topk can omit the candidates parameter")
 		candRecent = fs.Int("candidates-recent", 8, "recent neighbors remembered per vertex by -candidates")
 		candPool   = fs.Int("candidates-pool", 64, "frequent-vertex pool size shared by -candidates")
+		candMaxV   = fs.Int("candidates-max-vertices", 1<<20, "vertex cap for -candidates: tracking a new vertex past the cap evicts the oldest (0 = unbounded)")
 		walDir     = fs.String("wal-dir", "", "write-ahead log directory: log every /ingest batch before applying, checkpoint periodically, and recover snapshot+log on start")
 		walFsync   = fs.String("wal-fsync", "interval", "WAL fsync policy: always (fsync per batch) | interval (background fsync) | never (crash loses OS-buffered tail)")
 		ckptEvery  = fs.Duration("checkpoint-interval", 5*time.Minute, "with -wal-dir, how often the background checkpointer snapshots the predictor and prunes the log")
@@ -132,11 +138,12 @@ func build(args []string, stdout io.Writer) (*app, error) {
 	}
 
 	pred, err := linkpred.NewEngine(linkpred.EngineSpec{
-		Mode:   *mode,
-		Config: linkpred.Config{K: *k, Seed: *seed, DistinctDegrees: *distinct},
-		Shards: *shards,
-		Window: *window,
-		Gens:   *gens,
+		Mode:         *mode,
+		Config:       linkpred.Config{K: *k, Seed: *seed, DistinctDegrees: *distinct},
+		Shards:       *shards,
+		Window:       *window,
+		Gens:         *gens,
+		RecoverDepth: *recDepth,
 	})
 	if err != nil {
 		return nil, err
@@ -179,6 +186,14 @@ func build(args []string, stdout io.Writer) (*app, error) {
 			pred = loaded
 			return nil
 		}, func(rec wal.Record) error {
+			if rec.Kind == wal.KindDelete {
+				del, ok := linkpred.DeleterOf(pred)
+				if !ok {
+					return fmt.Errorf("log holds delete records but mode %q cannot delete (use -mode=dynamic)", linkpred.ModeOf(pred))
+				}
+				del.DeleteEdges(toEdges(rec.Edges))
+				return nil
+			}
 			pred.ObserveEdges(toEdges(rec.Edges))
 			return nil
 		})
@@ -214,7 +229,7 @@ func build(args []string, stdout io.Writer) (*app, error) {
 
 	var tracker *candidates.Tracker
 	if *cand {
-		tracker, err = candidates.New(*candRecent, *candPool)
+		tracker, err = candidates.NewBounded(*candRecent, *candPool, *candMaxV)
 		if err != nil {
 			return nil, fmt.Errorf("candidate tracker: %w", err)
 		}

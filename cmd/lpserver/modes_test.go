@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -31,7 +32,7 @@ func postBody(t *testing.T, url, body string, wantStatus int) string {
 // drives the full endpoint set — /ingest, /score, /scorebatch, /topk —
 // proving the HTTP surface is identical regardless of store.
 func TestModeFlagServesAllEndpoints(t *testing.T) {
-	for _, mode := range []string{"single", "concurrent", "directed", "concurrent-directed", "windowed"} {
+	for _, mode := range []string{"single", "concurrent", "directed", "concurrent-directed", "windowed", "dynamic"} {
 		t.Run(mode, func(t *testing.T) {
 			var out strings.Builder
 			a, err := build([]string{"-addr", ":0", "-k", "32", "-mode", mode,
@@ -195,5 +196,109 @@ func TestCheckpointCrossModeBoot(t *testing.T) {
 	}
 	if got := string(getBody(t, ts2.URL+"/pair?u=1&v=2")); got != want {
 		t.Errorf("restored /pair = %s, want %s", got, want)
+	}
+}
+
+// deleteBody issues DELETE against url with a text body and returns the
+// response, asserting the status.
+func deleteBody(t *testing.T, url, body string, wantStatus int) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("DELETE %s = %d %s, want %d", url, resp.StatusCode, b, wantStatus)
+	}
+	return string(b)
+}
+
+// TestDynamicModeServesDeletes boots -mode=dynamic and exercises the
+// retraction surface: DELETE /ingest applies, other modes 400, and the
+// degraded gauge shows up in /stats.
+func TestDynamicModeServesDeletes(t *testing.T) {
+	var out strings.Builder
+	a, err := build([]string{"-addr", ":0", "-k", "32", "-mode", "dynamic", "-recover-depth", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.srv)
+	defer ts.Close()
+	postBody(t, ts.URL+"/ingest", "1 10\n2 10\n1 11\n2 11\n", http.StatusOK)
+	resp := deleteBody(t, ts.URL+"/ingest", "1 11\n2 11\n9 9\n", http.StatusOK)
+	if !strings.Contains(resp, `"applied":2`) {
+		t.Errorf("delete response missing applied count: %s", resp)
+	}
+	stats := string(getBody(t, ts.URL+"/stats"))
+	if !strings.Contains(stats, `"edges":2`) {
+		t.Errorf("stats after deletes: %s", stats)
+	}
+	if !strings.Contains(stats, `"degraded_registers"`) || !strings.Contains(stats, `"recovery_depth":4`) {
+		t.Errorf("stats missing dynamic gauges: %s", stats)
+	}
+
+	// Every other mode refuses retractions.
+	var out2 strings.Builder
+	a2, err := build([]string{"-addr", ":0", "-k", "32"}, &out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(a2.srv)
+	defer ts2.Close()
+	deleteBody(t, ts2.URL+"/ingest", "1 2\n", http.StatusBadRequest)
+}
+
+// TestWALRecoveryDynamicMode crashes a -mode=dynamic server whose log
+// holds interleaved insert and delete records, reboots it, and demands
+// the recovered store be byte-identical to the served one.
+func TestWALRecoveryDynamicMode(t *testing.T) {
+	dir := t.TempDir()
+	flags := []string{"-addr", ":0", "-k", "32", "-mode", "dynamic", "-recover-depth", "4",
+		"-wal-dir", dir, "-wal-fsync", "always"}
+
+	var out strings.Builder
+	a, err := build(flags, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.srv)
+	postBody(t, ts.URL+"/ingest", "1 10\n2 10\n1 11\n2 11\n1 12\n2 12\n", http.StatusOK)
+	deleteBody(t, ts.URL+"/ingest", "1 11\n2 12\n", http.StatusOK)
+	postBody(t, ts.URL+"/ingest", "3 10\n", http.StatusOK)
+	want := getBody(t, ts.URL+"/checkpoint")
+	wantScore := string(getBody(t, ts.URL+"/score?u=1&v=2&measure=jaccard"))
+	ts.Close()
+	// Crash: no Close, no checkpoint — state lives only in the log.
+
+	out.Reset()
+	a2, err := build(flags, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.durable.Close()
+	if !strings.Contains(out.String(), "recovered") {
+		t.Errorf("second boot should report recovery: %q", out.String())
+	}
+	if got := a2.srv.Engine().NumEdges(); got != 5 {
+		t.Errorf("recovered %d edges, want 5 (7 inserts - 2 deletes)", got)
+	}
+	ts2 := httptest.NewServer(a2.srv)
+	defer ts2.Close()
+	got := getBody(t, ts2.URL+"/checkpoint")
+	if !bytes.Equal(want, got) {
+		t.Errorf("recovered store image differs from the served one (%d vs %d bytes)", len(want), len(got))
+	}
+	if gotScore := string(getBody(t, ts2.URL+"/score?u=1&v=2&measure=jaccard")); gotScore != wantScore {
+		t.Errorf("recovered score = %s, want %s", gotScore, wantScore)
 	}
 }

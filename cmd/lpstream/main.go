@@ -26,6 +26,13 @@
 // file: the durable prefix is recovered from snapshot + log replay and
 // skipped in the input, so a long ingest continues where the crash cut
 // it off instead of starting over.
+//
+// With -deletes the run uses the deletion-capable dynamic engine: after
+// the -in stream is ingested, every edge in the -deletes file is
+// retracted from the sketches. Under -wal-dir the retractions are
+// logged as KindDelete records (and replayed as deletions on resume);
+// with -post they are shipped to the server's DELETE /ingest endpoint
+// as binary delete frames.
 package main
 
 import (
@@ -77,6 +84,8 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		profile  = fs.Bool("profile", false, "also print a constant-space stream profile (distinct edges, duplicate rate, heavy hitters)")
 		parallel = fs.Int("parallel", 1, "ingest writer goroutines; >1 switches to the sharded concurrent predictor")
 		batch    = fs.Int("batch", 4096, "edges per ingest batch")
+		deletes  = fs.String("deletes", "", "edge file to retract after ingest (uses the dynamic engine; same text/-binary format as -in)")
+		recDepth = fs.Int("recover-depth", 0, "with -deletes: smallest hashes kept per register for deletion recovery (0 = default)")
 		walDir   = fs.String("wal-dir", "", "write-ahead log directory: log batches before applying, snapshot on completion, and resume a crashed ingest of the same input")
 		walFsync = fs.String("wal-fsync", "interval", "WAL fsync policy: always | interval | never")
 		post     = fs.String("post", "", "POST the stream to this lpserver base URL as binary frames (application/x-lp-edges) instead of ingesting locally")
@@ -103,6 +112,12 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	cfg := linkpred.Config{K: *k, Seed: *seed, DistinctDegrees: *distinct}
 	mode := linkpred.ModeSingle
 	switch {
+	case *deletes != "" && *directed:
+		return fmt.Errorf("-deletes needs the dynamic engine, which is undirected; drop -directed")
+	case *deletes != "" && *parallel > 1:
+		return fmt.Errorf("-deletes needs the dynamic engine, which is single-writer; drop -parallel")
+	case *deletes != "":
+		mode = linkpred.ModeDynamic
 	case *directed && *parallel > 1:
 		mode = linkpred.ModeConcurrentDirected
 	case *directed:
@@ -110,7 +125,7 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	case *parallel > 1:
 		mode = linkpred.ModeConcurrent
 	}
-	eng, err := linkpred.NewEngine(linkpred.EngineSpec{Mode: mode, Config: cfg, Shards: 4 * *parallel})
+	eng, err := linkpred.NewEngine(linkpred.EngineSpec{Mode: mode, Config: cfg, Shards: 4 * *parallel, RecoverDepth: *recDepth})
 	if err != nil {
 		return err
 	}
@@ -158,7 +173,24 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	// the server in this mode, so the local flags that need a predictor
 	// (-pairs, -top, -wal-dir) don't apply.
 	if *post != "" {
-		return postStream(stdout, *post, src, *batch, *directed)
+		if err := postStream(stdout, *post, src, *batch, *directed); err != nil {
+			return err
+		}
+		if *deletes == "" {
+			return nil
+		}
+		df, derr := os.Open(*deletes)
+		if derr != nil {
+			return fmt.Errorf("open deletes: %w", derr)
+		}
+		defer df.Close()
+		var dsrc stream.Source
+		if *binary {
+			dsrc = stream.NewBinaryReader(df)
+		} else {
+			dsrc = stream.NewTextReader(df)
+		}
+		return postDeletes(stdout, *post, dsrc, *batch)
 	}
 
 	// Track the vertex universe for -top candidate generation.
@@ -186,13 +218,21 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 			return perr
 		}
 		res, rerr := wal.Recover(nil, *walDir, load, func(rec wal.Record) error {
-			if rec.Kind != walKind {
-				return fmt.Errorf("log holds %s records; rerun with the matching -directed setting",
-					map[wal.Kind]string{wal.KindEdge: "undirected edge", wal.KindArc: "directed arc"}[rec.Kind])
-			}
 			b := make([]linkpred.Edge, len(rec.Edges))
 			for i, e := range rec.Edges {
 				b[i] = linkpred.Edge{U: e.U, V: e.V, T: e.T}
+			}
+			if rec.Kind == wal.KindDelete {
+				del, ok := linkpred.DeleterOf(eng)
+				if !ok {
+					return fmt.Errorf("log holds delete records; rerun with the -deletes flag that wrote it")
+				}
+				del.DeleteEdges(b)
+				return nil
+			}
+			if rec.Kind != walKind {
+				return fmt.Errorf("log holds %s records; rerun with the matching -directed setting",
+					map[wal.Kind]string{wal.KindEdge: "undirected edge", wal.KindArc: "directed arc"}[rec.Kind])
 			}
 			observe(b)
 			return nil
@@ -320,6 +360,73 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	}
 	fmt.Fprintf(stdout, "ingest: %.3fs, %.0f edges/sec (parallel=%d, batch=%d)\n",
 		elapsed.Seconds(), rate, *parallel, *batch)
+
+	// Retraction phase: feed the -deletes file through the dynamic
+	// store's delete path. Any skip left over from recovery is the
+	// durable delete prefix (the run crashed mid-retraction); it has
+	// already been replayed and is skipped here the same way the input
+	// prefix was.
+	if *deletes != "" {
+		del, ok := linkpred.DeleterOf(eng)
+		if !ok {
+			return fmt.Errorf("engine mode %s cannot delete edges", linkpred.ModeOf(eng))
+		}
+		df, derr := os.Open(*deletes)
+		if derr != nil {
+			return fmt.Errorf("open deletes: %w", derr)
+		}
+		var dsrc stream.Source
+		if *binary {
+			dsrc = stream.NewBinaryReader(df)
+		} else {
+			dsrc = stream.NewTextReader(df)
+		}
+		requested, applied := 0, 0
+		dbuf := make([]stream.Edge, *batch)
+		lbuf := make([]linkpred.Edge, 0, *batch)
+		for {
+			n, rerr := stream.ReadBatch(dsrc, dbuf)
+			if n > 0 {
+				be := dbuf[:n]
+				if skip > 0 {
+					d := len(be)
+					if uint64(d) > skip {
+						d = int(skip)
+					}
+					skip -= uint64(d)
+					be = be[d:]
+				}
+				if len(be) > 0 {
+					if durable != nil {
+						// Log before apply, as KindDelete records in the same
+						// sequence space as the inserts.
+						if _, aerr := durable.WAL().Append(wal.KindDelete, be); aerr != nil {
+							df.Close()
+							return fmt.Errorf("wal append (delete): %w", aerr)
+						}
+					}
+					b := lbuf[:0]
+					for _, e := range be {
+						b = append(b, linkpred.Edge{U: e.U, V: e.V, T: e.T})
+					}
+					requested += len(be)
+					applied += del.DeleteEdges(b)
+				}
+			}
+			if rerr != nil || n < *batch {
+				df.Close()
+				if rerr != nil && !errors.Is(rerr, io.EOF) {
+					return rerr
+				}
+				break
+			}
+		}
+		fmt.Fprintf(stdout, "retracted %d edges (%d applied, %d unknown or already gone); store now %d edges, %d vertices\n",
+			requested, applied, requested-applied, eng.NumEdges(), eng.NumVertices())
+		if dg, ok := linkpred.DegradedRegistersOf(eng); ok && dg > 0 {
+			fmt.Fprintf(stdout, "deletion recovery buffers underflowed on %d registers; estimates touching them are conservative until those vertices re-accumulate\n", dg)
+		}
+	}
 	if durable != nil {
 		lastSeq := durable.WAL().LastSeq()
 		if cerr := durable.Close(); cerr != nil {
@@ -444,6 +551,67 @@ func postStream(stdout io.Writer, baseURL string, src stream.Source, batch int, 
 	elapsed := time.Since(start)
 	fmt.Fprintf(stdout, "posted %d edges in %d-edge frames to %s: %.3fs, %.0f edges/sec\n",
 		edges, batch, baseURL, elapsed.Seconds(), float64(edges)/elapsed.Seconds())
+	fmt.Fprintf(stdout, "server response: %s\n", strings.TrimSpace(string(body)))
+	return nil
+}
+
+// postDeletes ships a retraction stream to baseURL/ingest as binary
+// KindDelete frames on the DELETE method. The server applies each frame
+// through its engine's delete path (400 unless it runs -mode=dynamic).
+func postDeletes(stdout io.Writer, baseURL string, src stream.Source, batch int) error {
+	pr, pw := io.Pipe()
+	edges := 0
+	go func() {
+		bw := bufio.NewWriterSize(pw, 1<<16)
+		buf := make([]stream.Edge, batch)
+		var frame []byte
+		var ferr error
+		for ferr == nil {
+			n, rerr := stream.ReadBatch(src, buf)
+			if n > 0 {
+				if frame, ferr = wal.EncodeFrame(frame[:0], wal.KindDelete, buf[:n]); ferr != nil {
+					break
+				}
+				if _, ferr = bw.Write(frame); ferr != nil {
+					break
+				}
+				edges += n
+			}
+			if rerr != nil {
+				if !errors.Is(rerr, io.EOF) {
+					ferr = rerr
+				}
+				break
+			}
+			if n < batch {
+				break
+			}
+		}
+		if ferr == nil {
+			ferr = bw.Flush()
+		}
+		pw.CloseWithError(ferr)
+	}()
+	req, err := http.NewRequest(http.MethodDelete, strings.TrimRight(baseURL, "/")+"/ingest", pr)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", wal.FrameContentType)
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("post deletes: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("read delete response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server rejected the retractions (status %d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	fmt.Fprintf(stdout, "posted %d retractions in %d-edge delete frames to %s in %.3fs\n",
+		edges, batch, baseURL, time.Since(start).Seconds())
 	fmt.Fprintf(stdout, "server response: %s\n", strings.TrimSpace(string(body)))
 	return nil
 }

@@ -359,3 +359,158 @@ func TestRunPostBinaryFrames(t *testing.T) {
 		t.Errorf("missing server ack:\n%s", out.String())
 	}
 }
+
+// deletesFixture writes a stream of kept + doomed edges and the
+// matching retraction file; the kept edges are exactly
+// writeFixtureStream's.
+func deletesFixture(t *testing.T) (full, del string) {
+	t.Helper()
+	dir := t.TempDir()
+	var b strings.Builder
+	for w := 10; w < 20; w++ {
+		fmt.Fprintf(&b, "1 %d\n2 %d\n", w, w)
+	}
+	for w := 10; w < 15; w++ {
+		fmt.Fprintf(&b, "3 %d\n", w) // doomed
+	}
+	full = dir + "/full.txt"
+	if err := os.WriteFile(full, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var d strings.Builder
+	for w := 10; w < 15; w++ {
+		fmt.Fprintf(&d, "3 %d\n", w)
+	}
+	d.WriteString("7 8\n") // never inserted: refused, not an error
+	del = dir + "/del.txt"
+	if err := os.WriteFile(del, []byte(d.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return full, del
+}
+
+// pairLines extracts the "(u, v): ..." estimate lines from a run's
+// output for comparison across runs.
+func pairLines(s string) []string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "(") {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// TestRunDeletes: ingest-then-retract must leave the store register-
+// identical to one that never saw the doomed edges, visible as equal
+// pair estimates.
+func TestRunDeletes(t *testing.T) {
+	full, del := deletesFixture(t)
+	kept := writeFixtureStream(t)
+	empty := t.TempDir() + "/empty.txt"
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the kept edges only, same engine mode (an empty
+	// retraction file still selects the dynamic engine).
+	var ref bytes.Buffer
+	if err := run([]string{"-in", kept, "-k", "64", "-deletes", empty, "-pairs", "1:2,1:3"}, &ref, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", full, "-k", "64", "-deletes", del, "-pairs", "1:2,1:3"}, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "retracted 6 edges (5 applied, 1 unknown or already gone)") {
+		t.Errorf("missing retraction summary:\n%s", s)
+	}
+	want, got := pairLines(ref.String()), pairLines(s)
+	if len(want) != 2 || len(got) != 2 {
+		t.Fatalf("pair lines: ref %v, run %v", want, got)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("estimate after retraction differs from never-inserted reference:\n  ref: %s\n  got: %s", want[i], got[i])
+		}
+	}
+}
+
+// TestRunDeletesWALResume: a completed insert+retract run is fully
+// durable; rerunning with the same flags skips both phases and serves
+// identical estimates.
+func TestRunDeletesWALResume(t *testing.T) {
+	full, del := deletesFixture(t)
+	wdir := t.TempDir() + "/wal"
+	flags := []string{"-in", full, "-k", "32", "-deletes", del, "-batch", "4",
+		"-pairs", "1:2", "-wal-dir", wdir, "-wal-fsync", "always"}
+
+	var out1 bytes.Buffer
+	if err := run(flags, &out1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// 25 inserts + 6 delete ops share one sequence space.
+	if !strings.Contains(out1.String(), "wal: snapshot at seq 31") {
+		t.Errorf("first run should checkpoint at seq 31:\n%s", out1.String())
+	}
+
+	var out2 bytes.Buffer
+	if err := run(flags, &out2, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := out2.String()
+	if !strings.Contains(s, "resuming from "+wdir+": 31 edges durable") {
+		t.Errorf("missing resume line:\n%s", s)
+	}
+	if !strings.Contains(s, "ingested 0 edges") {
+		t.Errorf("resume should skip all inserts:\n%s", s)
+	}
+	if !strings.Contains(s, "retracted 0 edges") {
+		t.Errorf("resume should skip all retractions:\n%s", s)
+	}
+	w1, w2 := pairLines(out1.String()), pairLines(s)
+	if len(w1) != 1 || len(w2) != 1 || w1[0] != w2[0] {
+		t.Errorf("resumed estimates differ: %v vs %v", w1, w2)
+	}
+}
+
+// TestRunPostDeletes ships retractions to a live server as binary
+// delete frames on DELETE /ingest.
+func TestRunPostDeletes(t *testing.T) {
+	eng, err := linkpred.NewEngine(linkpred.EngineSpec{
+		Mode: linkpred.ModeDynamic, Config: linkpred.Config{K: 64, Seed: 42},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(eng))
+	defer ts.Close()
+
+	full, del := deletesFixture(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", full, "-post", ts.URL, "-deletes", del, "-batch", "7"}, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumEdges() != 20 {
+		t.Errorf("server has %d edges after posted retractions, want 20", eng.NumEdges())
+	}
+	s := out.String()
+	if !strings.Contains(s, "posted 25 edges") || !strings.Contains(s, "posted 6 retractions") {
+		t.Errorf("missing post summaries:\n%s", s)
+	}
+	if !strings.Contains(s, `"applied": 5`) && !strings.Contains(s, `"applied":5`) {
+		t.Errorf("missing server delete ack:\n%s", s)
+	}
+}
+
+func TestRunDeletesFlagValidation(t *testing.T) {
+	full, del := deletesFixture(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", full, "-deletes", del, "-directed"}, &out, nil); err == nil {
+		t.Error("-deletes with -directed should error")
+	}
+	if err := run([]string{"-in", full, "-deletes", del, "-parallel", "2"}, &out, nil); err == nil {
+		t.Error("-deletes with -parallel should error")
+	}
+}

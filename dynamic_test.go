@@ -1,0 +1,158 @@
+package linkpred
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func dynTestEdges(r *rand.Rand, n int, vertices uint64) []Edge {
+	edges := make([]Edge, 0, n)
+	for len(edges) < n {
+		u := r.Uint64() % vertices
+		v := r.Uint64() % vertices
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{U: u, V: v, T: int64(len(edges))})
+	}
+	return edges
+}
+
+// TestDynamicEngineMode: the dynamic mode constructs through the
+// NewEngine registry, reports its mode, exposes the deletion
+// capability through DeleterOf, and round-trips through LoadAnyEngine.
+func TestDynamicEngineMode(t *testing.T) {
+	eng, err := NewEngine(EngineSpec{Mode: ModeDynamic, Config: Config{K: 16, Seed: 3}, RecoverDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ModeOf(eng); got != ModeDynamic {
+		t.Fatalf("ModeOf = %q, want %q", got, ModeDynamic)
+	}
+	if DirectedEngine(eng) {
+		t.Fatal("dynamic engine claims to be directed")
+	}
+	del, ok := DeleterOf(eng)
+	if !ok {
+		t.Fatal("dynamic engine has no deleter")
+	}
+	r := rand.New(rand.NewSource(5))
+	edges := dynTestEdges(r, 500, 50)
+	eng.ObserveEdges(edges)
+	if n := del.DeleteEdges(edges[:200]); n != 200 {
+		t.Fatalf("DeleteEdges applied %d of 200", n)
+	}
+	if got := eng.NumEdges(); got != 300 {
+		t.Fatalf("NumEdges = %d after deletes, want 300", got)
+	}
+	if _, ok := DegradedRegistersOf(eng); !ok {
+		t.Fatal("dynamic engine has no degraded gauge")
+	}
+
+	var img bytes.Buffer
+	if err := eng.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadAnyEngine(bytes.NewReader(img.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ModeOf(restored); got != ModeDynamic {
+		t.Fatalf("restored ModeOf = %q, want %q", got, ModeDynamic)
+	}
+	if _, ok := DeleterOf(restored); !ok {
+		t.Fatal("restored dynamic engine has no deleter")
+	}
+	for _, m := range AllMeasures {
+		a, err := eng.Score(m, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Score(m, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("measure %v: %v before save, %v after restore", m, a, b)
+		}
+	}
+}
+
+// TestDeleterOfNonDynamic: every other mode must report no deletion
+// capability rather than a deleter that silently cannot delete.
+func TestDeleterOfNonDynamic(t *testing.T) {
+	for _, mode := range []string{ModeSingle, ModeConcurrent, ModeDirected, ModeConcurrentDirected} {
+		eng, err := NewEngine(EngineSpec{Mode: mode, Config: Config{K: 8}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := DeleterOf(eng); ok {
+			t.Fatalf("mode %s claims a deletion capability", mode)
+		}
+		if _, ok := DegradedRegistersOf(eng); ok {
+			t.Fatalf("mode %s claims a degraded gauge", mode)
+		}
+	}
+}
+
+// TestDynamicConcurrentDeletesRaceScoreBatch is the -race stress: a
+// Synchronized dynamic engine must serve concurrent ScoreBatch/Score
+// traffic while deletes and inserts land from writer goroutines. Run
+// with -race; correctness of the scores under churn is covered by the
+// core tests, this pins the locking discipline (DeleterOf must route
+// deletes through the wrapper's write lock).
+func TestDynamicConcurrentDeletesRaceScoreBatch(t *testing.T) {
+	eng, err := NewEngine(EngineSpec{Mode: ModeDynamic, Config: Config{K: 16, Seed: 7}, RecoverDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, ok := DeleterOf(eng)
+	if !ok {
+		t.Fatal("no deleter")
+	}
+	r := rand.New(rand.NewSource(13))
+	edges := dynTestEdges(r, 2000, 80)
+	eng.ObserveEdges(edges)
+
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	candidates := make([]uint64, 80)
+	for i := range candidates {
+		candidates[i] = uint64(i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // deleter
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			del.DeleteEdges(edges[i*20 : i*20+20])
+		}
+	}()
+	go func() { // inserter
+		defer wg.Done()
+		r := rand.New(rand.NewSource(17))
+		for i := 0; i < rounds; i++ {
+			eng.ObserveEdges(dynTestEdges(r, 20, 80))
+		}
+	}()
+	go func() { // reader
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := eng.ScoreBatch(AdamicAdar, uint64(i%80), candidates); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := eng.Score(Jaccard, 1, 2); err != nil {
+				t.Error(err)
+				return
+			}
+			eng.Degree(uint64(i % 80))
+			DegradedRegistersOf(eng)
+		}
+	}()
+	wg.Wait()
+}

@@ -39,6 +39,7 @@ var (
 	_ Engine = (*Directed)(nil)
 	_ Engine = (*ConcurrentDirected)(nil)
 	_ Engine = (*Windowed)(nil)
+	_ Engine = (*Dynamic)(nil)
 	_ Engine = (*Synchronized)(nil)
 )
 
@@ -150,6 +151,7 @@ const (
 	ModeDirected           = "directed"
 	ModeConcurrentDirected = "concurrent-directed"
 	ModeWindowed           = "windowed"
+	ModeDynamic            = "dynamic"
 )
 
 // EngineSpec selects a store mode and its parameters for NewEngine.
@@ -164,6 +166,9 @@ type EngineSpec struct {
 	// Mode is ModeWindowed.
 	Window int64
 	Gens   int
+	// RecoverDepth is the dynamic mode's per-register recovery-buffer
+	// depth (0 selects the default; see NewDynamic).
+	RecoverDepth int
 }
 
 // NewEngine constructs a predictor of the requested mode and returns it
@@ -200,9 +205,15 @@ func NewEngine(spec EngineSpec) (Engine, error) {
 			return nil, err
 		}
 		return Synchronize(w), nil
+	case ModeDynamic:
+		d, err := NewDynamic(spec.Config, spec.RecoverDepth)
+		if err != nil {
+			return nil, err
+		}
+		return Synchronize(d), nil
 	default:
-		return nil, fmt.Errorf("linkpred: unknown engine mode %q (want %s, %s, %s, %s, or %s)",
-			spec.Mode, ModeSingle, ModeConcurrent, ModeDirected, ModeConcurrentDirected, ModeWindowed)
+		return nil, fmt.Errorf("linkpred: unknown engine mode %q (want %s, %s, %s, %s, %s, or %s)",
+			spec.Mode, ModeSingle, ModeConcurrent, ModeDirected, ModeConcurrentDirected, ModeWindowed, ModeDynamic)
 	}
 }
 
@@ -229,6 +240,8 @@ func LoadAnyEngine(r io.Reader) (Engine, error) {
 	case *core.Windowed:
 		cfg.DistinctDegrees = true // windowed mode always uses distinct degrees
 		return Synchronize(&Windowed{facade[*core.Windowed]{store: s, cfg: cfg}}), nil
+	case *core.DynamicStore:
+		return Synchronize(&Dynamic{facade[*core.DynamicStore]{store: s, cfg: cfg}}), nil
 	default:
 		return nil, fmt.Errorf("linkpred: LoadAny returned unexpected store %T", st)
 	}
@@ -252,6 +265,8 @@ func ModeOf(e Engine) string {
 		return ModeConcurrentDirected
 	case *Windowed:
 		return ModeWindowed
+	case *Dynamic:
+		return ModeDynamic
 	default:
 		return ""
 	}

@@ -30,15 +30,29 @@ import (
 // Tracker maintains per-vertex candidate pools over a graph stream.
 // It is not safe for concurrent use.
 type Tracker struct {
-	recentSize int
-	poolSize   int
-	vertices   map[uint64]*vertexCand
+	recentSize  int
+	poolSize    int
+	maxVertices int    // 0 = unbounded
+	seq         uint64 // monotone vertex-insertion counter
+	vertices    map[uint64]*vertexCand
+
+	// fifo is the insertion-ordered eviction queue; entries before head
+	// are drained. An id re-inserted after eviction appears twice, so
+	// each entry carries the insertion seq and eviction skips entries
+	// whose seq no longer matches the live state.
+	fifo []fifoEntry
+	head int
+}
+
+type fifoEntry struct {
+	id  uint64
+	seq uint64
 }
 
 type vertexCand struct {
-	recent []uint64 // ring buffer of most recent neighbors
-	pos    int      // next write position in recent
-	filled bool
+	recent []uint64    // ring buffer of most recent neighbors
+	pos    int         // next write position in recent
+	seq    uint64      // insertion sequence, matches the fifo entry
 	pool   []poolEntry // space-saving summary, unordered
 }
 
@@ -48,21 +62,37 @@ type poolEntry struct {
 }
 
 // New returns a Tracker keeping the recentSize most recent neighbors and
-// a poolSize-entry candidate summary per vertex. It returns an error if
-// either is < 1.
+// a poolSize-entry candidate summary per vertex, with no bound on the
+// number of tracked vertices. It returns an error if either is < 1.
 func New(recentSize, poolSize int) (*Tracker, error) {
+	return NewBounded(recentSize, poolSize, 0)
+}
+
+// NewBounded is New with a cap on tracked vertices: once maxVertices
+// distinct vertices are live, tracking a new one evicts the
+// oldest-inserted vertex (deterministic FIFO), so tracker memory is
+// bounded by maxVertices whatever the stream's vertex churn.
+// maxVertices <= 0 means unbounded.
+func NewBounded(recentSize, poolSize, maxVertices int) (*Tracker, error) {
 	if recentSize < 1 {
 		return nil, fmt.Errorf("candidates: recentSize must be >= 1, got %d", recentSize)
 	}
 	if poolSize < 1 {
 		return nil, fmt.Errorf("candidates: poolSize must be >= 1, got %d", poolSize)
 	}
+	if maxVertices < 0 {
+		maxVertices = 0
+	}
 	return &Tracker{
-		recentSize: recentSize,
-		poolSize:   poolSize,
-		vertices:   make(map[uint64]*vertexCand),
+		recentSize:  recentSize,
+		poolSize:    poolSize,
+		maxVertices: maxVertices,
+		vertices:    make(map[uint64]*vertexCand),
 	}, nil
 }
+
+// MaxVertices returns the configured vertex cap (0 = unbounded).
+func (t *Tracker) MaxVertices() int { return t.maxVertices }
 
 // ProcessEdge folds one stream edge into the tracker: each endpoint's
 // recent neighbors become counted candidates of the other endpoint.
@@ -98,10 +128,36 @@ func (t *Tracker) countAll(self, via *vertexCand, selfID uint64) {
 func (t *Tracker) state(u uint64) *vertexCand {
 	st := t.vertices[u]
 	if st == nil {
-		st = &vertexCand{}
+		if t.maxVertices > 0 && len(t.vertices) >= t.maxVertices {
+			t.evictOldest()
+		}
+		t.seq++
+		st = &vertexCand{seq: t.seq}
 		t.vertices[u] = st
+		if t.maxVertices > 0 { // unbounded trackers pay no queue
+			t.fifo = append(t.fifo, fifoEntry{id: u, seq: t.seq})
+		}
 	}
 	return st
+}
+
+// evictOldest drops the oldest-inserted live vertex, skipping queue
+// entries staled by an earlier eviction-and-reinsert of the same id.
+func (t *Tracker) evictOldest() {
+	for t.head < len(t.fifo) {
+		fe := t.fifo[t.head]
+		t.head++
+		if st := t.vertices[fe.id]; st != nil && st.seq == fe.seq {
+			delete(t.vertices, fe.id)
+			break
+		}
+	}
+	// Compact once the drained prefix dominates, keeping the queue
+	// proportional to the live vertex count.
+	if t.head > 64 && t.head > len(t.fifo)/2 {
+		t.fifo = append(t.fifo[:0], t.fifo[t.head:]...)
+		t.head = 0
+	}
 }
 
 // remember appends w to the recent-neighbor ring.
@@ -112,7 +168,6 @@ func (vc *vertexCand) remember(w uint64, size int) {
 	}
 	vc.recent[vc.pos] = w
 	vc.pos = (vc.pos + 1) % size
-	vc.filled = true
 }
 
 // count records one hit for candidate w using the space-saving rule:
@@ -169,10 +224,11 @@ func (t *Tracker) NumVertices() int { return len(t.vertices) }
 
 // MemoryBytes returns the tracker's payload memory: per vertex, the
 // recent ring (8 bytes/slot) and the pool (16 bytes/entry) at their
-// current sizes, plus the usual rough map overhead.
+// current sizes, plus the usual rough map overhead — and, when a vertex
+// cap is set, the eviction queue (16 bytes/entry).
 func (t *Tracker) MemoryBytes() int {
 	const vertexOverhead = 48
-	total := 0
+	total := 16 * cap(t.fifo)
 	for _, st := range t.vertices {
 		total += vertexOverhead + 8*cap(st.recent) + 16*cap(st.pool)
 	}

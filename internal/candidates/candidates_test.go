@@ -202,3 +202,96 @@ func TestDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestRingSeenPrePostWrap is the regression for the removal of the
+// ring's unused fill flag: countAll must see every occupied slot both
+// before the ring has wrapped (partial fill) and after.
+func TestRingSeenPrePostWrap(t *testing.T) {
+	tr, _ := New(3, 16)
+	// Pre-wrap: 1's ring holds {10, 11} (2 of 3 slots).
+	tr.ProcessEdge(stream.Edge{U: 1, V: 10})
+	tr.ProcessEdge(stream.Edge{U: 1, V: 11})
+	tr.ProcessEdge(stream.Edge{U: 2, V: 1})
+	got := tr.Candidates(2)
+	if len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Fatalf("pre-wrap Candidates(2) = %v, want [10 11]", got)
+	}
+	// Post-wrap: two more neighbors push the ring past capacity; 1's
+	// ring is now {13, 2, 12} (10 and 11 overwritten).
+	tr.ProcessEdge(stream.Edge{U: 1, V: 12})
+	tr.ProcessEdge(stream.Edge{U: 1, V: 13})
+	tr.ProcessEdge(stream.Edge{U: 3, V: 1})
+	got = tr.Candidates(3)
+	if len(got) != 3 {
+		t.Fatalf("post-wrap Candidates(3) = %v, want 3 candidates", got)
+	}
+	want := map[uint64]bool{2: true, 12: true, 13: true}
+	for _, c := range got {
+		if !want[c] {
+			t.Fatalf("post-wrap Candidates(3) = %v, want the current ring {2, 12, 13}", got)
+		}
+	}
+}
+
+func TestBoundedValidation(t *testing.T) {
+	if _, err := NewBounded(0, 8, 10); err == nil {
+		t.Error("recentSize=0 should error")
+	}
+	if tr, err := NewBounded(4, 8, -5); err != nil || tr.MaxVertices() != 0 {
+		t.Errorf("negative cap should normalize to unbounded, got (%v, %v)", tr, err)
+	}
+}
+
+// TestMaxVerticesCap: with a vertex cap, the tracker never holds more
+// than maxVertices states however many distinct vertices the stream
+// produces, eviction is oldest-first, and evicted vertices can return.
+func TestMaxVerticesCap(t *testing.T) {
+	const cap = 4
+	tr, _ := NewBounded(4, 8, cap)
+	for i := uint64(0); i < 100; i += 2 {
+		tr.ProcessEdge(stream.Edge{U: i, V: i + 1})
+		if n := tr.NumVertices(); n > cap {
+			t.Fatalf("after edge %d: %d vertices live, cap %d", i, n, cap)
+		}
+	}
+	// The survivors are exactly the most recently inserted cap vertices.
+	for _, u := range []uint64{96, 97, 98, 99} {
+		if !tr.Knows(u) {
+			t.Fatalf("recently inserted vertex %d was evicted", u)
+		}
+	}
+	if tr.Knows(0) || tr.Knows(50) {
+		t.Fatal("old vertices survived past the cap")
+	}
+	// An evicted vertex re-enters cleanly with fresh state.
+	tr.ProcessEdge(stream.Edge{U: 0, V: 99})
+	if !tr.Knows(0) {
+		t.Fatal("evicted vertex could not re-enter")
+	}
+	if n := tr.NumVertices(); n > cap {
+		t.Fatalf("re-entry pushed the tracker to %d vertices, cap %d", n, cap)
+	}
+}
+
+// TestMaxVerticesMemoryBounded: under heavy vertex churn the capped
+// tracker's memory (including the eviction queue) stays bounded.
+func TestMaxVerticesMemoryBounded(t *testing.T) {
+	tr, _ := NewBounded(8, 32, 64)
+	x := rng.NewXoshiro256(9)
+	for i := 0; i < 20000; i++ {
+		tr.ProcessEdge(stream.Edge{U: x.Uint64(), V: x.Uint64()})
+	}
+	m1 := tr.MemoryBytes()
+	for i := 0; i < 20000; i++ {
+		tr.ProcessEdge(stream.Edge{U: x.Uint64(), V: x.Uint64()})
+	}
+	m2 := tr.MemoryBytes()
+	// The queue compacts, so memory may wobble but not trend upward:
+	// allow a small slack over the first measurement.
+	if m2 > m1*2 {
+		t.Errorf("capped tracker memory grew %d -> %d under churn", m1, m2)
+	}
+	if tr.NumVertices() > 64 {
+		t.Errorf("%d vertices live, cap 64", tr.NumVertices())
+	}
+}

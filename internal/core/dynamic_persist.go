@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Dynamic-store persistence. Layout (all little-endian):
+//
+//	magic "LPDY" | version u32 | K u32 | depth u32 | seed u64 |
+//	hash u8 | degrees u8 | reserved u8 ×2 | edges i64 |
+//	vertexCount u64 | vertex records…
+//
+// Each vertex record: id u64 | arrivals i64 | K register records.
+// Each register record: lost u32 | flags u8 (bit 0 = degraded) |
+// count u8 | count × (hash u64, id u64, refs u32).
+//
+// Vertices are written in ascending id order and register buffers are
+// stored in their in-memory sorted order, so saving the same store
+// twice produces byte-identical output — the property the CI
+// crash-replay smoke leans on when it diffs checkpoints taken before a
+// kill and after recovery. The store-level degraded count is not
+// persisted; the loader recomputes it from the per-register flags.
+
+const (
+	dynamicMagic   = "LPDY"
+	dynamicVersion = 1
+)
+
+// Save writes the store's complete state to w.
+func (s *DynamicStore) Save(w io.Writer) error {
+	bw, buffered := w.(*bufio.Writer)
+	if !buffered {
+		bw = bufio.NewWriter(w)
+	}
+	if _, err := bw.WriteString(dynamicMagic); err != nil {
+		return fmt.Errorf("core: save magic: %w", err)
+	}
+	writeU32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	if err := writeU32(dynamicVersion); err != nil {
+		return fmt.Errorf("core: save version: %w", err)
+	}
+	if err := writeU32(uint32(s.cfg.K)); err != nil {
+		return fmt.Errorf("core: save K: %w", err)
+	}
+	if err := writeU32(uint32(s.depth)); err != nil {
+		return fmt.Errorf("core: save depth: %w", err)
+	}
+	if err := writeU64(s.cfg.Seed); err != nil {
+		return fmt.Errorf("core: save seed: %w", err)
+	}
+	if _, err := bw.Write([]byte{byte(s.cfg.Hash), byte(s.cfg.Degrees), 0, 0}); err != nil {
+		return fmt.Errorf("core: save flags: %w", err)
+	}
+	if err := writeU64(uint64(s.edges)); err != nil {
+		return fmt.Errorf("core: save edge count: %w", err)
+	}
+	if err := writeU64(uint64(len(s.vertices))); err != nil {
+		return fmt.Errorf("core: save vertex count: %w", err)
+	}
+
+	ids := make([]uint64, 0, len(s.vertices))
+	for id := range s.vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := s.vertices[id]
+		if err := writeU64(id); err != nil {
+			return fmt.Errorf("core: save vertex %d: %w", id, err)
+		}
+		if err := writeU64(uint64(st.arrivals)); err != nil {
+			return fmt.Errorf("core: save vertex %d arrivals: %w", id, err)
+		}
+		for i := 0; i < s.cfg.K; i++ {
+			m := st.meta[i]
+			if err := writeU32(m.lost); err != nil {
+				return fmt.Errorf("core: save vertex %d register %d lost: %w", id, i, err)
+			}
+			var flags byte
+			if m.bad {
+				flags = 1
+			}
+			if _, err := bw.Write([]byte{flags, byte(m.n)}); err != nil {
+				return fmt.Errorf("core: save vertex %d register %d header: %w", id, i, err)
+			}
+			base := i * s.depth
+			for j := 0; j < int(m.n); j++ {
+				e := st.ents[base+j]
+				if err := writeU64(e.hash); err != nil {
+					return fmt.Errorf("core: save vertex %d register %d hashes: %w", id, i, err)
+				}
+				if err := writeU64(e.id); err != nil {
+					return fmt.Errorf("core: save vertex %d register %d ids: %w", id, i, err)
+				}
+				if err := writeU32(e.refs); err != nil {
+					return fmt.Errorf("core: save vertex %d register %d refs: %w", id, i, err)
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: save flush: %w", err)
+	}
+	return nil
+}
+
+// LoadDynamicStore reads a store saved by Save. The restored store
+// answers every query identically to the saved one and can continue
+// consuming inserts and deletes where the original left off.
+//
+// The loader is hardened like every loader in this package: counts are
+// bounded before any allocation they size, enum/flag bytes are checked
+// against their legal ranges, register buffers must arrive in strictly
+// ascending (hash, id) order with nonzero refs, and errors name the
+// byte offset where decoding failed.
+func LoadDynamicStore(r io.Reader) (*DynamicStore, error) {
+	return loadDynamicStore(newBinReader(r))
+}
+
+func loadDynamicStore(rd *binReader) (*DynamicStore, error) {
+	if err := rd.magic(dynamicMagic); err != nil {
+		return nil, err
+	}
+	if err := rd.version(dynamicVersion); err != nil {
+		return nil, err
+	}
+	k, err := rd.sketchK()
+	if err != nil {
+		return nil, err
+	}
+	depth32, err := rd.u32()
+	if err != nil {
+		return nil, rd.fail("depth", err)
+	}
+	if depth32 == 0 || depth32 > maxDynDepth {
+		return nil, rd.corrupt("impossible recovery depth %d (max %d)", depth32, maxDynDepth)
+	}
+	depth := int(depth32)
+	seed, err := rd.u64()
+	if err != nil {
+		return nil, rd.fail("seed", err)
+	}
+	var flags [4]byte
+	if err := rd.read(flags[:]); err != nil {
+		return nil, rd.fail("flags", err)
+	}
+	cfg := Config{K: k, Seed: seed}
+	if cfg.Hash, err = rd.hashKind(flags[0]); err != nil {
+		return nil, err
+	}
+	if cfg.Degrees, err = rd.degreeMode(flags[1]); err != nil {
+		return nil, err
+	}
+	if flags[2] != 0 || flags[3] != 0 {
+		return nil, rd.corrupt("reserved flag bytes %#x %#x, want 0", flags[2], flags[3])
+	}
+	s, err := NewDynamicStore(cfg, depth)
+	if err != nil {
+		return nil, fmt.Errorf("core: load config: %w", err)
+	}
+	edges, err := rd.u64()
+	if err != nil {
+		return nil, rd.fail("edge count", err)
+	}
+	s.edges = int64(edges)
+	vertexCount, err := rd.u64()
+	if err != nil {
+		return nil, rd.fail("vertex count", err)
+	}
+	// Each vertex record is at least 16 bytes plus 6 bytes per register,
+	// so a count the input cannot possibly back is rejected up front.
+	if vertexCount > uint64(math.MaxInt64)/uint64(16+6*k) {
+		return nil, rd.corrupt("impossible vertex count %d for K=%d", vertexCount, k)
+	}
+	for i := uint64(0); i < vertexCount; i++ {
+		id, err := rd.u64()
+		if err != nil {
+			return nil, rd.fail(fmt.Sprintf("vertex %d id", i), err)
+		}
+		arrivals, err := rd.u64()
+		if err != nil {
+			return nil, rd.fail(fmt.Sprintf("vertex %d arrivals", id), err)
+		}
+		st := s.state(id)
+		st.arrivals = int64(arrivals)
+		for r := 0; r < k; r++ {
+			lost, err := rd.u32()
+			if err != nil {
+				return nil, rd.fail(fmt.Sprintf("vertex %d register %d lost", id, r), err)
+			}
+			var hdr [2]byte
+			if err := rd.read(hdr[:]); err != nil {
+				return nil, rd.fail(fmt.Sprintf("vertex %d register %d header", id, r), err)
+			}
+			bad, err := rd.boolByte("degraded", hdr[0])
+			if err != nil {
+				return nil, err
+			}
+			count := int(hdr[1])
+			if count > depth {
+				return nil, rd.corrupt("vertex %d register %d holds %d entries, max depth %d", id, r, count, depth)
+			}
+			m := &st.meta[r]
+			m.lost = lost
+			m.bad = bad
+			m.n = uint16(count)
+			if bad {
+				s.degradedRegs++
+			}
+			base := r * depth
+			var prev dynEntry
+			for j := 0; j < count; j++ {
+				h, err := rd.u64()
+				if err != nil {
+					return nil, rd.fail(fmt.Sprintf("vertex %d register %d hashes", id, r), err)
+				}
+				eid, err := rd.u64()
+				if err != nil {
+					return nil, rd.fail(fmt.Sprintf("vertex %d register %d ids", id, r), err)
+				}
+				refs, err := rd.u32()
+				if err != nil {
+					return nil, rd.fail(fmt.Sprintf("vertex %d register %d refs", id, r), err)
+				}
+				if refs == 0 {
+					return nil, rd.corrupt("vertex %d register %d entry %d has zero refs", id, r, j)
+				}
+				if j > 0 && (h < prev.hash || (h == prev.hash && eid <= prev.id)) {
+					return nil, rd.corrupt("vertex %d register %d entries out of order", id, r)
+				}
+				st.ents[base+j] = dynEntry{hash: h, id: eid, refs: refs}
+				prev = st.ents[base+j]
+			}
+		}
+	}
+	return s, nil
+}

@@ -11,11 +11,11 @@ import (
 // loaded store as a Store; callers that need the concrete type (for
 // capability methods) type-switch on the result.
 //
-// The five store images are distinguishable by construction — each
+// The six store images are distinguishable by construction — each
 // format opens with its own magic (LPSK plain, LPSH sharded, LPSW
-// windowed, LPSD directed, LPDH sharded-directed) — so a checkpoint
-// file is self-describing and a server can restore whatever mode wrote
-// it. The stream binary format (LPS1, internal/stream) is deliberately
+// windowed, LPSD directed, LPDH sharded-directed, LPDY dynamic) — so a
+// checkpoint file is self-describing and a server can restore whatever
+// mode wrote it. The stream binary format (LPS1, internal/stream) is deliberately
 // rejected here: it is a stream of edges, not a store image.
 func LoadAny(r io.Reader) (Store, error) {
 	// Peek, don't consume: each loader re-verifies its own magic. The
@@ -43,6 +43,8 @@ func LoadAny(r io.Reader) (Store, error) {
 		return LoadDirected(br)
 	case shardedDirectedMagic:
 		return LoadShardedDirected(br)
+	case dynamicMagic:
+		return LoadDynamicStore(br)
 	default:
 		return nil, fmt.Errorf("core: unknown store image magic %q", magic)
 	}

@@ -95,7 +95,7 @@ type DirectedViews interface {
 	InDegree(u uint64) float64
 }
 
-// Compile-time checks: all five stores satisfy Store, and each
+// Compile-time checks: all six stores satisfy Store, and each
 // advertised capability holds where claimed.
 var (
 	_ Store = (*SketchStore)(nil)
@@ -103,17 +103,20 @@ var (
 	_ Store = (*DirectedStore)(nil)
 	_ Store = (*ShardedDirected)(nil)
 	_ Store = (*Windowed)(nil)
+	_ Store = (*DynamicStore)(nil)
 
 	_ BatchIngester = (*SketchStore)(nil)
 	_ BatchIngester = (*Sharded)(nil)
 	_ BatchIngester = (*DirectedStore)(nil)
 	_ BatchIngester = (*ShardedDirected)(nil)
 	_ BatchIngester = (*Windowed)(nil)
+	_ BatchIngester = (*DynamicStore)(nil)
 
 	_ BatchScorer = (*SketchStore)(nil)
 	_ BatchScorer = (*Sharded)(nil)
 	_ BatchScorer = (*ShardedDirected)(nil)
 	_ BatchScorer = (*Windowed)(nil)
+	_ BatchScorer = (*DynamicStore)(nil)
 
 	_ Windower      = (*Windowed)(nil)
 	_ DirectedViews = (*DirectedStore)(nil)

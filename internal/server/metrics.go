@@ -96,6 +96,7 @@ type metrics struct {
 	scorebatch map[string]*endpointMetrics
 
 	edgesIngested atomic.Int64 // edges accepted via POST /ingest
+	edgesDeleted  atomic.Int64 // deletions the store applied via DELETE /ingest
 	checkpoints   atomic.Int64 // completed GET /checkpoint downloads
 	restores      atomic.Int64 // successful POST /restore swaps
 }
@@ -141,7 +142,8 @@ func (m *metrics) snapshot() map[string]any {
 		"requests":       requests,
 		"scorebatch":     scorebatch,
 		"ingest": map[string]any{
-			"edges": m.edgesIngested.Load(),
+			"edges":         m.edgesIngested.Load(),
+			"edges_deleted": m.edgesDeleted.Load(),
 		},
 		"checkpoints": map[string]any{
 			"saved":    m.checkpoints.Load(),

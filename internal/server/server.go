@@ -10,7 +10,12 @@
 //	                      binary crc/len-framed edge records (the WAL record
 //	                      layout), applied batch-per-frame with no text parsing —
 //	                      and, under -wal-dir, logged by appending the frame
-//	                      bytes directly
+//	                      bytes directly; KindDelete frames interleaved in the
+//	                      stream are routed to the store's delete path
+//	DELETE /ingest        same body formats, but every edge is a retraction:
+//	                      {"deleted": n, "applied": a} where a counts deletions
+//	                      the store accepted. 400 unless the engine can delete
+//	                      (-mode=dynamic); binary frames must be KindDelete
 //	GET  /pair?u=&v=      all measure estimates for one pair
 //	GET  /score?u=&v=&measure=jaccard|common-neighbors|adamic-adar|resource-allocation|preferential-attachment|cosine
 //	GET  /topk?u=&candidates=1,2,3&measure=&k=   ranked candidates (candidates optional with a tracker)
@@ -121,6 +126,7 @@ func NewWithOptions(eng linkpred.Engine, opts Options) *Server {
 		h             http.HandlerFunc
 	}{
 		{"POST /ingest", "ingest", s.handleIngest},
+		{"DELETE /ingest", "delete", s.handleDelete},
 		{"GET /pair", "pair", s.handlePair},
 		{"GET /score", "score", s.handleScore},
 		{"GET /topk", "topk", s.handleTopK},
@@ -267,6 +273,112 @@ func (s *Server) applyFunc(eng linkpred.Engine) func([]stream.Edge) {
 	}
 }
 
+// deleteApplyFunc builds the per-batch apply closure for the deletion
+// paths: retract the batch through the engine's deleter, accumulating
+// into applied the count of deletions the store accepted (a delete of
+// an edge it never saw is a refused no-op, not an error). Deletions do
+// not feed the monitor or candidate tracker — both model the arrival
+// stream.
+func (s *Server) deleteApplyFunc(del linkpred.EdgeDeleter, applied *int) func([]stream.Edge) {
+	buf := make([]linkpred.Edge, 0, ingestBatchSize)
+	return func(batch []stream.Edge) {
+		buf = buf[:0]
+		for _, e := range batch {
+			buf = append(buf, linkpred.Edge{U: e.U, V: e.V, T: e.T})
+		}
+		*applied += del.DeleteEdges(buf)
+	}
+}
+
+// handleDelete is DELETE /ingest: the same two body formats as POST,
+// but every edge is a retraction. Requires an engine with a deletion
+// capability (-mode=dynamic); under Durability each batch is logged as
+// a KindDelete record before it is applied.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	body := s.limitBody(w, r)
+	eng := s.engine()
+	del, ok := linkpred.DeleterOf(eng)
+	if !ok {
+		writeError(w, http.StatusBadRequest,
+			"mode %q cannot delete edges (run the server with -mode=dynamic)", linkpred.ModeOf(eng))
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, wal.FrameContentType) {
+		s.deleteFrames(w, r, body, del)
+		return
+	}
+	reader := stream.NewTextReader(r.Body)
+	n, applied := 0, 0
+	apply := s.deleteApplyFunc(del, &applied)
+	var walErr error
+	err := stream.ForEachBatch(reader, ingestBatchSize, func(batch []stream.Edge) error {
+		if s.opts.Durability != nil {
+			if werr := s.opts.Durability.IngestDelete(batch, apply); werr != nil {
+				walErr = werr
+				return werr
+			}
+		} else {
+			apply(batch)
+		}
+		n += len(batch)
+		return nil
+	})
+	s.metrics.edgesDeleted.Add(int64(applied))
+	if walErr != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": walErr.Error(), "deleted": n, "applied": applied,
+		})
+		return
+	}
+	if err != nil {
+		writeJSON(w, uploadStatus(err, body), map[string]any{
+			"error": err.Error(), "deleted": n, "applied": applied,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": n, "applied": applied})
+}
+
+// deleteFrames is the binary DELETE /ingest path: every frame must be
+// KindDelete — an insert frame on the delete endpoint is a client bug,
+// rejected at the frame where it appears.
+func (s *Server) deleteFrames(w http.ResponseWriter, r *http.Request, body *cappedBody, del linkpred.EdgeDeleter) {
+	fr := wal.NewFrameReader(r.Body)
+	n, applied := 0, 0
+	apply := s.deleteApplyFunc(del, &applied)
+	fail := func(status int, msg string) {
+		s.metrics.edgesDeleted.Add(int64(applied))
+		writeJSON(w, status, map[string]any{"error": msg, "deleted": n, "applied": applied})
+	}
+	for {
+		kind, frame, edges, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(uploadStatus(err, body), err.Error())
+			return
+		}
+		if kind != wal.KindDelete {
+			fail(http.StatusBadRequest,
+				fmt.Sprintf("DELETE /ingest accepts only delete frames (kind %d), got kind %d", wal.KindDelete, kind))
+			return
+		}
+		if s.opts.Durability != nil {
+			if werr := s.opts.Durability.IngestFrame(frame, edges, apply); werr != nil {
+				fail(http.StatusServiceUnavailable, werr.Error())
+				return
+			}
+		} else {
+			apply(edges)
+		}
+		n += len(edges)
+	}
+	s.metrics.edgesDeleted.Add(int64(applied))
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": n, "applied": applied})
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer r.Body.Close()
 	body := s.limitBody(w, r)
@@ -330,35 +442,61 @@ func (s *Server) ingestFrames(w http.ResponseWriter, r *http.Request, body *capp
 	directed := linkpred.DirectedEngine(eng)
 	apply := s.applyFunc(eng)
 	fr := wal.NewFrameReader(r.Body)
-	n := 0
+	n, deleted, applied := 0, 0, 0
+	var delApply func([]stream.Edge) // built on the first KindDelete frame
+	finish := func(status int, errMsg string) {
+		s.metrics.edgesIngested.Add(int64(n))
+		s.metrics.edgesDeleted.Add(int64(applied))
+		resp := map[string]any{"ingested": n}
+		if errMsg != "" {
+			resp["error"] = errMsg
+		}
+		if delApply != nil {
+			resp["deleted"] = deleted
+			resp["applied"] = applied
+		}
+		writeJSON(w, status, resp)
+	}
 	for {
 		kind, frame, edges, err := fr.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			s.metrics.edgesIngested.Add(int64(n))
-			writeJSON(w, uploadStatus(err, body), map[string]any{
-				"error":    err.Error(),
-				"ingested": n,
-			})
+			finish(uploadStatus(err, body), err.Error())
 			return
 		}
+		if kind == wal.KindDelete {
+			// A retraction interleaved with the arrivals: route it to the
+			// store's delete path, same WAL record either way.
+			if delApply == nil {
+				del, ok := linkpred.DeleterOf(eng)
+				if !ok {
+					finish(http.StatusBadRequest, fmt.Sprintf(
+						"mode %q cannot delete edges (run the server with -mode=dynamic)", linkpred.ModeOf(eng)))
+					return
+				}
+				delApply = s.deleteApplyFunc(del, &applied)
+			}
+			if s.opts.Durability != nil {
+				if werr := s.opts.Durability.IngestFrame(frame, edges, delApply); werr != nil {
+					finish(http.StatusServiceUnavailable, werr.Error())
+					return
+				}
+			} else {
+				delApply(edges)
+			}
+			deleted += len(edges)
+			continue
+		}
 		if (kind == wal.KindArc) != directed {
-			s.metrics.edgesIngested.Add(int64(n))
-			writeJSON(w, http.StatusBadRequest, map[string]any{
-				"error":    fmt.Sprintf("frame kind %d does not match the store's orientation", kind),
-				"ingested": n,
-			})
+			finish(http.StatusBadRequest,
+				fmt.Sprintf("frame kind %d does not match the store's orientation", kind))
 			return
 		}
 		if s.opts.Durability != nil {
 			if werr := s.opts.Durability.IngestFrame(frame, edges, apply); werr != nil {
-				s.metrics.edgesIngested.Add(int64(n))
-				writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-					"error":    werr.Error(),
-					"ingested": n,
-				})
+				finish(http.StatusServiceUnavailable, werr.Error())
 				return
 			}
 		} else {
@@ -366,8 +504,7 @@ func (s *Server) ingestFrames(w http.ResponseWriter, r *http.Request, body *capp
 		}
 		n += len(edges)
 	}
-	s.metrics.edgesIngested.Add(int64(n))
-	writeJSON(w, http.StatusOK, map[string]any{"ingested": n})
+	finish(http.StatusOK, "")
 }
 
 // queryPair parses the u and v query parameters.
@@ -592,6 +729,12 @@ func engineGauges(eng linkpred.Engine) map[string]any {
 	}); ok {
 		g["window"] = win.Window()
 		g["rotations"] = win.Rotations()
+	}
+	if dr, ok := linkpred.DegradedRegistersOf(eng); ok {
+		g["degraded_registers"] = dr
+	}
+	if rd, ok := inner.(interface{ RecoveryDepth() int }); ok {
+		g["recovery_depth"] = rd.RecoveryDepth()
 	}
 	return g
 }

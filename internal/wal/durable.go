@@ -69,6 +69,24 @@ func (d *Durable) Ingest(edges []stream.Edge, apply func([]stream.Edge)) error {
 	return nil
 }
 
+// IngestDelete logs a batch of edge deletions (a KindDelete record,
+// whatever the log's insert kind) and then applies them via apply. The
+// same log-before-apply discipline as Ingest: on append failure the
+// deletes are not applied, so the store never runs ahead of the
+// durable prefix.
+func (d *Durable) IngestDelete(edges []stream.Edge, apply func([]stream.Edge)) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if _, err := d.w.Append(KindDelete, edges); err != nil {
+		return err
+	}
+	apply(edges)
+	return nil
+}
+
 // Checkpoint quiesces ingest, syncs the WAL, writes a snapshot stamped
 // with the current last sequence number, and prunes WAL segments and
 // older snapshots the new image covers. A checkpoint with no new edges

@@ -127,7 +127,7 @@ func (fr *FrameReader) Next() (kind Kind, frame []byte, edges []stream.Edge, err
 		return 0, nil, nil, fmt.Errorf("wal: frame crc mismatch (got %#x, frame says %#x)", got, want)
 	}
 	payload := frame[recHeaderSize:]
-	if payload[0] != byte(KindEdge) && payload[0] != byte(KindArc) {
+	if payload[0] > byte(KindDelete) {
 		return 0, nil, nil, fmt.Errorf("wal: unknown frame kind %d", payload[0])
 	}
 	count := binary.LittleEndian.Uint32(payload[1:5])
@@ -214,13 +214,17 @@ func (w *WAL) AppendFrame(frame []byte) (lastSeq uint64, err error) {
 // are appended to the log (seq patched in place, no re-encode), and
 // only then are the decoded edges applied. frame and edges must be the
 // matching pair returned by one FrameReader.Next call; the frame's kind
-// byte must match the Durable's kind.
+// byte must match the Durable's kind — or be KindDelete, which any log
+// may interleave with its insert kind (the caller routes the apply to
+// the store's delete path; see the server's /ingest handlers).
 func (d *Durable) IngestFrame(frame []byte, edges []stream.Edge, apply func([]stream.Edge)) error {
 	if len(edges) == 0 {
 		return nil
 	}
-	if len(frame) > recHeaderSize && frame[recHeaderSize] != byte(d.kind) {
-		return fmt.Errorf("wal: frame kind %d does not match the log's kind %d", frame[recHeaderSize], d.kind)
+	if len(frame) > recHeaderSize {
+		if k := frame[recHeaderSize]; k != byte(d.kind) && k != byte(KindDelete) {
+			return fmt.Errorf("wal: frame kind %d does not match the log's kind %d", k, d.kind)
+		}
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()

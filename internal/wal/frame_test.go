@@ -15,7 +15,7 @@ import (
 // and kind, for both kinds and several batch shapes, including frames
 // concatenated in one stream.
 func TestFrameRoundTrip(t *testing.T) {
-	for _, kind := range []Kind{KindEdge, KindArc} {
+	for _, kind := range []Kind{KindEdge, KindArc, KindDelete} {
 		var wire []byte
 		var want [][]stream.Edge
 		for _, n := range []int{1, 2, 100} {

@@ -58,10 +58,11 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Kind tags a record with the edge interpretation of its stream: an
-// undirected edge {u, v} or a directed arc u → v. Replay hands the kind
-// back so a store of either orientation can be recovered from its own
-// log; a single log holds one kind in practice.
+// Kind tags a record with the interpretation of its edges: an
+// undirected edge {u, v}, a directed arc u → v, or a deletion
+// retracting prior arrivals. Replay hands the kind back so a store of
+// either orientation — or a deletion-capable store's mixed
+// insert/delete log — can be recovered from its own records.
 type Kind uint8
 
 const (
@@ -69,6 +70,11 @@ const (
 	KindEdge Kind = 0
 	// KindArc records directed arcs.
 	KindArc Kind = 1
+	// KindDelete records edge deletions: each edge in the record
+	// retracts one prior arrival of that edge. Only deletion-capable
+	// stores replay these; a log for any other store never contains
+	// them.
+	KindDelete Kind = 2
 )
 
 // FsyncPolicy selects when appended records are forced to stable
