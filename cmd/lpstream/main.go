@@ -86,6 +86,8 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		batch    = fs.Int("batch", 4096, "edges per ingest batch")
 		deletes  = fs.String("deletes", "", "edge file to retract after ingest (uses the dynamic engine; same text/-binary format as -in)")
 		recDepth = fs.Int("recover-depth", 0, "with -deletes: smallest hashes kept per register for deletion recovery (0 = default)")
+		ingWork  = fs.Int("ingest-workers", 0, "shard-owner ingest pipeline workers with -parallel > 1: 0 = one per processor (synchronous on a single-proc host), > 0 forces that many, < 0 disables the pipeline")
+		ingRing  = fs.Int("ingest-ring", 0, "ingest pipeline per-owner queue capacity in batches (0 = default)")
 		walDir   = fs.String("wal-dir", "", "write-ahead log directory: log batches before applying, snapshot on completion, and resume a crashed ingest of the same input")
 		walFsync = fs.String("wal-fsync", "interval", "WAL fsync policy: always | interval | never")
 		post     = fs.String("post", "", "POST the stream to this lpserver base URL as binary frames (application/x-lp-edges) instead of ingesting locally")
@@ -125,7 +127,10 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	case *parallel > 1:
 		mode = linkpred.ModeConcurrent
 	}
-	eng, err := linkpred.NewEngine(linkpred.EngineSpec{Mode: mode, Config: cfg, Shards: 4 * *parallel, RecoverDepth: *recDepth})
+	eng, err := linkpred.NewEngine(linkpred.EngineSpec{
+		Mode: mode, Config: cfg, Shards: 4 * *parallel, RecoverDepth: *recDepth,
+		IngestWorkers: *ingWork, IngestRing: *ingRing,
+	})
 	if err != nil {
 		return err
 	}
@@ -147,6 +152,11 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 			return fmt.Errorf("snapshot was built in %s mode, this run is %s; rerun with the matching -directed/-parallel flags", got, mode)
 		}
 		eng = loaded
+		if *ingWork >= 0 {
+			if pl, ok := linkpred.PipelinerOf(eng); ok {
+				pl.StartIngestPipeline(*ingWork, *ingRing)
+			}
+		}
 		return nil
 	}
 	var mon *monitor.StreamMonitor
@@ -217,12 +227,16 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		if perr != nil {
 			return perr
 		}
-		res, rerr := wal.Recover(nil, *walDir, load, func(rec wal.Record) error {
-			b := make([]linkpred.Edge, len(rec.Edges))
-			for i, e := range rec.Edges {
+		// Batched replay: consecutive same-kind records are coalesced into
+		// large batches, and on pipeline-capable engines each batch is
+		// published asynchronously so the log reader overlaps decode with
+		// the shard owners' applies.
+		res, rerr := wal.RecoverBatched(nil, *walDir, load, func(kind wal.Kind, batch []stream.Edge) error {
+			b := make([]linkpred.Edge, len(batch))
+			for i, e := range batch {
 				b[i] = linkpred.Edge{U: e.U, V: e.V, T: e.T}
 			}
-			if rec.Kind == wal.KindDelete {
+			if kind == wal.KindDelete {
 				del, ok := linkpred.DeleterOf(eng)
 				if !ok {
 					return fmt.Errorf("log holds delete records; rerun with the -deletes flag that wrote it")
@@ -230,15 +244,22 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 				del.DeleteEdges(b)
 				return nil
 			}
-			if rec.Kind != walKind {
+			if kind != walKind {
 				return fmt.Errorf("log holds %s records; rerun with the matching -directed setting",
-					map[wal.Kind]string{wal.KindEdge: "undirected edge", wal.KindArc: "directed arc"}[rec.Kind])
+					map[wal.Kind]string{wal.KindEdge: "undirected edge", wal.KindArc: "directed arc"}[kind])
+			}
+			if ai, ok := linkpred.AsyncIngesterOf(eng); ok {
+				ai.ObserveEdgesAsync(b)
+				return nil
 			}
 			observe(b)
 			return nil
-		})
+		}, wal.BatchedReplayOptions{})
 		if rerr != nil {
 			return fmt.Errorf("wal recovery: %w", rerr)
+		}
+		if ai, ok := linkpred.AsyncIngesterOf(eng); ok {
+			ai.FlushIngest()
 		}
 		skip = res.LastSeq()
 		if skip > 0 {
@@ -351,6 +372,12 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	}
 	elapsed := time.Since(start)
 	rate := float64(edges) / elapsed.Seconds()
+	// Ingest is done; only queries follow. Stop the shard-owner
+	// pipeline so its ring/batch scratch is released before the memory
+	// summary — the reported figure must match a sequential run's.
+	if pl, ok := linkpred.PipelinerOf(eng); ok {
+		pl.StopIngestPipeline()
+	}
 	if *directed {
 		fmt.Fprintf(stdout, "ingested %d arcs, %d vertices; sketch memory %.1f MiB (k=%d, directed)\n",
 			edges, eng.NumVertices(), float64(eng.MemoryBytes())/(1<<20), *k)

@@ -52,6 +52,34 @@ func (c *ConcurrentDirected) InDegree(u uint64) float64 { return c.store.InDegre
 // NumEdges).
 func (c *ConcurrentDirected) NumArcs() int64 { return c.store.NumArcs() }
 
+// StartIngestPipeline starts the shard-owner ingest pipeline; semantics
+// match (*Concurrent).StartIngestPipeline.
+func (c *ConcurrentDirected) StartIngestPipeline(workers, ringSize int) bool {
+	return c.store.StartPipeline(workers, ringSize)
+}
+
+// StopIngestPipeline drains and stops the ingest pipeline.
+func (c *ConcurrentDirected) StopIngestPipeline() { c.store.StopPipeline() }
+
+// IngestPipelineStats snapshots the running pipeline's backpressure
+// gauges; ok is false when no pipeline is running.
+func (c *ConcurrentDirected) IngestPipelineStats() (PipelineStats, bool) {
+	return c.store.PipelineStats()
+}
+
+// ObserveEdgesAsync publishes a batch of arcs to the running ingest
+// pipeline without waiting; FlushIngest is the barrier. Without a
+// pipeline it behaves exactly like ObserveEdges.
+func (c *ConcurrentDirected) ObserveEdgesAsync(edges []Edge) {
+	buf := toStreamEdges(edges)
+	c.store.ProcessArcsAsync(*buf)
+	putStreamEdges(buf)
+}
+
+// FlushIngest blocks until every ObserveEdgesAsync batch has been fully
+// applied. No-op without a running pipeline.
+func (c *ConcurrentDirected) FlushIngest() { c.store.FlushIngest() }
+
 // LoadConcurrentDirected restores a predictor saved with
 // (*ConcurrentDirected).Save.
 func LoadConcurrentDirected(r io.Reader) (*ConcurrentDirected, error) {

@@ -169,6 +169,58 @@ type EngineSpec struct {
 	// RecoverDepth is the dynamic mode's per-register recovery-buffer
 	// depth (0 selects the default; see NewDynamic).
 	RecoverDepth int
+	// IngestWorkers configures the shard-owner ingest pipeline on the
+	// concurrent modes: 0 (the default) starts it with one apply
+	// goroutine per processor — degrading to the classic synchronous
+	// path on a single-proc host; > 0 forces that many owners; < 0
+	// disables the pipeline. Ignored by the single-writer modes.
+	IngestWorkers int
+	// IngestRing is the pipeline's per-owner queue capacity in batches
+	// (0 selects the default, 256). Ignored without a pipeline.
+	IngestRing int
+}
+
+// PipelineStats is the ingest pipeline's observability snapshot; see
+// core.PipelineStats for the field meanings.
+type PipelineStats = core.PipelineStats
+
+// Pipeliner is the capability of engines that can run the shard-owner
+// ingest pipeline (the concurrent modes). Use PipelinerOf to extract it
+// through Synchronized wrappers.
+type Pipeliner interface {
+	StartIngestPipeline(workers, ringSize int) bool
+	StopIngestPipeline()
+	IngestPipelineStats() (PipelineStats, bool)
+}
+
+// AsyncIngester is the capability of engines whose batched ingest can
+// be published to a running pipeline without waiting for the applies:
+// ObserveEdgesAsync enqueues, FlushIngest is the completion barrier.
+// Both degrade to synchronous ingest when no pipeline is running, so
+// replay loops can use them unconditionally.
+type AsyncIngester interface {
+	ObserveEdgesAsync(edges []Edge)
+	FlushIngest()
+}
+
+// PipelinerOf returns e's pipeline capability, seeing through
+// Synchronized wrappers; ok is false for modes without one.
+func PipelinerOf(e Engine) (Pipeliner, bool) {
+	if s, ok := e.(*Synchronized); ok {
+		e = s.Unwrap()
+	}
+	p, ok := e.(Pipeliner)
+	return p, ok
+}
+
+// AsyncIngesterOf returns e's async-ingest capability, seeing through
+// Synchronized wrappers; ok is false for modes without one.
+func AsyncIngesterOf(e Engine) (AsyncIngester, bool) {
+	if s, ok := e.(*Synchronized); ok {
+		e = s.Unwrap()
+	}
+	a, ok := e.(AsyncIngester)
+	return a, ok
 }
 
 // NewEngine constructs a predictor of the requested mode and returns it
@@ -190,7 +242,14 @@ func NewEngine(spec EngineSpec) (Engine, error) {
 		}
 		return Synchronize(p), nil
 	case ModeConcurrent:
-		return NewConcurrent(spec.Config, shards)
+		c, err := NewConcurrent(spec.Config, shards)
+		if err != nil {
+			return nil, err
+		}
+		if spec.IngestWorkers >= 0 {
+			c.StartIngestPipeline(spec.IngestWorkers, spec.IngestRing)
+		}
+		return c, nil
 	case ModeDirected:
 		d, err := NewDirected(spec.Config)
 		if err != nil {
@@ -198,7 +257,14 @@ func NewEngine(spec EngineSpec) (Engine, error) {
 		}
 		return Synchronize(d), nil
 	case ModeConcurrentDirected:
-		return NewConcurrentDirected(spec.Config, shards)
+		c, err := NewConcurrentDirected(spec.Config, shards)
+		if err != nil {
+			return nil, err
+		}
+		if spec.IngestWorkers >= 0 {
+			c.StartIngestPipeline(spec.IngestWorkers, spec.IngestRing)
+		}
+		return c, nil
 	case ModeWindowed:
 		w, err := NewWindowed(spec.Config, spec.Window, spec.Gens)
 		if err != nil {

@@ -1,0 +1,154 @@
+package linkpred_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	linkpred "linkpred"
+)
+
+// pipelineTestEdges is a duplicate-heavy stream over a small vertex
+// universe — the shape that exercises batch folding and every shard.
+func pipelineTestEdges(n int) []linkpred.Edge {
+	rng := rand.New(rand.NewSource(23))
+	edges := make([]linkpred.Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, linkpred.Edge{U: uint64(rng.Intn(80)), V: uint64(rng.Intn(80)), T: int64(i)})
+	}
+	return edges
+}
+
+// TestEnginePipelineDeterminism is the engine-level determinism table:
+// for every mode, an engine built with the ingest pipeline forced on
+// must Save byte-identically to one with the pipeline disabled after
+// ingesting the same stream. Single-writer modes ignore the knob, so
+// the rows are trivially identical there; the concurrent rows are the
+// real assertion — shard-owner apply is invisible in the persisted
+// registers.
+func TestEnginePipelineDeterminism(t *testing.T) {
+	edges := pipelineTestEdges(4000)
+	cfg := linkpred.Config{K: 32, Seed: 9}
+	for _, mode := range []string{
+		linkpred.ModeSingle,
+		linkpred.ModeConcurrent,
+		linkpred.ModeDirected,
+		linkpred.ModeConcurrentDirected,
+		linkpred.ModeWindowed,
+		linkpred.ModeDynamic,
+	} {
+		t.Run(mode, func(t *testing.T) {
+			build := func(workers int) linkpred.Engine {
+				e, err := linkpred.NewEngine(linkpred.EngineSpec{
+					Mode: mode, Config: cfg, Shards: 8,
+					Window: 1 << 40, Gens: 4,
+					IngestWorkers: workers, IngestRing: 8,
+				})
+				if err != nil {
+					t.Fatalf("NewEngine(%s, workers=%d): %v", mode, workers, err)
+				}
+				return e
+			}
+			plain := build(-1)
+			piped := build(3)
+
+			pipelined := false
+			if pl, ok := linkpred.PipelinerOf(piped); ok {
+				_, pipelined = pl.IngestPipelineStats()
+			}
+			wantPipeline := mode == linkpred.ModeConcurrent || mode == linkpred.ModeConcurrentDirected
+			if pipelined != wantPipeline {
+				t.Fatalf("pipeline running = %v, want %v for mode %s", pipelined, wantPipeline, mode)
+			}
+
+			for lo := 0; lo < len(edges); lo += 256 {
+				hi := lo + 256
+				if hi > len(edges) {
+					hi = len(edges)
+				}
+				plain.ObserveEdges(edges[lo:hi])
+				piped.ObserveEdges(edges[lo:hi])
+			}
+			var a, b bytes.Buffer
+			if err := plain.Save(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := piped.Save(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("mode %s: pipelined ingest Save differs from pipeline-disabled Save", mode)
+			}
+		})
+	}
+}
+
+// TestEngineAsyncIngest covers the root async facade used by batched
+// WAL replay: ObserveEdgesAsync + FlushIngest must be byte-equivalent
+// to synchronous ObserveEdges, and pipeline teardown must leave the
+// engine on the lock-handoff path with consistent gauges.
+func TestEngineAsyncIngest(t *testing.T) {
+	edges := pipelineTestEdges(3000)
+	cfg := linkpred.Config{K: 32, Seed: 11}
+
+	ref, err := linkpred.NewConcurrent(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.ObserveEdges(edges)
+
+	c, err := linkpred.NewConcurrent(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.StartIngestPipeline(2, 0) {
+		t.Fatal("StartIngestPipeline refused forced workers")
+	}
+	eng := linkpred.Engine(c)
+	ai, ok := linkpred.AsyncIngesterOf(eng)
+	if !ok {
+		t.Fatal("AsyncIngesterOf failed on Concurrent")
+	}
+	for lo := 0; lo < len(edges); lo += 128 {
+		hi := lo + 128
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		ai.ObserveEdgesAsync(edges[lo:hi])
+	}
+	ai.FlushIngest()
+	if c.NumEdges() != ref.NumEdges() || c.NumVertices() != ref.NumVertices() {
+		t.Fatalf("gauges after flush: (%d,%d), want (%d,%d)",
+			c.NumEdges(), c.NumVertices(), ref.NumEdges(), ref.NumVertices())
+	}
+	c.StopIngestPipeline()
+	if _, running := c.IngestPipelineStats(); running {
+		t.Fatal("stats still ok after StopIngestPipeline")
+	}
+	if c.MemoryBytes() != ref.MemoryBytes() {
+		t.Fatalf("MemoryBytes after stop = %d, want %d (pipeline footprint must leave the gauge)",
+			c.MemoryBytes(), ref.MemoryBytes())
+	}
+	var a, b bytes.Buffer
+	if err := ref.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("async pipeline ingest diverged from synchronous ingest")
+	}
+
+	// Single-writer engines expose neither interface, even Synchronized.
+	single, err := linkpred.NewEngine(linkpred.EngineSpec{Mode: linkpred.ModeSingle, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := linkpred.PipelinerOf(single); ok {
+		t.Fatal("PipelinerOf must fail on the single-writer engine")
+	}
+	if _, ok := linkpred.AsyncIngesterOf(single); ok {
+		t.Fatal("AsyncIngesterOf must fail on the single-writer engine")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 )
 
@@ -26,6 +27,36 @@ type Table struct {
 	// Notes are free-form footnotes (parameters, caveats) printed under
 	// the table.
 	Notes []string
+	// Env records the host parallelism the experiment ran under. Stamped
+	// automatically at render time when nil — throughput rows (ingest
+	// scaling, recovery) are meaningless without it when results are
+	// committed and diffed across machines.
+	Env *TableEnv
+}
+
+// TableEnv is the execution environment stamped into every rendered
+// table.
+type TableEnv struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// captureEnv snapshots the current process's parallelism settings.
+func captureEnv() *TableEnv {
+	return &TableEnv{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+}
+
+// env returns the table's environment, capturing it on first use.
+func (t *Table) env() *TableEnv {
+	if t.Env == nil {
+		t.Env = captureEnv()
+	}
+	return t.Env
 }
 
 // AddRow appends a row of cells, formatting each with %v.
@@ -96,6 +127,8 @@ func (t *Table) WriteASCII(w io.Writer) error {
 	for _, n := range t.Notes {
 		b.WriteString("note: " + n + "\n")
 	}
+	e := t.env()
+	b.WriteString(fmt.Sprintf("env: %d cpus, GOMAXPROCS=%d, %s\n", e.NumCPU, e.GOMAXPROCS, e.GoVersion))
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -110,7 +143,8 @@ func (t *Table) WriteJSON(w io.Writer) error {
 		Columns []string   `json:"columns"`
 		Rows    [][]string `json:"rows"`
 		Notes   []string   `json:"notes,omitempty"`
-	}{Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes}
+		Env     *TableEnv  `json:"env"`
+	}{Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes, Env: t.env()}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

@@ -3,6 +3,8 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"linkpred/internal/hashing"
 	"linkpred/internal/rng"
@@ -101,10 +103,46 @@ type batchScratch struct {
 	vertGroup  grouping
 	ownerGroup grouping
 
-	// prefetchSink receives the XOR of the apply loops' lookahead loads so
-	// the compiler cannot discard them (see the loops for why they exist).
-	prefetchSink uint64
+	// Pipeline completion state (see pipeline.go). refs counts the owner
+	// goroutines still holding this published batch; done (capacity 1,
+	// allocated once per scratch) delivers the sync-publish completion;
+	// async marks batches the last owner recycles itself; pubOwners is
+	// the reused owner fan-out list; footprint caches memoryFootprint()
+	// at publish time so the in-flight gauge adds and removes the same
+	// figure even if a slice grows in between.
+	refs      atomic.Int32
+	done      chan struct{}
+	async     bool
+	footprint int64
+	pubOwners []int32
 }
+
+// pipeSlotBytes is the ring-slot size used by the pipeline memory gauge.
+const pipeSlotBytes = int64(unsafe.Sizeof(pipeSlot{}))
+
+func sliceBytes[T any](s []T) int64 {
+	var z T
+	return int64(cap(s)) * int64(unsafe.Sizeof(z))
+}
+
+// memoryFootprint is the scratch's owned buffer memory: what a batch
+// pins while queued on pipeline rings. Counted into the owning store's
+// MemoryBytes while in flight.
+func (sc *batchScratch) memoryFootprint() int64 {
+	return sliceBytes(sc.halves) + sliceBytes(sc.distinct) + sliceBytes(sc.hashes) +
+		sliceBytes(sc.memoKeys) + sliceBytes(sc.memoIdx) + sliceBytes(sc.memoEpoch) +
+		sliceBytes(sc.pairKeys) + sliceBytes(sc.pairIdx) + sliceBytes(sc.pairEpoch) +
+		sliceBytes(sc.vertShard) + sliceBytes(sc.pubOwners) +
+		sliceBytes(sc.vertGroup.starts) + sliceBytes(sc.vertGroup.order) + sliceBytes(sc.vertGroup.fill) +
+		sliceBytes(sc.ownerGroup.starts) + sliceBytes(sc.ownerGroup.order) + sliceBytes(sc.ownerGroup.fill)
+}
+
+// prefetchSink receives the XOR of the apply loops' lookahead loads so
+// the compiler cannot discard them (see the loops for why they exist).
+// It is a package-level atomic, not a scratch field: apply runs on
+// several goroutines at once (forEachShard workers, pipeline owners),
+// and a plain shared field would be a write-write race.
+var prefetchSink atomic.Uint64
 
 var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
@@ -292,6 +330,54 @@ func (sc *batchScratch) applyShards(nShards int, apply func(shard int)) {
 	forEachShard(nShards, sc.vertGroup.starts, apply)
 }
 
+// applyShardBatch applies shard's slice of the prepared batch sc under
+// the shard's write lock: stage 4 of the batch pipeline for one shard.
+// Called by the lock-handoff fan-out (applyShards) and by the pipeline
+// owner loop — the two paths share every instruction, which is what
+// makes the pipeline's byte-identical-to-sequential guarantee a
+// property of this one function.
+func (s *Sharded) applyShardBatch(sc *batchScratch, shard int) {
+	st := s.shards[shard]
+	k := st.cfg.K
+	s.mus[shard].Lock()
+	lo, hi := sc.vertGroup.starts[shard], sc.vertGroup.starts[shard+1]
+	// Software-pipelined vertex lookup: resolve vertex vi+1's state
+	// (map-bucket chain plus first touches of its register lines)
+	// while vi's register merges execute, overlapping the L3 latency
+	// of the next cold sketch with the current one's compute. Only
+	// the batch path can do this — it knows the shard's whole vertex
+	// list up front; the per-edge path has no lookahead to work with.
+	var next *vertexState
+	var sink uint64
+	if hi > lo {
+		next = st.state(sc.distinct[sc.vertGroup.order[lo]])
+	}
+	for vi := lo; vi < hi; vi++ {
+		o := sc.vertGroup.order[vi]
+		vs := next
+		if vi+1 < hi {
+			// state may grow the bank; bank.update below re-derives
+			// its spans per call, so no slice here can go stale.
+			next = st.state(sc.distinct[sc.vertGroup.order[vi+1]])
+			nv := st.bank.regs(next.slot)
+			for j := 0; j < len(nv); j += 8 { // one load per cache line
+				sink ^= nv[j]
+			}
+		}
+		group := sc.ownerGroup.order[sc.ownerGroup.starts[o]:sc.ownerGroup.starts[o+1]]
+		var arr int64
+		for _, hj := range group {
+			h := &sc.halves[hj]
+			st.bank.update(vs.slot, sc.distinct[h.hashIdx], sc.hashes[int(h.hashIdx)*k:(int(h.hashIdx)+1)*k])
+			arr += int64(h.mult)
+		}
+		vs.arrivals += arr
+	}
+	prefetchSink.Store(sink) // keep the lookahead loads observable
+	s.refreshGauges(shard)
+	s.mus[shard].Unlock()
+}
+
 // ProcessEdges folds a batch of edges into the sketches of all endpoints
 // through the staged pipeline above: all hashing happens outside any
 // lock, repeated vertices are hashed and looked up once per batch, and
@@ -301,116 +387,166 @@ func (sc *batchScratch) applyShards(nShards int, apply func(shard int)) {
 // concurrent use, including concurrently with ProcessEdge and all
 // estimators.
 //
+// When the store's ingest pipeline is running (StartPipeline) the
+// prepared batch is published to the shard owners and the call blocks
+// until they finish, so the post-return contract — batch fully applied,
+// gauges refreshed — is identical on both paths.
+//
 // For meaningful amortization pass batches of a few hundred edges or
 // more; ProcessEdge remains the better call for single edges.
 func (s *Sharded) ProcessEdges(edges []stream.Edge) {
 	if len(edges) == 0 {
 		return
 	}
+	if p := s.pipe.Load(); p != nil && p.enter() {
+		s.processEdgesVia(p, edges, true)
+		p.exit()
+		return
+	}
 	sc := batchPool.Get().(*batchScratch)
 	k := s.shards[0].cfg.K
 	n := sc.prepare(edges, k, len(s.shards), s.shards[0].family, false)
 	if n > 0 {
-		sc.applyShards(len(s.shards), func(shard int) {
-			st := s.shards[shard]
-			s.mus[shard].Lock()
-			lo, hi := sc.vertGroup.starts[shard], sc.vertGroup.starts[shard+1]
-			// Software-pipelined vertex lookup: resolve vertex vi+1's state
-			// (map-bucket chain plus first touches of its register lines)
-			// while vi's register merges execute, overlapping the L3 latency
-			// of the next cold sketch with the current one's compute. Only
-			// the batch path can do this — it knows the shard's whole vertex
-			// list up front; the per-edge path has no lookahead to work with.
-			var next *vertexState
-			var sink uint64
-			if hi > lo {
-				next = st.state(sc.distinct[sc.vertGroup.order[lo]])
-			}
-			for vi := lo; vi < hi; vi++ {
-				o := sc.vertGroup.order[vi]
-				vs := next
-				if vi+1 < hi {
-					// state may grow the bank; bank.update below re-derives
-					// its spans per call, so no slice here can go stale.
-					next = st.state(sc.distinct[sc.vertGroup.order[vi+1]])
-					nv := st.bank.regs(next.slot)
-					for j := 0; j < len(nv); j += 8 { // one load per cache line
-						sink ^= nv[j]
-					}
-				}
-				group := sc.ownerGroup.order[sc.ownerGroup.starts[o]:sc.ownerGroup.starts[o+1]]
-				var arr int64
-				for _, hj := range group {
-					h := &sc.halves[hj]
-					st.bank.update(vs.slot, sc.distinct[h.hashIdx], sc.hashes[int(h.hashIdx)*k:(int(h.hashIdx)+1)*k])
-					arr += int64(h.mult)
-				}
-				vs.arrivals += arr
-			}
-			sc.prefetchSink = sink // keep the lookahead loads observable
-			s.refreshGauges(shard)
-			s.mus[shard].Unlock()
-		})
+		sc.applyShards(len(s.shards), func(shard int) { s.applyShardBatch(sc, shard) })
 		s.edges.Add(int64(n))
 	}
 	batchPool.Put(sc)
+}
+
+// ProcessEdgesAsync publishes a batch to the running ingest pipeline
+// without waiting for the applies to complete; FlushIngest is the
+// barrier. With no pipeline running it degrades to the synchronous
+// ProcessEdges. Used by batched WAL replay, where the reader goroutine
+// should decode the next record while the owners apply this one.
+func (s *Sharded) ProcessEdgesAsync(edges []stream.Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	if p := s.pipe.Load(); p != nil && p.enter() {
+		s.processEdgesVia(p, edges, false)
+		p.exit()
+		return
+	}
+	s.ProcessEdges(edges)
+}
+
+// processEdgesVia runs stages 1–3 on the caller's goroutine and
+// publishes the prepared batch to the pipeline owners. With wait the
+// scratch comes back to the pool here; async batches are recycled by
+// the last owner out.
+func (s *Sharded) processEdgesVia(p *pipeline, edges []stream.Edge, wait bool) {
+	sc := batchPool.Get().(*batchScratch)
+	k := s.shards[0].cfg.K
+	n := sc.prepare(edges, k, len(s.shards), s.shards[0].family, false)
+	if n == 0 {
+		batchPool.Put(sc)
+		return
+	}
+	p.publishBatch(sc, wait)
+	if wait {
+		batchPool.Put(sc)
+	}
+	s.edges.Add(int64(n))
+}
+
+// applyShardBatch is the directed stage-4 apply for one shard of a
+// prepared batch: the directed analogue of Sharded.applyShardBatch,
+// shared by the lock-handoff fan-out and the pipeline owner loop.
+func (s *ShardedDirected) applyShardBatch(sc *batchScratch, shard int) {
+	st := s.shards[shard]
+	k := st.cfg.K
+	s.mus[shard].Lock()
+	lo, hi := sc.vertGroup.starts[shard], sc.vertGroup.starts[shard+1]
+	// Same software-pipelined vertex lookahead as the undirected
+	// apply loop (see Sharded.applyShardBatch).
+	var next *dirVertexState
+	var sink uint64
+	if hi > lo {
+		next = st.state(sc.distinct[sc.vertGroup.order[lo]])
+	}
+	for vi := lo; vi < hi; vi++ {
+		o := sc.vertGroup.order[vi]
+		vs := next
+		if vi+1 < hi {
+			// Same staleness discipline as the undirected loop: the
+			// spans are derived after the state call that may grow
+			// the banks, and bank.update re-derives per call.
+			next = st.state(sc.distinct[sc.vertGroup.order[vi+1]])
+			no, ni := st.out.regs(next.slot), st.in.regs(next.slot)
+			for j := 0; j < len(no); j += 8 { // one load per cache line
+				sink ^= no[j] ^ ni[j]
+			}
+		}
+		group := sc.ownerGroup.order[sc.ownerGroup.starts[o]:sc.ownerGroup.starts[o+1]]
+		for _, hj := range group {
+			h := &sc.halves[hj]
+			nbrHashes := sc.hashes[int(h.hashIdx)*k : (int(h.hashIdx)+1)*k]
+			if h.out {
+				st.out.update(vs.slot, sc.distinct[h.hashIdx], nbrHashes)
+				vs.outArr += int64(h.mult)
+			} else {
+				st.in.update(vs.slot, sc.distinct[h.hashIdx], nbrHashes)
+				vs.inArr += int64(h.mult)
+			}
+		}
+	}
+	prefetchSink.Store(sink) // keep the lookahead loads observable
+	s.refreshGauges(shard)
+	s.mus[shard].Unlock()
 }
 
 // ProcessArcs is the directed analogue of Sharded.ProcessEdges: it folds
 // a batch of arcs u → v into the out-sketches of the sources and the
 // in-sketches of the targets with hashing outside any lock and one lock
 // acquisition per shard per batch. Register state is identical to
-// calling ProcessArc per arc. Safe for concurrent use.
+// calling ProcessArc per arc. Safe for concurrent use. Like
+// ProcessEdges, a running ingest pipeline routes the prepared batch to
+// the shard owners with identical post-return semantics.
 func (s *ShardedDirected) ProcessArcs(arcs []stream.Edge) {
 	if len(arcs) == 0 {
+		return
+	}
+	if p := s.pipe.Load(); p != nil && p.enter() {
+		s.processArcsVia(p, arcs, true)
+		p.exit()
 		return
 	}
 	sc := batchPool.Get().(*batchScratch)
 	k := s.shards[0].cfg.K
 	n := sc.prepare(arcs, k, len(s.shards), s.shards[0].family, true)
 	if n > 0 {
-		sc.applyShards(len(s.shards), func(shard int) {
-			st := s.shards[shard]
-			s.mus[shard].Lock()
-			lo, hi := sc.vertGroup.starts[shard], sc.vertGroup.starts[shard+1]
-			// Same software-pipelined vertex lookahead as the undirected
-			// apply loop (see Sharded.ProcessEdges).
-			var next *dirVertexState
-			var sink uint64
-			if hi > lo {
-				next = st.state(sc.distinct[sc.vertGroup.order[lo]])
-			}
-			for vi := lo; vi < hi; vi++ {
-				o := sc.vertGroup.order[vi]
-				vs := next
-				if vi+1 < hi {
-					// Same staleness discipline as the undirected loop: the
-					// spans are derived after the state call that may grow
-					// the banks, and bank.update re-derives per call.
-					next = st.state(sc.distinct[sc.vertGroup.order[vi+1]])
-					no, ni := st.out.regs(next.slot), st.in.regs(next.slot)
-					for j := 0; j < len(no); j += 8 { // one load per cache line
-						sink ^= no[j] ^ ni[j]
-					}
-				}
-				group := sc.ownerGroup.order[sc.ownerGroup.starts[o]:sc.ownerGroup.starts[o+1]]
-				for _, hj := range group {
-					h := &sc.halves[hj]
-					nbrHashes := sc.hashes[int(h.hashIdx)*k : (int(h.hashIdx)+1)*k]
-					if h.out {
-						st.out.update(vs.slot, sc.distinct[h.hashIdx], nbrHashes)
-						vs.outArr += int64(h.mult)
-					} else {
-						st.in.update(vs.slot, sc.distinct[h.hashIdx], nbrHashes)
-						vs.inArr += int64(h.mult)
-					}
-				}
-			}
-			sc.prefetchSink = sink // keep the lookahead loads observable
-			s.refreshGauges(shard)
-			s.mus[shard].Unlock()
-		})
+		sc.applyShards(len(s.shards), func(shard int) { s.applyShardBatch(sc, shard) })
 		s.arcs.Add(int64(n))
 	}
 	batchPool.Put(sc)
+}
+
+// ProcessArcsAsync is the directed ProcessEdgesAsync: pipeline publish
+// without the completion wait, FlushIngest as the barrier, synchronous
+// degradation when no pipeline is running.
+func (s *ShardedDirected) ProcessArcsAsync(arcs []stream.Edge) {
+	if len(arcs) == 0 {
+		return
+	}
+	if p := s.pipe.Load(); p != nil && p.enter() {
+		s.processArcsVia(p, arcs, false)
+		p.exit()
+		return
+	}
+	s.ProcessArcs(arcs)
+}
+
+func (s *ShardedDirected) processArcsVia(p *pipeline, arcs []stream.Edge, wait bool) {
+	sc := batchPool.Get().(*batchScratch)
+	k := s.shards[0].cfg.K
+	n := sc.prepare(arcs, k, len(s.shards), s.shards[0].family, true)
+	if n == 0 {
+		batchPool.Put(sc)
+		return
+	}
+	p.publishBatch(sc, wait)
+	if wait {
+		batchPool.Put(sc)
+	}
+	s.arcs.Add(int64(n))
 }

@@ -212,9 +212,20 @@ func (s *ShardedDirected) Save(w io.Writer) error {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("core: save sharded directed header: %w", err)
 	}
-	for i, shard := range s.shards {
-		if err := shard.Save(bw); err != nil {
-			return fmt.Errorf("core: save directed shard %d: %w", i, err)
+	if parallelPersist(len(s.shards)) {
+		// Parallel per-shard encode, byte-identical to the sequential
+		// writer (see persist_parallel.go).
+		if err := saveShardsParallel(bw, len(s.shards),
+			func(i int, w io.Writer) error { return s.shards[i].Save(w) },
+			func(i int, err error) error { return fmt.Errorf("core: save directed shard %d: %w", i, err) },
+		); err != nil {
+			return err
+		}
+	} else {
+		for i, shard := range s.shards {
+			if err := shard.Save(bw); err != nil {
+				return fmt.Errorf("core: save directed shard %d: %w", i, err)
+			}
 		}
 	}
 	if err := bw.Flush(); err != nil {
@@ -243,16 +254,27 @@ func LoadShardedDirected(r io.Reader) (*ShardedDirected, error) {
 	if err != nil {
 		return nil, rd.fail("arc count", err)
 	}
-	shards := make([]*DirectedStore, nShards)
-	for i := range shards {
-		store, err := loadDirected(rd)
+	var shards []*DirectedStore
+	wrapShard := func(i int, err error) error { return fmt.Errorf("core: load directed shard %d: %w", i, err) }
+	if parallelPersist(int(nShards)) {
+		shards, err = loadShardsParallel(rd, int(nShards), lpsdImageSize, loadDirected, wrapShard)
 		if err != nil {
-			return nil, fmt.Errorf("core: load directed shard %d: %w", i, err)
+			return nil, err
 		}
-		if i > 0 && store.cfg != shards[0].cfg {
-			return nil, fmt.Errorf("core: directed shard %d config %+v differs from shard 0", i, store.cfg)
+	} else {
+		shards = make([]*DirectedStore, nShards)
+		for i := range shards {
+			store, err := loadDirected(rd)
+			if err != nil {
+				return nil, wrapShard(i, err)
+			}
+			shards[i] = store
 		}
-		shards[i] = store
+	}
+	for i := 1; i < len(shards); i++ {
+		if shards[i].cfg != shards[0].cfg {
+			return nil, fmt.Errorf("core: directed shard %d config %+v differs from shard 0", i, shards[i].cfg)
+		}
 	}
 	s := &ShardedDirected{
 		shards:    shards,

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"runtime"
+)
+
+// Parallel shard persistence. The sharded container formats (LPSH,
+// LPDH) concatenate per-shard images that are mutually independent, so
+// on a multi-proc host encoding and decoding can fan out across shards:
+//
+//   - Save encodes every shard into its own buffer in parallel, then
+//     writes the buffers in shard order. The bytes are identical to the
+//     sequential writer's — same per-shard encoder, same order — so
+//     snapshot byte-determinism (and the crash-replay cmp tests that
+//     rely on it) is preserved.
+//   - Load reads the remaining image into memory (the WAL snapshot
+//     loader already hands us an in-memory reader), computes the shard
+//     boundaries arithmetically, and decodes the shards in parallel.
+//     Boundaries are computable because vertex records are fixed-size
+//     when the biased sketches are off (24 + 16K bytes undirected,
+//     24 + 32K directed); an image whose headers don't scan cleanly
+//     falls back to the sequential decoder, which produces the same
+//     errors it always did.
+//
+// Both fan-outs engage only at GOMAXPROCS > 1 with more than one
+// shard; otherwise the sequential paths run unchanged.
+
+// newBinReaderAt wraps r like newBinReader but seeds the offset
+// counter, so a reader decoding one shard's sub-slice reports fault
+// offsets relative to the whole container image.
+func newBinReaderAt(r io.Reader, base int64) *binReader {
+	rd := newBinReader(r)
+	rd.off = base
+	return rd
+}
+
+// parallelPersist reports whether the shard fan-out is worth engaging.
+func parallelPersist(nShards int) bool {
+	return nShards > 1 && runtime.GOMAXPROCS(0) > 1
+}
+
+// saveShardsParallel encodes shards lo..hi with encode(i, w) into
+// per-shard buffers in parallel and writes them to w in shard order.
+func saveShardsParallel(w io.Writer, nShards int, encode func(shard int, w io.Writer) error, wrap func(shard int, err error) error) error {
+	bufs := make([]bytes.Buffer, nShards)
+	errs := make([]error, nShards)
+	parallelRange(nShards, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = encode(i, &bufs[i])
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return wrap(i, err)
+		}
+	}
+	for i := range bufs {
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return wrap(i, err)
+		}
+	}
+	return nil
+}
+
+// shardImageSize computes the byte size of one fixed-record store image
+// starting at buf[pos]: header layout checks only — full validation
+// stays with the real decoder. ok is false when the image cannot be
+// sized without decoding it (bad header, biased records, counts the
+// buffer cannot back), which sends the caller to the sequential path.
+func shardImageSize(buf []byte, pos int, magic string, header, counterBytes, regBanks, vcOff int, biasedOff int) (size int, ok bool) {
+	if pos+header > len(buf) {
+		return 0, false
+	}
+	if string(buf[pos:pos+4]) != magic {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint32(buf[pos+4:]) != 1 { // all formats are at version 1
+		return 0, false
+	}
+	k := binary.LittleEndian.Uint32(buf[pos+8:])
+	if k == 0 || k > maxPersistK {
+		return 0, false
+	}
+	if biasedOff >= 0 && buf[pos+biasedOff] != 0 {
+		return 0, false // biased entries make records variable-size
+	}
+	vc := binary.LittleEndian.Uint64(buf[pos+vcOff:])
+	rec := uint64(counterBytes) + uint64(regBanks)*2*8*uint64(k)
+	if rec != 0 && vc > uint64(len(buf))/rec {
+		return 0, false
+	}
+	size = header + int(vc*rec)
+	if pos+size > len(buf) || size < 0 {
+		return 0, false
+	}
+	return size, true
+}
+
+// Per-format header geometry for shardImageSize.
+//
+// LPSK: magic 4 | version 4 | K 4 | seed 8 | flags 4 (hash, degrees,
+// biased, triangles) | edges 8 | triangles 8 | vertexCount 8 = 48;
+// record = 24 counter bytes + one bank pair (regs + argmins) = 16K.
+//
+// LPSD: magic 4 | version 4 | K 4 | seed 8 | flags 4 | arcs 8 |
+// vertexCount 8 = 40; record = 24 counter bytes + two bank pairs = 32K.
+const (
+	lpskHeaderBytes = 48
+	lpsdHeaderBytes = 40
+)
+
+// splitShardImages scans nShards consecutive images in buf and returns
+// their boundary offsets (len nShards+1, starts[0] = 0). ok is false
+// when any header fails to scan; the caller falls back to sequential
+// decoding for exact error reporting.
+func splitShardImages(buf []byte, nShards int, sizeAt func(buf []byte, pos int) (int, bool)) (starts []int, ok bool) {
+	starts = make([]int, nShards+1)
+	pos := 0
+	for i := 0; i < nShards; i++ {
+		size, ok := sizeAt(buf, pos)
+		if !ok {
+			return nil, false
+		}
+		pos += size
+		starts[i+1] = pos
+	}
+	return starts, true
+}
+
+func lpskImageSize(buf []byte, pos int) (int, bool) {
+	return shardImageSize(buf, pos, persistMagic, lpskHeaderBytes, 24, 1, 40, 22)
+}
+
+func lpsdImageSize(buf []byte, pos int) (int, bool) {
+	return shardImageSize(buf, pos, directedMagic, lpsdHeaderBytes, 24, 2, 32, -1)
+}
+
+// loadShardsParallel reads the remaining container payload from rd,
+// splits it into nShards images, and decodes them in parallel with
+// decode (which receives a reader over shard i's exact sub-slice,
+// offset-seeded so errors still name container-relative offsets).
+// A payload whose headers don't scan falls back to sequential decoding
+// of the same in-memory bytes.
+func loadShardsParallel[S any](rd *binReader, nShards int,
+	sizeAt func(buf []byte, pos int) (int, bool),
+	decode func(rd *binReader) (S, error),
+	wrap func(shard int, err error) error) ([]S, error) {
+
+	shards := make([]S, nShards)
+	base := rd.off
+	buf, err := io.ReadAll(rd.br)
+	if err != nil {
+		return nil, rd.fail("shard images", err)
+	}
+	sequential := func() ([]S, error) {
+		sub := newBinReaderAt(bytes.NewReader(buf), base)
+		for i := range shards {
+			s, err := decode(sub)
+			if err != nil {
+				return nil, wrap(i, err)
+			}
+			shards[i] = s
+		}
+		return shards, nil
+	}
+	starts, ok := splitShardImages(buf, nShards, sizeAt)
+	if !ok {
+		return sequential()
+	}
+	errs := make([]error, nShards)
+	parallelRange(nShards, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sub := newBinReaderAt(bytes.NewReader(buf[starts[i]:starts[i+1]]), base+int64(starts[i]))
+			shards[i], errs[i] = decode(sub)
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, wrap(i, err)
+		}
+	}
+	return shards, nil
+}

@@ -78,14 +78,15 @@ type queryScratch struct {
 
 	// Shard grouping (stage 3) and per-distinct resolution + scores
 	// (stage 4). slots[c] is candidate c's bank slot (-1 when the vertex
-	// is unknown), arrs[c] its arrival counter; warm keeps the resolve
-	// pass's cache-warming loads observable so they cannot be elided.
+	// is unknown), arrs[c] its arrival counter. The resolve pass's
+	// cache-warming loads are kept observable through the package-level
+	// prefetchSink (batch.go) — shard workers share this scratch, so a
+	// plain field here would be a write-write race.
 	candShard []int32
 	group     grouping
 	slots     []int32
 	arrs      []int64
 	scores    []float64
-	warm      uint64
 }
 
 var queryPool = sync.Pool{New: func() any { return new(queryScratch) }}
@@ -271,7 +272,7 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 				warm += regs[j]
 			}
 		}
-		sc.warm = warm
+		prefetchSink.Store(warm)
 		for gi := lo; gi < hi; gi++ {
 			c := sc.group.order[gi]
 			slot := sc.slots[c]
@@ -381,7 +382,7 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 				warm += regs[j]
 			}
 		}
-		sc.warm = warm
+		prefetchSink.Store(warm)
 		for gi := lo; gi < hi; gi++ {
 			c := sc.group.order[gi]
 			slot := sc.slots[c]

@@ -43,6 +43,11 @@ type Sharded struct {
 	// shard lock serially per call.
 	vertGauge []atomic.Int64
 	memGauge  []atomic.Int64
+
+	// pipe is the optional shard-owner ingest pipeline (pipeline.go);
+	// nil means batched ingest uses the lock-handoff fan-out. Swapped
+	// atomically so ProcessEdges can check it without a lock.
+	pipe atomic.Pointer[pipeline]
 }
 
 // NewSharded returns a Sharded store with the given number of shards.
@@ -293,11 +298,78 @@ func (s *Sharded) NumEdges() int64 { return s.edges.Load() }
 
 // MemoryBytes returns the total payload memory across shards. Safe for
 // concurrent use; like NumVertices it reads the apply-maintained
-// per-shard gauges, so metrics scrapes stay lock-free.
+// per-shard gauges, so metrics scrapes stay lock-free. While the ingest
+// pipeline runs, its ring arrays and in-flight batch scratch are
+// included — queued-but-unapplied batches are real memory the process
+// holds on the store's behalf.
 func (s *Sharded) MemoryBytes() int {
 	total := int64(0)
 	for i := range s.memGauge {
 		total += s.memGauge[i].Load()
 	}
+	if p := s.pipe.Load(); p != nil {
+		total += p.memoryBytes()
+	}
 	return int(total)
+}
+
+// StartPipeline starts the shard-owner ingest pipeline (pipeline.go):
+// batched ingest stops contending on shard locks and instead publishes
+// prepared batches to dedicated per-shard apply goroutines. workers = 0
+// means auto — GOMAXPROCS owners, or stay synchronous (return false)
+// when that is 1; workers > 0 forces that many owners even on a
+// single-proc host; workers < 0 disables. ringSize is the per-owner
+// ring capacity in batches (<= 0 selects the default, 256). Returns
+// whether a pipeline is now running; false with a pipeline already
+// running leaves it untouched.
+func (s *Sharded) StartPipeline(workers, ringSize int) bool {
+	n := resolvePipelineWorkers(workers, len(s.shards))
+	if n == 0 {
+		return false
+	}
+	if s.pipe.Load() != nil {
+		return false
+	}
+	p := newPipeline(len(s.shards), n, ringSize, func(sc *batchScratch, owner, nOwners int) {
+		for shard := owner; shard < len(s.shards); shard += nOwners {
+			if sc.vertGroup.starts[shard+1] > sc.vertGroup.starts[shard] {
+				s.applyShardBatch(sc, shard)
+			}
+		}
+	})
+	if !s.pipe.CompareAndSwap(nil, p) {
+		p.stop() // lost an install race; discard the idle pipeline
+		return false
+	}
+	return true
+}
+
+// StopPipeline stops the ingest pipeline and blocks until every
+// published batch, sync or async, has been applied; subsequent batched
+// ingest uses the lock-handoff fan-out again. No-op without a running
+// pipeline. Safe for concurrent use with ingest: producers mid-publish
+// finish first, producers arriving later fall back to the synchronous
+// path.
+func (s *Sharded) StopPipeline() {
+	if p := s.pipe.Swap(nil); p != nil {
+		p.stop()
+	}
+}
+
+// FlushIngest blocks until every batch published with ProcessEdgesAsync
+// has been fully applied. Synchronous ingest needs no barrier; without
+// a running pipeline this is a no-op.
+func (s *Sharded) FlushIngest() {
+	if p := s.pipe.Load(); p != nil {
+		p.flush()
+	}
+}
+
+// PipelineStats snapshots the running pipeline's gauges; ok is false
+// when no pipeline is running.
+func (s *Sharded) PipelineStats() (st PipelineStats, ok bool) {
+	if p := s.pipe.Load(); p != nil {
+		return p.stats(), true
+	}
+	return PipelineStats{}, false
 }

@@ -26,6 +26,9 @@ type ShardedDirected struct {
 	// O(shards) lock-free reads.
 	vertGauge []atomic.Int64
 	memGauge  []atomic.Int64
+
+	// pipe is the optional shard-owner ingest pipeline, as on Sharded.
+	pipe atomic.Pointer[pipeline]
 }
 
 // NewShardedDirected returns a sharded directed store. It returns an
@@ -274,11 +277,65 @@ func (s *ShardedDirected) NumVertices() int {
 func (s *ShardedDirected) NumArcs() int64 { return s.arcs.Load() }
 
 // MemoryBytes returns the total payload memory across shards. Safe for
-// concurrent use; lock-free gauge reads, as in NumVertices.
+// concurrent use; lock-free gauge reads, as in NumVertices. A running
+// ingest pipeline's rings and in-flight scratch are included, as on
+// Sharded.
 func (s *ShardedDirected) MemoryBytes() int {
 	total := int64(0)
 	for i := range s.memGauge {
 		total += s.memGauge[i].Load()
 	}
+	if p := s.pipe.Load(); p != nil {
+		total += p.memoryBytes()
+	}
 	return int(total)
+}
+
+// StartPipeline starts the shard-owner ingest pipeline; semantics match
+// Sharded.StartPipeline.
+func (s *ShardedDirected) StartPipeline(workers, ringSize int) bool {
+	n := resolvePipelineWorkers(workers, len(s.shards))
+	if n == 0 {
+		return false
+	}
+	if s.pipe.Load() != nil {
+		return false
+	}
+	p := newPipeline(len(s.shards), n, ringSize, func(sc *batchScratch, owner, nOwners int) {
+		for shard := owner; shard < len(s.shards); shard += nOwners {
+			if sc.vertGroup.starts[shard+1] > sc.vertGroup.starts[shard] {
+				s.applyShardBatch(sc, shard)
+			}
+		}
+	})
+	if !s.pipe.CompareAndSwap(nil, p) {
+		p.stop()
+		return false
+	}
+	return true
+}
+
+// StopPipeline stops the ingest pipeline after draining it; semantics
+// match Sharded.StopPipeline.
+func (s *ShardedDirected) StopPipeline() {
+	if p := s.pipe.Swap(nil); p != nil {
+		p.stop()
+	}
+}
+
+// FlushIngest blocks until every ProcessArcsAsync batch has been fully
+// applied; no-op without a running pipeline.
+func (s *ShardedDirected) FlushIngest() {
+	if p := s.pipe.Load(); p != nil {
+		p.flush()
+	}
+}
+
+// PipelineStats snapshots the running pipeline's gauges; ok is false
+// when no pipeline is running.
+func (s *ShardedDirected) PipelineStats() (st PipelineStats, ok bool) {
+	if p := s.pipe.Load(); p != nil {
+		return p.stats(), true
+	}
+	return PipelineStats{}, false
 }

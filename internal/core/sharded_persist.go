@@ -37,9 +37,21 @@ func (s *Sharded) Save(w io.Writer) error {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("core: save sharded header: %w", err)
 	}
-	for i, shard := range s.shards {
-		if err := shard.Save(bw); err != nil {
-			return fmt.Errorf("core: save shard %d: %w", i, err)
+	if parallelPersist(len(s.shards)) {
+		// Per-shard images are independent: encode them into buffers in
+		// parallel, write in shard order — byte-identical to the
+		// sequential writer (see persist_parallel.go).
+		if err := saveShardsParallel(bw, len(s.shards),
+			func(i int, w io.Writer) error { return s.shards[i].Save(w) },
+			func(i int, err error) error { return fmt.Errorf("core: save shard %d: %w", i, err) },
+		); err != nil {
+			return err
+		}
+	} else {
+		for i, shard := range s.shards {
+			if err := shard.Save(bw); err != nil {
+				return fmt.Errorf("core: save shard %d: %w", i, err)
+			}
 		}
 	}
 	if err := bw.Flush(); err != nil {
@@ -72,16 +84,30 @@ func LoadSharded(r io.Reader) (*Sharded, error) {
 	if err != nil {
 		return nil, rd.fail("edge count", err)
 	}
-	shards := make([]*SketchStore, nShards)
-	for i := range shards {
-		store, err := loadSketchStore(rd)
+	var shards []*SketchStore
+	wrapShard := func(i int, err error) error { return fmt.Errorf("core: load shard %d: %w", i, err) }
+	if parallelPersist(int(nShards)) {
+		// Decode the concatenated shard images in parallel (see
+		// persist_parallel.go); images that don't scan cleanly fall back
+		// to the sequential decoder for exact error reporting.
+		shards, err = loadShardsParallel(rd, int(nShards), lpskImageSize, loadSketchStore, wrapShard)
 		if err != nil {
-			return nil, fmt.Errorf("core: load shard %d: %w", i, err)
+			return nil, err
 		}
-		if i > 0 && store.cfg != shards[0].cfg {
-			return nil, fmt.Errorf("core: shard %d config %+v differs from shard 0", i, store.cfg)
+	} else {
+		shards = make([]*SketchStore, nShards)
+		for i := range shards {
+			store, err := loadSketchStore(rd)
+			if err != nil {
+				return nil, wrapShard(i, err)
+			}
+			shards[i] = store
 		}
-		shards[i] = store
+	}
+	for i := 1; i < len(shards); i++ {
+		if shards[i].cfg != shards[0].cfg {
+			return nil, fmt.Errorf("core: shard %d config %+v differs from shard 0", i, shards[i].cfg)
+		}
 	}
 	s := &Sharded{
 		shards:    shards,

@@ -71,6 +71,29 @@ type BatchIngester interface {
 	IngestBatch(edges []stream.Edge)
 }
 
+// AsyncBatchIngester is the capability of stores whose batched ingest
+// can be published to a running shard-owner pipeline without waiting
+// for the applies (see pipeline.go): IngestBatchAsync enqueues,
+// FlushIngest is the completion barrier. Both degrade to the
+// synchronous path when no pipeline is running, so callers need no
+// mode check. Batched WAL replay drives recovery through this.
+type AsyncBatchIngester interface {
+	BatchIngester
+	IngestBatchAsync(edges []stream.Edge)
+	FlushIngest()
+}
+
+// Pipeliner is the capability of stores that can run the shard-owner
+// ingest pipeline. StartPipeline reports whether a pipeline is now
+// running (false when workers resolve to synchronous, or one is
+// already up); StopPipeline drains and stops it; PipelineStats
+// snapshots the backpressure gauges.
+type Pipeliner interface {
+	StartPipeline(workers, ringSize int) bool
+	StopPipeline()
+	PipelineStats() (PipelineStats, bool)
+}
+
 // BatchScorer is the capability of stores with a batched
 // one-source/many-candidates query path (see querybatch.go). out is
 // grown as needed and returned aligned with candidates; scores are
@@ -118,6 +141,12 @@ var (
 	_ BatchScorer = (*Windowed)(nil)
 	_ BatchScorer = (*DynamicStore)(nil)
 
+	_ AsyncBatchIngester = (*Sharded)(nil)
+	_ AsyncBatchIngester = (*ShardedDirected)(nil)
+
+	_ Pipeliner = (*Sharded)(nil)
+	_ Pipeliner = (*ShardedDirected)(nil)
+
 	_ Windower      = (*Windowed)(nil)
 	_ DirectedViews = (*DirectedStore)(nil)
 	_ DirectedViews = (*ShardedDirected)(nil)
@@ -142,6 +171,10 @@ func (s *Sharded) Ingest(e stream.Edge) { s.ProcessEdge(e) }
 // IngestBatch folds a batch of edges (alias of ProcessEdges). Safe for
 // concurrent use.
 func (s *Sharded) IngestBatch(edges []stream.Edge) { s.ProcessEdges(edges) }
+
+// IngestBatchAsync publishes a batch to the ingest pipeline without
+// waiting (alias of ProcessEdgesAsync). Safe for concurrent use.
+func (s *Sharded) IngestBatchAsync(edges []stream.Edge) { s.ProcessEdgesAsync(edges) }
 
 // Ingest folds one arc into the store (alias of ProcessArc).
 func (s *DirectedStore) Ingest(e stream.Edge) { s.ProcessArc(e) }
@@ -171,6 +204,10 @@ func (s *ShardedDirected) Ingest(e stream.Edge) { s.ProcessArc(e) }
 // IngestBatch folds a batch of arcs (alias of ProcessArcs). Safe for
 // concurrent use.
 func (s *ShardedDirected) IngestBatch(arcs []stream.Edge) { s.ProcessArcs(arcs) }
+
+// IngestBatchAsync publishes a batch of arcs to the ingest pipeline
+// without waiting (alias of ProcessArcsAsync). Safe for concurrent use.
+func (s *ShardedDirected) IngestBatchAsync(arcs []stream.Edge) { s.ProcessArcsAsync(arcs) }
 
 // Degree returns the total (in+out) degree estimate of u. Safe for
 // concurrent use; the two sides are read one shard lock at a time.

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	linkpred "linkpred"
+)
+
+// TestPipelineMetrics: when the engine runs the shard-owner ingest
+// pipeline, /metrics must carry its gauges under predictor.pipeline —
+// nested JSON and flattened expvar — and drop them once the pipeline
+// stops.
+func TestPipelineMetrics(t *testing.T) {
+	pred, err := linkpred.NewConcurrent(linkpred.Config{K: 64, Seed: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.StartIngestPipeline(2, 8) {
+		t.Fatal("StartIngestPipeline refused forced workers")
+	}
+	ts := httptest.NewServer(New(pred))
+	t.Cleanup(ts.Close)
+	ingest(t, ts, sharedFixture(), http.StatusOK)
+
+	out := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	pl, ok := out["predictor"].(map[string]any)["pipeline"].(map[string]any)
+	if !ok {
+		t.Fatalf("predictor.pipeline missing from /metrics: %v", out["predictor"])
+	}
+	if pl["workers"].(float64) != 2 {
+		t.Errorf("pipeline.workers = %v, want 2", pl["workers"])
+	}
+	if pl["ring_capacity"].(float64) != 8 {
+		t.Errorf("pipeline.ring_capacity = %v, want 8", pl["ring_capacity"])
+	}
+	if depths, ok := pl["ring_depths"].([]any); !ok || len(depths) != 2 {
+		t.Errorf("pipeline.ring_depths = %v, want 2 entries", pl["ring_depths"])
+	}
+	if pl["outstanding"].(float64) != 0 {
+		t.Errorf("pipeline.outstanding = %v after synchronous ingest", pl["outstanding"])
+	}
+	if pl["memory_bytes"].(float64) <= 0 {
+		t.Error("pipeline.memory_bytes missing")
+	}
+	for _, key := range []string{"stalls", "owner_parks"} {
+		if _, ok := pl[key]; !ok {
+			t.Errorf("pipeline.%s missing", key)
+		}
+	}
+
+	flat := getJSON(t, ts.URL+"/metrics?format=expvar", http.StatusOK)
+	if _, ok := flat["predictor.pipeline.workers"]; !ok {
+		t.Errorf("expvar format missing predictor.pipeline.workers: %v", flat)
+	}
+
+	pred.StopIngestPipeline()
+	out = getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	if _, ok := out["predictor"].(map[string]any)["pipeline"]; ok {
+		t.Error("predictor.pipeline still exported after StopIngestPipeline")
+	}
+}

@@ -736,6 +736,23 @@ func engineGauges(eng linkpred.Engine) map[string]any {
 	if rd, ok := inner.(interface{ RecoveryDepth() int }); ok {
 		g["recovery_depth"] = rd.RecoveryDepth()
 	}
+	if pl, ok := linkpred.PipelinerOf(eng); ok {
+		if st, running := pl.IngestPipelineStats(); running {
+			// Backpressure gauges for the shard-owner ingest pipeline:
+			// ring depths say where queued work sits, stalls count
+			// producer spins on full rings, parks count owners going
+			// idle. All lock-free snapshots.
+			g["pipeline"] = map[string]any{
+				"workers":       st.Workers,
+				"ring_capacity": st.RingCapacity,
+				"ring_depths":   st.RingDepths,
+				"stalls":        st.Stalls,
+				"owner_parks":   st.OwnerParks,
+				"outstanding":   st.Outstanding,
+				"memory_bytes":  st.MemoryBytes,
+			}
+		}
+	}
 	return g
 }
 

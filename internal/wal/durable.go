@@ -230,6 +230,69 @@ func (r RecoverResult) LastSeq() uint64 {
 	return r.SnapshotSeq
 }
 
+// BatchedReplayOptions tunes RecoverBatched.
+type BatchedReplayOptions struct {
+	// BatchEdges is the flush threshold: consecutive same-kind records
+	// accumulate until the batch holds at least this many edges (or the
+	// kind changes, or the log ends). <= 0 selects the default, 16384 —
+	// large enough that a shard-owner pipeline amortizes its publish
+	// overhead, small enough to keep a few batches in flight per
+	// segment.
+	BatchEdges int
+}
+
+// defaultReplayBatchEdges is the RecoverBatched flush threshold when
+// BatchedReplayOptions.BatchEdges is unset.
+const defaultReplayBatchEdges = 16384
+
+// RecoverBatched is Recover with record coalescing for parallel replay:
+// consecutive records of the same kind accumulate into one large batch
+// that is handed to applyBatch, which may fan it out across a running
+// ingest pipeline (batches are applied in call order, so pass each one
+// to an async ingest and flush once at the end). A kind change flushes
+// first — the ordering barrier that keeps every register's op sequence
+// in log order when KindDelete records interleave with inserts; stores
+// without deletions never hit it. The edges slice passed to applyBatch
+// is reused between calls: applyBatch must not retain it after an
+// asynchronous apply has completed.
+//
+// Snapshot fallback and torn-tail handling are exactly Recover's.
+func RecoverBatched(fsys FS, dir string, load func(io.Reader) error, applyBatch func(Kind, []stream.Edge) error, opts BatchedReplayOptions) (RecoverResult, error) {
+	limit := opts.BatchEdges
+	if limit <= 0 {
+		limit = defaultReplayBatchEdges
+	}
+	var (
+		pending []stream.Edge
+		kind    Kind
+	)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		err := applyBatch(kind, pending)
+		pending = pending[:0]
+		return err
+	}
+	res, err := Recover(fsys, dir, load, func(rec Record) error {
+		if rec.Kind != kind {
+			if err := flush(); err != nil {
+				return err
+			}
+			kind = rec.Kind
+		}
+		pending = append(pending, rec.Edges...)
+		if len(pending) >= limit {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	return res, flush()
+}
+
 // Recover rebuilds store state from dir: it loads the newest snapshot
 // that passes its checksum (calling load with the image), then replays
 // the WAL tail after the snapshot's sequence number (calling apply per
