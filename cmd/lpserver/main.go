@@ -134,6 +134,10 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		walDir     = fs.String("wal-dir", "", "write-ahead log directory: log every /ingest batch before applying, checkpoint periodically, and recover snapshot+log on start")
 		walFsync   = fs.String("wal-fsync", "interval", "WAL fsync policy: always (fsync per batch) | interval (background fsync) | never (crash loses OS-buffered tail)")
 		ckptEvery  = fs.Duration("checkpoint-interval", 5*time.Minute, "with -wal-dir, how often the background checkpointer snapshots the predictor and prunes the log")
+		healBack   = fs.Duration("heal-backoff", 250*time.Millisecond, "with -wal-dir, first-probe backoff of the WAL self-healer (0 disables healing: write failures stay sticky until the next append)")
+		maxInflt   = fs.Int("max-inflight", 0, "per-endpoint concurrently executing request cap; excess waits in a bounded queue, overflow is shed with 429 (0 = unlimited)")
+		queueDepth = fs.Int("queue-depth", 64, "with -max-inflight, requests allowed to wait for an execution slot before shedding")
+		defaultDL  = fs.Duration("default-deadline", 0, "server-assigned deadline per request, overridable via the X-Deadline-Ms header (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -166,7 +170,14 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		}
 	}
 
-	opts := server.Options{MaxBodyBytes: *maxBody}
+	opts := server.Options{
+		MaxBodyBytes: *maxBody,
+		Admission: server.AdmissionConfig{
+			MaxInFlight:     *maxInflt,
+			QueueDepth:      *queueDepth,
+			DefaultDeadline: *defaultDL,
+		},
+	}
 	built := false
 	defer func() {
 		if !built && opts.Durability != nil {
@@ -235,7 +246,15 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		if res.Replay.TruncatedBytes > 0 {
 			fmt.Fprintf(stdout, "wal: truncated %d bytes of torn/corrupt log tail\n", res.Replay.TruncatedBytes)
 		}
-		w, err := wal.Open(*walDir, wal.Options{Fsync: policy, NextSeq: res.LastSeq() + 1})
+		var heal *wal.HealOptions
+		if *healBack > 0 {
+			// Self-healing: on a write/sync failure the log degrades
+			// (ingest sheds with 503 + Retry-After, queries keep serving)
+			// and a background healer repairs the segment with jittered
+			// exponential backoff — no restart required.
+			heal = &wal.HealOptions{Backoff: *healBack}
+		}
+		w, err := wal.Open(*walDir, wal.Options{Fsync: policy, NextSeq: res.LastSeq() + 1, Heal: heal})
 		if err != nil {
 			return nil, fmt.Errorf("open wal: %w", err)
 		}
@@ -373,6 +392,20 @@ func run(ctx context.Context, a *app, stdout io.Writer) error {
 		// predictor (ingest is monotone, a partial request loses only
 		// its own tail).
 		fmt.Fprintln(stdout, "shutdown:", err)
+	}
+	// Quiesce the ingest pipeline before anything snapshots the store:
+	// HTTP is drained, but asynchronously published batches may still be
+	// in flight on the shard owners. Flush is the completion barrier;
+	// stopping the pipeline then makes the store fully quiescent, so the
+	// final WAL checkpoint and -checkpoint image capture every
+	// acknowledged edge. The engine is re-read from the server because
+	// POST /restore may have swapped it.
+	eng := a.srv.Engine()
+	if ai, ok := linkpred.AsyncIngesterOf(eng); ok {
+		ai.FlushIngest()
+	}
+	if pl, ok := linkpred.PipelinerOf(eng); ok {
+		pl.StopIngestPipeline()
 	}
 	if a.durable != nil {
 		// Final checkpoint: snapshot the predictor and prune the log, so

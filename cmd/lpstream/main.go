@@ -37,10 +37,13 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -519,61 +522,185 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	return nil
 }
 
-// postStream streams the source to baseURL/ingest as binary
+// Remote-ingest retry policy. A chunk (postChunkBatches frames) is the
+// unit of upload and retry: small enough to buffer and resend, large
+// enough that the per-request overhead stays negligible.
+const (
+	postChunkBatches = 64 // frames per request
+	postMaxAttempts  = 8  // tries per chunk before giving up
+	postRetryBase    = 200 * time.Millisecond
+	postRetryMax     = 5 * time.Second
+)
+
+// postRetryable reports whether a response status is worth retrying:
+// 503 (durability degraded or WAL healing — the server said "later",
+// possibly with a durable-prefix count) and 429 (admission shed).
+func postRetryable(status int) bool {
+	return status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
+}
+
+// postBackoff returns how long to sleep before retry number attempt
+// (0-based): the server's Retry-After hint when it sent one, otherwise
+// jittered exponential backoff.
+func postBackoff(resp *http.Response, attempt int) time.Duration {
+	if resp != nil {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				return time.Duration(secs) * time.Second
+			}
+		}
+	}
+	d := postRetryBase
+	for i := 0; i < attempt && d < postRetryMax; i++ {
+		d *= 2
+	}
+	if d > postRetryMax {
+		d = postRetryMax
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// appliedPrefix extracts the server's progress counter (ingested /
+// deleted) from a 503 body: the number of this request's edges that
+// made it into the log before durability failed. Those must not be
+// resent — the log has them, a resend would double-count.
+func appliedPrefix(body []byte, key string) int {
+	var m map[string]any
+	if json.Unmarshal(body, &m) != nil {
+		return 0
+	}
+	if v, ok := m[key].(float64); ok && v > 0 {
+		return int(v)
+	}
+	return 0
+}
+
+// postChunk ships one chunk of edges as batch-sized binary frames,
+// retrying transient failures with backoff. On a 503 the durable
+// prefix reported by the server is skipped on the resend; on a
+// connection error the whole chunk is resent (the WAL-backed server
+// replays nothing it did not acknowledge, and sketch registers are
+// idempotent under re-ingest, so the retry is safe at-least-once
+// delivery).
+func postChunk(baseURL, method string, kind wal.Kind, chunk []stream.Edge, batch int, progressKey string) ([]byte, error) {
+	url := strings.TrimRight(baseURL, "/") + "/ingest"
+	skip := 0
+	var lastErr error
+	var lastResp *http.Response // most recent retryable response, for its Retry-After hint
+	for attempt := 0; attempt < postMaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(postBackoff(lastResp, attempt-1))
+		}
+		// (Re-)frame the unacknowledged tail of the chunk.
+		var payload []byte
+		var frame []byte
+		for off := skip; off < len(chunk); off += batch {
+			end := off + batch
+			if end > len(chunk) {
+				end = len(chunk)
+			}
+			var ferr error
+			if frame, ferr = wal.EncodeFrame(frame[:0], kind, chunk[off:end]); ferr != nil {
+				return nil, ferr
+			}
+			payload = append(payload, frame...)
+		}
+		req, err := http.NewRequest(method, url, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", wal.FrameContentType)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			// Connection-level failure (reset, refused, timeout): transient
+			// by assumption; resend the whole unacknowledged tail.
+			lastErr, lastResp = fmt.Errorf("post %s: %w", url, err), nil
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr, lastResp = fmt.Errorf("read response: %w", rerr), nil
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			return body, nil
+		}
+		if !postRetryable(resp.StatusCode) {
+			return body, fmt.Errorf("server rejected the upload (status %d): %s",
+				resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			skip += appliedPrefix(body, progressKey)
+			if skip >= len(chunk) {
+				// Everything was durably logged before the failure surfaced.
+				return body, nil
+			}
+		}
+		lastErr = fmt.Errorf("server unavailable (status %d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		lastResp = resp
+	}
+	return nil, fmt.Errorf("giving up after %d attempts: %w", postMaxAttempts, lastErr)
+}
+
+// postFrames drains src through postChunk: chunks of postChunkBatches
+// batch-sized frames, each retried independently, so one transient
+// blip costs a chunk resend instead of the whole stream.
+func postFrames(baseURL, method string, kind wal.Kind, src stream.Source, batch int, progressKey string) (edges int, lastBody []byte, err error) {
+	buf := make([]stream.Edge, batch)
+	chunk := make([]stream.Edge, 0, batch*postChunkBatches)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		body, perr := postChunk(baseURL, method, kind, chunk, batch, progressKey)
+		if perr != nil {
+			return perr
+		}
+		lastBody = body
+		edges += len(chunk)
+		chunk = chunk[:0]
+		return nil
+	}
+	for {
+		n, rerr := stream.ReadBatch(src, buf)
+		if n > 0 {
+			chunk = append(chunk, buf[:n]...)
+			if len(chunk) >= batch*postChunkBatches {
+				if err := flush(); err != nil {
+					return edges, lastBody, err
+				}
+			}
+		}
+		if rerr != nil {
+			if !errors.Is(rerr, io.EOF) {
+				return edges, lastBody, rerr
+			}
+			break
+		}
+		if n < batch {
+			break
+		}
+	}
+	return edges, lastBody, flush()
+}
+
+// postStream ships the source to baseURL/ingest as binary
 // crc/len-framed edge records (Content-Type application/x-lp-edges),
-// one frame per -batch edges, in a single chunked request. The server
-// validates every frame's CRC and — when running with -wal-dir —
-// appends the frame bytes to its log without re-encoding them.
+// one frame per -batch edges, chunked into independent requests with
+// transient-failure retry (jittered backoff, Retry-After honored, 503
+// durable prefixes not resent). The server validates every frame's CRC
+// and — when running with -wal-dir — appends the frame bytes to its
+// log without re-encoding them.
 func postStream(stdout io.Writer, baseURL string, src stream.Source, batch int, directed bool) error {
 	kind := wal.KindEdge
 	if directed {
 		kind = wal.KindArc
 	}
-	pr, pw := io.Pipe()
-	edges := 0
-	go func() {
-		bw := bufio.NewWriterSize(pw, 1<<16)
-		buf := make([]stream.Edge, batch)
-		var frame []byte
-		var ferr error
-		for ferr == nil {
-			n, rerr := stream.ReadBatch(src, buf)
-			if n > 0 {
-				if frame, ferr = wal.EncodeFrame(frame[:0], kind, buf[:n]); ferr != nil {
-					break
-				}
-				if _, ferr = bw.Write(frame); ferr != nil {
-					break
-				}
-				edges += n
-			}
-			if rerr != nil {
-				if !errors.Is(rerr, io.EOF) {
-					ferr = rerr
-				}
-				break
-			}
-			if n < batch {
-				break
-			}
-		}
-		if ferr == nil {
-			ferr = bw.Flush()
-		}
-		pw.CloseWithError(ferr)
-	}()
 	start := time.Now()
-	resp, err := http.Post(strings.TrimRight(baseURL, "/")+"/ingest", wal.FrameContentType, pr)
+	edges, body, err := postFrames(baseURL, http.MethodPost, kind, src, batch, "ingested")
 	if err != nil {
-		return fmt.Errorf("post stream: %w", err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return fmt.Errorf("read ingest response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server rejected the stream (status %d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		return err
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(stdout, "posted %d edges in %d-edge frames to %s: %.3fs, %.0f edges/sec\n",
@@ -583,59 +710,14 @@ func postStream(stdout io.Writer, baseURL string, src stream.Source, batch int, 
 }
 
 // postDeletes ships a retraction stream to baseURL/ingest as binary
-// KindDelete frames on the DELETE method. The server applies each frame
-// through its engine's delete path (400 unless it runs -mode=dynamic).
+// KindDelete frames on the DELETE method, with the same chunked retry
+// as postStream. The server applies each frame through its engine's
+// delete path (400 unless it runs -mode=dynamic).
 func postDeletes(stdout io.Writer, baseURL string, src stream.Source, batch int) error {
-	pr, pw := io.Pipe()
-	edges := 0
-	go func() {
-		bw := bufio.NewWriterSize(pw, 1<<16)
-		buf := make([]stream.Edge, batch)
-		var frame []byte
-		var ferr error
-		for ferr == nil {
-			n, rerr := stream.ReadBatch(src, buf)
-			if n > 0 {
-				if frame, ferr = wal.EncodeFrame(frame[:0], wal.KindDelete, buf[:n]); ferr != nil {
-					break
-				}
-				if _, ferr = bw.Write(frame); ferr != nil {
-					break
-				}
-				edges += n
-			}
-			if rerr != nil {
-				if !errors.Is(rerr, io.EOF) {
-					ferr = rerr
-				}
-				break
-			}
-			if n < batch {
-				break
-			}
-		}
-		if ferr == nil {
-			ferr = bw.Flush()
-		}
-		pw.CloseWithError(ferr)
-	}()
-	req, err := http.NewRequest(http.MethodDelete, strings.TrimRight(baseURL, "/")+"/ingest", pr)
+	start := time.Now()
+	edges, body, err := postFrames(baseURL, http.MethodDelete, wal.KindDelete, src, batch, "deleted")
 	if err != nil {
 		return err
-	}
-	req.Header.Set("Content-Type", wal.FrameContentType)
-	start := time.Now()
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return fmt.Errorf("post deletes: %w", err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return fmt.Errorf("read delete response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server rejected the retractions (status %d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
 	fmt.Fprintf(stdout, "posted %d retractions in %d-edge delete frames to %s in %.3fs\n",
 		edges, batch, baseURL, time.Since(start).Seconds())

@@ -395,22 +395,40 @@ func (s *Sharded) applyShardBatch(sc *batchScratch, shard int) {
 // For meaningful amortization pass batches of a few hundred edges or
 // more; ProcessEdge remains the better call for single edges.
 func (s *Sharded) ProcessEdges(edges []stream.Edge) {
+	s.ProcessEdgesCancel(edges, nil) // nil done: never cancels
+}
+
+// ProcessEdgesCancel is ProcessEdges with pre-commit cancellation: done
+// is polled before the batch is handed to the store (and while the
+// producer spins on a full pipeline ring — see publishBatch). A fired
+// done returns ErrCanceled with nothing applied; once any shard owner
+// holds the batch it always completes, because a half-applied batch
+// would desynchronize the store from the WAL's acked prefix.
+func (s *Sharded) ProcessEdgesCancel(edges []stream.Edge, done <-chan struct{}) error {
 	if len(edges) == 0 {
-		return
+		return nil
+	}
+	if canceled(done) {
+		return ErrCanceled
 	}
 	if p := s.pipe.Load(); p != nil && p.enter() {
-		s.processEdgesVia(p, edges, true)
+		err := s.processEdgesVia(p, edges, true, done)
 		p.exit()
-		return
+		return err
 	}
 	sc := batchPool.Get().(*batchScratch)
 	k := s.shards[0].cfg.K
 	n := sc.prepare(edges, k, len(s.shards), s.shards[0].family, false)
 	if n > 0 {
+		if canceled(done) {
+			batchPool.Put(sc)
+			return ErrCanceled
+		}
 		sc.applyShards(len(s.shards), func(shard int) { s.applyShardBatch(sc, shard) })
 		s.edges.Add(int64(n))
 	}
 	batchPool.Put(sc)
+	return nil
 }
 
 // ProcessEdgesAsync publishes a batch to the running ingest pipeline
@@ -423,7 +441,7 @@ func (s *Sharded) ProcessEdgesAsync(edges []stream.Edge) {
 		return
 	}
 	if p := s.pipe.Load(); p != nil && p.enter() {
-		s.processEdgesVia(p, edges, false)
+		s.processEdgesVia(p, edges, false, nil)
 		p.exit()
 		return
 	}
@@ -433,20 +451,25 @@ func (s *Sharded) ProcessEdgesAsync(edges []stream.Edge) {
 // processEdgesVia runs stages 1–3 on the caller's goroutine and
 // publishes the prepared batch to the pipeline owners. With wait the
 // scratch comes back to the pool here; async batches are recycled by
-// the last owner out.
-func (s *Sharded) processEdgesVia(p *pipeline, edges []stream.Edge, wait bool) {
+// the last owner out. A done that fires before the batch reaches any
+// owner withdraws the publish: ErrCanceled, nothing applied.
+func (s *Sharded) processEdgesVia(p *pipeline, edges []stream.Edge, wait bool, done <-chan struct{}) error {
 	sc := batchPool.Get().(*batchScratch)
 	k := s.shards[0].cfg.K
 	n := sc.prepare(edges, k, len(s.shards), s.shards[0].family, false)
 	if n == 0 {
 		batchPool.Put(sc)
-		return
+		return nil
 	}
-	p.publishBatch(sc, wait)
+	if !p.publishBatch(sc, wait, done) {
+		batchPool.Put(sc)
+		return ErrCanceled
+	}
 	if wait {
 		batchPool.Put(sc)
 	}
 	s.edges.Add(int64(n))
+	return nil
 }
 
 // applyShardBatch is the directed stage-4 apply for one shard of a
@@ -503,22 +526,36 @@ func (s *ShardedDirected) applyShardBatch(sc *batchScratch, shard int) {
 // ProcessEdges, a running ingest pipeline routes the prepared batch to
 // the shard owners with identical post-return semantics.
 func (s *ShardedDirected) ProcessArcs(arcs []stream.Edge) {
+	s.ProcessArcsCancel(arcs, nil) // nil done: never cancels
+}
+
+// ProcessArcsCancel is ProcessArcs with pre-commit cancellation; see
+// Sharded.ProcessEdgesCancel for the exact semantics.
+func (s *ShardedDirected) ProcessArcsCancel(arcs []stream.Edge, done <-chan struct{}) error {
 	if len(arcs) == 0 {
-		return
+		return nil
+	}
+	if canceled(done) {
+		return ErrCanceled
 	}
 	if p := s.pipe.Load(); p != nil && p.enter() {
-		s.processArcsVia(p, arcs, true)
+		err := s.processArcsVia(p, arcs, true, done)
 		p.exit()
-		return
+		return err
 	}
 	sc := batchPool.Get().(*batchScratch)
 	k := s.shards[0].cfg.K
 	n := sc.prepare(arcs, k, len(s.shards), s.shards[0].family, true)
 	if n > 0 {
+		if canceled(done) {
+			batchPool.Put(sc)
+			return ErrCanceled
+		}
 		sc.applyShards(len(s.shards), func(shard int) { s.applyShardBatch(sc, shard) })
 		s.arcs.Add(int64(n))
 	}
 	batchPool.Put(sc)
+	return nil
 }
 
 // ProcessArcsAsync is the directed ProcessEdgesAsync: pipeline publish
@@ -529,24 +566,28 @@ func (s *ShardedDirected) ProcessArcsAsync(arcs []stream.Edge) {
 		return
 	}
 	if p := s.pipe.Load(); p != nil && p.enter() {
-		s.processArcsVia(p, arcs, false)
+		s.processArcsVia(p, arcs, false, nil)
 		p.exit()
 		return
 	}
 	s.ProcessArcs(arcs)
 }
 
-func (s *ShardedDirected) processArcsVia(p *pipeline, arcs []stream.Edge, wait bool) {
+func (s *ShardedDirected) processArcsVia(p *pipeline, arcs []stream.Edge, wait bool, done <-chan struct{}) error {
 	sc := batchPool.Get().(*batchScratch)
 	k := s.shards[0].cfg.K
 	n := sc.prepare(arcs, k, len(s.shards), s.shards[0].family, true)
 	if n == 0 {
 		batchPool.Put(sc)
-		return
+		return nil
 	}
-	p.publishBatch(sc, wait)
+	if !p.publishBatch(sc, wait, done) {
+		batchPool.Put(sc)
+		return ErrCanceled
+	}
 	if wait {
 		batchPool.Put(sc)
 	}
 	s.arcs.Add(int64(n))
+	return nil
 }

@@ -54,17 +54,43 @@ func (g *grouping) group(n, nGroups int, key func(i int) int32) {
 // each shard is visited by exactly one worker, so per-shard locks never
 // nest and the fan-out is deadlock-free by construction.
 func forEachShard(nShards int, starts []int32, fn func(shard int)) {
+	forEachShardDone(nShards, starts, nil, fn)
+}
+
+// forEachShardDone is forEachShard with cooperative cancellation: done
+// (when non-nil) is polled before each shard is claimed, and a fired
+// done stops workers from claiming further shards. Shards already being
+// scored run to completion — cancellation is at shard granularity, so
+// the caller's scratch is safe to recycle as soon as this returns. The
+// return value reports whether every shard was visited (false: the
+// batch was cut short and its results are incomplete).
+func forEachShardDone(nShards int, starts []int32, done <-chan struct{}, fn func(shard int)) bool {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > nShards {
 		workers = nShards
 	}
-	if workers <= 1 {
-		for s := 0; s < nShards; s++ {
-			if starts[s+1] > starts[s] {
-				fn(s)
+	var cut atomic.Bool
+	claim := func(s int) bool {
+		if done != nil {
+			select {
+			case <-done:
+				cut.Store(true)
+				return false
+			default:
 			}
 		}
-		return
+		if starts[s+1] > starts[s] {
+			fn(s)
+		}
+		return true
+	}
+	if workers <= 1 {
+		for s := 0; s < nShards; s++ {
+			if !claim(s) {
+				return false
+			}
+		}
+		return true
 	}
 	var cursor atomic.Int32
 	var wg sync.WaitGroup
@@ -77,13 +103,14 @@ func forEachShard(nShards int, starts []int32, fn func(shard int)) {
 				if s >= nShards {
 					return
 				}
-				if starts[s+1] > starts[s] {
-					fn(s)
+				if !claim(s) {
+					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	return !cut.Load()
 }
 
 // parallelRange splits [0, n) into GOMAXPROCS-bounded contiguous chunks

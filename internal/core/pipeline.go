@@ -279,7 +279,15 @@ func (p *pipeline) ownerHasWork(sc *batchScratch, o int) bool {
 // all owners finished, and the caller still owns the scratch on return;
 // without it the last owner recycles the scratch and flush() is the
 // barrier.
-func (p *pipeline) publishBatch(sc *batchScratch, wait bool) {
+//
+// done (non-nil only on the cancellable sync path) is polled while the
+// producer spins on a full first ring: up to that point nothing has
+// been enqueued, so the publish can be withdrawn whole — publishBatch
+// returns false and the caller still owns the (unapplied) scratch. The
+// moment any owner holds the batch, delivery always completes: refs are
+// preset for the full fan-out, and a partial batch would break the
+// byte-identical-to-sequential contract.
+func (p *pipeline) publishBatch(sc *batchScratch, wait bool, done <-chan struct{}) bool {
 	sc.pubOwners = sc.pubOwners[:0]
 	for o := range p.owners {
 		if p.ownerHasWork(sc, o) {
@@ -296,25 +304,41 @@ func (p *pipeline) publishBatch(sc *batchScratch, wait bool) {
 		p.outstanding.Add(1)
 	}
 	p.scratchBytes.Add(sc.footprint)
-	for _, o := range sc.pubOwners {
-		p.enqueueOwner(int(o), sc)
+	for i, o := range sc.pubOwners {
+		abortable := wait && i == 0 && done != nil
+		if !p.enqueueOwner(int(o), sc, done, abortable) {
+			// Nothing enqueued: withdraw the publish bookkeeping.
+			p.scratchBytes.Add(-sc.footprint)
+			return false
+		}
 	}
 	if wait {
 		<-sc.done
 	}
+	return true
 }
 
 // enqueueOwner publishes sc on owner o's ring, spinning (with Gosched,
 // counted as a stall) while the ring is full, then wakes the owner if
-// it is parked.
-func (p *pipeline) enqueueOwner(o int, sc *batchScratch) {
+// it is parked. With abortable set, a fired done channel ends the spin
+// and reports false instead — the backpressure loop is the one place a
+// cancelled producer could otherwise burn CPU indefinitely.
+func (p *pipeline) enqueueOwner(o int, sc *batchScratch, done <-chan struct{}, abortable bool) bool {
 	ow := p.owners[o]
 	for !ow.ring.enqueue(sc) {
+		if abortable {
+			select {
+			case <-done:
+				return false
+			default:
+			}
+		}
 		p.stalls.Add(1)
 		p.signal(ow) // consumer may be parked with a full ring
 		runtime.Gosched()
 	}
 	p.signal(ow)
+	return true
 }
 
 // signal wakes ow if it is parked. The producer's enqueue (seq store)

@@ -174,12 +174,24 @@ func (sc *queryScratch) fanOut(out []float64) {
 // RLock per shard per batch. Per-query lock cost is O(shards + K), not
 // O(candidates).
 func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out []float64) ([]float64, error) {
+	return s.ScoreBatchCancel(m, u, candidates, out, nil)
+}
+
+// ScoreBatchCancel is ScoreBatch with cooperative cancellation: done
+// (non-nil) is polled before the batch starts and before each shard is
+// claimed, so an expired request stops consuming query workers at shard
+// granularity. A fired done returns ErrCanceled; out's contents are
+// then unspecified.
+func (s *Sharded) ScoreBatchCancel(m QueryMeasure, u uint64, candidates []uint64, out []float64, done <-chan struct{}) ([]float64, error) {
 	if !m.valid() {
 		return nil, fmt.Errorf("core: unknown query measure %v", m)
 	}
 	out = grow(out, len(candidates))
 	if len(candidates) == 0 {
 		return out, nil
+	}
+	if canceled(done) {
+		return out, ErrCanceled
 	}
 	cfg := s.shards[0].cfg
 	k := cfg.K
@@ -239,7 +251,7 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 	sc.arrs = grow(sc.arrs, nd)
 	sc.scores = grow(sc.scores, nd)
 	kf := float64(k)
-	forEachShard(nShards, sc.group.starts, func(shard int) {
+	complete := forEachShardDone(nShards, sc.group.starts, done, func(shard int) {
 		st := s.shards[shard]
 		s.mus[shard].RLock()
 		lo, hi := sc.group.starts[shard], sc.group.starts[shard+1]
@@ -298,6 +310,10 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 		}
 		s.mus[shard].RUnlock()
 	})
+	if !complete {
+		queryPool.Put(sc) // workers joined: scratch is safe to recycle
+		return out, ErrCanceled
+	}
 
 	// Stage 5: fan scores back out to the caller's candidate order.
 	sc.fanOut(out)
@@ -313,12 +329,21 @@ func (s *Sharded) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out 
 // workers score each shard's candidates in place from its in-side
 // register bank under one RLock per shard per batch.
 func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out []float64) ([]float64, error) {
+	return s.ScoreBatchCancel(m, u, candidates, out, nil)
+}
+
+// ScoreBatchCancel is ScoreBatch with cooperative cancellation at shard
+// granularity; see Sharded.ScoreBatchCancel for the exact semantics.
+func (s *ShardedDirected) ScoreBatchCancel(m QueryMeasure, u uint64, candidates []uint64, out []float64, done <-chan struct{}) ([]float64, error) {
 	if !m.valid() {
 		return nil, fmt.Errorf("core: unknown query measure %v", m)
 	}
 	out = grow(out, len(candidates))
 	if len(candidates) == 0 {
 		return out, nil
+	}
+	if canceled(done) {
+		return out, ErrCanceled
 	}
 	cfg := s.shards[0].cfg
 	k := cfg.K
@@ -363,7 +388,7 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 	sc.arrs = grow(sc.arrs, nd)
 	sc.scores = grow(sc.scores, nd)
 	kf := float64(k)
-	forEachShard(nShards, sc.group.starts, func(shard int) {
+	complete := forEachShardDone(nShards, sc.group.starts, done, func(shard int) {
 		st := s.shards[shard]
 		s.mus[shard].RLock()
 		lo, hi := sc.group.starts[shard], sc.group.starts[shard+1]
@@ -410,6 +435,10 @@ func (s *ShardedDirected) ScoreBatch(m QueryMeasure, u uint64, candidates []uint
 		}
 		s.mus[shard].RUnlock()
 	})
+	if !complete {
+		queryPool.Put(sc) // workers joined: scratch is safe to recycle
+		return out, ErrCanceled
+	}
 
 	// Stage 5: fan scores back out to the caller's candidate order.
 	sc.fanOut(out)

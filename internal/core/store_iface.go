@@ -176,6 +176,12 @@ func (s *Sharded) IngestBatch(edges []stream.Edge) { s.ProcessEdges(edges) }
 // waiting (alias of ProcessEdgesAsync). Safe for concurrent use.
 func (s *Sharded) IngestBatchAsync(edges []stream.Edge) { s.ProcessEdgesAsync(edges) }
 
+// IngestBatchCancel folds a batch with pre-commit cancellation (alias
+// of ProcessEdgesCancel). Safe for concurrent use.
+func (s *Sharded) IngestBatchCancel(edges []stream.Edge, done <-chan struct{}) error {
+	return s.ProcessEdgesCancel(edges, done)
+}
+
 // Ingest folds one arc into the store (alias of ProcessArc).
 func (s *DirectedStore) Ingest(e stream.Edge) { s.ProcessArc(e) }
 
@@ -208,6 +214,12 @@ func (s *ShardedDirected) IngestBatch(arcs []stream.Edge) { s.ProcessArcs(arcs) 
 // IngestBatchAsync publishes a batch of arcs to the ingest pipeline
 // without waiting (alias of ProcessArcsAsync). Safe for concurrent use.
 func (s *ShardedDirected) IngestBatchAsync(arcs []stream.Edge) { s.ProcessArcsAsync(arcs) }
+
+// IngestBatchCancel folds a batch of arcs with pre-commit cancellation
+// (alias of ProcessArcsCancel). Safe for concurrent use.
+func (s *ShardedDirected) IngestBatchCancel(arcs []stream.Edge, done <-chan struct{}) error {
+	return s.ProcessArcsCancel(arcs, done)
+}
 
 // Degree returns the total (in+out) degree estimate of u. Safe for
 // concurrent use; the two sides are read one shard lock at a time.

@@ -1,0 +1,416 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	linkpred "linkpred"
+	"linkpred/internal/stream"
+	"linkpred/internal/wal"
+)
+
+// Chaos property suite: a live server in dynamic mode, its WAL on a
+// fault-injectable filesystem with the self-healing state machine
+// enabled, driven by concurrent ingest/delete/query load while a fault
+// injector cycles transient sync failures, write failures, disk-full
+// windows, and IO latency. Three properties must hold:
+//
+//  1. No durably-acked batch is ever lost: replaying the (abused) WAL
+//     into a fresh engine yields state byte-identical to a reference
+//     engine fed exactly the acked operations in order.
+//  2. The live engine itself holds exactly the acked operations —
+//     log-before-apply means a failed append applies nothing.
+//  3. The server always returns to healthy once faults stop, without a
+//     restart, and queries keep serving throughout the faults.
+
+const chaosSpecK = 32
+
+func chaosSpec() linkpred.EngineSpec {
+	return linkpred.EngineSpec{
+		Mode:   linkpred.ModeDynamic,
+		Config: linkpred.Config{K: chaosSpecK, Seed: 7},
+	}
+}
+
+// chaosBatch is round r's deterministic edge batch. Vertex IDs are
+// unique per round so a later delete of the whole batch is fully
+// recoverable (no cross-batch candidate pressure on the registers).
+func chaosBatch(r int) []linkpred.Edge {
+	edges := make([]linkpred.Edge, 16)
+	base := uint64(r+1) * 1000
+	for i := range edges {
+		edges[i] = linkpred.Edge{U: base + uint64(i), V: base + uint64(i) + 500}
+	}
+	return edges
+}
+
+func chaosBody(edges []linkpred.Edge) string {
+	var sb strings.Builder
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "%d %d\n", e.U, e.V)
+	}
+	return sb.String()
+}
+
+// chaosOp is one acked operation, in ack order — the reference input.
+type chaosOp struct {
+	del   bool
+	round int
+}
+
+// postUntilAcked sends one single-batch request (insert or delete) and
+// retries on any failure until the server acks it with 200 or the
+// deadline passes. Each batch is far below ingestBatchSize, so it is
+// one WAL append: either fully acked or (post-heal) not durable at all,
+// which makes retry-until-200 exactly-once in the durable log.
+func postUntilAcked(ts *httptest.Server, method, body string, deadline time.Time) error {
+	var last string
+	for time.Now().Before(deadline) {
+		req, err := http.NewRequest(method, ts.URL+"/ingest", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			last = err.Error()
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return fmt.Errorf("%s /ingest: unexpected status %d: %s", method, resp.StatusCode, rb)
+		}
+		last = string(rb)
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("%s /ingest never acked before deadline (last: %s)", method, last)
+}
+
+// applyOps feeds the acked operation sequence to an engine — the
+// reference construction.
+func applyOps(t *testing.T, eng linkpred.Engine, ops []chaosOp) {
+	t.Helper()
+	del, ok := linkpred.DeleterOf(eng)
+	if !ok {
+		t.Fatal("reference engine has no deletion capability")
+	}
+	for _, op := range ops {
+		if op.del {
+			del.DeleteEdges(chaosBatch(op.round))
+		} else {
+			eng.ObserveEdges(chaosBatch(op.round))
+		}
+	}
+}
+
+func saveBytes(t *testing.T, eng linkpred.Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func chaosToEdges(es []stream.Edge) []linkpred.Edge {
+	out := make([]linkpred.Edge, len(es))
+	for i, e := range es {
+		out[i] = linkpred.Edge{U: e.U, V: e.V}
+	}
+	return out
+}
+
+func TestChaosFaultSweepDurableAckedPrefix(t *testing.T) {
+	eng, err := linkpred.NewEngine(chaosSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := wal.NewFaultFS()
+	w, err := wal.Open("/wal", wal.Options{
+		FS:    fs,
+		Fsync: wal.FsyncAlways,
+		Heal:  &wal.HealOptions{Backoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := wal.NewDurable(w, "/wal", wal.KindEdge, eng.Save)
+	defer d.Close()
+	ts := httptest.NewServer(NewWithOptions(eng, Options{Durability: d}))
+	defer ts.Close()
+
+	rounds := 48
+	if testing.Short() {
+		rounds = 12
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	writerDone := make(chan struct{})
+	errs := make(chan error, 8)
+
+	// Sequential writer: one acked op at a time, so the acked sequence
+	// is totally ordered and doubles as the reference input.
+	var ops []chaosOp
+	go func() {
+		defer close(writerDone)
+		for r := 0; r < rounds; r++ {
+			if err := postUntilAcked(ts, http.MethodPost, chaosBody(chaosBatch(r)), deadline); err != nil {
+				errs <- err
+				return
+			}
+			ops = append(ops, chaosOp{round: r})
+			// Every third round retracts an earlier batch in full.
+			if r >= 3 && r%3 == 0 {
+				dr := r - 3
+				if err := postUntilAcked(ts, http.MethodDelete, chaosBody(chaosBatch(dr)), deadline); err != nil {
+					errs <- err
+					return
+				}
+				ops = append(ops, chaosOp{del: true, round: dr})
+			}
+		}
+	}()
+
+	// Fault injector: cycles every chaos axis until the writer is done.
+	// Triggers self-disarm, and the loop closes its own disk-full and
+	// latency windows, so the sweep leaves no fault armed on exit.
+	injectorDone := make(chan struct{})
+	go func() {
+		defer close(injectorDone)
+		for i := 0; ; i++ {
+			select {
+			case <-writerDone:
+				return
+			default:
+			}
+			switch i % 4 {
+			case 0:
+				fs.FailSyncsN(0, 1, fmt.Errorf("chaos: transient fsync %d", i))
+			case 1:
+				fs.FailWritesN(1, 1, fmt.Errorf("chaos: transient write %d", i))
+			case 2:
+				fs.SetDiskFull(true)
+				time.Sleep(4 * time.Millisecond)
+				fs.SetDiskFull(false)
+			case 3:
+				fs.SetLatency(200 * time.Microsecond)
+				time.Sleep(4 * time.Millisecond)
+				fs.SetLatency(0)
+			}
+			time.Sleep(6 * time.Millisecond)
+		}
+	}()
+
+	// Query load: reads must serve throughout, faults or not — the
+	// store never degrades below read-only.
+	var qwg sync.WaitGroup
+	for _, url := range []string{
+		ts.URL + "/topk?u=1000&k=4&measure=jaccard&candidates=1500,1501,2000",
+	} {
+		qwg.Add(1)
+		go func(url string) {
+			defer qwg.Done()
+			for {
+				select {
+				case <-writerDone:
+					return
+				default:
+				}
+				resp, err := ts.Client().Get(url)
+				if err != nil {
+					errs <- fmt.Errorf("query during chaos: %v", err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("query during chaos = %d, want 200", resp.StatusCode)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(url)
+	}
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		for {
+			select {
+			case <-writerDone:
+				return
+			default:
+			}
+			resp, err := ts.Client().Post(ts.URL+"/scorebatch", "application/json",
+				strings.NewReader(`{"measure":"jaccard","pairs":[{"u":1000,"v":1500},{"u":2000,"v":2500}]}`))
+			if err != nil {
+				errs <- fmt.Errorf("scorebatch during chaos: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("scorebatch during chaos = %d, want 200", resp.StatusCode)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	<-writerDone
+	<-injectorDone
+	qwg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if len(ops) == 0 {
+		t.Fatal("writer acked no operations")
+	}
+
+	// Property 3: with faults cleared the server heals on its own — no
+	// restart, no operator intervention.
+	fs.ClearFaults()
+	healDeadline := time.Now().Add(10 * time.Second)
+	for {
+		m := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+		if m["status"] == "ok" {
+			break
+		}
+		if time.Now().After(healDeadline) {
+			t.Fatalf("server still degraded after faults cleared: %v", m)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Reference: a fresh engine fed exactly the acked ops in order.
+	ref, err := linkpred.NewEngine(chaosSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, ref, ops)
+	refImg := saveBytes(t, ref)
+
+	// Property 2: the live engine holds exactly the acked prefix.
+	if live := saveBytes(t, eng); !bytes.Equal(live, refImg) {
+		t.Fatalf("live engine diverged from acked-prefix reference (%d vs %d bytes)", len(live), len(refImg))
+	}
+
+	// Property 1: replaying the abused WAL reconstructs the same state.
+	rec, err := linkpred.NewEngine(chaosSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wal.RecoverBatched(fs, "/wal", func(r io.Reader) error {
+		loaded, lerr := linkpred.LoadAnyEngine(r)
+		if lerr != nil {
+			return lerr
+		}
+		rec = loaded
+		return nil
+	}, func(kind wal.Kind, edges []stream.Edge) error {
+		if kind == wal.KindDelete {
+			del, ok := linkpred.DeleterOf(rec)
+			if !ok {
+				return fmt.Errorf("replay holds deletes but recovered mode %q cannot delete", linkpred.ModeOf(rec))
+			}
+			del.DeleteEdges(chaosToEdges(edges))
+			return nil
+		}
+		rec.ObserveEdges(chaosToEdges(edges))
+		return nil
+	}, wal.BatchedReplayOptions{})
+	if err != nil {
+		t.Fatalf("recovery from chaos WAL: %v", err)
+	}
+	if res.Replay.Edges == 0 {
+		t.Fatal("recovery replayed no edges")
+	}
+	if got := saveBytes(t, rec); !bytes.Equal(got, refImg) {
+		t.Fatalf("recovered engine diverged from acked-prefix reference (%d vs %d bytes, %d acked ops)",
+			len(got), len(refImg), len(ops))
+	}
+}
+
+// TestChaosOverloadRecovers pairs the fault sweep's sibling property:
+// a saturated endpoint sheds with 429 + Retry-After while admitted
+// requests complete, and once the burst passes the server reports
+// healthy again with zero requests in flight.
+func TestChaosOverloadRecovers(t *testing.T) {
+	be := &blockingEngine{
+		Engine:  newBaseEngine(t),
+		entered: make(chan struct{}, 64),
+		release: make(chan struct{}),
+	}
+	srv := NewWithOptions(be, Options{Admission: AdmissionConfig{MaxInFlight: 1, QueueDepth: 1}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const burst = 16
+	status := make(chan int, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postScoreBatch(t, ts, nil)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			status <- resp.StatusCode
+		}()
+	}
+	// Wait for the burst to pile up. Admitted requests park inside the
+	// engine, so the only responses that can complete before release are
+	// sheds — seeing one proves the endpoint saturated before we open
+	// the gate.
+	select {
+	case <-be.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no request reached the engine")
+	}
+	ok, shed := 0, 0
+	select {
+	case st := <-status:
+		if st != http.StatusTooManyRequests {
+			t.Fatalf("pre-release completion status = %d, want 429", st)
+		}
+		shed++
+	case <-time.After(5 * time.Second):
+		t.Fatal("no request was shed while the endpoint was saturated")
+	}
+	close(be.release)
+	wg.Wait()
+	close(status)
+
+	for st := range status {
+		switch st {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("burst request status = %d, want 200 or 429", st)
+		}
+	}
+	if ok < 1 || shed < 1 {
+		t.Fatalf("burst outcome ok=%d shed=%d, want both > 0", ok, shed)
+	}
+
+	// Post-burst: healthy, nothing in flight, nothing queued.
+	m := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if m["status"] != "ok" {
+		t.Fatalf("healthz after burst = %v, want ok", m["status"])
+	}
+	lim := srv.admission["scorebatch"]
+	if lim.inflight() != 0 || lim.waiting() != 0 {
+		t.Fatalf("admission not drained after burst: inflight=%d queued=%d", lim.inflight(), lim.waiting())
+	}
+}

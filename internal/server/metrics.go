@@ -99,6 +99,13 @@ type metrics struct {
 	edgesDeleted  atomic.Int64 // deletions the store applied via DELETE /ingest
 	checkpoints   atomic.Int64 // completed GET /checkpoint downloads
 	restores      atomic.Int64 // successful POST /restore swaps
+
+	// Resilience counters (surfaced under predictor.resilience in
+	// /metrics): admission sheds and deadline outcomes.
+	shedQueueFull    atomic.Int64 // 429s: admission queue full on arrival
+	shedDeadline     atomic.Int64 // 429s: deadline expired while queued
+	deadlineTimeouts atomic.Int64 // 504s: deadline fired mid-request
+	canceledRequests atomic.Int64 // 499s: client went away mid-request
 }
 
 func newMetrics(endpoints []string) *metrics {

@@ -45,6 +45,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -93,6 +94,10 @@ type Options struct {
 	// snapshot seeded the store, how much WAL tail was replayed),
 	// reported under "recovery" in /metrics.
 	Recovery *wal.RecoverResult
+	// Admission configures overload shedding (per-endpoint concurrency
+	// limits with bounded wait queues) and default request deadlines;
+	// see AdmissionConfig. The zero value disables both.
+	Admission AdmissionConfig
 }
 
 // engineBox wraps the interface value so it can live in an
@@ -106,12 +111,13 @@ type engineBox struct {
 // returns is; wrap raw single-writer predictors in
 // linkpred.Synchronize).
 type Server struct {
-	eng     atomic.Pointer[engineBox]
-	mux     *http.ServeMux
-	opts    Options
-	metrics *metrics
-	monMu   sync.Mutex // guards opts.Monitor (StreamMonitor is not thread-safe)
-	candMu  sync.Mutex // guards opts.Candidates (Tracker is not thread-safe)
+	eng       atomic.Pointer[engineBox]
+	mux       *http.ServeMux
+	opts      Options
+	metrics   *metrics
+	admission map[string]*limiter // per-endpoint admission gates (nil entries = exempt)
+	monMu     sync.Mutex          // guards opts.Monitor (StreamMonitor is not thread-safe)
+	candMu    sync.Mutex          // guards opts.Candidates (Tracker is not thread-safe)
 }
 
 // New returns a Server wrapping eng with default Options.
@@ -142,7 +148,13 @@ func NewWithOptions(eng linkpred.Engine, opts Options) *Server {
 		names[i] = e.name
 	}
 	s.metrics = newMetrics(names)
+	s.admission = make(map[string]*limiter)
 	for _, e := range endpoints {
+		if !admissionExempt[e.name] {
+			if l := newLimiter(opts.Admission); l != nil {
+				s.admission[e.name] = l
+			}
+		}
 		s.mux.HandleFunc(e.pattern, s.instrument(e.name, e.h))
 	}
 	return s
@@ -172,12 +184,46 @@ func (sr *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with per-endpoint request counting and
-// latency observation.
+// latency observation, plus — on the serving endpoints — deadline
+// assignment and admission control: the request context gets the
+// server default deadline (or the client's X-Deadline-Ms override)
+// before admission, so time spent queued counts against the budget,
+// and requests the limiter cannot seat are shed with 429 + Retry-After
+// before they touch the engine.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	em := s.metrics.endpoint(name)
+	lim := s.admission[name]
+	exempt := admissionExempt[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		if !exempt {
+			if d := s.requestDeadline(r); d > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), d)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+			if lim != nil {
+				switch lim.acquire(r.Context()) {
+				case shedQueueFull:
+					s.metrics.shedQueueFull.Add(1)
+					s.retryAfter(rec)
+					writeError(rec, http.StatusTooManyRequests,
+						"overloaded: %s admission queue full", name)
+					em.observe(time.Since(start), rec.status)
+					return
+				case shedDeadline:
+					s.metrics.shedDeadline.Add(1)
+					s.retryAfter(rec)
+					writeError(rec, http.StatusTooManyRequests,
+						"overloaded: deadline expired while queued for %s", name)
+					em.observe(time.Since(start), rec.status)
+					return
+				case admitted:
+					defer lim.release()
+				}
+			}
+		}
 		h(rec, r)
 		em.observe(time.Since(start), rec.status)
 	}
@@ -245,9 +291,30 @@ func uploadStatus(err error, body *cappedBody) int {
 // prefix reported after a mid-request failure is fine-grained.
 const ingestBatchSize = 4096
 
+// feedMonitors folds an applied batch into the optional stream monitor
+// and candidate tracker.
+func (s *Server) feedMonitors(batch []stream.Edge) {
+	if s.opts.Monitor != nil {
+		s.monMu.Lock()
+		for _, e := range batch {
+			s.opts.Monitor.ProcessEdge(e)
+		}
+		s.monMu.Unlock()
+	}
+	if s.opts.Candidates != nil {
+		s.candMu.Lock()
+		for _, e := range batch {
+			s.opts.Candidates.ProcessEdge(e)
+		}
+		s.candMu.Unlock()
+	}
+}
+
 // applyFunc builds the per-batch apply closure shared by the text and
 // binary ingest paths: fold the batch into the engine and feed the
-// optional monitor and candidate tracker.
+// optional monitor and candidate tracker. This variant never cancels —
+// it is the one handed to the durability layer, whose log-before-apply
+// contract requires a logged batch to be applied unconditionally.
 func (s *Server) applyFunc(eng linkpred.Engine) func([]stream.Edge) {
 	buf := make([]linkpred.Edge, 0, ingestBatchSize)
 	return func(batch []stream.Edge) {
@@ -256,20 +323,39 @@ func (s *Server) applyFunc(eng linkpred.Engine) func([]stream.Edge) {
 			buf = append(buf, linkpred.Edge{U: e.U, V: e.V, T: e.T})
 		}
 		eng.ObserveEdges(buf)
-		if s.opts.Monitor != nil {
-			s.monMu.Lock()
-			for _, e := range batch {
-				s.opts.Monitor.ProcessEdge(e)
+		s.feedMonitors(batch)
+	}
+}
+
+// applyCtxFunc builds the per-batch apply closure for the NON-durable
+// ingest path: pre-commit cancellation is propagated into the engine
+// (a cancelled batch is not applied at all and the request's context
+// error comes back), and the producer backpressure wait on a full
+// pipeline ring is abortable. Monitors are fed only for applied
+// batches.
+func (s *Server) applyCtxFunc(ctx context.Context, eng linkpred.Engine) func([]stream.Edge) error {
+	ci, ok := linkpred.CtxIngesterOf(eng)
+	if !ok {
+		plain := s.applyFunc(eng)
+		return func(batch []stream.Edge) error {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			s.monMu.Unlock()
+			plain(batch)
+			return nil
 		}
-		if s.opts.Candidates != nil {
-			s.candMu.Lock()
-			for _, e := range batch {
-				s.opts.Candidates.ProcessEdge(e)
-			}
-			s.candMu.Unlock()
+	}
+	buf := make([]linkpred.Edge, 0, ingestBatchSize)
+	return func(batch []stream.Edge) error {
+		buf = buf[:0]
+		for _, e := range batch {
+			buf = append(buf, linkpred.Edge{U: e.U, V: e.V, T: e.T})
 		}
+		if err := ci.ObserveEdgesCtx(ctx, buf); err != nil {
+			return err
+		}
+		s.feedMonitors(batch)
+		return nil
 	}
 }
 
@@ -311,8 +397,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	reader := stream.NewTextReader(r.Body)
 	n, applied := 0, 0
 	apply := s.deleteApplyFunc(del, &applied)
-	var walErr error
+	var walErr, ctxErr error
 	err := stream.ForEachBatch(reader, ingestBatchSize, func(batch []stream.Edge) error {
+		// Deadline checked at batch boundaries only: a logged batch must
+		// be applied (log-before-apply), so expiry cannot cancel it.
+		if cerr := r.Context().Err(); cerr != nil {
+			ctxErr = cerr
+			return cerr
+		}
 		if s.opts.Durability != nil {
 			if werr := s.opts.Durability.IngestDelete(batch, apply); werr != nil {
 				walErr = werr
@@ -326,9 +418,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	})
 	s.metrics.edgesDeleted.Add(int64(applied))
 	if walErr != nil {
+		s.retryAfter(w)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"error": walErr.Error(), "deleted": n, "applied": applied,
 		})
+		return
+	}
+	if ctxErr != nil {
+		s.writeCancel(w, ctxErr, map[string]any{"deleted": n, "applied": applied})
 		return
 	}
 	if err != nil {
@@ -349,9 +446,17 @@ func (s *Server) deleteFrames(w http.ResponseWriter, r *http.Request, body *capp
 	apply := s.deleteApplyFunc(del, &applied)
 	fail := func(status int, msg string) {
 		s.metrics.edgesDeleted.Add(int64(applied))
+		if status == http.StatusServiceUnavailable {
+			s.retryAfter(w)
+		}
 		writeJSON(w, status, map[string]any{"error": msg, "deleted": n, "applied": applied})
 	}
 	for {
+		if cerr := r.Context().Err(); cerr != nil {
+			s.metrics.edgesDeleted.Add(int64(applied))
+			s.writeCancel(w, cerr, map[string]any{"deleted": n, "applied": applied})
+			return
+		}
 		kind, frame, edges, err := fr.Next()
 		if err == io.EOF {
 			break
@@ -390,15 +495,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	reader := stream.NewTextReader(r.Body)
 	n := 0
 	apply := s.applyFunc(eng)
-	var walErr error
+	applyCtx := s.applyCtxFunc(r.Context(), eng)
+	var walErr, ctxErr error
 	err := stream.ForEachBatch(reader, ingestBatchSize, func(batch []stream.Edge) error {
 		if s.opts.Durability != nil {
+			// The deadline is checked only at batch boundaries, before the
+			// batch is logged: once a batch is in the WAL it must be applied
+			// (log-before-apply), so a mid-batch expiry cannot cancel it.
+			if cerr := r.Context().Err(); cerr != nil {
+				ctxErr = cerr
+				return cerr
+			}
 			if werr := s.opts.Durability.Ingest(batch, apply); werr != nil {
 				walErr = werr
 				return werr
 			}
-		} else {
-			apply(batch)
+		} else if cerr := applyCtx(batch); cerr != nil {
+			ctxErr = cerr
+			return cerr
 		}
 		n += len(batch)
 		return nil
@@ -408,10 +522,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// The log refused the batch, so it was not applied: everything
 		// up to n is durable, nothing beyond it exists. 503 — durability
 		// is down, the client may retry the tail.
+		s.retryAfter(w)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"error":    walErr.Error(),
 			"ingested": n,
 		})
+		return
+	}
+	if ctxErr != nil {
+		// Deadline or disconnect mid-stream: everything up to n was
+		// applied (and logged, under Durability), the rest never entered
+		// the store.
+		s.writeCancel(w, ctxErr, map[string]any{"ingested": n})
 		return
 	}
 	if err != nil {
@@ -447,6 +569,9 @@ func (s *Server) ingestFrames(w http.ResponseWriter, r *http.Request, body *capp
 	finish := func(status int, errMsg string) {
 		s.metrics.edgesIngested.Add(int64(n))
 		s.metrics.edgesDeleted.Add(int64(applied))
+		if status == http.StatusServiceUnavailable {
+			s.retryAfter(w)
+		}
 		resp := map[string]any{"ingested": n}
 		if errMsg != "" {
 			resp["error"] = errMsg
@@ -458,6 +583,19 @@ func (s *Server) ingestFrames(w http.ResponseWriter, r *http.Request, body *capp
 		writeJSON(w, status, resp)
 	}
 	for {
+		// Deadline checked per frame, before it is logged: a logged frame
+		// must be applied (log-before-apply).
+		if cerr := r.Context().Err(); cerr != nil {
+			s.metrics.edgesIngested.Add(int64(n))
+			s.metrics.edgesDeleted.Add(int64(applied))
+			extra := map[string]any{"ingested": n}
+			if delApply != nil {
+				extra["deleted"] = deleted
+				extra["applied"] = applied
+			}
+			s.writeCancel(w, cerr, extra)
+			return
+		}
 		kind, frame, edges, err := fr.Next()
 		if err == io.EOF {
 			break
@@ -620,9 +758,21 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The library ranking path: self-candidates dropped, NaN-safe
-	// deterministic ordering, ties toward smaller ids.
-	ranked, err := s.engine().TopK(m, u, cands, k)
+	// deterministic ordering, ties toward smaller ids. The request
+	// context rides into the batched scoring pass so an expired deadline
+	// stops the chunk workers mid-query.
+	eng := s.engine()
+	var ranked []linkpred.Candidate
+	if cq, ok := linkpred.CtxQuerierOf(eng); ok {
+		ranked, err = cq.TopKCtx(r.Context(), m, u, cands, k)
+	} else {
+		ranked, err = eng.TopK(m, u, cands, k)
+	}
 	if err != nil {
+		if cancelStatus(err) != 0 {
+			s.writeCancel(w, err, nil)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -680,14 +830,24 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		groups[p.U] = append(groups[p.U], i)
 	}
+	cq, hasCtx := linkpred.CtxQuerierOf(eng)
 	for _, u := range order {
 		idxs := groups[u]
 		cands := make([]uint64, len(idxs))
 		for j, i := range idxs {
 			cands[j] = req.Pairs[i].V
 		}
-		got, err := eng.ScoreBatch(m, u, cands)
+		var got []float64
+		if hasCtx {
+			got, err = cq.ScoreBatchCtx(r.Context(), m, u, cands)
+		} else {
+			got, err = eng.ScoreBatch(m, u, cands)
+		}
 		if err != nil {
+			if cancelStatus(err) != 0 {
+				s.writeCancel(w, err, nil)
+				return
+			}
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
@@ -762,7 +922,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot()
-	snap["predictor"] = engineGauges(s.engine())
+	gauges := engineGauges(s.engine())
+	gauges["resilience"] = s.resilienceGauges()
+	snap["predictor"] = gauges
 	if s.opts.Monitor != nil {
 		s.monMu.Lock()
 		rep := s.opts.Monitor.Report(5)
@@ -822,14 +984,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"vertices":       eng.NumVertices(),
 		"edges":          eng.NumEdges(),
 	}
+	// Structured degradation report: each entry names one unhealthy
+	// subsystem with enough detail to act on. The legacy flat "reason"
+	// string (first entry's detail) is kept for existing probes.
+	var reasons []map[string]any
 	// A broken durability pipeline degrades rather than fails the probe:
 	// the store still serves reads and accepts (non-durable) queries, so
 	// the process must not be restarted into a crash loop — but the
 	// operator needs to see why acknowledged writes stopped.
 	if s.opts.Durability != nil {
 		if ok, reason := s.opts.Durability.Healthy(); !ok {
-			resp["status"] = "degraded"
-			resp["reason"] = reason
+			entry := map[string]any{"kind": "durability", "detail": reason}
+			if hs := s.opts.Durability.WAL().HealState(); hs.Degraded {
+				// Self-healing is on the case: report the probe cadence so
+				// an operator can tell "recovering" from "stuck".
+				entry["kind"] = "wal_degraded"
+				entry["heal_attempts"] = hs.Attempts
+				entry["degraded_for_seconds"] = time.Since(hs.Since).Seconds()
+				if !hs.NextProbe.IsZero() {
+					entry["next_probe_ms"] = time.Until(hs.NextProbe).Milliseconds()
+				}
+			}
+			reasons = append(reasons, entry)
+		}
+	}
+	// Dynamic-mode register exhaustion: deletions beyond the recovery
+	// buffer depth leave registers pinned at stale minima (scores biased
+	// up) until re-insertion refreshes them.
+	if dr, ok := linkpred.DegradedRegistersOf(eng); ok && dr > 0 {
+		reasons = append(reasons, map[string]any{
+			"kind":   "degraded_registers",
+			"detail": fmt.Sprintf("%d sketch registers exhausted their recovery buffer", dr),
+			"count":  dr,
+		})
+	}
+	if len(reasons) > 0 {
+		resp["status"] = "degraded"
+		resp["reason"] = reasons[0]["detail"]
+		resp["reasons"] = reasons
+	}
+	// Informational (never degrades): backpressure visible at the
+	// ingest pipeline, so a probe can see queue buildup before it
+	// becomes shed load.
+	if pl, ok := linkpred.PipelinerOf(eng); ok {
+		if st, running := pl.IngestPipelineStats(); running && st.Outstanding > 0 {
+			resp["pipeline_outstanding"] = st.Outstanding
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

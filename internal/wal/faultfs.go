@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // FaultFS is the fault-injection harness behind the crash-recovery
@@ -40,6 +41,12 @@ type FaultFS struct {
 	failAt   int64 // global offset at which writes start failing; -1 = never
 	syncErr  error // injected Sync failure
 	writeErr error // injected Write failure
+
+	// Runtime fault scheduler (faultsched.go): transient error bursts,
+	// disk-full windows, IO counters. latencyNs lives outside mu so the
+	// injected sleep does not serialize the filesystem.
+	sched     faultSched
+	latencyNs atomic.Int64
 
 	// Directory-entry operations not yet made durable by SyncDir:
 	// reverted on Crash.
@@ -194,6 +201,7 @@ type faultFile struct {
 
 func (f *faultFile) Write(p []byte) (int, error) {
 	fs := f.fs
+	fs.sleepLatency()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.crashed {
@@ -201,6 +209,13 @@ func (f *faultFile) Write(p []byte) (int, error) {
 	}
 	if fs.writeErr != nil {
 		return 0, fs.writeErr
+	}
+	fs.sched.writeOps++
+	if fs.sched.full {
+		return 0, ErrDiskFull
+	}
+	if err := fs.sched.write.hit(); err != nil {
+		return 0, err
 	}
 	mf, ok := fs.files[f.name]
 	if !ok {
@@ -227,6 +242,7 @@ func (f *faultFile) Write(p []byte) (int, error) {
 
 func (f *faultFile) Sync() error {
 	fs := f.fs
+	fs.sleepLatency()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.crashed {
@@ -234,6 +250,10 @@ func (f *faultFile) Sync() error {
 	}
 	if fs.syncErr != nil {
 		return fs.syncErr
+	}
+	fs.sched.syncOps++
+	if err := fs.sched.sync.hit(); err != nil {
+		return err
 	}
 	if mf, ok := fs.files[f.name]; ok {
 		mf.durable = mf.contents()
@@ -412,6 +432,7 @@ func (fs *FaultFS) MkdirAll(dir string) error {
 // SyncDir implements FS: makes pending creates and renames under dir
 // durable.
 func (fs *FaultFS) SyncDir(dir string) error {
+	fs.sleepLatency()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.crashed {
@@ -419,6 +440,10 @@ func (fs *FaultFS) SyncDir(dir string) error {
 	}
 	if fs.syncErr != nil {
 		return fs.syncErr
+	}
+	fs.sched.syncOps++
+	if err := fs.sched.sync.hit(); err != nil {
+		return err
 	}
 	for name := range fs.pendingCreates {
 		if filepath.Dir(name) == dir {

@@ -173,6 +173,9 @@ func (w *WAL) AppendFrame(frame []byte) (lastSeq uint64, err error) {
 	if w.closed {
 		return 0, errors.New("wal: append after close")
 	}
+	if w.degraded {
+		return 0, w.degradedErrLocked()
+	}
 	if w.failed {
 		if err := w.reopenSegmentLocked(); err != nil {
 			return 0, err
@@ -188,6 +191,7 @@ func (w *WAL) AppendFrame(frame []byte) (lastSeq uint64, err error) {
 	binary.LittleEndian.PutUint32(frame[0:4], crc32.Checksum(frame[4:], castagnoli))
 	if _, err := w.bw.Write(frame); err != nil {
 		w.failed = true
+		w.enterDegradedLocked(err)
 		return 0, fmt.Errorf("wal: append frame: %w", err)
 	}
 	w.segSize += int64(total)
@@ -198,6 +202,7 @@ func (w *WAL) AppendFrame(frame []byte) (lastSeq uint64, err error) {
 	w.stats.Bytes += int64(total)
 	if err := w.bw.Flush(); err != nil {
 		w.failed = true
+		w.enterDegradedLocked(err)
 		return 0, fmt.Errorf("wal: flush: %w", err)
 	}
 	if w.opts.Fsync == FsyncAlways {
@@ -205,6 +210,7 @@ func (w *WAL) AppendFrame(frame []byte) (lastSeq uint64, err error) {
 			return 0, err
 		}
 	}
+	w.acked = w.segSize
 	w.stats.Appends++
 	w.stats.LastSeq = w.nextSeq - 1
 	return w.nextSeq - 1, nil

@@ -1,0 +1,271 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"time"
+)
+
+// WAL self-healing (DESIGN.md §2.12). Without HealOptions the log keeps
+// its original passive behavior: a failed write sets a sticky flag and
+// the *next* append rescans and truncates the segment inline. With
+// HealOptions the failure handling becomes an explicit state machine:
+//
+//	healthy ──append/sync/rotate failure──▶ degraded
+//	degraded: Append/AppendFrame/Sync fail fast with ErrDegraded
+//	          (queries are unaffected — the log is read-only, not dead)
+//	degraded ──probe succeeds──▶ healthy        (no restart required)
+//
+// A background heal loop owns the degraded→healthy edge. Each probe,
+// after a jittered exponential backoff, rescans the current segment,
+// truncates it back to the *acked* prefix (everything a caller was told
+// was appended — under FsyncAlways a record whose fsync failed was
+// written but never acknowledged, and must not survive a heal), reopens
+// it for append, and fsyncs as an end-to-end probe of the write path.
+// After healRotateAfter failed probes it escalates: the damaged segment
+// is sealed at its acked prefix and a fresh segment is started, which
+// routes around a wedged file without abandoning durable records. A
+// segment whose valid prefix cannot even be rescanned is quarantined —
+// renamed aside with a .quarantined suffix for forensics — and the log
+// continues in a fresh segment.
+
+// ErrDegraded is returned by Append, AppendFrame, and Sync while the
+// log is degraded and the background healer is repairing it. Callers
+// should shed the write (the server maps it to 503 + Retry-After) and
+// retry later; no part of a request that got ErrDegraded was logged.
+var ErrDegraded = errors.New("wal: degraded, healing in progress")
+
+// healRotateAfter is the number of failed probes after which the healer
+// stops trying to reopen the damaged segment in place and instead seals
+// it at the acked prefix and starts a fresh one.
+const healRotateAfter = 2
+
+// HealOptions enables the background heal loop. The zero *value* is
+// usable (defaults below); a nil *HealOptions in Options disables
+// self-healing entirely and keeps the legacy sticky-failure behavior.
+type HealOptions struct {
+	// Backoff is the delay before the first probe of a degraded episode;
+	// subsequent probes back off exponentially with jitter. Zero means
+	// 100ms.
+	Backoff time.Duration
+	// MaxBackoff caps the probe delay. Zero means 5s.
+	MaxBackoff time.Duration
+}
+
+func (o HealOptions) withDefaults() HealOptions {
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	return o
+}
+
+// HealState is a point-in-time snapshot of the health state machine,
+// surfaced on /healthz and /metrics.
+type HealState struct {
+	// Enabled reports whether a healer is configured at all.
+	Enabled bool `json:"enabled"`
+	// Degraded reports whether the log is currently shedding writes.
+	Degraded bool `json:"degraded"`
+	// Reason is the error that opened the current degraded episode.
+	Reason string `json:"reason,omitempty"`
+	// Since is when the current episode started.
+	Since time.Time `json:"-"`
+	// Attempts counts probes in the current episode.
+	Attempts int64 `json:"attempts"`
+	// Heals counts completed degraded→healthy transitions (lifetime).
+	Heals int64 `json:"heals"`
+	// NextProbe is when the healer will probe next (zero when healthy).
+	NextProbe time.Time `json:"-"`
+}
+
+// HealState returns a snapshot of the health state machine.
+func (w *WAL) HealState() HealState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	hs := HealState{
+		Enabled: w.opts.Heal != nil,
+		Heals:   w.stats.Heals,
+	}
+	if w.degraded {
+		hs.Degraded = true
+		hs.Reason = w.degReason
+		hs.Since = w.degSince
+		hs.Attempts = w.degAttempts
+		hs.NextProbe = w.nextProbe
+	}
+	return hs
+}
+
+// enterDegradedLocked opens a degraded episode and wakes the healer.
+// With no healer configured it is a no-op: the legacy sticky-failure
+// path (w.failed / w.syncErr) handles recovery inline. Caller holds mu.
+func (w *WAL) enterDegradedLocked(cause error) {
+	if w.opts.Heal == nil || w.closed || w.degraded {
+		return
+	}
+	w.degraded = true
+	w.degReason = cause.Error()
+	w.degSince = time.Now()
+	w.degAttempts = 0
+	select {
+	case w.healWake <- struct{}{}:
+	default:
+	}
+}
+
+// exitDegradedLocked closes the current degraded episode. Caller holds
+// mu.
+func (w *WAL) exitDegradedLocked() {
+	w.stats.DegradedSecs += time.Since(w.degSince).Seconds()
+	w.stats.Heals++
+	w.degraded = false
+	w.degReason = ""
+	w.nextProbe = time.Time{}
+}
+
+// degradedErrLocked is the fast-fail error for writes during a degraded
+// episode. Caller holds mu.
+func (w *WAL) degradedErrLocked() error {
+	return fmt.Errorf("%w (%s)", ErrDegraded, w.degReason)
+}
+
+// healLoop waits for degraded episodes and probes until one heals. One
+// goroutine per WAL, started by Open when Options.Heal is set.
+func (w *WAL) healLoop() {
+	defer close(w.healDone)
+	opts := w.opts.Heal.withDefaults()
+	for {
+		select {
+		case <-w.stopHeal:
+			return
+		case <-w.healWake:
+		}
+		for attempt := 0; ; attempt++ {
+			d := healBackoff(opts, attempt)
+			w.mu.Lock()
+			if !w.degraded || w.closed {
+				w.mu.Unlock()
+				break
+			}
+			w.nextProbe = time.Now().Add(d)
+			w.mu.Unlock()
+			select {
+			case <-w.stopHeal:
+				return
+			case <-time.After(d):
+			}
+			if w.probeHeal(attempt) {
+				break
+			}
+		}
+	}
+}
+
+// healBackoff returns the jittered exponential delay before probe
+// number attempt (0-based): base<<attempt capped at MaxBackoff, then
+// jittered into [d/2, d] so a fleet of healers does not probe in step.
+func healBackoff(opts HealOptions, attempt int) time.Duration {
+	d := opts.Backoff
+	for i := 0; i < attempt && d < opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > opts.MaxBackoff {
+		d = opts.MaxBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// probeHeal runs one heal probe; it reports whether the episode is over
+// (healed, or no longer relevant because the log closed).
+func (w *WAL) probeHeal(attempt int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.degraded || w.closed {
+		return true
+	}
+	w.stats.HealAttempts++
+	w.degAttempts++
+	if err := w.healProbeLocked(attempt); err != nil {
+		return false
+	}
+	w.failed = false
+	w.syncErr = nil
+	w.dirty = false
+	w.exitDegradedLocked()
+	return true
+}
+
+// healProbeLocked attempts to repair the current segment: rescan for
+// the valid prefix, truncate back to the acked prefix (dropping any
+// written-but-unacknowledged records), reopen, and fsync end to end.
+// From probe healRotateAfter on it seals the segment instead and
+// continues in a fresh one; a segment that cannot be rescanned is
+// quarantined. Caller holds mu.
+func (w *WAL) healProbeLocked(attempt int) error {
+	w.f.Close() // best-effort: the stream already failed
+	seg := w.segments[len(w.segments)-1]
+	path := filepath.Join(w.dir, seg.name)
+	end, _, err := scanSegment(w.fsys, w.dir, seg, nil)
+	if err != nil {
+		// The valid prefix itself is unreadable: this is data loss, not a
+		// torn tail. Preserve the bytes for forensics and move on.
+		return w.quarantineLocked(seg)
+	}
+	if end > w.acked {
+		// Records past the acked prefix were written but their caller saw
+		// an error (e.g. fsync failed under FsyncAlways). They were never
+		// acknowledged and must not resurface on replay.
+		end = w.acked
+	}
+	if size, serr := w.fsys.Stat(path); serr == nil && end < size {
+		if terr := w.fsys.Truncate(path, end); terr != nil {
+			return fmt.Errorf("wal: heal truncate %s: %w", path, terr)
+		}
+	}
+	if attempt >= healRotateAfter {
+		// The segment keeps failing in place: seal it at the acked prefix
+		// and route appends to a fresh file.
+		if err := w.newSegmentLocked(); err != nil {
+			return err
+		}
+		w.bw.Reset(w.f)
+		w.acked = w.segSize
+		w.stats.Rotations++
+		return w.f.Sync()
+	}
+	f, err := w.fsys.OpenAppend(path)
+	if err != nil {
+		return fmt.Errorf("wal: heal reopen %s: %w", path, err)
+	}
+	w.f = f
+	w.bw.Reset(w.f)
+	w.segSize = end
+	// End-to-end probe: a heal only counts if the sync path works again.
+	return w.f.Sync()
+}
+
+// quarantineLocked renames the current segment aside (name +
+// ".quarantined", invisible to listSegments and replay) and starts a
+// fresh segment. Acked records inside it are lost — quarantine is the
+// last resort for a segment whose valid prefix is unreadable, which is
+// data loss however handled; the rename at least preserves the bytes.
+// Caller holds mu.
+func (w *WAL) quarantineLocked(seg segInfo) error {
+	path := filepath.Join(w.dir, seg.name)
+	if err := w.fsys.Rename(path, path+".quarantined"); err != nil {
+		return fmt.Errorf("wal: quarantine %s: %w", path, err)
+	}
+	w.segments = w.segments[:len(w.segments)-1]
+	w.stats.Quarantined++
+	if err := w.newSegmentLocked(); err != nil {
+		return err
+	}
+	w.bw.Reset(w.f)
+	w.acked = w.segSize
+	return w.f.Sync()
+}

@@ -1,0 +1,254 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitHealthy polls until the WAL exits its degraded episode or the
+// deadline passes.
+func waitHealthy(t *testing.T, w *WAL, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if !w.HealState().Degraded {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("WAL still degraded after %v: %+v", d, w.HealState())
+}
+
+// TestFlakyDiskLoopLegacy drives the legacy (no-healer) recovery path
+// through many fault/recover cycles: each iteration appends a batch,
+// injects a sticky write error for one failed append, clears it, and
+// appends again. Every recovery must preserve exactly the acked prefix
+// — no failed append's edges may surface on replay, and no acked batch
+// may be lost.
+func TestFlakyDiskLoopLegacy(t *testing.T) {
+	fs := NewFaultFS()
+	w, err := Open("/wal", Options{FS: fs, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint64 // acked batch seeds, in order
+	for i := 0; i < 15; i++ {
+		ok := testEdges(uint64(i*2+1), 7)
+		if _, err := w.Append(KindEdge, ok); err != nil {
+			t.Fatalf("iter %d: healthy append: %v", i, err)
+		}
+		want = append(want, uint64(i*2+1))
+
+		fs.SetWriteError(errors.New("flaky disk"))
+		if _, err := w.Append(KindEdge, testEdges(uint64(i*2+2), 7)); err == nil {
+			t.Fatalf("iter %d: append with failing write should error", i)
+		}
+		fs.SetWriteError(nil)
+	}
+	w.Close()
+
+	got, _ := collectReplay(t, fs, "/wal", 0)
+	if len(got) != len(want)*7 {
+		t.Fatalf("replay holds %d edges, want %d (acked batches only)", len(got), len(want)*7)
+	}
+	for bi, seed := range want {
+		exp := testEdges(seed, 7)
+		for j, e := range exp {
+			if got[bi*7+j] != e {
+				t.Fatalf("batch %d edge %d: got %+v want %+v", bi, j, got[bi*7+j], e)
+			}
+		}
+	}
+}
+
+// TestHealerFlakyDiskLoop is the same flaky-disk loop against the
+// self-healing state machine: each injected fsync failure degrades the
+// log, writes fast-fail with ErrDegraded while the healer probes, and
+// after every heal the durable prefix is exactly the acked appends —
+// in particular, the record whose fsync failed (written but never
+// acknowledged) must NOT survive.
+func TestHealerFlakyDiskLoop(t *testing.T) {
+	fs := NewFaultFS()
+	w, err := Open("/wal", Options{
+		FS:    fs,
+		Fsync: FsyncAlways,
+		Heal:  &HealOptions{Backoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 10
+	var want []uint64
+	for i := 0; i < iters; i++ {
+		ok := testEdges(uint64(i*2+1), 5)
+		if _, err := w.Append(KindEdge, ok); err != nil {
+			t.Fatalf("iter %d: healthy append: %v", i, err)
+		}
+		want = append(want, uint64(i*2+1))
+
+		fs.FailSyncsN(0, 1, errors.New("transient fsync failure"))
+		if _, err := w.Append(KindEdge, testEdges(uint64(i*2+2), 5)); err == nil {
+			t.Fatalf("iter %d: append with failing fsync should error", i)
+		}
+		// Degraded: the very next write fails fast without touching disk.
+		if _, err := w.Append(KindEdge, testEdges(999, 1)); !errors.Is(err, ErrDegraded) {
+			t.Fatalf("iter %d: degraded append error = %v, want ErrDegraded", i, err)
+		}
+		if ok, reason := w.Healthy(); ok || reason == "" {
+			t.Fatalf("iter %d: Healthy() = %v, %q while degraded", i, ok, reason)
+		}
+		waitHealthy(t, w, 2*time.Second)
+	}
+	st := w.Stats()
+	if st.Heals != iters {
+		t.Fatalf("Heals = %d, want %d", st.Heals, iters)
+	}
+	if st.HealAttempts < iters {
+		t.Fatalf("HealAttempts = %d, want >= %d", st.HealAttempts, iters)
+	}
+	if st.DegradedSecs <= 0 {
+		t.Fatalf("DegradedSecs = %v, want > 0", st.DegradedSecs)
+	}
+	w.Close()
+
+	got, _ := collectReplay(t, fs, "/wal", 0)
+	if len(got) != len(want)*5 {
+		t.Fatalf("replay holds %d edges, want %d (acked appends only — unacked fsync-failed records must not survive a heal)", len(got), len(want)*5)
+	}
+	for bi, seed := range want {
+		exp := testEdges(seed, 5)
+		for j, e := range exp {
+			if got[bi*5+j] != e {
+				t.Fatalf("batch %d edge %d: got %+v want %+v", bi, j, got[bi*5+j], e)
+			}
+		}
+	}
+}
+
+// TestHealerSealsWedgedSegment verifies the escalation path: when the
+// damaged segment keeps failing probes, the healer seals it at the
+// acked prefix and routes appends to a fresh segment instead of
+// retrying the same file forever.
+func TestHealerSealsWedgedSegment(t *testing.T) {
+	fs := NewFaultFS()
+	w, err := Open("/wal", Options{
+		FS:    fs,
+		Fsync: FsyncAlways,
+		Heal:  &HealOptions{Backoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := testEdges(1, 6)
+	if _, err := w.Append(KindEdge, acked); err != nil {
+		t.Fatal(err)
+	}
+	rotBefore := w.Stats().Rotations
+	// Three failing syncs: the append that degrades the log, then the
+	// first two in-place probes. Probe healRotateAfter (the third) seals
+	// the segment and starts a fresh one, whose sync succeeds.
+	fs.FailSyncsN(0, 3, errors.New("wedged segment"))
+	if _, err := w.Append(KindEdge, testEdges(2, 6)); err == nil {
+		t.Fatal("append with failing fsync should error")
+	}
+	waitHealthy(t, w, 5*time.Second)
+	if rot := w.Stats().Rotations; rot != rotBefore+1 {
+		t.Fatalf("Rotations = %d, want %d (healer should have sealed the wedged segment)", rot, rotBefore+1)
+	}
+	// The log writes into the fresh segment.
+	if _, err := w.Append(KindEdge, testEdges(3, 6)); err != nil {
+		t.Fatalf("append after seal-and-rotate heal: %v", err)
+	}
+	w.Close()
+
+	got, _ := collectReplay(t, fs, "/wal", 0)
+	if len(got) != 12 {
+		t.Fatalf("replay holds %d edges, want 12 (batches 1 and 3; the unacked batch 2 must be gone)", len(got))
+	}
+	for j, e := range testEdges(1, 6) {
+		if got[j] != e {
+			t.Fatalf("sealed-segment edge %d: got %+v want %+v", j, got[j], e)
+		}
+	}
+	for j, e := range testEdges(3, 6) {
+		if got[6+j] != e {
+			t.Fatalf("fresh-segment edge %d: got %+v want %+v", j, got[6+j], e)
+		}
+	}
+}
+
+// TestHealerDiskFullWindow drives the log through a disk-full window:
+// writes shed while the window is open, and once space frees the
+// healer restores service with the durable prefix intact.
+func TestHealerDiskFullWindow(t *testing.T) {
+	fs := NewFaultFS()
+	w, err := Open("/wal", Options{
+		FS:    fs,
+		Fsync: FsyncAlways,
+		Heal:  &HealOptions{Backoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(KindEdge, testEdges(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetDiskFull(true)
+	if _, err := w.Append(KindEdge, testEdges(2, 4)); err == nil {
+		t.Fatal("append with a full disk should error")
+	}
+	// While the disk stays full, writes keep failing (either fast-fail
+	// degraded or a heal probe that immediately re-degrades on the next
+	// append — both are acceptable; what matters is no false ack).
+	if _, err := w.Append(KindEdge, testEdges(3, 4)); err == nil {
+		t.Fatal("append with a full disk should error")
+	}
+	fs.SetDiskFull(false)
+	waitHealthy(t, w, 5*time.Second)
+	if _, err := w.Append(KindEdge, testEdges(4, 4)); err != nil {
+		t.Fatalf("append after disk-full window: %v", err)
+	}
+	w.Close()
+
+	got, _ := collectReplay(t, fs, "/wal", 0)
+	if len(got) != 8 {
+		t.Fatalf("replay holds %d edges, want 8 (batches 1 and 4)", len(got))
+	}
+}
+
+// TestHealStateSnapshot checks the observability surface: HealState
+// reflects enablement, the degraded episode, and probe bookkeeping.
+func TestHealStateSnapshot(t *testing.T) {
+	fs := NewFaultFS()
+	w, err := Open("/wal", Options{FS: fs, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs := w.HealState(); hs.Enabled || hs.Degraded {
+		t.Fatalf("no-healer HealState = %+v, want disabled and healthy", hs)
+	}
+	w.Close()
+
+	fs2 := NewFaultFS()
+	w2, err := Open("/wal2", Options{
+		FS:    fs2,
+		Fsync: FsyncAlways,
+		Heal:  &HealOptions{Backoff: time.Hour}, // never probes during the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if hs := w2.HealState(); !hs.Enabled || hs.Degraded {
+		t.Fatalf("healthy HealState = %+v, want enabled and not degraded", hs)
+	}
+	fs2.FailSyncsN(0, 1, errors.New("boom"))
+	if _, err := w2.Append(KindEdge, testEdges(1, 3)); err == nil {
+		t.Fatal("append with failing fsync should error")
+	}
+	hs := w2.HealState()
+	if !hs.Degraded || hs.Reason == "" || hs.Since.IsZero() {
+		t.Fatalf("degraded HealState = %+v, want reason and since set", hs)
+	}
+}

@@ -138,6 +138,13 @@ type Options struct {
 	// NextSeq seeds the sequence counter when the directory holds no
 	// segments (a fresh log continuing from a snapshot). Zero means 1.
 	NextSeq uint64
+	// Heal, when non-nil, enables the background self-healing loop: on
+	// an append/sync failure the log enters a degraded state (writes
+	// fail fast with ErrDegraded) and a healer probes it back to health
+	// with jittered exponential backoff. Nil keeps the legacy behavior:
+	// failures are sticky and the next append rescans inline. See
+	// heal.go.
+	Heal *HealOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -168,6 +175,12 @@ type Stats struct {
 	Rotations int64  `json:"rotations"`
 	Segments  int    `json:"segments"`
 	LastSeq   uint64 `json:"last_seq"`
+
+	// Self-healing counters (zero unless Options.Heal is set).
+	HealAttempts int64   `json:"heal_attempts"`
+	Heals        int64   `json:"heals"`
+	Quarantined  int64   `json:"quarantined_segments"`
+	DegradedSecs float64 `json:"degraded_seconds"`
 }
 
 // WAL is a segmented write-ahead log of edge records. All methods are
@@ -183,6 +196,7 @@ type WAL struct {
 	bw       *bufio.Writer
 	segments []segInfo // all live segments, ascending; last is current
 	segSize  int64
+	acked    int64 // current-segment offset after the last acknowledged append
 	nextSeq  uint64
 	dirty    bool
 	failed   bool // a write failed: recover the segment before appending
@@ -190,6 +204,16 @@ type WAL struct {
 	syncErr  error // last fsync failure, nil after a later success
 	scratch  []byte
 	stats    Stats
+
+	// Health state machine (heal.go); only used when opts.Heal != nil.
+	degraded    bool
+	degReason   string
+	degSince    time.Time
+	degAttempts int64
+	nextProbe   time.Time
+	healWake    chan struct{}
+	stopHeal    chan struct{}
+	healDone    chan struct{}
 
 	stopSync chan struct{}
 	syncDone chan struct{}
@@ -306,6 +330,8 @@ func Open(dir string, opts Options) (*WAL, error) {
 			return nil, err
 		}
 	}
+	// Everything durable at open is acknowledged history.
+	w.acked = w.segSize
 	w.bw = bufio.NewWriter(w.f)
 	w.stats.Segments = len(w.segments)
 	w.stats.LastSeq = w.nextSeq - 1
@@ -314,6 +340,12 @@ func Open(dir string, opts Options) (*WAL, error) {
 		w.stopSync = make(chan struct{})
 		w.syncDone = make(chan struct{})
 		go w.syncLoop()
+	}
+	if opts.Heal != nil {
+		w.healWake = make(chan struct{}, 1)
+		w.stopHeal = make(chan struct{})
+		w.healDone = make(chan struct{})
+		go w.healLoop()
 	}
 	return w, nil
 }
@@ -346,6 +378,7 @@ func (w *WAL) newSegmentLocked() error {
 	}
 	w.f = f
 	w.segSize = segHeaderSize
+	w.acked = segHeaderSize
 	w.segments = append(w.segments, seg)
 	w.stats.Segments = len(w.segments)
 	return nil
@@ -357,19 +390,25 @@ func (w *WAL) newSegmentLocked() error {
 func (w *WAL) rotateLocked() error {
 	if err := w.bw.Flush(); err != nil {
 		w.failed = true
+		w.enterDegradedLocked(err)
 		return fmt.Errorf("wal: flush before rotate: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
+		w.enterDegradedLocked(err)
 		return fmt.Errorf("wal: fsync before rotate: %w", err)
 	}
 	w.dirty = false
 	if err := w.f.Close(); err != nil {
+		w.enterDegradedLocked(err)
 		return fmt.Errorf("wal: close segment: %w", err)
 	}
 	if err := w.newSegmentLocked(); err != nil {
+		w.failed = true
+		w.enterDegradedLocked(err)
 		return err
 	}
 	w.bw.Reset(w.f)
+	w.acked = w.segSize
 	w.stats.Rotations++
 	return nil
 }
@@ -389,6 +428,9 @@ func (w *WAL) Append(kind Kind, edges []stream.Edge) (lastSeq uint64, err error)
 	if w.closed {
 		return 0, errors.New("wal: append after close")
 	}
+	if w.degraded {
+		return 0, w.degradedErrLocked()
+	}
 	if w.failed {
 		if err := w.reopenSegmentLocked(); err != nil {
 			return 0, err
@@ -406,6 +448,7 @@ func (w *WAL) Append(kind Kind, edges []stream.Edge) (lastSeq uint64, err error)
 	}
 	if err := w.bw.Flush(); err != nil {
 		w.failed = true
+		w.enterDegradedLocked(err)
 		return 0, fmt.Errorf("wal: flush: %w", err)
 	}
 	if w.opts.Fsync == FsyncAlways {
@@ -413,6 +456,7 @@ func (w *WAL) Append(kind Kind, edges []stream.Edge) (lastSeq uint64, err error)
 			return 0, err
 		}
 	}
+	w.acked = w.segSize
 	w.stats.Appends++
 	w.stats.LastSeq = w.nextSeq - 1
 	return w.nextSeq - 1, nil
@@ -445,6 +489,7 @@ func (w *WAL) appendRecordLocked(kind Kind, edges []stream.Edge) error {
 	binary.LittleEndian.PutUint32(buf[0:4], crc32.Checksum(buf[4:], castagnoli))
 	if _, err := w.bw.Write(buf); err != nil {
 		w.failed = true
+		w.enterDegradedLocked(err)
 		return fmt.Errorf("wal: append record: %w", err)
 	}
 	w.segSize += int64(total)
@@ -498,11 +543,13 @@ func (w *WAL) syncLocked() error {
 		w.syncErr = err
 		w.failed = true
 		w.stats.FsyncErrs++
+		w.enterDegradedLocked(err)
 		return fmt.Errorf("wal: flush: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
 		w.syncErr = err
 		w.stats.FsyncErrs++
+		w.enterDegradedLocked(err)
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	w.syncErr = nil
@@ -518,6 +565,9 @@ func (w *WAL) Sync() error {
 	if w.closed {
 		return nil
 	}
+	if w.degraded {
+		return w.degradedErrLocked()
+	}
 	return w.syncLocked()
 }
 
@@ -532,7 +582,7 @@ func (w *WAL) syncLoop() {
 			return
 		case <-t.C:
 			w.mu.Lock()
-			if w.dirty && !w.closed {
+			if w.dirty && !w.closed && !w.degraded {
 				w.syncLocked() // outcome recorded in syncErr/stats
 			}
 			w.mu.Unlock()
@@ -563,6 +613,9 @@ func (w *WAL) Stats() Stats {
 func (w *WAL) Healthy() (ok bool, reason string) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.degraded {
+		return false, fmt.Sprintf("wal degraded, healing: %s (probe %d)", w.degReason, w.degAttempts)
+	}
 	if w.syncErr != nil {
 		return false, fmt.Sprintf("wal fsync failing: %v", w.syncErr)
 	}
@@ -604,10 +657,15 @@ func (w *WAL) Close() error {
 	}
 	w.closed = true
 	stop := w.stopSync
+	stopHeal := w.stopHeal
 	w.mu.Unlock()
 	if stop != nil {
 		close(stop)
 		<-w.syncDone
+	}
+	if stopHeal != nil {
+		close(stopHeal)
+		<-w.healDone
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
