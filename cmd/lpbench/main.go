@@ -7,6 +7,7 @@
 //	lpbench -exp e2,e5 -quick        # selected experiments, small scale
 //	lpbench -exp all -csv out/       # also write one CSV per experiment
 //	lpbench -queries                 # query-path experiment (e21) → BENCH_query.json
+//	lpbench -accuracy                # sketch-budgeting experiment (e23) → BENCH_accuracy.json
 //
 // Each experiment prints an aligned ASCII table; -csv additionally writes
 // machine-readable series for plotting.
@@ -36,7 +37,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lpbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments to run: all, or comma-separated ids (e1..e22)")
+		exp      = fs.String("exp", "all", "experiments to run: all, or comma-separated ids (e1..e23)")
 		quick    = fs.Bool("quick", false, "small-scale run (seconds instead of minutes)")
 		seed     = fs.Uint64("seed", 42, "experiment seed (EXPERIMENTS.md uses 42)")
 		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files (optional)")
@@ -45,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		parallel = fs.Int("parallel", 0, "max writer goroutines swept by the ingest scaling experiment (0 = default 8)")
 		batch    = fs.Int("batch", 0, "edges per batch for batched-ingest measurements (0 = default 256)")
 		queries  = fs.Bool("queries", false, "run the batched query experiment (e21) and write BENCH_query.json in the current directory")
+		accuracy = fs.Bool("accuracy", false, "run the sketch-budgeting experiment (e23) and write BENCH_accuracy.json in the current directory")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write a heap profile after the selected experiments to this file")
 	)
@@ -85,12 +87,21 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var selected []bench.Experiment
-	if *queries {
-		e, err := bench.Lookup("e21")
-		if err != nil {
-			return err
+	if *queries || *accuracy {
+		var ids []string
+		if *queries {
+			ids = append(ids, "e21")
 		}
-		selected = []bench.Experiment{e}
+		if *accuracy {
+			ids = append(ids, "e23")
+		}
+		for _, id := range ids {
+			e, err := bench.Lookup(id)
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
 	} else if *exp == "all" {
 		selected = bench.All()
 	} else {
@@ -152,6 +163,12 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			fmt.Fprintln(stdout, "wrote BENCH_query.json")
+		}
+		if *accuracy && e.ID == "e23" {
+			if err := writeTable(".", "BENCH_accuracy", ".json", table.WriteJSON); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "wrote BENCH_accuracy.json")
 		}
 	}
 	return nil

@@ -113,6 +113,8 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		addr       = fs.String("addr", ":8080", "listen address")
 		mode       = fs.String("mode", linkpred.ModeConcurrent, "engine mode: single | concurrent | directed | concurrent-directed | windowed | dynamic")
 		k          = fs.Int("k", 128, "sketch registers per vertex")
+		tiers      = fs.String("tiers", "", "tiered register budgets as comma-separated K:PromoteAt rungs (e.g. 16:0,64:8,128:64; last K must equal -k; empty = uniform)")
+		expectedV  = fs.Int("expected-vertices", 0, "pre-size vertex maps and register arenas for this many vertices (0 = grow on demand)")
 		seed       = fs.Uint64("seed", 42, "hash seed")
 		shards     = fs.Int("shards", 8, "lock shards for concurrent ingest")
 		window     = fs.Int64("window", 3600, "with -mode windowed: window span in Edge.T units")
@@ -143,15 +145,20 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		return nil, err
 	}
 
+	tierLadder, err := linkpred.ParseTiers(*tiers)
+	if err != nil {
+		return nil, err
+	}
 	pred, err := linkpred.NewEngine(linkpred.EngineSpec{
-		Mode:          *mode,
-		Config:        linkpred.Config{K: *k, Seed: *seed, DistinctDegrees: *distinct},
-		Shards:        *shards,
-		Window:        *window,
-		Gens:          *gens,
-		RecoverDepth:  *recDepth,
-		IngestWorkers: *ingestWork,
-		IngestRing:    *ingestRing,
+		Mode:             *mode,
+		Config:           linkpred.Config{K: *k, Seed: *seed, DistinctDegrees: *distinct, Tiers: tierLadder},
+		Shards:           *shards,
+		Window:           *window,
+		Gens:             *gens,
+		RecoverDepth:     *recDepth,
+		IngestWorkers:    *ingestWork,
+		IngestRing:       *ingestRing,
+		ExpectedVertices: *expectedV,
 	})
 	if err != nil {
 		return nil, err

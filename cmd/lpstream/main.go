@@ -77,6 +77,8 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		in       = fs.String("in", "", "input stream file (required)")
 		binary   = fs.Bool("binary", false, "input is in the binary format")
 		k        = fs.Int("k", 128, "sketch registers per vertex")
+		tiers    = fs.String("tiers", "", "tiered register budgets as comma-separated K:PromoteAt rungs (e.g. 16:0,64:8,128:64; last K must equal -k; empty = uniform)")
+		expV     = fs.Int("expected-vertices", 0, "pre-size vertex maps and register arenas for this many vertices (0 = grow on demand)")
 		seed     = fs.Uint64("seed", 42, "hash seed")
 		distinct = fs.Bool("distinct-degrees", false, "use KMV distinct-degree estimation (for streams with duplicate edges)")
 		pairs    = fs.String("pairs", "", "comma-separated query pairs, e.g. \"3:17,42:99\"")
@@ -114,7 +116,11 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	// is identical across the four modes; only locking differs. The
 	// constructor registry (linkpred.NewEngine) is the same one lpserver
 	// serves from.
-	cfg := linkpred.Config{K: *k, Seed: *seed, DistinctDegrees: *distinct}
+	tierLadder, err := linkpred.ParseTiers(*tiers)
+	if err != nil {
+		return err
+	}
+	cfg := linkpred.Config{K: *k, Seed: *seed, DistinctDegrees: *distinct, Tiers: tierLadder}
 	mode := linkpred.ModeSingle
 	switch {
 	case *deletes != "" && *directed:
@@ -132,7 +138,7 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 	}
 	eng, err := linkpred.NewEngine(linkpred.EngineSpec{
 		Mode: mode, Config: cfg, Shards: 4 * *parallel, RecoverDepth: *recDepth,
-		IngestWorkers: *ingWork, IngestRing: *ingRing,
+		IngestWorkers: *ingWork, IngestRing: *ingRing, ExpectedVertices: *expV,
 	})
 	if err != nil {
 		return err
@@ -147,8 +153,8 @@ func run(args []string, stdout io.Writer, queries io.Reader) error {
 		if lerr != nil {
 			return lerr
 		}
-		if got := loaded.Config(); got.K != cfg.K || got.Seed != cfg.Seed || got.DistinctDegrees != cfg.DistinctDegrees {
-			return fmt.Errorf("snapshot was built with -k %d -seed %d -distinct-degrees=%v; rerun with the same flags",
+		if got := loaded.Config(); got.K != cfg.K || got.Seed != cfg.Seed || got.DistinctDegrees != cfg.DistinctDegrees || got.Tiers != cfg.Tiers {
+			return fmt.Errorf("snapshot was built with -k %d -seed %d -distinct-degrees=%v and a different -tiers ladder; rerun with the same flags",
 				got.K, got.Seed, got.DistinctDegrees)
 		}
 		if got := linkpred.ModeOf(loaded); got != mode {

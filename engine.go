@@ -29,6 +29,12 @@ type Engine interface {
 	NumVertices() int
 	NumEdges() int64
 	MemoryBytes() int
+	// Reserve pre-sizes vertex maps and register arenas for n expected
+	// vertices (sizing hint; see EngineSpec.ExpectedVertices).
+	Reserve(n int)
+	// TierOccupancy returns live vertices per register tier, or nil on
+	// uniform engines (Config.Tiers unset).
+	TierOccupancy() []int
 	Save(w io.Writer) error
 }
 
@@ -136,6 +142,21 @@ func (s *Synchronized) MemoryBytes() int {
 	return s.inner.MemoryBytes()
 }
 
+// Reserve pre-sizes the wrapped engine under the write lock.
+func (s *Synchronized) Reserve(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Reserve(n)
+}
+
+// TierOccupancy returns the wrapped engine's per-tier vertex counts
+// under the read lock (nil on uniform engines).
+func (s *Synchronized) TierOccupancy() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.TierOccupancy()
+}
+
 // Save snapshots the wrapped engine under the read lock (writes are
 // excluded for the duration, so the image is consistent).
 func (s *Synchronized) Save(w io.Writer) error {
@@ -178,6 +199,11 @@ type EngineSpec struct {
 	// IngestRing is the pipeline's per-owner queue capacity in batches
 	// (0 selects the default, 256). Ignored without a pipeline.
 	IngestRing int
+	// ExpectedVertices, when > 0, pre-sizes the store's vertex maps and
+	// register arenas for that many vertices before any ingest — the
+	// bulk-load hint that avoids incremental arena grow copies. Purely
+	// a sizing hint: ingest beyond it grows normally.
+	ExpectedVertices int
 }
 
 // PipelineStats is the ingest pipeline's observability snapshot; see
@@ -234,13 +260,14 @@ func NewEngine(spec EngineSpec) (Engine, error) {
 	if shards <= 0 {
 		shards = 8
 	}
+	var eng Engine
 	switch spec.Mode {
 	case ModeSingle:
 		p, err := New(spec.Config)
 		if err != nil {
 			return nil, err
 		}
-		return Synchronize(p), nil
+		eng = Synchronize(p)
 	case ModeConcurrent:
 		c, err := NewConcurrent(spec.Config, shards)
 		if err != nil {
@@ -249,13 +276,13 @@ func NewEngine(spec EngineSpec) (Engine, error) {
 		if spec.IngestWorkers >= 0 {
 			c.StartIngestPipeline(spec.IngestWorkers, spec.IngestRing)
 		}
-		return c, nil
+		eng = c
 	case ModeDirected:
 		d, err := NewDirected(spec.Config)
 		if err != nil {
 			return nil, err
 		}
-		return Synchronize(d), nil
+		eng = Synchronize(d)
 	case ModeConcurrentDirected:
 		c, err := NewConcurrentDirected(spec.Config, shards)
 		if err != nil {
@@ -264,23 +291,27 @@ func NewEngine(spec EngineSpec) (Engine, error) {
 		if spec.IngestWorkers >= 0 {
 			c.StartIngestPipeline(spec.IngestWorkers, spec.IngestRing)
 		}
-		return c, nil
+		eng = c
 	case ModeWindowed:
 		w, err := NewWindowed(spec.Config, spec.Window, spec.Gens)
 		if err != nil {
 			return nil, err
 		}
-		return Synchronize(w), nil
+		eng = Synchronize(w)
 	case ModeDynamic:
 		d, err := NewDynamic(spec.Config, spec.RecoverDepth)
 		if err != nil {
 			return nil, err
 		}
-		return Synchronize(d), nil
+		eng = Synchronize(d)
 	default:
 		return nil, fmt.Errorf("linkpred: unknown engine mode %q (want %s, %s, %s, %s, %s, or %s)",
 			spec.Mode, ModeSingle, ModeConcurrent, ModeDirected, ModeConcurrentDirected, ModeWindowed, ModeDynamic)
 	}
+	if spec.ExpectedVertices > 0 {
+		eng.Reserve(spec.ExpectedVertices)
+	}
+	return eng, nil
 }
 
 // LoadAnyEngine re-opens a store image of any type — the image's magic

@@ -39,7 +39,7 @@ func coreConfig(cfg Config) core.Config {
 	if cfg.DistinctDegrees {
 		degrees = core.DegreeDistinctKMV
 	}
-	return core.Config{
+	cc := core.Config{
 		K:              cfg.K,
 		Seed:           cfg.Seed,
 		Hash:           kind,
@@ -47,12 +47,16 @@ func coreConfig(cfg Config) core.Config {
 		EnableBiased:   cfg.EnableBiased,
 		TrackTriangles: cfg.TrackTriangles,
 	}
+	for i, t := range cfg.Tiers {
+		cc.Tiers[i] = core.Tier{K: t.K, PromoteAt: t.PromoteAt}
+	}
+	return cc
 }
 
 // configFromCore inverts coreConfig for the Load* constructors: the
 // public Config is re-derived from the loaded store's image.
 func configFromCore(cc core.Config) Config {
-	return Config{
+	cfg := Config{
 		K:                 cc.K,
 		Seed:              cc.Seed,
 		TabulationHashing: cc.Hash == hashing.KindTabulation,
@@ -60,6 +64,10 @@ func configFromCore(cc core.Config) Config {
 		EnableBiased:      cc.EnableBiased,
 		TrackTriangles:    cc.TrackTriangles,
 	}
+	for i, t := range cc.Tiers {
+		cfg.Tiers[i] = Tier{K: t.K, PromoteAt: t.PromoteAt}
+	}
+	return cfg
 }
 
 // Config returns the configuration the predictor was built with.
@@ -230,6 +238,16 @@ func (f *facade[S]) NumEdges() int64 { return f.store.NumEdges() }
 // MemoryBytes returns the predictor's payload memory: O(K) per observed
 // vertex, independent of the number of edges.
 func (f *facade[S]) MemoryBytes() int { return f.store.MemoryBytes() }
+
+// Reserve pre-sizes the predictor's vertex maps and register arenas for
+// n expected vertices, avoiding incremental grow copies during bulk
+// ingest. A sizing hint only: it never shrinks, and ingest beyond n
+// grows normally. Must not run concurrently with writes.
+func (f *facade[S]) Reserve(n int) { f.store.Reserve(n) }
+
+// TierOccupancy returns the live vertex count per register tier (index
+// aligned with Config.Tiers), or nil when the predictor is uniform.
+func (f *facade[S]) TierOccupancy() []int { return f.store.TierOccupancy() }
 
 // Save writes the predictor's complete state (configuration, degree
 // counters and sketches) to w in a versioned binary format, for

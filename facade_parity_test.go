@@ -192,6 +192,134 @@ func TestFacadeParityAcrossModes(t *testing.T) {
 	}
 }
 
+// tieredParityEngines is parityEngines with a register-budget ladder
+// and a skewed stream: hub vertices cross both promotion thresholds
+// mid-batch while the tail stays in the smallest tier, so every
+// query below scores mixed-tier pairs.
+func tieredParityEngines(t *testing.T) map[string]linkpred.Engine {
+	t.Helper()
+	cfg := linkpred.Config{
+		K:               32,
+		Seed:            7,
+		DistinctDegrees: true,
+		Tiers: [linkpred.MaxTiers]linkpred.Tier{
+			{K: 8, PromoteAt: 0}, {K: 16, PromoteAt: 6}, {K: 32, PromoteAt: 24},
+		},
+	}
+	engines := make(map[string]linkpred.Engine)
+	for _, mode := range []string{
+		linkpred.ModeSingle,
+		linkpred.ModeConcurrent,
+		linkpred.ModeDirected,
+		linkpred.ModeConcurrentDirected,
+		linkpred.ModeWindowed,
+		linkpred.ModeDynamic,
+	} {
+		e, err := linkpred.NewEngine(linkpred.EngineSpec{
+			Mode:             mode,
+			Config:           cfg,
+			Shards:           4,
+			Window:           1 << 40,
+			Gens:             4,
+			ExpectedVertices: 60,
+		})
+		if err != nil {
+			t.Fatalf("NewEngine(%s): %v", mode, err)
+		}
+		engines[mode] = e
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	edges := make([]linkpred.Edge, 0, 800)
+	for i := 0; i < 800; i++ {
+		u := uint64(rng.Intn(60) * rng.Intn(60) / 60) // skew toward low ids
+		v := uint64(rng.Intn(60))
+		if u == v {
+			v = (v + 1) % 60
+		}
+		edges = append(edges, linkpred.Edge{U: u, V: v, T: int64(i)})
+	}
+	for _, e := range engines {
+		e.ObserveEdges(edges)
+	}
+	return engines
+}
+
+// TestFacadeParityTiered re-runs the measure × facade × entry-point
+// matrix over mixed-tier stores: with candidates spanning all three
+// tiers, ScoreBatch must still equal pointwise Score bit-for-bit and
+// TopK must equal the sequential oracle — the batched kernels may not
+// cut cross-tier corners the sequential estimators don't.
+func TestFacadeParityTiered(t *testing.T) {
+	engines := tieredParityEngines(t)
+
+	const src = uint64(1) // hot: promoted to the top tier by the skew
+	candidates := make([]uint64, 0, 59)
+	for v := uint64(0); v < 60; v++ {
+		if v != src {
+			candidates = append(candidates, v)
+		}
+	}
+
+	for mode, e := range engines {
+		occ := e.TierOccupancy()
+		if len(occ) != 3 {
+			t.Fatalf("%s: TierOccupancy = %v, want 3 tiers", mode, occ)
+		}
+		if occ[0] == 0 || occ[1]+occ[2] == 0 {
+			t.Fatalf("%s: stream did not straddle tiers (occupancy %v); parity run is vacuous", mode, occ)
+		}
+		for _, m := range linkpred.AllMeasures {
+			t.Run(mode+"/"+m.String(), func(t *testing.T) {
+				batch, err := e.ScoreBatch(m, src, candidates)
+				if err != nil {
+					t.Fatalf("ScoreBatch: %v", err)
+				}
+				for i, v := range candidates {
+					want, err := e.Score(m, src, v)
+					if err != nil {
+						t.Fatalf("Score(%d): %v", v, err)
+					}
+					if batch[i] != want && !(math.IsNaN(batch[i]) && math.IsNaN(want)) {
+						t.Fatalf("ScoreBatch[%d] (v=%d) = %v, want Score = %v", i, v, batch[i], want)
+					}
+				}
+				got, err := e.TopK(m, src, candidates, 10)
+				if err != nil {
+					t.Fatalf("TopK: %v", err)
+				}
+				want := referenceTopK(src, candidates, batch, 10)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("TopK[%d] = %+v, want %+v", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+
+	// Cross-mode agreement holds tiered exactly as it does uniform.
+	pairs := [][2]string{
+		{linkpred.ModeSingle, linkpred.ModeConcurrent},
+		{linkpred.ModeDirected, linkpred.ModeConcurrentDirected},
+		{linkpred.ModeSingle, linkpred.ModeWindowed},
+	}
+	for _, pr := range pairs {
+		a, b := engines[pr[0]], engines[pr[1]]
+		for _, m := range linkpred.AllMeasures {
+			for u := uint64(0); u < 30; u++ {
+				for v := u + 1; v < 30; v++ {
+					sa, _ := a.Score(m, u, v)
+					sb, _ := b.Score(m, u, v)
+					if sa != sb && !(math.IsNaN(sa) && math.IsNaN(sb)) {
+						t.Fatalf("%v(%d,%d): %s=%v, %s=%v", m, u, v, pr[0], sa, pr[1], sb)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestEngineRegistry exercises NewEngine/ModeOf/DirectedEngine and the
 // mode errors.
 func TestEngineRegistry(t *testing.T) {

@@ -94,6 +94,20 @@ func NewBounded(recentSize, poolSize, maxVertices int) (*Tracker, error) {
 // MaxVertices returns the configured vertex cap (0 = unbounded).
 func (t *Tracker) MaxVertices() int { return t.maxVertices }
 
+// Reserve pre-sizes the vertex map for n expected vertices, avoiding
+// incremental rehashes during bulk ingest. A sizing hint only; it never
+// shrinks and existing state is preserved.
+func (t *Tracker) Reserve(n int) {
+	if n <= len(t.vertices) {
+		return
+	}
+	m := make(map[uint64]*vertexCand, n)
+	for id, st := range t.vertices {
+		m[id] = st
+	}
+	t.vertices = m
+}
+
 // ProcessEdge folds one stream edge into the tracker: each endpoint's
 // recent neighbors become counted candidates of the other endpoint.
 // Self-loops are ignored. Cost: O(recentSize + poolSize) per edge.

@@ -1,0 +1,149 @@
+package candidates
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpaceSaving is a standalone Metwally–Agrawal–El Abbadi space-saving
+// heavy-hitter summary: it maintains the approximately most frequent
+// items of a stream in O(capacity) memory, whatever the stream length
+// or item-universe size.
+//
+// Guarantees (N = total observations, c = capacity):
+//
+//   - every item whose true frequency exceeds N/c is in the summary;
+//   - Count never underestimates: trueCount ≤ Count ≤ trueCount + Err,
+//     where Err is the count the entry inherited when it overwrote the
+//     previous minimum (0 for items present since their first arrival);
+//   - Err ≤ N/c for every entry.
+//
+// Eviction is deterministic: when the summary is full and a new item
+// arrives, the minimum-count entry is overwritten, ties broken toward
+// the smaller item id. Equal observation sequences therefore produce
+// byte-identical summaries — the property the engine's reproducibility
+// tests (and any promotion signal derived from a summary) rely on.
+//
+// The Tracker's per-vertex candidate pools apply the same replacement
+// rule inline; SpaceSaving is the reusable whole-stream form, suitable
+// for global hot-vertex detection (e.g. sizing a tier ladder's
+// promotion thresholds before configuring Config.Tiers).
+//
+// Not safe for concurrent use.
+type SpaceSaving struct {
+	capacity int
+	observed int64
+	entries  []ssEntry
+	index    map[uint64]int // item id → position in entries
+}
+
+type ssEntry struct {
+	id    uint64
+	count int64
+	err   int64
+}
+
+// HeavyHitter is one Top result: an item with its estimated count and
+// the maximum overestimation error of that estimate.
+type HeavyHitter struct {
+	ID    uint64
+	Count int64
+	Err   int64
+}
+
+// NewSpaceSaving returns an empty summary tracking at most capacity
+// items. It returns an error if capacity < 1.
+func NewSpaceSaving(capacity int) (*SpaceSaving, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("candidates: space-saving capacity must be >= 1, got %d", capacity)
+	}
+	return &SpaceSaving{
+		capacity: capacity,
+		index:    make(map[uint64]int, capacity),
+	}, nil
+}
+
+// Observe records one occurrence of id. Cost: O(1) map work when id is
+// already tracked or the summary has room, O(capacity) for the
+// deterministic minimum scan on replacement.
+func (s *SpaceSaving) Observe(id uint64) { s.ObserveN(id, 1) }
+
+// ObserveN records n occurrences of id at once (n <= 0 is a no-op) —
+// the weighted form replay loops use when folding pre-aggregated
+// counts.
+func (s *SpaceSaving) ObserveN(id uint64, n int64) {
+	if n <= 0 {
+		return
+	}
+	s.observed += n
+	if i, ok := s.index[id]; ok {
+		s.entries[i].count += n
+		return
+	}
+	if len(s.entries) < s.capacity {
+		s.index[id] = len(s.entries)
+		s.entries = append(s.entries, ssEntry{id: id, count: n})
+		return
+	}
+	// Replace the minimum-count entry, ties toward the smaller id, so
+	// equal streams evict identically regardless of map iteration order.
+	minIdx := 0
+	for i := 1; i < len(s.entries); i++ {
+		e, m := &s.entries[i], &s.entries[minIdx]
+		if e.count < m.count || (e.count == m.count && e.id < m.id) {
+			minIdx = i
+		}
+	}
+	old := s.entries[minIdx]
+	delete(s.index, old.id)
+	s.index[id] = minIdx
+	s.entries[minIdx] = ssEntry{id: id, count: old.count + n, err: old.count}
+}
+
+// Count returns the estimated count of id and its maximum overestimate.
+// ok is false when id is not in the summary (its true count is then at
+// most the current minimum entry count, itself at most Observed/cap).
+func (s *SpaceSaving) Count(id uint64) (count, err int64, ok bool) {
+	i, ok := s.index[id]
+	if !ok {
+		return 0, 0, false
+	}
+	return s.entries[i].count, s.entries[i].err, true
+}
+
+// Top returns the k entries with the largest estimated counts, ordered
+// by descending count with ties toward smaller ids (deterministic).
+// k <= 0 or k > Len returns all entries.
+func (s *SpaceSaving) Top(k int) []HeavyHitter {
+	out := make([]HeavyHitter, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = HeavyHitter{ID: e.id, Count: e.count, Err: e.err}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Observed returns the total number of observations folded in.
+func (s *SpaceSaving) Observed() int64 { return s.observed }
+
+// Len returns the number of tracked items (≤ Capacity).
+func (s *SpaceSaving) Len() int { return len(s.entries) }
+
+// Capacity returns the maximum number of tracked items.
+func (s *SpaceSaving) Capacity() int { return s.capacity }
+
+// MemoryBytes returns the summary's payload memory: the entry array
+// plus the usual rough per-key map overhead. Constant once the summary
+// fills, whatever the stream length.
+func (s *SpaceSaving) MemoryBytes() int {
+	const mapOverhead = 48
+	return 24*cap(s.entries) + mapOverhead*len(s.index)
+}

@@ -1,0 +1,182 @@
+package candidates
+
+import (
+	"testing"
+
+	"linkpred/internal/rng"
+	"linkpred/internal/stream"
+)
+
+// TestSpaceSavingExact: while the summary has room, every count is
+// exact with zero error.
+func TestSpaceSavingExact(t *testing.T) {
+	s, err := NewSpaceSaving(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j <= i; j++ {
+			s.Observe(uint64(i))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		c, e, ok := s.Count(uint64(i))
+		if !ok || c != int64(i+1) || e != 0 {
+			t.Fatalf("item %d: count=%d err=%d ok=%v, want exact %d", i, c, e, ok, i+1)
+		}
+	}
+	top := s.Top(3)
+	if len(top) != 3 || top[0].ID != 7 || top[1].ID != 6 || top[2].ID != 5 {
+		t.Fatalf("Top(3) = %+v, want items 7, 6, 5", top)
+	}
+}
+
+// TestSpaceSavingEviction: replacement inherits the evicted minimum's
+// count as its error bound and evicts the smallest id among ties.
+func TestSpaceSavingEviction(t *testing.T) {
+	s, _ := NewSpaceSaving(2)
+	s.Observe(10)
+	s.Observe(20)
+	// Both at count 1 → tie; 30 must evict the smaller id, 10.
+	s.Observe(30)
+	if _, _, ok := s.Count(10); ok {
+		t.Fatal("expected item 10 evicted (smallest id among minimum-count ties)")
+	}
+	c, e, ok := s.Count(30)
+	if !ok || c != 2 || e != 1 {
+		t.Fatalf("item 30: count=%d err=%d ok=%v, want count 2 err 1", c, e, ok)
+	}
+	if c, _, ok := s.Count(20); !ok || c != 1 {
+		t.Fatal("item 20 should survive the eviction")
+	}
+}
+
+// TestSpaceSavingDeterminism: equal observation sequences produce
+// identical summaries, whatever map iteration order does internally.
+func TestSpaceSavingDeterminism(t *testing.T) {
+	build := func() []HeavyHitter {
+		s, _ := NewSpaceSaving(16)
+		r := rng.NewXoshiro256(99)
+		for i := 0; i < 20000; i++ {
+			s.Observe(r.Uint64() % 400)
+		}
+		return s.Top(0)
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("summary sizes diverge: %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d diverges: %+v != %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSpaceSavingGuarantees: on a skewed stream, (1) counts never
+// underestimate, (2) count − err never overestimates, (3) every item
+// with true frequency > N/capacity is present, (4) per-entry error is
+// bounded by N/capacity.
+func TestSpaceSavingGuarantees(t *testing.T) {
+	const cap = 64
+	s, _ := NewSpaceSaving(cap)
+	truth := make(map[uint64]int64)
+	r := rng.NewXoshiro256(7)
+	var n int64
+	for i := 0; i < 100000; i++ {
+		// Zipf-ish skew: low ids vastly more frequent.
+		id := r.Uint64() % 1000
+		id = id * id / 1000
+		truth[id]++
+		s.Observe(id)
+		n++
+	}
+	threshold := n / cap
+	for id, tc := range truth {
+		c, e, ok := s.Count(id)
+		if !ok {
+			if tc > threshold {
+				t.Fatalf("item %d with true count %d > N/cap %d missing from summary", id, tc, threshold)
+			}
+			continue
+		}
+		if c < tc {
+			t.Fatalf("item %d: estimate %d underestimates true count %d", id, c, tc)
+		}
+		if c-e > tc {
+			t.Fatalf("item %d: lower bound %d exceeds true count %d", id, c-e, tc)
+		}
+		if e > threshold {
+			t.Fatalf("item %d: error %d exceeds N/cap %d", id, e, threshold)
+		}
+	}
+	if s.Len() > s.Capacity() {
+		t.Fatalf("summary holds %d entries, capacity %d", s.Len(), s.Capacity())
+	}
+}
+
+// TestSpaceSavingBoundedMemory: memory is a function of capacity, not
+// of the number of distinct items streamed through.
+func TestSpaceSavingBoundedMemory(t *testing.T) {
+	s, _ := NewSpaceSaving(32)
+	for i := 0; i < 1000; i++ {
+		s.Observe(uint64(i))
+	}
+	after1k := s.MemoryBytes()
+	for i := 1000; i < 100000; i++ {
+		s.Observe(uint64(i))
+	}
+	if got := s.MemoryBytes(); got != after1k {
+		t.Fatalf("memory grew from %d to %d over a high-churn stream", after1k, got)
+	}
+	if s.Observed() != 100000 {
+		t.Fatalf("Observed() = %d, want 100000", s.Observed())
+	}
+}
+
+// TestSpaceSavingObserveN: the weighted form matches repeated Observe.
+func TestSpaceSavingObserveN(t *testing.T) {
+	a, _ := NewSpaceSaving(4)
+	b, _ := NewSpaceSaving(4)
+	seq := []uint64{1, 2, 1, 3, 1, 4, 5, 5}
+	for _, id := range seq {
+		a.Observe(id)
+	}
+	b.ObserveN(1, 3)
+	b.ObserveN(2, 1)
+	b.ObserveN(3, 1)
+	b.ObserveN(4, 1)
+	b.ObserveN(5, 2)
+	ca, _, _ := a.Count(1)
+	cb, _, _ := b.Count(1)
+	if ca != cb {
+		t.Fatalf("weighted and repeated counts diverge: %d != %d", ca, cb)
+	}
+	b.ObserveN(9, 0)
+	b.ObserveN(9, -5)
+	if _, _, ok := b.Count(9); ok {
+		t.Fatal("non-positive ObserveN must be a no-op")
+	}
+}
+
+// TestTrackerReserve: reserving is a pure sizing hint — state is
+// preserved and queries are unchanged.
+func TestTrackerReserve(t *testing.T) {
+	tr, err := New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Reserve(1024)
+	tr.ProcessEdge(stream.Edge{U: 2, V: 3})
+	tr.ProcessEdge(stream.Edge{U: 1, V: 2}) // path 1-2-3 → 3 is a candidate of 1
+	before := tr.Candidates(1)
+	tr.Reserve(4096)
+	after := tr.Candidates(1)
+	if len(before) == 0 || len(after) != len(before) || after[0] != before[0] {
+		t.Fatalf("Reserve changed candidates: %v != %v", after, before)
+	}
+	tr.Reserve(0) // no-op
+	if !tr.Knows(2) {
+		t.Fatal("Reserve(0) dropped state")
+	}
+}

@@ -205,9 +205,14 @@ func (sc *batchScratch) memoFind(v uint64) int32 {
 // prepare runs stages 1–3 for a batch: half-edge expansion with vertex
 // interning, parallel hashing of the distinct vertices, and the
 // owner/shard grouping sorts. directed controls whether the two
-// half-edges of each input carry out/in sides. It returns the number of
+// half-edges of each input carry out/in sides. foldDups enables the
+// duplicate-edge multiplicity folding; tiered stores must pass false,
+// because folding reorders a vertex's arrivals within the batch and a
+// promotion threshold crossed mid-batch would then see different
+// registers than sequential ingest (uniform stores are unaffected —
+// register merges are idempotent there). It returns the number of
 // non-self-loop edges in the batch.
-func (sc *batchScratch) prepare(edges []stream.Edge, k, nShards int, family *hashing.Family, directed bool) int {
+func (sc *batchScratch) prepare(edges []stream.Edge, k, nShards int, family *hashing.Family, directed, foldDups bool) int {
 	// Stage 1: collect half-edges, interning vertices via the vertex memo
 	// and folding duplicate edges into multiplicities via the pair memo.
 	sc.halves = sc.halves[:0]
@@ -257,14 +262,16 @@ func (sc *batchScratch) prepare(edges []stream.Edge, k, nShards int, family *has
 		// a register-level no-op — so they only scale arrival counts.
 		// Undirected edges are normalized so (u,v) and (v,u) fold together,
 		// exactly as they would update the same two sketches sequentially.
-		lo, hi := iu, iv
-		if !directed && lo > hi {
-			lo, hi = hi, lo
-		}
-		if j := sc.pairFind(uint64(uint32(lo))<<32 | uint64(uint32(hi))); j >= 0 {
-			sc.halves[j].mult++
-			sc.halves[j+1].mult++
-			continue
+		if foldDups {
+			lo, hi := iu, iv
+			if !directed && lo > hi {
+				lo, hi = hi, lo
+			}
+			if j := sc.pairFind(uint64(uint32(lo))<<32 | uint64(uint32(hi))); j >= 0 {
+				sc.halves[j].mult++
+				sc.halves[j+1].mult++
+				continue
+			}
 		}
 		sc.halves = append(sc.halves,
 			halfEdge{ownerIdx: iu, hashIdx: iv, mult: 1, out: directed},
@@ -365,6 +372,18 @@ func (s *Sharded) applyShardBatch(sc *batchScratch, shard int) {
 			}
 		}
 		group := sc.ownerGroup.order[sc.ownerGroup.starts[o]:sc.ownerGroup.starts[o+1]]
+		if st.tiers != nil {
+			// Tiered stores interleave count/promote/fold per half-edge in
+			// stream order (the stable owner sort preserves it); dup folding
+			// is disabled for them in prepare, so mult is always 1 here.
+			for _, hj := range group {
+				h := &sc.halves[hj]
+				vs.arrivals++
+				st.promoteIfDue(vs)
+				st.bank.update(vs.slot, sc.distinct[h.hashIdx], sc.hashes[int(h.hashIdx)*k:(int(h.hashIdx)+1)*k])
+			}
+			continue
+		}
 		var arr int64
 		for _, hj := range group {
 			h := &sc.halves[hj]
@@ -418,7 +437,7 @@ func (s *Sharded) ProcessEdgesCancel(edges []stream.Edge, done <-chan struct{}) 
 	}
 	sc := batchPool.Get().(*batchScratch)
 	k := s.shards[0].cfg.K
-	n := sc.prepare(edges, k, len(s.shards), s.shards[0].family, false)
+	n := sc.prepare(edges, k, len(s.shards), s.shards[0].family, false, s.shards[0].tiers == nil)
 	if n > 0 {
 		if canceled(done) {
 			batchPool.Put(sc)
@@ -456,7 +475,7 @@ func (s *Sharded) ProcessEdgesAsync(edges []stream.Edge) {
 func (s *Sharded) processEdgesVia(p *pipeline, edges []stream.Edge, wait bool, done <-chan struct{}) error {
 	sc := batchPool.Get().(*batchScratch)
 	k := s.shards[0].cfg.K
-	n := sc.prepare(edges, k, len(s.shards), s.shards[0].family, false)
+	n := sc.prepare(edges, k, len(s.shards), s.shards[0].family, false, s.shards[0].tiers == nil)
 	if n == 0 {
 		batchPool.Put(sc)
 		return nil
@@ -493,22 +512,45 @@ func (s *ShardedDirected) applyShardBatch(sc *batchScratch, shard int) {
 		if vi+1 < hi {
 			// Same staleness discipline as the undirected loop: the
 			// spans are derived after the state call that may grow
-			// the banks, and bank.update re-derives per call.
+			// the banks, and bank.update re-derives per call. The two
+			// sides' spans can differ in length on tiered stores, so
+			// each is walked on its own.
 			next = st.state(sc.distinct[sc.vertGroup.order[vi+1]])
-			no, ni := st.out.regs(next.slot), st.in.regs(next.slot)
+			no, ni := st.out.regs(next.outSlot), st.in.regs(next.inSlot)
 			for j := 0; j < len(no); j += 8 { // one load per cache line
-				sink ^= no[j] ^ ni[j]
+				sink ^= no[j]
+			}
+			for j := 0; j < len(ni); j += 8 {
+				sink ^= ni[j]
 			}
 		}
 		group := sc.ownerGroup.order[sc.ownerGroup.starts[o]:sc.ownerGroup.starts[o+1]]
+		if st.tiers != nil {
+			// Count/promote/fold per half-arc in stream order, as in the
+			// undirected tiered branch; mult is always 1 (no dup folding).
+			for _, hj := range group {
+				h := &sc.halves[hj]
+				nbrHashes := sc.hashes[int(h.hashIdx)*k : (int(h.hashIdx)+1)*k]
+				if h.out {
+					vs.outArr++
+					st.promoteOutIfDue(vs)
+					st.out.update(vs.outSlot, sc.distinct[h.hashIdx], nbrHashes)
+				} else {
+					vs.inArr++
+					st.promoteInIfDue(vs)
+					st.in.update(vs.inSlot, sc.distinct[h.hashIdx], nbrHashes)
+				}
+			}
+			continue
+		}
 		for _, hj := range group {
 			h := &sc.halves[hj]
 			nbrHashes := sc.hashes[int(h.hashIdx)*k : (int(h.hashIdx)+1)*k]
 			if h.out {
-				st.out.update(vs.slot, sc.distinct[h.hashIdx], nbrHashes)
+				st.out.update(vs.outSlot, sc.distinct[h.hashIdx], nbrHashes)
 				vs.outArr += int64(h.mult)
 			} else {
-				st.in.update(vs.slot, sc.distinct[h.hashIdx], nbrHashes)
+				st.in.update(vs.inSlot, sc.distinct[h.hashIdx], nbrHashes)
 				vs.inArr += int64(h.mult)
 			}
 		}
@@ -545,7 +587,7 @@ func (s *ShardedDirected) ProcessArcsCancel(arcs []stream.Edge, done <-chan stru
 	}
 	sc := batchPool.Get().(*batchScratch)
 	k := s.shards[0].cfg.K
-	n := sc.prepare(arcs, k, len(s.shards), s.shards[0].family, true)
+	n := sc.prepare(arcs, k, len(s.shards), s.shards[0].family, true, s.shards[0].tiers == nil)
 	if n > 0 {
 		if canceled(done) {
 			batchPool.Put(sc)
@@ -576,7 +618,7 @@ func (s *ShardedDirected) ProcessArcsAsync(arcs []stream.Edge) {
 func (s *ShardedDirected) processArcsVia(p *pipeline, arcs []stream.Edge, wait bool, done <-chan struct{}) error {
 	sc := batchPool.Get().(*batchScratch)
 	k := s.shards[0].cfg.K
-	n := sc.prepare(arcs, k, len(s.shards), s.shards[0].family, true)
+	n := sc.prepare(arcs, k, len(s.shards), s.shards[0].family, true, s.shards[0].tiers == nil)
 	if n == 0 {
 		batchPool.Put(sc)
 		return nil

@@ -163,8 +163,8 @@ func TestProcessArcsMatchesSequential(t *testing.T) {
 					if vs.outArr != want.outArr || vs.inArr != want.inArr {
 						t.Fatalf("vertex %d: arrivals (%d,%d) != (%d,%d)", u, vs.outArr, vs.inArr, want.outArr, want.inArr)
 					}
-					gotOut, gotIn := shard.out.regs(vs.slot), shard.in.regs(vs.slot)
-					wantOut, wantIn := plain.out.regs(want.slot), plain.in.regs(want.slot)
+					gotOut, gotIn := shard.out.regs(vs.outSlot), shard.in.regs(vs.inSlot)
+					wantOut, wantIn := plain.out.regs(want.outSlot), plain.in.regs(want.inSlot)
 					for i := range gotOut {
 						if gotOut[i] != wantOut[i] || gotIn[i] != wantIn[i] {
 							t.Fatalf("vertex %d register %d: out/in values diverge", u, i)

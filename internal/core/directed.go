@@ -27,16 +27,19 @@ type DirectedStore struct {
 	family   *hashing.Family
 	vertices map[uint64]*dirVertexState
 	// out and in are the two register banks (see regBank in sketch.go);
-	// a vertex's slot indexes both in lockstep, so each side's k
-	// registers stay one contiguous span.
+	// a vertex holds one slot per side. On uniform stores the two slots
+	// are allocated in lockstep and stay equal; on tiered stores the
+	// sides promote independently (a hub's out-neighborhood can be hot
+	// while its in-side stays cold), so each side carries its own slot.
 	out, in regBank
+	tiers   []Tier
 	arcs    int64
 	hashBuf []uint64
 }
 
 type dirVertexState struct {
-	slot          int32
-	outArr, inArr int64
+	outSlot, inSlot int32
+	outArr, inArr   int64
 }
 
 // NewDirectedStore returns an empty directed store. It returns an error
@@ -52,14 +55,27 @@ func NewDirectedStore(cfg Config) (*DirectedStore, error) {
 	if cfg.TrackTriangles {
 		return nil, fmt.Errorf("core: directed mode does not support triangle tracking (directed triangle census needs three orientation classes; out of scope)")
 	}
+	if err := cfg.validateTiers(); err != nil {
+		return nil, err
+	}
 	s := &DirectedStore{
 		cfg:      cfg,
 		family:   hashing.NewFamily(cfg.Hash, cfg.K, cfg.Seed),
 		vertices: make(map[uint64]*dirVertexState),
+		tiers:    cfg.activeTiers(),
 		hashBuf:  make([]uint64, 0, cfg.K),
 	}
-	s.out.init(cfg.K, true)
-	s.in.init(cfg.K, true)
+	if s.tiers != nil {
+		ks := make([]int, len(s.tiers))
+		for i, t := range s.tiers {
+			ks[i] = t.K
+		}
+		s.out.initTiered(ks, true)
+		s.in.initTiered(ks, true)
+	} else {
+		s.out.init(cfg.K, true)
+		s.in.init(cfg.K, true)
+	}
 	return s, nil
 }
 
@@ -74,13 +90,47 @@ func (s *DirectedStore) ProcessArc(e stream.Edge) {
 	}
 	su := s.state(e.U)
 	sv := s.state(e.V)
+	if s.tiers != nil {
+		// Canonical tiered half-arc order (count → promote → fold), as in
+		// SketchStore.ProcessEdge; the two sides promote independently.
+		s.hashBuf = s.family.HashAll(e.V, s.hashBuf)
+		su.outArr++
+		s.promoteOutIfDue(su)
+		s.out.update(su.outSlot, e.V, s.hashBuf)
+		s.hashBuf = s.family.HashAll(e.U, s.hashBuf)
+		sv.inArr++
+		s.promoteInIfDue(sv)
+		s.in.update(sv.inSlot, e.U, s.hashBuf)
+		s.arcs++
+		return
+	}
 	s.hashBuf = s.family.HashAll(e.V, s.hashBuf)
-	s.out.update(su.slot, e.V, s.hashBuf)
+	s.out.update(su.outSlot, e.V, s.hashBuf)
 	s.hashBuf = s.family.HashAll(e.U, s.hashBuf)
-	s.in.update(sv.slot, e.U, s.hashBuf)
+	s.in.update(sv.inSlot, e.U, s.hashBuf)
 	su.outArr++
 	sv.inArr++
 	s.arcs++
+}
+
+// promoteOutIfDue moves st's out-side sketch up through every tier whose
+// arrival threshold st.outArr has reached (see SketchStore.promoteIfDue
+// for the determinism argument).
+func (s *DirectedStore) promoteOutIfDue(st *dirVertexState) {
+	t := int(st.outSlot >> tierShift)
+	for t+1 < len(s.tiers) && st.outArr >= s.tiers[t+1].PromoteAt {
+		t++
+		st.outSlot = s.out.promote(st.outSlot, t)
+	}
+}
+
+// promoteInIfDue is promoteOutIfDue for the in-side sketch.
+func (s *DirectedStore) promoteInIfDue(st *dirVertexState) {
+	t := int(st.inSlot >> tierShift)
+	for t+1 < len(s.tiers) && st.inArr >= s.tiers[t+1].PromoteAt {
+		t++
+		st.inSlot = s.in.promote(st.inSlot, t)
+	}
 }
 
 // Process consumes an entire stream of arcs.
@@ -97,14 +147,36 @@ func (s *DirectedStore) Process(src stream.Source) (int64, error) {
 func (s *DirectedStore) state(u uint64) *dirVertexState {
 	st := s.vertices[u]
 	if st == nil {
-		slot := s.out.alloc()
-		if got := s.in.alloc(); got != slot {
-			panic("core: directed banks out of lockstep") // allocs are paired; cannot happen
-		}
-		st = &dirVertexState{slot: slot}
+		st = &dirVertexState{outSlot: s.out.alloc(), inSlot: s.in.alloc()}
 		s.vertices[u] = st
 	}
 	return st
+}
+
+// Reserve pre-sizes the vertex map and both banks' tier-0 arenas for n
+// expected vertices (sizing hint; see SketchStore.Reserve).
+func (s *DirectedStore) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if len(s.vertices) == 0 {
+		s.vertices = make(map[uint64]*dirVertexState, n)
+	}
+	s.out.reserve(n)
+	s.in.reserve(n)
+}
+
+// TierOccupancy returns the live slot count per tier, summing the out-
+// and in-side banks, or nil on a uniform store.
+func (s *DirectedStore) TierOccupancy() []int {
+	if s.tiers == nil {
+		return nil
+	}
+	out := s.out.tierCounts()
+	for i, n := range s.in.tierCounts() {
+		out[i] += n
+	}
+	return out
 }
 
 // Knows reports whether u has appeared in the stream (either endpoint).
@@ -124,7 +196,7 @@ func (s *DirectedStore) OutDegree(u uint64) float64 {
 	if st == nil {
 		return 0
 	}
-	return s.sideDegree(s.out.regs(st.slot), st.outArr)
+	return s.sideDegree(s.out.regs(st.outSlot), st.outArr)
 }
 
 // InDegree returns the in-degree estimate of u.
@@ -133,7 +205,7 @@ func (s *DirectedStore) InDegree(u uint64) float64 {
 	if st == nil {
 		return 0
 	}
-	return s.sideDegree(s.in.regs(st.slot), st.inArr)
+	return s.sideDegree(s.in.regs(st.inSlot), st.inArr)
 }
 
 func (s *DirectedStore) sideDegree(vals []uint64, arrivals int64) float64 {
@@ -150,18 +222,25 @@ func (s *DirectedStore) sideDegree(vals []uint64, arrivals int64) float64 {
 // measure_kernel.go): register matches between u's out-sketch and v's
 // in-sketch, the two side degrees d_out(u) and d_in(v), and optionally
 // the matched argmin ids (the sampled two-path midpoints).
-func (s *DirectedStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches int, du, dv float64, known bool, ids []uint64) {
+func (s *DirectedStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches, effK int, du, dv float64, known bool, ids []uint64) {
 	su, sv := s.vertices[u], s.vertices[v]
 	if su == nil || sv == nil {
-		return 0, 0, 0, false, idBuf
+		return 0, s.cfg.K, 0, 0, false, idBuf
 	}
 	ids = idBuf
-	outVals := s.out.regs(su.slot)
-	inVals := s.in.regs(sv.slot)
+	outVals := s.out.regs(su.outSlot)
+	inVals := s.in.regs(sv.inSlot)
+	// Degrees use each side's full span; the match comparison runs over
+	// the shared prefix (min-k prefix property, see estimators.go).
+	du = s.sideDegree(outVals, su.outArr)
+	dv = s.sideDegree(inVals, sv.inArr)
+	if len(inVals) < len(outVals) {
+		outVals = outVals[:len(inVals)]
+	}
 	if !collect {
 		matches = matchCount(outVals, inVals)
 	} else {
-		outIDs := s.out.argmins(su.slot)
+		outIDs := s.out.argmins(su.outSlot)
 		for i, val := range outVals {
 			if val == emptyRegister || val != inVals[i] {
 				continue
@@ -170,7 +249,7 @@ func (s *DirectedStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (ma
 			ids = append(ids, outIDs[i])
 		}
 	}
-	return matches, s.sideDegree(outVals, su.outArr), s.sideDegree(inVals, sv.inArr), true, ids
+	return matches, len(outVals), du, dv, true, ids
 }
 
 // midpointDegree weights directed midpoints by their estimated total

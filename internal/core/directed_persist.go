@@ -28,10 +28,17 @@ import (
 //
 // Vertices are written in ascending id order, so saving the same store
 // twice produces byte-identical output.
+//
+// Version 2 is the tiered layout (see persist.go): uniform stores keep
+// writing version 1, tiered stores insert the tier ladder between the
+// flag bytes and the arc count, and each side's register spans are as
+// wide as that side's tier — derivable from the persisted out/in
+// arrival counters, which drive promotion independently per side.
 
 const (
-	directedMagic   = "LPSD"
-	directedVersion = 1
+	directedMagic         = "LPSD"
+	directedVersion       = 1
+	directedVersionTiered = 2
 
 	shardedDirectedMagic   = "LPDH"
 	shardedDirectedVersion = 1
@@ -52,8 +59,12 @@ func (s *DirectedStore) Save(w io.Writer) error {
 		_, err := bw.Write(buf[:])
 		return err
 	}
+	version := uint32(directedVersion)
+	if s.tiers != nil {
+		version = directedVersionTiered
+	}
 	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], directedVersion)
+	binary.LittleEndian.PutUint32(hdr[0:4], version)
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(s.cfg.K))
 	if _, err := bw.Write(hdr[:8]); err != nil {
 		return fmt.Errorf("core: save directed header: %w", err)
@@ -64,6 +75,11 @@ func (s *DirectedStore) Save(w io.Writer) error {
 	flags := []byte{byte(s.cfg.Hash), byte(s.cfg.Degrees), 0, 0}
 	if _, err := bw.Write(flags); err != nil {
 		return fmt.Errorf("core: save directed flags: %w", err)
+	}
+	if s.tiers != nil {
+		if err := writeTierTable(bw, s.tiers); err != nil {
+			return fmt.Errorf("core: save directed tier table: %w", err)
+		}
 	}
 	if err := writeU64(uint64(s.arcs)); err != nil {
 		return fmt.Errorf("core: save arc count: %w", err)
@@ -88,13 +104,16 @@ func (s *DirectedStore) Save(w io.Writer) error {
 		if err := writeU64(uint64(st.inArr)); err != nil {
 			return fmt.Errorf("core: save vertex %d in-arrivals: %w", id, err)
 		}
-		for _, b := range []*regBank{&s.out, &s.in} {
-			for _, v := range b.regs(st.slot) {
+		for _, side := range [2]struct {
+			b    *regBank
+			slot int32
+		}{{&s.out, st.outSlot}, {&s.in, st.inSlot}} {
+			for _, v := range side.b.regs(side.slot) {
 				if err := writeU64(v); err != nil {
 					return fmt.Errorf("core: save vertex %d registers: %w", id, err)
 				}
 			}
-			for _, v := range b.argmins(st.slot) {
+			for _, v := range side.b.argmins(side.slot) {
 				if err := writeU64(v); err != nil {
 					return fmt.Errorf("core: save vertex %d argmins: %w", id, err)
 				}
@@ -118,7 +137,8 @@ func loadDirected(rd *binReader) (*DirectedStore, error) {
 	if err := rd.magic(directedMagic); err != nil {
 		return nil, err
 	}
-	if err := rd.version(directedVersion); err != nil {
+	version, err := rd.versionIn(directedVersion, directedVersionTiered)
+	if err != nil {
 		return nil, err
 	}
 	k, err := rd.sketchK()
@@ -143,6 +163,11 @@ func loadDirected(rd *binReader) (*DirectedStore, error) {
 	if flags[2] != 0 || flags[3] != 0 {
 		return nil, rd.corrupt("nonzero reserved flag bytes %#x %#x", flags[2], flags[3])
 	}
+	if version == directedVersionTiered {
+		if cfg.Tiers, err = rd.tierTable(); err != nil {
+			return nil, err
+		}
+	}
 	s, err := NewDirectedStore(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: load directed config: %w", err)
@@ -156,8 +181,13 @@ func loadDirected(rd *binReader) (*DirectedStore, error) {
 	if err != nil {
 		return nil, rd.fail("vertex count", err)
 	}
-	// Each vertex record is 24 bytes of counters + 32K of registers.
-	if vertexCount > uint64(math.MaxInt64)/uint64(24+32*k) {
+	// Each vertex record is 24 bytes of counters + 32 per register pair
+	// (the smallest tier's width on tiered images).
+	minK := k
+	if s.tiers != nil {
+		minK = s.tiers[0].K
+	}
+	if vertexCount > uint64(math.MaxInt64)/uint64(24+32*minK) {
 		return nil, rd.corrupt("impossible vertex count %d for K=%d", vertexCount, k)
 	}
 	for i := uint64(0); i < vertexCount; i++ {
@@ -175,9 +205,19 @@ func loadDirected(rd *binReader) (*DirectedStore, error) {
 		}
 		st := s.state(id)
 		st.outArr, st.inArr = int64(outArr), int64(inArr)
+		// Each side's tier is a pure function of its persisted arrival
+		// counter, so promotion lands the vertex exactly where it was at
+		// save time and the spans below match the record's widths.
+		if s.tiers != nil {
+			s.promoteOutIfDue(st)
+			s.promoteInIfDue(st)
+		}
 		// Format predates the banks; fill the vertex's spans in place.
-		for _, b := range []*regBank{&s.out, &s.in} {
-			vals, argmins := b.regs(st.slot), b.argmins(st.slot)
+		for _, side := range [2]struct {
+			b    *regBank
+			slot int32
+		}{{&s.out, st.outSlot}, {&s.in, st.inSlot}} {
+			vals, argmins := side.b.regs(side.slot), side.b.argmins(side.slot)
 			for j := range vals {
 				if vals[j], err = rd.u64(); err != nil {
 					return nil, rd.fail(fmt.Sprintf("vertex %d registers", id), err)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"linkpred/internal/hashing"
@@ -97,11 +98,17 @@ type dynRegMeta struct {
 	lost uint32
 }
 
-// dynVertexState is the per-vertex state: K register segments of depth
-// entries each, flat in ents (register i occupies
+// dynVertexState is the per-vertex state: len(meta) register segments of
+// depth entries each, flat in ents (register i occupies
 // ents[i*depth : i*depth+meta[i].n], sorted ascending by (hash, id)).
+// The register count is Config.K on uniform stores and the vertex's tier
+// size on tiered ones. inserts counts ProcessEdge arrivals only — unlike
+// arrivals it never decrements on delete, which is what makes it a valid
+// monotone promotion driver (a promote-then-demote flap under
+// insert/delete churn would never converge).
 type dynVertexState struct {
 	arrivals int64
+	inserts  int64
 	ents     []dynEntry
 	meta     []dynRegMeta
 }
@@ -115,6 +122,7 @@ type DynamicStore struct {
 	depth        int
 	family       *hashing.Family
 	vertices     map[uint64]*dynVertexState
+	tiers        []Tier
 	edges        int64
 	degradedRegs int64
 
@@ -145,11 +153,15 @@ func NewDynamicStore(cfg Config, depth int) (*DynamicStore, error) {
 	if cfg.TrackTriangles {
 		return nil, fmt.Errorf("core: the dynamic store does not support triangle tracking (insert-only)")
 	}
+	if err := cfg.validateTiers(); err != nil {
+		return nil, err
+	}
 	return &DynamicStore{
 		cfg:      cfg,
 		depth:    depth,
 		family:   hashing.NewFamily(cfg.Hash, cfg.K, cfg.Seed),
 		vertices: make(map[uint64]*dynVertexState),
+		tiers:    cfg.activeTiers(),
 	}, nil
 }
 
@@ -171,13 +183,75 @@ func (s *DynamicStore) Degraded() bool { return s.degradedRegs > 0 }
 func (s *DynamicStore) state(u uint64) *dynVertexState {
 	st := s.vertices[u]
 	if st == nil {
+		k := s.cfg.K
+		if s.tiers != nil {
+			k = s.tiers[0].K
+		}
 		st = &dynVertexState{
-			ents: make([]dynEntry, s.cfg.K*s.depth),
-			meta: make([]dynRegMeta, s.cfg.K),
+			ents: make([]dynEntry, k*s.depth),
+			meta: make([]dynRegMeta, k),
 		}
 		s.vertices[u] = st
 	}
 	return st
+}
+
+// k returns st's register count: Config.K on uniform stores, the
+// vertex's current tier size on tiered ones.
+func (st *dynVertexState) k() int { return len(st.meta) }
+
+// promoteDynIfDue widens st to the tier its monotone insert count has
+// earned. The existing registers carry over unchanged; each NEW register
+// starts empty with lost set to the arrivals it never saw (inserts−1 —
+// everything before the insert being applied), so the delete-path
+// liveness and discard accounting stay sound: a pre-promotion neighbor's
+// deletion lands on lost rather than silently missing, degrading the
+// register conservatively instead of corrupting it.
+func (s *DynamicStore) promoteDynIfDue(st *dynVertexState) {
+	t := tierFor(s.tiers, st.inserts)
+	nk := s.tiers[t].K
+	k := st.k()
+	if nk <= k {
+		return
+	}
+	ents := make([]dynEntry, nk*s.depth)
+	copy(ents, st.ents)
+	meta := make([]dynRegMeta, nk)
+	copy(meta, st.meta)
+	lost := st.inserts - 1
+	if lost > math.MaxUint32 {
+		lost = math.MaxUint32
+	}
+	for i := k; i < nk; i++ {
+		meta[i].lost = uint32(lost)
+	}
+	st.ents, st.meta = ents, meta
+}
+
+// Reserve pre-sizes the vertex map for n expected vertices (sizing
+// hint).
+func (s *DynamicStore) Reserve(n int) {
+	if n > 0 && len(s.vertices) == 0 {
+		s.vertices = make(map[uint64]*dynVertexState, n)
+	}
+}
+
+// TierOccupancy returns the vertex count per tier, or nil on a uniform
+// store.
+func (s *DynamicStore) TierOccupancy() []int {
+	if s.tiers == nil {
+		return nil
+	}
+	out := make([]int, len(s.tiers))
+	for _, st := range s.vertices {
+		for i := len(s.tiers) - 1; i >= 0; i-- {
+			if s.tiers[i].K == st.k() {
+				out[i]++
+				break
+			}
+		}
+	}
+	return out
 }
 
 // regVal returns register i's externally visible value: the smallest
@@ -211,6 +285,15 @@ func (s *DynamicStore) ProcessEdge(e stream.Edge) {
 	}
 	su := s.state(e.U)
 	sv := s.state(e.V)
+	su.inserts++
+	sv.inserts++
+	if s.tiers != nil {
+		// Promote before folding (canonical count → promote → fold order,
+		// as on the insert-only stores): the arrival that crosses a tier
+		// threshold is the first to land in the widened sketch.
+		s.promoteDynIfDue(su)
+		s.promoteDynIfDue(sv)
+	}
 	s.hashV = s.family.HashAll(e.V, s.hashV)
 	s.insertNeighbor(su, s.hashV, e.V)
 	s.hashU = s.family.HashAll(e.U, s.hashU)
@@ -234,9 +317,10 @@ func (s *DynamicStore) Ingest(e stream.Edge) { s.ProcessEdge(e) }
 func (s *DynamicStore) IngestBatch(edges []stream.Edge) { s.ProcessEdges(edges) }
 
 // insertNeighbor folds neighbor id with hash vector hashes into every
-// register of st.
+// register of st (per-vertex count — the vertex's tier size on tiered
+// stores; hashes always carries the full Config.K values).
 func (s *DynamicStore) insertNeighbor(st *dynVertexState, hashes []uint64, id uint64) {
-	for i := 0; i < s.cfg.K; i++ {
+	for i := 0; i < st.k(); i++ {
 		s.insertReg(st, i, hashes[i], id)
 	}
 }
@@ -286,7 +370,7 @@ func (s *DynamicStore) insertReg(st *dynVertexState, i int, h, id uint64) {
 // the neighbor was never inserted (no register ever forgets a buffered
 // pair without counting it in lost).
 func (s *DynamicStore) neighborLive(st *dynVertexState, hashes []uint64, id uint64) bool {
-	for i := 0; i < s.cfg.K; i++ {
+	for i := 0; i < st.k(); i++ {
 		base := i * s.depth
 		m := &st.meta[i]
 		found := false
@@ -311,7 +395,7 @@ func (s *DynamicStore) neighborLive(st *dynVertexState, hashes []uint64, id uint
 // of st. Callers must have established liveness first (so an absent
 // pair always has lost > 0 to account against).
 func (s *DynamicStore) removeNeighbor(st *dynVertexState, hashes []uint64, id uint64) {
-	for i := 0; i < s.cfg.K; i++ {
+	for i := 0; i < st.k(); i++ {
 		base := i * s.depth
 		m := &st.meta[i]
 		n := int(m.n)
@@ -423,7 +507,7 @@ func (s *DynamicStore) degree(st *dynVertexState) float64 {
 		return float64(st.arrivals)
 	}
 	bufp := dynValsPool.Get().(*[]uint64)
-	vals := grow(*bufp, s.cfg.K)
+	vals := grow(*bufp, st.k())
 	s.fillRegs(st, vals)
 	d := kmvDistinct(vals, st.arrivals)
 	*bufp = vals
@@ -433,13 +517,19 @@ func (s *DynamicStore) degree(st *dynVertexState) float64 {
 
 // pairQuery implements the measure kernel's store-specific step; see
 // pairScorer in measure_kernel.go.
-func (s *DynamicStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches int, du, dv float64, known bool, ids []uint64) {
+func (s *DynamicStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches, effK int, du, dv float64, known bool, ids []uint64) {
 	su, sv := s.vertices[u], s.vertices[v]
 	if su == nil || sv == nil {
-		return 0, 0, 0, false, idBuf
+		return 0, s.cfg.K, 0, 0, false, idBuf
 	}
 	ids = idBuf
-	for i := 0; i < s.cfg.K; i++ {
+	// Cross-tier pairs compare over the shared register prefix (min-k
+	// prefix property, see estimators.go).
+	effK = su.k()
+	if sv.k() < effK {
+		effK = sv.k()
+	}
+	for i := 0; i < effK; i++ {
 		uv := su.regVal(i, s.depth)
 		if uv == emptyRegister || uv != sv.regVal(i, s.depth) {
 			continue
@@ -449,7 +539,7 @@ func (s *DynamicStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (mat
 			ids = append(ids, su.regID(i, s.depth))
 		}
 	}
-	return matches, s.degree(su), s.degree(sv), true, ids
+	return matches, effK, s.degree(su), s.degree(sv), true, ids
 }
 
 func (s *DynamicStore) midpointDegree(w uint64) float64 { return s.Degree(w) }
@@ -480,7 +570,7 @@ func (s *DynamicStore) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64,
 	}
 	srcDeg := s.degree(su)
 	sc := queryPool.Get().(*queryScratch)
-	k := s.cfg.K
+	k := su.k()
 	sc.srcVals = grow(sc.srcVals, k)
 	srcVals := sc.srcVals
 	s.fillRegs(su, srcVals)
@@ -494,12 +584,11 @@ func (s *DynamicStore) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64,
 		fillRegWeights(m, srcVals, sc.srcIDs, sc.regWeight, s)
 	}
 
-	kf := float64(k)
 	parallelRange(len(candidates), minScoreChunk, func(lo, hi int) {
 		// Per-chunk register buffer from the shared scratch pool: chunks
 		// run on distinct workers, so each gets its own.
 		bufp := mergeBufPool.Get().(*[]uint64)
-		vals := grow(*bufp, k)
+		vals := *bufp
 		for ci := lo; ci < hi; ci++ {
 			sv := s.vertices[candidates[ci]]
 			if sv == nil {
@@ -515,9 +604,17 @@ func (s *DynamicStore) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64,
 				out[ci] = srcDeg * dv
 				continue
 			}
+			// Per-pair effective k = min(src span, candidate span): the
+			// kernels compare over the shared prefix (min-k prefix
+			// property), and the score normalizes by the same count.
+			vals = grow(vals, sv.k())
 			s.fillRegs(sv, vals)
+			n := k
+			if len(vals) < n {
+				n = len(vals)
+			}
 			matches, weightSum := matchRegisters(m, srcVals, vals, sc.regWeight)
-			out[ci] = scoreFromSnapshot(m, kf, matches, weightSum, srcDeg, dv)
+			out[ci] = scoreFromSnapshot(m, float64(n), matches, weightSum, srcDeg, dv)
 		}
 		*bufp = vals
 		mergeBufPool.Put(bufp)
@@ -531,8 +628,18 @@ func (s *DynamicStore) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64,
 // store is bigger than the insert-only banks), per-register metadata,
 // and the standard per-vertex map overhead.
 func (s *DynamicStore) MemoryBytes() int {
-	perVertex := vertexOverhead +
-		s.cfg.K*s.depth*dynEntryBytes +
-		s.cfg.K*dynRegMetaBytes
-	return len(s.vertices) * perVertex
+	if s.tiers == nil {
+		perVertex := vertexOverhead +
+			s.cfg.K*s.depth*dynEntryBytes +
+			s.cfg.K*dynRegMetaBytes
+		return len(s.vertices) * perVertex
+	}
+	// Tiered vertices size by their current tier; the walk is O(V) but
+	// this store is single-writer and the gauge is scraped, not polled
+	// per edge.
+	total := 0
+	for _, st := range s.vertices {
+		total += vertexOverhead + len(st.ents)*dynEntryBytes + len(st.meta)*dynRegMetaBytes
+	}
+	return total
 }

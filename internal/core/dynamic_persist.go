@@ -25,10 +25,18 @@ import (
 // crash-replay smoke leans on when it diffs checkpoints taken before a
 // kill and after recovery. The store-level degraded count is not
 // persisted; the loader recomputes it from the per-register flags.
+//
+// Version 2 is the tiered layout: uniform stores keep writing version 1,
+// tiered stores insert the tier ladder (see persist.go) between the flag
+// bytes and the edge count and add an insert counter u64 to each vertex
+// record after the arrivals field. A vertex's register count is the tier
+// its monotone insert counter has earned (deletes never demote), so the
+// loader re-derives each record's width from the counter alone.
 
 const (
-	dynamicMagic   = "LPDY"
-	dynamicVersion = 1
+	dynamicMagic         = "LPDY"
+	dynamicVersion       = 1
+	dynamicVersionTiered = 2
 )
 
 // Save writes the store's complete state to w.
@@ -52,7 +60,11 @@ func (s *DynamicStore) Save(w io.Writer) error {
 		_, err := bw.Write(buf[:])
 		return err
 	}
-	if err := writeU32(dynamicVersion); err != nil {
+	version := uint32(dynamicVersion)
+	if s.tiers != nil {
+		version = dynamicVersionTiered
+	}
+	if err := writeU32(version); err != nil {
 		return fmt.Errorf("core: save version: %w", err)
 	}
 	if err := writeU32(uint32(s.cfg.K)); err != nil {
@@ -66,6 +78,11 @@ func (s *DynamicStore) Save(w io.Writer) error {
 	}
 	if _, err := bw.Write([]byte{byte(s.cfg.Hash), byte(s.cfg.Degrees), 0, 0}); err != nil {
 		return fmt.Errorf("core: save flags: %w", err)
+	}
+	if s.tiers != nil {
+		if err := writeTierTable(bw, s.tiers); err != nil {
+			return fmt.Errorf("core: save tier table: %w", err)
+		}
 	}
 	if err := writeU64(uint64(s.edges)); err != nil {
 		return fmt.Errorf("core: save edge count: %w", err)
@@ -87,7 +104,12 @@ func (s *DynamicStore) Save(w io.Writer) error {
 		if err := writeU64(uint64(st.arrivals)); err != nil {
 			return fmt.Errorf("core: save vertex %d arrivals: %w", id, err)
 		}
-		for i := 0; i < s.cfg.K; i++ {
+		if s.tiers != nil {
+			if err := writeU64(uint64(st.inserts)); err != nil {
+				return fmt.Errorf("core: save vertex %d inserts: %w", id, err)
+			}
+		}
+		for i := 0; i < st.k(); i++ {
 			m := st.meta[i]
 			if err := writeU32(m.lost); err != nil {
 				return fmt.Errorf("core: save vertex %d register %d lost: %w", id, i, err)
@@ -137,7 +159,8 @@ func loadDynamicStore(rd *binReader) (*DynamicStore, error) {
 	if err := rd.magic(dynamicMagic); err != nil {
 		return nil, err
 	}
-	if err := rd.version(dynamicVersion); err != nil {
+	version, err := rd.versionIn(dynamicVersion, dynamicVersionTiered)
+	if err != nil {
 		return nil, err
 	}
 	k, err := rd.sketchK()
@@ -170,6 +193,11 @@ func loadDynamicStore(rd *binReader) (*DynamicStore, error) {
 	if flags[2] != 0 || flags[3] != 0 {
 		return nil, rd.corrupt("reserved flag bytes %#x %#x, want 0", flags[2], flags[3])
 	}
+	if version == dynamicVersionTiered {
+		if cfg.Tiers, err = rd.tierTable(); err != nil {
+			return nil, err
+		}
+	}
 	s, err := NewDynamicStore(cfg, depth)
 	if err != nil {
 		return nil, fmt.Errorf("core: load config: %w", err)
@@ -183,9 +211,14 @@ func loadDynamicStore(rd *binReader) (*DynamicStore, error) {
 	if err != nil {
 		return nil, rd.fail("vertex count", err)
 	}
-	// Each vertex record is at least 16 bytes plus 6 bytes per register,
-	// so a count the input cannot possibly back is rejected up front.
-	if vertexCount > uint64(math.MaxInt64)/uint64(16+6*k) {
+	// Each vertex record is at least 16 bytes plus 6 bytes per register
+	// (the smallest tier's width on tiered images), so a count the input
+	// cannot possibly back is rejected up front.
+	minK := k
+	if s.tiers != nil {
+		minK = s.tiers[0].K
+	}
+	if vertexCount > uint64(math.MaxInt64)/uint64(16+6*minK) {
 		return nil, rd.corrupt("impossible vertex count %d for K=%d", vertexCount, k)
 	}
 	for i := uint64(0); i < vertexCount; i++ {
@@ -199,7 +232,18 @@ func loadDynamicStore(rd *binReader) (*DynamicStore, error) {
 		}
 		st := s.state(id)
 		st.arrivals = int64(arrivals)
-		for r := 0; r < k; r++ {
+		if version == dynamicVersionTiered {
+			inserts, err := rd.u64()
+			if err != nil {
+				return nil, rd.fail(fmt.Sprintf("vertex %d inserts", id), err)
+			}
+			st.inserts = int64(inserts)
+			// Re-derive the record's register count from the monotone
+			// insert counter; the image's meta fields overwrite whatever
+			// the promotion synthesised for the new registers.
+			s.promoteDynIfDue(st)
+		}
+		for r := 0; r < st.k(); r++ {
 			lost, err := rd.u32()
 			if err != nil {
 				return nil, rd.fail(fmt.Sprintf("vertex %d register %d lost", id, r), err)

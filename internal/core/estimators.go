@@ -10,14 +10,20 @@ import "math"
 // pairQuery is SketchStore's side of the measure kernel (see
 // measure_kernel.go): matching registers between the two sketches, the
 // two degree estimates, and optionally the matched argmin ids.
-func (s *SketchStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches int, du, dv float64, known bool, ids []uint64) {
+func (s *SketchStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches, effK int, du, dv float64, known bool, ids []uint64) {
 	su, sv := s.vertices[u], s.vertices[v]
 	if su == nil || sv == nil {
-		return 0, 0, 0, false, idBuf
+		return 0, s.cfg.K, 0, 0, false, idBuf
 	}
 	ids = idBuf
 	uVals := s.bank.regs(su.slot)
 	vVals := s.bank.regs(sv.slot)
+	// Cross-tier pairs compare over the shared register prefix: a k-prefix
+	// of a larger sketch over the same hash family is itself a valid
+	// k-sketch (min-k prefix property).
+	if len(vVals) < len(uVals) {
+		uVals = uVals[:len(vVals)]
+	}
 	if !collect {
 		matches = matchCount(uVals, vVals)
 	} else {
@@ -30,7 +36,7 @@ func (s *SketchStore) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matc
 			ids = append(ids, uIDs[i])
 		}
 	}
-	return matches, s.degree(su), s.degree(sv), true, ids
+	return matches, len(uVals), s.degree(su), s.degree(sv), true, ids
 }
 
 // midpointDegree is the degree estimate used to weight common-neighbor
@@ -78,7 +84,13 @@ func (s *SketchStore) EstimateUnionSize(u, v uint64) float64 {
 	}
 	uVals := s.bank.regs(su.slot)
 	vVals := s.bank.regs(sv.slot)
-	merged := make([]uint64, s.cfg.K)
+	// The union sketch is valid only over the shared prefix on tiered
+	// stores (min-k prefix property).
+	n := len(uVals)
+	if len(vVals) < n {
+		n = len(vVals)
+	}
+	merged := make([]uint64, n)
 	for i := range merged {
 		a, b := uVals[i], vVals[i]
 		if a <= b {
@@ -100,7 +112,12 @@ func (s *SketchStore) EstimateCommonNeighborsViaUnion(u, v uint64) float64 {
 	if su == nil || sv == nil {
 		return 0
 	}
-	j := float64(matchCount(s.bank.regs(su.slot), s.bank.regs(sv.slot))) / float64(s.cfg.K)
+	uVals, vVals := s.bank.regs(su.slot), s.bank.regs(sv.slot)
+	kf := len(uVals)
+	if len(vVals) < kf {
+		kf = len(vVals)
+	}
+	j := float64(matchCount(uVals, vVals)) / float64(kf)
 	return j * s.EstimateUnionSize(u, v)
 }
 

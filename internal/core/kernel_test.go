@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -119,6 +120,45 @@ func TestMatchWeightedRegsAgainstReference(t *testing.T) {
 	}
 }
 
+// TestMatchMixedTierPrefix pins the kernel contract cross-tier scoring
+// leans on: comparing a small sketch against the truncated prefix of a
+// larger one must equal comparing it against a copy of that prefix.
+// Lengths cover every tier span the default ladders produce, including
+// below the 8-register assembly threshold.
+func TestMatchMixedTierPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(20263))
+	tiers := []int{4, 8, 16, 32, 64, 128}
+	for _, small := range tiers {
+		for _, large := range tiers {
+			if large < small {
+				continue
+			}
+			src := make([]uint64, small)
+			cand := make([]uint64, large)
+			for i := range cand {
+				cand[i] = uint64(rng.Intn(6))
+				if rng.Intn(5) == 0 {
+					cand[i] = emptyRegister
+				}
+			}
+			for i := range src {
+				src[i] = uint64(rng.Intn(6))
+				if rng.Intn(3) == 0 {
+					src[i] = cand[i] // force cross-length matches
+				}
+			}
+			prefix := append([]uint64(nil), cand[:small]...)
+			want := referenceMatchCount(src, prefix)
+			if got := matchCount(src, cand[:small]); got != want {
+				t.Fatalf("matchCount(%d vs %d-prefix) = %d, want %d", small, large, got, want)
+			}
+			if got := matchCountGo(src, cand[:small]); got != want {
+				t.Fatalf("matchCountGo(%d vs %d-prefix) = %d, want %d", small, large, got, want)
+			}
+		}
+	}
+}
+
 // benchRegs builds two K-register banks with ~50% match density, the
 // regime the scoring hot loop sees between similar vertices.
 func benchRegs(k int) (src, cand []uint64) {
@@ -163,6 +203,24 @@ func BenchmarkMatchesKernelGo(b *testing.B) {
 			n := 0
 			for i := 0; i < b.N; i++ {
 				n += matchCountGo(src, cand)
+			}
+			benchSink = n
+		})
+	}
+}
+
+// BenchmarkMatchesMixedTier measures the kernel over the short spans
+// cross-tier pairs score on — the truncated-prefix regime where call
+// overhead, not throughput, dominates.
+func BenchmarkMatchesMixedTier(b *testing.B) {
+	for _, k := range []int{8, 16, 64} {
+		src, cand := benchRegs(256)
+		src = src[:k]
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			b.SetBytes(int64(16 * k))
+			n := 0
+			for i := 0; i < b.N; i++ {
+				n += matchCount(src, cand[:len(src)])
 			}
 			benchSink = n
 		})

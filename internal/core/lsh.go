@@ -40,8 +40,15 @@ func (s *SketchStore) BuildLSHIndex(bands, rows int) (*LSHIndex, error) {
 	if bands < 1 || rows < 1 {
 		return nil, fmt.Errorf("core: LSH needs bands, rows >= 1 (got %d, %d)", bands, rows)
 	}
-	if bands*rows > s.cfg.K {
-		return nil, fmt.Errorf("core: LSH bands*rows = %d exceeds K = %d", bands*rows, s.cfg.K)
+	// Banding reads the first bands·rows registers of every vertex, so on
+	// a tiered store the budget is the smallest tier's width — the prefix
+	// every vertex carries regardless of promotion (min-k property).
+	maxSpan := s.cfg.K
+	if s.tiers != nil {
+		maxSpan = s.tiers[0].K
+	}
+	if bands*rows > maxSpan {
+		return nil, fmt.Errorf("core: LSH bands*rows = %d exceeds the smallest per-vertex register span %d", bands*rows, maxSpan)
 	}
 	idx := &LSHIndex{
 		store:   s,

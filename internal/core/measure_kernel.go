@@ -73,9 +73,13 @@ func (m QueryMeasure) weighted() bool {
 //
 // pairQuery returns the number of matching registers between the two
 // relevant sketches (out-sketch of u vs in-sketch of v on directed
-// stores, merged generations on the windowed store), the two endpoint
-// degrees under the store's degree mode (d_out(u)/d_in(v) on directed
-// stores), and known=false if either endpoint has never been seen.
+// stores, merged generations on the windowed store), the effective
+// register count the comparison ran over — min(k_u, k_v), which is
+// Config.K everywhere on uniform stores but varies per pair on tiered
+// ones (the min-k prefix property makes the common prefix a valid
+// min-k sketch pair) — the two endpoint degrees under the store's
+// degree mode (d_out(u)/d_in(v) on directed stores), and known=false
+// if either endpoint has never been seen.
 // When collect is set, the argmin ids of matching registers are
 // appended to idBuf (returned as ids, so callers can reuse a buffer's
 // capacity; the buffer is returned even when known is false).
@@ -83,7 +87,7 @@ func (m QueryMeasure) weighted() bool {
 // them before returning, so midpointDegree calls never nest inside
 // the pair's critical section.
 type pairScorer interface {
-	pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches int, du, dv float64, known bool, ids []uint64)
+	pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches, effK int, du, dv float64, known bool, ids []uint64)
 	midpointDegree(w uint64) float64
 	Config() Config
 }
@@ -109,11 +113,13 @@ func midpointWeight(m QueryMeasure, d float64) float64 {
 }
 
 // scoreFromSnapshot turns a pair snapshot into the final score for any
-// measure: kf is the register count K, matches the number of matching
-// registers, weightSum the midpoint weight sum (ignored by unweighted
-// measures), du/dv the endpoint degrees. This is the single place the
-// measure formulas live; the sequential estimators and all four batch
-// paths end here, which is what makes them bit-identical to each other.
+// measure: kf is the register count the comparison ran over (K on
+// uniform stores, min(k_u, k_v) on tiered ones), matches the number of
+// matching registers, weightSum the midpoint weight sum (ignored by
+// unweighted measures), du/dv the endpoint degrees. This is the single
+// place the measure formulas live; the sequential estimators and all
+// four batch paths end here, which is what makes them bit-identical to
+// each other.
 func scoreFromSnapshot(m QueryMeasure, kf float64, matches int, weightSum, du, dv float64) float64 {
 	switch m {
 	case QueryJaccard:
@@ -148,14 +154,14 @@ func estimatePair(s pairScorer, m QueryMeasure, u, v uint64) (float64, error) {
 		return 0, fmt.Errorf("core: unknown query measure %v", m)
 	}
 	if !m.weighted() {
-		matches, du, dv, known, _ := s.pairQuery(u, v, false, nil)
+		matches, effK, du, dv, known, _ := s.pairQuery(u, v, false, nil)
 		if !known {
 			return 0, nil
 		}
-		return scoreFromSnapshot(m, float64(s.Config().K), matches, 0, du, dv), nil
+		return scoreFromSnapshot(m, float64(effK), matches, 0, du, dv), nil
 	}
 	bufp := matchedIDPool.Get().(*[]uint64)
-	matches, du, dv, known, ids := s.pairQuery(u, v, true, (*bufp)[:0])
+	matches, effK, du, dv, known, ids := s.pairQuery(u, v, true, (*bufp)[:0])
 	// Midpoint degrees are read after pairQuery has released any pair
 	// locks (one shard lock at a time on the sharded stores — see the
 	// Sharded type comment for the discipline).
@@ -168,7 +174,7 @@ func estimatePair(s pairScorer, m QueryMeasure, u, v uint64) (float64, error) {
 	if !known {
 		return 0, nil
 	}
-	return scoreFromSnapshot(m, float64(s.Config().K), matches, weightSum, du, dv), nil
+	return scoreFromSnapshot(m, float64(effK), matches, weightSum, du, dv), nil
 }
 
 // fillRegWeights precomputes the per-register midpoint weights for a

@@ -27,11 +27,38 @@ import (
 //
 // Vertices are written in ascending id order, so saving the same store
 // twice produces byte-identical output.
+//
+// Version 2 is the tiered layout: uniform stores keep writing version 1
+// (byte-identical to every pre-tier image), tiered stores bump the
+// version and insert the tier ladder (count u32, then K u32 + PromoteAt
+// u64 per tier) between the flag bytes and the edge count. Vertex
+// records are unchanged except that each vertex's register spans are as
+// wide as its tier — derivable from its persisted arrival count alone,
+// so no per-vertex tier byte is stored.
 
 const (
-	persistMagic   = "LPSK"
-	persistVersion = 1
+	persistMagic         = "LPSK"
+	persistVersion       = 1
+	persistVersionTiered = 2
 )
+
+// writeTierTable appends a v2 header's tier ladder: tier count u32,
+// then (K u32, PromoteAt u64) per tier.
+func writeTierTable(bw *bufio.Writer, tiers []Tier) error {
+	var buf [12]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(tiers)))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	for _, t := range tiers {
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(t.K))
+		binary.LittleEndian.PutUint64(buf[4:12], uint64(t.PromoteAt))
+		if _, err := bw.Write(buf[:12]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Save writes the store's complete state to w.
 func (s *SketchStore) Save(w io.Writer) error {
@@ -54,7 +81,11 @@ func (s *SketchStore) Save(w io.Writer) error {
 		_, err := bw.Write(buf[:])
 		return err
 	}
-	if err := writeU32(persistVersion); err != nil {
+	version := uint32(persistVersion)
+	if s.tiers != nil {
+		version = persistVersionTiered
+	}
+	if err := writeU32(version); err != nil {
 		return fmt.Errorf("core: save version: %w", err)
 	}
 	if err := writeU32(uint32(s.cfg.K)); err != nil {
@@ -72,6 +103,11 @@ func (s *SketchStore) Save(w io.Writer) error {
 	}
 	if _, err := bw.Write(flags); err != nil {
 		return fmt.Errorf("core: save flags: %w", err)
+	}
+	if s.tiers != nil {
+		if err := writeTierTable(bw, s.tiers); err != nil {
+			return fmt.Errorf("core: save tier table: %w", err)
+		}
 	}
 	if err := writeU64(uint64(s.edges)); err != nil {
 		return fmt.Errorf("core: save edge count: %w", err)
@@ -147,7 +183,8 @@ func loadSketchStore(rd *binReader) (*SketchStore, error) {
 	if err := rd.magic(persistMagic); err != nil {
 		return nil, err
 	}
-	if err := rd.version(persistVersion); err != nil {
+	version, err := rd.versionIn(persistVersion, persistVersionTiered)
+	if err != nil {
 		return nil, err
 	}
 	k, err := rd.sketchK()
@@ -175,6 +212,11 @@ func loadSketchStore(rd *binReader) (*SketchStore, error) {
 	if cfg.TrackTriangles, err = rd.boolByte("triangles", flags[3]); err != nil {
 		return nil, err
 	}
+	if version == persistVersionTiered {
+		if cfg.Tiers, err = rd.tierTable(); err != nil {
+			return nil, err
+		}
+	}
 	s, err := NewSketchStore(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: load config: %w", err)
@@ -193,10 +235,15 @@ func loadSketchStore(rd *binReader) (*SketchStore, error) {
 	if err != nil {
 		return nil, rd.fail("vertex count", err)
 	}
-	// Each vertex record is at least 24 bytes + 16K of registers, so a
-	// count the input cannot possibly back is rejected up front instead
-	// of allocating state for it vertex by vertex until EOF.
-	if vertexCount > uint64(math.MaxInt64)/uint64(24+16*k) {
+	// Each vertex record is at least 24 bytes + 16 per register (the
+	// smallest tier's width on tiered images), so a count the input
+	// cannot possibly back is rejected up front instead of allocating
+	// state for it vertex by vertex until EOF.
+	minK := k
+	if s.tiers != nil {
+		minK = s.tiers[0].K
+	}
+	if vertexCount > uint64(math.MaxInt64)/uint64(24+16*minK) {
 		return nil, rd.corrupt("impossible vertex count %d for K=%d", vertexCount, k)
 	}
 	for i := uint64(0); i < vertexCount; i++ {
@@ -215,6 +262,12 @@ func loadSketchStore(rd *binReader) (*SketchStore, error) {
 			return nil, rd.fail(fmt.Sprintf("vertex %d triangles", id), err)
 		}
 		st.triangles = math.Float64frombits(vertexTri)
+		// Promotion is a pure function of the arrival count, so the
+		// loaded vertex lands in the same tier it occupied at save time
+		// and its spans below have exactly the record's width.
+		if s.tiers != nil {
+			s.promoteIfDue(st)
+		}
 		// The on-disk format predates the register banks; conversion on
 		// load is just filling the vertex's bank spans in place.
 		vals, argmins := s.registers(st)

@@ -77,7 +77,7 @@ func shardImageSize(buf []byte, pos int, magic string, header, counterBytes, reg
 	if string(buf[pos:pos+4]) != magic {
 		return 0, false
 	}
-	if binary.LittleEndian.Uint32(buf[pos+4:]) != 1 { // all formats are at version 1
+	if binary.LittleEndian.Uint32(buf[pos+4:]) != 1 { // v2 (tiered) records are variable-size
 		return 0, false
 	}
 	k := binary.LittleEndian.Uint32(buf[pos+8:])

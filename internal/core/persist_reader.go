@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 
 	"linkpred/internal/hashing"
 )
@@ -107,6 +108,56 @@ func (b *binReader) version(want uint32) error {
 		return b.corrupt("unsupported version %d (supported: %d)", v, want)
 	}
 	return nil
+}
+
+// versionIn consumes a u32 version field, checks it against the set of
+// supported versions, and returns the one read — for formats with more
+// than one live version (uniform v1 images and tiered v2 images).
+func (b *binReader) versionIn(supported ...uint32) (uint32, error) {
+	v, err := b.u32()
+	if err != nil {
+		return 0, b.fail("version", err)
+	}
+	for _, s := range supported {
+		if v == s {
+			return v, nil
+		}
+	}
+	return 0, b.corrupt("unsupported version %d (supported: %v)", v, supported)
+}
+
+// tierTable consumes the tier ladder a tiered (v2) image carries in its
+// header: a u32 tier count followed by (K u32, PromoteAt u64) per tier.
+// Only the count and widths are bounded here — the structural rules
+// (ascending K and thresholds, last K = Config.K) are enforced by the
+// store constructor, which every loader runs the table through.
+func (b *binReader) tierTable() ([MaxTiers]Tier, error) {
+	var tiers [MaxTiers]Tier
+	n, err := b.u32()
+	if err != nil {
+		return tiers, b.fail("tier count", err)
+	}
+	if n < 2 || n > MaxTiers {
+		return tiers, b.corrupt("impossible tier count %d (want 2..%d)", n, MaxTiers)
+	}
+	for i := uint32(0); i < n; i++ {
+		k, err := b.u32()
+		if err != nil {
+			return tiers, b.fail("tier K", err)
+		}
+		if k == 0 || k > maxPersistK {
+			return tiers, b.corrupt("impossible tier width K=%d (max %d)", k, maxPersistK)
+		}
+		p, err := b.u64()
+		if err != nil {
+			return tiers, b.fail("tier threshold", err)
+		}
+		if p > math.MaxInt64 {
+			return tiers, b.corrupt("impossible tier threshold %d", p)
+		}
+		tiers[i] = Tier{K: int(k), PromoteAt: int64(p)}
+	}
+	return tiers, nil
 }
 
 // sketchK consumes a u32 sketch width and bounds it.

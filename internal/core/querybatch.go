@@ -194,19 +194,23 @@ func (s *Sharded) ScoreBatchCancel(m QueryMeasure, u uint64, candidates []uint64
 		return out, ErrCanceled
 	}
 	cfg := s.shards[0].cfg
-	k := cfg.K
 	sc := queryPool.Get().(*queryScratch)
 
-	// Stage 1: pin the source under a single RLock.
+	// Stage 1: pin the source under a single RLock. The pinned span is
+	// the source's own register count — Config.K, or its tier size on
+	// tiered stores.
 	srcKnown := false
 	var srcDeg float64
-	sc.srcVals = grow(sc.srcVals, k)
-	sc.srcIDs = grow(sc.srcIDs, k)
+	k := cfg.K
 	a := s.shardOf(u)
 	s.mus[a].RLock()
 	if su := s.shards[a].vertices[u]; su != nil {
 		srcKnown = true
-		copy(sc.srcVals, s.shards[a].bank.regs(su.slot))
+		srcRegs := s.shards[a].bank.regs(su.slot)
+		k = len(srcRegs)
+		sc.srcVals = grow(sc.srcVals, k)
+		sc.srcIDs = grow(sc.srcIDs, k)
+		copy(sc.srcVals, srcRegs)
 		copy(sc.srcIDs, s.shards[a].bank.argmins(su.slot))
 		srcDeg = s.shards[a].degree(su)
 	}
@@ -250,7 +254,6 @@ func (s *Sharded) ScoreBatchCancel(m QueryMeasure, u uint64, candidates []uint64
 	sc.slots = grow(sc.slots, nd)
 	sc.arrs = grow(sc.arrs, nd)
 	sc.scores = grow(sc.scores, nd)
-	kf := float64(k)
 	complete := forEachShardDone(nShards, sc.group.starts, done, func(shard int) {
 		st := s.shards[shard]
 		s.mus[shard].RLock()
@@ -305,8 +308,16 @@ func (s *Sharded) ScoreBatchCancel(m QueryMeasure, u uint64, candidates []uint64
 				sc.scores[c] = srcDeg * dv
 				continue
 			}
-			matches, weightSum := matchRegisters(m, sc.srcVals, st.bank.regs(slot), sc.regWeight)
-			sc.scores[c] = scoreFromSnapshot(m, kf, matches, weightSum, srcDeg, dv)
+			// Per-pair effective k = min(src span, candidate span): the
+			// kernels compare over the shared prefix (min-k prefix
+			// property); on uniform stores both spans are Config.K.
+			regs := st.bank.regs(slot)
+			n := k
+			if len(regs) < n {
+				n = len(regs)
+			}
+			matches, weightSum := matchRegisters(m, sc.srcVals, regs, sc.regWeight)
+			sc.scores[c] = scoreFromSnapshot(m, float64(n), matches, weightSum, srcDeg, dv)
 		}
 		s.mus[shard].RUnlock()
 	})
@@ -346,22 +357,25 @@ func (s *ShardedDirected) ScoreBatchCancel(m QueryMeasure, u uint64, candidates 
 		return out, ErrCanceled
 	}
 	cfg := s.shards[0].cfg
-	k := cfg.K
 	sc := queryPool.Get().(*queryScratch)
 
-	// Stage 1: pin u's out-side under a single RLock.
+	// Stage 1: pin u's out-side under a single RLock, at the source's own
+	// span length (its out-tier size on tiered stores).
 	srcKnown := false
 	var srcDeg float64
-	sc.srcVals = grow(sc.srcVals, k)
-	sc.srcIDs = grow(sc.srcIDs, k)
+	k := cfg.K
 	a := s.shardOf(u)
 	s.mus[a].RLock()
 	if su := s.shards[a].vertices[u]; su != nil {
 		srcKnown = true
 		st := s.shards[a]
-		copy(sc.srcVals, st.out.regs(su.slot))
-		copy(sc.srcIDs, st.out.argmins(su.slot))
-		srcDeg = st.sideDegree(st.out.regs(su.slot), su.outArr)
+		srcRegs := st.out.regs(su.outSlot)
+		k = len(srcRegs)
+		sc.srcVals = grow(sc.srcVals, k)
+		sc.srcIDs = grow(sc.srcIDs, k)
+		copy(sc.srcVals, srcRegs)
+		copy(sc.srcIDs, st.out.argmins(su.outSlot))
+		srcDeg = st.sideDegree(srcRegs, su.outArr)
 	}
 	s.mus[a].RUnlock()
 	if !srcKnown {
@@ -387,7 +401,6 @@ func (s *ShardedDirected) ScoreBatchCancel(m QueryMeasure, u uint64, candidates 
 	sc.slots = grow(sc.slots, nd)
 	sc.arrs = grow(sc.arrs, nd)
 	sc.scores = grow(sc.scores, nd)
-	kf := float64(k)
 	complete := forEachShardDone(nShards, sc.group.starts, done, func(shard int) {
 		st := s.shards[shard]
 		s.mus[shard].RLock()
@@ -400,9 +413,9 @@ func (s *ShardedDirected) ScoreBatchCancel(m QueryMeasure, u uint64, candidates 
 				sc.slots[c] = -1
 				continue
 			}
-			sc.slots[c] = sv.slot
+			sc.slots[c] = sv.inSlot
 			sc.arrs[c] = sv.inArr
-			regs := st.in.regs(sv.slot)
+			regs := st.in.regs(sv.inSlot)
 			for j := 0; j < len(regs); j += 8 {
 				warm += regs[j]
 			}
@@ -430,8 +443,13 @@ func (s *ShardedDirected) ScoreBatchCancel(m QueryMeasure, u uint64, candidates 
 				sc.scores[c] = srcDeg * dIn
 				continue
 			}
+			// Per-pair effective k = min(src out-span, candidate in-span).
+			n := k
+			if len(regs) < n {
+				n = len(regs)
+			}
 			matches, weightSum := matchRegisters(m, sc.srcVals, regs, sc.regWeight)
-			sc.scores[c] = scoreFromSnapshot(m, kf, matches, weightSum, srcDeg, dIn)
+			sc.scores[c] = scoreFromSnapshot(m, float64(n), matches, weightSum, srcDeg, dIn)
 		}
 		s.mus[shard].RUnlock()
 	})

@@ -34,15 +34,14 @@ func (s *SketchStore) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, 
 	}
 	srcDeg := s.degree(su)
 	sc := queryPool.Get().(*queryScratch)
-	k := s.cfg.K
 	srcVals, srcIDs := s.registers(su)
+	k := len(srcVals) // the source's span: Config.K, or its tier size
 
 	if m.weighted() {
 		sc.regWeight = grow(sc.regWeight, k)
 		fillRegWeights(m, srcVals, srcIDs, sc.regWeight, s)
 	}
 
-	kf := float64(k)
 	parallelRange(len(candidates), minScoreChunk, func(lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			sv := s.vertices[candidates[ci]]
@@ -59,8 +58,15 @@ func (s *SketchStore) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, 
 				out[ci] = srcDeg * dv
 				continue
 			}
-			matches, weightSum := matchRegisters(m, srcVals, s.bank.regs(sv.slot), sc.regWeight)
-			out[ci] = scoreFromSnapshot(m, kf, matches, weightSum, srcDeg, dv)
+			// Per-pair effective k = min(src span, candidate span); the
+			// kernels already compare over the shared prefix.
+			candRegs := s.bank.regs(sv.slot)
+			n := k
+			if len(candRegs) < n {
+				n = len(candRegs)
+			}
+			matches, weightSum := matchRegisters(m, srcVals, candRegs, sc.regWeight)
+			out[ci] = scoreFromSnapshot(m, float64(n), matches, weightSum, srcDeg, dv)
 		}
 	})
 	queryPool.Put(sc)
@@ -69,12 +75,15 @@ func (s *SketchStore) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, 
 
 // mergedInto is the allocation-free variant of merged for callers that
 // need only the union register values: vals (length K) receives the
-// per-register minimum across live generations. ok is false if u appears
-// in no generation.
-func (w *Windowed) mergedInto(u uint64, vals []uint64) (arrivals int64, ok bool) {
+// per-register minimum across live generations. eff is the valid span —
+// the smallest contributing generation's register count, K on uniform
+// stores (see merged for why the union shrinks on tiered ones). ok is
+// false if u appears in no generation.
+func (w *Windowed) mergedInto(u uint64, vals []uint64) (eff int, arrivals int64, ok bool) {
 	for i := range vals {
 		vals[i] = emptyRegister
 	}
+	eff = len(vals)
 	for _, g := range w.gens {
 		st := g.vertices[u]
 		if st == nil {
@@ -82,13 +91,17 @@ func (w *Windowed) mergedInto(u uint64, vals []uint64) (arrivals int64, ok bool)
 		}
 		ok = true
 		arrivals += st.arrivals
-		for i, v := range g.bank.regs(st.slot) {
+		gv := g.bank.regs(st.slot)
+		if len(gv) < eff {
+			eff = len(gv)
+		}
+		for i, v := range gv {
 			if v < vals[i] {
 				vals[i] = v
 			}
 		}
 	}
-	return arrivals, ok
+	return eff, arrivals, ok
 }
 
 // ScoreBatch scores every candidate against u over the current window,
@@ -117,39 +130,44 @@ func (w *Windowed) ScoreBatch(m QueryMeasure, u uint64, candidates []uint64, out
 		return out, nil
 	}
 	sc := queryPool.Get().(*queryScratch)
-	k := w.cfg.K
+	srcK := len(uv) // the source's merged span (≤ K on tiered stores)
 	var du float64
 	if m != QueryJaccard {
 		du = kmvDistinct(uv, uarr)
 	}
 	if m.weighted() {
-		sc.regWeight = grow(sc.regWeight, k)
+		sc.regWeight = grow(sc.regWeight, srcK)
 		fillRegWeights(m, uv, uids, sc.regWeight, w)
 	}
 
-	kf := float64(k)
 	parallelRange(len(candidates), minScoreChunk, func(lo, hi int) {
 		// Per-chunk merge buffer from the shared scratch pool: chunks run
 		// on distinct workers, so each gets its own.
 		bufp := mergeBufPool.Get().(*[]uint64)
-		vals := grow(*bufp, k)
+		vals := grow(*bufp, w.cfg.K)
 		for ci := lo; ci < hi; ci++ {
-			varr, okV := w.mergedInto(candidates[ci], vals)
+			eff, varr, okV := w.mergedInto(candidates[ci], vals)
 			if !okV {
 				out[ci] = 0
 				continue
 			}
+			cand := vals[:eff]
 			if m == QueryPreferentialAttachment {
 				// No register scan needed: the score is the degree product.
-				out[ci] = du * kmvDistinct(vals, varr)
+				out[ci] = du * kmvDistinct(cand, varr)
 				continue
 			}
-			matches, weightSum := matchRegisters(m, uv, vals, sc.regWeight)
+			// Per-pair effective k = min of the two merged spans.
+			n := srcK
+			if eff < n {
+				n = eff
+			}
+			matches, weightSum := matchRegisters(m, uv, cand, sc.regWeight)
 			var dv float64
 			if m != QueryJaccard {
-				dv = kmvDistinct(vals, varr)
+				dv = kmvDistinct(cand, varr)
 			}
-			out[ci] = scoreFromSnapshot(m, kf, matches, weightSum, du, dv)
+			out[ci] = scoreFromSnapshot(m, float64(n), matches, weightSum, du, dv)
 		}
 		*bufp = vals
 		mergeBufPool.Put(bufp)

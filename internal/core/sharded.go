@@ -85,6 +85,38 @@ func (s *Sharded) Config() Config { return s.shards[0].cfg }
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
+// Reserve pre-sizes every shard for its share of n expected vertices
+// (see SketchStore.Reserve). Safe for concurrent use.
+func (s *Sharded) Reserve(n int) {
+	per := (n + len(s.shards) - 1) / len(s.shards)
+	for i := range s.shards {
+		s.mus[i].Lock()
+		s.shards[i].Reserve(per)
+		s.mus[i].Unlock()
+	}
+}
+
+// TierOccupancy returns the live vertex count per register tier summed
+// across shards, or nil for a uniform store. Safe for concurrent use.
+func (s *Sharded) TierOccupancy() []int {
+	var total []int
+	for i := range s.shards {
+		s.mus[i].RLock()
+		counts := s.shards[i].TierOccupancy()
+		s.mus[i].RUnlock()
+		if counts == nil {
+			return nil
+		}
+		if total == nil {
+			total = make([]int, len(counts))
+		}
+		for t, c := range counts {
+			total[t] += c
+		}
+	}
+	return total
+}
+
 func (s *Sharded) shardOf(u uint64) int {
 	return int(rng.Mix64(u) % uint64(len(s.shards)))
 }
@@ -94,6 +126,14 @@ func (s *Sharded) shardOf(u uint64) int {
 // write lock; hashing happens outside it.
 func (st *SketchStore) applyHalfEdge(owner, nbr uint64, nbrHashes []uint64) {
 	vs := st.state(owner)
+	if st.tiers != nil {
+		// Same per-half-edge order as the tiered ProcessEdge: count,
+		// promote, fold (see that method for why it must be this order).
+		vs.arrivals++
+		st.promoteIfDue(vs)
+		st.bank.update(vs.slot, nbr, nbrHashes)
+		return
+	}
 	st.bank.update(vs.slot, nbr, nbrHashes)
 	vs.arrivals++
 }
@@ -164,7 +204,7 @@ func (s *Sharded) refreshGauges(shard int) {
 // hook; see measure_kernel.go). matchedIDs is appended to idBuf, so
 // callers that pass a reused buffer keep the weighted-query hot path
 // allocation-free.
-func (s *Sharded) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches int, du, dv float64, known bool, matchedIDs []uint64) {
+func (s *Sharded) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches, effK int, du, dv float64, known bool, matchedIDs []uint64) {
 	a, b := s.shardOf(u), s.shardOf(v)
 	lo, hi := a, b
 	if lo > hi {
@@ -183,13 +223,17 @@ func (s *Sharded) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches 
 	su := s.shards[a].vertices[u]
 	sv := s.shards[b].vertices[v]
 	if su == nil || sv == nil {
-		return 0, 0, 0, false, idBuf // hand idBuf back so callers keep its capacity
+		return 0, s.shards[0].cfg.K, 0, 0, false, idBuf // hand idBuf back so callers keep its capacity
 	}
 	du = s.shards[a].degree(su)
 	dv = s.shards[b].degree(sv)
 	matchedIDs = idBuf
 	uVals := s.shards[a].bank.regs(su.slot)
 	vVals := s.shards[b].bank.regs(sv.slot)
+	// Cross-tier pairs compare over the shared prefix (min-k property).
+	if len(vVals) < len(uVals) {
+		uVals = uVals[:len(vVals)]
+	}
 	if !collect {
 		matches = matchCount(uVals, vVals)
 	} else {
@@ -202,7 +246,7 @@ func (s *Sharded) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches 
 			matchedIDs = append(matchedIDs, uIDs[i])
 		}
 	}
-	return matches, du, dv, true, matchedIDs
+	return matches, len(uVals), du, dv, true, matchedIDs
 }
 
 // midpointDegree is the degree estimate used to weight common-neighbor

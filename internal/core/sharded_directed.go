@@ -59,6 +59,41 @@ func (s *ShardedDirected) Config() Config { return s.shards[0].cfg }
 // NumShards returns the shard count.
 func (s *ShardedDirected) NumShards() int { return len(s.shards) }
 
+// Reserve pre-sizes every shard for its portion of n expected vertices
+// (sizing hint; see Sharded.Reserve).
+func (s *ShardedDirected) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	per := (n + len(s.shards) - 1) / len(s.shards)
+	for i := range s.shards {
+		s.mus[i].Lock()
+		s.shards[i].Reserve(per)
+		s.mus[i].Unlock()
+	}
+}
+
+// TierOccupancy returns live slots per tier summed across shards and
+// both sketch sides, or nil on a uniform store.
+func (s *ShardedDirected) TierOccupancy() []int {
+	var total []int
+	for i := range s.shards {
+		s.mus[i].RLock()
+		counts := s.shards[i].TierOccupancy()
+		s.mus[i].RUnlock()
+		if counts == nil {
+			return nil
+		}
+		if total == nil {
+			total = make([]int, len(counts))
+		}
+		for j, n := range counts {
+			total[j] += n
+		}
+	}
+	return total
+}
+
 func (s *ShardedDirected) shardOf(u uint64) int {
 	return int(rng.Mix64(u) % uint64(len(s.shards)))
 }
@@ -69,11 +104,26 @@ func (s *ShardedDirected) shardOf(u uint64) int {
 // which side (owner's out-sketch of nbr, or owner's in-sketch of nbr).
 func (st *DirectedStore) applyHalfArc(owner, nbr uint64, out bool, nbrHashes []uint64) {
 	vs := st.state(owner)
+	if st.tiers != nil {
+		// Canonical tiered order: count, promote, fold (see
+		// SketchStore.applyHalfEdge for why this makes batched and
+		// per-arc ingest byte-identical).
+		if out {
+			vs.outArr++
+			st.promoteOutIfDue(vs)
+			st.out.update(vs.outSlot, nbr, nbrHashes)
+		} else {
+			vs.inArr++
+			st.promoteInIfDue(vs)
+			st.in.update(vs.inSlot, nbr, nbrHashes)
+		}
+		return
+	}
 	if out {
-		st.out.update(vs.slot, nbr, nbrHashes)
+		st.out.update(vs.outSlot, nbr, nbrHashes)
 		vs.outArr++
 	} else {
-		st.in.update(vs.slot, nbr, nbrHashes)
+		st.in.update(vs.inSlot, nbr, nbrHashes)
 		vs.inArr++
 	}
 }
@@ -132,7 +182,7 @@ func (s *ShardedDirected) refreshGauges(shard int) {
 // register matches between u's out-sketch and v's in-sketch, the two
 // side degrees, and (if collect) the matched argmin ids, appended to
 // idBuf so callers can reuse a buffer.
-func (s *ShardedDirected) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches int, dOut, dIn float64, known bool, matchedIDs []uint64) {
+func (s *ShardedDirected) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches, effK int, dOut, dIn float64, known bool, matchedIDs []uint64) {
 	a, b := s.shardOf(u), s.shardOf(v)
 	lo, hi := a, b
 	if lo > hi {
@@ -151,17 +201,22 @@ func (s *ShardedDirected) pairQuery(u, v uint64, collect bool, idBuf []uint64) (
 	su := s.shards[a].vertices[u]
 	sv := s.shards[b].vertices[v]
 	if su == nil || sv == nil {
-		return 0, 0, 0, false, idBuf
+		return 0, s.shards[0].cfg.K, 0, 0, false, idBuf
 	}
-	outVals := s.shards[a].out.regs(su.slot)
-	inVals := s.shards[b].in.regs(sv.slot)
+	outVals := s.shards[a].out.regs(su.outSlot)
+	inVals := s.shards[b].in.regs(sv.inSlot)
 	dOut = s.shards[a].sideDegree(outVals, su.outArr)
 	dIn = s.shards[b].sideDegree(inVals, sv.inArr)
+	// Cross-tier pairs compare over the shared register prefix (min-k
+	// prefix property, see estimators.go).
+	if len(inVals) < len(outVals) {
+		outVals = outVals[:len(inVals)]
+	}
 	matchedIDs = idBuf
 	if !collect {
 		matches = matchCount(outVals, inVals)
 	} else {
-		outIDs := s.shards[a].out.argmins(su.slot)
+		outIDs := s.shards[a].out.argmins(su.outSlot)
 		for i, val := range outVals {
 			if val == emptyRegister || val != inVals[i] {
 				continue
@@ -170,7 +225,7 @@ func (s *ShardedDirected) pairQuery(u, v uint64, collect bool, idBuf []uint64) (
 			matchedIDs = append(matchedIDs, outIDs[i])
 		}
 	}
-	return matches, dOut, dIn, true, matchedIDs
+	return matches, len(outVals), dOut, dIn, true, matchedIDs
 }
 
 // midpointDegree weights directed midpoints by their estimated total

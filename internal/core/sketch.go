@@ -27,12 +27,32 @@ import "math"
 // so the sentinel is never load-bearing for correctness.
 const emptyRegister = math.MaxUint64
 
+// Slot encoding for tiered banks: the top bits of a slot carry the tier
+// index, the low bits the slot index within that tier's arena. Tier 0
+// has zero high bits, so a uniform (single-tier) bank's slots are plain
+// indices — exactly the pre-tier encoding.
+const (
+	tierShift   = 28
+	tierIdxMask = 1<<tierShift - 1
+)
+
+// bankTier is one fixed-k arena of a regBank: a struct-of-arrays block
+// holding every slot of one register-budget tier, plus the free list of
+// slots vacated by promotion (reused by future allocations so a stream
+// of promotions does not grow the lower arenas without bound).
+type bankTier struct {
+	k    int
+	vals []uint64 // slot s at [s*k, (s+1)*k); emptyRegister when unset
+	ids  []uint64 // parallel argmin bank; empty when !trackIDs
+	free []int32  // slot indices vacated by promotion, ready for reuse
+}
+
 // regBank is the struct-of-arrays register storage of one store (one per
 // shard in the sharded modes, see DESIGN.md §2.9). Instead of a heap
 // object with two slices per vertex, every vertex owns a dense slot: its
-// k register values live at vals[slot*k : (slot+1)*k] and the parallel
-// argmin ids at the same span of ids. The layout buys two things the
-// per-vertex objects could not:
+// k register values live at vals[slot*k : (slot+1)*k] of its tier's
+// arena and the parallel argmin ids at the same span of ids. The layout
+// buys two things the per-vertex objects could not:
 //
 //   - a vertex's registers are one contiguous k·8-byte span, so the query
 //     kernel streams cache lines instead of chasing a pointer per vertex,
@@ -41,44 +61,119 @@ const emptyRegister = math.MaxUint64
 //     million vertices cost two allocations' worth of bookkeeping rather
 //     than two million 8-word heap objects for the GC to trace.
 //
-// Slots are never freed (vertices are never removed from a store), so a
-// slot index is stable for the life of the store. The backing arrays DO
-// move when the bank grows: never cache a register slice across an
-// operation that may allocate a slot — re-derive it with regs/argmins at
-// the point of use. All growth happens under the owning store's write
-// lock (or in single-writer stores, in the writer), so concurrent readers
-// holding read locks always see a stable array.
+// A uniform bank has exactly one tier and behaves exactly as the
+// pre-tier bank did: slots are stable for the life of the store and the
+// free list stays empty. A tiered bank (DESIGN.md §2.13) holds one arena
+// per configured tier; promotion moves a vertex's sketch to a larger
+// arena (copying the old registers as the prefix — the min-k prefix
+// property keeps that a valid smaller sketch) and recycles the vacated
+// slot through the tier's free list. The backing arrays DO move when an
+// arena grows, and a promoted vertex's old slot may be reused: never
+// cache a slot or register slice across an operation that may allocate
+// or promote — re-derive with regs/argmins at the point of use. All
+// mutation happens under the owning store's write lock (or in
+// single-writer stores, in the writer), so concurrent readers holding
+// read locks always see stable arrays and stable slots.
 //
 // trackIDs selects whether the argmin bank is maintained. Every live
 // store tracks ids today (the weighted measures and the windowed merge
 // need them); the flag exists so transient banks can skip the second
 // array, and so memoryBytes reflects what is actually allocated.
 type regBank struct {
-	k        int
 	trackIDs bool
-	vals     []uint64 // slot s at [s*k, (s+1)*k); emptyRegister when unset
-	ids      []uint64 // parallel argmin bank; empty when !trackIDs
+	tiers    []bankTier
 }
 
-// init prepares an empty bank for k-register sketches.
+// init prepares an empty uniform bank for k-register sketches.
 func (b *regBank) init(k int, trackIDs bool) {
-	b.k = k
 	b.trackIDs = trackIDs
+	b.tiers = []bankTier{{k: k}}
 }
 
-// alloc claims the next slot, extending the banks by one k-span (values
-// initialised to emptyRegister, ids zeroed). Amortized O(k).
-func (b *regBank) alloc() int32 {
-	slot := int32(len(b.vals) / b.k)
-	b.vals = bankGrow(b.vals, b.k)
-	span := b.vals[len(b.vals)-b.k:]
+// initTiered prepares an empty bank with one arena per tier size in ks
+// (ascending). New slots allocate in tier 0; promote moves them up.
+func (b *regBank) initTiered(ks []int, trackIDs bool) {
+	b.trackIDs = trackIDs
+	b.tiers = make([]bankTier, len(ks))
+	for i, k := range ks {
+		b.tiers[i].k = k
+	}
+}
+
+// alloc claims a slot in tier 0, extending the arena by one k-span
+// (values initialised to emptyRegister, ids zeroed). Amortized O(k).
+func (b *regBank) alloc() int32 { return b.allocAt(0) }
+
+// allocAt claims a slot in tier t, reusing a promotion-vacated slot if
+// one is free (its span is re-initialised — reused capacity HAS held
+// data) and extending the arena otherwise.
+func (b *regBank) allocAt(t int) int32 {
+	tr := &b.tiers[t]
+	if n := len(tr.free); n > 0 {
+		idx := tr.free[n-1]
+		tr.free = tr.free[:n-1]
+		o := int(idx) * tr.k
+		span := tr.vals[o : o+tr.k]
+		for i := range span {
+			span[i] = emptyRegister
+		}
+		if b.trackIDs {
+			ids := tr.ids[o : o+tr.k]
+			for i := range ids {
+				ids[i] = 0
+			}
+		}
+		return int32(t)<<tierShift | idx
+	}
+	idx := int32(len(tr.vals) / tr.k)
+	tr.vals = bankGrow(tr.vals, tr.k)
+	span := tr.vals[len(tr.vals)-tr.k:]
 	for i := range span {
 		span[i] = emptyRegister
 	}
 	if b.trackIDs {
-		b.ids = bankGrow(b.ids, b.k)
+		tr.ids = bankGrow(tr.ids, tr.k)
 	}
-	return slot
+	return int32(t)<<tierShift | idx
+}
+
+// promote moves slot's sketch into the (larger-k) tier to and returns
+// the new slot. The old registers become the prefix of the new span —
+// by the min-k prefix property the prefix was already a valid sketch of
+// everything folded so far — and the new registers above them start
+// empty (they will only ever see neighbors arriving after promotion;
+// see DESIGN.md §2.13 for the resulting estimator contract). The
+// vacated slot is pushed on its tier's free list.
+func (b *regBank) promote(slot int32, to int) int32 {
+	src := &b.tiers[slot>>tierShift]
+	o := int(slot&tierIdxMask) * src.k
+	newSlot := b.allocAt(to)
+	dst := &b.tiers[to]
+	no := int(newSlot&tierIdxMask) * dst.k
+	copy(dst.vals[no:no+src.k], src.vals[o:o+src.k])
+	if b.trackIDs {
+		copy(dst.ids[no:no+src.k], src.ids[o:o+src.k])
+	}
+	src.free = append(src.free, slot&tierIdxMask)
+	return newSlot
+}
+
+// reserve pre-grows tier 0's backing arrays for n additional slots, so
+// a bulk load of a known vertex count pays one allocation instead of a
+// doubling cascade.
+func (b *regBank) reserve(n int) {
+	tr := &b.tiers[0]
+	need := len(tr.vals) + n*tr.k
+	if cap(tr.vals) < need {
+		nv := make([]uint64, len(tr.vals), need)
+		copy(nv, tr.vals)
+		tr.vals = nv
+	}
+	if b.trackIDs && cap(tr.ids) < need {
+		ni := make([]uint64, len(tr.ids), need)
+		copy(ni, tr.ids)
+		tr.ids = ni
+	}
 }
 
 // bankGrow extends buf by n elements with amortized doubling. New
@@ -98,27 +193,35 @@ func bankGrow(buf []uint64, n int) []uint64 {
 	return nb
 }
 
-// regs returns slot's register-value span. The slice is capped at k so an
-// append cannot silently bleed into the neighboring slot.
+// regs returns slot's register-value span (length = the slot's tier k).
+// The slice is capped so an append cannot silently bleed into the
+// neighboring slot.
 func (b *regBank) regs(slot int32) []uint64 {
-	o := int(slot) * b.k
-	return b.vals[o : o+b.k : o+b.k]
+	tr := &b.tiers[slot>>tierShift]
+	o := int(slot&tierIdxMask) * tr.k
+	return tr.vals[o : o+tr.k : o+tr.k]
 }
 
 // argmins returns slot's argmin-id span.
 func (b *regBank) argmins(slot int32) []uint64 {
-	o := int(slot) * b.k
-	return b.ids[o : o+b.k : o+b.k]
+	tr := &b.tiers[slot>>tierShift]
+	o := int(slot&tierIdxMask) * tr.k
+	return tr.ids[o : o+tr.k : o+tr.k]
 }
 
-// update folds neighbor w, whose k hash values are hashes, into slot's
-// registers. Min is idempotent, so duplicate edges are harmless.
+// kOf returns the register count of slot's tier.
+func (b *regBank) kOf(slot int32) int { return b.tiers[slot>>tierShift].k }
+
+// update folds neighbor w, whose hash values are hashes (at least as
+// many as the slot's register count — ingest always hashes the largest
+// tier's k), into slot's registers. Min is idempotent, so duplicate
+// edges are harmless.
 func (b *regBank) update(slot int32, w uint64, hashes []uint64) {
 	// Reslicing to the iteration length lets the compiler drop the
 	// per-register bounds checks in this innermost of all ingest loops.
-	vals := b.regs(slot)[:len(hashes)]
-	ids := b.argmins(slot)[:len(hashes)]
-	for i, h := range hashes {
+	vals := b.regs(slot)
+	ids := b.argmins(slot)[:len(vals)]
+	for i, h := range hashes[:len(vals)] {
 		if h < vals[i] {
 			vals[i] = h
 			ids[i] = w
@@ -126,19 +229,38 @@ func (b *regBank) update(slot int32, w uint64, hashes []uint64) {
 	}
 }
 
-// slots returns the number of allocated slots.
+// slots returns the number of live (allocated and not promoted-away)
+// slots across all tiers.
 func (b *regBank) slots() int {
-	if b.k == 0 {
-		return 0
+	n := 0
+	for i := range b.tiers {
+		if tr := &b.tiers[i]; tr.k > 0 {
+			n += len(tr.vals)/tr.k - len(tr.free)
+		}
 	}
-	return len(b.vals) / b.k
+	return n
+}
+
+// tierCounts returns the live slot count per tier.
+func (b *regBank) tierCounts() []int {
+	out := make([]int, len(b.tiers))
+	for i := range b.tiers {
+		if tr := &b.tiers[i]; tr.k > 0 {
+			out[i] = len(tr.vals)/tr.k - len(tr.free)
+		}
+	}
+	return out
 }
 
 // memoryBytes returns the exact payload size of the bank: what the value
 // and argmin arrays actually hold. Ids are counted only when argmin
-// tracking is enabled — len(b.ids) is zero otherwise — so the store
+// tracking is enabled — len(ids) is zero otherwise — so the store
 // memory gauges derive from real storage instead of assuming 16 bytes
 // per register.
 func (b *regBank) memoryBytes() int {
-	return 8*len(b.vals) + 8*len(b.ids)
+	n := 0
+	for i := range b.tiers {
+		n += 8*len(b.tiers[i].vals) + 8*len(b.tiers[i].ids) + 4*len(b.tiers[i].free)
+	}
+	return n
 }

@@ -36,6 +36,26 @@ func (m DegreeMode) String() string {
 	}
 }
 
+// MaxTiers bounds the register-budget ladder of a tiered store. Config
+// carries the ladder as a fixed-size array (not a slice) so Config stays
+// comparable — the sharded loaders verify shard-config agreement with ==.
+const MaxTiers = 4
+
+// Tier is one rung of the query-aware register-budget ladder (DESIGN.md
+// §2.13): vertices whose arrival count has reached PromoteAt carry K
+// registers. The ladder trades registers on cold vertices for registers
+// on the hot ones queries actually hit — the gSketch budgeting idea.
+type Tier struct {
+	// K is the register count of sketches in this tier.
+	K int
+	// PromoteAt is the per-vertex arrival count at which a vertex enters
+	// this tier. Tier 0 must have PromoteAt == 0; later tiers must be
+	// strictly increasing in both K and PromoteAt. Promotion depends only
+	// on the vertex's own monotone counter, so it is deterministic under
+	// any apply order (pipeline, batch, WAL replay).
+	PromoteAt int64
+}
+
 // Config parameterises a sketch store.
 type Config struct {
 	// K is the number of MinHash registers per vertex. Larger K means
@@ -60,6 +80,82 @@ type Config struct {
 	// triangle count (see triangles.go) at one extra O(K) register
 	// comparison per edge.
 	TrackTriangles bool
+	// Tiers, when set (Tiers[0].K > 0), makes the register count a
+	// per-vertex property: new vertices start with Tiers[0].K registers
+	// and are promoted up the ladder as their arrival counts cross each
+	// tier's PromoteAt. The last configured tier's K must equal K (the
+	// hash family is sized for the largest sketches). The zero value is
+	// the uniform store: every vertex carries exactly K registers, and
+	// every on-disk image stays byte-identical to the pre-tier format.
+	Tiers [MaxTiers]Tier
+}
+
+// activeTiers returns the configured tier ladder — the prefix of Tiers
+// with K > 0 — or nil for a uniform store.
+func (c Config) activeTiers() []Tier {
+	n := 0
+	for n < MaxTiers && c.Tiers[n].K > 0 {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	return c.Tiers[:n:n]
+}
+
+// tiered reports whether the config uses per-vertex register budgets.
+func (c Config) tiered() bool { return c.Tiers[0].K > 0 }
+
+// validateTiers checks the tier ladder. The zero ladder (uniform) is
+// always valid.
+func (c Config) validateTiers() error {
+	ts := c.activeTiers()
+	if ts == nil {
+		for _, t := range c.Tiers {
+			if t != (Tier{}) {
+				return fmt.Errorf("core: Config.Tiers has a gap: set tiers contiguously from Tiers[0]")
+			}
+		}
+		return nil
+	}
+	for i := len(ts); i < MaxTiers; i++ {
+		if c.Tiers[i] != (Tier{}) {
+			return fmt.Errorf("core: Config.Tiers has a gap at %d: set tiers contiguously from Tiers[0]", i)
+		}
+	}
+	if len(ts) < 2 {
+		return fmt.Errorf("core: Config.Tiers needs at least two tiers (one tier is the uniform store; leave Tiers zero)")
+	}
+	if ts[0].PromoteAt != 0 {
+		return fmt.Errorf("core: Tiers[0].PromoteAt must be 0, got %d", ts[0].PromoteAt)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i].K <= ts[i-1].K {
+			return fmt.Errorf("core: tier K values must be strictly increasing (Tiers[%d].K = %d, Tiers[%d].K = %d)",
+				i-1, ts[i-1].K, i, ts[i].K)
+		}
+		if ts[i].PromoteAt <= ts[i-1].PromoteAt {
+			return fmt.Errorf("core: tier PromoteAt values must be strictly increasing (Tiers[%d] = %d, Tiers[%d] = %d)",
+				i-1, ts[i-1].PromoteAt, i, ts[i].PromoteAt)
+		}
+	}
+	if last := ts[len(ts)-1].K; last != c.K {
+		return fmt.Errorf("core: last tier K (%d) must equal Config.K (%d): the hash family is sized for the largest sketches", last, c.K)
+	}
+	return nil
+}
+
+// tierFor returns the tier a vertex with the given monotone counter
+// value occupies: the highest tier whose PromoteAt the counter has met.
+// This is the whole promotion rule — no clock, no sampling, no
+// cross-vertex state — which is what makes tiered stores byte-identical
+// under every apply order and under WAL replay.
+func tierFor(tiers []Tier, count int64) int {
+	t := 0
+	for t+1 < len(tiers) && count >= tiers[t+1].PromoteAt {
+		t++
+	}
+	return t
 }
 
 // vertexState is the constant-size per-vertex state. The MinHash
@@ -86,6 +182,7 @@ type SketchStore struct {
 	biasHash hashing.Mixed // global rank hash for biased sketches
 	vertices map[uint64]*vertexState
 	bank     regBank // struct-of-arrays register storage for all vertices
+	tiers    []Tier  // cfg.activeTiers(); nil on uniform stores
 	edges    int64
 	// triangles accumulates the streaming triangle estimate when
 	// Config.TrackTriangles is set (see triangles.go).
@@ -102,15 +199,56 @@ func NewSketchStore(cfg Config) (*SketchStore, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("core: Config.K must be >= 1, got %d", cfg.K)
 	}
+	if err := cfg.validateTiers(); err != nil {
+		return nil, err
+	}
+	if cfg.tiered() && cfg.EnableBiased {
+		return nil, fmt.Errorf("core: Config.Tiers cannot be combined with EnableBiased")
+	}
+	if cfg.tiered() && cfg.TrackTriangles {
+		return nil, fmt.Errorf("core: Config.Tiers cannot be combined with TrackTriangles")
+	}
 	s := &SketchStore{
 		cfg:      cfg,
 		family:   hashing.NewFamily(cfg.Hash, cfg.K, cfg.Seed),
 		biasHash: hashing.NewMixed(cfg.Seed ^ 0xb1a5ed5eedf00d42),
 		vertices: make(map[uint64]*vertexState),
+		tiers:    cfg.activeTiers(),
 		hashBuf:  make([]uint64, 0, cfg.K),
 	}
-	s.bank.init(cfg.K, true)
+	if s.tiers != nil {
+		ks := make([]int, len(s.tiers))
+		for i, t := range s.tiers {
+			ks[i] = t.K
+		}
+		s.bank.initTiered(ks, true)
+	} else {
+		s.bank.init(cfg.K, true)
+	}
 	return s, nil
+}
+
+// Reserve pre-sizes the store for n expected vertices: the vertex map
+// gets its capacity up front (only effective before any edge arrives)
+// and the register bank's tier-0 arena is grown once instead of through
+// a doubling cascade. A sizing hint, never required for correctness.
+func (s *SketchStore) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if len(s.vertices) == 0 {
+		s.vertices = make(map[uint64]*vertexState, n)
+	}
+	s.bank.reserve(n)
+}
+
+// TierOccupancy returns the live vertex count per register tier, or nil
+// for a uniform store.
+func (s *SketchStore) TierOccupancy() []int {
+	if s.tiers == nil {
+		return nil
+	}
+	return s.bank.tierCounts()
 }
 
 // Config returns the store's configuration.
@@ -129,6 +267,25 @@ func (s *SketchStore) ProcessEdge(e stream.Edge) {
 	if s.cfg.TrackTriangles {
 		// Count triangles this edge closes, before its own insertion.
 		s.addTriangles(su, sv)
+	}
+
+	if s.tiers != nil {
+		// Tiered order per endpoint: count the arrival, promote if the
+		// count crossed a threshold, then fold the neighbor — so the
+		// arrival that earns a tier is the first one folded into the new
+		// registers. Every apply path (sequential, batched, pipelined, WAL
+		// replay) uses this same per-half-edge order, which is what keeps
+		// tiered stores byte-identical across them.
+		s.hashBuf = s.family.HashAll(e.V, s.hashBuf)
+		su.arrivals++
+		s.promoteIfDue(su)
+		s.bank.update(su.slot, e.V, s.hashBuf)
+		s.hashBuf = s.family.HashAll(e.U, s.hashBuf)
+		sv.arrivals++
+		s.promoteIfDue(sv)
+		s.bank.update(sv.slot, e.U, s.hashBuf)
+		s.edges++
+		return
 	}
 
 	s.hashBuf = s.family.HashAll(e.V, s.hashBuf)
@@ -169,6 +326,18 @@ func (s *SketchStore) Process(src stream.Source) (int64, error) {
 		return nil
 	})
 	return n, err
+}
+
+// promoteIfDue advances st to the tier its arrival count has earned,
+// one rung at a time (a single edge can cross several thresholds when a
+// loader replays an aggregated count). Depends only on st's own monotone
+// counter, so it commutes with everything other vertices do.
+func (s *SketchStore) promoteIfDue(st *vertexState) {
+	t := int(st.slot >> tierShift)
+	for t+1 < len(s.tiers) && st.arrivals >= s.tiers[t+1].PromoteAt {
+		t++
+		st.slot = s.bank.promote(st.slot, t)
+	}
 }
 
 // state returns (creating if needed) the per-vertex state of u. Creating

@@ -59,6 +59,15 @@ type Store interface {
 	// MemoryBytes returns the store's estimated payload memory.
 	MemoryBytes() int
 
+	// Reserve pre-sizes the store's vertex maps and register arenas for
+	// n expected vertices — a sizing hint that avoids incremental grow
+	// copies during bulk ingest. It never shrinks and is safe to skip.
+	Reserve(n int)
+
+	// TierOccupancy returns the live vertex count per register tier, or
+	// nil on a uniform store (Config.Tiers unset).
+	TierOccupancy() []int
+
 	// Save writes the store's binary image. Each store type has its own
 	// magic header; LoadAny re-opens any of them.
 	Save(w io.Writer) error

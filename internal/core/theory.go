@@ -39,6 +39,29 @@ func JaccardErrorBound(k int, delta float64) float64 {
 	return math.Sqrt(math.Log(2/delta) / (2 * float64(k)))
 }
 
+// TieredErrorBound returns the Jaccard error guarantee for a pair on a
+// tiered store, where the two endpoints may carry different register
+// counts ku and kv. The estimator compares only the shared prefix of
+// min(ku, kv) registers — a k-prefix of a larger sketch over the same
+// hash family is itself a valid k-register sketch (the min-k prefix
+// property) — so the match indicators are min(ku, kv) independent
+// Bernoulli(J) draws and the Hoeffding bound applies with
+// K = min(ku, kv):
+//
+//	P(|Ĵ − J| ≥ ε) ≤ 2·exp(−2·min(ku,kv)·ε²),
+//	Var(Ĵ) = J(1−J)/min(ku,kv).
+//
+// The pair's accuracy is therefore set by its *smaller* sketch: tiering
+// spends registers where both endpoints of the queries that matter are
+// hot, which is exactly the heavy-hitter promotion policy's bet.
+func TieredErrorBound(ku, kv int, delta float64) float64 {
+	k := ku
+	if kv < k {
+		k = kv
+	}
+	return JaccardErrorBound(k, delta)
+}
+
 // CommonNeighborErrorBound returns the additive error guarantee for the
 // common-neighbor estimator that follows from the Jaccard bound. With
 // D = d(u) + d(v) (exact degrees) and f(x) = x/(1+x)·D,

@@ -165,13 +165,19 @@ func (w *Windowed) Process(src stream.Source) (int64, error) {
 
 // merged returns the union sketch of u across live generations: the
 // per-register minimum (with its argmin id), plus the summed arrival
-// count. ok is false if u appears in no generation.
+// count. ok is false if u appears in no generation. On tiered stores the
+// union is valid only over the prefix every contributing generation
+// covers — a register beyond some generation's span is missing that
+// generation's minima — so the returned spans shrink to the smallest
+// contributing span (min-k prefix property; uniform stores always
+// return full-K spans).
 func (w *Windowed) merged(u uint64) (vals, ids []uint64, arrivals int64, ok bool) {
 	vals = make([]uint64, w.cfg.K)
 	ids = make([]uint64, w.cfg.K)
 	for i := range vals {
 		vals[i] = emptyRegister
 	}
+	eff := w.cfg.K
 	for _, g := range w.gens {
 		st := g.vertices[u]
 		if st == nil {
@@ -181,6 +187,9 @@ func (w *Windowed) merged(u uint64) (vals, ids []uint64, arrivals int64, ok bool
 		arrivals += st.arrivals
 		gv := g.bank.regs(st.slot)
 		gi := g.bank.argmins(st.slot)
+		if len(gv) < eff {
+			eff = len(gv)
+		}
 		for i, v := range gv {
 			if v < vals[i] {
 				vals[i] = v
@@ -188,7 +197,34 @@ func (w *Windowed) merged(u uint64) (vals, ids []uint64, arrivals int64, ok bool
 			}
 		}
 	}
-	return vals, ids, arrivals, ok
+	return vals[:eff], ids[:eff], arrivals, ok
+}
+
+// Reserve pre-sizes the live generations for n expected vertices
+// (sizing hint; generations created by later rotations start fresh).
+func (w *Windowed) Reserve(n int) {
+	for _, g := range w.gens {
+		g.Reserve(n)
+	}
+}
+
+// TierOccupancy returns live slots per tier summed across generations,
+// or nil on a uniform store.
+func (w *Windowed) TierOccupancy() []int {
+	var total []int
+	for _, g := range w.gens {
+		counts := g.TierOccupancy()
+		if counts == nil {
+			return nil
+		}
+		if total == nil {
+			total = make([]int, len(counts))
+		}
+		for i, n := range counts {
+			total[i] += n
+		}
+	}
+	return total
 }
 
 // Degree returns the KMV distinct-degree estimate of u over the window.
@@ -214,11 +250,19 @@ func (w *Windowed) Knows(u uint64) bool {
 // measure_kernel.go): it merges both endpoints across live generations
 // and returns the register matches, the windowed (KMV distinct)
 // degrees, and optionally the matched argmin ids.
-func (w *Windowed) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches int, du, dv float64, known bool, ids []uint64) {
+func (w *Windowed) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches, effK int, du, dv float64, known bool, ids []uint64) {
 	uv, uids, uarr, okU := w.merged(u)
 	vv, _, varr, okV := w.merged(v)
 	if !okU || !okV {
-		return 0, 0, 0, false, idBuf
+		return 0, w.cfg.K, 0, 0, false, idBuf
+	}
+	// Degrees use each endpoint's full merged span; the match comparison
+	// runs over the shared prefix (min-k prefix property).
+	du = kmvDistinct(uv, uarr)
+	dv = kmvDistinct(vv, varr)
+	if len(vv) < len(uv) {
+		uv = uv[:len(vv)]
+		uids = uids[:len(vv)]
 	}
 	ids = idBuf
 	if !collect {
@@ -232,9 +276,7 @@ func (w *Windowed) pairQuery(u, v uint64, collect bool, idBuf []uint64) (matches
 			ids = append(ids, uids[i])
 		}
 	}
-	du = kmvDistinct(uv, uarr)
-	dv = kmvDistinct(vv, varr)
-	return matches, du, dv, true, ids
+	return matches, len(uv), du, dv, true, ids
 }
 
 // midpointDegree weights common-neighbor midpoints by their windowed

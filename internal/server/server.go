@@ -893,6 +893,12 @@ func engineGauges(eng linkpred.Engine) map[string]any {
 	if dr, ok := linkpred.DegradedRegistersOf(eng); ok {
 		g["degraded_registers"] = dr
 	}
+	if occ := eng.TierOccupancy(); occ != nil {
+		// Per-tier live vertex counts on tiered engines, index-aligned
+		// with Config.Tiers — the gauge that shows whether the promotion
+		// thresholds match the stream's skew.
+		g["tier_occupancy"] = occ
+	}
 	if rd, ok := inner.(interface{ RecoveryDepth() int }); ok {
 		g["recovery_depth"] = rd.RecoveryDepth()
 	}

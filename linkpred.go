@@ -39,6 +39,8 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"linkpred/internal/core"
@@ -77,6 +79,61 @@ type Config struct {
 	// triangle count (see Triangles) at one extra O(K) comparison per
 	// observed edge.
 	TrackTriangles bool
+	// Tiers, when set, makes the register count a per-vertex property:
+	// new vertices start with Tiers[0].K registers and are promoted up
+	// the ladder as their arrival counts cross each tier's PromoteAt
+	// threshold, so register memory concentrates on the heavy hitters
+	// that dominate real query workloads. Tiers must be filled
+	// contiguously from index 0 with strictly increasing K and PromoteAt;
+	// the last set tier's K must equal Config.K, and Tiers[0].PromoteAt
+	// must be 0. The zero value is the uniform store: every vertex
+	// carries exactly K registers. Tiered scoring compares register
+	// prefixes, so a pair's accuracy is governed by its smaller sketch
+	// (see TieredErrorBound). Not supported with EnableBiased or
+	// TrackTriangles.
+	Tiers [MaxTiers]Tier
+}
+
+// MaxTiers is the maximum ladder depth of Config.Tiers.
+const MaxTiers = core.MaxTiers
+
+// Tier is one rung of Config.Tiers: vertices whose arrival count has
+// reached PromoteAt carry K registers (until the next rung).
+type Tier struct {
+	K         int
+	PromoteAt int64
+}
+
+// ParseTiers parses a tier ladder from its flag syntax — comma-separated
+// K:PromoteAt rungs, e.g. "16:0,64:8,128:64" — into Config.Tiers. The
+// empty string parses to the zero (uniform) ladder. Only the syntax is
+// checked here; the structural rules (ascending K and PromoteAt, last K
+// equal to Config.K) are enforced by the predictor constructors.
+func ParseTiers(s string) ([MaxTiers]Tier, error) {
+	var tiers [MaxTiers]Tier
+	if s == "" {
+		return tiers, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > MaxTiers {
+		return tiers, fmt.Errorf("linkpred: %d tiers exceeds the maximum %d", len(parts), MaxTiers)
+	}
+	for i, p := range parts {
+		kStr, atStr, ok := strings.Cut(strings.TrimSpace(p), ":")
+		if !ok {
+			return tiers, fmt.Errorf("linkpred: tier %q: want K:PromoteAt", p)
+		}
+		k, err := strconv.Atoi(kStr)
+		if err != nil {
+			return tiers, fmt.Errorf("linkpred: tier %q: bad register count: %w", p, err)
+		}
+		at, err := strconv.ParseInt(atStr, 10, 64)
+		if err != nil {
+			return tiers, fmt.Errorf("linkpred: tier %q: bad promotion threshold: %w", p, err)
+		}
+		tiers[i] = Tier{K: k, PromoteAt: at}
+	}
+	return tiers, nil
 }
 
 // Measure identifies a link-prediction target measure for ranking.
